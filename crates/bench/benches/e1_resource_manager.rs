@@ -1,0 +1,75 @@
+//! E1 bench — the resource manager's three verification paths as `k`
+//! grows: zone model checking of `G1`/`G2`, the §4.3 mapping check, and
+//! simulation. Regenerates the cost side of EXPERIMENTS.md §E1/E5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_bench::rm_sweep;
+use tempo_core::mapping::{MappingChecker, RunPlan};
+use tempo_core::time_ab;
+use tempo_sim::Ensemble;
+use tempo_systems::resource_manager::{
+    g1, g2, requirements_automaton, system, RmMapping,
+};
+use tempo_zones::ZoneChecker;
+
+fn bench_zone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_zone_verify");
+    for params in rm_sweep() {
+        let timed = system(&params);
+        group.bench_with_input(BenchmarkId::new("g1", params.k), &params, |b, p| {
+            b.iter(|| {
+                let v = ZoneChecker::new(&timed).verify_condition(&g1(p)).unwrap();
+                assert!(v.satisfies(p.g1_bounds()));
+                v.stats.expanded
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("g2", params.k), &params, |b, p| {
+            b.iter(|| {
+                let v = ZoneChecker::new(&timed).verify_condition(&g2(p)).unwrap();
+                assert!(v.satisfies(p.g2_bounds()));
+                v.stats.expanded
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_mapping_check");
+    for params in rm_sweep() {
+        let timed = system(&params);
+        let impl_aut = time_ab(&timed);
+        let spec_aut = requirements_automaton(&timed, &params);
+        let plan = RunPlan {
+            random_runs: 4,
+            steps: 60,
+            seed: 0xB1,
+        };
+        // Pre-generate the runs so the bench isolates the check itself.
+        let runs = plan.runs(&impl_aut);
+        group.bench_with_input(BenchmarkId::from_parameter(params.k), &params, |b, p| {
+            let mapping = RmMapping::new(p.clone());
+            b.iter(|| {
+                let report = MappingChecker::new().check_steps(&spec_aut, &mapping, &runs);
+                assert!(report.passed());
+                report.spec_states_checked
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_simulate");
+    for params in rm_sweep() {
+        let timed = system(&params);
+        let impl_aut = time_ab(&timed);
+        group.bench_with_input(BenchmarkId::from_parameter(params.k), &params, |b, _| {
+            b.iter(|| Ensemble::new(8, 80).collect(&impl_aut).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zone, bench_mapping, bench_simulation);
+criterion_main!(benches);

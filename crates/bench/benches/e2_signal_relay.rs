@@ -1,0 +1,45 @@
+//! E2 bench — relay verification cost as the line length `n` grows:
+//! exact `U_{0,n}` zone checking vs the full hierarchical mapping chain.
+//! The chain does `n + 1` mapping checks but each against a small
+//! condition set; the zone graph grows with the location count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_bench::relay_sweep;
+use tempo_systems::signal_relay::{check_chain, relay_line, u_kn};
+use tempo_zones::ZoneChecker;
+
+fn bench_zone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_zone_verify");
+    for params in relay_sweep() {
+        let timed = relay_line(&params);
+        group.bench_with_input(BenchmarkId::from_parameter(params.n), &params, |b, p| {
+            b.iter(|| {
+                let v = ZoneChecker::new(&timed)
+                    .verify_condition(&u_kn(0, p))
+                    .unwrap();
+                assert!(v.satisfies(p.u0n_bounds()));
+                v.stats.expanded
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_hierarchy_chain");
+    group.sample_size(10);
+    for params in relay_sweep() {
+        let timed = relay_line(&params);
+        group.bench_with_input(BenchmarkId::from_parameter(params.n), &params, |b, p| {
+            b.iter(|| {
+                let reports = check_chain(p, &timed);
+                assert!(reports.iter().all(|r| r.passed()));
+                reports.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zone, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E3/E5 bench — head-to-head: assertional mapping checking vs
+//! operational zone model checking on the same verification goal, plus
+//! the cost of the two satisfaction checkers of Lemma 2.1 (the direct
+//! Definition 2.1 check vs the generic `U_b`-condition check).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempo_bench::rm_fixture;
+use tempo_core::mapping::{MappingChecker, RunPlan};
+use tempo_core::{
+    check_timed_execution, project, semi_satisfies, time_ab, u_b, RandomScheduler,
+    SatisfactionMode,
+};
+use tempo_systems::resource_manager::{g1, g2, requirements_automaton, Params, RmMapping};
+use tempo_zones::ZoneChecker;
+
+fn bench_methods_head_to_head(c: &mut Criterion) {
+    let params = Params::ints(4, 2, 3, 1).unwrap();
+    let timed = rm_fixture(4);
+    let impl_aut = time_ab(&timed);
+    let spec_aut = requirements_automaton(&timed, &params);
+    let plan = RunPlan {
+        random_runs: 4,
+        steps: 60,
+        seed: 0xE3,
+    };
+    let runs = plan.runs(&impl_aut);
+
+    let mut group = c.benchmark_group("e3_method_comparison");
+    group.bench_function("mapping_check_k4", |b| {
+        let mapping = RmMapping::new(params.clone());
+        b.iter(|| {
+            MappingChecker::new()
+                .check_steps(&spec_aut, &mapping, &runs)
+                .steps_checked
+        })
+    });
+    group.bench_function("zone_check_k4", |b| {
+        b.iter(|| {
+            let v1 = ZoneChecker::new(&timed).verify_condition(&g1(&params)).unwrap();
+            let v2 = ZoneChecker::new(&timed).verify_condition(&g2(&params)).unwrap();
+            v1.stats.expanded + v2.stats.expanded
+        })
+    });
+    group.finish();
+}
+
+fn bench_lemma_2_1_checkers(c: &mut Criterion) {
+    let timed = rm_fixture(3);
+    let impl_aut = time_ab(&timed);
+    let conds = u_b(timed.automaton(), timed.boundmap());
+    let (run, _) = impl_aut.generate(&mut RandomScheduler::new(1), 200);
+    let seq = project(&run);
+
+    let mut group = c.benchmark_group("e3_lemma_2_1");
+    group.bench_function("definition_2_1_direct", |b| {
+        b.iter(|| check_timed_execution(&seq, &timed, SatisfactionMode::Prefix).is_ok())
+    });
+    group.bench_function("u_b_conditions", |b| {
+        b.iter(|| conds.iter().all(|c| semi_satisfies(&seq, c).is_ok()))
+    });
+    group.finish();
+}
+
+fn bench_exhaustive_vs_sampled(c: &mut Criterion) {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = rm_fixture(2);
+    let impl_aut = time_ab(&timed);
+    let spec_aut = requirements_automaton(&timed, &params);
+    let mapping = RmMapping::new(params.clone());
+    let mut group = c.benchmark_group("e3_checker_modes");
+    group.bench_function("exhaustive_quotient", |b| {
+        b.iter(|| {
+            let r = MappingChecker::new().check_exhaustive(
+                &impl_aut, &spec_aut, &mapping, 100_000,
+            );
+            assert!(r.passed());
+            r.spec_states_checked
+        })
+    });
+    group.bench_function("sampled_runs", |b| {
+        let plan = RunPlan {
+            random_runs: 4,
+            steps: 60,
+            seed: 0xE5,
+        };
+        let runs = plan.runs(&impl_aut);
+        b.iter(|| {
+            let r = MappingChecker::new().check_steps(&spec_aut, &mapping, &runs);
+            assert!(r.passed());
+            r.spec_states_checked
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_methods_head_to_head,
+    bench_lemma_2_1_checkers,
+    bench_exhaustive_vs_sampled
+);
+criterion_main!(benches);

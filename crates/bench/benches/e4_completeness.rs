@@ -1,0 +1,46 @@
+//! E4 bench — the cost of constructing the canonical mapping of
+//! Theorem 7.1: exhaustive corner-schedule search vs Monte-Carlo
+//! estimation, as the search depth / sample count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_bench::rm_fixture;
+use tempo_core::completeness::{ExhaustiveOracle, FirstOracle, SampledOracle};
+use tempo_core::time_ab;
+use tempo_systems::resource_manager::{g1, Params};
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = rm_fixture(2);
+    let impl_aut = time_ab(&timed);
+    let s0 = impl_aut.initial_states().pop().unwrap();
+    let cond = g1(&params);
+
+    let mut group = c.benchmark_group("e4_exhaustive_oracle");
+    for depth in [8usize, 10, 12, 14] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let oracle = ExhaustiveOracle::new(&impl_aut, d);
+            b.iter(|| oracle.first_bounds(&s0, &cond))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled(c: &mut Criterion) {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = rm_fixture(2);
+    let impl_aut = time_ab(&timed);
+    let s0 = impl_aut.initial_states().pop().unwrap();
+    let cond = g1(&params);
+
+    let mut group = c.benchmark_group("e4_sampled_oracle");
+    for samples in [16u64, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &n| {
+            let oracle = SampledOracle::new(&impl_aut, n, 40, 7);
+            b.iter(|| oracle.first_bounds(&s0, &cond))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_sampled);
+criterion_main!(benches);

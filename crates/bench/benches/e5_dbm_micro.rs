@@ -1,0 +1,73 @@
+//! E5 bench — DBM micro-operations: canonicalization, delay, reset,
+//! inclusion and extrapolation across dimensions, isolating the zone
+//! checker's inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_math::Rat;
+use tempo_zones::Dbm;
+
+fn busy_zone(clocks: usize) -> Dbm {
+    let mut z = Dbm::zero(clocks);
+    z.up();
+    for i in 1..=clocks {
+        z.and_upper(i, Rat::from((3 * i) as i64), false);
+        z.and_lower(i, Rat::from(i as i64), false);
+    }
+    z
+}
+
+fn bench_canonicalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_canonicalize");
+    for clocks in [2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(clocks), &clocks, |b, &n| {
+            let z = busy_zone(n);
+            b.iter(|| {
+                let mut z2 = z.clone();
+                z2.canonicalize();
+                z2.is_empty()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_pipeline(c: &mut Criterion) {
+    // The exact sequence the explorer runs per edge: guard ∩, resets, up,
+    // invariant ∩, extrapolate.
+    let mut group = c.benchmark_group("e5_successor_pipeline");
+    for clocks in [2usize, 4, 6] {
+        let consts: Vec<Rat> = (1..=clocks).map(|i| Rat::from((3 * i) as i64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(clocks), &clocks, |b, &n| {
+            let z = busy_zone(n);
+            b.iter(|| {
+                let mut s = z.clone();
+                s.and_lower(1, Rat::ONE, false);
+                s.reset(1);
+                s.up();
+                s.and_upper(2.min(n), Rat::from(6), false);
+                s.extrapolate(&consts);
+                s.is_empty()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inclusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_inclusion");
+    for clocks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(clocks), &clocks, |b, &n| {
+            let big = {
+                let mut z = Dbm::zero(n);
+                z.up();
+                z
+            };
+            let small = busy_zone(n);
+            b.iter(|| big.includes(&small) && !small.includes(&big))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonicalize, bench_step_pipeline, bench_inclusion);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E6 bench — run-generation throughput per scheduler, and the overhead
+//! dummification adds per step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempo_bench::{relay_fixture, rm_fixture};
+use tempo_core::{
+    dummify, time_ab, EarliestScheduler, LatestScheduler, RandomScheduler,
+};
+use tempo_math::{Interval, Rat};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let timed = rm_fixture(3);
+    let aut = time_ab(&timed);
+    let mut group = c.benchmark_group("e6_scheduler_throughput");
+    group.bench_function("random_200_steps", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut sched = RandomScheduler::new(seed);
+            aut.generate(&mut sched, 200).0.len()
+        })
+    });
+    group.bench_function("earliest_200_steps", |b| {
+        b.iter(|| {
+            let mut sched = EarliestScheduler::new();
+            aut.generate(&mut sched, 200).0.len()
+        })
+    });
+    group.bench_function("latest_200_steps", |b| {
+        b.iter(|| {
+            let mut sched = LatestScheduler::new();
+            aut.generate(&mut sched, 200).0.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dummification_overhead(c: &mut Criterion) {
+    let timed = relay_fixture(4);
+    let plain = time_ab(&timed);
+    let dummified = dummify(
+        &timed,
+        Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+    )
+    .unwrap();
+    let dummy_aut = time_ab(&dummified);
+
+    let mut group = c.benchmark_group("e6_dummification");
+    group.bench_function("plain_relay_until_deadlock", |b| {
+        b.iter(|| {
+            let mut sched = RandomScheduler::new(3);
+            plain.generate(&mut sched, 100).0.len()
+        })
+    });
+    group.bench_function("dummified_relay_100_steps", |b| {
+        b.iter(|| {
+            let mut sched = RandomScheduler::new(3);
+            dummy_aut.generate(&mut sched, 100).0.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_dummification_overhead);
+criterion_main!(benches);

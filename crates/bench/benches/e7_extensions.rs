@@ -1,0 +1,82 @@
+//! E7 bench — the extension systems' verification costs: Peterson entry
+//! measurement (adaptive-horizon zones), Fischer mutual exclusion across
+//! grid points, tournament state-space exploration, and the zone-backed
+//! completeness oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_core::completeness::FirstOracle;
+use tempo_core::time_ab;
+use tempo_math::Rat;
+use tempo_systems::fischer::{self, FischerParams};
+use tempo_systems::peterson::{self, PetersonParams};
+use tempo_systems::resource_manager::{g1, Params};
+use tempo_systems::tournament;
+use tempo_zones::ZoneFirstOracle;
+
+fn bench_peterson_entry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_peterson_entry");
+    for a in [1i64, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(a), &a, |b, &a| {
+            let params = PetersonParams::ints(0, a);
+            b.iter(|| {
+                let v = peterson::entry_verdict(&params, 0);
+                assert!(v.latest_armed.is_finite());
+                v.stats.expanded
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fischer_mutex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fischer_mutex");
+    group.sample_size(20);
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = FischerParams::ints(n, 1, 2, 4);
+            b.iter(|| {
+                let violation = fischer::check_mutual_exclusion(&params).unwrap();
+                assert!(violation.is_none());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tournament_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_tournament_mutex");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| tournament::check_mutual_exclusion(n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_zone_oracle(c: &mut Criterion) {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = tempo_systems::resource_manager::system(&params);
+    let impl_aut = time_ab(&timed);
+    let s0 = impl_aut.initial_states().pop().unwrap();
+    let cond = g1(&params);
+    let mut group = c.benchmark_group("e7_completeness_oracles");
+    group.bench_function("zone_oracle", |b| {
+        let oracle = ZoneFirstOracle::new(&timed, Rat::from(16));
+        b.iter(|| oracle.first_bounds(&s0, &cond))
+    });
+    group.bench_function("exhaustive_oracle_depth12", |b| {
+        let oracle = tempo_core::completeness::ExhaustiveOracle::new(&impl_aut, 12);
+        b.iter(|| oracle.first_bounds(&s0, &cond))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_peterson_entry,
+    bench_fischer_mutex,
+    bench_tournament_reachability,
+    bench_zone_oracle
+);
+criterion_main!(benches);

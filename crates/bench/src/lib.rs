@@ -1,0 +1,33 @@
+//! Shared fixtures for the benchmark targets (one Criterion bench per
+//! experiment of `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+
+use tempo_systems::resource_manager::{self, Params};
+use tempo_systems::signal_relay::{self, RelayParams};
+
+/// Resource-manager parameter sets swept by E1/E3 benches, keyed by `k`.
+pub fn rm_sweep() -> Vec<Params> {
+    [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|k| Params::ints(k, 2, 3, 1).expect("valid"))
+        .collect()
+}
+
+/// Relay lengths swept by E2 benches.
+pub fn relay_sweep() -> Vec<RelayParams> {
+    [1usize, 2, 4, 6]
+        .into_iter()
+        .map(|n| RelayParams::ints(n, 1, 3).expect("valid"))
+        .collect()
+}
+
+/// A ready resource-manager system for fixed-size benches.
+pub fn rm_fixture(k: u32) -> tempo_core::Timed<resource_manager::RmAutomaton> {
+    resource_manager::system(&Params::ints(k, 2, 3, 1).expect("valid"))
+}
+
+/// A ready relay system for fixed-size benches.
+pub fn relay_fixture(n: usize) -> tempo_core::Timed<signal_relay::RelayAutomaton> {
+    signal_relay::relay_line(&RelayParams::ints(n, 1, 3).expect("valid"))
+}

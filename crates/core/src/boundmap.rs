@@ -1,0 +1,314 @@
+//! Boundmaps and timed automata `(A, b)` (paper §2.2).
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_ioa::{ClassId, Ioa};
+use tempo_math::Interval;
+
+/// A boundmap: one closed interval `[b_l(C), b_u(C)]` per partition class,
+/// giving the range of times between successive chances of the class to
+/// perform an action.
+///
+/// Well-formedness (lower bound finite, upper bound nonzero) is inherited
+/// from [`Interval`]; completeness against a partition is validated by
+/// [`Boundmap::by_name`].
+///
+/// # Example
+///
+/// ```
+/// use tempo_math::{Interval, Rat};
+/// use tempo_core::Boundmap;
+///
+/// // A two-class partition: classes 0 and 1.
+/// let b = Boundmap::from_intervals(vec![
+///     Interval::closed(Rat::ONE, Rat::from(2))?,
+///     Interval::closed(Rat::ZERO, Rat::new(1, 2))?,
+/// ]);
+/// assert_eq!(b.lower(tempo_ioa::ClassId(0)), Rat::ONE);
+/// # Ok::<(), tempo_math::IntervalError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Boundmap {
+    intervals: Vec<Interval>,
+}
+
+/// Error returned when a boundmap does not match a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundmapError {
+    /// The boundmap has a different number of intervals than the partition
+    /// has classes.
+    WrongArity {
+        /// Number of classes in the partition.
+        classes: usize,
+        /// Number of intervals supplied.
+        intervals: usize,
+    },
+    /// A named class was not found in the partition.
+    UnknownClass(String),
+    /// A class was given two intervals.
+    DuplicateClass(String),
+    /// A class was given no interval.
+    MissingClass(String),
+}
+
+impl fmt::Display for BoundmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundmapError::WrongArity { classes, intervals } => write!(
+                f,
+                "boundmap has {intervals} intervals but the partition has {classes} classes"
+            ),
+            BoundmapError::UnknownClass(c) => write!(f, "unknown partition class {c}"),
+            BoundmapError::DuplicateClass(c) => write!(f, "class {c} bound twice"),
+            BoundmapError::MissingClass(c) => write!(f, "class {c} has no bound"),
+        }
+    }
+}
+
+impl std::error::Error for BoundmapError {}
+
+impl Boundmap {
+    /// Creates a boundmap from intervals indexed by [`ClassId`] order.
+    pub fn from_intervals(intervals: Vec<Interval>) -> Boundmap {
+        Boundmap { intervals }
+    }
+
+    /// Creates a boundmap by class name, validated against the partition of
+    /// `aut`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BoundmapError`] if names are unknown, duplicated, or a
+    /// class is left unbound.
+    pub fn by_name<M: Ioa>(
+        aut: &M,
+        named: Vec<(&str, Interval)>,
+    ) -> Result<Boundmap, BoundmapError> {
+        let part = aut.partition();
+        let mut intervals: Vec<Option<Interval>> = vec![None; part.len()];
+        for (name, iv) in named {
+            let id = part
+                .class_by_name(name)
+                .ok_or_else(|| BoundmapError::UnknownClass(name.to_string()))?;
+            if intervals[id.0].replace(iv).is_some() {
+                return Err(BoundmapError::DuplicateClass(name.to_string()));
+            }
+        }
+        let mut out = Vec::with_capacity(part.len());
+        for (i, slot) in intervals.into_iter().enumerate() {
+            match slot {
+                Some(iv) => out.push(iv),
+                None => {
+                    return Err(BoundmapError::MissingClass(
+                        part.class_name(ClassId(i)).to_string(),
+                    ))
+                }
+            }
+        }
+        Ok(Boundmap { intervals: out })
+    }
+
+    /// Checks that this boundmap has exactly one interval per class of
+    /// `aut`'s partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundmapError::WrongArity`] on mismatch.
+    pub fn validate<M: Ioa>(&self, aut: &M) -> Result<(), BoundmapError> {
+        let classes = aut.partition().len();
+        if classes != self.intervals.len() {
+            return Err(BoundmapError::WrongArity {
+                classes,
+                intervals: self.intervals.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns the interval for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn interval(&self, id: ClassId) -> Interval {
+        self.intervals[id.0]
+    }
+
+    /// Returns `b_l(C)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn lower(&self, id: ClassId) -> tempo_math::Rat {
+        self.intervals[id.0].lo()
+    }
+
+    /// Returns `b_u(C)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn upper(&self, id: ClassId) -> tempo_math::TimeVal {
+        self.intervals[id.0].hi()
+    }
+
+    /// Number of classes bound.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Returns `true` if the boundmap binds no classes.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Appends one more class interval (used by dummification to bound the
+    /// NULL class).
+    pub fn extended(&self, iv: Interval) -> Boundmap {
+        let mut intervals = self.intervals.clone();
+        intervals.push(iv);
+        Boundmap { intervals }
+    }
+}
+
+/// A timed automaton `(A, b)`: an I/O automaton together with a boundmap
+/// for its partition (paper §2.2). The automaton is held in an [`Arc`] so
+/// that derived constructions (timing conditions, `time(A, b)`) can share
+/// it.
+#[derive(Debug)]
+pub struct Timed<M: Ioa> {
+    automaton: Arc<M>,
+    boundmap: Boundmap,
+}
+
+impl<M: Ioa> Clone for Timed<M> {
+    fn clone(&self) -> Timed<M> {
+        Timed {
+            automaton: Arc::clone(&self.automaton),
+            boundmap: self.boundmap.clone(),
+        }
+    }
+}
+
+impl<M: Ioa> Timed<M> {
+    /// Pairs an automaton with a boundmap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BoundmapError`] if the boundmap does not cover the
+    /// partition exactly.
+    pub fn new(automaton: Arc<M>, boundmap: Boundmap) -> Result<Timed<M>, BoundmapError> {
+        boundmap.validate(automaton.as_ref())?;
+        Ok(Timed {
+            automaton,
+            boundmap,
+        })
+    }
+
+    /// Returns the underlying automaton.
+    pub fn automaton(&self) -> &Arc<M> {
+        &self.automaton
+    }
+
+    /// Returns the boundmap.
+    pub fn boundmap(&self) -> &Boundmap {
+        &self.boundmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::{Rat, TimeVal};
+
+    #[derive(Debug)]
+    struct TwoClass {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl TwoClass {
+        fn new() -> TwoClass {
+            let sig = Signature::new(vec![], vec!["x", "y"], vec![]).unwrap();
+            let part =
+                Partition::new(&sig, vec![("X", vec!["x"]), ("Y", vec!["y"])]).unwrap();
+            TwoClass { sig, part }
+        }
+    }
+
+    impl Ioa for TwoClass {
+        type State = ();
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<()> {
+            vec![()]
+        }
+        fn post(&self, _: &(), _: &&'static str) -> Vec<()> {
+            vec![()]
+        }
+    }
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    #[test]
+    fn by_name_resolves_class_ids() {
+        let aut = TwoClass::new();
+        let b = Boundmap::by_name(&aut, vec![("Y", iv(3, 4)), ("X", iv(1, 2))]).unwrap();
+        assert_eq!(b.interval(ClassId(0)), iv(1, 2));
+        assert_eq!(b.interval(ClassId(1)), iv(3, 4));
+        assert_eq!(b.lower(ClassId(0)), Rat::ONE);
+        assert_eq!(b.upper(ClassId(1)), TimeVal::from(Rat::from(4)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn by_name_errors() {
+        let aut = TwoClass::new();
+        assert!(matches!(
+            Boundmap::by_name(&aut, vec![("Z", iv(1, 2))]),
+            Err(BoundmapError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            Boundmap::by_name(&aut, vec![("X", iv(1, 2)), ("X", iv(1, 2))]),
+            Err(BoundmapError::DuplicateClass(_))
+        ));
+        assert!(matches!(
+            Boundmap::by_name(&aut, vec![("X", iv(1, 2))]),
+            Err(BoundmapError::MissingClass(_))
+        ));
+    }
+
+    #[test]
+    fn timed_validates_arity() {
+        let aut = Arc::new(TwoClass::new());
+        let good = Boundmap::from_intervals(vec![iv(1, 2), iv(3, 4)]);
+        assert!(Timed::new(Arc::clone(&aut), good.clone()).is_ok());
+        let bad = Boundmap::from_intervals(vec![iv(1, 2)]);
+        assert!(matches!(
+            Timed::new(Arc::clone(&aut), bad),
+            Err(BoundmapError::WrongArity { .. })
+        ));
+        let timed = Timed::new(aut, good.clone()).unwrap();
+        assert_eq!(timed.boundmap(), &good);
+        let cloned = timed.clone();
+        assert_eq!(cloned.boundmap().len(), 2);
+    }
+
+    #[test]
+    fn extension_appends() {
+        let b = Boundmap::from_intervals(vec![iv(1, 2)]);
+        let b2 = b.extended(iv(5, 6));
+        assert_eq!(b2.len(), 2);
+        assert_eq!(b2.interval(ClassId(1)), iv(5, 6));
+        assert!(!b2.is_empty());
+    }
+}

@@ -1,0 +1,451 @@
+//! The completeness theorem's canonical mapping (paper §7).
+//!
+//! Theorem 7.1: if every timed execution of `(A, b)` satisfies the
+//! conditions `U`, then the mapping
+//!
+//! ```text
+//! u.Lt(U) ≥ sup { first_U(α)   | α ∈ Ext(s) }
+//! u.Ft(U) ≤ inf { first_ΠU(α)  | α ∈ Ext(s) }
+//! ```
+//!
+//! is a strong possibilities mapping from `time(Ã, b̃)` to `time(Ã, Ũ)`,
+//! where `first_U(α)` is the time of the first `Π(U)`-action or
+//! `S(U)`-state in the extension `α`, and `first_ΠU(α)` the time of the
+//! first `Π(U)`-action provided no `S(U)`-state precedes it.
+//!
+//! This module provides the `first` functionals on concrete (finite)
+//! extensions and two oracles for the `sup`/`inf` over `Ext(s)`:
+//!
+//! * [`ExhaustiveOracle`] — bounded-depth search over all action choices
+//!   with *corner* firing times (window endpoints). Extremal first-times of
+//!   a timed automaton are attained at vertices of its zone polytopes, so
+//!   corner schedules reach them; exact for the systems in this repository
+//!   whenever the horizon covers the first event.
+//! * [`SampledOracle`] — Monte-Carlo estimate from random runs; cheaper,
+//!   statistically converging from below (sup) / above (inf).
+//!
+//! [`CanonicalMapping`] packages an oracle as a
+//! [`crate::mapping::PossibilitiesMapping`], ready
+//! for the [`MappingChecker`](crate::mapping::MappingChecker).
+
+use std::fmt;
+
+use tempo_ioa::Ioa;
+use tempo_math::{Rat, TimeVal};
+
+use crate::mapping::{CondConstraint, PossibilitiesMapping, SpecRegion};
+use crate::{RandomScheduler, TimeIoa, TimedSequence, TimedState, TimingCondition};
+
+/// `first_U(α)`: the absolute time of the first occurrence of a
+/// `Π`-action or `S`-state in the timed sequence `α` (whose start state is
+/// the state of interest, with `t_0 = start_time`), or `None` if no such
+/// occurrence appears in the finite prefix.
+pub fn first_u<S, A>(
+    seq: &TimedSequence<S, A>,
+    start_time: Rat,
+    cond: &TimingCondition<S, A>,
+) -> Option<Rat>
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    if cond.in_disabling(seq.first_state()) {
+        return Some(start_time);
+    }
+    for j in 1..=seq.len() {
+        let (a, t) = seq.event(j);
+        if cond.in_pi(a) || cond.in_disabling(seq.state(j)) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// The resolution of `first_ΠU(α)` on a finite prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FirstPi {
+    /// A `Π`-action occurred at this time, no `S`-state strictly before it.
+    At(Rat),
+    /// An `S`-state occurred strictly before any `Π`-action: `first_ΠU = ∞`.
+    Disabled,
+    /// Neither occurred within the prefix: unresolved.
+    Unresolved,
+}
+
+/// `first_ΠU(α)`: the time of the first `Π`-action if it precedes (or
+/// coincides with the step reaching) any `S`-state, `∞` if disabled first.
+pub fn first_pi_u<S, A>(
+    seq: &TimedSequence<S, A>,
+    start_time: Rat,
+    cond: &TimingCondition<S, A>,
+) -> FirstPi
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let _ = start_time;
+    if cond.in_disabling(seq.first_state()) {
+        return FirstPi::Disabled;
+    }
+    for j in 1..=seq.len() {
+        let (a, t) = seq.event(j);
+        // i0 ≤ i1 in the paper: a Π-action at the same index as the state
+        // entering S counts as occurring (the action labels the step into
+        // the state).
+        if cond.in_pi(a) {
+            return FirstPi::At(t);
+        }
+        if cond.in_disabling(seq.state(j)) {
+            return FirstPi::Disabled;
+        }
+    }
+    FirstPi::Unresolved
+}
+
+/// Bounds on the canonical predictions at one state for one condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FirstBounds {
+    /// `sup { first_U(α) }` — the canonical lower bound for `Lt(U)`.
+    pub sup_first: TimeVal,
+    /// `inf { first_ΠU(α) }` — the canonical upper bound for `Ft(U)`.
+    pub inf_first_pi: TimeVal,
+}
+
+/// An oracle computing (or estimating) the canonical `sup`/`inf` bounds of
+/// Theorem 7.1 from a given implementation state.
+pub trait FirstOracle<S, A> {
+    /// Returns the bounds for spec condition `cond` from state `s`.
+    fn first_bounds(&self, s: &TimedState<S>, cond: &TimingCondition<S, A>) -> FirstBounds;
+}
+
+/// Exact-on-small-systems oracle: depth-first search over all enabled
+/// actions, firing each at both endpoints of its window (plus `lo + cap`
+/// for unbounded windows), maximizing/minimizing the first-occurrence
+/// times.
+pub struct ExhaustiveOracle<'a, M: Ioa> {
+    aut: &'a TimeIoa<M>,
+    depth: usize,
+    cap: Rat,
+}
+
+impl<'a, M: Ioa> ExhaustiveOracle<'a, M> {
+    /// Creates an oracle searching to the given event depth.
+    pub fn new(aut: &'a TimeIoa<M>, depth: usize) -> ExhaustiveOracle<'a, M> {
+        ExhaustiveOracle {
+            aut,
+            depth,
+            cap: Rat::ONE,
+        }
+    }
+
+    fn search(
+        &self,
+        s: &TimedState<M::State>,
+        cond: &TimingCondition<M::State, M::Action>,
+        depth: usize,
+        sup: &mut Option<TimeVal>,
+        inf: &mut Option<TimeVal>,
+    ) {
+        if cond.in_disabling(&s.base) {
+            // first_U resolves now; first_ΠU resolves to ∞.
+            join_sup(sup, TimeVal::from(s.now));
+            join_inf(inf, TimeVal::INFINITY);
+            return;
+        }
+        if depth == 0 {
+            // Unresolved branch: the true sup may exceed anything seen; be
+            // honest and saturate.
+            join_sup(sup, TimeVal::INFINITY);
+            return;
+        }
+        let options = self.aut.enabled_windows(s);
+        if options.is_empty() {
+            // Deadlocked extension: neither Π nor S ever occurs.
+            join_sup(sup, TimeVal::INFINITY);
+            join_inf(inf, TimeVal::INFINITY);
+            return;
+        }
+        for (a, w) in options {
+            let mut times = vec![w.lo];
+            match w.hi.finite() {
+                Some(hi) if hi != w.lo => times.push(hi),
+                None => times.push(w.lo + self.cap),
+                _ => {}
+            }
+            for t in times {
+                for post in self.aut.base().post(&s.base, &a) {
+                    if cond.in_pi(&a) {
+                        join_sup(sup, TimeVal::from(t));
+                        join_inf(inf, TimeVal::from(t));
+                        continue;
+                    }
+                    let next = self.aut.update(s, &a, t, &post);
+                    if cond.in_disabling(&next.base) {
+                        join_sup(sup, TimeVal::from(t));
+                        join_inf(inf, TimeVal::INFINITY);
+                        continue;
+                    }
+                    if next == *s {
+                        // A pure stutter (zero-lower-bound class refiring
+                        // at the same instant): its extensions coincide
+                        // with this state's, so the branch adds nothing.
+                        continue;
+                    }
+                    self.search(&next, cond, depth - 1, sup, inf);
+                }
+            }
+        }
+    }
+}
+
+fn join_sup(slot: &mut Option<TimeVal>, v: TimeVal) {
+    *slot = Some(match slot {
+        Some(cur) => (*cur).max(v),
+        None => v,
+    });
+}
+
+fn join_inf(slot: &mut Option<TimeVal>, v: TimeVal) {
+    *slot = Some(match slot {
+        Some(cur) => (*cur).min(v),
+        None => v,
+    });
+}
+
+impl<M: Ioa> FirstOracle<M::State, M::Action> for ExhaustiveOracle<'_, M> {
+    fn first_bounds(
+        &self,
+        s: &TimedState<M::State>,
+        cond: &TimingCondition<M::State, M::Action>,
+    ) -> FirstBounds {
+        let mut sup = None;
+        let mut inf = None;
+        self.search(s, cond, self.depth, &mut sup, &mut inf);
+        FirstBounds {
+            sup_first: sup.unwrap_or(TimeVal::INFINITY),
+            inf_first_pi: inf.unwrap_or(TimeVal::INFINITY),
+        }
+    }
+}
+
+/// Monte-Carlo oracle: estimates the bounds from random extensions.
+///
+/// The `sup` estimate only converges from below and the `inf` from above,
+/// so a [`CanonicalMapping`] built on it may fail the checker marginally on
+/// rare schedules; use [`ExhaustiveOracle`] for assertions and this oracle
+/// for scale.
+pub struct SampledOracle<'a, M: Ioa> {
+    aut: &'a TimeIoa<M>,
+    samples: u64,
+    horizon: usize,
+    seed: u64,
+}
+
+impl<'a, M: Ioa> SampledOracle<'a, M> {
+    /// Creates an oracle drawing `samples` random extensions of `horizon`
+    /// steps each.
+    pub fn new(aut: &'a TimeIoa<M>, samples: u64, horizon: usize, seed: u64) -> SampledOracle<'a, M> {
+        SampledOracle {
+            aut,
+            samples,
+            horizon,
+            seed,
+        }
+    }
+}
+
+impl<M: Ioa> FirstOracle<M::State, M::Action> for SampledOracle<'_, M> {
+    fn first_bounds(
+        &self,
+        s: &TimedState<M::State>,
+        cond: &TimingCondition<M::State, M::Action>,
+    ) -> FirstBounds {
+        let mut sup = None;
+        let mut inf = None;
+        for i in 0..self.samples {
+            let mut sched = RandomScheduler::new(self.seed.wrapping_add(i));
+            let (run, _) = self
+                .aut
+                .generate_from(s.clone(), &mut sched, self.horizon);
+            let projected = crate::run::project(&run);
+            match first_u(&projected, s.now, cond) {
+                Some(t) => join_sup(&mut sup, TimeVal::from(t)),
+                None => join_sup(&mut sup, TimeVal::INFINITY),
+            }
+            match first_pi_u(&projected, s.now, cond) {
+                FirstPi::At(t) => join_inf(&mut inf, TimeVal::from(t)),
+                FirstPi::Disabled => join_inf(&mut inf, TimeVal::INFINITY),
+                FirstPi::Unresolved => {}
+            }
+        }
+        FirstBounds {
+            sup_first: sup.unwrap_or(TimeVal::INFINITY),
+            inf_first_pi: inf.unwrap_or(TimeVal::INFINITY),
+        }
+    }
+}
+
+/// The canonical mapping of Theorem 7.1: per spec condition `U`, the
+/// region `Lt(U) ≥ sup first_U`, `Ft(U) ≤ inf first_ΠU`, with bounds
+/// supplied by an oracle.
+pub struct CanonicalMapping<'a, O, S, A> {
+    oracle: O,
+    spec_conds: &'a [TimingCondition<S, A>],
+}
+
+impl<'a, O, S, A> CanonicalMapping<'a, O, S, A> {
+    /// Builds the canonical mapping toward the given spec conditions.
+    pub fn new(oracle: O, spec_conds: &'a [TimingCondition<S, A>]) -> CanonicalMapping<'a, O, S, A> {
+        CanonicalMapping { oracle, spec_conds }
+    }
+}
+
+impl<O, S, A> PossibilitiesMapping<S, A> for CanonicalMapping<'_, O, S, A>
+where
+    O: FirstOracle<S, A>,
+    S: Clone + Eq + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    fn region(&self, s: &TimedState<S>) -> SpecRegion {
+        SpecRegion::new(
+            self.spec_conds
+                .iter()
+                .map(|c| {
+                    let b = self.oracle.first_bounds(s, c);
+                    CondConstraint::Window {
+                        ft_max: b.inf_first_pi,
+                        lt_min: b.sup_first,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &str {
+        "canonical (Theorem 7.1)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::Interval;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    #[test]
+    fn first_functionals_on_explicit_sequences() {
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("C", iv(0, 10))
+            .on_actions(|a| *a == "fire")
+            .disabled_in(|s| *s == 9);
+        // Π-event first.
+        let mut seq: TimedSequence<u8, &str> = TimedSequence::new(0);
+        seq.push("noise", Rat::ONE, 1);
+        seq.push("fire", Rat::from(3), 2);
+        assert_eq!(first_u(&seq, Rat::ZERO, &cond), Some(Rat::from(3)));
+        assert_eq!(first_pi_u(&seq, Rat::ZERO, &cond), FirstPi::At(Rat::from(3)));
+        // S-state first.
+        let mut seq: TimedSequence<u8, &str> = TimedSequence::new(0);
+        seq.push("noise", Rat::from(2), 9);
+        seq.push("fire", Rat::from(5), 1);
+        assert_eq!(first_u(&seq, Rat::ZERO, &cond), Some(Rat::from(2)));
+        assert_eq!(first_pi_u(&seq, Rat::ZERO, &cond), FirstPi::Disabled);
+        // Start state already in S.
+        let seq: TimedSequence<u8, &str> = TimedSequence::new(9);
+        assert_eq!(first_u(&seq, Rat::from(4), &cond), Some(Rat::from(4)));
+        assert_eq!(first_pi_u(&seq, Rat::from(4), &cond), FirstPi::Disabled);
+        // Nothing resolves.
+        let mut seq: TimedSequence<u8, &str> = TimedSequence::new(0);
+        seq.push("noise", Rat::ONE, 1);
+        assert_eq!(first_u(&seq, Rat::ZERO, &cond), None);
+        assert_eq!(first_pi_u(&seq, Rat::ZERO, &cond), FirstPi::Unresolved);
+    }
+
+    /// Ticker with bounds [1, 2]: from the start, the first tick happens in
+    /// [1, 2] — the canonical bounds must be exactly sup = 2, inf = 1.
+    #[derive(Debug)]
+    struct Ticker {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ioa for Ticker {
+        type State = u32;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn post(&self, s: &u32, a: &&'static str) -> Vec<u32> {
+            if *a == "tick" {
+                vec![s + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    fn ticker() -> TimeIoa<Ticker> {
+        let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let aut = Arc::new(Ticker { sig, part });
+        let b = crate::Boundmap::from_intervals(vec![iv(1, 2)]);
+        crate::time_ab(&crate::Timed::new(aut, b).unwrap())
+    }
+
+    #[test]
+    fn exhaustive_oracle_exact_on_ticker() {
+        let t = ticker();
+        let s0 = t.initial_states().pop().unwrap();
+        let cond: TimingCondition<u32, &str> =
+            TimingCondition::new("FIRST", iv(1, 2)).on_actions(|a| *a == "tick");
+        let oracle = ExhaustiveOracle::new(&t, 3);
+        let b = oracle.first_bounds(&s0, &cond);
+        assert_eq!(b.sup_first, TimeVal::from(Rat::from(2)));
+        assert_eq!(b.inf_first_pi, TimeVal::from(Rat::ONE));
+    }
+
+    #[test]
+    fn sampled_oracle_brackets_exhaustive() {
+        let t = ticker();
+        let s0 = t.initial_states().pop().unwrap();
+        let cond: TimingCondition<u32, &str> =
+            TimingCondition::new("FIRST", iv(1, 2)).on_actions(|a| *a == "tick");
+        let sampled = SampledOracle::new(&t, 64, 4, 11).first_bounds(&s0, &cond);
+        // Estimates are inside the true interval.
+        assert!(sampled.sup_first <= TimeVal::from(Rat::from(2)));
+        assert!(sampled.inf_first_pi >= TimeVal::from(Rat::ONE));
+        assert!(sampled.sup_first >= sampled.inf_first_pi);
+    }
+
+    #[test]
+    fn canonical_mapping_region_shape() {
+        let t = ticker();
+        let s0 = t.initial_states().pop().unwrap();
+        let conds = vec![TimingCondition::<u32, &'static str>::new("FIRST", iv(1, 2))
+            .on_actions(|a: &&str| *a == "tick")];
+        let mapping = CanonicalMapping::new(ExhaustiveOracle::new(&t, 3), &conds);
+        let region = mapping.region(&s0);
+        assert_eq!(
+            region.constraints(),
+            &[CondConstraint::Window {
+                ft_max: TimeVal::from(Rat::ONE),
+                lt_min: TimeVal::from(Rat::from(2)),
+            }]
+        );
+        assert_eq!(
+            PossibilitiesMapping::<u32, &str>::name(&mapping),
+            "canonical (Theorem 7.1)"
+        );
+    }
+}

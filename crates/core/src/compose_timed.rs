@@ -1,0 +1,271 @@
+//! Composition of **timed** automata (paper §2.2, footnote 2).
+//!
+//! The paper models each system as a single timed automaton whose
+//! underlying I/O automaton is a composition, and notes that "an
+//! equivalent way of looking at each system is as a composition of timed
+//! automata … together with theorems showing the equivalence of the two
+//! viewpoints" \[MMT88\]. This module provides that second viewpoint:
+//! [`compose_timed`] composes two timed automata into one (classes and
+//! bounds side by side), and [`TimedSequence::component_projection`]
+//! projects a composite timed sequence back onto a component — the
+//! executable content of the equivalence being that **projections of
+//! timed executions of the composition are timed executions of the
+//! components** (checked in the tests and integration suites).
+
+use std::fmt;
+
+use tempo_ioa::{Compose, CompositionError, Ioa};
+
+use crate::{Boundmap, Timed, TimedSequence};
+
+/// Composes two timed automata: the underlying automata are composed (with
+/// the usual strong-compatibility checks) and the boundmaps are laid side
+/// by side, left classes first — matching the composite partition order.
+///
+/// # Errors
+///
+/// Returns a [`CompositionError`] if the automata are incompatible.
+///
+/// # Panics
+///
+/// Panics if either boundmap does not match its automaton's partition
+/// (construct the inputs via [`Timed::new`] to rule this out).
+pub fn compose_timed<L, R>(
+    left: L,
+    left_bounds: &Boundmap,
+    right: R,
+    right_bounds: &Boundmap,
+) -> Result<Timed<Compose<L, R>>, CompositionError>
+where
+    L: Ioa,
+    R: Ioa<Action = L::Action>,
+{
+    assert_eq!(
+        left.partition().len(),
+        left_bounds.len(),
+        "left boundmap must match the left partition"
+    );
+    assert_eq!(
+        right.partition().len(),
+        right_bounds.len(),
+        "right boundmap must match the right partition"
+    );
+    let mut boundmap = left_bounds.clone();
+    for id in right.partition().ids() {
+        boundmap = boundmap.extended(right_bounds.interval(id));
+    }
+    let composed = Compose::new(left, right)?;
+    Ok(Timed::new(std::sync::Arc::new(composed), boundmap)
+        .expect("side-by-side boundmap matches the union partition"))
+}
+
+impl<S: Clone + fmt::Debug, A: Clone + fmt::Debug> TimedSequence<S, A> {
+    /// Projects this timed sequence onto one component of a composition:
+    /// keeps the events satisfying `keep_action` (a component's signature
+    /// membership) and maps every state through `state_map` (a component's
+    /// state extractor). Event times are preserved.
+    ///
+    /// For a timed execution of a composition built by [`compose_timed`],
+    /// the projection onto either component is a timed execution of that
+    /// component — the MMT equivalence of viewpoints.
+    pub fn component_projection<S2, FS, FA>(
+        &self,
+        state_map: FS,
+        mut keep_action: FA,
+    ) -> TimedSequence<S2, A>
+    where
+        S2: Clone + fmt::Debug,
+        FS: Fn(&S) -> S2,
+        FA: FnMut(&A) -> bool,
+    {
+        let mut out = TimedSequence::new(state_map(self.first_state()));
+        for (_, a, t, post) in self.step_triples() {
+            if keep_action(a) {
+                out.push(a.clone(), t, state_map(post));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::{
+        check_timed_execution, project, time_ab, RandomScheduler, SatisfactionMode,
+    };
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::{Interval, Rat};
+
+    /// A producer emitting `put` when its buffer flag is clear.
+    #[derive(Debug)]
+    struct Producer {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Producer {
+        fn new() -> Producer {
+            let sig = Signature::new(vec!["ack"], vec!["put"], vec![]).unwrap();
+            let part = Partition::new(&sig, vec![("PUT", vec!["put"])]).unwrap();
+            Producer { sig, part }
+        }
+    }
+
+    impl Ioa for Producer {
+        type State = bool; // waiting for ack?
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<bool> {
+            vec![false]
+        }
+        fn post(&self, s: &bool, a: &&'static str) -> Vec<bool> {
+            match (*a, *s) {
+                ("put", false) => vec![true],
+                ("ack", _) => vec![false],
+                _ => vec![],
+            }
+        }
+    }
+
+    /// A consumer acknowledging each `put`.
+    #[derive(Debug)]
+    struct Consumer {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Consumer {
+        fn new() -> Consumer {
+            let sig = Signature::new(vec!["put"], vec!["ack"], vec![]).unwrap();
+            let part = Partition::new(&sig, vec![("ACK", vec!["ack"])]).unwrap();
+            Consumer { sig, part }
+        }
+    }
+
+    impl Ioa for Consumer {
+        type State = bool; // owes an ack?
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<bool> {
+            vec![false]
+        }
+        fn post(&self, s: &bool, a: &&'static str) -> Vec<bool> {
+            match (*a, *s) {
+                ("put", _) => vec![true],
+                ("ack", true) => vec![false],
+                _ => vec![],
+            }
+        }
+    }
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    fn components() -> (Timed<Producer>, Timed<Consumer>) {
+        let p = Timed::new(
+            Arc::new(Producer::new()),
+            Boundmap::from_intervals(vec![iv(1, 2)]),
+        )
+        .unwrap();
+        let c = Timed::new(
+            Arc::new(Consumer::new()),
+            Boundmap::from_intervals(vec![iv(1, 3)]),
+        )
+        .unwrap();
+        (p, c)
+    }
+
+    #[test]
+    fn composition_carries_both_boundmaps() {
+        let composed = compose_timed(
+            Producer::new(),
+            &Boundmap::from_intervals(vec![iv(1, 2)]),
+            Consumer::new(),
+            &Boundmap::from_intervals(vec![iv(1, 3)]),
+        )
+        .unwrap();
+        assert_eq!(composed.boundmap().len(), 2);
+        assert_eq!(composed.boundmap().interval(tempo_ioa::ClassId(0)), iv(1, 2));
+        assert_eq!(composed.boundmap().interval(tempo_ioa::ClassId(1)), iv(1, 3));
+        let part = composed.automaton().partition();
+        assert_eq!(part.class_name(tempo_ioa::ClassId(0)), "PUT");
+        assert_eq!(part.class_name(tempo_ioa::ClassId(1)), "ACK");
+    }
+
+    /// The MMT equivalence, executable: projections of composite timed
+    /// executions are timed executions of the components.
+    #[test]
+    fn projections_are_component_timed_executions() {
+        let (producer, consumer) = components();
+        let composed = compose_timed(
+            Producer::new(),
+            producer.boundmap(),
+            Consumer::new(),
+            consumer.boundmap(),
+        )
+        .unwrap();
+        let aut = time_ab(&composed);
+        for seed in 0..12 {
+            let (run, _) = aut.generate(&mut RandomScheduler::new(seed), 60);
+            let seq = project(&run);
+            // The composite run is a timed execution of the composition.
+            assert!(check_timed_execution(&seq, &composed, SatisfactionMode::Prefix).is_ok());
+            // Project onto the producer (both actions are in its
+            // signature, so only the state is projected).
+            let p_sig = producer.automaton().signature();
+            let left = seq.component_projection(|s| s.0, |a| p_sig.contains(a));
+            assert!(
+                check_timed_execution(&left, &producer, SatisfactionMode::Prefix).is_ok(),
+                "seed {seed}: producer projection must be a timed execution"
+            );
+            let c_sig = consumer.automaton().signature();
+            let right = seq.component_projection(|s| s.1, |a| c_sig.contains(a));
+            assert!(
+                check_timed_execution(&right, &consumer, SatisfactionMode::Prefix).is_ok(),
+                "seed {seed}: consumer projection must be a timed execution"
+            );
+            // Projections preserve the events they keep, with times.
+            assert_eq!(left.len(), seq.len(), "producer sees every action here");
+        }
+    }
+
+    /// Projection onto a component with a *smaller* signature drops the
+    /// other component's private events but keeps shared ones.
+    #[test]
+    fn projection_filters_actions() {
+        let mut seq: TimedSequence<(u8, u8), &str> = TimedSequence::new((0, 0));
+        seq.push("mine", Rat::ONE, (1, 0));
+        seq.push("theirs", Rat::from(2), (1, 1));
+        seq.push("shared", Rat::from(3), (2, 2));
+        let mine = seq.component_projection(|s| s.0, |a| *a != "theirs");
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine.timed_schedule(), vec![("mine", Rat::ONE), ("shared", Rat::from(3))]);
+        assert_eq!(mine.states().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn incompatible_components_rejected() {
+        // Two producers share the `put` output.
+        let err = compose_timed(
+            Producer::new(),
+            &Boundmap::from_intervals(vec![iv(1, 2)]),
+            Producer::new(),
+            &Boundmap::from_intervals(vec![iv(1, 2)]),
+        );
+        assert!(err.is_err());
+    }
+}

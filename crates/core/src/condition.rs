@@ -1,0 +1,320 @@
+//! Timing conditions `(T_start, T_step) ~b~> (Π, S)` (paper §2.3).
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_ioa::{Explorer, Ioa};
+use tempo_math::{Interval, Rat, TimeVal};
+
+type StatePred<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+type StepPred<S, A> = Arc<dyn Fn(&S, &A, &S) -> bool + Send + Sync>;
+type ActionPred<A> = Arc<dyn Fn(&A) -> bool + Send + Sync>;
+
+/// A timing condition for an automaton with states `S` and actions `A`:
+/// upper and lower bounds on the time from a *trigger* (a designated start
+/// state, or a designated step) to the next occurrence of an action in the
+/// set `Π`, unless a state in the *disabling set* `S` intervenes.
+///
+/// The components are represented as predicates, so conditions can quantify
+/// over unbounded state spaces. Construction is builder-style; by default a
+/// condition has empty triggers, empty `Π` and empty disabling set.
+///
+/// # Example
+///
+/// The paper's `G1` (time until the first GRANT):
+///
+/// ```
+/// use tempo_core::TimingCondition;
+/// use tempo_math::{Interval, Rat};
+///
+/// let g1: TimingCondition<u32, &str> =
+///     TimingCondition::new("G1", Interval::closed(Rat::from(2), Rat::from(5)).unwrap())
+///         .triggered_at_start(|_| true)
+///         .on_actions(|a| *a == "GRANT");
+/// assert!(g1.in_pi(&"GRANT"));
+/// assert!(!g1.in_pi(&"TICK"));
+/// ```
+pub struct TimingCondition<S, A> {
+    name: String,
+    bounds: Interval,
+    t_start: StatePred<S>,
+    t_step: StepPred<S, A>,
+    pi: ActionPred<A>,
+    disabling: StatePred<S>,
+}
+
+// Manual impl: `derive(Clone)` would demand `S: Clone + A: Clone`, but the
+// shared predicate `Arc`s clone regardless of the parameters.
+impl<S, A> Clone for TimingCondition<S, A> {
+    fn clone(&self) -> Self {
+        TimingCondition {
+            name: self.name.clone(),
+            bounds: self.bounds,
+            t_start: Arc::clone(&self.t_start),
+            t_step: Arc::clone(&self.t_step),
+            pi: Arc::clone(&self.pi),
+            disabling: Arc::clone(&self.disabling),
+        }
+    }
+}
+
+impl<S, A> fmt::Debug for TimingCondition<S, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimingCondition")
+            .field("name", &self.name)
+            .field("bounds", &self.bounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S, A> TimingCondition<S, A> {
+    /// Creates a condition with the given name and bounds and no triggers.
+    pub fn new(name: impl Into<String>, bounds: Interval) -> TimingCondition<S, A> {
+        TimingCondition {
+            name: name.into(),
+            bounds,
+            t_start: Arc::new(|_| false),
+            t_step: Arc::new(|_, _, _| false),
+            pi: Arc::new(|_| false),
+            disabling: Arc::new(|_| false),
+        }
+    }
+
+    /// Sets `T_start`: the start states from which the bound is measured.
+    pub fn triggered_at_start<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        self.t_start = Arc::new(f);
+        self
+    }
+
+    /// Sets `T_step`: the steps after which the bound is (re)measured.
+    pub fn triggered_by_step<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&S, &A, &S) -> bool + Send + Sync + 'static,
+    {
+        self.t_step = Arc::new(f);
+        self
+    }
+
+    /// Sets `Π`: the actions whose next occurrence is being bounded.
+    pub fn on_actions<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&A) -> bool + Send + Sync + 'static,
+    {
+        self.pi = Arc::new(f);
+        self
+    }
+
+    /// Sets the disabling set `S`: states that suspend the measurement.
+    pub fn disabled_in<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        self.disabling = Arc::new(f);
+        self
+    }
+
+    /// The condition's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bound interval `b = [b_l, b_u]`.
+    pub fn bounds(&self) -> Interval {
+        self.bounds
+    }
+
+    /// The lower bound `b_l`.
+    pub fn lower(&self) -> Rat {
+        self.bounds.lo()
+    }
+
+    /// The upper bound `b_u`.
+    pub fn upper(&self) -> TimeVal {
+        self.bounds.hi()
+    }
+
+    /// Returns `true` if `s ∈ T_start`.
+    pub fn in_t_start(&self, s: &S) -> bool {
+        (self.t_start)(s)
+    }
+
+    /// Returns `true` if `(s', a, s) ∈ T_step`.
+    pub fn in_t_step(&self, pre: &S, a: &A, post: &S) -> bool {
+        (self.t_step)(pre, a, post)
+    }
+
+    /// Returns `true` if `a ∈ Π`.
+    pub fn in_pi(&self, a: &A) -> bool {
+        (self.pi)(a)
+    }
+
+    /// Returns `true` if `s` is in the disabling set.
+    pub fn in_disabling(&self, s: &S) -> bool {
+        (self.disabling)(s)
+    }
+
+    /// Renames the condition (used when lifting through constructions).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// The result of auditing a condition's technical well-formedness
+/// requirements over the reachable states of an automaton:
+/// (1) `T_start ∩ S = ∅`, and (2) targets of `T_step` steps are not in `S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConditionWellformedness {
+    /// Both requirements held on all reachable states/steps examined.
+    Ok {
+        /// Steps examined.
+        steps_checked: usize,
+    },
+    /// A start state is both a trigger and disabling.
+    StartInDisabling(String),
+    /// A triggering step leads into the disabling set.
+    StepTargetInDisabling(String),
+}
+
+impl ConditionWellformedness {
+    /// Returns `true` if the condition is well-formed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ConditionWellformedness::Ok { .. })
+    }
+}
+
+/// Audits the two technical requirements of paper §2.3 for `cond` against
+/// the reachable fragment of `aut`.
+pub fn check_wellformed<M: Ioa>(
+    aut: &M,
+    explorer: &Explorer,
+    cond: &TimingCondition<M::State, M::Action>,
+) -> ConditionWellformedness {
+    for s in aut.initial_states() {
+        if cond.in_t_start(&s) && cond.in_disabling(&s) {
+            return ConditionWellformedness::StartInDisabling(format!("{s:?}"));
+        }
+    }
+    let report = explorer.explore(aut);
+    let mut steps_checked = 0;
+    for (pre_id, a, post_id) in report.steps() {
+        let pre = &report.states()[*pre_id];
+        let post = &report.states()[*post_id];
+        steps_checked += 1;
+        if cond.in_t_step(pre, a, post) && cond.in_disabling(post) {
+            return ConditionWellformedness::StepTargetInDisabling(format!(
+                "({pre:?}, {a:?}, {post:?})"
+            ));
+        }
+    }
+    ConditionWellformedness::Ok { steps_checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ioa::{Partition, Signature};
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    #[test]
+    fn builder_and_predicates() {
+        let cond: TimingCondition<u32, &str> = TimingCondition::new("C", iv(1, 4))
+            .triggered_at_start(|s| *s == 0)
+            .triggered_by_step(|pre, a, post| *a == "go" && post > pre)
+            .on_actions(|a| *a == "done")
+            .disabled_in(|s| *s == 99);
+        assert_eq!(cond.name(), "C");
+        assert_eq!(cond.lower(), Rat::ONE);
+        assert_eq!(cond.upper(), TimeVal::from(Rat::from(4)));
+        assert!(cond.in_t_start(&0));
+        assert!(!cond.in_t_start(&1));
+        assert!(cond.in_t_step(&0, &"go", &1));
+        assert!(!cond.in_t_step(&1, &"go", &0));
+        assert!(cond.in_pi(&"done"));
+        assert!(!cond.in_pi(&"go"));
+        assert!(cond.in_disabling(&99));
+        let renamed = cond.renamed("D");
+        assert_eq!(renamed.name(), "D");
+    }
+
+    #[test]
+    fn defaults_are_empty() {
+        let cond: TimingCondition<u32, &str> = TimingCondition::new("E", iv(0, 1));
+        assert!(!cond.in_t_start(&0));
+        assert!(!cond.in_t_step(&0, &"x", &1));
+        assert!(!cond.in_pi(&"x"));
+        assert!(!cond.in_disabling(&0));
+    }
+
+    #[derive(Debug)]
+    struct Walk {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Walk {
+        fn new() -> Walk {
+            let sig = Signature::new(vec![], vec!["step"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Walk { sig, part }
+        }
+    }
+
+    impl Ioa for Walk {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            if *a == "step" && *s < 3 {
+                vec![s + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn wellformedness_ok() {
+        let aut = Walk::new();
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("C", iv(0, 1))
+            .triggered_at_start(|s| *s == 0)
+            .triggered_by_step(|_, _, post| *post == 1)
+            .disabled_in(|s| *s == 3);
+        let out = check_wellformed(&aut, &Explorer::new(), &cond);
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn wellformedness_violations() {
+        let aut = Walk::new();
+        let bad_start: TimingCondition<u8, &str> = TimingCondition::new("C", iv(0, 1))
+            .triggered_at_start(|s| *s == 0)
+            .disabled_in(|s| *s == 0);
+        assert!(matches!(
+            check_wellformed(&aut, &Explorer::new(), &bad_start),
+            ConditionWellformedness::StartInDisabling(_)
+        ));
+
+        let bad_step: TimingCondition<u8, &str> = TimingCondition::new("C", iv(0, 1))
+            .triggered_by_step(|_, _, post| *post == 2)
+            .disabled_in(|s| *s == 2);
+        assert!(matches!(
+            check_wellformed(&aut, &Explorer::new(), &bad_step),
+            ConditionWellformedness::StepTargetInDisabling(_)
+        ));
+    }
+}

@@ -1,0 +1,309 @@
+//! Dummification (paper §5): augmenting a timed automaton with a NULL-
+//! looping dummy component so that *all* timed executions are infinite,
+//! making the mapping theorem (Theorem 3.4) applicable to systems that
+//! otherwise halt (like the signal relay).
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_ioa::{Ioa, Partition, Signature};
+use tempo_math::Interval;
+
+use crate::{BoundmapError, Timed, TimedSequence, TimingCondition};
+
+/// The action alphabet of a dummified automaton: the base actions plus the
+/// dummy's `NULL` output.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum DummyAction<A> {
+    /// An action of the original automaton.
+    Base(A),
+    /// The dummy component's always-enabled output.
+    Null,
+}
+
+impl<A: fmt::Debug> fmt::Debug for DummyAction<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DummyAction::Base(a) => write!(f, "{a:?}"),
+            DummyAction::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// The dummified automaton `Ã`: the base automaton composed with a
+/// one-state dummy whose single output `NULL` is always enabled.
+///
+/// Since the dummy has exactly one state, we elide it from the composite
+/// state: `states(Ã) ≅ states(A)`. The partition gains one singleton class
+/// `NULL` (always the *last* class), and the boundmap gains its interval.
+#[derive(Debug)]
+pub struct Dummy<M: Ioa> {
+    base: Arc<M>,
+    sig: Signature<DummyAction<M::Action>>,
+    part: Partition<DummyAction<M::Action>>,
+}
+
+/// The name given to the dummy's partition class.
+pub const NULL_CLASS: &str = "NULL";
+
+impl<M: Ioa> Dummy<M> {
+    /// Wraps `base` with a dummy component.
+    pub fn new(base: Arc<M>) -> Dummy<M> {
+        let lift = |it: Vec<&M::Action>| -> Vec<DummyAction<M::Action>> {
+            it.into_iter().map(|a| DummyAction::Base(a.clone())).collect()
+        };
+        let inner = base.signature();
+        let mut outputs = lift(inner.outputs().collect());
+        outputs.push(DummyAction::Null);
+        let sig = Signature::new(
+            lift(inner.inputs().collect()),
+            outputs,
+            lift(inner.internals().collect()),
+        )
+        .expect("lifted signature stays well-formed");
+        let mut classes: Vec<(String, Vec<DummyAction<M::Action>>)> = base
+            .partition()
+            .ids()
+            .map(|id| {
+                (
+                    base.partition().class_name(id).to_string(),
+                    base.partition()
+                        .actions_of(id)
+                        .iter()
+                        .map(|a| DummyAction::Base(a.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        classes.push((NULL_CLASS.to_string(), vec![DummyAction::Null]));
+        let part = Partition::new(&sig, classes).expect("lifted partition stays valid");
+        Dummy { base, sig, part }
+    }
+
+    /// The original automaton.
+    pub fn base(&self) -> &Arc<M> {
+        &self.base
+    }
+}
+
+impl<M: Ioa> Ioa for Dummy<M> {
+    type State = M::State;
+    type Action = DummyAction<M::Action>;
+
+    fn signature(&self) -> &Signature<Self::Action> {
+        &self.sig
+    }
+
+    fn partition(&self) -> &Partition<Self::Action> {
+        &self.part
+    }
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        self.base.initial_states()
+    }
+
+    fn post(&self, s: &Self::State, a: &Self::Action) -> Vec<Self::State> {
+        match a {
+            DummyAction::Base(inner) => self.base.post(s, inner),
+            DummyAction::Null => vec![s.clone()],
+        }
+    }
+}
+
+/// Builds the dummification `(Ã, b̃)` of a timed automaton `(A, b)`: the
+/// dummy component's `NULL` class is appended with bounds `null_interval`
+/// (any `[n1, n2]`, `0 ≤ n1 ≤ n2 < ∞`).
+///
+/// # Errors
+///
+/// Propagates [`BoundmapError`] if `(A, b)` itself is inconsistent.
+///
+/// # Panics
+///
+/// Panics if `null_interval` is unbounded above — the dummy must tick at a
+/// finite rate for Lemma 5.1 (all timed executions infinite) to hold.
+pub fn dummify<M>(timed: &Timed<M>, null_interval: Interval) -> Result<Timed<Dummy<M>>, BoundmapError>
+where
+    M: Ioa,
+{
+    assert!(
+        null_interval.hi().is_finite(),
+        "the NULL class needs a finite upper bound"
+    );
+    let dummy = Arc::new(Dummy::new(Arc::clone(timed.automaton())));
+    let boundmap = timed.boundmap().extended(null_interval);
+    Timed::new(dummy, boundmap)
+}
+
+/// Lifts a timing condition of `A` to the corresponding condition `Ũ` of
+/// `Ã` (paper §5): triggers and disabling set are unchanged on the shared
+/// state; `NULL` steps never trigger and `NULL ∉ Π̃`.
+pub fn lift_condition<S, A>(cond: &TimingCondition<S, A>) -> TimingCondition<S, DummyAction<A>>
+where
+    S: 'static,
+    A: 'static,
+{
+    let c_start = cond.clone();
+    let c_step = cond.clone();
+    let c_pi = cond.clone();
+    let c_dis = cond.clone();
+    TimingCondition::new(cond.name(), cond.bounds())
+        .triggered_at_start(move |s: &S| c_start.in_t_start(s))
+        .triggered_by_step(move |pre: &S, a: &DummyAction<A>, post: &S| match a {
+            DummyAction::Base(inner) => c_step.in_t_step(pre, inner, post),
+            DummyAction::Null => false,
+        })
+        .on_actions(move |a: &DummyAction<A>| match a {
+            DummyAction::Base(inner) => c_pi.in_pi(inner),
+            DummyAction::Null => false,
+        })
+        .disabled_in(move |s: &S| c_dis.in_disabling(s))
+}
+
+/// `undum(α̃)`: removes the `NULL` steps from a timed sequence of `Ã`,
+/// recovering a timed sequence of `A` (paper §5).
+pub fn undum<S, A>(seq: &TimedSequence<S, DummyAction<A>>) -> TimedSequence<S, A>
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let mut out = TimedSequence::new(seq.first_state().clone());
+    for (_, a, t, post) in seq.step_triples() {
+        if let DummyAction::Base(inner) = a {
+            out.push(inner.clone(), t, post.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        check_timed_execution, time_ab, Boundmap, EarliestScheduler, RunError, SatisfactionMode,
+    };
+    use tempo_ioa::ActionKind;
+    use tempo_math::Rat;
+
+    /// A one-shot automaton that deadlocks after firing once.
+    #[derive(Debug)]
+    struct OneShot {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl OneShot {
+        fn new() -> OneShot {
+            let sig = Signature::new(vec![], vec!["fire"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            OneShot { sig, part }
+        }
+    }
+
+    impl Ioa for OneShot {
+        type State = bool; // fired?
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<bool> {
+            vec![false]
+        }
+        fn post(&self, s: &bool, a: &&'static str) -> Vec<bool> {
+            if *a == "fire" && !*s {
+                vec![true]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    fn one_shot_timed() -> Timed<OneShot> {
+        Timed::new(
+            Arc::new(OneShot::new()),
+            Boundmap::from_intervals(vec![iv(1, 2)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dummy_signature_and_partition() {
+        let d = Dummy::new(Arc::new(OneShot::new()));
+        assert_eq!(
+            d.signature().kind_of(&DummyAction::Null),
+            Some(ActionKind::Output)
+        );
+        assert_eq!(
+            d.signature().kind_of(&DummyAction::Base("fire")),
+            Some(ActionKind::Output)
+        );
+        assert_eq!(d.partition().len(), 2);
+        assert_eq!(
+            d.partition().class_name(d.partition().class_of(&DummyAction::Null).unwrap()),
+            NULL_CLASS
+        );
+    }
+
+    #[test]
+    fn null_always_enabled() {
+        let d = Dummy::new(Arc::new(OneShot::new()));
+        assert_eq!(d.post(&false, &DummyAction::Null), vec![false]);
+        assert_eq!(d.post(&true, &DummyAction::Null), vec![true]);
+        assert_eq!(d.post(&false, &DummyAction::Base("fire")), vec![true]);
+        assert!(d.post(&true, &DummyAction::Base("fire")).is_empty());
+    }
+
+    #[test]
+    fn dummified_runs_never_deadlock() {
+        // Lemma 5.1, executable form: the undummified system deadlocks; the
+        // dummified one runs to the step budget.
+        let timed = one_shot_timed();
+        let (run, reason) = time_ab(&timed).generate(&mut EarliestScheduler::new(), 50);
+        assert_eq!(reason, RunError::Deadlock);
+        assert_eq!(run.len(), 1);
+
+        let dummified = dummify(&timed, iv(1, 1)).unwrap();
+        let (run, reason) = time_ab(&dummified).generate(&mut EarliestScheduler::new(), 50);
+        assert_eq!(reason, RunError::MaxSteps);
+        assert_eq!(run.len(), 50);
+    }
+
+    #[test]
+    fn undum_recovers_base_timed_execution() {
+        // Lemma 5.2, executable form: undum of a dummified timed execution
+        // is a timed execution of (A, b).
+        let timed = one_shot_timed();
+        let dummified = dummify(&timed, iv(1, 1)).unwrap();
+        let (run, _) = time_ab(&dummified).generate(&mut EarliestScheduler::new(), 30);
+        let projected = crate::run::project(&run);
+        let base_seq = undum(&projected);
+        assert_eq!(base_seq.len(), 1); // just the fire event
+        assert!(check_timed_execution(&base_seq, &timed, SatisfactionMode::Prefix).is_ok());
+        // The dummified sequence is a timed execution of (Ã, b̃).
+        assert!(check_timed_execution(&projected, &dummified, SatisfactionMode::Prefix).is_ok());
+    }
+
+    #[test]
+    fn lifted_conditions_ignore_null() {
+        let cond: TimingCondition<bool, &str> = TimingCondition::new("C", iv(1, 2))
+            .triggered_at_start(|_| true)
+            .triggered_by_step(|_, a, _| *a == "fire")
+            .on_actions(|a| *a == "fire")
+            .disabled_in(|s| *s);
+        let lifted = lift_condition(&cond);
+        assert_eq!(lifted.name(), "C");
+        assert!(lifted.in_t_start(&false));
+        assert!(lifted.in_pi(&DummyAction::Base("fire")));
+        assert!(!lifted.in_pi(&DummyAction::Null));
+        assert!(lifted.in_t_step(&false, &DummyAction::Base("fire"), &true));
+        assert!(!lifted.in_t_step(&false, &DummyAction::Null, &false));
+        assert!(lifted.in_disabling(&true));
+    }
+}

@@ -1,0 +1,114 @@
+//! The core of the paper: **timed automata, timing conditions, the
+//! `time(A, U)` construction, and strong possibilities mappings**, after
+//! Lynch & Attiya, *Using Mappings to Prove Timing Properties* (PODC 1990).
+//!
+//! # The method, in code
+//!
+//! 1. Model your system as an I/O automaton `A` (see [`tempo_ioa`]) and
+//!    state its timing **assumptions** as a [`Boundmap`] `b` over the
+//!    partition classes, forming a timed automaton [`Timed`]`(A, b)`
+//!    (paper §2.2).
+//! 2. State the timing **requirements** to be proved as a set of
+//!    [`TimingCondition`]s `U` (paper §2.3).
+//! 3. Build the ordinary automata [`TimeIoa`]: `time(A, b)` (assumptions
+//!    built into predictive state) and `time(A, U)` (requirements built
+//!    into predictive state) — paper §3.
+//! 4. Exhibit a [`mapping::PossibilitiesMapping`] from `time(A, b)` to
+//!    `time(A, U)` — typically a system of inequalities on the `Ft`/`Lt`
+//!    prediction components — and verify its step-correspondence with
+//!    [`mapping::MappingChecker`] (paper Definition 3.2, Theorem 3.4).
+//! 5. If `(A, b)` has finite timed executions, first apply
+//!    [`dummify`](dummify()) (paper §5) so Theorem 3.4 applies.
+//!
+//! The [`completeness`] module implements the canonical mapping of the
+//! completeness theorem (paper §7): when the requirements really do hold,
+//! the `sup`/`inf` of first-occurrence times over all extensions of a state
+//! always yields a valid mapping.
+//!
+//! # Example
+//!
+//! A one-class ticker with period `[1, 2]`, and the requirement that the
+//! first tick lands in that window — proved by the canonical mapping,
+//! exhaustively:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tempo_core::completeness::{CanonicalMapping, ExhaustiveOracle};
+//! use tempo_core::mapping::MappingChecker;
+//! use tempo_core::{time_ab, Boundmap, TimeIoa, Timed, TimingCondition};
+//! use tempo_ioa::{Ioa, Partition, Signature};
+//! use tempo_math::{Interval, Rat};
+//!
+//! #[derive(Debug)]
+//! struct Ticker { sig: Signature<&'static str>, part: Partition<&'static str> }
+//! impl Ioa for Ticker {
+//!     type State = u32;
+//!     type Action = &'static str;
+//!     fn signature(&self) -> &Signature<&'static str> { &self.sig }
+//!     fn partition(&self) -> &Partition<&'static str> { &self.part }
+//!     fn initial_states(&self) -> Vec<u32> { vec![0] }
+//!     fn post(&self, s: &u32, a: &&'static str) -> Vec<u32> {
+//!         if *a == "tick" { vec![(s + 1) % 4] } else { vec![] }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sig = Signature::new(vec![], vec!["tick"], vec![])?;
+//! let part = Partition::singletons(&sig)?;
+//! let aut = Arc::new(Ticker { sig, part });
+//! // (A, b): the tick class has bounds [1, 2].
+//! let timed = Timed::new(
+//!     Arc::clone(&aut),
+//!     Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2))?]),
+//! )?;
+//! // Requirement U: the first tick occurs at a time in [1, 2].
+//! let req = TimingCondition::new("FIRST", Interval::closed(Rat::ONE, Rat::from(2))?)
+//!     .triggered_at_start(|_| true)
+//!     .on_actions(|a| *a == "tick");
+//! // Build time(A, b) and time(A, U), derive the canonical mapping (§7)
+//! // between them, and verify it over the whole quotient space.
+//! let impl_aut = time_ab(&timed);
+//! let spec_aut = TimeIoa::new(aut, vec![req.clone()]);
+//! let conds = [req];
+//! let mapping = CanonicalMapping::new(ExhaustiveOracle::new(&impl_aut, 4), &conds);
+//! let report = MappingChecker::new().check_exhaustive(&impl_aut, &spec_aut, &mapping, 10_000);
+//! assert!(report.passed());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `tempo-systems` for the paper's two worked systems (resource
+//! manager and signal relay), and `examples/quickstart.rs` at the
+//! repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boundmap;
+pub mod completeness;
+mod compose_timed;
+mod condition;
+mod dummify;
+pub mod mapping;
+pub mod render;
+mod run;
+mod satisfaction;
+mod sequence;
+mod special;
+mod time_ioa;
+mod ub;
+
+pub use boundmap::{Boundmap, BoundmapError, Timed};
+pub use compose_timed::compose_timed;
+pub use condition::{check_wellformed, ConditionWellformedness, TimingCondition};
+pub use dummify::{dummify, lift_condition, undum, Dummy, DummyAction, NULL_CLASS};
+pub use run::{
+    project, EarliestScheduler, LatestScheduler, RandomScheduler, RunError, Scheduler, TimedRun,
+};
+pub use satisfaction::{
+    check_timed_execution, satisfies, semi_satisfies, SatisfactionMode, Violation, ViolationKind,
+};
+pub use sequence::TimedSequence;
+pub use special::update_time_ab;
+pub use time_ioa::{FireError, LiftError, TimeIoa, TimedState, Window};
+pub use ub::{cond_of_class, u_b, time_ab};

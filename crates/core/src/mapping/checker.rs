@@ -1,0 +1,650 @@
+//! The step-correspondence checker for strong possibilities mappings
+//! (Definition 3.2).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tempo_ioa::Ioa;
+use tempo_math::Rat;
+
+use crate::mapping::PossibilitiesMapping;
+use crate::{
+    EarliestScheduler, FireError, LatestScheduler, RandomScheduler, TimeIoa, TimedRun,
+};
+
+/// How a mapping check failed.
+#[derive(Clone, Debug)]
+pub enum MappingViolation {
+    /// Definition 3.2 condition 1: the spec start state for a base start
+    /// state is not in the image of the impl start state.
+    StartNotInRegion {
+        /// Rendering of the impl start state.
+        impl_state: String,
+        /// Rendering of the offending spec start state.
+        spec_state: String,
+    },
+    /// Definition 3.2 condition 2 (enabledness half): an impl step's action
+    /// is not enabled in some image state.
+    SpecStepBlocked {
+        /// Index of the impl step within its run.
+        step_index: usize,
+        /// Rendering of the action and time.
+        event: String,
+        /// Rendering of the blocked spec state (a region corner/sample).
+        spec_state: String,
+        /// The rule that blocked the spec step.
+        error: FireError,
+    },
+    /// Definition 3.2 condition 2 (closure half): the spec update of an
+    /// image state escapes the image of the impl post-state.
+    ImageEscapesRegion {
+        /// Index of the impl step within its run.
+        step_index: usize,
+        /// Rendering of the action and time.
+        event: String,
+        /// Rendering of the pre spec state.
+        spec_pre: String,
+        /// Rendering of the escaped spec post state.
+        spec_post: String,
+    },
+}
+
+impl fmt::Display for MappingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingViolation::StartNotInRegion {
+                impl_state,
+                spec_state,
+            } => write!(
+                f,
+                "start condition fails: spec start {spec_state} not in image of {impl_state}"
+            ),
+            MappingViolation::SpecStepBlocked {
+                step_index,
+                event,
+                spec_state,
+                error,
+            } => write!(
+                f,
+                "step {step_index} {event}: blocked in spec state {spec_state}: {error}"
+            ),
+            MappingViolation::ImageEscapesRegion {
+                step_index,
+                event,
+                spec_pre,
+                spec_post,
+            } => write!(
+                f,
+                "step {step_index} {event}: image of {spec_pre} escapes region: {spec_post}"
+            ),
+        }
+    }
+}
+
+/// The outcome of a mapping check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Implementation steps examined.
+    pub steps_checked: usize,
+    /// Spec candidate states (corners + samples) examined.
+    pub spec_states_checked: usize,
+    /// All violations found (empty = the mapping passed on the given runs).
+    pub violations: Vec<MappingViolation>,
+}
+
+impl CheckReport {
+    /// Returns `true` if no violation was found.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: CheckReport) {
+        self.steps_checked += other.steps_checked;
+        self.spec_states_checked += other.spec_states_checked;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// Configuration for generating the implementation runs a mapping is
+/// checked against: `seeds` random runs plus the two extremal (earliest /
+/// latest) runs, each of `steps` steps.
+#[derive(Clone, Debug)]
+pub struct RunPlan {
+    /// Number of random-scheduler runs.
+    pub random_runs: u64,
+    /// Steps per run.
+    pub steps: usize,
+    /// Base seed for the random runs.
+    pub seed: u64,
+}
+
+impl Default for RunPlan {
+    fn default() -> RunPlan {
+        RunPlan {
+            random_runs: 16,
+            steps: 120,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+impl RunPlan {
+    /// Generates the planned runs of `aut`.
+    pub fn runs<M: Ioa>(&self, aut: &TimeIoa<M>) -> Vec<TimedRun<M::State, M::Action>> {
+        let mut runs = Vec::new();
+        let (run, _) = aut.generate(&mut EarliestScheduler::new(), self.steps);
+        runs.push(run);
+        let (run, _) = aut.generate(&mut LatestScheduler::new(), self.steps);
+        runs.push(run);
+        for i in 0..self.random_runs {
+            let mut sched = RandomScheduler::new(self.seed.wrapping_add(i));
+            let (run, _) = aut.generate(&mut sched, self.steps);
+            runs.push(run);
+        }
+        runs
+    }
+}
+
+/// Verifies the obligations of Definition 3.2 for a candidate mapping,
+/// over supplied or generated implementation runs.
+#[derive(Clone, Debug)]
+pub struct MappingChecker {
+    samples_per_state: usize,
+    seed: u64,
+}
+
+impl Default for MappingChecker {
+    fn default() -> MappingChecker {
+        MappingChecker::new()
+    }
+}
+
+impl MappingChecker {
+    /// Creates a checker with 2 random interior samples per region in
+    /// addition to all corners.
+    pub fn new() -> MappingChecker {
+        MappingChecker {
+            samples_per_state: 2,
+            seed: 7,
+        }
+    }
+
+    /// Sets the number of random interior samples per visited region.
+    pub fn with_samples(mut self, samples: usize) -> MappingChecker {
+        self.samples_per_state = samples;
+        self
+    }
+
+    /// Checks condition 1 of Definition 3.2: every spec start state lies in
+    /// the image of the corresponding impl start state.
+    pub fn check_start<M, F>(
+        &self,
+        impl_aut: &TimeIoa<M>,
+        spec_aut: &TimeIoa<M>,
+        mapping: &F,
+    ) -> CheckReport
+    where
+        M: Ioa,
+        F: PossibilitiesMapping<M::State, M::Action> + ?Sized,
+    {
+        let mut report = CheckReport::default();
+        let spec_inits = spec_aut.initial_states();
+        for s0 in impl_aut.initial_states() {
+            let region = mapping.region(&s0);
+            let Some(u0) = spec_inits.iter().find(|u| u.base == s0.base) else {
+                report.violations.push(MappingViolation::StartNotInRegion {
+                    impl_state: format!("{s0:?}"),
+                    spec_state: "<no spec start with matching base state>".to_string(),
+                });
+                continue;
+            };
+            report.spec_states_checked += 1;
+            if !region.contains(&s0, u0) {
+                report.violations.push(MappingViolation::StartNotInRegion {
+                    impl_state: format!("{s0:?}"),
+                    spec_state: format!("{u0:?}"),
+                });
+            }
+        }
+        report
+    }
+
+    /// Checks condition 2 of Definition 3.2 along the steps of the given
+    /// implementation runs.
+    pub fn check_steps<M, F>(
+        &self,
+        spec_aut: &TimeIoa<M>,
+        mapping: &F,
+        runs: &[TimedRun<M::State, M::Action>],
+    ) -> CheckReport
+    where
+        M: Ioa,
+        F: PossibilitiesMapping<M::State, M::Action> + ?Sized,
+    {
+        let mut report = CheckReport::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for run in runs {
+            for (step_index, (pre, a, t, post)) in run.step_triples().enumerate() {
+                self.check_one_step(
+                    spec_aut,
+                    mapping,
+                    pre,
+                    a,
+                    t,
+                    post,
+                    step_index,
+                    Some(&mut rng),
+                    &mut report,
+                );
+            }
+        }
+        report
+    }
+
+    /// The Definition 3.2 condition-2 obligations for a single impl step,
+    /// quantified over the corners (and optional random samples) of the
+    /// pre-state's image region.
+    #[allow(clippy::too_many_arguments)]
+    fn check_one_step<M, F>(
+        &self,
+        spec_aut: &TimeIoa<M>,
+        mapping: &F,
+        pre: &crate::TimedState<M::State>,
+        a: &M::Action,
+        t: Rat,
+        post: &crate::TimedState<M::State>,
+        step_index: usize,
+        rng: Option<&mut StdRng>,
+        report: &mut CheckReport,
+    ) where
+        M: Ioa,
+        F: PossibilitiesMapping<M::State, M::Action> + ?Sized,
+    {
+        report.steps_checked += 1;
+        let pre_region = mapping.region(pre);
+        let post_region = mapping.region(post);
+        let mut candidates = pre_region.corners(pre);
+        if let Some(rng) = rng {
+            for _ in 0..self.samples_per_state {
+                candidates.push(pre_region.sample(pre, rng));
+            }
+        }
+        for u_pre in candidates {
+            report.spec_states_checked += 1;
+            // Enabledness: (π, t) must be a legal spec action at u′.
+            if let Err(error) = check_enabled(spec_aut, &u_pre, a, t) {
+                report.violations.push(MappingViolation::SpecStepBlocked {
+                    step_index,
+                    event: format!("({a:?}, {t})"),
+                    spec_state: format!("{u_pre:?}"),
+                    error,
+                });
+                continue;
+            }
+            // Closure: the deterministic update must stay in f(s).
+            let u_post = spec_aut.update(&u_pre, a, t, &post.base);
+            if !post_region.contains(post, &u_post) {
+                report
+                    .violations
+                    .push(MappingViolation::ImageEscapesRegion {
+                        step_index,
+                        event: format!("({a:?}, {t})"),
+                        spec_pre: format!("{u_pre:?}"),
+                        spec_post: format!("{u_post:?}"),
+                    });
+            }
+        }
+    }
+
+    /// **Exhaustive** verification over the reachable *corner-quotient*
+    /// state space of `time(A, U)`.
+    ///
+    /// States of `time(A, U)` differing only by a uniform time shift are
+    /// behaviourally identical, so each state is normalized to `Ct = 0`
+    /// (shifting every prediction accordingly). From each quotient state,
+    /// every enabled action is fired at its window *endpoints* (plus one
+    /// interior probe for unbounded windows). For finite-constant systems
+    /// the quotient space is finite, and this check discharges the
+    /// Definition 3.2 obligations at **every** reachable corner — the
+    /// mechanical analogue of the paper's Appendix case analyses, rather
+    /// than a sampled approximation. Two caveats, documented here because
+    /// they are assumptions on the *inputs*:
+    ///
+    /// * the mapping must be translation-equivariant (depend only on time
+    ///   *differences* of the state components) — true of every mapping in
+    ///   the paper and in this repository;
+    /// * per-step obligations are linear inequalities in the firing time
+    ///   `t`, so checking the window's endpoints covers its interior.
+    ///
+    /// Stops with a panic if more than `max_states` quotient states are
+    /// discovered (the system then has an unbounded quotient — fall back
+    /// to [`check`](MappingChecker::check)).
+    pub fn check_exhaustive<M, F>(
+        &self,
+        impl_aut: &TimeIoa<M>,
+        spec_aut: &TimeIoa<M>,
+        mapping: &F,
+        max_states: usize,
+    ) -> CheckReport
+    where
+        M: Ioa,
+        F: PossibilitiesMapping<M::State, M::Action> + ?Sized,
+    {
+        let mut report = self.check_start(impl_aut, spec_aut, mapping);
+        // Clamp floor for stale Ft offsets: any prediction more than this
+        // far in the past can never constrain a future step (firing times
+        // only grow), so such states are behaviourally identical. Without
+        // the clamp, a never-firing `[0, ∞]` class would make the
+        // quotient space infinite.
+        let stale_floor = -(impl_aut
+            .conditions()
+            .iter()
+            .map(|c| match c.upper().finite() {
+                Some(hi) => c.lower().max(hi),
+                None => c.lower(),
+            })
+            .fold(Rat::ONE, Rat::max)
+            + Rat::ONE);
+        let mut seen: std::collections::HashSet<crate::TimedState<M::State>> =
+            std::collections::HashSet::new();
+        let mut queue: std::collections::VecDeque<crate::TimedState<M::State>> =
+            std::collections::VecDeque::new();
+        for s0 in impl_aut.initial_states() {
+            let q = quotient(&s0, stale_floor);
+            if seen.insert(q.clone()) {
+                queue.push_back(q);
+            }
+        }
+        let mut step_index = 0;
+        while let Some(s) = queue.pop_front() {
+            for (a, w) in impl_aut.enabled_windows(&s) {
+                let mut times = vec![w.lo];
+                match w.hi.finite() {
+                    Some(hi) if hi != w.lo => times.push(hi),
+                    None => times.push(w.lo + Rat::ONE),
+                    _ => {}
+                }
+                for t in times {
+                    for post_base in impl_aut.base().post(&s.base, &a) {
+                        let post = impl_aut.update(&s, &a, t, &post_base);
+                        self.check_one_step(
+                            spec_aut, mapping, &s, &a, t, &post, step_index, None, &mut report,
+                        );
+                        step_index += 1;
+                        let q = quotient(&post, stale_floor);
+                        if !seen.contains(&q) {
+                            assert!(
+                                seen.len() < max_states,
+                                "quotient state space exceeded {max_states} states"
+                            );
+                            seen.insert(q.clone());
+                            queue.push_back(q);
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Full check: condition 1, then condition 2 over runs generated by
+    /// `plan` from `impl_aut`.
+    pub fn check<M, F>(
+        &self,
+        impl_aut: &TimeIoa<M>,
+        spec_aut: &TimeIoa<M>,
+        mapping: &F,
+        plan: &RunPlan,
+    ) -> CheckReport
+    where
+        M: Ioa,
+        F: PossibilitiesMapping<M::State, M::Action> + ?Sized,
+    {
+        let mut report = self.check_start(impl_aut, spec_aut, mapping);
+        let runs = plan.runs(impl_aut);
+        report.merge(self.check_steps(spec_aut, mapping, &runs));
+        report
+    }
+}
+
+/// Normalizes a predictive state to `Ct = 0`, shifting every prediction by
+/// `−Ct` and clamping past-due `Ft` offsets at `stale_floor` (a past-due
+/// lower bound never constrains the future, so states differing only in
+/// how stale it is behave identically). States with equal quotients have
+/// identical future behaviour.
+fn quotient<S: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+    s: &crate::TimedState<S>,
+    stale_floor: Rat,
+) -> crate::TimedState<S> {
+    crate::TimedState {
+        base: s.base.clone(),
+        now: Rat::ZERO,
+        ft: s.ft.iter().map(|f| (*f - s.now).max(stale_floor)).collect(),
+        lt: s.lt.iter().map(|l| *l - s.now).collect(),
+    }
+}
+
+/// Checks the firing preconditions of `(a, t)` in spec state `u` without
+/// taking the step.
+fn check_enabled<M: Ioa>(
+    spec: &TimeIoa<M>,
+    u: &crate::TimedState<M::State>,
+    a: &M::Action,
+    t: Rat,
+) -> Result<(), FireError> {
+    spec.fire(u, a, t).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::mapping::{CondConstraint, FnMapping, SpecRegion};
+    use crate::{time_ab, Boundmap, Timed, TimingCondition};
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::{Interval, TimeVal};
+
+    /// A ticker with bounds [1, 2]; requirement: second tick by time 4 and
+    /// not before 2 (provable: two ticks take [2, 4]).
+    #[derive(Debug)]
+    struct Ticker {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ticker {
+        fn new() -> Ticker {
+            let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Ticker { sig, part }
+        }
+    }
+
+    impl Ioa for Ticker {
+        type State = u32;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn post(&self, s: &u32, a: &&'static str) -> Vec<u32> {
+            if *a == "tick" {
+                vec![s + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    fn setup() -> (TimeIoa<Ticker>, TimeIoa<Ticker>) {
+        let aut = Arc::new(Ticker::new());
+        let b = Boundmap::from_intervals(vec![Interval::closed(
+            Rat::ONE,
+            Rat::from(2),
+        )
+        .unwrap()]);
+        let impl_aut = time_ab(&Timed::new(Arc::clone(&aut), b).unwrap());
+        // Requirement: the second tick occurs at a time in [2, 4].
+        let req: TimingCondition<u32, &str> =
+            TimingCondition::new("SECOND", Interval::closed(Rat::from(2), Rat::from(4)).unwrap())
+                .triggered_at_start(|s| *s == 0)
+                .on_actions(|a| *a == "tick")
+                // Only the second tick matters: measurement is disabled
+                // once the count passes 1... but a disabling set may not
+                // overlap the trigger; instead bound "next tick after the
+                // first", triggered by the first tick.
+                .renamed("unused");
+        let _ = req;
+        let req: TimingCondition<u32, &str> =
+            TimingCondition::new("SECOND", Interval::closed(Rat::ONE, Rat::from(2)).unwrap())
+                .triggered_by_step(|pre, a, _| *a == "tick" && *pre == 0)
+                .on_actions(|a| *a == "tick");
+        let spec_aut = TimeIoa::new(aut, vec![req]);
+        (impl_aut, spec_aut)
+    }
+
+    /// The correct mapping: after the first tick, the spec's window for the
+    /// second equals the tick class's own prediction; before it, trivial
+    /// (the spec condition is untriggered, predictions are defaults).
+    fn sound_mapping() -> FnMapping<impl Fn(&crate::TimedState<u32>) -> SpecRegion> {
+        FnMapping::new("ticker-sound", |s: &crate::TimedState<u32>| {
+            if s.base == 1 {
+                // Spec cond must sit exactly on the class prediction.
+                SpecRegion::new(vec![CondConstraint::Window {
+                    ft_max: TimeVal::from(s.ft[0]),
+                    lt_min: s.lt[0],
+                }])
+            } else {
+                // Untriggered (count 0) or resolved (count ≥ 2): spec
+                // predictions are the defaults (0, ∞).
+                SpecRegion::new(vec![CondConstraint::Window {
+                    ft_max: TimeVal::ZERO,
+                    lt_min: TimeVal::INFINITY,
+                }])
+            }
+        })
+    }
+
+    #[test]
+    fn sound_mapping_passes() {
+        let (impl_aut, spec_aut) = setup();
+        let mapping = sound_mapping();
+        let report = MappingChecker::new().check(
+            &impl_aut,
+            &spec_aut,
+            &mapping,
+            &RunPlan {
+                random_runs: 8,
+                steps: 40,
+                seed: 1,
+            },
+        );
+        assert!(
+            report.passed(),
+            "violations: {:?}",
+            report.violations.first()
+        );
+        assert!(report.steps_checked > 0);
+        assert!(report.spec_states_checked > report.steps_checked);
+    }
+
+    /// A mapping claiming the second tick can come arbitrarily late —
+    /// region too big: the lax corner (Lt = ∞ is fine) but ft probes will
+    /// violate enabledness... make it claim too-tight instead: Lt ≥ huge,
+    /// which the triggered update (t + 2) cannot satisfy.
+    #[test]
+    fn unsound_tight_mapping_fails() {
+        let (impl_aut, spec_aut) = setup();
+        let mapping = FnMapping::new("too-tight", |s: &crate::TimedState<u32>| {
+            SpecRegion::new(vec![CondConstraint::Window {
+                ft_max: TimeVal::ZERO,
+                lt_min: TimeVal::from(s.now + Rat::from(100)),
+            }])
+        });
+        let report = MappingChecker::new().check(
+            &impl_aut,
+            &spec_aut,
+            &mapping,
+            &RunPlan {
+                random_runs: 4,
+                steps: 20,
+                seed: 2,
+            },
+        );
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, MappingViolation::ImageEscapesRegion { .. })));
+    }
+
+    /// A mapping whose region is too lax: it admits spec states with tiny
+    /// Lt that block the next step.
+    #[test]
+    fn unsound_lax_mapping_fails() {
+        let (impl_aut, spec_aut) = setup();
+        let mapping = FnMapping::new("too-lax", |_s: &crate::TimedState<u32>| {
+            SpecRegion::new(vec![CondConstraint::Window {
+                ft_max: TimeVal::ZERO,
+                lt_min: TimeVal::ZERO, // allows Lt as small as 0
+            }])
+        });
+        let report = MappingChecker::new().check(
+            &impl_aut,
+            &spec_aut,
+            &mapping,
+            &RunPlan {
+                random_runs: 4,
+                steps: 20,
+                seed: 3,
+            },
+        );
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, MappingViolation::SpecStepBlocked { .. })));
+    }
+
+    /// A mapping that fails condition 1: the start state's region excludes
+    /// the spec start predictions.
+    #[test]
+    fn start_condition_violation() {
+        let (impl_aut, spec_aut) = setup();
+        let mapping = FnMapping::new("bad-start", |_s: &crate::TimedState<u32>| {
+            // Spec start has (ft, lt) = (0, ∞) (untriggered); demand lt
+            // finite.
+            SpecRegion::new(vec![CondConstraint::Window {
+                ft_max: TimeVal::INFINITY,
+                lt_min: TimeVal::INFINITY,
+            }])
+        });
+        let report = MappingChecker::new().check_start(&impl_aut, &spec_aut, &mapping);
+        // lt_min = ∞ means: only Lt = ∞ allowed — the start actually has
+        // Lt = ∞, so to force a failure demand ft ≥ ... regions can't
+        // demand ft lower bounds; demand equality with a condition the
+        // impl doesn't have... Use lt_min > ∞? Impossible. Instead check
+        // the passing case and a genuinely failing one via ft_max < 0.
+        assert!(report.passed());
+        let failing = FnMapping::new("bad-start2", |_s: &crate::TimedState<u32>| {
+            SpecRegion::new(vec![CondConstraint::Window {
+                ft_max: TimeVal::from(-Rat::ONE),
+                lt_min: TimeVal::ZERO,
+            }])
+        });
+        let report = MappingChecker::new().check_start(&impl_aut, &spec_aut, &failing);
+        assert!(!report.passed());
+        assert!(matches!(
+            report.violations[0],
+            MappingViolation::StartNotInRegion { .. }
+        ));
+    }
+}

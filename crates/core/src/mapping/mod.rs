@@ -1,0 +1,32 @@
+//! Strong possibilities mappings (paper Definition 3.2) and their
+//! verification.
+//!
+//! A strong possibilities mapping `f` from `time(A, U)` to `time(A, V)`
+//! maps each implementation state to a *set* of specification states that
+//! agree with it on the `A`-state (and current time) and differ only in
+//! the prediction components. Following the paper's examples, the sets are
+//! described by **per-condition constraints** ([`SpecRegion`]): either an
+//! inequality window on `Ft`/`Lt`, or equality with an implementation
+//! condition's predictions (the identity part of hierarchical mappings).
+//!
+//! [`MappingChecker`] verifies the two obligations of Definition 3.2 along
+//! generated executions:
+//!
+//! 1. the (unique) spec start state lies in the image of each impl start
+//!    state;
+//! 2. for every traversed impl step `(s′, (π, t), s)` and every corner (and
+//!    random sample) `u′` of `f(s′)`, the spec action `(π, t)` is enabled
+//!    in `u′` and the deterministic spec update lands in `f(s)`.
+//!
+//! The check is *conservative*: it quantifies over all corner points of
+//! `f(s′)`, including spec states that may be unreachable, so it can
+//! reject a mapping that is sound only thanks to spec reachability
+//! invariants — but it accepts all the paper's mappings, and any mapping it
+//! accepts has passed exactly the case analysis of the paper's Appendix
+//! proofs on the explored steps.
+
+mod checker;
+mod region;
+
+pub use checker::{CheckReport, MappingChecker, MappingViolation, RunPlan};
+pub use region::{CondConstraint, FnMapping, PossibilitiesMapping, SpecRegion};

@@ -1,0 +1,392 @@
+//! Constraint regions describing the image sets of multivalued mappings.
+
+use std::fmt;
+
+use rand::Rng;
+use tempo_math::{Rat, TimeVal};
+
+use crate::TimedState;
+
+/// The constraint a mapping places on one specification condition's
+/// predictions, given an implementation state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CondConstraint {
+    /// The spec condition's `(Ft, Lt)` must equal those of implementation
+    /// condition `i` — the identity part of hierarchical mappings ("every
+    /// other component of `u` equals the corresponding component of `s`").
+    EqualTo(usize),
+    /// Inequality window: `Ft ≤ ft_max` and `Lt ≥ lt_min`. This encodes the
+    /// paper's inequality mappings: `max(Ft(G1), Ft(G2)) ≤ X` is the same
+    /// as `Ft(Gi) ≤ X` for each `i`, and `min(Lt(G1), Lt(G2)) ≥ Y` the same
+    /// as `Lt(Gi) ≥ Y` for each `i`.
+    Window {
+        /// Upper bound on the spec `Ft` (`∞` = unconstrained).
+        ft_max: TimeVal,
+        /// Lower bound on the spec `Lt` (`0` = unconstrained).
+        lt_min: TimeVal,
+    },
+}
+
+impl CondConstraint {
+    /// The unconstrained window.
+    pub fn trivial() -> CondConstraint {
+        CondConstraint::Window {
+            ft_max: TimeVal::INFINITY,
+            lt_min: TimeVal::ZERO,
+        }
+    }
+}
+
+/// The image set `f(s)` of a mapping at one implementation state: one
+/// [`CondConstraint`] per specification condition (in spec condition
+/// order). States in the region further agree with `s` on the base state
+/// and current time (Definition 3.2, condition 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecRegion {
+    constraints: Vec<CondConstraint>,
+}
+
+impl SpecRegion {
+    /// Creates a region from per-condition constraints.
+    pub fn new(constraints: Vec<CondConstraint>) -> SpecRegion {
+        SpecRegion { constraints }
+    }
+
+    /// The per-condition constraints.
+    pub fn constraints(&self) -> &[CondConstraint] {
+        &self.constraints
+    }
+
+    /// Returns `true` if `spec` lies in this region over `impl_state`:
+    /// same base state and current time, and every prediction constraint
+    /// holds.
+    pub fn contains<S: Clone + Eq + fmt::Debug>(
+        &self,
+        impl_state: &TimedState<S>,
+        spec: &TimedState<S>,
+    ) -> bool {
+        if spec.base != impl_state.base || spec.now != impl_state.now {
+            return false;
+        }
+        if spec.ft.len() != self.constraints.len() {
+            return false;
+        }
+        self.constraints.iter().enumerate().all(|(j, c)| match c {
+            CondConstraint::EqualTo(i) => {
+                // Ft predictions at or before the current time are
+                // *inert*: every future firing time already exceeds them,
+                // so two inert values are behaviourally identical (this is
+                // what makes the paper's "components are equal" claims
+                // hold on quotient representatives as well as on literal
+                // reachable states).
+                let (sf, mf) = (spec.ft[j], impl_state.ft[*i]);
+                let ft_ok = sf == mf || (sf <= impl_state.now && mf <= impl_state.now);
+                ft_ok && spec.lt[j] == impl_state.lt[*i]
+            }
+            CondConstraint::Window { ft_max, lt_min } => {
+                TimeVal::from(spec.ft[j]) <= *ft_max && spec.lt[j] >= *lt_min
+            }
+        })
+    }
+
+    /// Enumerates the corner points of the region over `impl_state`: every
+    /// combination of extremal `Ft`/`Lt` choices per window constraint.
+    ///
+    /// For unbounded choices a finite probe is substituted: `Ft` probes
+    /// `now + 1024` when `ft_max = ∞`, and `Lt` probes `∞` itself (which is
+    /// a legal prediction value). Corners are the states the paper's
+    /// Appendix case analyses implicitly quantify over — a mapping sound
+    /// for all corners of a box is sound for its interior because the
+    /// transition rules are monotone in the predictions.
+    pub fn corners<S: Clone + Eq + fmt::Debug>(
+        &self,
+        impl_state: &TimedState<S>,
+    ) -> Vec<TimedState<S>> {
+        // Per-condition choices of (ft, lt).
+        let mut choices: Vec<Vec<(Rat, TimeVal)>> = Vec::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            match c {
+                CondConstraint::EqualTo(i) => {
+                    choices.push(vec![(impl_state.ft[*i], impl_state.lt[*i])]);
+                }
+                CondConstraint::Window { ft_max, lt_min } => {
+                    let ft_choices: Vec<Rat> = match ft_max.finite() {
+                        Some(m) => {
+                            if m.is_negative() {
+                                // Past-due bound (possible in quotient
+                                // space, where Ft offsets may be
+                                // negative): probe the bound itself and
+                                // one point below it.
+                                vec![m, m - Rat::ONE]
+                            } else if m.is_zero() {
+                                vec![Rat::ZERO]
+                            } else {
+                                vec![Rat::ZERO, m]
+                            }
+                        }
+                        None => vec![Rat::ZERO, impl_state.now + Rat::from(1024)],
+                    };
+                    let lt_choices: Vec<TimeVal> = if lt_min.is_infinite() {
+                        vec![TimeVal::INFINITY]
+                    } else if *lt_min == TimeVal::ZERO {
+                        vec![TimeVal::ZERO, TimeVal::INFINITY]
+                    } else {
+                        vec![*lt_min, TimeVal::INFINITY]
+                    };
+                    let mut combos = Vec::new();
+                    for ft in &ft_choices {
+                        for lt in &lt_choices {
+                            combos.push((*ft, *lt));
+                        }
+                    }
+                    choices.push(combos);
+                }
+            }
+        }
+        // Cartesian product.
+        let mut corners: Vec<(Vec<Rat>, Vec<TimeVal>)> = vec![(Vec::new(), Vec::new())];
+        for combo in choices {
+            corners = corners
+                .into_iter()
+                .flat_map(|(fts, lts)| {
+                    combo.iter().map(move |(ft, lt)| {
+                        let mut fts = fts.clone();
+                        let mut lts = lts.clone();
+                        fts.push(*ft);
+                        lts.push(*lt);
+                        (fts, lts)
+                    })
+                })
+                .collect();
+        }
+        corners
+            .into_iter()
+            .map(|(ft, lt)| TimedState {
+                base: impl_state.base.clone(),
+                now: impl_state.now,
+                ft,
+                lt,
+            })
+            .collect()
+    }
+
+    /// Draws a random interior point of the region over `impl_state`.
+    pub fn sample<S: Clone + Eq + fmt::Debug, R: Rng>(
+        &self,
+        impl_state: &TimedState<S>,
+        rng: &mut R,
+    ) -> TimedState<S> {
+        let mut ft = Vec::with_capacity(self.constraints.len());
+        let mut lt = Vec::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            match c {
+                CondConstraint::EqualTo(i) => {
+                    ft.push(impl_state.ft[*i]);
+                    lt.push(impl_state.lt[*i]);
+                }
+                CondConstraint::Window { ft_max, lt_min } => {
+                    let hi = match ft_max.finite() {
+                        Some(m) => m,
+                        None => impl_state.now + Rat::from(64),
+                    };
+                    let k = rng.gen_range(0..=8i128);
+                    // A point at or below the bound (bounds may be
+                    // negative in quotient space).
+                    ft.push(hi - Rat::new(k, 8));
+                    if rng.gen_bool(0.5) {
+                        lt.push(TimeVal::INFINITY);
+                    } else {
+                        let base = match lt_min.finite() {
+                            Some(m) => m,
+                            None => {
+                                lt.push(TimeVal::INFINITY);
+                                continue;
+                            }
+                        };
+                        let k = rng.gen_range(0..=8i128);
+                        lt.push(TimeVal::from(base + Rat::new(k, 2)));
+                    }
+                }
+            }
+        }
+        TimedState {
+            base: impl_state.base.clone(),
+            now: impl_state.now,
+            ft,
+            lt,
+        }
+    }
+}
+
+/// A (multivalued) mapping from states of `time(A, U)` to regions of
+/// states of `time(A, V)` — the executable form of a strong possibilities
+/// mapping candidate.
+pub trait PossibilitiesMapping<S, A> {
+    /// The image region `f(s)`.
+    fn region(&self, s: &TimedState<S>) -> SpecRegion;
+
+    /// A diagnostic name.
+    fn name(&self) -> &str {
+        "mapping"
+    }
+}
+
+/// A mapping defined by a closure.
+pub struct FnMapping<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnMapping<F> {
+    /// Wraps `f` as a named mapping.
+    pub fn new(name: impl Into<String>, f: F) -> FnMapping<F> {
+        FnMapping {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<S, A, F> PossibilitiesMapping<S, A> for FnMapping<F>
+where
+    F: Fn(&TimedState<S>) -> SpecRegion,
+{
+    fn region(&self, s: &TimedState<S>) -> SpecRegion {
+        (self.f)(s)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impl_state() -> TimedState<u8> {
+        TimedState {
+            base: 7,
+            now: Rat::from(10),
+            ft: vec![Rat::from(12), Rat::from(11)],
+            lt: vec![TimeVal::from(Rat::from(14)), TimeVal::INFINITY],
+        }
+    }
+
+    #[test]
+    fn window_membership() {
+        let region = SpecRegion::new(vec![CondConstraint::Window {
+            ft_max: TimeVal::from(Rat::from(12)),
+            lt_min: TimeVal::from(Rat::from(14)),
+        }]);
+        let s = impl_state();
+        let inside = TimedState {
+            base: 7,
+            now: Rat::from(10),
+            ft: vec![Rat::from(11)],
+            lt: vec![TimeVal::from(Rat::from(20))],
+        };
+        assert!(region.contains(&s, &inside));
+        let ft_too_big = TimedState {
+            ft: vec![Rat::from(13)],
+            ..inside.clone()
+        };
+        assert!(!region.contains(&s, &ft_too_big));
+        let lt_too_small = TimedState {
+            lt: vec![TimeVal::from(Rat::from(13))],
+            ..inside.clone()
+        };
+        assert!(!region.contains(&s, &lt_too_small));
+        let wrong_base = TimedState {
+            base: 8,
+            ..inside.clone()
+        };
+        assert!(!region.contains(&s, &wrong_base));
+        let wrong_now = TimedState {
+            now: Rat::from(9),
+            ..inside
+        };
+        assert!(!region.contains(&s, &wrong_now));
+    }
+
+    #[test]
+    fn equal_to_membership() {
+        let region = SpecRegion::new(vec![CondConstraint::EqualTo(1)]);
+        let s = impl_state();
+        let ok = TimedState {
+            base: 7,
+            now: Rat::from(10),
+            ft: vec![Rat::from(11)],
+            lt: vec![TimeVal::INFINITY],
+        };
+        assert!(region.contains(&s, &ok));
+        let bad = TimedState {
+            ft: vec![Rat::from(12)],
+            ..ok
+        };
+        assert!(!region.contains(&s, &bad));
+    }
+
+    #[test]
+    fn corners_are_members_and_extremal() {
+        let region = SpecRegion::new(vec![
+            CondConstraint::Window {
+                ft_max: TimeVal::from(Rat::from(12)),
+                lt_min: TimeVal::from(Rat::from(14)),
+            },
+            CondConstraint::EqualTo(0),
+        ]);
+        let s = impl_state();
+        let corners = region.corners(&s);
+        // 2 ft choices × 2 lt choices × 1 (EqualTo) = 4.
+        assert_eq!(corners.len(), 4);
+        for c in &corners {
+            assert!(region.contains(&s, c), "corner {c:?} must be a member");
+        }
+        // The extremal corner (ft = ft_max, lt = lt_min) is present.
+        assert!(corners.iter().any(|c| c.ft[0] == Rat::from(12)
+            && c.lt[0] == TimeVal::from(Rat::from(14))));
+        // The lax corner (ft = 0, lt = ∞) is present.
+        assert!(corners
+            .iter()
+            .any(|c| c.ft[0] == Rat::ZERO && c.lt[0] == TimeVal::INFINITY));
+    }
+
+    #[test]
+    fn trivial_constraint_probes_large_ft() {
+        let region = SpecRegion::new(vec![CondConstraint::trivial()]);
+        let s = impl_state();
+        let corners = region.corners(&s);
+        assert!(corners.iter().any(|c| c.ft[0] > Rat::from(1000)));
+        for c in &corners {
+            assert!(region.contains(&s, c));
+        }
+    }
+
+    #[test]
+    fn samples_are_members() {
+        let region = SpecRegion::new(vec![
+            CondConstraint::Window {
+                ft_max: TimeVal::from(Rat::from(12)),
+                lt_min: TimeVal::from(Rat::from(14)),
+            },
+            CondConstraint::EqualTo(1),
+        ]);
+        let s = impl_state();
+        let mut rng = rand::rngs::mock::StepRng::new(42, 1013904223);
+        for _ in 0..32 {
+            let p = region.sample(&s, &mut rng);
+            assert!(region.contains(&s, &p), "sample {p:?} must be a member");
+        }
+    }
+
+    #[test]
+    fn fn_mapping_delegates() {
+        let m = FnMapping::new("demo", |_s: &TimedState<u8>| {
+            SpecRegion::new(vec![CondConstraint::trivial()])
+        });
+        let r = PossibilitiesMapping::<u8, &str>::region(&m, &impl_state());
+        assert_eq!(r.constraints().len(), 1);
+        assert_eq!(PossibilitiesMapping::<u8, &str>::name(&m), "demo");
+    }
+}

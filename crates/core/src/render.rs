@@ -1,0 +1,197 @@
+//! Human-readable rendering of timed sequences and runs.
+//!
+//! Verification tooling lives or dies by its counterexamples: when a
+//! mapping check or a satisfaction check fails, the offending trace needs
+//! to be readable. This module renders timed sequences as aligned
+//! event tables and predictive runs with their `Ft`/`Lt` columns.
+
+use std::fmt;
+
+use tempo_math::Rat;
+
+use crate::{TimedRun, TimedSequence};
+
+/// Renders a timed sequence as an aligned table of events:
+///
+/// ```text
+///   t=0       ·start· ((), 2)
+///   t=1       ELSE    ((), 2)
+///   t=2       TICK    ((), 1)
+/// ```
+pub fn render_sequence<S, A>(seq: &TimedSequence<S, A>) -> String
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let mut rows: Vec<(String, String, String)> = Vec::new();
+    rows.push((
+        "t=0".to_string(),
+        "·start·".to_string(),
+        format!("{:?}", seq.first_state()),
+    ));
+    for (_, a, t, post) in seq.step_triples() {
+        rows.push((format!("t={t}"), format!("{a:?}"), format!("{post:?}")));
+    }
+    render_rows(&rows)
+}
+
+/// Renders a predictive run with one `[Ft, Lt]` column per condition:
+///
+/// ```text
+///   t=0   ·start·  U0=[2,3]    U1=[0,1]    ((), 2)
+///   t=1   ELSE     U0=[2,3]    U1=[1,2]    ((), 2)
+/// ```
+pub fn render_run<S, A>(run: &TimedRun<S, A>, condition_names: &[&str]) -> String
+where
+    S: Clone + Eq + std::hash::Hash + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let mut rows: Vec<(String, String, String)> = Vec::new();
+    let fmt_state = |s: &crate::TimedState<S>| {
+        let mut cols = String::new();
+        for (j, (ft, lt)) in s.ft.iter().zip(s.lt.iter()).enumerate() {
+            let name = condition_names
+                .get(j)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("U{j}"));
+            cols.push_str(&format!("{name}=[{ft},{lt}]  "));
+        }
+        format!("{cols}{:?}", s.base)
+    };
+    rows.push((
+        "t=0".to_string(),
+        "·start·".to_string(),
+        fmt_state(run.first_state()),
+    ));
+    for (_, a, t, post) in run.step_triples() {
+        rows.push((format!("t={t}"), format!("{a:?}"), fmt_state(post)));
+    }
+    render_rows(&rows)
+}
+
+/// Renders the event gaps of a sequence for a given pair of markers, one
+/// line per measured gap — handy when eyeballing bound violations.
+pub fn render_gaps<S, A>(
+    seq: &TimedSequence<S, A>,
+    mut from: impl FnMut(&A) -> bool,
+    mut to: impl FnMut(&A) -> bool,
+) -> String
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let mut out = String::new();
+    let mut armed: Option<(String, Rat)> = None;
+    for (a, t) in seq.timed_schedule() {
+        if let Some((from_label, start)) = &armed {
+            if to(&a) {
+                out.push_str(&format!(
+                    "{from_label} @ {start}  →  {:?} @ {t}   (gap {})\n",
+                    a,
+                    t - *start
+                ));
+                armed = None;
+            }
+        }
+        if from(&a) {
+            armed = Some((format!("{a:?}"), t));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no complete gaps)\n");
+    }
+    out
+}
+
+fn render_rows(rows: &[(String, String, String)]) -> String {
+    let w0 = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let w1 = rows.iter().map(|r| r.1.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (c0, c1, c2) in rows {
+        out.push_str(&format!("  {c0:<w0$}  {c1:<w1$}  {c2}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimedSequence<u8, &'static str> {
+        let mut seq = TimedSequence::new(7);
+        seq.push("go", Rat::ONE, 8);
+        seq.push("stop", Rat::new(5, 2), 9);
+        seq
+    }
+
+    #[test]
+    fn sequence_table_is_aligned() {
+        let s = render_sequence(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("·start·") && lines[0].contains('7'));
+        assert!(lines[1].contains("t=1") && lines[1].contains("go"));
+        assert!(lines[2].contains("t=5/2") && lines[2].contains("stop"));
+        // The action column starts at the same offset in every line.
+        let col = lines[1].find("go").unwrap();
+        assert_eq!(lines[2].find("stop").unwrap(), col);
+    }
+
+    #[test]
+    fn gap_rendering() {
+        let s = render_gaps(&sample(), |a| *a == "go", |a| *a == "stop");
+        assert!(s.contains("gap 3/2"), "got: {s}");
+        let none = render_gaps(&sample(), |a| *a == "stop", |a| *a == "go");
+        assert!(none.contains("no complete gaps"));
+    }
+
+    #[test]
+    fn run_rendering_shows_predictions() {
+        use crate::{time_ab, Boundmap, EarliestScheduler, Timed};
+        use tempo_ioa::{Ioa, Partition, Signature};
+        use tempo_math::Interval;
+
+        #[derive(Debug)]
+        struct Tick {
+            sig: Signature<&'static str>,
+            part: Partition<&'static str>,
+        }
+        impl Ioa for Tick {
+            type State = u8;
+            type Action = &'static str;
+            fn signature(&self) -> &Signature<&'static str> {
+                &self.sig
+            }
+            fn partition(&self) -> &Partition<&'static str> {
+                &self.part
+            }
+            fn initial_states(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+                if *a == "tick" {
+                    vec![s.wrapping_add(1)]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let timed = Timed::new(
+            std::sync::Arc::new(Tick { sig, part }),
+            Boundmap::from_intervals(vec![
+                Interval::closed(Rat::ONE, Rat::from(2)).unwrap()
+            ]),
+        )
+        .unwrap();
+        let aut = time_ab(&timed);
+        let (run, _) = aut.generate(&mut EarliestScheduler::new(), 2);
+        let s = render_run(&run, &["TICK"]);
+        assert!(s.contains("TICK=[1,2]"), "got: {s}");
+        assert!(s.contains("TICK=[2,3]"));
+        // Unnamed conditions fall back to indices.
+        let s = render_run(&run, &[]);
+        assert!(s.contains("U0=[1,2]"));
+    }
+}

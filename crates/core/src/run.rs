@@ -1,0 +1,436 @@
+//! Generating timed executions of `time(A, U)` automata.
+//!
+//! A *run* is a finite prefix of an execution of a [`TimeIoa`], i.e. a
+//! timed sequence over [`TimedState`]s. Runs are produced by pluggable
+//! [`Scheduler`]s, which resolve the two sources of nondeterminism: which
+//! enabled action fires (and when, within its window), and which base
+//! post-state is taken. `project`ing a run's states to their base
+//! components yields a timed sequence of the underlying timed automaton
+//! (Lemma 3.2/3.3), ready for satisfaction checking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo_ioa::Ioa;
+use tempo_math::{Rat, TimeVal};
+
+use crate::{TimeIoa, TimedSequence, TimedState, Window};
+
+/// A timed run: a timed sequence whose states are `time(A, U)` states.
+pub type TimedRun<S, A> = TimedSequence<TimedState<S>, A>;
+
+/// Why run generation stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The step budget was exhausted (the normal outcome).
+    MaxSteps,
+    /// No base action is enabled: the base automaton is deadlocked (e.g.
+    /// the signal relay after the last signal, before dummification).
+    Deadlock,
+    /// Base actions are enabled but every firing window is empty: the
+    /// predictive constraints admit no further step. A well-formed system
+    /// never reaches this.
+    Timelock,
+    /// The scheduler declined to pick a step.
+    SchedulerStopped,
+}
+
+/// Resolves the nondeterminism of a [`TimeIoa`] during run generation.
+pub trait Scheduler<S, A> {
+    /// Picks an option index and a firing time within that option's
+    /// window, or `None` to stop the run. `options` is nonempty.
+    fn choose(&mut self, state: &TimedState<S>, options: &[(A, Window)]) -> Option<(usize, Rat)>;
+
+    /// Picks among `n ≥ 1` nondeterministic base post-states (default:
+    /// the first).
+    fn choose_post(&mut self, n: usize) -> usize {
+        let _ = n;
+        0
+    }
+}
+
+/// A uniformly random scheduler: random enabled action, random rational
+/// time within the window (quantized to keep denominators small), random
+/// post-state.
+///
+/// For windows unbounded above, times are drawn from `[lo, lo + cap]`.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+    /// Granularity of time choices within a window.
+    quantum: i128,
+    /// Width substituted for unbounded windows.
+    cap: Rat,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed (runs are reproducible per
+    /// seed).
+    pub fn new(seed: u64) -> RandomScheduler {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            quantum: 8,
+            cap: Rat::ONE,
+        }
+    }
+
+    /// Sets the width used for windows unbounded above.
+    pub fn with_cap(mut self, cap: Rat) -> RandomScheduler {
+        self.cap = cap;
+        self
+    }
+}
+
+impl<S, A: Clone> Scheduler<S, A> for RandomScheduler {
+    fn choose(&mut self, _state: &TimedState<S>, options: &[(A, Window)]) -> Option<(usize, Rat)> {
+        let idx = self.rng.gen_range(0..options.len());
+        let w = options[idx].1;
+        let width = match w.hi {
+            TimeVal::Finite(hi) => hi - w.lo,
+            TimeVal::Infinity => self.cap,
+        };
+        let step = self.rng.gen_range(0..=self.quantum);
+        let t = w.lo + width * Rat::new(step, self.quantum);
+        Some((idx, snap_to_grid(t, w)))
+    }
+
+    fn choose_post(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Snaps `t` to the nearest point of a fixed dyadic grid that still lies
+/// in the window, falling back to `t` itself for windows narrower than
+/// the grid. Without snapping, denominators compound multiplicatively
+/// along a run and exact comparisons would eventually overflow `i128`.
+fn snap_to_grid(t: Rat, w: Window) -> Rat {
+    const GRID: i128 = 64;
+    if t.denom() <= GRID {
+        return t;
+    }
+    let floor_num = t.numer() * GRID / t.denom(); // t ≥ 0 throughout a run
+    let floor = Rat::new(floor_num, GRID);
+    if floor >= w.lo && w.contains(floor) {
+        return floor;
+    }
+    let ceil = Rat::new(floor_num + 1, GRID);
+    if w.contains(ceil) {
+        return ceil;
+    }
+    t
+}
+
+/// The maximal-progress scheduler: always fires the action that can occur
+/// earliest, at the earliest legal time. Drives every class as fast as its
+/// lower bounds allow.
+///
+/// Classes with lower bound 0 admit *Zeno* prefixes — the same action
+/// refiring at the same instant forever. When the scheduler detects that
+/// it is about to repeat the exact `(action, time)` choice, it escalates
+/// the firing time to the window's upper end, forcing time to advance.
+#[derive(Debug, Default, Clone)]
+pub struct EarliestScheduler {
+    last: Option<(String, Rat)>,
+}
+
+impl EarliestScheduler {
+    /// Creates an earliest-time scheduler.
+    pub fn new() -> EarliestScheduler {
+        EarliestScheduler { last: None }
+    }
+}
+
+impl<S, A: Clone + std::fmt::Debug> Scheduler<S, A> for EarliestScheduler {
+    fn choose(&mut self, _state: &TimedState<S>, options: &[(A, Window)]) -> Option<(usize, Rat)> {
+        let (idx, w) = options
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, w))| w.lo)
+            .map(|(i, (_, w))| (i, *w))?;
+        let key = format!("{:?}", options[idx].0);
+        let mut t = w.lo;
+        if self.last.as_ref() == Some(&(key.clone(), t)) {
+            // Anti-Zeno escalation: refuse to repeat the exact choice.
+            t = match w.hi {
+                TimeVal::Finite(hi) => hi,
+                TimeVal::Infinity => w.lo + Rat::ONE,
+            };
+        }
+        self.last = Some((key, t));
+        Some((idx, t))
+    }
+}
+
+/// The procrastinating scheduler: lets time advance to the last legal
+/// moment (the tightest `Lt` over all conditions) and fires an action
+/// feasible there — preferring the one with the *latest* earliest time, so
+/// slow classes are driven at their upper bounds.
+///
+/// For windows unbounded above, fires `cap` after the earliest time.
+#[derive(Debug, Clone)]
+pub struct LatestScheduler {
+    cap: Rat,
+}
+
+impl Default for LatestScheduler {
+    fn default() -> LatestScheduler {
+        LatestScheduler::new()
+    }
+}
+
+impl LatestScheduler {
+    /// Creates a latest-time scheduler with `cap = 1` for unbounded
+    /// windows.
+    pub fn new() -> LatestScheduler {
+        LatestScheduler { cap: Rat::ONE }
+    }
+
+    /// Sets the delay used beyond `lo` for unbounded windows.
+    pub fn with_cap(mut self, cap: Rat) -> LatestScheduler {
+        self.cap = cap;
+        self
+    }
+}
+
+impl<S, A: Clone> Scheduler<S, A> for LatestScheduler {
+    fn choose(&mut self, _state: &TimedState<S>, options: &[(A, Window)]) -> Option<(usize, Rat)> {
+        // All options share the same hi (min over every Lt), but their lo
+        // differ; the latest feasible instant overall is the max over
+        // options of the window's last point. Ties prefer the option with
+        // the smaller release time, letting later-released actions be
+        // postponed further on subsequent turns.
+        let mut best: Option<(usize, Rat, Rat)> = None; // (idx, t, lo)
+        for (i, (_, w)) in options.iter().enumerate() {
+            let t = match w.hi {
+                TimeVal::Finite(hi) => hi,
+                TimeVal::Infinity => w.lo + self.cap,
+            };
+            let better = match best {
+                None => true,
+                Some((_, bt, blo)) => t > bt || (t == bt && w.lo < blo),
+            };
+            if better {
+                best = Some((i, t, w.lo));
+            }
+        }
+        best.map(|(i, t, _)| (i, t))
+    }
+}
+
+impl<M: Ioa> TimeIoa<M> {
+    /// Generates a run from `start`, using `scheduler` to resolve choices,
+    /// for at most `max_steps` steps. Returns the run together with the
+    /// reason generation stopped.
+    pub fn generate_from<Sch>(
+        &self,
+        start: TimedState<M::State>,
+        scheduler: &mut Sch,
+        max_steps: usize,
+    ) -> (TimedRun<M::State, M::Action>, RunError)
+    where
+        Sch: Scheduler<M::State, M::Action>,
+    {
+        let mut run = TimedSequence::new(start.clone());
+        let mut current = start;
+        for _ in 0..max_steps {
+            let options = self.enabled_windows(&current);
+            if options.is_empty() {
+                let reason = if self.is_timelocked(&current) {
+                    RunError::Timelock
+                } else {
+                    RunError::Deadlock
+                };
+                return (run, reason);
+            }
+            let Some((idx, t)) = scheduler.choose(&current, &options) else {
+                return (run, RunError::SchedulerStopped);
+            };
+            let (action, window) = &options[idx];
+            debug_assert!(window.contains(t), "scheduler chose time outside window");
+            let succ = self
+                .fire(&current, action, t)
+                .expect("scheduler choice must satisfy the firing rules");
+            let pick = if succ.len() == 1 {
+                0
+            } else {
+                scheduler.choose_post(succ.len())
+            };
+            current = succ.into_iter().nth(pick).expect("post choice in range");
+            run.push(action.clone(), t, current.clone());
+        }
+        (run, RunError::MaxSteps)
+    }
+
+    /// Generates a run from the first initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base automaton has no start state.
+    pub fn generate<Sch>(
+        &self,
+        scheduler: &mut Sch,
+        max_steps: usize,
+    ) -> (TimedRun<M::State, M::Action>, RunError)
+    where
+        Sch: Scheduler<M::State, M::Action>,
+    {
+        let start = self
+            .initial_states()
+            .into_iter()
+            .next()
+            .expect("automaton must have a start state");
+        self.generate_from(start, scheduler, max_steps)
+    }
+}
+
+/// Projects a run of `time(A, U)` to the timed sequence of the base
+/// automaton (`project` in paper §3).
+pub fn project<S: Clone + std::fmt::Debug, A: Clone + std::fmt::Debug>(
+    run: &TimedRun<S, A>,
+) -> TimedSequence<S, A> {
+    run.map_states(|ts| ts.base.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::{semi_satisfies, time_ab, Boundmap, Timed};
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::Interval;
+
+    /// One always-enabled tick with bounds [1, 2].
+    #[derive(Debug)]
+    struct Ticker {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ticker {
+        fn new() -> Ticker {
+            let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Ticker { sig, part }
+        }
+    }
+
+    impl Ioa for Ticker {
+        type State = u32;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn post(&self, s: &u32, a: &&'static str) -> Vec<u32> {
+            if *a == "tick" {
+                vec![s + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    fn ticker_time_ab() -> (Arc<Ticker>, Boundmap, crate::TimeIoa<Ticker>) {
+        let aut = Arc::new(Ticker::new());
+        let b = Boundmap::from_intervals(vec![
+            Interval::closed(Rat::ONE, Rat::from(2)).unwrap()
+        ]);
+        let timed = Timed::new(Arc::clone(&aut), b.clone()).unwrap();
+        let t = time_ab(&timed);
+        (aut, b, t)
+    }
+
+    #[test]
+    fn earliest_scheduler_ticks_at_lower_bound() {
+        let (_, _, t) = ticker_time_ab();
+        let (run, reason) = t.generate(&mut EarliestScheduler::new(), 5);
+        assert_eq!(reason, RunError::MaxSteps);
+        assert_eq!(run.len(), 5);
+        let times: Vec<Rat> = run.timed_schedule().iter().map(|(_, t)| *t).collect();
+        assert_eq!(
+            times,
+            (1..=5).map(Rat::from).collect::<Vec<_>>(),
+            "each tick exactly 1 apart"
+        );
+    }
+
+    #[test]
+    fn latest_scheduler_ticks_at_upper_bound() {
+        let (_, _, t) = ticker_time_ab();
+        let (run, _) = t.generate(&mut LatestScheduler::new(), 4);
+        let times: Vec<Rat> = run.timed_schedule().iter().map(|(_, t)| *t).collect();
+        assert_eq!(
+            times,
+            vec![Rat::from(2), Rat::from(4), Rat::from(6), Rat::from(8)]
+        );
+    }
+
+    #[test]
+    fn random_runs_semi_satisfy_boundmap_conditions() {
+        let (aut, b, t) = ticker_time_ab();
+        let conds = crate::u_b(&aut, &b);
+        for seed in 0..20 {
+            let mut sched = RandomScheduler::new(seed);
+            let (run, reason) = t.generate(&mut sched, 30);
+            assert_eq!(reason, RunError::MaxSteps);
+            let projected = project(&run);
+            for c in &conds {
+                assert_eq!(semi_satisfies(&projected, c), Ok(()), "seed {seed}");
+            }
+            // Inter-tick gaps always within [1, 2].
+            let times: Vec<Rat> = projected.timed_schedule().iter().map(|(_, t)| *t).collect();
+            let mut prev = Rat::ZERO;
+            for t in times {
+                let gap = t - prev;
+                assert!(gap >= Rat::ONE && gap <= Rat::from(2), "gap {gap}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_detection() {
+        /// A single action enabled only in state 0.
+        #[derive(Debug)]
+        struct OneShot {
+            sig: Signature<&'static str>,
+            part: Partition<&'static str>,
+        }
+        impl Ioa for OneShot {
+            type State = u8;
+            type Action = &'static str;
+            fn signature(&self) -> &Signature<&'static str> {
+                &self.sig
+            }
+            fn partition(&self) -> &Partition<&'static str> {
+                &self.part
+            }
+            fn initial_states(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+                if *a == "fire" && *s == 0 {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let sig = Signature::new(vec![], vec!["fire"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let aut = Arc::new(OneShot { sig, part });
+        let b = Boundmap::from_intervals(vec![
+            Interval::closed(Rat::ZERO, Rat::ONE).unwrap()
+        ]);
+        let timed = Timed::new(aut, b).unwrap();
+        let t = time_ab(&timed);
+        let (run, reason) = t.generate(&mut EarliestScheduler::new(), 10);
+        assert_eq!(reason, RunError::Deadlock);
+        assert_eq!(run.len(), 1);
+    }
+}

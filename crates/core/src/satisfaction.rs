@@ -1,0 +1,401 @@
+//! Trace checking of timing conditions: satisfaction (Definition 2.2),
+//! semi-satisfaction (Definition 3.1), and the direct timed-execution
+//! definition for boundmaps (Definition 2.1).
+
+use tempo_ioa::{ClassId, Ioa};
+use tempo_math::Rat;
+
+use crate::{Timed, TimedSequence, TimingCondition};
+
+/// How to treat the (finite) sequence under test when checking upper
+/// bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatisfactionMode {
+    /// Definition 2.2: the sequence is taken as complete — a pending upper
+    /// bound with no witnessing event is a violation.
+    Complete,
+    /// Definition 3.1 (semi-satisfaction): a pending upper bound is excused
+    /// when `t_end` has not yet passed the deadline, i.e. the prefix may
+    /// still be extended in time.
+    Prefix,
+}
+
+/// The way a condition was violated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No `Π`-event (or disabling state) occurred by the deadline.
+    UpperBound {
+        /// Index of the trigger (0 = start-state trigger, `i ≥ 1` = step
+        /// trigger at event `i`).
+        trigger_index: usize,
+        /// The absolute deadline `t_i + b_u` that passed unserved.
+        deadline: Rat,
+    },
+    /// A `Π`-event occurred strictly before the earliest permitted time,
+    /// with no intervening disabling state.
+    LowerBound {
+        /// Index of the trigger (0 = start-state trigger).
+        trigger_index: usize,
+        /// Index of the offending early event.
+        event_index: usize,
+        /// The earliest permitted absolute time `t_i + b_l`.
+        earliest: Rat,
+    },
+}
+
+/// A recorded violation of a timing condition by a timed sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated condition (or partition class).
+    pub condition: String,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// Checks Definition 2.2 — `α` *satisfies* the timing condition — treating
+/// the finite sequence as complete.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn satisfies<S, A>(
+    seq: &TimedSequence<S, A>,
+    cond: &TimingCondition<S, A>,
+) -> Result<(), Violation>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    check_condition(seq, cond, SatisfactionMode::Complete)
+}
+
+/// Checks Definition 3.1 — `α` *semi-satisfies* the timing condition: the
+/// safety part only, appropriate for finite prefixes.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn semi_satisfies<S, A>(
+    seq: &TimedSequence<S, A>,
+    cond: &TimingCondition<S, A>,
+) -> Result<(), Violation>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    check_condition(seq, cond, SatisfactionMode::Prefix)
+}
+
+fn check_condition<S, A>(
+    seq: &TimedSequence<S, A>,
+    cond: &TimingCondition<S, A>,
+    mode: SatisfactionMode,
+) -> Result<(), Violation>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    // Collect the trigger points: (trigger_index, trigger_time).
+    let mut triggers: Vec<(usize, Rat)> = Vec::new();
+    if cond.in_t_start(seq.first_state()) {
+        triggers.push((0, Rat::ZERO));
+    }
+    for (i, (pre, a, t, post)) in seq.step_triples().enumerate() {
+        let i = i + 1; // events are 1-based
+        if cond.in_t_step(pre, a, post) {
+            triggers.push((i, t));
+        }
+    }
+
+    for (i, t_i) in triggers {
+        check_trigger(
+            seq,
+            cond.name(),
+            i,
+            t_i,
+            cond.lower(),
+            cond.upper(),
+            mode,
+            true,
+            |a| cond.in_pi(a),
+            |s| cond.in_disabling(s),
+        )?;
+    }
+    Ok(())
+}
+
+/// Shared trigger-resolution logic for Definitions 2.1, 2.2 and 3.1.
+///
+/// From trigger index `i` at absolute time `t_i`, with bounds
+/// `[b_l, b_u]`: the upper bound requires some `j > i` with
+/// `t_j ≤ t_i + b_u` and (`π_j ∈ Π` or `s_j ∈ S`); the lower bound forbids
+/// `j > i` with `t_j < t_i + b_l`, `π_j ∈ Π`, and — when `lower_escape` is
+/// set (Definition 2.2) — no intervening `s_k ∈ S`, `i < k < j`.
+/// Definition 2.1's lower bound has no such escape clause.
+#[allow(clippy::too_many_arguments)]
+fn check_trigger<S, A>(
+    seq: &TimedSequence<S, A>,
+    name: &str,
+    i: usize,
+    t_i: Rat,
+    b_l: Rat,
+    b_u: tempo_math::TimeVal,
+    mode: SatisfactionMode,
+    lower_escape: bool,
+    in_pi: impl Fn(&A) -> bool,
+    in_s: impl Fn(&S) -> bool,
+) -> Result<(), Violation>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    // Lower bound: scan events j > i while t_j < t_i + b_l.
+    let earliest = t_i + b_l;
+    let mut disabled_seen = false;
+    for j in (i + 1)..=seq.len() {
+        let (a_j, t_j) = seq.event(j);
+        if t_j >= earliest {
+            break;
+        }
+        if in_pi(a_j) && !disabled_seen {
+            return Err(Violation {
+                condition: name.to_string(),
+                kind: ViolationKind::LowerBound {
+                    trigger_index: i,
+                    event_index: j,
+                    earliest,
+                },
+            });
+        }
+        // s_j becomes an *intervening* state for events after j.
+        if lower_escape && in_s(seq.state(j)) {
+            disabled_seen = true;
+        }
+    }
+
+    // Upper bound (only if finite).
+    if let Some(b_u) = b_u.finite() {
+        let deadline = t_i + b_u;
+        let mut served = false;
+        for j in (i + 1)..=seq.len() {
+            let (a_j, t_j) = seq.event(j);
+            if t_j > deadline {
+                break;
+            }
+            if in_pi(a_j) || in_s(seq.state(j)) {
+                served = true;
+                break;
+            }
+        }
+        if !served {
+            let excused = mode == SatisfactionMode::Prefix && seq.t_end() <= deadline;
+            if !excused {
+                return Err(Violation {
+                    condition: name.to_string(),
+                    kind: ViolationKind::UpperBound {
+                        trigger_index: i,
+                        deadline,
+                    },
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Definition 2.1 directly: is `seq` (whose `ord` must already be an
+/// execution of the automaton) a timed execution of the timed automaton
+/// `(A, b)`?
+///
+/// For each partition class `C` and each position where `C` fires or first
+/// becomes enabled, within `b_u(C)` some `C`-action must occur or `C` must
+/// become disabled (upper), and no `C`-action may occur before `b_l(C)` has
+/// elapsed (lower). In [`SatisfactionMode::Prefix`] the upper bound is
+/// excused while the prefix has not outlived the deadline.
+///
+/// By Lemma 2.1 this agrees with checking every `cond(C)` of
+/// [`u_b`](crate::u_b) via [`satisfies`]/[`semi_satisfies`]; the test suite
+/// exercises that equivalence.
+///
+/// # Errors
+///
+/// Returns the first violation found, named after the offending class.
+pub fn check_timed_execution<M: Ioa>(
+    seq: &TimedSequence<M::State, M::Action>,
+    timed: &Timed<M>,
+    mode: SatisfactionMode,
+) -> Result<(), Violation> {
+    let aut = timed.automaton().as_ref();
+    let b = timed.boundmap();
+    for class in aut.partition().ids() {
+        let name = aut.partition().class_name(class);
+        for (i, t_i) in measurement_points(seq, aut, class) {
+            check_trigger(
+                seq,
+                name,
+                i,
+                t_i,
+                b.lower(class),
+                b.upper(class),
+                mode,
+                // Definition 2.1's lower bound has no disabling escape.
+                false,
+                |a| aut.partition().class_of(a) == Some(class),
+                |s| aut.class_disabled(s, class),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// The positions where class `C` fires or first becomes enabled — the
+/// points from which Definition 2.1 measures its bounds.
+fn measurement_points<M: Ioa>(
+    seq: &TimedSequence<M::State, M::Action>,
+    aut: &M,
+    class: ClassId,
+) -> Vec<(usize, Rat)> {
+    let mut points = Vec::new();
+    if aut.class_enabled(seq.first_state(), class) {
+        points.push((0, Rat::ZERO));
+    }
+    for (i, (pre, a, t, post)) in seq.step_triples().enumerate() {
+        let i = i + 1;
+        if aut.class_enabled(post, class)
+            && (aut.class_disabled(pre, class) || aut.partition().class_of(a) == Some(class))
+        {
+            points.push((i, t));
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::Interval;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    fn cond(lo: i64, hi: i64) -> TimingCondition<u8, &'static str> {
+        TimingCondition::new("C", iv(lo, hi))
+            .triggered_at_start(|s| *s == 0)
+            .on_actions(|a| *a == "fire")
+    }
+
+    fn seq(events: &[(&'static str, i64, u8)]) -> TimedSequence<u8, &'static str> {
+        let mut s = TimedSequence::new(0);
+        for (a, t, post) in events {
+            s.push(*a, Rat::from(*t), *post);
+        }
+        s
+    }
+
+    #[test]
+    fn upper_bound_served() {
+        let s = seq(&[("noise", 1, 1), ("fire", 3, 2)]);
+        assert!(satisfies(&s, &cond(2, 4)).is_ok());
+    }
+
+    #[test]
+    fn upper_bound_missed_complete_vs_prefix() {
+        // No fire at all; deadline 4, t_end 3 → prefix excuses, complete not.
+        let s = seq(&[("noise", 3, 1)]);
+        let c = cond(0, 4);
+        assert!(matches!(
+            satisfies(&s, &c),
+            Err(Violation {
+                kind: ViolationKind::UpperBound { trigger_index: 0, .. },
+                ..
+            })
+        ));
+        assert!(semi_satisfies(&s, &c).is_ok());
+        // Once the prefix outlives the deadline, even semi fails.
+        let s2 = seq(&[("noise", 5, 1)]);
+        assert!(semi_satisfies(&s2, &c).is_err());
+    }
+
+    #[test]
+    fn late_fire_is_upper_violation() {
+        let s = seq(&[("fire", 6, 1)]);
+        let c = cond(0, 4);
+        assert!(satisfies(&s, &c).is_err());
+        assert!(semi_satisfies(&s, &c).is_err());
+    }
+
+    #[test]
+    fn lower_bound_violation() {
+        let s = seq(&[("fire", 1, 1)]);
+        let c = cond(2, 10);
+        let err = satisfies(&s, &c).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ViolationKind::LowerBound {
+                trigger_index: 0,
+                event_index: 1,
+                earliest: Rat::from(2)
+            }
+        );
+    }
+
+    #[test]
+    fn lower_bound_exactly_at_bound_is_ok() {
+        let s = seq(&[("fire", 2, 1)]);
+        assert!(satisfies(&s, &cond(2, 10)).is_ok());
+    }
+
+    #[test]
+    fn disabling_state_excuses_lower_and_serves_upper() {
+        // State 9 is disabling; reaching it at time 1 suspends the bound.
+        let c = TimingCondition::new("C", iv(3, 5))
+            .triggered_at_start(|s: &u8| *s == 0)
+            .on_actions(|a: &&str| *a == "fire")
+            .disabled_in(|s: &u8| *s == 9);
+        // Early fire after passing through the disabling state: allowed.
+        let s = seq(&[("noise", 1, 9), ("fire", 2, 1)]);
+        assert!(satisfies(&s, &c).is_ok());
+        // Early fire with no disabling state in between: violation.
+        let s2 = seq(&[("noise", 1, 1), ("fire", 2, 2)]);
+        assert!(satisfies(&s2, &c).is_err());
+        // Upper bound served by entering the disabling set.
+        let s3 = seq(&[("noise", 4, 9), ("noise", 100, 1)]);
+        assert!(satisfies(&s3, &c).is_ok());
+    }
+
+    #[test]
+    fn step_triggers_measure_from_step_time() {
+        let c: TimingCondition<u8, &str> = TimingCondition::new("C", iv(1, 3))
+            .triggered_by_step(|_, a, _| *a == "go")
+            .on_actions(|a| *a == "fire");
+        // go at t=5 → fire allowed in [6, 8].
+        let ok = seq(&[("go", 5, 1), ("fire", 7, 2)]);
+        assert!(satisfies(&ok, &c).is_ok());
+        let early = seq(&[("go", 5, 1), ("fire", 5, 2)]);
+        assert!(satisfies(&early, &c).is_err());
+        let late = seq(&[("go", 5, 1), ("fire", 9, 2)]);
+        assert!(satisfies(&late, &c).is_err());
+        // Re-triggering: each go restarts the bound.
+        let repeat = seq(&[("go", 5, 1), ("fire", 6, 2), ("go", 6, 1), ("fire", 8, 2)]);
+        assert!(satisfies(&repeat, &c).is_ok());
+    }
+
+    #[test]
+    fn infinite_upper_bound_never_violated() {
+        let c: TimingCondition<u8, &str> = TimingCondition::new("C", Interval::unbounded_above(Rat::from(1)))
+            .triggered_at_start(|_| true)
+            .on_actions(|a| *a == "fire");
+        let s = seq(&[("noise", 100, 1)]);
+        assert!(satisfies(&s, &c).is_ok());
+    }
+
+    #[test]
+    fn untriggered_condition_is_vacuous() {
+        let c: TimingCondition<u8, &str> = TimingCondition::new("C", iv(1, 2))
+            .triggered_at_start(|s| *s == 42)
+            .on_actions(|a| *a == "fire");
+        let s = seq(&[("fire", 0, 1)]);
+        assert!(satisfies(&s, &c).is_ok());
+    }
+}

@@ -1,0 +1,263 @@
+//! Timed sequences (paper §2.2).
+
+use std::fmt;
+
+use tempo_ioa::{ActionKind, Execution, Ioa};
+use tempo_math::Rat;
+
+/// A timed sequence `s0, (π1, t1), s1, (π2, t2), …` for an automaton:
+/// alternating states and `(action, time)` pairs, ending in a state, with
+/// nondecreasing times.
+///
+/// [`TimedSequence::ord`] strips the times, recovering the underlying
+/// (untimed) execution fragment; [`TimedSequence::t_end`] is the time of
+/// the last event (0 if there is none).
+///
+/// # Example
+///
+/// ```
+/// use tempo_core::TimedSequence;
+/// use tempo_math::Rat;
+///
+/// let mut seq: TimedSequence<u8, &str> = TimedSequence::new(0);
+/// seq.push("a", Rat::ONE, 1);
+/// seq.push("b", Rat::from(2), 2);
+/// assert_eq!(seq.t_end(), Rat::from(2));
+/// assert_eq!(seq.ord().schedule(), vec!["a", "b"]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedSequence<S, A> {
+    start: S,
+    steps: Vec<(A, Rat, S)>,
+}
+
+impl<S: Clone + fmt::Debug, A: Clone + fmt::Debug> TimedSequence<S, A> {
+    /// Creates an event-free timed sequence at `start` (with `t_end = 0`).
+    pub fn new(start: S) -> TimedSequence<S, A> {
+        TimedSequence {
+            start,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends an `(action, time)` pair and the successor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is smaller than the current [`t_end`](Self::t_end) or
+    /// negative — times in a timed sequence are nondecreasing from `t0 = 0`.
+    pub fn push(&mut self, action: A, t: Rat, state: S) {
+        assert!(
+            t >= self.t_end() && !t.is_negative(),
+            "timed sequence times must be nondecreasing and nonnegative"
+        );
+        self.steps.push((action, t, state));
+    }
+
+    /// The first state.
+    pub fn first_state(&self) -> &S {
+        &self.start
+    }
+
+    /// The final state.
+    pub fn last_state(&self) -> &S {
+        self.steps.last().map(|(_, _, s)| s).unwrap_or(&self.start)
+    }
+
+    /// The number of events.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the sequence contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The time of the last event, or 0 if there is none (`t_end(α)`).
+    pub fn t_end(&self) -> Rat {
+        self.steps.last().map(|(_, t, _)| *t).unwrap_or(Rat::ZERO)
+    }
+
+    /// The event triples `(s_{i-1}, (π_i, t_i), s_i)`.
+    pub fn step_triples(&self) -> impl Iterator<Item = (&S, &A, Rat, &S)> {
+        let states = std::iter::once(&self.start).chain(self.steps.iter().map(|(_, _, s)| s));
+        states
+            .zip(self.steps.iter())
+            .map(|(pre, (a, t, post))| (pre, a, *t, post))
+    }
+
+    /// The visited states `s_0, s_1, …`.
+    pub fn states(&self) -> impl Iterator<Item = &S> {
+        std::iter::once(&self.start).chain(self.steps.iter().map(|(_, _, s)| s))
+    }
+
+    /// The `i`-th state (`0` = start state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()`.
+    pub fn state(&self, i: usize) -> &S {
+        if i == 0 {
+            &self.start
+        } else {
+            &self.steps[i - 1].2
+        }
+    }
+
+    /// The `i`-th event `(π_i, t_i)`, 1-based as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0` or `i > len()`.
+    pub fn event(&self, i: usize) -> (&A, Rat) {
+        let (a, t, _) = &self.steps[i - 1];
+        (a, *t)
+    }
+
+    /// `ord(α)`: the sequence with time components removed.
+    pub fn ord(&self) -> Execution<S, A> {
+        let mut e = Execution::new(self.start.clone());
+        for (a, _, s) in &self.steps {
+            e.push(a.clone(), s.clone());
+        }
+        e
+    }
+
+    /// The timed schedule: the `(action, time)` pairs.
+    pub fn timed_schedule(&self) -> Vec<(A, Rat)> {
+        self.steps.iter().map(|(a, t, _)| (a.clone(), *t)).collect()
+    }
+
+    /// The timed behavior: the `(action, time)` pairs whose action is
+    /// external in `aut`'s signature.
+    pub fn timed_behavior<M>(&self, aut: &M) -> Vec<(A, Rat)>
+    where
+        M: Ioa<Action = A>,
+        A: Eq + std::hash::Hash,
+    {
+        self.steps
+            .iter()
+            .filter(|(a, _, _)| {
+                aut.signature()
+                    .kind_of(a)
+                    .is_some_and(ActionKind::is_external)
+            })
+            .map(|(a, t, _)| (a.clone(), *t))
+            .collect()
+    }
+
+    /// The prefix with the first `n` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn prefix(&self, n: usize) -> TimedSequence<S, A> {
+        TimedSequence {
+            start: self.start.clone(),
+            steps: self.steps[..n].to_vec(),
+        }
+    }
+
+    /// Maps the states of the sequence through `f`, keeping events intact
+    /// (the `project` operation of paper §3 when `f` extracts the `A`-state
+    /// of a `time(A, U)` state).
+    pub fn map_states<S2: Clone + fmt::Debug, F: Fn(&S) -> S2>(
+        &self,
+        f: F,
+    ) -> TimedSequence<S2, A> {
+        TimedSequence {
+            start: f(&self.start),
+            steps: self
+                .steps
+                .iter()
+                .map(|(a, t, s)| (a.clone(), *t, f(s)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimedSequence<u8, &'static str> {
+        let mut seq = TimedSequence::new(0);
+        seq.push("a", Rat::ONE, 1);
+        seq.push("b", Rat::ONE, 2); // equal times are allowed
+        seq.push("c", Rat::from(3), 3);
+        seq
+    }
+
+    #[test]
+    fn accessors() {
+        let seq = sample();
+        assert_eq!(seq.len(), 3);
+        assert!(!seq.is_empty());
+        assert_eq!(seq.first_state(), &0);
+        assert_eq!(seq.last_state(), &3);
+        assert_eq!(seq.t_end(), Rat::from(3));
+        assert_eq!(seq.state(0), &0);
+        assert_eq!(seq.state(2), &2);
+        assert_eq!(seq.event(1), (&"a", Rat::ONE));
+        assert_eq!(seq.event(3), (&"c", Rat::from(3)));
+        assert_eq!(
+            seq.states().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn empty_sequence_t_end_is_zero() {
+        let seq: TimedSequence<u8, &str> = TimedSequence::new(9);
+        assert_eq!(seq.t_end(), Rat::ZERO);
+        assert_eq!(seq.last_state(), &9);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_times_rejected() {
+        let mut seq = sample();
+        seq.push("d", Rat::from(2), 4);
+    }
+
+    #[test]
+    fn projections() {
+        let seq = sample();
+        assert_eq!(seq.ord().schedule(), vec!["a", "b", "c"]);
+        assert_eq!(
+            seq.timed_schedule(),
+            vec![("a", Rat::ONE), ("b", Rat::ONE), ("c", Rat::from(3))]
+        );
+        let doubled = seq.map_states(|s| s * 2);
+        assert_eq!(doubled.last_state(), &6);
+        assert_eq!(doubled.t_end(), Rat::from(3));
+    }
+
+    #[test]
+    fn prefixes() {
+        let seq = sample();
+        let p = seq.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.t_end(), Rat::ONE);
+        assert_eq!(seq.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn triples() {
+        let seq = sample();
+        let t: Vec<_> = seq
+            .step_triples()
+            .map(|(pre, a, t, post)| (*pre, *a, t, *post))
+            .collect();
+        assert_eq!(
+            t,
+            vec![
+                (0, "a", Rat::ONE, 1),
+                (1, "b", Rat::ONE, 2),
+                (2, "c", Rat::from(3), 3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The specialized transition rules of `time(A, b)` (paper §3.2), given
+//! explicitly as a second, independent implementation.
+//!
+//! The paper instantiates the general `time(A, U)` construction at
+//! `U = U_b` and simplifies the rules (in particular, the `min` of rule
+//! 4(b) disappears because a class that triggers re-prediction was
+//! previously disabled, so its prior `Lt` is `∞`). We implement the
+//! simplified rules directly and use them to cross-validate the general
+//! construction: on every reachable step the two must agree. That check is
+//! an executable form of the paper's claim that "this definition is
+//! obtained from the general one by direct application of the definitions".
+
+use tempo_ioa::Ioa;
+use tempo_math::{Rat, TimeVal};
+
+use crate::{Boundmap, TimedState};
+
+/// Applies the §3.2 prediction-update rules of `time(A, b)` directly:
+/// prediction slot `j` corresponds to partition class `ClassId(j)`.
+///
+/// Rules (for the fired action `π` at time `t`):
+/// * class `C ∋ π`: if `C` is enabled in the post-state, `Ft/Lt(C) :=
+///   t + b(C)`; otherwise defaults.
+/// * class `D ∌ π`: newly enabled → `t + b(D)`; still enabled → unchanged;
+///   disabled → defaults.
+///
+/// The firing preconditions (rules 2, 3(a), 4(a)) are not checked here.
+pub fn update_time_ab<M: Ioa>(
+    aut: &M,
+    b: &Boundmap,
+    pre: &TimedState<M::State>,
+    a: &M::Action,
+    t: Rat,
+    base_post: &M::State,
+) -> TimedState<M::State> {
+    let part = aut.partition();
+    let mut ft = Vec::with_capacity(part.len());
+    let mut lt = Vec::with_capacity(part.len());
+    for class in part.ids() {
+        let j = class.0;
+        let enabled_post = aut.class_enabled(base_post, class);
+        if part.class_of(a) == Some(class) {
+            // Rule 3: the fired action belongs to this class.
+            if enabled_post {
+                ft.push(t + b.lower(class));
+                lt.push(TimeVal::from(t) + b.upper(class));
+            } else {
+                ft.push(Rat::ZERO);
+                lt.push(TimeVal::INFINITY);
+            }
+        } else if enabled_post && aut.class_disabled(&pre.base, class) {
+            // Rule 4(b): class newly enabled.
+            ft.push(t + b.lower(class));
+            lt.push(TimeVal::from(t) + b.upper(class));
+        } else if enabled_post {
+            // Rule 4(c): class stays enabled; predictions carry over.
+            ft.push(pre.ft[j]);
+            lt.push(pre.lt[j]);
+        } else {
+            // Rule 4(d): class disabled.
+            ft.push(Rat::ZERO);
+            lt.push(TimeVal::INFINITY);
+        }
+    }
+    TimedState {
+        base: base_post.clone(),
+        now: t,
+        ft,
+        lt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::{time_ab, Timed};
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::Interval;
+
+    /// A nondeterministic two-token system: `step` moves a token around a
+    /// 3-cycle or drops it; `spawn` re-creates it. Exercises enabling,
+    /// disabling and re-enabling of both classes.
+    #[derive(Debug)]
+    struct Tokens {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Tokens {
+        fn new() -> Tokens {
+            let sig = Signature::new(vec![], vec!["step", "spawn"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Tokens { sig, part }
+        }
+    }
+
+    impl Ioa for Tokens {
+        type State = Option<u8>; // token position, or dropped
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<Option<u8>> {
+            vec![Some(0)]
+        }
+        fn post(&self, s: &Option<u8>, a: &&'static str) -> Vec<Option<u8>> {
+            match (*a, s) {
+                ("step", Some(p)) => vec![Some((p + 1) % 3), None], // may drop
+                ("spawn", None) => vec![Some(0)],
+                _ => vec![],
+            }
+        }
+    }
+
+    /// On every step of every short run, the general `time(A, U_b)` update
+    /// must agree with the direct §3.2 rules.
+    #[test]
+    fn general_and_special_updates_agree() {
+        let aut = Arc::new(Tokens::new());
+        let b = Boundmap::from_intervals(vec![
+            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+            Interval::closed(Rat::ZERO, Rat::from(5)).unwrap(),
+        ]);
+        let timed = Timed::new(Arc::clone(&aut), b.clone()).unwrap();
+        let general = time_ab(&timed);
+
+        // Depth-first over all (state, action, post, a few times) to depth 4.
+        let mut stack = vec![(general.initial_states().pop().unwrap(), 0usize)];
+        let mut steps_checked = 0usize;
+        while let Some((s, depth)) = stack.pop() {
+            if depth >= 4 {
+                continue;
+            }
+            for (a, w) in general.enabled_windows(&s) {
+                let mut times = vec![w.lo];
+                if let Some(hi) = w.hi.finite() {
+                    times.push(hi);
+                    times.push(w.lo + (hi - w.lo) * Rat::new(1, 3));
+                }
+                for t in times {
+                    for post in aut.post(&s.base, &a) {
+                        let got = general.update(&s, &a, t, &post);
+                        let want = update_time_ab(aut.as_ref(), &b, &s, &a, t, &post);
+                        assert_eq!(got, want, "mismatch on {a} at t={t} from {s:?}");
+                        steps_checked += 1;
+                        stack.push((got, depth + 1));
+                    }
+                }
+            }
+        }
+        assert!(steps_checked > 50, "exercised {steps_checked} steps");
+    }
+}

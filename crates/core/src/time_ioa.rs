@@ -1,0 +1,632 @@
+//! The `time(A, U)` construction (paper §3.1): an ordinary automaton whose
+//! state carries predictive timing information enforcing a set of timing
+//! conditions.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_ioa::Ioa;
+use tempo_math::{Rat, TimeVal};
+
+use crate::TimingCondition;
+
+/// A state of `time(A, U)`: the base `A`-state `As`, the current time `Ct`,
+/// and per timing condition the predicted first and last times `Ft(U)`,
+/// `Lt(U)` at which the next `Π(U)`-action may/must occur.
+///
+/// Default predictions are `Ft = 0`, `Lt = ∞` ("no constraint in effect").
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TimedState<S> {
+    /// The `A`-state component `As`.
+    pub base: S,
+    /// The current time `Ct` (time of the last preceding event).
+    pub now: Rat,
+    /// `Ft(U)` for each condition, in condition order.
+    pub ft: Vec<Rat>,
+    /// `Lt(U)` for each condition, in condition order.
+    pub lt: Vec<TimeVal>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for TimedState<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨As={:?}, Ct={}", self.base, self.now)?;
+        for (j, (ft, lt)) in self.ft.iter().zip(self.lt.iter()).enumerate() {
+            write!(f, ", U{j}=[{ft},{lt}]")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// The set of feasible firing times for an action in a given state: the
+/// closed interval `[lo, hi]` of absolute times `t` at which `(π, t)` is
+/// enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// Earliest feasible time (`max(Ct, Ft(U) for U with π ∈ Π(U))`).
+    pub lo: Rat,
+    /// Latest feasible time (`min over all U of Lt(U)`).
+    pub hi: TimeVal,
+}
+
+impl Window {
+    /// Returns `true` if `t` lies in the window.
+    pub fn contains(self, t: Rat) -> bool {
+        self.lo <= t && TimeVal::from(t) <= self.hi
+    }
+
+    /// Returns `true` if the window contains no time at all.
+    pub fn is_empty(self) -> bool {
+        TimeVal::from(self.lo) > self.hi
+    }
+}
+
+/// Why a `fire` attempt was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FireError {
+    /// The base action is not enabled in the base state.
+    BaseDisabled,
+    /// `t` is smaller than the current time `Ct`.
+    TimeRegression,
+    /// `t < Ft(U)` for a condition `U` with `π ∈ Π(U)` (rule 3(a)).
+    TooEarly {
+        /// Name of the blocking condition.
+        condition: String,
+    },
+    /// `t > Lt(U)` for some condition `U` (rules 3(a)/4(a)).
+    TooLate {
+        /// Name of the blocking condition.
+        condition: String,
+    },
+}
+
+impl fmt::Display for FireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FireError::BaseDisabled => write!(f, "action is not enabled in the base automaton"),
+            FireError::TimeRegression => write!(f, "time must not decrease"),
+            FireError::TooEarly { condition } => {
+                write!(f, "earlier than Ft of condition {condition}")
+            }
+            FireError::TooLate { condition } => {
+                write!(f, "later than Lt of condition {condition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FireError {}
+
+/// The automaton `time(A, U)` (paper §3.1): the base automaton `A` with the
+/// timing conditions `U` built into its transition rules via the
+/// predictions carried in [`TimedState`].
+///
+/// This is *not* a [`tempo_ioa::Ioa`]: its actions `(π, t)` range over a
+/// dense time domain, so instead of enumerating steps it exposes, per
+/// state, a firing [`Window`] for each base action, a deterministic
+/// prediction [`update`](TimeIoa::update), and a [`fire`](TimeIoa::fire)
+/// operation (nondeterministic only through the base automaton).
+///
+/// The special case `time(A, b)` — boundmap conditions — is built by
+/// [`time_ab`](crate::time_ab).
+pub struct TimeIoa<M: Ioa> {
+    base: Arc<M>,
+    conds: Vec<TimingCondition<M::State, M::Action>>,
+}
+
+impl<M: Ioa> Clone for TimeIoa<M> {
+    fn clone(&self) -> TimeIoa<M> {
+        TimeIoa {
+            base: Arc::clone(&self.base),
+            conds: self.conds.clone(),
+        }
+    }
+}
+
+impl<M: Ioa + fmt::Debug> fmt::Debug for TimeIoa<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimeIoa")
+            .field("base", &self.base)
+            .field("conditions", &self.conds.len())
+            .finish()
+    }
+}
+
+impl<M: Ioa> TimeIoa<M> {
+    /// Builds `time(A, U)` from a base automaton and its timing conditions.
+    pub fn new(base: Arc<M>, conds: Vec<TimingCondition<M::State, M::Action>>) -> TimeIoa<M> {
+        TimeIoa { base, conds }
+    }
+
+    /// The base automaton `A`.
+    pub fn base(&self) -> &Arc<M> {
+        &self.base
+    }
+
+    /// The timing conditions `U`, in component order.
+    pub fn conditions(&self) -> &[TimingCondition<M::State, M::Action>] {
+        &self.conds
+    }
+
+    /// Looks up a condition index by name.
+    pub fn condition_index(&self, name: &str) -> Option<usize> {
+        self.conds.iter().position(|c| c.name() == name)
+    }
+
+    /// The start states: one per base start state, with `Ct = 0` and
+    /// predictions `(b_l(U), b_u(U))` where the base state is in
+    /// `T_start(U)`, defaults `(0, ∞)` otherwise.
+    pub fn initial_states(&self) -> Vec<TimedState<M::State>> {
+        self.base
+            .initial_states()
+            .into_iter()
+            .map(|s| {
+                let mut ft = Vec::with_capacity(self.conds.len());
+                let mut lt = Vec::with_capacity(self.conds.len());
+                for c in &self.conds {
+                    if c.in_t_start(&s) {
+                        ft.push(c.lower());
+                        lt.push(c.upper());
+                    } else {
+                        ft.push(Rat::ZERO);
+                        lt.push(TimeVal::INFINITY);
+                    }
+                }
+                TimedState {
+                    base: s,
+                    now: Rat::ZERO,
+                    ft,
+                    lt,
+                }
+            })
+            .collect()
+    }
+
+    /// The feasible firing window for `a` from `s`, or `None` if `a` is not
+    /// enabled in the base state or the constraints leave no feasible time.
+    ///
+    /// Per rules 2, 3(a) and 4(a): `t ≥ Ct`; `t ≥ Ft(U)` for every `U` with
+    /// `a ∈ Π(U)`; and `t ≤ Lt(U)` for *every* `U`.
+    pub fn window(&self, s: &TimedState<M::State>, a: &M::Action) -> Option<Window> {
+        if !self.base.is_enabled(&s.base, a) {
+            return None;
+        }
+        let mut lo = s.now;
+        let mut hi = TimeVal::INFINITY;
+        for (j, c) in self.conds.iter().enumerate() {
+            if c.in_pi(a) {
+                lo = lo.max(s.ft[j]);
+            }
+            hi = hi.min(s.lt[j]);
+        }
+        let w = Window { lo, hi };
+        if w.is_empty() {
+            None
+        } else {
+            Some(w)
+        }
+    }
+
+    /// All base actions enabled from `s` together with their firing
+    /// windows.
+    pub fn enabled_windows(&self, s: &TimedState<M::State>) -> Vec<(M::Action, Window)> {
+        self.base
+            .signature()
+            .actions()
+            .filter_map(|a| self.window(s, a).map(|w| (a.clone(), w)))
+            .collect()
+    }
+
+    /// Returns `true` if the state is *timelocked*: some base action is
+    /// enabled, but every enabled action's window is empty — time cannot
+    /// legally pass nor any action fire. A well-formed system never reaches
+    /// such a state.
+    pub fn is_timelocked(&self, s: &TimedState<M::State>) -> bool {
+        let base_live = self
+            .base
+            .signature()
+            .actions()
+            .any(|a| self.base.is_enabled(&s.base, a));
+        base_live && self.enabled_windows(s).is_empty()
+    }
+
+    /// The deterministic prediction update of rules 3(b,c) and 4(b,c,d),
+    /// given the chosen base post-state. The firing preconditions (rules 2,
+    /// 3(a), 4(a)) are *not* checked here; see [`fire`](TimeIoa::fire).
+    pub fn update(
+        &self,
+        pre: &TimedState<M::State>,
+        a: &M::Action,
+        t: Rat,
+        base_post: &M::State,
+    ) -> TimedState<M::State> {
+        let mut ft = Vec::with_capacity(self.conds.len());
+        let mut lt = Vec::with_capacity(self.conds.len());
+        for (j, c) in self.conds.iter().enumerate() {
+            let triggered = c.in_t_step(&pre.base, a, base_post);
+            if c.in_pi(a) {
+                if triggered {
+                    // 3(b): a triggering occurrence of π restarts the bound.
+                    ft.push(t + c.lower());
+                    lt.push(TimeVal::from(t) + c.upper());
+                } else {
+                    // 3(c): a non-triggering occurrence clears predictions.
+                    ft.push(Rat::ZERO);
+                    lt.push(TimeVal::INFINITY);
+                }
+            } else if triggered {
+                // 4(b): new predictions; min keeps any prior (tighter) Lt.
+                ft.push(t + c.lower());
+                lt.push(pre.lt[j].min(TimeVal::from(t) + c.upper()));
+            } else if c.in_disabling(base_post) {
+                // 4(d): entering the disabling set resets to defaults.
+                ft.push(Rat::ZERO);
+                lt.push(TimeVal::INFINITY);
+            } else {
+                // 4(c): predictions carry over unchanged.
+                ft.push(pre.ft[j]);
+                lt.push(pre.lt[j]);
+            }
+        }
+        TimedState {
+            base: base_post.clone(),
+            now: t,
+            ft,
+            lt,
+        }
+    }
+
+    /// Fires `(a, t)` from `s`: checks the preconditions of rules 2, 3(a)
+    /// and 4(a) and returns one successor per nondeterministic base
+    /// post-state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FireError`] naming the violated rule.
+    pub fn fire(
+        &self,
+        s: &TimedState<M::State>,
+        a: &M::Action,
+        t: Rat,
+    ) -> Result<Vec<TimedState<M::State>>, FireError> {
+        if t < s.now {
+            return Err(FireError::TimeRegression);
+        }
+        for (j, c) in self.conds.iter().enumerate() {
+            if TimeVal::from(t) > s.lt[j] {
+                return Err(FireError::TooLate {
+                    condition: c.name().to_string(),
+                });
+            }
+            if c.in_pi(a) && t < s.ft[j] {
+                return Err(FireError::TooEarly {
+                    condition: c.name().to_string(),
+                });
+            }
+        }
+        let posts = self.base.post(&s.base, a);
+        if posts.is_empty() {
+            return Err(FireError::BaseDisabled);
+        }
+        Ok(posts
+            .iter()
+            .map(|post| self.update(s, a, t, post))
+            .collect())
+    }
+
+    /// Returns `true` if `(pre, (a, t), post)` is a step of `time(A, U)`.
+    pub fn is_step(
+        &self,
+        pre: &TimedState<M::State>,
+        a: &M::Action,
+        t: Rat,
+        post: &TimedState<M::State>,
+    ) -> bool {
+        self.fire(pre, a, t)
+            .map(|succ| succ.contains(post))
+            .unwrap_or(false)
+    }
+
+    /// **Lifts** a timed sequence of the base automaton into the unique
+    /// execution of `time(A, U)` that projects onto it — Lemma 3.2
+    /// part 1, executable: a timed (semi-)execution of `(A, U)`
+    /// corresponds to an execution of `time(A, U)`, and conversely a
+    /// sequence violating some condition has no lifting.
+    ///
+    /// The lifting exists iff the sequence starts in a start state, every
+    /// step is a base step, and every event respects the predictive
+    /// windows (rules 2, 3(a), 4(a)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first unliftable event together with the
+    /// reason.
+    pub fn lift(
+        &self,
+        seq: &crate::TimedSequence<M::State, M::Action>,
+    ) -> Result<crate::TimedSequence<TimedState<M::State>, M::Action>, LiftError> {
+        let start = self
+            .initial_states()
+            .into_iter()
+            .find(|s| &s.base == seq.first_state())
+            .ok_or(LiftError::NotAStartState)?;
+        let mut run = crate::TimedSequence::new(start.clone());
+        let mut current = start;
+        for (index, (_, a, t, post)) in seq.step_triples().enumerate() {
+            let successors = self
+                .fire(&current, a, t)
+                .map_err(|cause| LiftError::Unfirable { index, cause })?;
+            let next = successors
+                .into_iter()
+                .find(|s| &s.base == post)
+                .ok_or(LiftError::NotABaseStep { index })?;
+            run.push(a.clone(), t, next.clone());
+            current = next;
+        }
+        Ok(run)
+    }
+}
+
+/// Why a timed sequence could not be lifted into `time(A, U)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// The first state is not a start state of the base automaton.
+    NotAStartState,
+    /// Event `index` violates a firing rule.
+    Unfirable {
+        /// 0-based step index.
+        index: usize,
+        /// The violated rule.
+        cause: FireError,
+    },
+    /// Event `index` is not a step of the base automaton.
+    NotABaseStep {
+        /// 0-based step index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::NotAStartState => write!(f, "sequence does not begin in a start state"),
+            LiftError::Unfirable { index, cause } => {
+                write!(f, "event {index} cannot fire: {cause}")
+            }
+            LiftError::NotABaseStep { index } => {
+                write!(f, "event {index} is not a step of the base automaton")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::Interval;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    /// A two-phase automaton: `go` moves 0→1, `done` moves 1→0.
+    #[derive(Debug)]
+    struct Phases {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Phases {
+        fn new() -> Phases {
+            let sig = Signature::new(vec![], vec!["go", "done"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Phases { sig, part }
+        }
+    }
+
+    impl Ioa for Phases {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            match (*a, *s) {
+                ("go", 0) => vec![1],
+                ("done", 1) => vec![0],
+                _ => vec![],
+            }
+        }
+    }
+
+    /// `go` within [1, 2] of the start; after each `go`, `done` within
+    /// [3, 4]; after each `done`, `go` again within [1, 2].
+    fn conditions() -> Vec<TimingCondition<u8, &'static str>> {
+        let c_go = TimingCondition::new("GO", iv(1, 2))
+            .triggered_at_start(|s: &u8| *s == 0)
+            .triggered_by_step(|_, a: &&str, _| *a == "done")
+            .on_actions(|a: &&str| *a == "go");
+        let c_done = TimingCondition::new("DONE", iv(3, 4))
+            .triggered_by_step(|_, a: &&str, _| *a == "go")
+            .on_actions(|a: &&str| *a == "done");
+        vec![c_go, c_done]
+    }
+
+    fn automaton() -> TimeIoa<Phases> {
+        TimeIoa::new(Arc::new(Phases::new()), conditions())
+    }
+
+    #[test]
+    fn initial_predictions() {
+        let aut = automaton();
+        let inits = aut.initial_states();
+        assert_eq!(inits.len(), 1);
+        let s0 = &inits[0];
+        assert_eq!(s0.now, Rat::ZERO);
+        // GO is triggered at start: [1, 2]. DONE is not: defaults.
+        assert_eq!(s0.ft, vec![Rat::ONE, Rat::ZERO]);
+        assert_eq!(
+            s0.lt,
+            vec![TimeVal::from(Rat::from(2)), TimeVal::INFINITY]
+        );
+        assert_eq!(aut.condition_index("GO"), Some(0));
+        assert_eq!(aut.condition_index("DONE"), Some(1));
+        assert_eq!(aut.condition_index("NOPE"), None);
+    }
+
+    #[test]
+    fn windows_respect_ft_and_lt() {
+        let aut = automaton();
+        let s0 = aut.initial_states().pop().unwrap();
+        let w = aut.window(&s0, &"go").unwrap();
+        assert_eq!(w.lo, Rat::ONE);
+        assert_eq!(w.hi, TimeVal::from(Rat::from(2)));
+        assert!(w.contains(Rat::new(3, 2)));
+        assert!(!w.contains(Rat::new(1, 2)));
+        // done is base-disabled in state 0.
+        assert!(aut.window(&s0, &"done").is_none());
+        let opts = aut.enabled_windows(&s0);
+        assert_eq!(opts.len(), 1);
+        assert_eq!(opts[0].0, "go");
+        assert!(!aut.is_timelocked(&s0));
+    }
+
+    #[test]
+    fn fire_checks_rules() {
+        let aut = automaton();
+        let s0 = aut.initial_states().pop().unwrap();
+        assert_eq!(
+            aut.fire(&s0, &"go", Rat::new(1, 2)),
+            Err(FireError::TooEarly {
+                condition: "GO".into()
+            })
+        );
+        assert_eq!(
+            aut.fire(&s0, &"go", Rat::from(3)),
+            Err(FireError::TooLate {
+                condition: "GO".into()
+            })
+        );
+        assert_eq!(aut.fire(&s0, &"done", Rat::ONE), Err(FireError::BaseDisabled));
+
+        let s1 = aut.fire(&s0, &"go", Rat::new(3, 2)).unwrap().pop().unwrap();
+        assert_eq!(s1.base, 1);
+        assert_eq!(s1.now, Rat::new(3, 2));
+        // go occurred non-triggering for GO (its trigger is `done` steps):
+        // GO resets to defaults (rule 3(c)). DONE triggered: [t+3, t+4].
+        assert_eq!(s1.ft, vec![Rat::ZERO, Rat::new(9, 2)]);
+        assert_eq!(
+            s1.lt,
+            vec![TimeVal::INFINITY, TimeVal::from(Rat::new(11, 2))]
+        );
+        // Time regression rejected.
+        assert_eq!(aut.fire(&s1, &"done", Rat::ONE), Err(FireError::TimeRegression));
+    }
+
+    #[test]
+    fn full_cycle_and_is_step() {
+        let aut = automaton();
+        let s0 = aut.initial_states().pop().unwrap();
+        let s1 = aut.fire(&s0, &"go", Rat::from(2)).unwrap().pop().unwrap();
+        let s2 = aut.fire(&s1, &"done", Rat::from(5)).unwrap().pop().unwrap();
+        assert_eq!(s2.base, 0);
+        // done triggered GO: go again within [6, 7].
+        assert_eq!(s2.ft[0], Rat::from(6));
+        assert_eq!(s2.lt[0], TimeVal::from(Rat::from(7)));
+        // DONE cleared (3(c) — done is in Π(DONE), not a DONE trigger).
+        assert_eq!(s2.ft[1], Rat::ZERO);
+        assert_eq!(s2.lt[1], TimeVal::INFINITY);
+        assert!(aut.is_step(&s1, &"done", Rat::from(5), &s2));
+        assert!(!aut.is_step(&s1, &"done", Rat::from(5), &s0));
+    }
+
+    #[test]
+    fn rule_4a_other_conditions_block_late_actions() {
+        // After go at t=2, DONE requires done by t=6; firing go is
+        // impossible (base), but if it were enabled past Lt(DONE) it would
+        // be blocked by 4(a). Exercise via a state where both are enabled:
+        // craft it directly.
+        let aut = automaton();
+        let s = TimedState {
+            base: 0,
+            now: Rat::ZERO,
+            ft: vec![Rat::ZERO, Rat::ZERO],
+            lt: vec![TimeVal::INFINITY, TimeVal::from(Rat::from(3))],
+        };
+        // go is not in Π(DONE) but must still respect Lt(DONE) = 3.
+        assert_eq!(
+            aut.fire(&s, &"go", Rat::from(4)),
+            Err(FireError::TooLate {
+                condition: "DONE".into()
+            })
+        );
+        assert!(aut.fire(&s, &"go", Rat::from(3)).is_ok());
+        let w = aut.window(&s, &"go").unwrap();
+        assert_eq!(w.hi, TimeVal::from(Rat::from(3)));
+    }
+
+    #[test]
+    fn rule_4b_min_keeps_tighter_prediction() {
+        // Condition whose trigger is `go` steps but π = done, with a prior
+        // tighter Lt: the min must keep the prior value.
+        let c = TimingCondition::new("X", iv(0, 10))
+            .triggered_by_step(|_, a: &&str, _| *a == "go")
+            .on_actions(|a: &&str| *a == "done");
+        let aut = TimeIoa::new(Arc::new(Phases::new()), vec![c]);
+        let pre = TimedState {
+            base: 0,
+            now: Rat::ZERO,
+            ft: vec![Rat::ZERO],
+            lt: vec![TimeVal::from(Rat::from(5))], // prior, tighter than 0+10
+        };
+        let post = aut.update(&pre, &"go", Rat::ZERO, &1);
+        assert_eq!(post.lt[0], TimeVal::from(Rat::from(5)));
+        assert_eq!(post.ft[0], Rat::ZERO);
+        // Without a prior prediction the new bound applies.
+        let pre2 = TimedState {
+            base: 0,
+            now: Rat::ZERO,
+            ft: vec![Rat::ZERO],
+            lt: vec![TimeVal::INFINITY],
+        };
+        let post2 = aut.update(&pre2, &"go", Rat::ONE, &1);
+        assert_eq!(post2.lt[0], TimeVal::from(Rat::from(11)));
+        assert_eq!(post2.ft[0], Rat::ONE);
+    }
+
+    #[test]
+    fn rule_4d_disabling_resets() {
+        let c = TimingCondition::new("X", iv(0, 10))
+            .triggered_at_start(|_| true)
+            .on_actions(|a: &&str| *a == "done")
+            .disabled_in(|s: &u8| *s == 1);
+        let aut = TimeIoa::new(Arc::new(Phases::new()), vec![c]);
+        let s0 = aut.initial_states().pop().unwrap();
+        assert_eq!(s0.lt[0], TimeVal::from(Rat::from(10)));
+        // go enters state 1 ∈ S(X): predictions reset (rule 4(d)).
+        let s1 = aut.fire(&s0, &"go", Rat::ONE).unwrap().pop().unwrap();
+        assert_eq!(s1.ft[0], Rat::ZERO);
+        assert_eq!(s1.lt[0], TimeVal::INFINITY);
+    }
+
+    #[test]
+    fn timelock_detection() {
+        let aut = automaton();
+        // A state where go is base-enabled but every Lt has passed.
+        let s = TimedState {
+            base: 0,
+            now: Rat::from(10),
+            ft: vec![Rat::ZERO, Rat::ZERO],
+            lt: vec![TimeVal::from(Rat::from(5)), TimeVal::INFINITY],
+        };
+        assert!(aut.is_timelocked(&s));
+    }
+}

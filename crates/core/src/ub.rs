@@ -1,0 +1,184 @@
+//! The boundmap-induced timing conditions `U_b` and the automaton
+//! `time(A, b)` (paper §2.3 and §3.2).
+
+use std::sync::Arc;
+
+use tempo_ioa::{ClassId, Ioa};
+
+use crate::{Boundmap, TimeIoa, Timed, TimingCondition};
+
+/// Builds `cond(C)` — the timing condition expressing the boundmap
+/// constraint on partition class `C` (paper §2.3):
+///
+/// * `T_start(C)` = start states in which some `C`-action is enabled;
+/// * `T_step(C)` = steps `(s′, π, s)` with `s ∈ enabled(A, C)` and either
+///   `s′ ∈ disabled(A, C)` or `π ∈ C`;
+/// * bounds `b(C)`;
+/// * `Π(C) = C`;
+/// * `S(C) = disabled(A, C)`.
+///
+/// # Panics
+///
+/// Panics if `class` is out of range for the boundmap.
+pub fn cond_of_class<M>(
+    aut: &Arc<M>,
+    b: &Boundmap,
+    class: ClassId,
+) -> TimingCondition<M::State, M::Action>
+where
+    M: Ioa + Send + Sync + 'static,
+{
+    let name = aut.partition().class_name(class).to_string();
+    let at_start = Arc::clone(aut);
+    let at_step = Arc::clone(aut);
+    let at_pi = Arc::clone(aut);
+    let at_dis = Arc::clone(aut);
+    TimingCondition::new(name, b.interval(class))
+        .triggered_at_start(move |s: &M::State| at_start.class_enabled(s, class))
+        .triggered_by_step(move |pre: &M::State, a: &M::Action, post: &M::State| {
+            at_step.class_enabled(post, class)
+                && (at_step.class_disabled(pre, class)
+                    || at_step.partition().class_of(a) == Some(class))
+        })
+        .on_actions(move |a: &M::Action| at_pi.partition().class_of(a) == Some(class))
+        .disabled_in(move |s: &M::State| at_dis.class_disabled(s, class))
+}
+
+/// Builds `U_b`: one [`cond_of_class`] per partition class, in class
+/// order. By Lemma 2.1 / Corollary 2.2, a timed sequence is a timed
+/// execution of `(A, b)` iff it satisfies every condition in `U_b`.
+pub fn u_b<M>(aut: &Arc<M>, b: &Boundmap) -> Vec<TimingCondition<M::State, M::Action>>
+where
+    M: Ioa + Send + Sync + 'static,
+{
+    aut.partition()
+        .ids()
+        .map(|c| cond_of_class(aut, b, c))
+        .collect()
+}
+
+/// Builds the automaton `time(A, b) = time(A, U_b)` (paper §3.2): the timed
+/// automaton's boundmap constraints incorporated into predictive state.
+/// Condition index `j` corresponds to partition class `ClassId(j)`.
+///
+/// # Example
+///
+/// See `tempo-systems::resource_manager`, which builds `time(A, b)` for the
+/// clock–manager composition.
+pub fn time_ab<M>(timed: &Timed<M>) -> TimeIoa<M>
+where
+    M: Ioa + Send + Sync + 'static,
+{
+    TimeIoa::new(
+        Arc::clone(timed.automaton()),
+        u_b(timed.automaton(), timed.boundmap()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::{Interval, Rat, TimeVal};
+
+    /// Alternator: `a` enabled in state 0, `b` enabled in state 1.
+    #[derive(Debug)]
+    struct Alternator {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Alternator {
+        fn new() -> Alternator {
+            let sig = Signature::new(vec![], vec!["a", "b"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Alternator { sig, part }
+        }
+    }
+
+    impl Ioa for Alternator {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            match (*a, *s) {
+                ("a", 0) => vec![1],
+                ("b", 1) => vec![0],
+                _ => vec![],
+            }
+        }
+    }
+
+    fn boundmap() -> Boundmap {
+        Boundmap::from_intervals(vec![
+            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+            Interval::closed(Rat::from(3), Rat::from(4)).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn cond_of_class_components() {
+        let aut = Arc::new(Alternator::new());
+        let b = boundmap();
+        let ca = cond_of_class(&aut, &b, ClassId(0));
+        assert_eq!(ca.name(), "\"a\"");
+        // T_start: a enabled in start state 0.
+        assert!(ca.in_t_start(&0));
+        assert!(!ca.in_t_start(&1));
+        // Π = {a}.
+        assert!(ca.in_pi(&"a"));
+        assert!(!ca.in_pi(&"b"));
+        // Disabling set = states where a is disabled.
+        assert!(ca.in_disabling(&1));
+        assert!(!ca.in_disabling(&0));
+        // T_step: b-steps re-enable a.
+        assert!(ca.in_t_step(&1, &"b", &0));
+        assert!(!ca.in_t_step(&0, &"a", &1));
+        assert_eq!(ca.lower(), Rat::ONE);
+        assert_eq!(ca.upper(), TimeVal::from(Rat::from(2)));
+    }
+
+    #[test]
+    fn time_ab_initial_predictions_follow_enabledness() {
+        let aut = Arc::new(Alternator::new());
+        let timed = Timed::new(aut, boundmap()).unwrap();
+        let t = time_ab(&timed);
+        assert_eq!(t.conditions().len(), 2);
+        let s0 = t.initial_states().pop().unwrap();
+        // Class a enabled at start: [1, 2]; class b disabled: defaults.
+        assert_eq!(s0.ft, vec![Rat::ONE, Rat::ZERO]);
+        assert_eq!(s0.lt, vec![TimeVal::from(Rat::from(2)), TimeVal::INFINITY]);
+    }
+
+    #[test]
+    fn time_ab_alternation_semantics() {
+        let aut = Arc::new(Alternator::new());
+        let timed = Timed::new(aut, boundmap()).unwrap();
+        let t = time_ab(&timed);
+        let s0 = t.initial_states().pop().unwrap();
+        // a fires in [1,2]; b then must fire in [t+3, t+4].
+        let w = t.window(&s0, &"a").unwrap();
+        assert_eq!((w.lo, w.hi), (Rat::ONE, TimeVal::from(Rat::from(2))));
+        let s1 = t.fire(&s0, &"a", Rat::from(2)).unwrap().pop().unwrap();
+        // a's class is now disabled → defaults; b triggered: [5, 6].
+        assert_eq!(s1.ft, vec![Rat::ZERO, Rat::from(5)]);
+        assert_eq!(
+            s1.lt,
+            vec![TimeVal::INFINITY, TimeVal::from(Rat::from(6))]
+        );
+        let w = t.window(&s1, &"b").unwrap();
+        assert_eq!((w.lo, w.hi), (Rat::from(5), TimeVal::from(Rat::from(6))));
+        let s2 = t.fire(&s1, &"b", Rat::from(6)).unwrap().pop().unwrap();
+        // b fired triggering a: [7, 8]; b's own class disabled → defaults.
+        assert_eq!(s2.ft, vec![Rat::from(7), Rat::ZERO]);
+        assert_eq!(s2.lt, vec![TimeVal::from(Rat::from(8)), TimeVal::INFINITY]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests for the `time(A, b)` construction and the satisfaction
+//! checkers, over randomly parameterized two-class systems.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tempo_core::{
+    check_timed_execution, project, satisfies, semi_satisfies, time_ab, u_b, Boundmap,
+    RandomScheduler, SatisfactionMode, TimeIoa, Timed,
+};
+use tempo_ioa::{Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+
+/// Two interacting classes: `a` increments, `b` fires only when the count
+/// is odd (so class `b` toggles between enabled and disabled — exercising
+/// prediction resets).
+#[derive(Debug)]
+struct Toggler {
+    sig: Signature<&'static str>,
+    part: Partition<&'static str>,
+}
+
+impl Toggler {
+    fn new() -> Toggler {
+        let sig = Signature::new(vec![], vec!["a", "b"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        Toggler { sig, part }
+    }
+}
+
+impl Ioa for Toggler {
+    type State = u32;
+    type Action = &'static str;
+    fn signature(&self) -> &Signature<&'static str> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<&'static str> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<u32> {
+        vec![0]
+    }
+    fn post(&self, s: &u32, a: &&'static str) -> Vec<u32> {
+        match *a {
+            "a" => vec![s + 1],
+            "b" if s % 2 == 1 => vec![s + 1],
+            _ => vec![],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bounds {
+    a_lo: Rat,
+    a_hi: Rat,
+    b_lo: Rat,
+    b_hi: Rat,
+}
+
+fn bounds() -> impl Strategy<Value = Bounds> {
+    (1i128..=4, 0i128..=3, 1i128..=4, 0i128..=3).prop_map(|(al, aw, bl, bw)| Bounds {
+        a_lo: Rat::from(al),
+        a_hi: Rat::from(al + aw),
+        b_lo: Rat::from(bl),
+        b_hi: Rat::from(bl + bw),
+    })
+}
+
+fn system(b: &Bounds) -> (Timed<Toggler>, TimeIoa<Toggler>) {
+    let timed = Timed::new(
+        Arc::new(Toggler::new()),
+        Boundmap::from_intervals(vec![
+            Interval::new(b.a_lo, TimeVal::from(b.a_hi)).unwrap(),
+            Interval::new(b.b_lo, TimeVal::from(b.b_hi)).unwrap(),
+        ]),
+    )
+    .unwrap();
+    let aut = time_ab(&timed);
+    (timed, aut)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reachable predictive states are internally consistent: `Ct` never
+    /// exceeds any pending `Lt`, and each `Ft` is at most `Ct + b_l` of
+    /// its class (the paper's footnote-4 observation).
+    #[test]
+    fn predictive_state_invariants(b in bounds(), seed in 0u64..500) {
+        let (timed, aut) = system(&b);
+        let lowers = [b.a_lo, b.b_lo];
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = aut.generate(&mut sched, 50);
+        for s in run.states() {
+            for (j, lower) in lowers.iter().enumerate() {
+                prop_assert!(TimeVal::from(s.now) <= s.lt[j], "Ct past Lt in {s:?}");
+                prop_assert!(s.ft[j] <= s.now + *lower, "Ft too far out in {s:?}");
+            }
+        }
+        // And the projection is a timed execution (Definition 2.1).
+        let seq = project(&run);
+        prop_assert!(check_timed_execution(&seq, &timed, SatisfactionMode::Prefix).is_ok());
+    }
+
+    /// No timelocks: whenever the base automaton is live, some window is
+    /// nonempty.
+    #[test]
+    fn no_timelocks(b in bounds(), seed in 0u64..500) {
+        let (_, aut) = system(&b);
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = aut.generate(&mut sched, 50);
+        for s in run.states() {
+            prop_assert!(!aut.is_timelocked(s), "timelocked: {s:?}");
+        }
+    }
+
+    /// `fire` agrees with `window`: inside succeeds, outside fails.
+    #[test]
+    fn fire_matches_window(b in bounds(), seed in 0u64..500, probe in 0i128..=20) {
+        let (_, aut) = system(&b);
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = aut.generate(&mut sched, 12);
+        let s = run.last_state().clone();
+        let t_probe = s.now + Rat::new(probe, 4);
+        for action in ["a", "b"] {
+            match aut.window(&s, &action) {
+                Some(w) => {
+                    prop_assert_eq!(
+                        aut.fire(&s, &action, t_probe).is_ok(),
+                        w.contains(t_probe),
+                        "window/fire disagree at {} for {}", t_probe, action
+                    );
+                }
+                None => {
+                    prop_assert!(aut.fire(&s, &action, t_probe).is_err());
+                }
+            }
+        }
+    }
+
+    /// Satisfaction (Definition 2.2) implies semi-satisfaction
+    /// (Definition 3.1), and semi-satisfaction is prefix-closed.
+    #[test]
+    fn satisfaction_hierarchy(b in bounds(), seed in 0u64..500, cut in 0usize..40) {
+        let (timed, aut) = system(&b);
+        let conds = u_b(timed.automaton(), timed.boundmap());
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = aut.generate(&mut sched, 40);
+        let seq = project(&run);
+        for cond in &conds {
+            if satisfies(&seq, cond).is_ok() {
+                prop_assert!(semi_satisfies(&seq, cond).is_ok());
+            }
+            // Honest prefixes always semi-satisfy.
+            prop_assert!(semi_satisfies(&seq, cond).is_ok());
+            let prefix = seq.prefix(cut.min(seq.len()));
+            prop_assert!(semi_satisfies(&prefix, cond).is_ok());
+        }
+    }
+
+    /// Times along a run are nondecreasing and events respect the global
+    /// deadline structure (each event is at most `max(b_u)` after the
+    /// previous one once both classes are enabled).
+    #[test]
+    fn event_spacing(b in bounds(), seed in 0u64..500) {
+        let (_, aut) = system(&b);
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = aut.generate(&mut sched, 50);
+        let times: Vec<Rat> = run.timed_schedule().iter().map(|(_, t)| *t).collect();
+        let cap = b.a_hi.max(b.b_hi);
+        let mut prev = Rat::ZERO;
+        for t in times {
+            prop_assert!(t >= prev);
+            prop_assert!(t - prev <= cap, "gap {} exceeds max upper bound {}", t - prev, cap);
+            prev = t;
+        }
+    }
+}
+
+/// Regression: long random runs keep rational denominators bounded (the
+/// scheduler snaps to a dyadic grid), so exact arithmetic never overflows.
+#[test]
+fn long_runs_keep_denominators_bounded() {
+    let b = Bounds {
+        a_lo: Rat::new(3, 2),
+        a_hi: Rat::new(7, 3),
+        b_lo: Rat::new(1, 2),
+        b_hi: Rat::new(5, 2),
+    };
+    let (_, aut) = system(&b);
+    for seed in 0..4 {
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = aut.generate(&mut sched, 800);
+        assert_eq!(run.len(), 800);
+        for (_, t) in run.timed_schedule() {
+            assert!(
+                t.denom() <= 4096,
+                "denominator {} grew unboundedly",
+                t.denom()
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Anchor crate: hosts the repository-level `examples/` and `tests/`
+//! directories (Cargo targets must belong to a package). The library
+//! itself re-exports the full `tempo` stack for convenience in those
+//! targets.
+
+#![forbid(unsafe_code)]
+
+pub use tempo_core as core;
+pub use tempo_ioa as ioa;
+pub use tempo_math as math;
+pub use tempo_sim as sim;
+pub use tempo_systems as systems;
+pub use tempo_zones as zones;

@@ -1,0 +1,63 @@
+//! Action classification.
+
+use std::fmt;
+
+/// The classification of an action within an automaton's signature.
+///
+/// Input and output actions are *external*; output and internal actions are
+/// *locally controlled* (under the automaton's own control and subject to
+/// its partition classes and, in the timed layer, to boundmap bounds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// An action controlled by the environment; must be enabled in every
+    /// state (input-enabledness).
+    Input,
+    /// A locally controlled, externally visible action.
+    Output,
+    /// A locally controlled, hidden action.
+    Internal,
+}
+
+impl ActionKind {
+    /// Returns `true` for output and internal actions.
+    pub fn is_locally_controlled(self) -> bool {
+        matches!(self, ActionKind::Output | ActionKind::Internal)
+    }
+
+    /// Returns `true` for input and output actions.
+    pub fn is_external(self) -> bool {
+        matches!(self, ActionKind::Input | ActionKind::Output)
+    }
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionKind::Input => write!(f, "input"),
+            ActionKind::Output => write!(f, "output"),
+            ActionKind::Internal => write!(f, "internal"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(ActionKind::Output.is_locally_controlled());
+        assert!(ActionKind::Internal.is_locally_controlled());
+        assert!(!ActionKind::Input.is_locally_controlled());
+        assert!(ActionKind::Input.is_external());
+        assert!(ActionKind::Output.is_external());
+        assert!(!ActionKind::Internal.is_external());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ActionKind::Input.to_string(), "input");
+        assert_eq!(ActionKind::Output.to_string(), "output");
+        assert_eq!(ActionKind::Internal.to_string(), "internal");
+    }
+}

@@ -1,0 +1,101 @@
+//! The core [`Ioa`] trait.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::{ClassId, Partition, Signature};
+
+/// An I/O automaton: action signature, start states, nondeterministic steps
+/// and a partition of the locally controlled actions.
+///
+/// Implementations provide [`signature`](Ioa::signature),
+/// [`partition`](Ioa::partition), [`initial_states`](Ioa::initial_states)
+/// and [`post`](Ioa::post); the remaining methods are derived.
+///
+/// The action alphabet is required to be finite (enumerated by the
+/// signature) so that enabledness and composition are decidable. States may
+/// be unbounded; exploration tools take explicit limits.
+pub trait Ioa {
+    /// The state type.
+    type State: Clone + Eq + Hash + fmt::Debug;
+    /// The action type.
+    type Action: Clone + Eq + Hash + fmt::Debug;
+
+    /// The action signature.
+    fn signature(&self) -> &Signature<Self::Action>;
+
+    /// The partition of locally controlled actions into classes.
+    fn partition(&self) -> &Partition<Self::Action>;
+
+    /// The start states (`start(A)`); must be nonempty.
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// All states `s` such that `(s', a, s)` is a step. Empty when `a` is
+    /// not enabled in `s'`.
+    fn post(&self, s: &Self::State, a: &Self::Action) -> Vec<Self::State>;
+
+    /// Returns `true` if `(s', a, s)` is a step of the automaton.
+    fn has_step(&self, s_pre: &Self::State, a: &Self::Action, s_post: &Self::State) -> bool {
+        self.post(s_pre, a).contains(s_post)
+    }
+
+    /// Returns `true` if some step with action `a` leaves `s`.
+    fn is_enabled(&self, s: &Self::State, a: &Self::Action) -> bool {
+        !self.post(s, a).is_empty()
+    }
+
+    /// All actions enabled in `s`, in signature order.
+    fn enabled_actions(&self, s: &Self::State) -> Vec<Self::Action> {
+        self.signature()
+            .actions()
+            .filter(|a| self.is_enabled(s, a))
+            .cloned()
+            .collect()
+    }
+
+    /// All `(action, post-state)` pairs leaving `s`.
+    fn steps_from(&self, s: &Self::State) -> Vec<(Self::Action, Self::State)> {
+        let mut out = Vec::new();
+        for a in self.signature().actions() {
+            for s2 in self.post(s, a) {
+                out.push((a.clone(), s2));
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `s ∈ enabled(A, C)`: some action of class `C` is
+    /// enabled in `s`.
+    fn class_enabled(&self, s: &Self::State, class: ClassId) -> bool {
+        self.partition()
+            .actions_of(class)
+            .iter()
+            .any(|a| self.is_enabled(s, a))
+    }
+
+    /// Returns `true` if `s ∈ disabled(A, C)`: no action of class `C` is
+    /// enabled in `s`.
+    fn class_disabled(&self, s: &Self::State, class: ClassId) -> bool {
+        !self.class_enabled(s, class)
+    }
+}
+
+// An automaton reference is itself an automaton; this lets combinators and
+// checkers borrow rather than consume.
+impl<T: Ioa + ?Sized> Ioa for &T {
+    type State = T::State;
+    type Action = T::Action;
+
+    fn signature(&self) -> &Signature<Self::Action> {
+        (**self).signature()
+    }
+    fn partition(&self) -> &Partition<Self::Action> {
+        (**self).partition()
+    }
+    fn initial_states(&self) -> Vec<Self::State> {
+        (**self).initial_states()
+    }
+    fn post(&self, s: &Self::State, a: &Self::Action) -> Vec<Self::State> {
+        (**self).post(s, a)
+    }
+}

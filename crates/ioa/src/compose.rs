@@ -1,0 +1,341 @@
+//! Binary parallel composition of I/O automata.
+
+use std::fmt;
+
+use crate::{Ioa, Partition, Signature, SignatureError};
+
+/// The parallel composition of two I/O automata sharing an action type.
+///
+/// Components synchronize on shared actions: a shared action occurs in the
+/// composite exactly when it occurs in every component whose signature
+/// contains it. Strong compatibility (Section 2.1) is enforced at
+/// construction: no action is an output of both components, and internal
+/// actions are not shared.
+///
+/// The composite signature classifies an action as output if it is an
+/// output of either component (an input matched with an output becomes an
+/// output of the composition), and as input if it is an input of some
+/// component and an output of neither. The composite partition is the
+/// disjoint union of the component partitions.
+///
+/// # Example
+///
+/// See `tempo-systems`' resource manager, which composes a clock and a
+/// manager over a shared `TICK` action.
+#[derive(Debug)]
+pub struct Compose<L, R>
+where
+    L: Ioa,
+    R: Ioa<Action = L::Action>,
+{
+    left: L,
+    right: R,
+    sig: Signature<L::Action>,
+    part: Partition<L::Action>,
+}
+
+/// Error returned when two automata are not strongly compatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompositionError {
+    /// An action is an output of both components.
+    SharedOutput(String),
+    /// An internal action of one component appears in the other's
+    /// signature.
+    SharedInternal(String),
+    /// The combined signature is ill-formed.
+    Signature(SignatureError),
+}
+
+impl fmt::Display for CompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositionError::SharedOutput(a) => {
+                write!(f, "action {a} is an output of more than one component")
+            }
+            CompositionError::SharedInternal(a) => {
+                write!(f, "internal action {a} is shared with another component")
+            }
+            CompositionError::Signature(e) => write!(f, "ill-formed composite signature: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompositionError {}
+
+impl From<SignatureError> for CompositionError {
+    fn from(e: SignatureError) -> CompositionError {
+        CompositionError::Signature(e)
+    }
+}
+
+/// Computes the composite signature of a list of component signatures.
+///
+/// # Errors
+///
+/// Returns a [`CompositionError`] if the components are not strongly
+/// compatible.
+pub(crate) fn compose_signatures<A: Clone + Eq + std::hash::Hash + fmt::Debug>(
+    sigs: &[&Signature<A>],
+) -> Result<Signature<A>, CompositionError> {
+    let mut outputs: Vec<A> = Vec::new();
+    let mut internals: Vec<A> = Vec::new();
+    let mut inputs: Vec<A> = Vec::new();
+
+    for (i, sig) in sigs.iter().enumerate() {
+        for a in sig.outputs() {
+            if outputs.contains(a) {
+                return Err(CompositionError::SharedOutput(format!("{a:?}")));
+            }
+            outputs.push(a.clone());
+        }
+        for a in sig.internals() {
+            for (j, other) in sigs.iter().enumerate() {
+                if i != j && other.contains(a) {
+                    return Err(CompositionError::SharedInternal(format!("{a:?}")));
+                }
+            }
+            internals.push(a.clone());
+        }
+    }
+    for sig in sigs {
+        for a in sig.inputs() {
+            if !outputs.contains(a) && !inputs.contains(a) {
+                inputs.push(a.clone());
+            }
+        }
+    }
+    Ok(Signature::new(inputs, outputs, internals)?)
+}
+
+impl<L, R> Compose<L, R>
+where
+    L: Ioa,
+    R: Ioa<Action = L::Action>,
+{
+    /// Composes `left` and `right`, checking strong compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompositionError`] if the automata share an output, or
+    /// an internal action of one appears in the other's signature.
+    pub fn new(left: L, right: R) -> Result<Compose<L, R>, CompositionError> {
+        let sig = compose_signatures(&[left.signature(), right.signature()])?;
+        let part = left.partition().union(right.partition());
+        Ok(Compose {
+            left,
+            right,
+            sig,
+            part,
+        })
+    }
+
+    /// Returns the left component.
+    pub fn left(&self) -> &L {
+        &self.left
+    }
+
+    /// Returns the right component.
+    pub fn right(&self) -> &R {
+        &self.right
+    }
+}
+
+impl<L, R> Ioa for Compose<L, R>
+where
+    L: Ioa,
+    R: Ioa<Action = L::Action>,
+{
+    type State = (L::State, R::State);
+    type Action = L::Action;
+
+    fn signature(&self) -> &Signature<Self::Action> {
+        &self.sig
+    }
+
+    fn partition(&self) -> &Partition<Self::Action> {
+        &self.part
+    }
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        let rights = self.right.initial_states();
+        self.left
+            .initial_states()
+            .into_iter()
+            .flat_map(|l| rights.iter().cloned().map(move |r| (l.clone(), r)))
+            .collect()
+    }
+
+    fn post(&self, s: &Self::State, a: &Self::Action) -> Vec<Self::State> {
+        let in_left = self.left.signature().contains(a);
+        let in_right = self.right.signature().contains(a);
+        if !in_left && !in_right {
+            return vec![];
+        }
+        let lefts: Vec<L::State> = if in_left {
+            self.left.post(&s.0, a)
+        } else {
+            vec![s.0.clone()]
+        };
+        let rights: Vec<R::State> = if in_right {
+            self.right.post(&s.1, a)
+        } else {
+            vec![s.1.clone()]
+        };
+        if (in_left && lefts.is_empty()) || (in_right && rights.is_empty()) {
+            return vec![];
+        }
+        lefts
+            .into_iter()
+            .flat_map(|l| rights.iter().cloned().map(move |r| (l.clone(), r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ActionKind;
+
+    /// Emits `ping` when off, turning on; receives `pong` turning off.
+    #[derive(Debug)]
+    struct Pinger {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Pinger {
+        fn new() -> Pinger {
+            let sig = Signature::new(vec!["pong"], vec!["ping"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Pinger { sig, part }
+        }
+    }
+
+    impl Ioa for Pinger {
+        type State = bool; // waiting-for-pong?
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<bool> {
+            vec![false]
+        }
+        fn post(&self, s: &bool, a: &&'static str) -> Vec<bool> {
+            match (*a, *s) {
+                ("ping", false) => vec![true],
+                ("pong", _) => vec![false], // input: always enabled
+                _ => vec![],
+            }
+        }
+    }
+
+    /// Receives `ping`, then emits `pong`.
+    #[derive(Debug)]
+    struct Ponger {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ponger {
+        fn new() -> Ponger {
+            let sig = Signature::new(vec!["ping"], vec!["pong"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Ponger { sig, part }
+        }
+    }
+
+    impl Ioa for Ponger {
+        type State = bool; // owes-a-pong?
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<bool> {
+            vec![false]
+        }
+        fn post(&self, s: &bool, a: &&'static str) -> Vec<bool> {
+            match (*a, *s) {
+                ("ping", _) => vec![true],
+                ("pong", true) => vec![false],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn composite_signature() {
+        let c = Compose::new(Pinger::new(), Ponger::new()).unwrap();
+        // Both actions are matched input/output pairs, so both are outputs.
+        assert_eq!(c.signature().kind_of(&"ping"), Some(ActionKind::Output));
+        assert_eq!(c.signature().kind_of(&"pong"), Some(ActionKind::Output));
+        assert_eq!(c.signature().inputs().count(), 0);
+        assert_eq!(c.partition().len(), 2);
+    }
+
+    #[test]
+    fn synchronization() {
+        let c = Compose::new(Pinger::new(), Ponger::new()).unwrap();
+        let s0 = (false, false);
+        // ping fires in both components simultaneously.
+        assert_eq!(c.post(&s0, &"ping"), vec![(true, true)]);
+        // pong is not enabled yet (ponger owes nothing).
+        assert!(c.post(&s0, &"pong").is_empty());
+        let s1 = (true, true);
+        assert_eq!(c.post(&s1, &"pong"), vec![(false, false)]);
+        // ping disabled while pinger waits.
+        assert!(c.post(&s1, &"ping").is_empty());
+        assert_eq!(c.initial_states(), vec![(false, false)]);
+    }
+
+    #[test]
+    fn alternation_execution() {
+        let c = Compose::new(Pinger::new(), Ponger::new()).unwrap();
+        let mut e = crate::Execution::new((false, false));
+        e.push("ping", (true, true));
+        e.push("pong", (false, false));
+        e.push("ping", (true, true));
+        assert!(e.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn shared_output_rejected() {
+        let err = Compose::new(Pinger::new(), Pinger::new());
+        assert!(matches!(err, Err(CompositionError::SharedOutput(_))));
+    }
+
+    #[test]
+    fn shared_internal_rejected() {
+        #[derive(Debug)]
+        struct WithInternal {
+            sig: Signature<&'static str>,
+            part: Partition<&'static str>,
+        }
+        impl Ioa for WithInternal {
+            type State = ();
+            type Action = &'static str;
+            fn signature(&self) -> &Signature<&'static str> {
+                &self.sig
+            }
+            fn partition(&self) -> &Partition<&'static str> {
+                &self.part
+            }
+            fn initial_states(&self) -> Vec<()> {
+                vec![()]
+            }
+            fn post(&self, _: &(), _: &&'static str) -> Vec<()> {
+                vec![()]
+            }
+        }
+        let sig = Signature::new(vec![], vec![], vec!["ping"]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let w = WithInternal { sig, part };
+        let err = Compose::new(w, Ponger::new());
+        assert!(matches!(err, Err(CompositionError::SharedInternal(_))));
+    }
+}

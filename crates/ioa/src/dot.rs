@@ -1,0 +1,145 @@
+//! Graphviz (`dot`) export of reachability graphs.
+
+use std::fmt::Write as _;
+
+use crate::ReachReport;
+
+impl<S, A> ReachReport<S, A>
+where
+    S: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    /// Renders the explored transition graph in Graphviz `dot` format:
+    /// one node per reachable state (labelled with its `Debug` form),
+    /// one edge per explored step (labelled with the action).
+    ///
+    /// Pipe the output through `dot -Tsvg` to visualize a system.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use tempo_ioa::{Explorer, Ioa, Partition, Signature};
+    /// # #[derive(Debug)]
+    /// # struct Bit { sig: Signature<&'static str>, part: Partition<&'static str> }
+    /// # impl Ioa for Bit {
+    /// #     type State = bool;
+    /// #     type Action = &'static str;
+    /// #     fn signature(&self) -> &Signature<&'static str> { &self.sig }
+    /// #     fn partition(&self) -> &Partition<&'static str> { &self.part }
+    /// #     fn initial_states(&self) -> Vec<bool> { vec![false] }
+    /// #     fn post(&self, s: &bool, a: &&'static str) -> Vec<bool> {
+    /// #         if *a == "flip" { vec![!s] } else { vec![] }
+    /// #     }
+    /// # }
+    /// # let sig = Signature::new(vec![], vec!["flip"], vec![]).unwrap();
+    /// # let part = Partition::singletons(&sig).unwrap();
+    /// let report = Explorer::new().explore(&Bit { sig, part });
+    /// let dot = report.to_dot("bit");
+    /// assert!(dot.starts_with("digraph bit {"));
+    /// assert!(dot.contains("flip"));
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for (id, state) in self.states().iter().enumerate() {
+            let label = escape(&format!("{state:?}"));
+            let _ = writeln!(out, "  s{id} [label=\"{label}\"];");
+        }
+        for (from, action, to) in self.steps() {
+            let label = escape(&format!("{action:?}"));
+            let _ = writeln!(out, "  s{from} -> s{to} [label=\"{label}\"];");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Explorer, Ioa, Partition, Signature};
+
+    #[derive(Debug)]
+    struct Two {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ioa for Two {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            if *a == "next" {
+                vec![(s + 1) % 2]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn dot_structure() {
+        let sig = Signature::new(vec![], vec!["next"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let dot = Explorer::new().explore(&Two { sig, part }).to_dot("two");
+        assert!(dot.starts_with("digraph two {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // &str actions Debug-print with quotes, which are escaped.
+        assert_eq!(dot.matches("next").count(), 2);
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("s1 -> s0"));
+        // One node line per state.
+        assert!(dot.contains("s0 [label=\"0\"];"));
+        assert!(dot.contains("s1 [label=\"1\"];"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let sig = Signature::new(vec![], vec!["say \"hi\""], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let dot = Explorer::new()
+            .explore(&{
+                #[derive(Debug)]
+                struct Q {
+                    sig: Signature<&'static str>,
+                    part: Partition<&'static str>,
+                }
+                impl Ioa for Q {
+                    type State = ();
+                    type Action = &'static str;
+                    fn signature(&self) -> &Signature<&'static str> {
+                        &self.sig
+                    }
+                    fn partition(&self) -> &Partition<&'static str> {
+                        &self.part
+                    }
+                    fn initial_states(&self) -> Vec<()> {
+                        vec![()]
+                    }
+                    fn post(&self, _: &(), _: &&'static str) -> Vec<()> {
+                        vec![()]
+                    }
+                }
+                Q { sig, part }
+            })
+            .to_dot("q");
+        assert!(dot.contains("hi"), "{dot}");
+        // The raw quote characters are escaped, keeping the dot valid:
+        // every unescaped quote delimits an attribute.
+        assert!(!dot.contains("=\"say"), "{dot}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Execution fragments, executions, schedules and behaviors.
+
+use std::fmt;
+
+use crate::{ActionKind, Ioa};
+
+/// An execution fragment `s0, π1, s1, …, πn, sn` of an I/O automaton.
+///
+/// The fragment alternates states and actions and ends with a state. An
+/// *execution* is a fragment whose first state is a start state; use
+/// [`Execution::validate`] to check a fragment against an automaton.
+///
+/// # Example
+///
+/// ```
+/// use tempo_ioa::Execution;
+///
+/// let mut e: Execution<u32, &str> = Execution::new(0);
+/// e.push("inc", 1);
+/// e.push("inc", 2);
+/// assert_eq!(e.schedule(), vec!["inc", "inc"]);
+/// assert_eq!(e.last_state(), &2);
+/// assert_eq!(e.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Execution<S, A> {
+    start: S,
+    steps: Vec<(A, S)>,
+}
+
+/// Error returned by [`Execution::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// The first state is not a start state of the automaton.
+    NotAStartState(String),
+    /// Step `index` is not a step of the automaton.
+    InvalidStep {
+        /// Position of the offending step (0-based).
+        index: usize,
+        /// Debug rendering of the offending triple.
+        step: String,
+    },
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::NotAStartState(s) => write!(f, "{s} is not a start state"),
+            ExecutionError::InvalidStep { index, step } => {
+                write!(f, "step {index} is not an automaton step: {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+impl<S: Clone + fmt::Debug, A: Clone + fmt::Debug> Execution<S, A> {
+    /// Creates a zero-step fragment at `start`.
+    pub fn new(start: S) -> Execution<S, A> {
+        Execution {
+            start,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a step `(last_state, action, state)`.
+    pub fn push(&mut self, action: A, state: S) {
+        self.steps.push((action, state));
+    }
+
+    /// Returns the first state.
+    pub fn first_state(&self) -> &S {
+        &self.start
+    }
+
+    /// Returns the final state.
+    pub fn last_state(&self) -> &S {
+        self.steps.last().map(|(_, s)| s).unwrap_or(&self.start)
+    }
+
+    /// Returns the number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the fragment has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates over the `i`-th step triples `(s_{i-1}, π_i, s_i)`.
+    pub fn step_triples(&self) -> impl Iterator<Item = (&S, &A, &S)> {
+        let states = std::iter::once(&self.start).chain(self.steps.iter().map(|(_, s)| s));
+        states
+            .zip(self.steps.iter())
+            .map(|(pre, (a, post))| (pre, a, post))
+    }
+
+    /// Iterates over the visited states, starting with the first.
+    pub fn states(&self) -> impl Iterator<Item = &S> {
+        std::iter::once(&self.start).chain(self.steps.iter().map(|(_, s)| s))
+    }
+
+    /// The schedule: the sequence of actions.
+    pub fn schedule(&self) -> Vec<A> {
+        self.steps.iter().map(|(a, _)| a.clone()).collect()
+    }
+
+    /// The behavior: the subsequence of external actions, classified by the
+    /// automaton `aut`.
+    pub fn behavior<M>(&self, aut: &M) -> Vec<A>
+    where
+        M: Ioa<Action = A>,
+        A: Eq + std::hash::Hash,
+    {
+        self.steps
+            .iter()
+            .filter(|(a, _)| {
+                aut.signature()
+                    .kind_of(a)
+                    .is_some_and(ActionKind::is_external)
+            })
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// Checks that this fragment is an execution of `aut`: the first state
+    /// is a start state and every triple is a step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate<M>(&self, aut: &M) -> Result<(), ExecutionError>
+    where
+        M: Ioa<State = S, Action = A>,
+        S: Eq + std::hash::Hash,
+        A: Eq + std::hash::Hash,
+    {
+        if !aut.initial_states().contains(&self.start) {
+            return Err(ExecutionError::NotAStartState(format!("{:?}", self.start)));
+        }
+        for (index, (pre, a, post)) in self.step_triples().enumerate() {
+            if !aut.has_step(pre, a, post) {
+                return Err(ExecutionError::InvalidStep {
+                    index,
+                    step: format!("({pre:?}, {a:?}, {post:?})"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Partition, Signature};
+
+    /// A toy counter: output `inc` always enabled, increments the state.
+    #[derive(Debug)]
+    struct Counter {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Counter {
+        fn new() -> Counter {
+            let sig = Signature::new(vec!["reset"], vec!["inc"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Counter { sig, part }
+        }
+    }
+
+    impl Ioa for Counter {
+        type State = u32;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn post(&self, s: &u32, a: &&'static str) -> Vec<u32> {
+            match *a {
+                "inc" => vec![s + 1],
+                "reset" => vec![0],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn build_and_project() {
+        let mut e: Execution<u32, &str> = Execution::new(0);
+        assert!(e.is_empty());
+        e.push("inc", 1);
+        e.push("reset", 0);
+        e.push("inc", 1);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.first_state(), &0);
+        assert_eq!(e.last_state(), &1);
+        assert_eq!(e.schedule(), vec!["inc", "reset", "inc"]);
+        assert_eq!(e.states().copied().collect::<Vec<_>>(), vec![0, 1, 0, 1]);
+        let triples: Vec<_> = e.step_triples().map(|(a, b, c)| (*a, *b, *c)).collect();
+        assert_eq!(triples, vec![(0, "inc", 1), (1, "reset", 0), (0, "inc", 1)]);
+    }
+
+    #[test]
+    fn behavior_filters_internal() {
+        let sig = Signature::new(vec![], vec!["out"], vec!["hidden"]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        #[derive(Debug)]
+        struct M {
+            sig: Signature<&'static str>,
+            part: Partition<&'static str>,
+        }
+        impl Ioa for M {
+            type State = ();
+            type Action = &'static str;
+            fn signature(&self) -> &Signature<&'static str> {
+                &self.sig
+            }
+            fn partition(&self) -> &Partition<&'static str> {
+                &self.part
+            }
+            fn initial_states(&self) -> Vec<()> {
+                vec![()]
+            }
+            fn post(&self, _: &(), _: &&'static str) -> Vec<()> {
+                vec![()]
+            }
+        }
+        let m = M { sig, part };
+        let mut e: Execution<(), &str> = Execution::new(());
+        e.push("out", ());
+        e.push("hidden", ());
+        e.push("out", ());
+        assert_eq!(e.behavior(&m), vec!["out", "out"]);
+    }
+
+    #[test]
+    fn validation() {
+        let c = Counter::new();
+        let mut e: Execution<u32, &str> = Execution::new(0);
+        e.push("inc", 1);
+        e.push("inc", 2);
+        assert!(e.validate(&c).is_ok());
+
+        let bad_start: Execution<u32, &str> = Execution::new(7);
+        assert!(matches!(
+            bad_start.validate(&c),
+            Err(ExecutionError::NotAStartState(_))
+        ));
+
+        let mut bad_step: Execution<u32, &str> = Execution::new(0);
+        bad_step.push("inc", 5);
+        assert!(matches!(
+            bad_step.validate(&c),
+            Err(ExecutionError::InvalidStep { index: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! Explicit-state reachability exploration.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::{Execution, Ioa};
+
+/// A bounded breadth-first reachability explorer.
+///
+/// # Example
+///
+/// ```
+/// # use tempo_ioa::{Explorer, Ioa, Partition, Signature};
+/// # #[derive(Debug)]
+/// # struct Mod4 { sig: Signature<&'static str>, part: Partition<&'static str> }
+/// # impl Ioa for Mod4 {
+/// #     type State = u8;
+/// #     type Action = &'static str;
+/// #     fn signature(&self) -> &Signature<&'static str> { &self.sig }
+/// #     fn partition(&self) -> &Partition<&'static str> { &self.part }
+/// #     fn initial_states(&self) -> Vec<u8> { vec![0] }
+/// #     fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+/// #         if *a == "inc" { vec![(s + 1) % 4] } else { vec![] }
+/// #     }
+/// # }
+/// # let sig = Signature::new(vec![], vec!["inc"], vec![]).unwrap();
+/// # let part = Partition::singletons(&sig).unwrap();
+/// let report = Explorer::new().explore(&Mod4 { sig, part });
+/// assert_eq!(report.states().len(), 4);
+/// assert!(!report.truncated());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    max_states: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer::new()
+    }
+}
+
+impl Explorer {
+    /// Creates an explorer with the default state limit (1,000,000).
+    pub fn new() -> Explorer {
+        Explorer {
+            max_states: 1_000_000,
+        }
+    }
+
+    /// Sets the maximum number of distinct states to visit.
+    pub fn with_max_states(mut self, max_states: usize) -> Explorer {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Explores the reachable states of `aut` breadth-first.
+    pub fn explore<M: Ioa>(&self, aut: &M) -> ReachReport<M::State, M::Action> {
+        let mut states: Vec<M::State> = Vec::new();
+        let mut index: HashMap<M::State, usize> = HashMap::new();
+        let mut parent: Vec<Option<(usize, M::Action)>> = Vec::new();
+        let mut steps: Vec<(usize, M::Action, usize)> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut truncated = false;
+
+        for s in aut.initial_states() {
+            if index.contains_key(&s) {
+                continue;
+            }
+            let id = states.len();
+            index.insert(s.clone(), id);
+            states.push(s);
+            parent.push(None);
+            queue.push_back(id);
+        }
+
+        while let Some(id) = queue.pop_front() {
+            let s = states[id].clone();
+            for (a, s2) in aut.steps_from(&s) {
+                let id2 = match index.get(&s2) {
+                    Some(&known) => known,
+                    None => {
+                        if states.len() >= self.max_states {
+                            truncated = true;
+                            continue;
+                        }
+                        let fresh = states.len();
+                        index.insert(s2.clone(), fresh);
+                        states.push(s2);
+                        parent.push(Some((id, a.clone())));
+                        queue.push_back(fresh);
+                        fresh
+                    }
+                };
+                steps.push((id, a.clone(), id2));
+            }
+        }
+
+        ReachReport {
+            states,
+            index,
+            parent,
+            steps,
+            truncated,
+        }
+    }
+}
+
+/// The result of a reachability exploration: the visited states, the
+/// explored transitions, and BFS parent pointers for path reconstruction.
+#[derive(Debug, Clone)]
+pub struct ReachReport<S, A> {
+    states: Vec<S>,
+    index: HashMap<S, usize>,
+    parent: Vec<Option<(usize, A)>>,
+    steps: Vec<(usize, A, usize)>,
+    truncated: bool,
+}
+
+impl<S: Clone + Eq + std::hash::Hash + std::fmt::Debug, A: Clone + std::fmt::Debug>
+    ReachReport<S, A>
+{
+    /// The reachable states, in BFS discovery order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The explored steps, as index triples into [`states`](Self::states).
+    pub fn steps(&self) -> &[(usize, A, usize)] {
+        &self.steps
+    }
+
+    /// Returns `true` if the exploration hit the state limit (the report is
+    /// then an under-approximation).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Returns the BFS index of a state, if reached.
+    pub fn index_of(&self, s: &S) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// Returns `true` if `s` was reached.
+    pub fn contains(&self, s: &S) -> bool {
+        self.index.contains_key(s)
+    }
+
+    /// Reconstructs a shortest witnessing execution from a start state to
+    /// the state with BFS index `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn witness(&self, id: usize) -> Execution<S, A> {
+        let mut rev: Vec<(A, S)> = Vec::new();
+        let mut cur = id;
+        while let Some((prev, a)) = &self.parent[cur] {
+            rev.push((a.clone(), self.states[cur].clone()));
+            cur = *prev;
+        }
+        let mut exec = Execution::new(self.states[cur].clone());
+        for (a, s) in rev.into_iter().rev() {
+            exec.push(a, s);
+        }
+        exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Partition, Signature};
+
+    #[derive(Debug)]
+    struct Gray {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Gray {
+        fn new() -> Gray {
+            let sig = Signature::new(vec![], vec!["a", "b"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Gray { sig, part }
+        }
+    }
+
+    impl Ioa for Gray {
+        type State = (bool, bool);
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<(bool, bool)> {
+            vec![(false, false)]
+        }
+        fn post(&self, s: &(bool, bool), a: &&'static str) -> Vec<(bool, bool)> {
+            match *a {
+                "a" => vec![(!s.0, s.1)],
+                "b" => vec![(s.0, !s.1)],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn explores_full_space() {
+        let report = Explorer::new().explore(&Gray::new());
+        assert_eq!(report.states().len(), 4);
+        assert!(!report.truncated());
+        // Each state has 2 outgoing steps.
+        assert_eq!(report.steps().len(), 8);
+        assert!(report.contains(&(true, true)));
+    }
+
+    #[test]
+    fn truncation() {
+        let report = Explorer::new().with_max_states(2).explore(&Gray::new());
+        assert_eq!(report.states().len(), 2);
+        assert!(report.truncated());
+    }
+
+    #[test]
+    fn witness_paths_are_valid_and_shortest() {
+        let aut = Gray::new();
+        let report = Explorer::new().explore(&aut);
+        let target = report.index_of(&(true, true)).unwrap();
+        let w = report.witness(target);
+        assert!(w.validate(&aut).is_ok());
+        assert_eq!(w.last_state(), &(true, true));
+        assert_eq!(w.len(), 2); // shortest path flips each bit once
+        // Witness of an initial state is empty.
+        let w0 = report.witness(report.index_of(&(false, false)).unwrap());
+        assert!(w0.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! The hiding operator.
+
+use crate::{Ioa, Partition, Signature};
+
+/// Reclassifies selected output actions of an automaton as internal.
+///
+/// Hiding changes only the signature (and hence behaviors); states, steps
+/// and the partition are untouched. In the paper's resource manager, the
+/// clock's `TICK` output is hidden so that `GRANT` is the composite's only
+/// external action.
+///
+/// # Example
+///
+/// ```
+/// use tempo_ioa::{ActionKind, Hide, Ioa, Partition, Signature};
+///
+/// #[derive(Debug)]
+/// struct Two {
+///     sig: Signature<&'static str>,
+///     part: Partition<&'static str>,
+/// }
+/// impl Ioa for Two {
+///     type State = ();
+///     type Action = &'static str;
+///     fn signature(&self) -> &Signature<&'static str> { &self.sig }
+///     fn partition(&self) -> &Partition<&'static str> { &self.part }
+///     fn initial_states(&self) -> Vec<()> { vec![()] }
+///     fn post(&self, _: &(), _: &&'static str) -> Vec<()> { vec![()] }
+/// }
+///
+/// let sig = Signature::new(vec![], vec!["a", "b"], vec![])?;
+/// let part = Partition::singletons(&sig)?;
+/// let hidden = Hide::new(Two { sig, part }, &["a"]);
+/// assert_eq!(hidden.signature().kind_of(&"a"), Some(ActionKind::Internal));
+/// assert_eq!(hidden.signature().kind_of(&"b"), Some(ActionKind::Output));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Hide<M: Ioa> {
+    inner: M,
+    sig: Signature<M::Action>,
+}
+
+impl<M: Ioa> Hide<M> {
+    /// Hides the given output actions of `inner`.
+    ///
+    /// Actions that are not outputs of `inner` are silently ignored, as in
+    /// the standard definition of the operator.
+    pub fn new(inner: M, hidden: &[M::Action]) -> Hide<M> {
+        let sig = inner.signature().hide(hidden);
+        Hide { inner, sig }
+    }
+
+    /// Returns the underlying automaton.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Ioa> Ioa for Hide<M> {
+    type State = M::State;
+    type Action = M::Action;
+
+    fn signature(&self) -> &Signature<Self::Action> {
+        &self.sig
+    }
+
+    fn partition(&self) -> &Partition<Self::Action> {
+        self.inner.partition()
+    }
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        self.inner.initial_states()
+    }
+
+    fn post(&self, s: &Self::State, a: &Self::Action) -> Vec<Self::State> {
+        self.inner.post(s, a)
+    }
+}

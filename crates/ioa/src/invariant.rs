@@ -1,0 +1,173 @@
+//! Invariant checking over reachable states.
+
+use crate::{Execution, Explorer, Ioa};
+
+/// The outcome of checking a state predicate over reachable states.
+#[derive(Debug, Clone)]
+pub enum InvariantOutcome<S, A> {
+    /// The predicate held in every reachable state visited.
+    Holds {
+        /// Number of states checked.
+        states_checked: usize,
+        /// `true` if the exploration was truncated by the state limit (the
+        /// verdict is then only valid for the visited prefix).
+        truncated: bool,
+    },
+    /// The predicate failed; a shortest witnessing execution is included.
+    Violated {
+        /// A shortest execution from a start state to the violating state.
+        witness: Execution<S, A>,
+    },
+}
+
+impl<S, A> InvariantOutcome<S, A> {
+    /// Returns `true` if the invariant held on all visited states.
+    pub fn holds(&self) -> bool {
+        matches!(self, InvariantOutcome::Holds { .. })
+    }
+}
+
+/// Checks that `pred` holds in every reachable state of `aut` (up to the
+/// explorer's state limit), returning a counterexample execution otherwise.
+///
+/// This is the workhorse behind proofs like Lemma 4.1 (`TIMER ≥ 0`) and
+/// Lemma 6.1 (at most one `SIGNAL` flag set) when instantiated on the
+/// untimed automaton, and behind predictive-state invariants when
+/// instantiated on discretized `time(A, b)` automata.
+pub fn check_invariant<M, F>(
+    aut: &M,
+    explorer: &Explorer,
+    pred: F,
+) -> InvariantOutcome<M::State, M::Action>
+where
+    M: Ioa,
+    F: Fn(&M::State) -> bool,
+{
+    let report = explorer.explore(aut);
+    for (id, s) in report.states().iter().enumerate() {
+        if !pred(s) {
+            return InvariantOutcome::Violated {
+                witness: report.witness(id),
+            };
+        }
+    }
+    InvariantOutcome::Holds {
+        states_checked: report.states().len(),
+        truncated: report.truncated(),
+    }
+}
+
+/// Checks input-enabledness: every input action of the signature must be
+/// enabled in every reachable state.
+///
+/// Returns `Ok(states_checked)` or the first violation as
+/// `(state, input-action)`.
+///
+/// # Errors
+///
+/// Returns the violating `(state, action)` pair.
+pub fn check_input_enabled<M: Ioa>(
+    aut: &M,
+    explorer: &Explorer,
+) -> Result<usize, (M::State, M::Action)> {
+    let report = explorer.explore(aut);
+    let inputs: Vec<M::Action> = aut.signature().inputs().cloned().collect();
+    for s in report.states() {
+        for a in &inputs {
+            if !aut.is_enabled(s, a) {
+                return Err((s.clone(), a.clone()));
+            }
+        }
+    }
+    Ok(report.states().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Partition, Signature};
+
+    #[derive(Debug)]
+    struct Saturating {
+        limit: u8,
+        input_enabled: bool,
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Saturating {
+        fn new(limit: u8, input_enabled: bool) -> Saturating {
+            let sig = Signature::new(vec!["poke"], vec!["inc"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Saturating {
+                limit,
+                input_enabled,
+                sig,
+                part,
+            }
+        }
+    }
+
+    impl Ioa for Saturating {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            match *a {
+                "inc" if *s < self.limit => vec![s + 1],
+                // A (deliberately broken, when configured) input.
+                "poke" if self.input_enabled || *s == 0 => vec![*s],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_holds() {
+        let aut = Saturating::new(5, true);
+        let out = check_invariant(&aut, &Explorer::new(), |s| *s <= 5);
+        assert!(out.holds());
+        match out {
+            InvariantOutcome::Holds {
+                states_checked,
+                truncated,
+            } => {
+                assert_eq!(states_checked, 6);
+                assert!(!truncated);
+            }
+            InvariantOutcome::Violated { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn invariant_violated_with_shortest_witness() {
+        let aut = Saturating::new(5, true);
+        let out = check_invariant(&aut, &Explorer::new(), |s| *s < 3);
+        match out {
+            InvariantOutcome::Violated { witness } => {
+                assert_eq!(witness.last_state(), &3);
+                assert_eq!(witness.len(), 3);
+                assert!(witness.validate(&aut).is_ok());
+            }
+            InvariantOutcome::Holds { .. } => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn input_enabledness() {
+        assert_eq!(
+            check_input_enabled(&Saturating::new(3, true), &Explorer::new()),
+            Ok(4)
+        );
+        let err = check_input_enabled(&Saturating::new(3, false), &Explorer::new());
+        assert_eq!(err, Err((1, "poke")));
+    }
+}

@@ -1,0 +1,83 @@
+//! An untimed **I/O automaton** kernel, following the Lynch–Tuttle model as
+//! summarized in Section 2.1 of Lynch & Attiya, *Using Mappings to Prove
+//! Timing Properties* (PODC 1990).
+//!
+//! An I/O automaton has a set of actions classified as input, output or
+//! internal ([`Signature`]), states with distinguished start states,
+//! (possibly nondeterministic) steps, and a [`Partition`] of the locally
+//! controlled actions into classes, each representing a sequential "process"
+//! within the automaton. This crate provides:
+//!
+//! * the [`Ioa`] trait — the interface every concrete automaton implements;
+//! * [`Compose`] (binary) and [`Product`] (homogeneous n-ary) parallel
+//!   composition with strong-compatibility checks;
+//! * [`Hide`] and [`Rename`] operators;
+//! * [`Execution`] fragments with schedule/behavior projections;
+//! * an explicit-state reachability [`Explorer`] and invariant checking.
+//!
+//! The timed layer (`tempo-core`) builds boundmaps, timing conditions, and
+//! the `time(A, U)` construction on top of this kernel.
+//!
+//! # Example
+//!
+//! A one-state clock that can always tick:
+//!
+//! ```
+//! use tempo_ioa::{Ioa, Partition, Signature};
+//!
+//! #[derive(Debug)]
+//! struct Clock {
+//!     sig: Signature<&'static str>,
+//!     part: Partition<&'static str>,
+//! }
+//!
+//! impl Clock {
+//!     fn new() -> Clock {
+//!         let sig = Signature::new(vec![], vec!["TICK"], vec![]).unwrap();
+//!         let part = Partition::singletons(&sig).unwrap();
+//!         Clock { sig, part }
+//!     }
+//! }
+//!
+//! impl Ioa for Clock {
+//!     type State = ();
+//!     type Action = &'static str;
+//!     fn signature(&self) -> &Signature<&'static str> { &self.sig }
+//!     fn partition(&self) -> &Partition<&'static str> { &self.part }
+//!     fn initial_states(&self) -> Vec<()> { vec![()] }
+//!     fn post(&self, _s: &(), a: &&'static str) -> Vec<()> {
+//!         if *a == "TICK" { vec![()] } else { vec![] }
+//!     }
+//! }
+//!
+//! let clock = Clock::new();
+//! assert!(clock.is_enabled(&(), &"TICK"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod automaton;
+mod compose;
+mod dot;
+mod execution;
+mod explore;
+mod hide;
+mod invariant;
+mod partition;
+mod product;
+mod rename;
+mod signature;
+
+pub use action::ActionKind;
+pub use automaton::Ioa;
+pub use compose::{Compose, CompositionError};
+pub use execution::{Execution, ExecutionError};
+pub use explore::{Explorer, ReachReport};
+pub use hide::Hide;
+pub use invariant::{check_invariant, check_input_enabled, InvariantOutcome};
+pub use partition::{ClassId, Partition, PartitionError};
+pub use product::Product;
+pub use rename::{Relabel, Rename};
+pub use signature::{Signature, SignatureError};

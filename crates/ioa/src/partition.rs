@@ -1,0 +1,267 @@
+//! Partitions of locally controlled actions into classes.
+//!
+//! `part(A)` groups the locally controlled actions of an automaton into
+//! equivalence classes, each thought of as controlled by one underlying
+//! sequential process. In the timed layer each class receives a boundmap
+//! interval.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::Signature;
+
+/// Index of a partition class within a [`Partition`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// A partition of an automaton's locally controlled actions into named
+/// classes.
+///
+/// # Example
+///
+/// ```
+/// use tempo_ioa::{Partition, Signature};
+///
+/// let sig = Signature::new(vec![], vec!["GRANT"], vec!["ELSE"])?;
+/// let part = Partition::new(&sig, vec![("LOCAL", vec!["GRANT", "ELSE"])])?;
+/// assert_eq!(part.len(), 1);
+/// assert_eq!(part.class_name(part.class_of(&"GRANT").unwrap()), "LOCAL");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Partition<A> {
+    names: Vec<String>,
+    members: Vec<Vec<A>>,
+    class_of: HashMap<A, ClassId>,
+}
+
+/// Error returned when a partition is ill-formed with respect to a
+/// signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// An action appears in two classes.
+    Overlap(String),
+    /// A class contains an action that is not locally controlled (or not in
+    /// the signature at all).
+    NotLocallyControlled(String),
+    /// A locally controlled action of the signature is not covered by any
+    /// class.
+    Uncovered(String),
+    /// A class is empty.
+    EmptyClass(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Overlap(a) => write!(f, "action {a} appears in two classes"),
+            PartitionError::NotLocallyControlled(a) => {
+                write!(f, "action {a} is not a locally controlled action of the signature")
+            }
+            PartitionError::Uncovered(a) => {
+                write!(f, "locally controlled action {a} is not covered by any class")
+            }
+            PartitionError::EmptyClass(c) => write!(f, "class {c} has no actions"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl<A: Clone + Eq + Hash + fmt::Debug> Partition<A> {
+    /// Creates a partition from named classes, validating it against the
+    /// signature: classes must be nonempty, disjoint, consist of locally
+    /// controlled actions, and jointly cover all of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PartitionError`] describing the first violation found.
+    pub fn new<N: Into<String>>(
+        sig: &Signature<A>,
+        classes: Vec<(N, Vec<A>)>,
+    ) -> Result<Partition<A>, PartitionError> {
+        let mut names = Vec::new();
+        let mut members = Vec::new();
+        let mut class_of = HashMap::new();
+        for (name, actions) in classes {
+            let name = name.into();
+            if actions.is_empty() {
+                return Err(PartitionError::EmptyClass(name));
+            }
+            let id = ClassId(names.len());
+            for a in &actions {
+                match sig.kind_of(a) {
+                    Some(k) if k.is_locally_controlled() => {}
+                    _ => return Err(PartitionError::NotLocallyControlled(format!("{a:?}"))),
+                }
+                if class_of.insert(a.clone(), id).is_some() {
+                    return Err(PartitionError::Overlap(format!("{a:?}")));
+                }
+            }
+            names.push(name);
+            members.push(actions);
+        }
+        for a in sig.locally_controlled() {
+            if !class_of.contains_key(a) {
+                return Err(PartitionError::Uncovered(format!("{a:?}")));
+            }
+        }
+        Ok(Partition {
+            names,
+            members,
+            class_of,
+        })
+    }
+
+    /// Creates the finest partition: one singleton class per locally
+    /// controlled action, named after the action's `Debug` form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartitionError`] (cannot actually occur for a valid
+    /// signature).
+    pub fn singletons(sig: &Signature<A>) -> Result<Partition<A>, PartitionError> {
+        Partition::new(
+            sig,
+            sig.locally_controlled()
+                .map(|a| (format!("{a:?}"), vec![a.clone()]))
+                .collect(),
+        )
+    }
+
+    /// Returns the number of classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if there are no classes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Returns the class containing `a`, or `None` for input actions and
+    /// actions outside the signature.
+    pub fn class_of(&self, a: &A) -> Option<ClassId> {
+        self.class_of.get(a).copied()
+    }
+
+    /// Returns the name of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class_name(&self, id: ClassId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Returns the class with the given name, if any.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.names.iter().position(|n| n == name).map(ClassId)
+    }
+
+    /// Returns the actions of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn actions_of(&self, id: ClassId) -> &[A] {
+        &self.members[id.0]
+    }
+
+    /// Iterates over all class ids.
+    pub fn ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.names.len()).map(ClassId)
+    }
+
+    /// Builds the disjoint union of two partitions (used by composition).
+    /// Class ids of `other` are shifted past those of `self`.
+    pub fn union(&self, other: &Partition<A>) -> Partition<A> {
+        let mut names = self.names.clone();
+        names.extend(other.names.iter().cloned());
+        let mut members = self.members.clone();
+        members.extend(other.members.iter().cloned());
+        let mut class_of = self.class_of.clone();
+        for (a, id) in &other.class_of {
+            class_of.insert(a.clone(), ClassId(id.0 + self.names.len()));
+        }
+        Partition {
+            names,
+            members,
+            class_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature<&'static str> {
+        Signature::new(vec!["in"], vec!["o1", "o2"], vec!["i1"]).unwrap()
+    }
+
+    #[test]
+    fn valid_partition() {
+        let p = Partition::new(&sig(), vec![("A", vec!["o1", "i1"]), ("B", vec!["o2"])]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.class_of(&"o1"), Some(ClassId(0)));
+        assert_eq!(p.class_of(&"o2"), Some(ClassId(1)));
+        assert_eq!(p.class_of(&"in"), None);
+        assert_eq!(p.class_name(ClassId(1)), "B");
+        assert_eq!(p.class_by_name("A"), Some(ClassId(0)));
+        assert_eq!(p.class_by_name("Z"), None);
+        assert_eq!(p.actions_of(ClassId(0)), &["o1", "i1"]);
+        assert_eq!(p.ids().count(), 2);
+    }
+
+    #[test]
+    fn singletons() {
+        let p = Partition::singletons(&sig()).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.class_of(&"in").is_none());
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let err = Partition::new(&sig(), vec![("A", vec!["o1"]), ("B", vec!["o1", "o2", "i1"])]);
+        assert!(matches!(err, Err(PartitionError::Overlap(_))));
+    }
+
+    #[test]
+    fn rejects_inputs_and_unknown() {
+        let err = Partition::new(&sig(), vec![("A", vec!["in", "o1", "o2", "i1"])]);
+        assert!(matches!(err, Err(PartitionError::NotLocallyControlled(_))));
+        let err = Partition::new(&sig(), vec![("A", vec!["nope", "o1", "o2", "i1"])]);
+        assert!(matches!(err, Err(PartitionError::NotLocallyControlled(_))));
+    }
+
+    #[test]
+    fn rejects_uncovered_and_empty() {
+        let err = Partition::new(&sig(), vec![("A", vec!["o1", "o2"])]);
+        assert!(matches!(err, Err(PartitionError::Uncovered(_))));
+        let err = Partition::new(
+            &sig(),
+            vec![("A", vec!["o1", "o2", "i1"]), ("B", Vec::<&str>::new())],
+        );
+        assert!(matches!(err, Err(PartitionError::EmptyClass(_))));
+    }
+
+    #[test]
+    fn union_shifts_ids() {
+        let s1 = Signature::new(vec![], vec!["x"], Vec::<&str>::new()).unwrap();
+        let s2 = Signature::new(vec![], vec!["y"], Vec::<&str>::new()).unwrap();
+        let p1 = Partition::singletons(&s1).unwrap();
+        let p2 = Partition::singletons(&s2).unwrap();
+        let u = p1.union(&p2);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.class_of(&"x"), Some(ClassId(0)));
+        assert_eq!(u.class_of(&"y"), Some(ClassId(1)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Homogeneous n-ary parallel composition.
+
+use crate::compose::{compose_signatures, CompositionError};
+use crate::{Ioa, Partition, Signature};
+
+/// The parallel composition of `n` automata of the same concrete type.
+///
+/// This is the composition used for parameterized families like the
+/// signal-relay line `P_0 ‖ P_1 ‖ … ‖ P_n` of Section 6, where every
+/// component is an instance of the same process automaton. Semantics are
+/// identical to iterated [`Compose`](crate::Compose) but with `Vec`-shaped
+/// states instead of nested pairs.
+///
+/// Strong compatibility across *all* components is checked at construction.
+#[derive(Debug)]
+pub struct Product<P: Ioa> {
+    components: Vec<P>,
+    sig: Signature<P::Action>,
+    part: Partition<P::Action>,
+}
+
+impl<P: Ioa> Product<P> {
+    /// Composes the given components.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompositionError`] if any pair of components is not
+    /// strongly compatible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<P>) -> Result<Product<P>, CompositionError> {
+        assert!(
+            !components.is_empty(),
+            "a product needs at least one component"
+        );
+        let sigs: Vec<&Signature<P::Action>> =
+            components.iter().map(|c| c.signature()).collect();
+        let sig = compose_signatures(&sigs)?;
+        let mut part = components[0].partition().clone();
+        for c in &components[1..] {
+            part = part.union(c.partition());
+        }
+        Ok(Product {
+            components,
+            sig,
+            part,
+        })
+    }
+
+    /// Returns the components.
+    pub fn components(&self) -> &[P] {
+        &self.components
+    }
+
+    /// Returns the number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `false`; products are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Ioa> Ioa for Product<P> {
+    type State = Vec<P::State>;
+    type Action = P::Action;
+
+    fn signature(&self) -> &Signature<Self::Action> {
+        &self.sig
+    }
+
+    fn partition(&self) -> &Partition<Self::Action> {
+        &self.part
+    }
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        // Cartesian product of component start-state sets.
+        let mut states: Vec<Vec<P::State>> = vec![vec![]];
+        for c in &self.components {
+            let inits = c.initial_states();
+            states = states
+                .into_iter()
+                .flat_map(|prefix| {
+                    inits.iter().cloned().map(move |s| {
+                        let mut v = prefix.clone();
+                        v.push(s);
+                        v
+                    })
+                })
+                .collect();
+        }
+        states
+    }
+
+    fn post(&self, s: &Self::State, a: &Self::Action) -> Vec<Self::State> {
+        assert_eq!(
+            s.len(),
+            self.components.len(),
+            "product state arity mismatch"
+        );
+        if !self.sig.contains(a) {
+            return vec![];
+        }
+        // For each component, the list of its possible next local states.
+        let mut choices: Vec<Vec<P::State>> = Vec::with_capacity(self.components.len());
+        for (c, local) in self.components.iter().zip(s.iter()) {
+            if c.signature().contains(a) {
+                let posts = c.post(local, a);
+                if posts.is_empty() {
+                    return vec![]; // a participant is not enabled: no composite step
+                }
+                choices.push(posts);
+            } else {
+                choices.push(vec![local.clone()]);
+            }
+        }
+        // Cartesian product of choices.
+        let mut out: Vec<Vec<P::State>> = vec![vec![]];
+        for options in choices {
+            out = out
+                .into_iter()
+                .flat_map(|prefix| {
+                    options.iter().cloned().map(move |o| {
+                        let mut v = prefix.clone();
+                        v.push(o);
+                        v
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relay cell `i`: input Signal(i-1) sets flag; output Signal(i) clears
+    /// it. Cell 0 starts flagged and only outputs Signal(0).
+    #[derive(Debug)]
+    struct Cell {
+        index: usize,
+        sig: Signature<usize>,
+        part: Partition<usize>,
+    }
+
+    impl Cell {
+        fn new(index: usize) -> Cell {
+            let (inputs, outputs) = if index == 0 {
+                (vec![], vec![0])
+            } else {
+                (vec![index - 1], vec![index])
+            };
+            let sig = Signature::new(inputs, outputs, vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Cell { index, sig, part }
+        }
+    }
+
+    impl Ioa for Cell {
+        type State = bool;
+        type Action = usize;
+        fn signature(&self) -> &Signature<usize> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<usize> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<bool> {
+            vec![self.index == 0]
+        }
+        fn post(&self, s: &bool, a: &usize) -> Vec<bool> {
+            if self.index > 0 && *a == self.index - 1 {
+                vec![true]
+            } else if *a == self.index && *s {
+                vec![false]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn relay_line_propagates() {
+        let line = Product::new((0..3).map(Cell::new).collect()).unwrap();
+        assert_eq!(line.len(), 3);
+        let s0 = line.initial_states().pop().unwrap();
+        assert_eq!(s0, vec![true, false, false]);
+        // Signal 0 fires: cell 0 clears, cell 1 sets.
+        let s1 = line.post(&s0, &0);
+        assert_eq!(s1, vec![vec![false, true, false]]);
+        // Signal 1 is not yet enabled from s0.
+        assert!(line.post(&s0, &1).is_empty());
+        let s2 = line.post(&s1[0], &1);
+        assert_eq!(s2, vec![vec![false, false, true]]);
+        let s3 = line.post(&s2[0], &2);
+        assert_eq!(s3, vec![vec![false, false, false]]);
+        // Terminal state: nothing enabled.
+        assert!(line.enabled_actions(&s3[0]).is_empty());
+    }
+
+    #[test]
+    fn composite_signature_and_partition() {
+        let line = Product::new((0..4).map(Cell::new).collect()).unwrap();
+        // All signals are matched pairs → outputs; no open inputs.
+        assert_eq!(line.signature().inputs().count(), 0);
+        assert_eq!(line.signature().outputs().count(), 4);
+        assert_eq!(line.partition().len(), 4);
+        for i in 0..4 {
+            assert!(line.partition().class_of(&i).is_some());
+        }
+    }
+
+    #[test]
+    fn incompatible_components_rejected() {
+        // Two copies of cell 0 share the output 0.
+        let err = Product::new(vec![Cell::new(0), Cell::new(0)]);
+        assert!(matches!(err, Err(CompositionError::SharedOutput(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_product_panics() {
+        let _ = Product::<Cell>::new(vec![]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Action renaming.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::{Ioa, Partition, Signature};
+
+/// Renames the actions of an automaton through a bijection.
+///
+/// `forward` maps inner actions to outer actions and `backward` inverts it;
+/// the pair must form a bijection on the inner signature (checked at
+/// construction for the signature's actions). Renaming is used to
+/// instantiate a generic component at different "ports" before composing.
+pub struct Rename<M: Ioa, B: Relabel> {
+    inner: M,
+    backward: B,
+    sig: Signature<B::Out>,
+    part: Partition<B::Out>,
+}
+
+/// A bijective action relabeling used by [`Rename`].
+pub trait Relabel {
+    /// The inner (original) action type.
+    type In;
+    /// The outer (renamed) action type.
+    type Out;
+    /// Maps an inner action outward.
+    fn forward(&self, a: &Self::In) -> Self::Out;
+    /// Maps an outer action inward, or `None` if it has no preimage.
+    fn backward(&self, a: &Self::Out) -> Option<Self::In>;
+}
+
+impl<M, B> Rename<M, B>
+where
+    M: Ioa,
+    B: Relabel<In = M::Action>,
+    B::Out: Clone + Eq + Hash + fmt::Debug,
+{
+    /// Renames `inner`'s actions through `relabel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relabel` is not injective on the signature, or if
+    /// `backward ∘ forward` is not the identity there.
+    pub fn new(inner: M, relabel: B) -> Rename<M, B> {
+        let sig_in = inner.signature();
+        let map = |list: Vec<&M::Action>| -> Vec<B::Out> {
+            list.iter().map(|a| relabel.forward(a)).collect()
+        };
+        let inputs = map(sig_in.inputs().collect());
+        let outputs = map(sig_in.outputs().collect());
+        let internals = map(sig_in.internals().collect());
+        let sig =
+            Signature::new(inputs, outputs, internals).expect("relabeling must be injective");
+        for a in sig_in.actions() {
+            let round_trip = relabel
+                .backward(&relabel.forward(a))
+                .expect("backward must invert forward");
+            assert!(
+                round_trip == *a,
+                "backward(forward(a)) must equal a for every signature action"
+            );
+        }
+        let classes = inner
+            .partition()
+            .ids()
+            .map(|id| {
+                (
+                    inner.partition().class_name(id).to_string(),
+                    inner
+                        .partition()
+                        .actions_of(id)
+                        .iter()
+                        .map(|a| relabel.forward(a))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let part = Partition::new(&sig, classes).expect("renamed partition stays valid");
+        Rename {
+            inner,
+            backward: relabel,
+            sig,
+            part,
+        }
+    }
+
+    /// Returns the underlying automaton.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M, B> fmt::Debug for Rename<M, B>
+where
+    M: Ioa + fmt::Debug,
+    B: Relabel<In = M::Action>,
+    B::Out: Clone + Eq + Hash + fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rename").field("inner", &self.inner).finish()
+    }
+}
+
+impl<M, B> Ioa for Rename<M, B>
+where
+    M: Ioa,
+    B: Relabel<In = M::Action>,
+    B::Out: Clone + Eq + Hash + fmt::Debug,
+{
+    type State = M::State;
+    type Action = B::Out;
+
+    fn signature(&self) -> &Signature<Self::Action> {
+        &self.sig
+    }
+
+    fn partition(&self) -> &Partition<Self::Action> {
+        &self.part
+    }
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        self.inner.initial_states()
+    }
+
+    fn post(&self, s: &Self::State, a: &Self::Action) -> Vec<Self::State> {
+        match self.backward.backward(a) {
+            Some(inner_a) => self.inner.post(s, &inner_a),
+            None => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Counter {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Counter {
+        fn new() -> Counter {
+            let sig = Signature::new(vec![], vec!["inc"], vec![]).unwrap();
+            let part = Partition::singletons(&sig).unwrap();
+            Counter { sig, part }
+        }
+    }
+
+    impl Ioa for Counter {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            if *a == "inc" && *s < 3 {
+                vec![s + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    struct Indexed(usize);
+
+    impl Relabel for Indexed {
+        type In = &'static str;
+        type Out = (usize, &'static str);
+        fn forward(&self, a: &&'static str) -> (usize, &'static str) {
+            (self.0, a)
+        }
+        fn backward(&self, a: &(usize, &'static str)) -> Option<&'static str> {
+            (a.0 == self.0).then_some(a.1)
+        }
+    }
+
+    #[test]
+    fn renamed_actions_step() {
+        let r = Rename::new(Counter::new(), Indexed(7));
+        assert!(r.signature().contains(&(7, "inc")));
+        assert!(!r.signature().contains(&(8, "inc")));
+        assert_eq!(r.post(&0, &(7, "inc")), vec![1]);
+        assert!(r.post(&0, &(8, "inc")).is_empty());
+        assert_eq!(r.partition().len(), 1);
+        assert!(r.partition().class_of(&(7, "inc")).is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! Action signatures: the input/output/internal classification of a finite
+//! action alphabet.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::ActionKind;
+
+/// The action signature of an I/O automaton: finite, disjoint sets of input,
+/// output and internal actions.
+///
+/// # Example
+///
+/// ```
+/// use tempo_ioa::{ActionKind, Signature};
+///
+/// let sig = Signature::new(vec!["TICK"], vec!["GRANT"], vec!["ELSE"])?;
+/// assert_eq!(sig.kind_of(&"GRANT"), Some(ActionKind::Output));
+/// assert_eq!(sig.kind_of(&"NOPE"), None);
+/// assert_eq!(sig.locally_controlled().count(), 2);
+/// # Ok::<(), tempo_ioa::SignatureError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Signature<A> {
+    actions: Vec<A>,
+    kinds: HashMap<A, ActionKind>,
+}
+
+/// Error returned when a signature is ill-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The same action appears in more than one classification (or twice in
+    /// the same one).
+    Duplicate(String),
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::Duplicate(a) => {
+                write!(f, "action {a} appears more than once in the signature")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+impl<A: Clone + Eq + Hash + fmt::Debug> Signature<A> {
+    /// Creates a signature from disjoint input, output and internal action
+    /// lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::Duplicate`] if any action is listed twice.
+    pub fn new(
+        inputs: Vec<A>,
+        outputs: Vec<A>,
+        internals: Vec<A>,
+    ) -> Result<Signature<A>, SignatureError> {
+        let mut actions = Vec::new();
+        let mut kinds = HashMap::new();
+        let classified = [
+            (inputs, ActionKind::Input),
+            (outputs, ActionKind::Output),
+            (internals, ActionKind::Internal),
+        ];
+        for (list, kind) in classified {
+            for a in list {
+                if kinds.insert(a.clone(), kind).is_some() {
+                    return Err(SignatureError::Duplicate(format!("{a:?}")));
+                }
+                actions.push(a);
+            }
+        }
+        Ok(Signature { actions, kinds })
+    }
+
+    /// Returns the classification of `a`, or `None` if `a` is not in the
+    /// signature.
+    pub fn kind_of(&self, a: &A) -> Option<ActionKind> {
+        self.kinds.get(a).copied()
+    }
+
+    /// Returns `true` if `a` belongs to the signature.
+    pub fn contains(&self, a: &A) -> bool {
+        self.kinds.contains_key(a)
+    }
+
+    /// Iterates over all actions, in declaration order.
+    pub fn actions(&self) -> impl Iterator<Item = &A> {
+        self.actions.iter()
+    }
+
+    /// Returns the number of actions in the signature.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` if the signature has no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterates over actions of a given kind.
+    pub fn of_kind(&self, kind: ActionKind) -> impl Iterator<Item = &A> {
+        self.actions
+            .iter()
+            .filter(move |a| self.kinds[*a] == kind)
+    }
+
+    /// Iterates over input actions.
+    pub fn inputs(&self) -> impl Iterator<Item = &A> {
+        self.of_kind(ActionKind::Input)
+    }
+
+    /// Iterates over output actions.
+    pub fn outputs(&self) -> impl Iterator<Item = &A> {
+        self.of_kind(ActionKind::Output)
+    }
+
+    /// Iterates over internal actions.
+    pub fn internals(&self) -> impl Iterator<Item = &A> {
+        self.of_kind(ActionKind::Internal)
+    }
+
+    /// Iterates over locally controlled (output and internal) actions.
+    pub fn locally_controlled(&self) -> impl Iterator<Item = &A> {
+        self.actions
+            .iter()
+            .filter(move |a| self.kinds[*a].is_locally_controlled())
+    }
+
+    /// Iterates over external (input and output) actions.
+    pub fn external(&self) -> impl Iterator<Item = &A> {
+        self.actions
+            .iter()
+            .filter(move |a| self.kinds[*a].is_external())
+    }
+
+    /// Returns a copy of this signature with the given output actions
+    /// reclassified as internal (the *hiding* operator of Section 2.1).
+    ///
+    /// Actions in `hidden` that are not outputs are ignored.
+    pub fn hide(&self, hidden: &[A]) -> Signature<A> {
+        let mut out = self.clone();
+        for a in hidden {
+            if out.kinds.get(a) == Some(&ActionKind::Output) {
+                out.kinds.insert(a.clone(), ActionKind::Internal);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature<&'static str> {
+        Signature::new(vec!["in1", "in2"], vec!["out1"], vec!["int1"]).unwrap()
+    }
+
+    #[test]
+    fn classification() {
+        let s = sig();
+        assert_eq!(s.kind_of(&"in1"), Some(ActionKind::Input));
+        assert_eq!(s.kind_of(&"out1"), Some(ActionKind::Output));
+        assert_eq!(s.kind_of(&"int1"), Some(ActionKind::Internal));
+        assert_eq!(s.kind_of(&"zzz"), None);
+        assert!(s.contains(&"in2"));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iterators() {
+        let s = sig();
+        assert_eq!(s.inputs().count(), 2);
+        assert_eq!(s.outputs().count(), 1);
+        assert_eq!(s.internals().count(), 1);
+        assert_eq!(s.locally_controlled().count(), 2);
+        assert_eq!(s.external().count(), 3);
+        assert_eq!(s.actions().count(), 4);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(Signature::new(vec!["a"], vec!["a"], vec![]).is_err());
+        assert!(Signature::new(vec!["a", "a"], vec![], vec![]).is_err());
+        assert!(Signature::new(vec![], vec!["b"], vec!["b"]).is_err());
+    }
+
+    #[test]
+    fn hiding() {
+        let s = sig().hide(&["out1", "in1"]);
+        assert_eq!(s.kind_of(&"out1"), Some(ActionKind::Internal));
+        // Inputs are untouched by hiding.
+        assert_eq!(s.kind_of(&"in1"), Some(ActionKind::Input));
+        assert_eq!(s.outputs().count(), 0);
+        assert_eq!(s.internals().count(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the composition operators: composition is
+//! symmetric up to state swapping, `Product` of two components agrees
+//! with binary `Compose`, and hiding changes behaviors but not
+//! reachability.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use tempo_ioa::{
+    ActionKind, Compose, Explorer, Hide, Ioa, Partition, Product, Signature,
+};
+
+/// A small configurable component: counts its own output modulo `m`, and
+/// listens to a shared input that resets it.
+#[derive(Debug, Clone)]
+struct Cell {
+    modulus: u8,
+    my_action: &'static str,
+    other_action: &'static str,
+    sig: Signature<&'static str>,
+    part: Partition<&'static str>,
+}
+
+impl Cell {
+    fn new(
+        name: &'static str,
+        modulus: u8,
+        my_action: &'static str,
+        other_action: &'static str,
+    ) -> Cell {
+        let sig = Signature::new(vec![other_action], vec![my_action], vec![]).unwrap();
+        let part = Partition::new(&sig, vec![(name, vec![my_action])]).unwrap();
+        let _ = name;
+        Cell {
+            modulus,
+            my_action,
+            other_action,
+            sig,
+            part,
+        }
+    }
+}
+
+impl Ioa for Cell {
+    type State = u8;
+    type Action = &'static str;
+
+    fn signature(&self) -> &Signature<&'static str> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<&'static str> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<u8> {
+        vec![0]
+    }
+    fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+        if *a == self.my_action {
+            vec![(s + 1) % self.modulus]
+        } else if *a == self.other_action {
+            vec![0] // reset on the partner's action
+        } else {
+            vec![]
+        }
+    }
+}
+
+fn cells(m1: u8, m2: u8) -> (Cell, Cell) {
+    (
+        Cell::new("L", m1, "ding", "dong"),
+        Cell::new("R", m2, "dong", "ding"),
+    )
+}
+
+fn reachable_pairs<M: Ioa<Action = &'static str>>(aut: &M) -> BTreeSet<String>
+where
+    M::State: Ord,
+{
+    Explorer::new()
+        .with_max_states(10_000)
+        .explore(aut)
+        .states()
+        .iter()
+        .map(|s| format!("{s:?}"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compose(L, R) and Compose(R, L) reach mirror-image state sets.
+    #[test]
+    fn composition_symmetric(m1 in 2u8..6, m2 in 2u8..6) {
+        let (l, r) = cells(m1, m2);
+        let lr = Compose::new(l.clone(), r.clone()).unwrap();
+        let rl = Compose::new(r, l).unwrap();
+        let lr_states: BTreeSet<(u8, u8)> = Explorer::new()
+            .explore(&lr)
+            .states()
+            .iter()
+            .copied()
+            .collect();
+        let rl_states_swapped: BTreeSet<(u8, u8)> = Explorer::new()
+            .explore(&rl)
+            .states()
+            .iter()
+            .map(|(a, b)| (*b, *a))
+            .collect();
+        prop_assert_eq!(lr_states, rl_states_swapped);
+    }
+
+    /// A two-element Product reaches the same states as the binary
+    /// Compose (modulo tuple vs vector shape).
+    #[test]
+    fn product_matches_compose(m1 in 2u8..6, m2 in 2u8..6) {
+        let (l, r) = cells(m1, m2);
+        let compose = Compose::new(l.clone(), r.clone()).unwrap();
+        let product = Product::new(vec![l, r]).unwrap();
+        let via_compose: BTreeSet<Vec<u8>> = Explorer::new()
+            .explore(&compose)
+            .states()
+            .iter()
+            .map(|(a, b)| vec![*a, *b])
+            .collect();
+        let via_product: BTreeSet<Vec<u8>> = Explorer::new()
+            .explore(&product)
+            .states()
+            .iter()
+            .cloned()
+            .collect();
+        prop_assert_eq!(via_compose, via_product);
+        // Signatures agree action-for-action.
+        for a in compose.signature().actions() {
+            prop_assert_eq!(
+                compose.signature().kind_of(a),
+                product.signature().kind_of(a)
+            );
+        }
+    }
+
+    /// Hiding never changes the reachable state space, only the
+    /// classification of actions.
+    #[test]
+    fn hiding_preserves_reachability(m1 in 2u8..6, m2 in 2u8..6) {
+        let (l, r) = cells(m1, m2);
+        let open = Compose::new(l, r).unwrap();
+        let before = reachable_pairs(&open);
+        let hidden = Hide::new(open, &["ding"]);
+        prop_assert_eq!(
+            hidden.signature().kind_of(&"ding"),
+            Some(ActionKind::Internal)
+        );
+        let after = reachable_pairs(&hidden);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Matched input/output pairs become outputs of the composition, and
+    /// every composite step drives both participants.
+    #[test]
+    fn synchronization_is_total(m1 in 2u8..6, m2 in 2u8..6) {
+        let (l, r) = cells(m1, m2);
+        let c = Compose::new(l, r).unwrap();
+        prop_assert_eq!(c.signature().kind_of(&"ding"), Some(ActionKind::Output));
+        prop_assert_eq!(c.signature().kind_of(&"dong"), Some(ActionKind::Output));
+        prop_assert_eq!(c.signature().inputs().count(), 0);
+        // From any reachable state, a ding resets R and steps L.
+        let report = Explorer::new().explore(&c);
+        for s in report.states() {
+            for next in c.post(s, &"ding") {
+                prop_assert_eq!(next.0, (s.0 + 1) % m1);
+                prop_assert_eq!(next.1, 0);
+            }
+        }
+    }
+}

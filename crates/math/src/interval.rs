@@ -1,0 +1,262 @@
+//! Closed time intervals used for boundmaps and timing conditions.
+
+use std::fmt;
+
+use crate::{Rat, TimeVal};
+
+/// A closed interval `[lo, hi]` over the extended time domain.
+///
+/// Following Section 2.2 of the paper, a boundmap assigns to each partition
+/// class a closed subinterval of `[0, ∞]` whose **lower bound is not `∞`**
+/// and whose **upper bound is nonzero**; the same well-formedness rule is
+/// imposed on timing-condition bounds (Section 2.3). [`Interval::new`]
+/// enforces `lo ≤ hi` and `hi ≠ 0`; the type system already guarantees the
+/// lower bound is finite (`lo: Rat`).
+///
+/// A *trivial* lower bound is `0` and a *trivial* upper bound is `∞`
+/// (used to express one-sided conditions, cf. Section 2.3).
+///
+/// # Example
+///
+/// ```
+/// use tempo_math::{Interval, Rat, TimeVal};
+///
+/// let b = Interval::new(Rat::ONE, TimeVal::from(Rat::from(3)))?;
+/// assert!(b.contains(Rat::from(2)));
+/// assert!(!b.contains(Rat::new(1, 2)));
+/// assert_eq!(Interval::unbounded_above(Rat::ZERO).hi(), TimeVal::INFINITY);
+/// # Ok::<(), tempo_math::IntervalError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: Rat,
+    hi: TimeVal,
+}
+
+/// Error returned by [`Interval::new`] for ill-formed bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntervalError {
+    /// The lower bound exceeds the upper bound.
+    Empty {
+        /// The offending lower bound.
+        lo: Rat,
+        /// The offending upper bound.
+        hi: TimeVal,
+    },
+    /// The upper bound is zero, which the paper's boundmap rule forbids.
+    ZeroUpper,
+    /// The lower bound is negative; times are nonnegative.
+    NegativeLower(Rat),
+}
+
+impl fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalError::Empty { lo, hi } => {
+                write!(f, "empty interval: lower bound {lo} exceeds upper bound {hi}")
+            }
+            IntervalError::ZeroUpper => write!(f, "interval upper bound must be nonzero"),
+            IntervalError::NegativeLower(lo) => {
+                write!(f, "interval lower bound {lo} must be nonnegative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntervalError {}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo > hi`, if `hi == 0`, or if `lo < 0`.
+    pub fn new(lo: Rat, hi: TimeVal) -> Result<Interval, IntervalError> {
+        if lo.is_negative() {
+            return Err(IntervalError::NegativeLower(lo));
+        }
+        if hi == TimeVal::ZERO {
+            return Err(IntervalError::ZeroUpper);
+        }
+        if TimeVal::from(lo) > hi {
+            return Err(IntervalError::Empty { lo, hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// Creates `[lo, hi]` from finite rational endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interval::new`].
+    pub fn closed(lo: Rat, hi: Rat) -> Result<Interval, IntervalError> {
+        Interval::new(lo, TimeVal::from(hi))
+    }
+
+    /// Creates `[lo, ∞]`, a pure lower-bound condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is negative.
+    pub fn unbounded_above(lo: Rat) -> Interval {
+        Interval::new(lo, TimeVal::INFINITY).expect("lower bound must be nonnegative")
+    }
+
+    /// Creates `[0, hi]`, a pure upper-bound condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == 0`.
+    pub fn upper_bound(hi: TimeVal) -> Interval {
+        Interval::new(Rat::ZERO, hi).expect("upper bound must be nonzero")
+    }
+
+    /// The trivial interval `[0, ∞]` imposing no constraint.
+    pub fn trivial() -> Interval {
+        Interval {
+            lo: Rat::ZERO,
+            hi: TimeVal::INFINITY,
+        }
+    }
+
+    /// Returns the lower bound `b_l`.
+    pub fn lo(self) -> Rat {
+        self.lo
+    }
+
+    /// Returns the upper bound `b_u`.
+    pub fn hi(self) -> TimeVal {
+        self.hi
+    }
+
+    /// Returns `true` if `t ∈ [lo, hi]`.
+    pub fn contains(self, t: Rat) -> bool {
+        self.lo <= t && TimeVal::from(t) <= self.hi
+    }
+
+    /// Returns the interval shifted by `t`: `[lo + t, hi + t]`.
+    ///
+    /// Used to turn relative bounds into absolute first/last predictions
+    /// (`Ft = t + b_l`, `Lt = t + b_u`).
+    pub fn shift(self, t: Rat) -> Interval {
+        Interval {
+            lo: self.lo + t,
+            hi: self.hi + t,
+        }
+    }
+
+    /// Returns the pointwise sum `[lo + o.lo, hi + o.hi]`.
+    ///
+    /// This is the interval arithmetic behind hierarchical bounds like
+    /// `[d1, d2] + [(n−k−1)·d1, (n−k−1)·d2] = [(n−k)·d1, (n−k)·d2]`.
+    pub fn sum(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
+    }
+
+    /// Scales both endpoints by a nonnegative integer `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled interval would be ill-formed (only possible for
+    /// `k == 0` when that would produce `[0, 0]`; `[0, 0·∞]` is kept as
+    /// `[0, ∞]` — scaling a trivial bound stays trivial).
+    pub fn scale(self, k: u32) -> Interval {
+        let lo = self.lo.scale(k as i128);
+        let hi = match self.hi {
+            TimeVal::Infinity => TimeVal::Infinity,
+            TimeVal::Finite(r) if k == 0 => {
+                // 0·[l,u] degenerates; keep a well-formed point-ish bound.
+                let _ = r;
+                TimeVal::INFINITY
+            }
+            TimeVal::Finite(r) => TimeVal::Finite(r.scale(k as i128)),
+        };
+        Interval { lo, hi }
+    }
+
+    /// Returns `true` if this interval imposes no constraint (`[0, ∞]`).
+    pub fn is_trivial(self) -> bool {
+        self.lo.is_zero() && self.hi.is_infinite()
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rules() {
+        assert!(Interval::closed(Rat::ONE, Rat::from(2)).is_ok());
+        assert_eq!(
+            Interval::closed(Rat::from(3), Rat::from(2)),
+            Err(IntervalError::Empty {
+                lo: Rat::from(3),
+                hi: TimeVal::from(Rat::from(2))
+            })
+        );
+        assert_eq!(
+            Interval::new(Rat::ZERO, TimeVal::ZERO),
+            Err(IntervalError::ZeroUpper)
+        );
+        assert_eq!(
+            Interval::closed(-Rat::ONE, Rat::ONE),
+            Err(IntervalError::NegativeLower(-Rat::ONE))
+        );
+    }
+
+    #[test]
+    fn membership() {
+        let iv = Interval::closed(Rat::ONE, Rat::from(2)).unwrap();
+        assert!(iv.contains(Rat::ONE));
+        assert!(iv.contains(Rat::from(2)));
+        assert!(iv.contains(Rat::new(3, 2)));
+        assert!(!iv.contains(Rat::new(1, 2)));
+        assert!(!iv.contains(Rat::from(3)));
+        assert!(Interval::trivial().contains(Rat::from(1_000_000)));
+    }
+
+    #[test]
+    fn shift_and_sum() {
+        let iv = Interval::closed(Rat::ONE, Rat::from(2)).unwrap();
+        let shifted = iv.shift(Rat::from(10));
+        assert_eq!(shifted.lo(), Rat::from(11));
+        assert_eq!(shifted.hi(), TimeVal::from(Rat::from(12)));
+
+        let s = iv.sum(iv);
+        assert_eq!(s.lo(), Rat::from(2));
+        assert_eq!(s.hi(), TimeVal::from(Rat::from(4)));
+    }
+
+    #[test]
+    fn scaling() {
+        let iv = Interval::closed(Rat::new(3, 2), Rat::from(2)).unwrap();
+        let s = iv.scale(4);
+        assert_eq!(s.lo(), Rat::from(6));
+        assert_eq!(s.hi(), TimeVal::from(Rat::from(8)));
+        let unb = Interval::unbounded_above(Rat::ONE).scale(3);
+        assert_eq!(unb.hi(), TimeVal::INFINITY);
+        assert!(iv.scale(0).is_trivial());
+    }
+
+    #[test]
+    fn trivial() {
+        assert!(Interval::trivial().is_trivial());
+        assert!(!Interval::unbounded_above(Rat::ONE).is_trivial());
+        assert!(Interval::upper_bound(TimeVal::INFINITY).is_trivial());
+    }
+}

@@ -1,0 +1,106 @@
+//! Optional Serde support (feature `serde`): exact, human-readable
+//! encodings — `Rat` as the string `"num/den"` (or `"num"`), `TimeVal`
+//! additionally admitting `"inf"`, `Interval` as a two-element
+//! `[lo, hi]` array. Round-trips exactly; never through floating point.
+
+use serde::de::{Error as DeError, Unexpected};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::{Interval, Rat, TimeVal};
+
+impl Serialize for Rat {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Rat {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Rat, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse()
+            .map_err(|_| D::Error::invalid_value(Unexpected::Str(&s), &"a rational like \"3/4\""))
+    }
+}
+
+impl Serialize for TimeVal {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for TimeVal {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<TimeVal, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        if s == "inf" {
+            return Ok(TimeVal::INFINITY);
+        }
+        s.parse::<Rat>().map(TimeVal::from).map_err(|_| {
+            D::Error::invalid_value(Unexpected::Str(&s), &"a rational like \"3/4\" or \"inf\"")
+        })
+    }
+}
+
+impl Serialize for Interval {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (TimeVal::from(self.lo()), self.hi()).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Interval {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Interval, D::Error> {
+        let (lo, hi) = <(TimeVal, TimeVal)>::deserialize(deserializer)?;
+        let lo = lo
+            .finite()
+            .ok_or_else(|| D::Error::custom("interval lower bound must be finite"))?;
+        Interval::new(lo, hi).map_err(|e| D::Error::custom(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        let json = serde_json::to_string(value).unwrap();
+        serde_json::from_str(&json).unwrap()
+    }
+
+    #[test]
+    fn rat_round_trip() {
+        for r in [Rat::ZERO, Rat::new(3, 4), Rat::new(-7, 2), Rat::from(42)] {
+            assert_eq!(round_trip(&r), r);
+        }
+        assert_eq!(serde_json::to_string(&Rat::new(3, 4)).unwrap(), "\"3/4\"");
+        assert!(serde_json::from_str::<Rat>("\"x\"").is_err());
+        assert!(serde_json::from_str::<Rat>("\"1/0\"").is_err());
+    }
+
+    #[test]
+    fn timeval_round_trip() {
+        for t in [TimeVal::ZERO, TimeVal::INFINITY, TimeVal::from(Rat::new(5, 3))] {
+            assert_eq!(round_trip(&t), t);
+        }
+        assert_eq!(
+            serde_json::to_string(&TimeVal::INFINITY).unwrap(),
+            "\"inf\""
+        );
+    }
+
+    #[test]
+    fn interval_round_trip() {
+        let iv = Interval::closed(Rat::ONE, Rat::new(7, 2)).unwrap();
+        assert_eq!(round_trip(&iv), iv);
+        let unb = Interval::unbounded_above(Rat::ZERO);
+        assert_eq!(round_trip(&unb), unb);
+        assert_eq!(
+            serde_json::to_string(&iv).unwrap(),
+            "[\"1\",\"7/2\"]"
+        );
+        // Ill-formed intervals are rejected.
+        assert!(serde_json::from_str::<Interval>("[\"3\",\"2\"]").is_err());
+        assert!(serde_json::from_str::<Interval>("[\"inf\",\"inf\"]").is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The extended time domain `ℚ ∪ {+∞}`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use crate::Rat;
+
+/// A time value: either a finite rational or positive infinity.
+///
+/// Last-time predictions `Lt(U)` in the `time(A, U)` construction and upper
+/// bounds of boundmap intervals range over this domain; `+∞` means "no upper
+/// bound is currently imposed".
+///
+/// Arithmetic follows the usual extended conventions: `∞ + x = ∞`,
+/// `∞ − x = ∞` for finite `x`. Subtracting `∞` (or negating it) is a
+/// programming error and panics, since the paper never forms such values.
+///
+/// # Example
+///
+/// ```
+/// use tempo_math::{Rat, TimeVal};
+///
+/// let t = TimeVal::from(Rat::new(3, 2));
+/// assert!(t < TimeVal::INFINITY);
+/// assert_eq!(TimeVal::INFINITY + t, TimeVal::INFINITY);
+/// assert_eq!(t + TimeVal::from(Rat::new(1, 2)), TimeVal::from(Rat::from(2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeVal {
+    /// A finite rational time.
+    Finite(Rat),
+    /// Positive infinity (`∞`).
+    Infinity,
+}
+
+impl TimeVal {
+    /// The value `+∞`.
+    pub const INFINITY: TimeVal = TimeVal::Infinity;
+    /// The finite value `0`.
+    pub const ZERO: TimeVal = TimeVal::Finite(Rat::ZERO);
+
+    /// Returns `true` if the value is `+∞`.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, TimeVal::Infinity)
+    }
+
+    /// Returns `true` if the value is finite.
+    pub fn is_finite(self) -> bool {
+        !self.is_infinite()
+    }
+
+    /// Returns the finite rational value, if any.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tempo_math::{Rat, TimeVal};
+    /// assert_eq!(TimeVal::from(Rat::ONE).finite(), Some(Rat::ONE));
+    /// assert_eq!(TimeVal::INFINITY.finite(), None);
+    /// ```
+    pub fn finite(self) -> Option<Rat> {
+        match self {
+            TimeVal::Finite(r) => Some(r),
+            TimeVal::Infinity => None,
+        }
+    }
+
+    /// Returns the finite rational value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is `+∞`.
+    pub fn expect_finite(self) -> Rat {
+        self.finite().expect("expected a finite time value")
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    pub fn min(self, other: TimeVal) -> TimeVal {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: TimeVal) -> TimeVal {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for TimeVal {
+    fn default() -> TimeVal {
+        TimeVal::ZERO
+    }
+}
+
+impl From<Rat> for TimeVal {
+    fn from(r: Rat) -> TimeVal {
+        TimeVal::Finite(r)
+    }
+}
+
+impl From<i64> for TimeVal {
+    fn from(v: i64) -> TimeVal {
+        TimeVal::Finite(Rat::from(v))
+    }
+}
+
+impl From<i32> for TimeVal {
+    fn from(v: i32) -> TimeVal {
+        TimeVal::Finite(Rat::from(v))
+    }
+}
+
+impl PartialOrd for TimeVal {
+    fn partial_cmp(&self, other: &TimeVal) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeVal {
+    fn cmp(&self, other: &TimeVal) -> Ordering {
+        match (self, other) {
+            (TimeVal::Infinity, TimeVal::Infinity) => Ordering::Equal,
+            (TimeVal::Infinity, TimeVal::Finite(_)) => Ordering::Greater,
+            (TimeVal::Finite(_), TimeVal::Infinity) => Ordering::Less,
+            (TimeVal::Finite(a), TimeVal::Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl Add for TimeVal {
+    type Output = TimeVal;
+    fn add(self, other: TimeVal) -> TimeVal {
+        match (self, other) {
+            (TimeVal::Finite(a), TimeVal::Finite(b)) => TimeVal::Finite(a + b),
+            _ => TimeVal::Infinity,
+        }
+    }
+}
+
+impl Add<Rat> for TimeVal {
+    type Output = TimeVal;
+    fn add(self, other: Rat) -> TimeVal {
+        self + TimeVal::Finite(other)
+    }
+}
+
+impl Sub<Rat> for TimeVal {
+    type Output = TimeVal;
+    fn sub(self, other: Rat) -> TimeVal {
+        match self {
+            TimeVal::Finite(a) => TimeVal::Finite(a - other),
+            TimeVal::Infinity => TimeVal::Infinity,
+        }
+    }
+}
+
+impl Neg for TimeVal {
+    type Output = TimeVal;
+    /// # Panics
+    ///
+    /// Panics on `-∞`; the paper's constructions never negate infinity.
+    fn neg(self) -> TimeVal {
+        match self {
+            TimeVal::Finite(a) => TimeVal::Finite(-a),
+            TimeVal::Infinity => panic!("cannot negate +infinity"),
+        }
+    }
+}
+
+impl fmt::Debug for TimeVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for TimeVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeVal::Finite(r) => write!(f, "{r}"),
+            TimeVal::Infinity => write!(f, "inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_with_infinity() {
+        let one = TimeVal::from(Rat::ONE);
+        assert!(one < TimeVal::INFINITY);
+        assert!(TimeVal::INFINITY <= TimeVal::INFINITY);
+        assert_eq!(one.max(TimeVal::INFINITY), TimeVal::INFINITY);
+        assert_eq!(one.min(TimeVal::INFINITY), one);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = TimeVal::from(Rat::new(1, 2));
+        let b = TimeVal::from(Rat::new(1, 3));
+        assert_eq!(a + b, TimeVal::from(Rat::new(5, 6)));
+        assert_eq!(TimeVal::INFINITY + b, TimeVal::INFINITY);
+        assert_eq!(a + Rat::new(1, 2), TimeVal::from(Rat::ONE));
+        assert_eq!(TimeVal::INFINITY - Rat::ONE, TimeVal::INFINITY);
+        assert_eq!(a - Rat::ONE, TimeVal::from(Rat::new(-1, 2)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(TimeVal::INFINITY.is_infinite());
+        assert!(TimeVal::ZERO.is_finite());
+        assert_eq!(TimeVal::ZERO.expect_finite(), Rat::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a finite time value")]
+    fn expect_finite_panics_on_infinity() {
+        let _ = TimeVal::INFINITY.expect_finite();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot negate")]
+    fn negating_infinity_panics() {
+        let _ = -TimeVal::INFINITY;
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimeVal::INFINITY.to_string(), "inf");
+        assert_eq!(TimeVal::from(Rat::new(3, 4)).to_string(), "3/4");
+    }
+}

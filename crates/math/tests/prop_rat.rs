@@ -1,0 +1,116 @@
+//! Property tests: `Rat` satisfies the ordered-field axioms (within the
+//! magnitudes exercised here) and `TimeVal`/`Interval` respect their laws.
+
+use proptest::prelude::*;
+use tempo_math::{Interval, Rat, TimeVal};
+
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-1000i128..1000, 1i128..100).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn nonneg_rat() -> impl Strategy<Value = Rat> {
+    (0i128..1000, 1i128..100).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in small_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+        prop_assert_eq!(a - a, Rat::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in small_rat()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.recip(), Rat::ONE);
+        }
+    }
+
+    #[test]
+    fn ordering_total_and_compatible(a in small_rat(), b in small_rat(), c in small_rat()) {
+        // Totality.
+        prop_assert!(a <= b || b <= a);
+        // Translation invariance.
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+        // Positive scaling preserves order.
+        if a <= b && c.is_positive() {
+            prop_assert!(a * c <= b * c);
+        }
+    }
+
+    #[test]
+    fn normalization_canonical(a in small_rat(), k in 1i128..50) {
+        // num/den scaled by k normalizes back to the same value.
+        prop_assert_eq!(Rat::new(a.numer() * k, a.denom() * k), a);
+        prop_assert!(a.denom() > 0);
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in small_rat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rat>().unwrap(), a);
+    }
+
+    #[test]
+    fn timeval_ordering_embeds_rat(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(
+            TimeVal::from(a) <= TimeVal::from(b),
+            a <= b
+        );
+        prop_assert!(TimeVal::from(a) < TimeVal::INFINITY);
+    }
+
+    #[test]
+    fn timeval_addition_monotone(a in small_rat(), b in small_rat(), c in small_rat()) {
+        if a <= b {
+            prop_assert!(TimeVal::from(a) + c <= TimeVal::from(b) + c);
+        }
+        prop_assert_eq!(TimeVal::INFINITY + a, TimeVal::INFINITY);
+    }
+
+    #[test]
+    fn interval_shift_preserves_membership(lo in nonneg_rat(), width in nonneg_rat(),
+                                           frac in 0u8..=100, t in nonneg_rat()) {
+        let hi = lo + width;
+        if hi.is_zero() {
+            return Ok(());
+        }
+        let iv = Interval::closed(lo, hi).unwrap();
+        // A point a fraction of the way through the interval.
+        let point = lo + width * Rat::new(frac as i128, 100);
+        prop_assert!(iv.contains(point));
+        prop_assert!(iv.shift(t).contains(point + t));
+    }
+
+    #[test]
+    fn interval_sum_contains_pointwise_sums(l1 in nonneg_rat(), w1 in nonneg_rat(),
+                                            l2 in nonneg_rat(), w2 in nonneg_rat()) {
+        let (h1, h2) = (l1 + w1, l2 + w2);
+        if h1.is_zero() || h2.is_zero() || (l1 + l2 + w1 + w2).is_zero() {
+            return Ok(());
+        }
+        let a = Interval::closed(l1, h1).unwrap();
+        let b = Interval::closed(l2, h2).unwrap();
+        let s = a.sum(b);
+        prop_assert!(s.contains(l1 + l2));
+        prop_assert!(s.contains(h1 + h2));
+        prop_assert!(s.contains(l1 + h2));
+    }
+}

@@ -1,0 +1,103 @@
+//! Batch auditing of run ensembles against timing conditions.
+
+use std::fmt;
+
+use tempo_core::{semi_satisfies, TimedSequence, TimingCondition, Violation};
+
+/// The result of auditing an ensemble against a set of conditions.
+#[derive(Debug, Clone, Default)]
+pub struct AuditSummary {
+    /// Total (run, condition) pairs checked.
+    pub checks: usize,
+    /// Violations found, with the index of the offending run.
+    pub violations: Vec<(usize, Violation)>,
+}
+
+impl AuditSummary {
+    /// Returns `true` if every run semi-satisfied every condition.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.passed() {
+            write!(f, "{} checks, all passed", self.checks)
+        } else {
+            write!(
+                f,
+                "{} checks, {} violations (first: run {} / {:?})",
+                self.checks,
+                self.violations.len(),
+                self.violations[0].0,
+                self.violations[0].1
+            )
+        }
+    }
+}
+
+/// Semi-satisfaction audit (Definition 3.1) of every run against every
+/// condition. Generated prefixes of a correct system must always pass;
+/// a failure is either a system bug or a false timing claim.
+pub fn audit_runs<S, A>(
+    runs: &[TimedSequence<S, A>],
+    conds: &[TimingCondition<S, A>],
+) -> AuditSummary
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let mut summary = AuditSummary::default();
+    for (i, run) in runs.iter().enumerate() {
+        for cond in conds {
+            summary.checks += 1;
+            if let Err(v) = semi_satisfies(run, cond) {
+                summary.violations.push((i, v));
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::{Interval, Rat};
+
+    fn seq(events: &[(&'static str, i64)]) -> TimedSequence<(), &'static str> {
+        let mut s = TimedSequence::new(());
+        for (a, t) in events {
+            s.push(*a, Rat::from(*t), ());
+        }
+        s
+    }
+
+    fn cond(lo: i64, hi: i64) -> TimingCondition<(), &'static str> {
+        TimingCondition::new(
+            "C",
+            Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap(),
+        )
+        .triggered_at_start(|_| true)
+        .on_actions(|a| *a == "g")
+    }
+
+    #[test]
+    fn passing_audit() {
+        let runs = vec![seq(&[("g", 2)]), seq(&[("x", 1), ("g", 3)])];
+        let summary = audit_runs(&runs, &[cond(1, 3)]);
+        assert!(summary.passed());
+        assert_eq!(summary.checks, 2);
+        assert!(summary.to_string().contains("all passed"));
+    }
+
+    #[test]
+    fn failing_audit_names_run() {
+        let runs = vec![seq(&[("g", 2)]), seq(&[("g", 0)])];
+        let summary = audit_runs(&runs, &[cond(1, 3)]);
+        assert!(!summary.passed());
+        assert_eq!(summary.violations.len(), 1);
+        assert_eq!(summary.violations[0].0, 1);
+        assert!(summary.to_string().contains("1 violations"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulation harness for `time(A, U)` automata: adversarial schedulers,
+//! run ensembles, event-gap statistics, and batch condition auditing.
+//!
+//! Where `tempo-zones` proves a bound symbolically and `tempo-core`'s
+//! mapping checker verifies the paper's assertional proof, this crate
+//! *measures*: it drives the system with extremal and adversarial
+//! schedules and reports the empirically observed best/worst cases —
+//! the "measured" column of EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::sync::Arc;
+//! # use tempo_ioa::{Ioa, Partition, Signature};
+//! # use tempo_math::{Interval, Rat};
+//! # use tempo_core::{time_ab, Boundmap, Timed};
+//! use tempo_sim::{Ensemble, GapStats};
+//!
+//! # #[derive(Debug)]
+//! # struct Ticker { sig: Signature<&'static str>, part: Partition<&'static str> }
+//! # impl Ioa for Ticker {
+//! #     type State = u32;
+//! #     type Action = &'static str;
+//! #     fn signature(&self) -> &Signature<&'static str> { &self.sig }
+//! #     fn partition(&self) -> &Partition<&'static str> { &self.part }
+//! #     fn initial_states(&self) -> Vec<u32> { vec![0] }
+//! #     fn post(&self, s: &u32, a: &&'static str) -> Vec<u32> {
+//! #         if *a == "tick" { vec![s + 1] } else { vec![] }
+//! #     }
+//! # }
+//! # let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+//! # let part = Partition::singletons(&sig).unwrap();
+//! # let aut = Arc::new(Ticker { sig, part });
+//! # let b = Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2)).unwrap()]);
+//! # let t = time_ab(&Timed::new(aut, b).unwrap());
+//! let runs = Ensemble::new(32, 50).with_extremal(true).collect(&t);
+//! let gaps = GapStats::between(&runs, |a| *a == "tick", |a| *a == "tick");
+//! assert_eq!(gaps.min, Some(Rat::ONE));        // back-to-back fastest
+//! assert_eq!(gaps.max, Some(Rat::from(2)));    // slowest
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod ensemble;
+mod scheduler;
+mod stats;
+
+pub use audit::{audit_runs, AuditSummary};
+pub use ensemble::Ensemble;
+pub use scheduler::{TargetDelayScheduler, TargetRushScheduler};
+pub use stats::{FirstTimeStats, GapStats};

@@ -1,0 +1,292 @@
+//! Adversarial schedulers biased for or against a target action set.
+//!
+//! Both schedulers guard against Zeno stuttering (classes with lower bound
+//! 0 can legally refire at the same instant forever): a repeated exact
+//! `(action, time)` choice is escalated to the window's upper end, forcing
+//! time to advance.
+
+use tempo_core::{Scheduler, TimedState, Window};
+use tempo_math::{Rat, TimeVal};
+
+fn window_top(w: Window, cap: Rat) -> Rat {
+    match w.hi {
+        TimeVal::Finite(hi) => hi,
+        TimeVal::Infinity => w.lo + cap,
+    }
+}
+
+#[derive(Debug, Default)]
+struct StutterGuard {
+    last: Option<(String, Rat)>,
+}
+
+impl StutterGuard {
+    /// Escalates `t` to the window top if the exact choice would repeat.
+    fn adjust<A: std::fmt::Debug>(&mut self, a: &A, t: Rat, w: Window, cap: Rat) -> Rat {
+        let key = format!("{a:?}");
+        let t = if self.last.as_ref() == Some(&(key.clone(), t)) {
+            window_top(w, cap).max(t)
+        } else {
+            t
+        };
+        self.last = Some((key, t));
+        t
+    }
+}
+
+/// Maximally *delays* target actions: every action is postponed to the
+/// last legal instant; when several actions could fire there, non-target
+/// ones go first, tie-broken by a **one-step lookahead** that maximizes
+/// the next state's shared deadline (the min over all `Lt` predictions) —
+/// firing the action whose own deadline is binding frees the others to
+/// procrastinate further. Drives the empirical worst case for "time until
+/// target".
+pub struct TargetDelayScheduler<M: tempo_ioa::Ioa, P> {
+    aut: tempo_core::TimeIoa<M>,
+    is_target: P,
+    cap: Rat,
+    guard: StutterGuard,
+}
+
+impl<M: tempo_ioa::Ioa, P> std::fmt::Debug for TargetDelayScheduler<M, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetDelayScheduler").finish_non_exhaustive()
+    }
+}
+
+impl<M: tempo_ioa::Ioa, P> TargetDelayScheduler<M, P> {
+    /// Creates a delaying scheduler for actions matching `is_target`,
+    /// using `aut` for the lookahead.
+    pub fn new(aut: tempo_core::TimeIoa<M>, is_target: P) -> TargetDelayScheduler<M, P> {
+        TargetDelayScheduler {
+            aut,
+            is_target,
+            cap: Rat::ONE,
+            guard: StutterGuard::default(),
+        }
+    }
+
+    /// The shared deadline after firing `(a, t)` from `state` (first base
+    /// post-state; our example systems are deterministic).
+    fn next_deadline(&self, state: &TimedState<M::State>, a: &M::Action, t: Rat) -> TimeVal {
+        let Some(post) = self.aut.base().post(&state.base, a).into_iter().next() else {
+            return TimeVal::ZERO;
+        };
+        let next = self.aut.update(state, a, t, &post);
+        next.lt
+            .iter()
+            .copied()
+            .fold(TimeVal::INFINITY, TimeVal::min)
+    }
+}
+
+impl<M, P> Scheduler<M::State, M::Action> for TargetDelayScheduler<M, P>
+where
+    M: tempo_ioa::Ioa,
+    P: FnMut(&M::Action) -> bool,
+{
+    fn choose(
+        &mut self,
+        state: &TimedState<M::State>,
+        options: &[(M::Action, Window)],
+    ) -> Option<(usize, Rat)> {
+        // (idx, t, is_target, next-deadline score)
+        let mut best: Option<(usize, Rat, bool, TimeVal)> = None;
+        for (i, (a, w)) in options.iter().enumerate() {
+            let t = window_top(*w, self.cap);
+            let target = (self.is_target)(a);
+            let score = self.next_deadline(state, a, t);
+            let better = match &best {
+                None => true,
+                Some((_, bt, btarget, bscore)) => {
+                    t > *bt
+                        || (t == *bt && *btarget && !target)
+                        || (t == *bt && *btarget == target && score > *bscore)
+                }
+            };
+            if better {
+                best = Some((i, t, target, score));
+            }
+        }
+        let (i, t, _, _) = best?;
+        let t = self.guard.adjust(&options[i].0, t, options[i].1, self.cap);
+        Some((i, t))
+    }
+}
+
+/// Maximally *rushes* target actions: fires a target as soon as one is
+/// enabled (at its window's earliest point); otherwise advances the rest
+/// of the system as fast as possible. Drives the empirical best case for
+/// "time until target".
+#[derive(Debug)]
+pub struct TargetRushScheduler<P> {
+    is_target: P,
+    cap: Rat,
+    guard: StutterGuard,
+}
+
+impl<P> TargetRushScheduler<P> {
+    /// Creates a rushing scheduler for actions matching `is_target`.
+    pub fn new(is_target: P) -> TargetRushScheduler<P> {
+        TargetRushScheduler {
+            is_target,
+            cap: Rat::ONE,
+            guard: StutterGuard::default(),
+        }
+    }
+}
+
+impl<S, A, P> Scheduler<S, A> for TargetRushScheduler<P>
+where
+    A: std::fmt::Debug,
+    P: FnMut(&A) -> bool,
+{
+    fn choose(&mut self, _state: &TimedState<S>, options: &[(A, Window)]) -> Option<(usize, Rat)> {
+        let pick = options
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, _))| (self.is_target)(a))
+            .min_by_key(|(_, (_, w))| w.lo)
+            .or_else(|| {
+                options
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, w))| w.lo)
+            });
+        let (i, (a, w)) = pick?;
+        let t = self.guard.adjust(a, w.lo, *w, self.cap);
+        Some((i, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use tempo_core::{time_ab, Boundmap, TimeIoa, Timed};
+    use tempo_ioa::{Ioa, Partition, Signature};
+    use tempo_math::Interval;
+
+    /// Two independent always-enabled classes `fast` ([1, 2]) and `slow`
+    /// ([3, 10]).
+    #[derive(Debug)]
+    struct TwoClocks {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ioa for TwoClocks {
+        type State = (u32, u32);
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<(u32, u32)> {
+            vec![(0, 0)]
+        }
+        fn post(&self, s: &(u32, u32), a: &&'static str) -> Vec<(u32, u32)> {
+            match *a {
+                "fast" => vec![(s.0 + 1, s.1)],
+                "slow" => vec![(s.0, s.1 + 1)],
+                _ => vec![],
+            }
+        }
+    }
+
+    fn automaton() -> TimeIoa<TwoClocks> {
+        let sig = Signature::new(vec![], vec!["fast", "slow"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let aut = Arc::new(TwoClocks { sig, part });
+        let b = Boundmap::from_intervals(vec![
+            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+            Interval::closed(Rat::from(3), Rat::from(10)).unwrap(),
+        ]);
+        time_ab(&Timed::new(aut, b).unwrap())
+    }
+
+    #[test]
+    fn delay_scheduler_postpones_target() {
+        let t = automaton();
+        let mut sched = TargetDelayScheduler::new(t.clone(), |a: &&str| *a == "slow");
+        let (run, _) = t.generate(&mut sched, 40);
+        // The first slow event fires at the very last legal moment.
+        let first_slow = run
+            .timed_schedule()
+            .iter()
+            .find(|(a, _)| *a == "slow")
+            .map(|(_, t)| *t)
+            .expect("slow must eventually fire");
+        assert_eq!(first_slow, Rat::from(10), "delayed to its Lt");
+        // Everything is postponed: fast events ride their upper bound.
+        let fast_times: Vec<Rat> = run
+            .timed_schedule()
+            .iter()
+            .filter(|(a, _)| *a == "fast")
+            .map(|(_, t)| *t)
+            .take(3)
+            .collect();
+        assert_eq!(fast_times, vec![Rat::from(2), Rat::from(4), Rat::from(6)]);
+    }
+
+    #[test]
+    fn rush_scheduler_fires_target_first() {
+        let t = automaton();
+        let mut sched = TargetRushScheduler::new(|a: &&str| *a == "slow");
+        let (run, _) = t.generate(&mut sched, 10);
+        let first_slow = run
+            .timed_schedule()
+            .iter()
+            .find(|(a, _)| *a == "slow")
+            .map(|(_, t)| *t)
+            .unwrap();
+        assert_eq!(first_slow, Rat::from(3), "rushed to its Ft");
+    }
+
+    /// A zero-lower-bound class cannot trap either scheduler at one
+    /// instant: time always diverges.
+    #[test]
+    fn schedulers_are_non_zeno() {
+        #[derive(Debug)]
+        struct Stutter {
+            sig: Signature<&'static str>,
+            part: Partition<&'static str>,
+        }
+        impl Ioa for Stutter {
+            type State = ();
+            type Action = &'static str;
+            fn signature(&self) -> &Signature<&'static str> {
+                &self.sig
+            }
+            fn partition(&self) -> &Partition<&'static str> {
+                &self.part
+            }
+            fn initial_states(&self) -> Vec<()> {
+                vec![()]
+            }
+            fn post(&self, _: &(), a: &&'static str) -> Vec<()> {
+                if *a == "idle" {
+                    vec![()]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let sig = Signature::new(vec![], vec!["idle"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let aut = Arc::new(Stutter { sig, part });
+        let b = Boundmap::from_intervals(vec![
+            Interval::closed(Rat::ZERO, Rat::ONE).unwrap(),
+        ]);
+        let t = time_ab(&Timed::new(aut, b).unwrap());
+        let mut rush = TargetRushScheduler::new(|_: &&str| false);
+        let (run, _) = t.generate(&mut rush, 20);
+        assert!(run.t_end() >= Rat::from(5), "time must diverge, got {}", run.t_end());
+        let mut delay = TargetDelayScheduler::new(t.clone(), |_: &&str| false);
+        let (run, _) = t.generate(&mut delay, 20);
+        assert!(run.t_end() >= Rat::from(10));
+    }
+}

@@ -1,0 +1,218 @@
+//! Empirical statistics over run ensembles.
+
+use std::fmt;
+
+use tempo_core::TimedSequence;
+use tempo_math::Rat;
+
+/// Statistics of the elapsed time between a *from*-event and the next
+/// *to*-event across an ensemble of runs (the measured analogue of a
+/// timing condition's interval).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct GapStats {
+    /// Smallest observed gap.
+    pub min: Option<Rat>,
+    /// Largest observed gap.
+    pub max: Option<Rat>,
+    /// Number of gaps measured.
+    pub count: usize,
+    /// Sum of all gaps (for the mean).
+    pub total: Rat,
+}
+
+impl GapStats {
+    /// Measures, in each run, every maximal interval from a `from`-event
+    /// (or the run start, for the first `to`-event, when `from_start`)
+    /// to the next `to`-event.
+    pub fn between<S, A>(
+        runs: &[TimedSequence<S, A>],
+        mut from: impl FnMut(&A) -> bool,
+        mut to: impl FnMut(&A) -> bool,
+    ) -> GapStats
+    where
+        S: Clone + fmt::Debug,
+        A: Clone + fmt::Debug,
+    {
+        let mut stats = GapStats {
+            min: None,
+            max: None,
+            count: 0,
+            total: Rat::ZERO,
+        };
+        for run in runs {
+            let mut armed_at: Option<Rat> = None;
+            for (a, t) in run.timed_schedule() {
+                if let Some(start) = armed_at {
+                    if to(&a) {
+                        stats.record(t - start);
+                        armed_at = None;
+                    }
+                }
+                if from(&a) {
+                    armed_at = Some(t);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Measures the time of the first `to`-event in each run (from time 0).
+    pub fn first<S, A>(
+        runs: &[TimedSequence<S, A>],
+        mut to: impl FnMut(&A) -> bool,
+    ) -> GapStats
+    where
+        S: Clone + fmt::Debug,
+        A: Clone + fmt::Debug,
+    {
+        let mut stats = GapStats {
+            min: None,
+            max: None,
+            count: 0,
+            total: Rat::ZERO,
+        };
+        for run in runs {
+            if let Some((_, t)) = run.timed_schedule().into_iter().find(|(a, _)| to(a)) {
+                stats.record(t);
+            }
+        }
+        stats
+    }
+
+    fn record(&mut self, gap: Rat) {
+        self.min = Some(self.min.map_or(gap, |m| m.min(gap)));
+        self.max = Some(self.max.map_or(gap, |m| m.max(gap)));
+        self.count += 1;
+        self.total += gap;
+    }
+
+    /// The mean gap, if any were measured.
+    pub fn mean(&self) -> Option<Rat> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.total / Rat::from(self.count))
+        }
+    }
+}
+
+impl fmt::Display for GapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max) {
+            (Some(min), Some(max)) => write!(
+                f,
+                "min {min} / max {max} over {} samples (mean {})",
+                self.count,
+                self.mean().expect("count > 0")
+            ),
+            _ => write!(f, "no samples"),
+        }
+    }
+}
+
+/// Per-run first-occurrence times of an event (kept run-by-run, unlike the
+/// aggregated [`GapStats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct FirstTimeStats {
+    /// One entry per run that contained the event.
+    pub times: Vec<Rat>,
+    /// Number of runs without the event.
+    pub missing: usize,
+}
+
+impl FirstTimeStats {
+    /// Collects the first occurrence time of a `to`-event in each run.
+    pub fn collect<S, A>(
+        runs: &[TimedSequence<S, A>],
+        mut to: impl FnMut(&A) -> bool,
+    ) -> FirstTimeStats
+    where
+        S: Clone + fmt::Debug,
+        A: Clone + fmt::Debug,
+    {
+        let mut times = Vec::new();
+        let mut missing = 0;
+        for run in runs {
+            match run.timed_schedule().into_iter().find(|(a, _)| to(a)) {
+                Some((_, t)) => times.push(t),
+                None => missing += 1,
+            }
+        }
+        FirstTimeStats { times, missing }
+    }
+
+    /// The smallest first-occurrence time.
+    pub fn min(&self) -> Option<Rat> {
+        self.times.iter().copied().reduce(Rat::min)
+    }
+
+    /// The largest first-occurrence time.
+    pub fn max(&self) -> Option<Rat> {
+        self.times.iter().copied().reduce(Rat::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(events: &[(&'static str, i64)]) -> TimedSequence<(), &'static str> {
+        let mut s = TimedSequence::new(());
+        for (a, t) in events {
+            s.push(*a, Rat::from(*t), ());
+        }
+        s
+    }
+
+    #[test]
+    fn gap_stats_basic() {
+        let runs = vec![
+            seq(&[("a", 1), ("b", 3), ("a", 4), ("b", 8)]),
+            seq(&[("a", 2), ("b", 3)]),
+        ];
+        let g = GapStats::between(&runs, |x| *x == "a", |x| *x == "b");
+        assert_eq!(g.count, 3);
+        assert_eq!(g.min, Some(Rat::ONE));
+        assert_eq!(g.max, Some(Rat::from(4)));
+        assert_eq!(g.mean(), Some(Rat::new(7, 3)));
+        assert!(g.to_string().contains("min 1 / max 4"));
+    }
+
+    #[test]
+    fn gap_stats_self_gaps() {
+        let runs = vec![seq(&[("t", 1), ("t", 3), ("t", 4)])];
+        let g = GapStats::between(&runs, |x| *x == "t", |x| *x == "t");
+        assert_eq!(g.count, 2);
+        assert_eq!(g.min, Some(Rat::ONE));
+        assert_eq!(g.max, Some(Rat::from(2)));
+    }
+
+    #[test]
+    fn first_stats() {
+        let runs = vec![
+            seq(&[("x", 2), ("g", 5)]),
+            seq(&[("g", 3)]),
+            seq(&[("x", 1)]),
+        ];
+        let f = GapStats::first(&runs, |a| *a == "g");
+        assert_eq!(f.count, 2);
+        assert_eq!(f.min, Some(Rat::from(3)));
+        assert_eq!(f.max, Some(Rat::from(5)));
+        let ft = FirstTimeStats::collect(&runs, |a| *a == "g");
+        assert_eq!(ft.times, vec![Rat::from(5), Rat::from(3)]);
+        assert_eq!(ft.missing, 1);
+        assert_eq!(ft.min(), Some(Rat::from(3)));
+        assert_eq!(ft.max(), Some(Rat::from(5)));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let runs: Vec<TimedSequence<(), &str>> = vec![seq(&[("x", 1)])];
+        let g = GapStats::between(&runs, |a| *a == "a", |a| *a == "b");
+        assert_eq!(g.count, 0);
+        assert_eq!(g.mean(), None);
+        assert_eq!(g.to_string(), "no samples");
+    }
+}

@@ -1,0 +1,365 @@
+//! Extension (paper §8): the **cement mixer** — a *conditional* timing
+//! requirement: "a resource manager is supposed to respond to requests as
+//! long as they do not arrive too far apart in time".
+//!
+//! The paper notes such requirements are "more complicated … than can be
+//! expressed directly as timing conditions", but that "it may be possible
+//! to force such examples to fit into our definitions by adding auxiliary
+//! variables or actions". This module does exactly that:
+//!
+//! * a **mixer** serves each request within `[s1, s2]` — but only while
+//!   the cement is still workable;
+//! * a **watchdog** (the auxiliary component) times the idle gap: if no
+//!   request arrives within `T` of the mixer becoming idle, it fires
+//!   `TIMEOUT` and the cement *hardens* permanently;
+//! * the requirement is then an ordinary [`TimingCondition`] whose
+//!   triggers are requests into unhardened states and whose **disabling
+//!   set** is the hardened states — the auxiliary state variable makes
+//!   the history-dependent guarantee state-dependent.
+//!
+//! The inexpressibility point is demonstrated executably: without the
+//! auxiliary flag, the *naive* unconditional response condition is
+//! violated by slow-request executions even though the intended property
+//! holds — a trigger predicate sees only `(s′, π, s)` and cannot know how
+//! long ago the previous request was.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::{Boundmap, Timed, TimingCondition};
+use tempo_ioa::{Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+use tempo_zones::{CondVerdict, ZoneChecker};
+
+/// Mixer-system actions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixAction {
+    /// A new batch of cement arrives.
+    Request,
+    /// The mixer pours the batch.
+    Serve,
+    /// The watchdog declares the cement hardened.
+    Timeout,
+}
+
+impl fmt::Debug for MixAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixAction::Request => write!(f, "REQUEST"),
+            MixAction::Serve => write!(f, "SERVE"),
+            MixAction::Timeout => write!(f, "TIMEOUT"),
+        }
+    }
+}
+
+/// Global mixer state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MixState {
+    /// A request is waiting to be served.
+    pub pending: bool,
+    /// The cement has set; the mixer is dead.
+    pub hardened: bool,
+}
+
+/// Parameters: serve bound `[s1, s2]`, idle tolerance `T` (hardening
+/// time), request cadence upper bound `r2` (`None` = requests may stall
+/// forever).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MixerParams {
+    /// Earliest serve after a request.
+    pub s1: Rat,
+    /// Latest serve after a request.
+    pub s2: Rat,
+    /// Idle time after which the cement hardens.
+    pub t: Rat,
+    /// Upper bound on the requester's idle time (`None` = ∞).
+    pub r2: Option<Rat>,
+}
+
+impl MixerParams {
+    /// Integer convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values.
+    pub fn ints(s1: i64, s2: i64, t: i64, r2: Option<i64>) -> MixerParams {
+        assert!(s1 >= 0 && s2 > 0 && s1 <= s2 && t > 0);
+        MixerParams {
+            s1: Rat::from(s1),
+            s2: Rat::from(s2),
+            t: Rat::from(t),
+            r2: r2.map(Rat::from),
+        }
+    }
+}
+
+/// The closed mixer system (requester ‖ mixer ‖ watchdog in one
+/// automaton; classes: `REQUEST` = 0, `SERVE` = 1, `TIMEOUT` = 2).
+#[derive(Debug)]
+pub struct Mixer {
+    sig: Signature<MixAction>,
+    part: Partition<MixAction>,
+}
+
+impl Mixer {
+    /// Creates the automaton.
+    pub fn new() -> Mixer {
+        let sig = Signature::new(
+            vec![],
+            vec![MixAction::Request, MixAction::Serve, MixAction::Timeout],
+            vec![],
+        )
+        .unwrap();
+        let part = Partition::new(
+            &sig,
+            vec![
+                ("REQUEST", vec![MixAction::Request]),
+                ("SERVE", vec![MixAction::Serve]),
+                ("TIMEOUT", vec![MixAction::Timeout]),
+            ],
+        )
+        .unwrap();
+        Mixer { sig, part }
+    }
+}
+
+impl Default for Mixer {
+    fn default() -> Mixer {
+        Mixer::new()
+    }
+}
+
+impl Ioa for Mixer {
+    type State = MixState;
+    type Action = MixAction;
+
+    fn signature(&self) -> &Signature<MixAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<MixAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<MixState> {
+        vec![MixState {
+            pending: false,
+            hardened: false,
+        }]
+    }
+    fn post(&self, s: &MixState, a: &MixAction) -> Vec<MixState> {
+        match a {
+            // New batches arrive only when the mixer is free; a hardened
+            // mixer still receives them (the requester cannot know).
+            MixAction::Request if !s.pending => vec![MixState {
+                pending: true,
+                ..*s
+            }],
+            // Serving needs workable cement.
+            MixAction::Serve if s.pending && !s.hardened => vec![MixState {
+                pending: false,
+                ..*s
+            }],
+            // The watchdog fires only while idle and unhardened.
+            MixAction::Timeout if !s.pending && !s.hardened => vec![MixState {
+                hardened: true,
+                ..*s
+            }],
+            _ => vec![],
+        }
+    }
+}
+
+/// Builds the timed system: `REQUEST ↦ [0, r2]`, `SERVE ↦ [s1, s2]`,
+/// `TIMEOUT ↦ [T, T]` (the watchdog fires exactly at the tolerance).
+pub fn mixer_system(params: &MixerParams) -> Timed<Mixer> {
+    let r_hi = params.r2.map(TimeVal::from).unwrap_or(TimeVal::INFINITY);
+    Timed::new(
+        Arc::new(Mixer::new()),
+        Boundmap::from_intervals(vec![
+            Interval::new(Rat::ZERO, r_hi).expect("r2 > 0 or unbounded"),
+            Interval::new(params.s1, TimeVal::from(params.s2)).expect("validated"),
+            Interval::new(params.t, TimeVal::from(params.t)).expect("t > 0"),
+        ]),
+    )
+    .expect("three classes")
+}
+
+/// The **conditional** requirement, expressible thanks to the auxiliary
+/// `hardened` flag: every request that arrives while the cement is
+/// workable is served within `[s1, s2]`, unless the cement hardens first
+/// (disabling set).
+pub fn conditional_response(params: &MixerParams) -> TimingCondition<MixState, MixAction> {
+    TimingCondition::new(
+        "SERVE-WHILE-WORKABLE",
+        Interval::new(params.s1, TimeVal::from(params.s2)).expect("validated"),
+    )
+    .triggered_by_step(|_, a, post: &MixState| *a == MixAction::Request && !post.hardened)
+    .on_actions(|a| *a == MixAction::Serve)
+    .disabled_in(|s: &MixState| s.hardened)
+}
+
+/// The **naive** unconditional requirement (what one would write without
+/// the auxiliary variable): every request is served within `[s1, s2]`.
+/// False once requests can stall past the tolerance.
+pub fn naive_response(params: &MixerParams) -> TimingCondition<MixState, MixAction> {
+    TimingCondition::new(
+        "SERVE-ALWAYS",
+        Interval::new(params.s1, TimeVal::from(params.s2)).expect("validated"),
+    )
+    .triggered_by_step(|_, a, _| *a == MixAction::Request)
+    .on_actions(|a| *a == MixAction::Serve)
+}
+
+/// Zone verdicts for both phrasings.
+#[derive(Debug)]
+pub struct MixerVerification {
+    /// The conditional requirement's verdict (should hold).
+    pub conditional: CondVerdict,
+    /// The naive requirement's verdict (holds only if requests can never
+    /// stall past the tolerance).
+    pub naive: CondVerdict,
+    /// Whether the hardened state is reachable at all.
+    pub can_harden: bool,
+    /// Parameters verified.
+    pub params: MixerParams,
+}
+
+/// Verifies both phrasings with the zone checker.
+pub fn verify(params: &MixerParams) -> MixerVerification {
+    let timed = mixer_system(params);
+    let zone = ZoneChecker::new(&timed);
+    let conditional = zone
+        .verify_condition(&conditional_response(params))
+        .expect("requests do not overlap");
+    let naive = zone
+        .verify_condition(&naive_response(params))
+        .expect("requests do not overlap");
+    let can_harden = zone
+        .check_invariant(|s: &MixState| !s.hardened)
+        .expect("small state space")
+        .is_some();
+    MixerVerification {
+        conditional,
+        naive,
+        can_harden,
+        params: params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Patient requester (may stall forever): the cement can harden; the
+    /// conditional phrasing holds exactly, the naive one is refuted.
+    #[test]
+    fn conditional_holds_naive_fails_when_requests_stall() {
+        let params = MixerParams::ints(1, 3, 5, None);
+        let v = verify(&params);
+        assert!(v.can_harden, "idle past T must harden the cement");
+        let bounds = Interval::closed(Rat::ONE, Rat::from(3)).unwrap();
+        assert!(v.conditional.satisfies(bounds), "{:?}", v.conditional);
+        assert_eq!(v.conditional.earliest_pi, TimeVal::from(Rat::ONE));
+        assert_eq!(v.conditional.latest_armed, TimeVal::from(Rat::from(3)));
+        // The naive phrasing admits a request into a hardened mixer that
+        // is never served: its worst case saturates.
+        assert!(!v.naive.satisfies(bounds));
+    }
+
+    /// Eager requester (always back within r2 < T): the cement never
+    /// hardens, and then the two phrasings coincide.
+    #[test]
+    fn phrasings_coincide_when_requests_are_frequent() {
+        let params = MixerParams::ints(1, 3, 10, Some(4));
+        let v = verify(&params);
+        assert!(!v.can_harden, "requests always beat the watchdog");
+        let bounds = Interval::closed(Rat::ONE, Rat::from(3)).unwrap();
+        assert!(v.conditional.satisfies(bounds));
+        assert!(v.naive.satisfies(bounds));
+        assert_eq!(v.naive.earliest_pi, v.conditional.earliest_pi);
+        assert_eq!(v.naive.latest_armed, v.conditional.latest_armed);
+    }
+
+    /// The knife's edge: r2 = T. Whether the watchdog or the requester
+    /// wins a tie decides hardening reachability — both fire exactly at
+    /// `T`, and either order is possible, so hardening IS reachable.
+    #[test]
+    fn tie_with_watchdog_can_harden() {
+        let params = MixerParams::ints(1, 3, 5, Some(5));
+        let v = verify(&params);
+        assert!(v.can_harden);
+        // The conditional phrasing still holds (hardened runs are excused
+        // by the disabling set).
+        assert!(v
+            .conditional
+            .satisfies(Interval::closed(Rat::ONE, Rat::from(3)).unwrap()));
+    }
+
+    /// Protocol sanity: hardened is absorbing and blocks service.
+    #[test]
+    fn hardened_is_absorbing() {
+        let m = Mixer::new();
+        let s = MixState {
+            pending: false,
+            hardened: false,
+        };
+        let s = m.post(&s, &MixAction::Timeout).pop().unwrap();
+        assert!(s.hardened);
+        // Requests still arrive but are never served.
+        let s = m.post(&s, &MixAction::Request).pop().unwrap();
+        assert!(m.post(&s, &MixAction::Serve).is_empty());
+        assert!(m.post(&s, &MixAction::Timeout).is_empty());
+        assert!(m.enabled_actions(&s).is_empty(), "dead mixer");
+    }
+
+    /// Simulated traces agree with the checkers: satisfied conditional
+    /// condition, occasional naive violations once hardening occurs.
+    /// Because the hardened mixer deadlocks (freezing `t_end`, which
+    /// would excuse every pending bound — exactly the finite-execution
+    /// problem of paper §5), the system is dummified so time keeps
+    /// flowing past the missed deadline.
+    #[test]
+    fn simulation_agrees() {
+        use tempo_core::{
+            dummify, lift_condition, project, semi_satisfies, time_ab, undum, RandomScheduler,
+        };
+        let params = MixerParams::ints(1, 3, 5, None);
+        let timed = mixer_system(&params);
+        let dummified = dummify(
+            &timed,
+            Interval::closed(Rat::ONE, Rat::ONE).unwrap(),
+        )
+        .unwrap();
+        let aut = time_ab(&dummified);
+        let cond = lift_condition(&conditional_response(&params));
+        let naive = lift_condition(&naive_response(&params));
+        let mut naive_violations = 0;
+        let mut hardened_runs = 0;
+        for seed in 0..40 {
+            let (run, _) = aut.generate(&mut RandomScheduler::new(seed), 80);
+            let seq = project(&run);
+            assert!(
+                semi_satisfies(&seq, &cond).is_ok(),
+                "conditional phrasing must hold on every run (seed {seed})"
+            );
+            if semi_satisfies(&seq, &naive).is_err() {
+                naive_violations += 1;
+            }
+            if seq.last_state().hardened {
+                hardened_runs += 1;
+            }
+            // The base projection is still a timed execution of (A, b).
+            let base = undum(&seq);
+            assert!(tempo_core::check_timed_execution(
+                &base,
+                &timed,
+                tempo_core::SatisfactionMode::Prefix
+            )
+            .is_ok());
+        }
+        assert!(hardened_runs > 0, "some run must stall and harden");
+        assert!(
+            naive_violations > 0,
+            "a hardened run with a late request must break the naive phrasing"
+        );
+    }
+}

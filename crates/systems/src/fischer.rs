@@ -1,0 +1,422 @@
+//! Extension (paper §8): a **timing-based mutual exclusion algorithm** in
+//! the style of Fischer's protocol — "good sources for timing-dependent
+//! algorithms to analyze are the areas of real-time computing".
+//!
+//! `N` processes share a variable `x`. To enter the critical section,
+//! process `i`:
+//!
+//! 1. `Test(i)`: sees `x = ⊥` (else it waits);
+//! 2. `Set(i)`: writes `x := i` — its *fast* class (`Test`, `Set`, `Exit`)
+//!    has bounds `[0, a]`, so the write lands within `a` of the test;
+//! 3. `Check(i)`: after waiting at least `b` (its *check* class has
+//!    bounds `[b, B]`), reads `x`; enters the critical section iff
+//!    `x = i`, else retries.
+//!
+//! **Safety** (mutual exclusion) holds when `a < b`: any competing write
+//! has landed before a winner checks. The zone checker proves this
+//! exactly — and *finds the bad interleaving* when `a ≥ b`.
+//!
+//! For `N = 1` the entry time is bounded: the first `Check` lands within
+//! `[b, 2a + B]` of the start, proved both by the mapping method (a §4.3
+//! style inequality mapping over the algorithm's phases) and by zones.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::mapping::{
+    CheckReport, CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan, SpecRegion,
+};
+use tempo_core::{Boundmap, TimeIoa, Timed, TimedState, TimingCondition};
+use tempo_ioa::{Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+use tempo_zones::{CondVerdict, ZoneChecker, ZoneError};
+
+/// Fischer actions, indexed by process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FAction {
+    /// Process `i` observes `x = ⊥`.
+    Test(usize),
+    /// Process `i` writes `x := i`.
+    Set(usize),
+    /// Process `i` reads `x`, entering the critical section iff `x = i`.
+    Check(usize),
+    /// Process `i` leaves the critical section, clearing `x`.
+    Exit(usize),
+}
+
+impl fmt::Debug for FAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FAction::Test(i) => write!(f, "TEST_{i}"),
+            FAction::Set(i) => write!(f, "SET_{i}"),
+            FAction::Check(i) => write!(f, "CHECK_{i}"),
+            FAction::Exit(i) => write!(f, "EXIT_{i}"),
+        }
+    }
+}
+
+/// Per-process program counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Pc {
+    /// Outside the protocol (or retrying).
+    Idle,
+    /// Passed the test; about to write.
+    SetPhase,
+    /// Wrote `x`; waiting out the delay.
+    Waiting,
+    /// In the critical section.
+    Crit,
+}
+
+/// Global Fischer state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FState {
+    /// Program counters.
+    pub pcs: Vec<Pc>,
+    /// The shared variable (`None` = ⊥).
+    pub x: Option<usize>,
+}
+
+/// Fischer parameters: write bound `a`, check delay `[b, big_b]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FischerParams {
+    /// Number of processes.
+    pub n: usize,
+    /// Upper bound on each fast step (`Test`, `Set`, `Exit`).
+    pub a: Rat,
+    /// Lower bound on the check delay.
+    pub b: Rat,
+    /// Upper bound on the check delay.
+    pub big_b: Rat,
+}
+
+impl FischerParams {
+    /// Integer convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values (`n = 0`, `a ≤ 0`, `b > big_b`).
+    pub fn ints(n: usize, a: i64, b: i64, big_b: i64) -> FischerParams {
+        assert!(n >= 1 && a > 0 && b <= big_b && b >= 0, "degenerate parameters");
+        FischerParams {
+            n,
+            a: Rat::from(a),
+            b: Rat::from(b),
+            big_b: Rat::from(big_b),
+        }
+    }
+
+    /// Returns `true` if the safety condition `a < b` holds.
+    pub fn safe(&self) -> bool {
+        self.a < self.b
+    }
+
+    /// The solo entry bound `[b, 2a + B]` (for `n = 1`).
+    pub fn solo_entry_bounds(&self) -> Interval {
+        Interval::new(
+            self.b,
+            TimeVal::from(self.a.scale(2) + self.big_b),
+        )
+        .expect("b ≤ B ≤ 2a + B")
+    }
+}
+
+/// The Fischer automaton (all processes in one automaton; classes
+/// `FAST_i` = `ClassId(2i)`, `CHECK_i` = `ClassId(2i + 1)`).
+#[derive(Debug)]
+pub struct Fischer {
+    n: usize,
+    sig: Signature<FAction>,
+    part: Partition<FAction>,
+}
+
+impl Fischer {
+    /// Creates the `n`-process automaton.
+    pub fn new(n: usize) -> Fischer {
+        let mut outputs = Vec::new();
+        for i in 0..n {
+            outputs.extend([FAction::Test(i), FAction::Set(i), FAction::Check(i), FAction::Exit(i)]);
+        }
+        let sig = Signature::new(vec![], outputs, vec![]).expect("distinct actions");
+        let mut classes = Vec::new();
+        for i in 0..n {
+            classes.push((
+                format!("FAST_{i}"),
+                vec![FAction::Test(i), FAction::Set(i), FAction::Exit(i)],
+            ));
+            classes.push((format!("CHECK_{i}"), vec![FAction::Check(i)]));
+        }
+        let part = Partition::new(&sig, classes).expect("disjoint classes");
+        Fischer { n, sig, part }
+    }
+}
+
+impl Ioa for Fischer {
+    type State = FState;
+    type Action = FAction;
+
+    fn signature(&self) -> &Signature<FAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<FAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<FState> {
+        vec![FState {
+            pcs: vec![Pc::Idle; self.n],
+            x: None,
+        }]
+    }
+    fn post(&self, s: &FState, a: &FAction) -> Vec<FState> {
+        let mut next = s.clone();
+        match *a {
+            FAction::Test(i) if s.pcs[i] == Pc::Idle && s.x.is_none() => {
+                next.pcs[i] = Pc::SetPhase;
+            }
+            FAction::Set(i) if s.pcs[i] == Pc::SetPhase => {
+                next.pcs[i] = Pc::Waiting;
+                next.x = Some(i);
+            }
+            FAction::Check(i) if s.pcs[i] == Pc::Waiting => {
+                next.pcs[i] = if s.x == Some(i) { Pc::Crit } else { Pc::Idle };
+            }
+            FAction::Exit(i) if s.pcs[i] == Pc::Crit => {
+                next.pcs[i] = Pc::Idle;
+                next.x = None;
+            }
+            _ => return vec![],
+        }
+        vec![next]
+    }
+}
+
+/// Builds the timed Fischer system.
+pub fn fischer_system(params: &FischerParams) -> Timed<Fischer> {
+    let aut = Arc::new(Fischer::new(params.n));
+    let mut intervals = Vec::new();
+    for _ in 0..params.n {
+        intervals.push(
+            Interval::new(Rat::ZERO, TimeVal::from(params.a)).expect("a > 0"),
+        );
+        intervals.push(
+            Interval::new(params.b, TimeVal::from(params.big_b)).expect("b ≤ B"),
+        );
+    }
+    Timed::new(aut, Boundmap::from_intervals(intervals)).expect("one interval per class")
+}
+
+/// Checks mutual exclusion over the timed-reachable state space.
+///
+/// # Errors
+///
+/// Propagates [`ZoneError`] (state-space limit).
+pub fn check_mutual_exclusion(params: &FischerParams) -> Result<Option<FState>, ZoneError> {
+    let timed = fischer_system(params);
+    ZoneChecker::new(&timed).check_invariant(|s: &FState| {
+        s.pcs.iter().filter(|pc| **pc == Pc::Crit).count() <= 1
+    })
+}
+
+/// The solo-entry condition (`n = 1`): from the start, `Check(0)` occurs
+/// within `[b, 2a + B]`.
+pub fn solo_entry_condition(params: &FischerParams) -> TimingCondition<FState, FAction> {
+    TimingCondition::new("ENTRY", params.solo_entry_bounds())
+        .triggered_at_start(|_| true)
+        .on_actions(|a| *a == FAction::Check(0))
+}
+
+/// The inequality mapping proving the solo entry bound, by phase:
+///
+/// * `Idle` (pre-entry): `Ft ≤ Ct + b`, `Lt ≥ Lt(FAST) + a + B`;
+/// * `SetPhase`: `Ft ≤ Ct + b`, `Lt ≥ Lt(FAST) + B`;
+/// * `Waiting`: `Ft ≤ Ft(CHECK)`, `Lt ≥ Lt(CHECK)`;
+/// * `Crit` (condition resolved): defaults pinned… except the condition is
+///   one-shot, so any predictions ≥ the defaults remain valid — the same
+///   `Idle` window is reused after `Exit`, harmlessly.
+#[derive(Clone, Debug)]
+pub struct SoloEntryMapping {
+    params: FischerParams,
+}
+
+impl SoloEntryMapping {
+    /// Creates the mapping (requires `n = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.n != 1`.
+    pub fn new(params: &FischerParams) -> SoloEntryMapping {
+        assert_eq!(params.n, 1, "the solo entry mapping is for n = 1");
+        SoloEntryMapping {
+            params: params.clone(),
+        }
+    }
+}
+
+const FAST0: usize = 0;
+const CHECK0: usize = 1;
+
+impl PossibilitiesMapping<FState, FAction> for SoloEntryMapping {
+    fn region(&self, s: &TimedState<FState>) -> SpecRegion {
+        let p = &self.params;
+        let constraint = match s.base.pcs[0] {
+            Pc::Idle => CondConstraint::Window {
+                ft_max: TimeVal::from(s.now + p.b),
+                lt_min: s.lt[FAST0] + (p.a + p.big_b),
+            },
+            Pc::SetPhase => CondConstraint::Window {
+                ft_max: TimeVal::from(s.now + p.b),
+                lt_min: s.lt[FAST0] + p.big_b,
+            },
+            Pc::Waiting => CondConstraint::Window {
+                ft_max: TimeVal::from(s.ft[CHECK0]),
+                lt_min: s.lt[CHECK0],
+            },
+            Pc::Crit => CondConstraint::Window {
+                // Condition resolved: the spec predictions are back at
+                // their defaults (0, ∞), pinned exactly.
+                ft_max: TimeVal::ZERO,
+                lt_min: TimeVal::INFINITY,
+            },
+        };
+        SpecRegion::new(vec![constraint])
+    }
+
+    fn name(&self) -> &str {
+        "fischer solo entry"
+    }
+}
+
+/// Verification outcome for Fischer.
+#[derive(Debug)]
+pub struct FischerVerification {
+    /// Mutual exclusion verdict: `None` = safe, `Some(state)` = violation
+    /// witness.
+    pub mutex_violation: Option<FState>,
+    /// Solo entry-time verdict (`n = 1` sub-instance, zone-exact).
+    pub solo_entry: CondVerdict,
+    /// Mapping-checker report for the solo entry mapping.
+    pub solo_mapping: CheckReport,
+    /// Parameters verified.
+    pub params: FischerParams,
+}
+
+impl FischerVerification {
+    /// Returns `true` if safety held (expected iff `a < b`) and the solo
+    /// entry bound was confirmed both ways.
+    pub fn all_passed(&self) -> bool {
+        self.mutex_violation.is_none()
+            && self.solo_entry.satisfies(self.params.solo_entry_bounds())
+            && self.solo_mapping.passed()
+    }
+}
+
+/// Verifies Fischer: mutual exclusion at the given `n`, and the solo
+/// entry-time bound on the 1-process sub-instance.
+pub fn verify(params: &FischerParams) -> FischerVerification {
+    let mutex_violation = check_mutual_exclusion(params).expect("state space fits");
+    let solo = FischerParams {
+        n: 1,
+        ..params.clone()
+    };
+    let solo_timed = fischer_system(&solo);
+    let solo_entry = ZoneChecker::new(&solo_timed)
+        .verify_condition(&solo_entry_condition(&solo))
+        .expect("one-shot trigger");
+    let impl_aut = tempo_core::time_ab(&solo_timed);
+    let spec_aut = TimeIoa::new(
+        Arc::clone(solo_timed.automaton()),
+        vec![solo_entry_condition(&solo)],
+    );
+    let solo_mapping = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &SoloEntryMapping::new(&solo),
+        &RunPlan {
+            random_runs: 10,
+            steps: 60,
+            seed: 0xF15C,
+        },
+    );
+    FischerVerification {
+        mutex_violation,
+        solo_entry,
+        solo_mapping,
+        params: params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_parameters_guarantee_mutual_exclusion() {
+        for n in [2, 3] {
+            let params = FischerParams::ints(n, 1, 2, 4);
+            assert!(params.safe());
+            let violation = check_mutual_exclusion(&params).unwrap();
+            assert_eq!(violation, None, "n={n} must be safe");
+        }
+    }
+
+    #[test]
+    fn unsafe_parameters_break_mutual_exclusion() {
+        // a > b: a slow write can land after a competitor's check.
+        let params = FischerParams::ints(2, 3, 1, 2);
+        assert!(!params.safe());
+        let violation = check_mutual_exclusion(&params).unwrap();
+        let witness = violation.expect("two processes must reach Crit");
+        assert_eq!(
+            witness.pcs.iter().filter(|pc| **pc == Pc::Crit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn solo_entry_bounds_exact() {
+        let params = FischerParams::ints(1, 1, 2, 4);
+        let v = verify(&params);
+        assert_eq!(v.mutex_violation, None);
+        assert_eq!(v.solo_entry.earliest_pi.to_string(), "2"); // b
+        assert_eq!(v.solo_entry.latest_armed.to_string(), "6"); // 2a + B
+        assert!(
+            v.solo_mapping.passed(),
+            "{:?}",
+            v.solo_mapping.violations.first()
+        );
+        assert!(v.all_passed());
+    }
+
+    #[test]
+    fn full_verification_contended() {
+        let params = FischerParams::ints(2, 1, 2, 3);
+        let v = verify(&params);
+        assert!(v.all_passed());
+    }
+
+    #[test]
+    fn protocol_steps() {
+        let f = Fischer::new(2);
+        let s0 = f.initial_states().pop().unwrap();
+        let s1 = f.post(&s0, &FAction::Test(0)).pop().unwrap();
+        assert_eq!(s1.pcs[0], Pc::SetPhase);
+        // Process 1 can still test (x unset).
+        let s2 = f.post(&s1, &FAction::Test(1)).pop().unwrap();
+        let s3 = f.post(&s2, &FAction::Set(0)).pop().unwrap();
+        assert_eq!(s3.x, Some(0));
+        // Process 1 overwrites.
+        let s4 = f.post(&s3, &FAction::Set(1)).pop().unwrap();
+        assert_eq!(s4.x, Some(1));
+        // Process 0's check fails; process 1's succeeds.
+        let s5 = f.post(&s4, &FAction::Check(0)).pop().unwrap();
+        assert_eq!(s5.pcs[0], Pc::Idle);
+        let s6 = f.post(&s5, &FAction::Check(1)).pop().unwrap();
+        assert_eq!(s6.pcs[1], Pc::Crit);
+        // Exit clears x.
+        let s7 = f.post(&s6, &FAction::Exit(1)).pop().unwrap();
+        assert_eq!(s7.x, None);
+        assert_eq!(s7.pcs[1], Pc::Idle);
+        // Test blocked while x is set.
+        assert!(f.post(&s6, &FAction::Test(0)).is_empty());
+    }
+}

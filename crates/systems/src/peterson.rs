@@ -1,0 +1,386 @@
+//! Extension (paper §8): **Peterson's 2-process mutual exclusion**, timed.
+//! The conclusions single out the tournament algorithm built from this
+//! protocol ("one particularly good example to try is the full tournament
+//! mutual exclusion algorithm from \[PF77\]"); this module analyzes the
+//! 2-process building block, [`crate::tournament`] assembles the tree.
+//!
+//! Each process cycles through
+//!
+//! ```text
+//! REQUEST → flag[i] := true → turn := other → wait until
+//!     (¬flag[other] ∨ turn = i) → CRITICAL → flag[i] := false → …
+//! ```
+//!
+//! with every local step in `[e, a]` (one MMT class per process). Peterson
+//! is asynchronously safe — mutual exclusion needs *no* timing assumptions
+//! (checked by exhaustive untimed reachability) — but its **entry time**
+//! is a timing property: the zone checker computes the exact worst case,
+//! and a scaling experiment shows it is linear in `a` (with bounded
+//! bypass, the loser waits through a constant number of opponent steps).
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::{Boundmap, Timed, TimingCondition};
+use tempo_ioa::{Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+use tempo_zones::{CondVerdict, ZoneChecker};
+
+/// Peterson actions, indexed by process (0 or 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PAction {
+    /// Leave the remainder region and start competing.
+    Request(usize),
+    /// `flag[i] := true`.
+    SetFlag(usize),
+    /// `turn := 1 − i` (defer to the opponent).
+    SetTurn(usize),
+    /// The wait condition holds: enter the critical section.
+    CheckSucceed(usize),
+    /// The wait condition fails: spin.
+    CheckRetry(usize),
+    /// Leave the critical section, clearing the flag.
+    Exit(usize),
+}
+
+impl PAction {
+    /// The acting process.
+    pub fn process(self) -> usize {
+        match self {
+            PAction::Request(i)
+            | PAction::SetFlag(i)
+            | PAction::SetTurn(i)
+            | PAction::CheckSucceed(i)
+            | PAction::CheckRetry(i)
+            | PAction::Exit(i) => i,
+        }
+    }
+}
+
+impl fmt::Debug for PAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PAction::Request(i) => write!(f, "REQUEST_{i}"),
+            PAction::SetFlag(i) => write!(f, "SETFLAG_{i}"),
+            PAction::SetTurn(i) => write!(f, "SETTURN_{i}"),
+            PAction::CheckSucceed(i) => write!(f, "ENTER_{i}"),
+            PAction::CheckRetry(i) => write!(f, "RETRY_{i}"),
+            PAction::Exit(i) => write!(f, "EXIT_{i}"),
+        }
+    }
+}
+
+/// Per-process program counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PPc {
+    /// Remainder region.
+    Rem,
+    /// About to set the flag.
+    SetFlag,
+    /// About to set the turn.
+    SetTurn,
+    /// Busy-waiting.
+    Wait,
+    /// Critical section.
+    Crit,
+}
+
+/// Global Peterson state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PState {
+    /// Program counters.
+    pub pcs: [PPc; 2],
+    /// The interest flags.
+    pub flags: [bool; 2],
+    /// Whose turn it is to proceed on contention.
+    pub turn: usize,
+}
+
+/// Peterson step bounds `[e, a]` for both processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PetersonParams {
+    /// Lower bound per local step.
+    pub e: Rat,
+    /// Upper bound per local step.
+    pub a: Rat,
+}
+
+impl PetersonParams {
+    /// Integer convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e < 0`, `a ≤ 0` or `e > a`.
+    pub fn ints(e: i64, a: i64) -> PetersonParams {
+        assert!(e >= 0 && a > 0 && e <= a, "need 0 ≤ e ≤ a, a > 0");
+        PetersonParams {
+            e: Rat::from(e),
+            a: Rat::from(a),
+        }
+    }
+
+    /// Uniformly scales both bounds.
+    pub fn scaled(&self, k: i64) -> PetersonParams {
+        PetersonParams {
+            e: self.e.scale(k as i128),
+            a: self.a.scale(k as i128),
+        }
+    }
+}
+
+/// The 2-process Peterson automaton (one class per process).
+#[derive(Debug)]
+pub struct Peterson {
+    sig: Signature<PAction>,
+    part: Partition<PAction>,
+}
+
+impl Peterson {
+    /// Creates the automaton.
+    pub fn new() -> Peterson {
+        let mut outputs = Vec::new();
+        for i in 0..2 {
+            outputs.extend([
+                PAction::Request(i),
+                PAction::SetFlag(i),
+                PAction::SetTurn(i),
+                PAction::CheckSucceed(i),
+                PAction::CheckRetry(i),
+                PAction::Exit(i),
+            ]);
+        }
+        let sig = Signature::new(vec![], outputs.clone(), vec![]).expect("distinct");
+        let classes = (0..2)
+            .map(|i| {
+                (
+                    format!("P{i}"),
+                    outputs
+                        .iter()
+                        .copied()
+                        .filter(|a| a.process() == i)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let part = Partition::new(&sig, classes).expect("two disjoint classes");
+        Peterson { sig, part }
+    }
+
+    /// The wait condition of process `i`: may it enter?
+    fn may_enter(s: &PState, i: usize) -> bool {
+        !s.flags[1 - i] || s.turn == i
+    }
+}
+
+impl Default for Peterson {
+    fn default() -> Peterson {
+        Peterson::new()
+    }
+}
+
+impl Ioa for Peterson {
+    type State = PState;
+    type Action = PAction;
+
+    fn signature(&self) -> &Signature<PAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<PAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<PState> {
+        vec![PState {
+            pcs: [PPc::Rem; 2],
+            flags: [false; 2],
+            turn: 0,
+        }]
+    }
+    fn post(&self, s: &PState, a: &PAction) -> Vec<PState> {
+        let i = a.process();
+        let mut next = s.clone();
+        match (*a, s.pcs[i]) {
+            (PAction::Request(_), PPc::Rem) => next.pcs[i] = PPc::SetFlag,
+            (PAction::SetFlag(_), PPc::SetFlag) => {
+                next.flags[i] = true;
+                next.pcs[i] = PPc::SetTurn;
+            }
+            (PAction::SetTurn(_), PPc::SetTurn) => {
+                next.turn = 1 - i;
+                next.pcs[i] = PPc::Wait;
+            }
+            (PAction::CheckSucceed(_), PPc::Wait) if Peterson::may_enter(s, i) => {
+                next.pcs[i] = PPc::Crit;
+            }
+            (PAction::CheckRetry(_), PPc::Wait) if !Peterson::may_enter(s, i) => {
+                // A spin: the state is unchanged.
+            }
+            (PAction::Exit(_), PPc::Crit) => {
+                next.flags[i] = false;
+                next.pcs[i] = PPc::Rem;
+            }
+            _ => return vec![],
+        }
+        vec![next]
+    }
+}
+
+/// Builds the timed system: class `P_i ↦ [e, a]`.
+pub fn peterson_system(params: &PetersonParams) -> Timed<Peterson> {
+    Timed::new(
+        Arc::new(Peterson::new()),
+        Boundmap::from_intervals(vec![
+            Interval::new(params.e, TimeVal::from(params.a)).expect("validated"),
+            Interval::new(params.e, TimeVal::from(params.a)).expect("validated"),
+        ]),
+    )
+    .expect("two classes")
+}
+
+/// The `ENTRY_i` condition: from each `SETFLAG_i` step, process `i`
+/// enters the critical section within `bound`. (The exact `bound` is
+/// *discovered* by [`entry_verdict`]; this builds the condition for a
+/// claimed interval.)
+pub fn entry_condition(i: usize, bound: Interval) -> TimingCondition<PState, PAction> {
+    TimingCondition::new(format!("ENTRY_{i}"), bound)
+        .triggered_by_step(move |_, a: &PAction, _| *a == PAction::SetFlag(i))
+        .on_actions(move |a: &PAction| *a == PAction::CheckSucceed(i))
+}
+
+/// Computes the exact entry-time verdict for process `i` (measured from
+/// its `SETFLAG` step to its critical-section entry) under the given
+/// parameters.
+///
+/// # Panics
+///
+/// Panics if the zone exploration exceeds its limit.
+pub fn entry_verdict(params: &PetersonParams, i: usize) -> CondVerdict {
+    let timed = peterson_system(params);
+    // The claimed interval is a placeholder; the bound is *discovered* by
+    // adaptive measurement (the horizon doubles until the worst case
+    // resolves).
+    let cond = entry_condition(i, Interval::unbounded_above(Rat::ZERO));
+    ZoneChecker::new(&timed)
+        .measure_condition_adaptive(&cond, params.a.scale(16), 8)
+        .expect("SETFLAG steps do not overlap")
+}
+
+/// Checks mutual exclusion by exhaustive *untimed* reachability — Peterson
+/// is safe without any timing assumptions.
+pub fn check_mutual_exclusion_untimed() -> bool {
+    let aut = Peterson::new();
+    tempo_ioa::check_invariant(&aut, &tempo_ioa::Explorer::new(), |s: &PState| {
+        !(s.pcs[0] == PPc::Crit && s.pcs[1] == PPc::Crit)
+    })
+    .holds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_core::{project, time_ab, RandomScheduler};
+    use tempo_sim::GapStats;
+
+    #[test]
+    fn mutual_exclusion_without_timing() {
+        assert!(check_mutual_exclusion_untimed());
+    }
+
+    #[test]
+    fn protocol_walkthrough() {
+        let p = Peterson::new();
+        let s0 = p.initial_states().pop().unwrap();
+        let s = p.post(&s0, &PAction::Request(0)).pop().unwrap();
+        let s = p.post(&s, &PAction::SetFlag(0)).pop().unwrap();
+        assert!(s.flags[0]);
+        let s = p.post(&s, &PAction::SetTurn(0)).pop().unwrap();
+        assert_eq!(s.turn, 1);
+        // Opponent idle: may enter.
+        let s = p.post(&s, &PAction::CheckSucceed(0)).pop().unwrap();
+        assert_eq!(s.pcs[0], PPc::Crit);
+        // Contender arrives, must spin.
+        let s = p.post(&s, &PAction::Request(1)).pop().unwrap();
+        let s = p.post(&s, &PAction::SetFlag(1)).pop().unwrap();
+        let s = p.post(&s, &PAction::SetTurn(1)).pop().unwrap();
+        assert!(p.post(&s, &PAction::CheckSucceed(1)).is_empty());
+        let s2 = p.post(&s, &PAction::CheckRetry(1)).pop().unwrap();
+        assert_eq!(s2, s, "a retry is a spin");
+        // After exit, the contender gets in.
+        let s = p.post(&s, &PAction::Exit(0)).pop().unwrap();
+        assert!(!s.flags[0]);
+        let s = p.post(&s, &PAction::CheckSucceed(1)).pop().unwrap();
+        assert_eq!(s.pcs[1], PPc::Crit);
+    }
+
+    #[test]
+    fn entry_time_exact_and_bounded() {
+        let params = PetersonParams::ints(0, 1);
+        let v = entry_verdict(&params, 0);
+        // Fastest: SetTurn + CheckSucceed at 0 each (e = 0).
+        assert_eq!(v.earliest_pi, TimeVal::ZERO);
+        // The worst case is finite and attained.
+        assert!(v.latest_armed.is_finite(), "entry is bounded");
+        assert_eq!(v.latest_armed, v.latest_pi);
+        // Bounded bypass: with all steps ≤ a = 1, the winner's extra trip
+        // costs a constant number of steps; the zone checker finds the
+        // exact constant.
+        let worst = v.latest_armed.expect_finite();
+        assert!(worst >= Rat::from(2), "at least own two steps");
+        assert!(worst <= Rat::from(12), "constant-factor bound");
+    }
+
+    /// The exact worst-case entry time scales linearly with the step
+    /// bounds: time-scaling symmetry of timed automata.
+    #[test]
+    fn entry_time_scales_linearly() {
+        let base = entry_verdict(&PetersonParams::ints(0, 1), 0)
+            .latest_armed
+            .expect_finite();
+        for k in [2i64, 3, 5] {
+            let scaled = entry_verdict(&PetersonParams::ints(0, k), 0)
+                .latest_armed
+                .expect_finite();
+            assert_eq!(scaled, base.scale(k as i128), "k = {k}");
+        }
+    }
+
+    /// With a nonzero lower bound the earliest entry is 2e (SetTurn +
+    /// Check after the flag).
+    #[test]
+    fn earliest_entry_is_two_steps() {
+        let params = PetersonParams::ints(1, 4);
+        let v = entry_verdict(&params, 0);
+        assert_eq!(v.earliest_pi, TimeVal::from(Rat::from(2)));
+    }
+
+    /// Both processes have symmetric verdicts.
+    #[test]
+    fn entry_is_symmetric() {
+        let params = PetersonParams::ints(0, 2);
+        let v0 = entry_verdict(&params, 0);
+        let v1 = entry_verdict(&params, 1);
+        assert_eq!(v0.earliest_pi, v1.earliest_pi);
+        assert_eq!(v0.latest_armed, v1.latest_armed);
+    }
+
+    /// Simulated entry times stay within the zone-exact envelope.
+    #[test]
+    fn simulation_within_zone_envelope() {
+        let params = PetersonParams::ints(0, 1);
+        let v = entry_verdict(&params, 0);
+        let timed = peterson_system(&params);
+        let aut = time_ab(&timed);
+        let mut runs = Vec::new();
+        for seed in 0..24 {
+            let (run, _) = aut.generate(&mut RandomScheduler::new(seed), 120);
+            runs.push(project(&run));
+        }
+        let gaps = GapStats::between(
+            &runs,
+            |a: &PAction| *a == PAction::SetFlag(0),
+            |a: &PAction| *a == PAction::CheckSucceed(0),
+        );
+        assert!(gaps.count > 0);
+        assert!(TimeVal::from(gaps.min.unwrap()) >= v.earliest_pi);
+        assert!(TimeVal::from(gaps.max.unwrap()) <= v.latest_armed);
+    }
+}

@@ -1,0 +1,371 @@
+//! Extension (paper §4, footnote): the **request-driven resource
+//! manager** — "there is no REQUEST input action that triggers the GRANT
+//! output … it would make the analysis somewhat longer". Here is that
+//! longer analysis.
+//!
+//! A requester issues `REQUEST` at an arbitrary time (bounds `[0, ∞]`);
+//! the manager then counts `k` clock ticks and grants. Because the
+//! request arrives at an unknown phase of the clock cycle, the response
+//! bound differs from `G1`:
+//!
+//! * **earliest** response: the first tick can coincide with the request,
+//!   so `GRANT` may come as soon as `(k−1)·c1` after `REQUEST`;
+//! * **latest** response: the first tick may lag a full `c2`, giving
+//!   `k·c2 + l`.
+//!
+//! The phase uncertainty is exactly the kind of subtlety the predictive
+//! `Ft`/`Lt` state makes explicit: at the moment of the request,
+//! `Ft(TICK)` may already be due (`= Ct`), collapsing one `c1` from the
+//! lower bound.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::{Boundmap, Timed, TimingCondition};
+use tempo_ioa::{Compose, Hide, Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+use tempo_sim::GapStats;
+use tempo_zones::{CondVerdict, ZoneChecker};
+
+use crate::resource_manager::Params;
+
+/// The request-driven system's action alphabet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RqAction {
+    /// The clock's tick.
+    Tick,
+    /// The requester asks for the resource.
+    Request,
+    /// The manager grants it.
+    Grant,
+    /// The manager's pacing step.
+    Else,
+}
+
+impl fmt::Debug for RqAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RqAction::Tick => write!(f, "TICK"),
+            RqAction::Request => write!(f, "REQUEST"),
+            RqAction::Grant => write!(f, "GRANT"),
+            RqAction::Else => write!(f, "ELSE"),
+        }
+    }
+}
+
+/// The clock (identical to §4's, over the extended alphabet).
+#[derive(Debug)]
+pub struct RqClock {
+    sig: Signature<RqAction>,
+    part: Partition<RqAction>,
+}
+
+impl RqClock {
+    /// Creates the clock.
+    pub fn new() -> RqClock {
+        let sig = Signature::new(vec![], vec![RqAction::Tick], vec![]).unwrap();
+        let part = Partition::new(&sig, vec![("TICK", vec![RqAction::Tick])]).unwrap();
+        RqClock { sig, part }
+    }
+}
+
+impl Default for RqClock {
+    fn default() -> RqClock {
+        RqClock::new()
+    }
+}
+
+impl Ioa for RqClock {
+    type State = ();
+    type Action = RqAction;
+    fn signature(&self) -> &Signature<RqAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<RqAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<()> {
+        vec![()]
+    }
+    fn post(&self, _: &(), a: &RqAction) -> Vec<()> {
+        match a {
+            RqAction::Tick => vec![()],
+            _ => vec![],
+        }
+    }
+}
+
+/// The manager's local state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RqManagerState {
+    /// A request is outstanding.
+    pub pending: bool,
+    /// Ticks left before the pending request can be granted.
+    pub timer: i64,
+}
+
+/// The request-driven manager: on `REQUEST`, arms `TIMER = k`; each
+/// `TICK` counts down while a request is pending; `GRANT` when pending
+/// and `TIMER ≤ 0`.
+#[derive(Debug)]
+pub struct RqManager {
+    k: i64,
+    sig: Signature<RqAction>,
+    part: Partition<RqAction>,
+}
+
+impl RqManager {
+    /// Creates a manager granting after `k` ticks.
+    pub fn new(k: u32) -> RqManager {
+        let sig = Signature::new(
+            vec![RqAction::Tick, RqAction::Request],
+            vec![RqAction::Grant],
+            vec![RqAction::Else],
+        )
+        .unwrap();
+        let part =
+            Partition::new(&sig, vec![("LOCAL", vec![RqAction::Grant, RqAction::Else])]).unwrap();
+        RqManager {
+            k: k as i64,
+            sig,
+            part,
+        }
+    }
+}
+
+impl Ioa for RqManager {
+    type State = RqManagerState;
+    type Action = RqAction;
+
+    fn signature(&self) -> &Signature<RqAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<RqAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<RqManagerState> {
+        vec![RqManagerState {
+            pending: false,
+            timer: self.k,
+        }]
+    }
+    fn post(&self, s: &RqManagerState, a: &RqAction) -> Vec<RqManagerState> {
+        match a {
+            RqAction::Tick => vec![RqManagerState {
+                pending: s.pending,
+                timer: if s.pending { s.timer - 1 } else { s.timer },
+            }],
+            RqAction::Request => vec![if s.pending {
+                *s // duplicate requests are absorbed
+            } else {
+                RqManagerState {
+                    pending: true,
+                    timer: self.k,
+                }
+            }],
+            RqAction::Grant if s.pending && s.timer <= 0 => vec![RqManagerState {
+                pending: false,
+                timer: self.k,
+            }],
+            RqAction::Else if !(s.pending && s.timer <= 0) => vec![*s],
+            _ => vec![],
+        }
+    }
+}
+
+/// The requester: issues `REQUEST` whenever none is outstanding (its
+/// class has bounds `[0, ∞]` — it may wait arbitrarily long), and hears
+/// `GRANT`.
+#[derive(Debug)]
+pub struct Requester {
+    sig: Signature<RqAction>,
+    part: Partition<RqAction>,
+}
+
+impl Requester {
+    /// Creates the requester.
+    pub fn new() -> Requester {
+        let sig = Signature::new(
+            vec![RqAction::Grant],
+            vec![RqAction::Request],
+            vec![],
+        )
+        .unwrap();
+        let part = Partition::new(&sig, vec![("REQUEST", vec![RqAction::Request])]).unwrap();
+        Requester { sig, part }
+    }
+}
+
+impl Default for Requester {
+    fn default() -> Requester {
+        Requester::new()
+    }
+}
+
+impl Ioa for Requester {
+    type State = bool; // waiting for a grant?
+    type Action = RqAction;
+    fn signature(&self) -> &Signature<RqAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<RqAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<bool> {
+        vec![false]
+    }
+    fn post(&self, waiting: &bool, a: &RqAction) -> Vec<bool> {
+        match a {
+            RqAction::Request if !waiting => vec![true],
+            RqAction::Grant => vec![false],
+            _ => vec![],
+        }
+    }
+}
+
+/// The closed system: clock ‖ manager ‖ requester, `TICK`/`ELSE` hidden.
+pub type RqAutomaton = Hide<Compose<Compose<RqClock, RqManager>, Requester>>;
+
+/// Composite states: `((clock, manager), requester)`.
+pub type RqState = (((), RqManagerState), bool);
+
+/// Builds the timed system. Class order: `TICK` (0), `LOCAL` (1),
+/// `REQUEST` (2).
+pub fn rq_system(params: &Params) -> Timed<RqAutomaton> {
+    let inner = Compose::new(RqClock::new(), RqManager::new(params.k))
+        .expect("clock and manager compatible");
+    let all = Compose::new(inner, Requester::new()).expect("requester compatible");
+    let aut = Arc::new(Hide::new(all, &[RqAction::Tick]));
+    let b = Boundmap::by_name(
+        aut.as_ref(),
+        vec![
+            (
+                "TICK",
+                Interval::new(params.c1, TimeVal::from(params.c2)).expect("validated"),
+            ),
+            (
+                "LOCAL",
+                Interval::new(Rat::ZERO, TimeVal::from(params.l)).expect("validated"),
+            ),
+            ("REQUEST", Interval::unbounded_above(Rat::ZERO)),
+        ],
+    )
+    .expect("all classes bound");
+    Timed::new(aut, b).expect("boundmap covers the partition")
+}
+
+/// The response interval `[(k−1)·c1, k·c2 + l]`.
+pub fn response_bounds(params: &Params) -> Interval {
+    Interval::new(
+        params.c1.scale(params.k as i128 - 1),
+        TimeVal::from(params.c2.scale(params.k as i128) + params.l),
+    )
+    .expect("nonempty for validated parameters")
+}
+
+/// The `RESPONSE` condition: after each `REQUEST` step, a `GRANT` follows
+/// within [`response_bounds`].
+pub fn response_condition(params: &Params) -> TimingCondition<RqState, RqAction> {
+    TimingCondition::new("RESPONSE", response_bounds(params))
+        .triggered_by_step(|_, a, _| *a == RqAction::Request)
+        .on_actions(|a| *a == RqAction::Grant)
+}
+
+/// The combined verification outcome.
+#[derive(Debug)]
+pub struct RqVerification {
+    /// Exact zone verdict for `RESPONSE`.
+    pub zone: CondVerdict,
+    /// Simulated request→grant delays.
+    pub sim_response: GapStats,
+    /// Parameters verified.
+    pub params: Params,
+}
+
+impl RqVerification {
+    /// Returns `true` if both checks agree with the derived bound.
+    pub fn all_passed(&self) -> bool {
+        let bounds = response_bounds(&self.params);
+        self.zone.satisfies(bounds)
+            && self.sim_response.min.is_none_or(|m| bounds.contains(m))
+            && self.sim_response.max.is_none_or(|m| bounds.contains(m))
+    }
+}
+
+/// Verifies the request-driven manager via zones and simulation.
+pub fn verify(params: &Params) -> RqVerification {
+    let timed = rq_system(params);
+    let zone = ZoneChecker::new(&timed)
+        .verify_condition(&response_condition(params))
+        .expect("requests do not overlap");
+    let impl_aut = tempo_core::time_ab(&timed);
+    let runs = tempo_sim::Ensemble::new(24, 120).collect(&impl_aut);
+    let sim_response = GapStats::between(
+        &runs,
+        |a: &RqAction| *a == RqAction::Request,
+        |a: &RqAction| *a == RqAction::Grant,
+    );
+    RqVerification {
+        zone,
+        sim_response,
+        params: params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ioa::{check_input_enabled, Explorer};
+
+    #[test]
+    fn response_bounds_reflect_phase_uncertainty() {
+        let params = Params::ints(3, 2, 3, 1).unwrap();
+        // Lower: (k−1)·c1 = 4 — one c1 less than G1's k·c1 = 6.
+        // Upper: k·c2 + l = 10, same as G1.
+        assert_eq!(response_bounds(&params).to_string(), "[4, 10]");
+    }
+
+    #[test]
+    fn zone_proves_response_bounds_exactly() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let v = verify(&params);
+        assert_eq!(v.zone.earliest_pi.to_string(), "2"); // (k−1)·c1
+        assert_eq!(v.zone.latest_armed.to_string(), "7"); // k·c2 + l
+        assert!(v.all_passed());
+        assert!(v.sim_response.count > 0, "grants must be observed");
+    }
+
+    #[test]
+    fn g1_style_bound_fails_here() {
+        // The §4 bound k·c1 is NOT a valid lower bound once requests can
+        // arrive mid-cycle: the zone checker finds the faster response.
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let v = verify(&params);
+        let g1_style = Interval::closed(Rat::from(4), Rat::from(7)).unwrap();
+        assert!(!v.zone.satisfies(g1_style));
+    }
+
+    #[test]
+    fn composition_is_input_enabled() {
+        let m = RqManager::new(2);
+        assert!(check_input_enabled(&m, &Explorer::new().with_max_states(100)).is_ok());
+        let r = Requester::new();
+        assert!(check_input_enabled(&r, &Explorer::new()).is_ok());
+    }
+
+    #[test]
+    fn no_spurious_grants() {
+        // A grant never occurs without a pending request (zone-reachable
+        // states only).
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let timed = rq_system(&params);
+        let violation = ZoneChecker::new(&timed)
+            .check_invariant(|s: &RqState| {
+                let mgr = s.0 .1;
+                // Requester waiting iff manager pending.
+                s.1 == mgr.pending
+            })
+            .unwrap();
+        assert_eq!(violation, None);
+    }
+}

@@ -1,0 +1,350 @@
+//! The clock and manager automata and their composition (§4.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::{Boundmap, Timed};
+use tempo_ioa::{Compose, Hide, Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+
+/// The action alphabet of the resource manager system.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmAction {
+    /// The clock's tick (hidden in the composition).
+    Tick,
+    /// The manager grants the resource (the only external action).
+    Grant,
+    /// The manager's pacing step while `TIMER > 0`.
+    Else,
+}
+
+impl fmt::Debug for RmAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmAction::Tick => write!(f, "TICK"),
+            RmAction::Grant => write!(f, "GRANT"),
+            RmAction::Else => write!(f, "ELSE"),
+        }
+    }
+}
+
+/// Index of the clock's `TICK` class in the composed partition (and of
+/// `cond(TICK)` in `time(A, b)`).
+pub const TICK_CLASS: usize = 0;
+/// Index of the manager's `LOCAL` class (`GRANT`, `ELSE`).
+pub const LOCAL_CLASS: usize = 1;
+
+/// System parameters: `k` ticks per grant, tick period `[c1, c2]`, local
+/// step bound `l`, with the paper's assumptions `0 < c1 ≤ c2 < ∞`,
+/// `0 ≤ l < ∞`, `c1 > l`, `k > 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Ticks counted between grants.
+    pub k: u32,
+    /// Minimum tick period.
+    pub c1: Rat,
+    /// Maximum tick period.
+    pub c2: Rat,
+    /// Upper bound on the manager's local step.
+    pub l: Rat,
+}
+
+/// Parameter-validation error for [`Params::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// `k` must be positive.
+    ZeroK,
+    /// Requires `0 < c1 ≤ c2`.
+    BadClockBounds,
+    /// Requires `0 < l` (the paper writes `0 ≤ l`, but a boundmap's
+    /// upper bounds must be nonzero, so `l = 0` is not expressible).
+    NonpositiveL,
+    /// The paper assumes `c1 > l`.
+    ClockNotSlower,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::ZeroK => write!(f, "k must be positive"),
+            ParamError::BadClockBounds => write!(f, "clock bounds must satisfy 0 < c1 <= c2"),
+            ParamError::NonpositiveL => write!(f, "l must be positive (boundmap upper bounds are nonzero)"),
+            ParamError::ClockNotSlower => write!(f, "the paper assumes c1 > l"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl Params {
+    /// Creates and validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] if the paper's assumptions are violated.
+    pub fn new(k: u32, c1: Rat, c2: Rat, l: Rat) -> Result<Params, ParamError> {
+        if k == 0 {
+            return Err(ParamError::ZeroK);
+        }
+        if !c1.is_positive() || c1 > c2 {
+            return Err(ParamError::BadClockBounds);
+        }
+        if !l.is_positive() {
+            return Err(ParamError::NonpositiveL);
+        }
+        if c1 <= l {
+            return Err(ParamError::ClockNotSlower);
+        }
+        Ok(Params { k, c1, c2, l })
+    }
+
+    /// Convenience constructor from integers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Params::new`].
+    pub fn ints(k: u32, c1: i64, c2: i64, l: i64) -> Result<Params, ParamError> {
+        Params::new(k, Rat::from(c1), Rat::from(c2), Rat::from(l))
+    }
+
+    /// The `G1` interval `[k·c1, k·c2 + l]` (time to the first GRANT).
+    pub fn g1_bounds(&self) -> Interval {
+        Interval::new(
+            self.c1.scale(self.k as i128),
+            TimeVal::from(self.c2.scale(self.k as i128) + self.l),
+        )
+        .expect("validated parameters give a nonempty interval")
+    }
+
+    /// The `G2` interval `[k·c1 − l, k·c2 + l]` (between GRANTs).
+    pub fn g2_bounds(&self) -> Interval {
+        Interval::new(
+            self.c1.scale(self.k as i128) - self.l,
+            TimeVal::from(self.c2.scale(self.k as i128) + self.l),
+        )
+        .expect("k·c1 > l, so the lower endpoint is positive")
+    }
+}
+
+/// The clock: a single state, one always-enabled output `TICK` with no
+/// effect (§4.1).
+#[derive(Debug)]
+pub struct Clock {
+    sig: Signature<RmAction>,
+    part: Partition<RmAction>,
+}
+
+impl Clock {
+    /// Creates the clock.
+    pub fn new() -> Clock {
+        let sig = Signature::new(vec![], vec![RmAction::Tick], vec![]).unwrap();
+        let part = Partition::new(&sig, vec![("TICK", vec![RmAction::Tick])]).unwrap();
+        Clock { sig, part }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::new()
+    }
+}
+
+impl Ioa for Clock {
+    type State = ();
+    type Action = RmAction;
+
+    fn signature(&self) -> &Signature<RmAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<RmAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<()> {
+        vec![()]
+    }
+    fn post(&self, _s: &(), a: &RmAction) -> Vec<()> {
+        match a {
+            RmAction::Tick => vec![()],
+            _ => vec![],
+        }
+    }
+}
+
+/// The manager: counts `TICK`s down from `k`; `GRANT` when `TIMER ≤ 0`
+/// (resetting to `k`), `ELSE` otherwise (§4.1). `GRANT` and `ELSE` form
+/// the `LOCAL` class.
+#[derive(Debug)]
+pub struct Manager {
+    k: i64,
+    sig: Signature<RmAction>,
+    part: Partition<RmAction>,
+}
+
+impl Manager {
+    /// Creates a manager counting `k` ticks per grant.
+    pub fn new(k: u32) -> Manager {
+        let sig = Signature::new(
+            vec![RmAction::Tick],
+            vec![RmAction::Grant],
+            vec![RmAction::Else],
+        )
+        .unwrap();
+        let part = Partition::new(
+            &sig,
+            vec![("LOCAL", vec![RmAction::Grant, RmAction::Else])],
+        )
+        .unwrap();
+        Manager {
+            k: k as i64,
+            sig,
+            part,
+        }
+    }
+}
+
+impl Ioa for Manager {
+    type State = i64; // TIMER
+    type Action = RmAction;
+
+    fn signature(&self) -> &Signature<RmAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<RmAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<i64> {
+        vec![self.k]
+    }
+    fn post(&self, timer: &i64, a: &RmAction) -> Vec<i64> {
+        match a {
+            RmAction::Tick => vec![timer - 1], // input: always enabled
+            RmAction::Grant if *timer <= 0 => vec![self.k],
+            RmAction::Else if *timer > 0 => vec![*timer],
+            _ => vec![],
+        }
+    }
+}
+
+/// The composed system with `TICK` hidden: `GRANT` is the only external
+/// action.
+pub type RmAutomaton = Hide<Compose<Clock, Manager>>;
+
+/// Composite states: (clock state, `TIMER`).
+pub type RmState = ((), i64);
+
+/// Builds the untimed composition `A` (clock ‖ manager, `TICK` hidden).
+pub fn untimed(params: &Params) -> RmAutomaton {
+    let composed = Compose::new(Clock::new(), Manager::new(params.k))
+        .expect("clock and manager are strongly compatible");
+    Hide::new(composed, &[RmAction::Tick])
+}
+
+/// Builds the timed automaton `(A, b)`: `TICK ↦ [c1, c2]`,
+/// `LOCAL ↦ [0, l]`.
+pub fn system(params: &Params) -> Timed<RmAutomaton> {
+    let aut = Arc::new(untimed(params));
+    let b = Boundmap::by_name(
+        aut.as_ref(),
+        vec![
+            (
+                "TICK",
+                Interval::new(params.c1, TimeVal::from(params.c2)).expect("validated"),
+            ),
+            (
+                "LOCAL",
+                Interval::new(Rat::ZERO, TimeVal::from(params.l)).expect("validated"),
+            ),
+        ],
+    )
+    .expect("both classes bound");
+    Timed::new(aut, b).expect("boundmap covers the partition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ioa::{check_input_enabled, ActionKind, ClassId, Explorer};
+
+    #[test]
+    fn params_validation() {
+        assert!(Params::ints(2, 2, 3, 1).is_ok());
+        assert_eq!(Params::ints(0, 2, 3, 1), Err(ParamError::ZeroK));
+        assert_eq!(Params::ints(2, 0, 3, 1), Err(ParamError::BadClockBounds));
+        assert_eq!(Params::ints(2, 4, 3, 1), Err(ParamError::BadClockBounds));
+        assert_eq!(Params::ints(2, 2, 3, -1), Err(ParamError::NonpositiveL));
+        assert_eq!(Params::ints(2, 2, 3, 0), Err(ParamError::NonpositiveL));
+        assert_eq!(Params::ints(2, 2, 3, 2), Err(ParamError::ClockNotSlower));
+        let p = Params::ints(3, 2, 3, 1).unwrap();
+        assert_eq!(p.g1_bounds().to_string(), "[6, 10]");
+        assert_eq!(p.g2_bounds().to_string(), "[5, 10]");
+    }
+
+    #[test]
+    fn composition_structure() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let aut = untimed(&params);
+        // GRANT is the only external action.
+        assert_eq!(
+            aut.signature().kind_of(&RmAction::Grant),
+            Some(ActionKind::Output)
+        );
+        assert_eq!(
+            aut.signature().kind_of(&RmAction::Tick),
+            Some(ActionKind::Internal)
+        );
+        assert_eq!(
+            aut.signature().kind_of(&RmAction::Else),
+            Some(ActionKind::Internal)
+        );
+        // Class indices as advertised.
+        assert_eq!(aut.partition().class_by_name("TICK"), Some(ClassId(TICK_CLASS)));
+        assert_eq!(
+            aut.partition().class_by_name("LOCAL"),
+            Some(ClassId(LOCAL_CLASS))
+        );
+    }
+
+    #[test]
+    fn manager_counts_and_grants() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let aut = untimed(&params);
+        let s0 = aut.initial_states().pop().unwrap();
+        assert_eq!(s0, ((), 2));
+        // ELSE loops, GRANT disabled.
+        assert_eq!(aut.post(&s0, &RmAction::Else), vec![((), 2)]);
+        assert!(aut.post(&s0, &RmAction::Grant).is_empty());
+        let s1 = aut.post(&s0, &RmAction::Tick).pop().unwrap();
+        let s2 = aut.post(&s1, &RmAction::Tick).pop().unwrap();
+        assert_eq!(s2, ((), 0));
+        // Now GRANT enabled, ELSE disabled.
+        assert!(aut.post(&s2, &RmAction::Else).is_empty());
+        assert_eq!(aut.post(&s2, &RmAction::Grant), vec![((), 2)]);
+        // The untimed automaton CAN tick below zero (timing forbids it;
+        // see the zone test in the invariant module).
+        let s3 = aut.post(&s2, &RmAction::Tick).pop().unwrap();
+        assert_eq!(s3, ((), -1));
+    }
+
+    #[test]
+    fn always_some_local_action_enabled() {
+        // ELSE is enabled exactly when GRANT is not: LOCAL never idles.
+        let params = Params::ints(3, 2, 3, 1).unwrap();
+        let aut = untimed(&params);
+        // Explore a bounded fragment (untimed state space is infinite
+        // downward; cap it).
+        let report = Explorer::new().with_max_states(40).explore(&aut);
+        for s in report.states() {
+            let grant = aut.is_enabled(s, &RmAction::Grant);
+            let else_ = aut.is_enabled(s, &RmAction::Else);
+            assert!(grant ^ else_, "exactly one of GRANT/ELSE in {s:?}");
+            assert!(aut.is_enabled(s, &RmAction::Tick));
+        }
+    }
+
+    #[test]
+    fn input_enabledness_of_manager() {
+        let m = Manager::new(2);
+        let ok = check_input_enabled(&m, &Explorer::new().with_max_states(30));
+        assert!(ok.is_ok());
+    }
+}

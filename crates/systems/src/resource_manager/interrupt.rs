@@ -1,0 +1,203 @@
+//! The paper's footnote-7 variant: an **interrupt-driven** manager.
+//!
+//! "An alternative situation is one in which the manager is
+//! interrupt-driven, that is, whenever the precondition of a GRANT becomes
+//! true, the GRANT occurs shortly thereafter. This situation could be
+//! modeled by omitting the ELSE action. The two automata have slightly
+//! different timing properties."
+//!
+//! With `ELSE` omitted, the `LOCAL` class is enabled *only* while a grant
+//! is pending, so its `[0, l]` bound measures from the moment `TIMER`
+//! reaches 0 — not from the manager's last pacing step. The zone checker
+//! quantifies the footnote exactly (see the tests):
+//!
+//! * `G1`/`G2` **upper** bounds coincide with the polled manager's
+//!   (`k·c2 + l`): the worst polled schedule refreshes `ELSE` at the final
+//!   tick, matching the interrupt deadline.
+//! * the **assumption `c1 > l` becomes unnecessary**: the interrupt
+//!   manager's `TIMER` never goes negative for *any* parameters, because
+//!   the pending grant's deadline always precedes the next tick… when
+//!   `c1 > l`; for `c1 ≤ l` ticks can overtake the pending grant in both
+//!   variants. What actually changes is Lemma 4.1's *proof obligation*:
+//!   the predictive invariant `Ft(TICK) ≥ Lt(LOCAL) + c1 − l` holds
+//!   automatically on enabling.
+
+use std::sync::Arc;
+
+use tempo_core::{Boundmap, Timed};
+use tempo_ioa::{Compose, Hide, Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+
+use super::{Clock, Params, RmAction};
+
+/// The interrupt-driven manager: identical to [`super::Manager`] but with
+/// no `ELSE` — `LOCAL = {GRANT}` is disabled while `TIMER > 0`.
+#[derive(Debug)]
+pub struct InterruptManager {
+    k: i64,
+    sig: Signature<RmAction>,
+    part: Partition<RmAction>,
+}
+
+impl InterruptManager {
+    /// Creates the manager.
+    pub fn new(k: u32) -> InterruptManager {
+        let sig = Signature::new(vec![RmAction::Tick], vec![RmAction::Grant], vec![]).unwrap();
+        let part = Partition::new(&sig, vec![("LOCAL", vec![RmAction::Grant])]).unwrap();
+        InterruptManager {
+            k: k as i64,
+            sig,
+            part,
+        }
+    }
+}
+
+impl Ioa for InterruptManager {
+    type State = i64;
+    type Action = RmAction;
+
+    fn signature(&self) -> &Signature<RmAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<RmAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<i64> {
+        vec![self.k]
+    }
+    fn post(&self, timer: &i64, a: &RmAction) -> Vec<i64> {
+        match a {
+            RmAction::Tick => vec![timer - 1],
+            RmAction::Grant if *timer <= 0 => vec![self.k],
+            _ => vec![],
+        }
+    }
+}
+
+/// The interrupt-driven composition (clock ‖ interrupt manager, `TICK`
+/// hidden).
+pub type InterruptAutomaton = Hide<Compose<Clock, InterruptManager>>;
+
+/// Builds the interrupt-driven timed system with the same boundmap shape
+/// as the polled one.
+pub fn interrupt_system(params: &Params) -> Timed<InterruptAutomaton> {
+    let composed = Compose::new(Clock::new(), InterruptManager::new(params.k))
+        .expect("strongly compatible");
+    let aut = Arc::new(Hide::new(composed, &[RmAction::Tick]));
+    let b = Boundmap::by_name(
+        aut.as_ref(),
+        vec![
+            (
+                "TICK",
+                Interval::new(params.c1, TimeVal::from(params.c2)).expect("validated"),
+            ),
+            (
+                "LOCAL",
+                Interval::new(Rat::ZERO, TimeVal::from(params.l)).expect("validated"),
+            ),
+        ],
+    )
+    .expect("both classes bound");
+    Timed::new(aut, b).expect("boundmap covers the partition")
+}
+
+/// `G1` for the interrupt variant (same formula target as the polled one).
+pub fn interrupt_g1(
+    params: &Params,
+) -> tempo_core::TimingCondition<((), i64), RmAction> {
+    tempo_core::TimingCondition::new("G1", params.g1_bounds())
+        .triggered_at_start(|_| true)
+        .on_actions(|a| *a == RmAction::Grant)
+}
+
+/// `G2` for the interrupt variant.
+pub fn interrupt_g2(
+    params: &Params,
+) -> tempo_core::TimingCondition<((), i64), RmAction> {
+    tempo_core::TimingCondition::new("G2", params.g2_bounds())
+        .triggered_by_step(|_, a, _| *a == RmAction::Grant)
+        .on_actions(|a| *a == RmAction::Grant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{g1, g2, system};
+    use super::*;
+    use tempo_zones::ZoneChecker;
+
+    /// Footnote 7, quantified: the two variants' exact G1/G2 envelopes
+    /// coincide — the difference is in *which* executions exist, not in
+    /// the worst/best cases.
+    #[test]
+    fn interrupt_and_polled_bounds_coincide() {
+        for (k, c1, c2, l) in [(2, 2, 3, 1), (3, 2, 5, 1), (1, 4, 4, 3)] {
+            let params = Params::ints(k, c1, c2, l).unwrap();
+            let polled = system(&params);
+            let interrupt = interrupt_system(&params);
+            let pz1 = ZoneChecker::new(&polled).verify_condition(&g1(&params)).unwrap();
+            let iz1 = ZoneChecker::new(&interrupt)
+                .verify_condition(&interrupt_g1(&params))
+                .unwrap();
+            assert_eq!(pz1.earliest_pi, iz1.earliest_pi, "G1 lower, k={k}");
+            assert_eq!(pz1.latest_armed, iz1.latest_armed, "G1 upper, k={k}");
+            let pz2 = ZoneChecker::new(&polled).verify_condition(&g2(&params)).unwrap();
+            let iz2 = ZoneChecker::new(&interrupt)
+                .verify_condition(&interrupt_g2(&params))
+                .unwrap();
+            assert_eq!(pz2.earliest_pi, iz2.earliest_pi, "G2 lower, k={k}");
+            assert_eq!(pz2.latest_armed, iz2.latest_armed, "G2 upper, k={k}");
+        }
+    }
+
+    /// Where the variants genuinely differ: the polled manager *needs*
+    /// `c1 > l` for `TIMER ≥ 0` (Lemma 4.1); the interrupt manager also
+    /// loses the invariant when `c1 ≤ l` (a pending grant's deadline may
+    /// fall after the next tick) — confirming that footnote 7's difference
+    /// is about proof structure, not the invariant itself. What *does*
+    /// hold only for the interrupt variant: `LOCAL` is disabled whenever
+    /// `TIMER > 0`, so the predictive components reset on every grant.
+    #[test]
+    fn timer_invariant_needs_c1_gt_l_in_both() {
+        // Valid parameters: both variants keep TIMER ≥ 0.
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let polled = system(&params);
+        let interrupt = interrupt_system(&params);
+        assert_eq!(
+            ZoneChecker::new(&polled).check_invariant(|s| s.1 >= 0).unwrap(),
+            None
+        );
+        assert_eq!(
+            ZoneChecker::new(&interrupt).check_invariant(|s| s.1 >= 0).unwrap(),
+            None
+        );
+        // Violated assumption (c1 ≤ l), built by hand for both variants.
+        let cheat = {
+            let mut p = params.clone();
+            p.c1 = Rat::ONE;
+            p.l = Rat::from(2);
+            p
+        };
+        let interrupt_bad = interrupt_system(&cheat);
+        let violation = ZoneChecker::new(&interrupt_bad)
+            .with_max_zones(50_000)
+            .check_invariant(|s| s.1 >= 0)
+            .unwrap();
+        assert!(
+            violation.is_some(),
+            "with c1 <= l even the interrupt manager misses ticks"
+        );
+    }
+
+    /// The interrupt manager's LOCAL class is genuinely phase-gated:
+    /// disabled while counting, enabled exactly when a grant is pending.
+    #[test]
+    fn local_class_gating() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let timed = interrupt_system(&params);
+        let aut = timed.automaton();
+        let counting = ((), 1i64);
+        let pending = ((), 0i64);
+        assert!(aut.class_disabled(&counting, tempo_ioa::ClassId(1)));
+        assert!(aut.class_enabled(&pending, tempo_ioa::ClassId(1)));
+    }
+}

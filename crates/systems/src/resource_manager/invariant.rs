@@ -1,0 +1,137 @@
+//! The invariant of Lemma 4.1 and its executable checks.
+
+use tempo_core::{RandomScheduler, TimeIoa, TimedState};
+use tempo_math::TimeVal;
+
+use super::{Params, RmAutomaton, RmState, LOCAL_CLASS, TICK_CLASS};
+
+/// Lemma 4.1, on a predictive state of `time(A, b)`:
+///
+/// 1. `TIMER ≥ 0`;
+/// 2. if `TIMER = 0` then `Ft(TICK) ≥ Lt(LOCAL) + c1 − l`.
+///
+/// (Property 2 is what makes the mapping's `TIMER = 0` case go through:
+/// the pending GRANT must fire before the next tick can arrive.)
+pub fn lemma_4_1(params: &Params, s: &TimedState<RmState>) -> bool {
+    let timer = s.base.1;
+    if timer < 0 {
+        return false;
+    }
+    if timer == 0 {
+        let lhs = TimeVal::from(s.ft[TICK_CLASS]);
+        let rhs = s.lt[LOCAL_CLASS] + (params.c1 - params.l);
+        if lhs < rhs {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks Lemma 4.1 on every predictive state visited by `runs` random
+/// runs of `steps` steps each (plus both extremal runs).
+pub fn check_lemma_4_1_on_runs(
+    params: &Params,
+    impl_aut: &TimeIoa<RmAutomaton>,
+    runs: u64,
+    steps: usize,
+) -> bool {
+    let mut all_states_ok = true;
+    let mut check_run = |run: &tempo_core::TimedRun<RmState, super::RmAction>| {
+        for s in run.states() {
+            if !lemma_4_1(params, s) {
+                all_states_ok = false;
+            }
+        }
+    };
+    let (run, _) = impl_aut.generate(&mut tempo_core::EarliestScheduler::new(), steps);
+    check_run(&run);
+    let (run, _) = impl_aut.generate(&mut tempo_core::LatestScheduler::new(), steps);
+    check_run(&run);
+    for seed in 0..runs {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), steps);
+        check_run(&run);
+    }
+    all_states_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::system;
+    use super::*;
+    use tempo_core::{time_ab, TimedState};
+    use tempo_math::Rat;
+    use tempo_zones::ZoneChecker;
+
+    #[test]
+    fn holds_on_simulated_runs() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let impl_aut = time_ab(&system(&params));
+        assert!(check_lemma_4_1_on_runs(&params, &impl_aut, 20, 100));
+    }
+
+    #[test]
+    fn zone_checker_proves_timer_nonnegative() {
+        // Part 1 of Lemma 4.1 proved exactly: under the timing assumptions
+        // (c1 > l), TIMER never goes negative — even though it can in the
+        // untimed automaton.
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let timed = system(&params);
+        let violation = ZoneChecker::new(&timed)
+            .check_invariant(|s| s.1 >= 0)
+            .unwrap();
+        assert_eq!(violation, None);
+    }
+
+    #[test]
+    fn fails_when_assumption_dropped() {
+        // With c1 ≤ l the lemma's proof breaks; build such a system by
+        // bypassing Params validation and watch TIMER go negative.
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let mut cheat = params.clone();
+        cheat.c1 = Rat::ONE;
+        cheat.l = Rat::from(2); // c1 ≤ l: a slow manager can miss ticks
+        let timed = {
+            use std::sync::Arc;
+            use tempo_core::{Boundmap, Timed};
+            use tempo_math::Interval;
+            let aut = Arc::new(super::super::untimed(&cheat));
+            let b = Boundmap::by_name(
+                aut.as_ref(),
+                vec![
+                    ("TICK", Interval::closed(cheat.c1, cheat.c2).unwrap()),
+                    ("LOCAL", Interval::closed(Rat::ZERO, cheat.l).unwrap()),
+                ],
+            )
+            .unwrap();
+            Timed::new(aut, b).unwrap()
+        };
+        let violation = ZoneChecker::new(&timed)
+            .with_max_zones(50_000)
+            .check_invariant(|s| s.1 >= 0)
+            .unwrap();
+        assert!(violation.is_some(), "TIMER must dip below zero when c1 <= l");
+    }
+
+    #[test]
+    fn detects_violating_state() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let bad = TimedState {
+            base: ((), -1),
+            now: Rat::ZERO,
+            ft: vec![Rat::ZERO, Rat::ZERO],
+            lt: vec![TimeVal::INFINITY, TimeVal::INFINITY],
+        };
+        assert!(!lemma_4_1(&params, &bad));
+        let bad2 = TimedState {
+            base: ((), 0),
+            now: Rat::from(10),
+            // Ft(TICK) too small relative to Lt(LOCAL) + c1 − l.
+            ft: vec![Rat::from(10), Rat::ZERO],
+            lt: vec![
+                TimeVal::from(Rat::from(12)),
+                TimeVal::from(Rat::from(11)),
+            ],
+        };
+        assert!(!lemma_4_1(&params, &bad2));
+    }
+}

@@ -1,0 +1,174 @@
+//! The paper's first example (§4): a **resource manager** built from a
+//! clock and a tick-counting manager.
+//!
+//! The clock's `TICK` is always enabled and fires with period in
+//! `[c1, c2]`; the manager counts `k` ticks down and then issues `GRANT`
+//! (its `LOCAL` class, containing `GRANT` and the pacing action `ELSE`,
+//! has bounds `[0, l]`, with the standing assumption `c1 > l`). The timing
+//! requirements are:
+//!
+//! * `G1`: the first `GRANT` occurs at a time in `[k·c1, k·c2 + l]`;
+//! * `G2`: consecutive `GRANT`s are separated by `[k·c1 − l, k·c2 + l]`.
+//!
+//! This module provides the timed automaton ([`system`]), the requirements
+//! (`G1`/`G2` via [`g1`]/[`g2`]), the invariant of Lemma 4.1
+//! ([`lemma_4_1`]), the §4.3 inequality mapping ([`RmMapping`]), the
+//! footnote-7 [`interrupt`] variant, and a three-way verification harness
+//! ([`verify`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_systems::resource_manager::{self, Params};
+//!
+//! let params = Params::ints(3, 2, 3, 1)?; // k = 3, c1 = 2, c2 = 3, l = 1
+//! let outcome = resource_manager::verify(&params);
+//! assert!(outcome.all_passed());
+//! // The zone checker reproduces the paper's bounds exactly:
+//! assert_eq!(outcome.zone_g1.earliest_pi.to_string(), "6");  // k·c1
+//! assert_eq!(outcome.zone_g1.latest_armed.to_string(), "10"); // k·c2 + l
+//! # Ok::<(), tempo_systems::resource_manager::ParamError>(())
+//! ```
+
+mod automaton;
+pub mod interrupt;
+mod invariant;
+mod mapping;
+mod requirements;
+
+pub use automaton::{
+    system, untimed, Clock, Manager, Params, ParamError, RmAction, RmAutomaton, RmState,
+    LOCAL_CLASS, TICK_CLASS,
+};
+pub use invariant::{check_lemma_4_1_on_runs, lemma_4_1};
+pub use mapping::RmMapping;
+pub use requirements::{g1, g2, requirements_automaton, G1_INDEX, G2_INDEX};
+
+use tempo_core::mapping::{CheckReport, MappingChecker, RunPlan};
+use tempo_core::time_ab;
+use tempo_sim::{Ensemble, GapStats};
+use tempo_zones::{CondVerdict, ZoneChecker};
+
+/// The combined outcome of verifying the resource manager three ways.
+#[derive(Debug)]
+pub struct Verification {
+    /// Mapping-checker report for the §4.3 mapping (Lemma 4.3).
+    pub mapping_report: CheckReport,
+    /// Whether Lemma 4.1 held on all simulated predictive states.
+    pub lemma_4_1: bool,
+    /// Exact zone verdict for `G1`.
+    pub zone_g1: CondVerdict,
+    /// Exact zone verdict for `G2`.
+    pub zone_g2: CondVerdict,
+    /// Simulated first-GRANT times.
+    pub sim_first: GapStats,
+    /// Simulated inter-GRANT gaps.
+    pub sim_gap: GapStats,
+    /// The parameters verified.
+    pub params: Params,
+}
+
+impl Verification {
+    /// Returns `true` if every check agreed with the paper's bounds.
+    pub fn all_passed(&self) -> bool {
+        self.mapping_report.passed()
+            && self.lemma_4_1
+            && self.zone_g1.satisfies(self.params.g1_bounds())
+            && self.zone_g2.satisfies(self.params.g2_bounds())
+            && self
+                .sim_first
+                .min
+                .is_none_or(|m| self.params.g1_bounds().contains(m))
+            && self
+                .sim_first
+                .max
+                .is_none_or(|m| self.params.g1_bounds().contains(m))
+            && self
+                .sim_gap
+                .min
+                .is_none_or(|m| self.params.g2_bounds().contains(m))
+            && self
+                .sim_gap
+                .max
+                .is_none_or(|m| self.params.g2_bounds().contains(m))
+    }
+}
+
+/// Verifies the resource manager with the default effort (suitable for
+/// tests and examples): the §4.3 mapping via the mapping checker, Lemma
+/// 4.1 on simulated runs, `G1`/`G2` exactly via the zone checker, and
+/// empirical gap statistics via simulation.
+pub fn verify(params: &Params) -> Verification {
+    let timed = system(params);
+    let impl_aut = time_ab(&timed);
+    let spec_aut = requirements_automaton(&timed, params);
+    let plan = RunPlan {
+        random_runs: 12,
+        steps: 80,
+        seed: 0xE1,
+    };
+    let mapping_report =
+        MappingChecker::new().check(&impl_aut, &spec_aut, &RmMapping::new(params.clone()), &plan);
+    let lemma_4_1 = check_lemma_4_1_on_runs(params, &impl_aut, 12, 80);
+    let zone = ZoneChecker::new(&timed);
+    let zone_g1 = zone.verify_condition(&g1(params)).expect("zone check g1");
+    let zone_g2 = zone.verify_condition(&g2(params)).expect("zone check g2");
+    let runs = Ensemble::new(24, 100).collect(&impl_aut);
+    let sim_first = GapStats::first(&runs, |a| *a == RmAction::Grant);
+    let sim_gap = GapStats::between(&runs, |a| *a == RmAction::Grant, |a| *a == RmAction::Grant);
+    Verification {
+        mapping_report,
+        lemma_4_1,
+        zone_g1,
+        zone_g2,
+        sim_first,
+        sim_gap,
+        params: params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::Rat;
+
+    #[test]
+    fn full_verification_default_params() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let v = verify(&params);
+        assert!(
+            v.mapping_report.passed(),
+            "mapping violation: {:?}",
+            v.mapping_report.violations.first()
+        );
+        assert!(v.lemma_4_1);
+        // Paper bounds, exactly.
+        assert_eq!(v.zone_g1.earliest_pi.to_string(), "4"); // k·c1
+        assert_eq!(v.zone_g1.latest_armed.to_string(), "7"); // k·c2 + l
+        assert_eq!(v.zone_g2.earliest_pi.to_string(), "3"); // k·c1 − l
+        assert_eq!(v.zone_g2.latest_armed.to_string(), "7");
+        assert!(v.all_passed());
+        // Simulation stays within the proved interval and the extremal
+        // schedulers get close to both ends (the exact extremes come from
+        // the zone checker; schedulers are heuristic).
+        assert_eq!(v.sim_first.min, Some(Rat::from(4))); // k·c1 achieved
+        assert!(v.sim_first.max >= Some(Rat::from(6))); // ≥ k·c2
+        assert!(v.sim_first.max <= Some(Rat::from(7))); // ≤ k·c2 + l
+    }
+
+    #[test]
+    fn rational_parameters() {
+        let params = Params::new(
+            3,
+            Rat::new(3, 2),
+            Rat::new(5, 2),
+            Rat::ONE,
+        )
+        .unwrap();
+        let v = verify(&params);
+        assert!(v.all_passed(), "mapping: {:?}", v.mapping_report.violations.first());
+        assert_eq!(v.zone_g1.earliest_pi.to_string(), "9/2");
+        assert_eq!(v.zone_g1.latest_armed.to_string(), "17/2");
+        assert_eq!(v.zone_g2.earliest_pi.to_string(), "7/2");
+    }
+}

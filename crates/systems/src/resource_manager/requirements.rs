@@ -1,0 +1,91 @@
+//! The timing requirements `G1`, `G2` and the requirements automaton
+//! `B = time(A, {G1, G2})` (§4.2).
+
+use std::sync::Arc;
+
+use tempo_core::{TimeIoa, Timed, TimingCondition};
+
+use super::{Params, RmAction, RmAutomaton, RmState};
+
+/// Index of `G1` in the requirements automaton's conditions.
+pub const G1_INDEX: usize = 0;
+/// Index of `G2` in the requirements automaton's conditions.
+pub const G2_INDEX: usize = 1;
+
+/// `G1`: from the start state, the first `GRANT` occurs at a time in
+/// `[k·c1, k·c2 + l]` (trigger `T_start` = all start states, `Π =
+/// {GRANT}`, empty disabling set).
+pub fn g1(params: &Params) -> TimingCondition<RmState, RmAction> {
+    TimingCondition::new("G1", params.g1_bounds())
+        .triggered_at_start(|_| true)
+        .on_actions(|a| *a == RmAction::Grant)
+}
+
+/// `G2`: after each `GRANT` step, the next `GRANT` follows within
+/// `[k·c1 − l, k·c2 + l]` (trigger `T_step` = GRANT steps, `Π = {GRANT}`).
+pub fn g2(params: &Params) -> TimingCondition<RmState, RmAction> {
+    TimingCondition::new("G2", params.g2_bounds())
+        .triggered_by_step(|_, a, _| *a == RmAction::Grant)
+        .on_actions(|a| *a == RmAction::Grant)
+}
+
+/// The requirements automaton `B = time(A, {G1, G2})`.
+pub fn requirements_automaton(
+    timed: &Timed<RmAutomaton>,
+    params: &Params,
+) -> TimeIoa<RmAutomaton> {
+    TimeIoa::new(Arc::clone(timed.automaton()), vec![g1(params), g2(params)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::system;
+    use super::*;
+    use tempo_core::{check_wellformed, project, satisfies, semi_satisfies, EarliestScheduler, LatestScheduler};
+    use tempo_ioa::Explorer;
+    use tempo_math::{Rat, TimeVal};
+
+    #[test]
+    fn conditions_are_wellformed() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let timed = system(&params);
+        let explorer = Explorer::new().with_max_states(50);
+        assert!(check_wellformed(timed.automaton().as_ref(), &explorer, &g1(&params)).is_ok());
+        assert!(check_wellformed(timed.automaton().as_ref(), &explorer, &g2(&params)).is_ok());
+    }
+
+    #[test]
+    fn requirements_automaton_initial_predictions() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let timed = system(&params);
+        let b = requirements_automaton(&timed, &params);
+        let u0 = b.initial_states().pop().unwrap();
+        // G1 triggered at start: [k·c1, k·c2 + l] = [4, 7]; G2 untriggered.
+        assert_eq!(u0.ft[G1_INDEX], Rat::from(4));
+        assert_eq!(u0.lt[G1_INDEX], TimeVal::from(Rat::from(7)));
+        assert_eq!(u0.ft[G2_INDEX], Rat::ZERO);
+        assert_eq!(u0.lt[G2_INDEX], TimeVal::INFINITY);
+    }
+
+    /// Extremal implementation runs, projected, satisfy both conditions
+    /// (the front half of Theorem 4.4, observed on prefixes): `G1` fully
+    /// (its only trigger resolves early in the run), `G2` in the
+    /// semi-satisfaction sense of Definition 3.1 — the last GRANT of a
+    /// finite prefix always leaves one measurement pending.
+    #[test]
+    fn extremal_runs_satisfy_requirements() {
+        let params = Params::ints(2, 2, 3, 1).unwrap();
+        let timed = system(&params);
+        let impl_aut = tempo_core::time_ab(&timed);
+        for sched in [true, false] {
+            let (run, _) = if sched {
+                impl_aut.generate(&mut EarliestScheduler::new(), 60)
+            } else {
+                impl_aut.generate(&mut LatestScheduler::new(), 60)
+            };
+            let seq = project(&run);
+            assert!(satisfies(&seq, &g1(&params)).is_ok());
+            assert!(semi_satisfies(&seq, &g2(&params)).is_ok());
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The relay processes and the line composition (§6.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::{Boundmap, Timed};
+use tempo_ioa::{Hide, Ioa, Partition, Product, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+
+/// A relay signal: `Sig(i)` is the paper's `SIGNAL_i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sig(pub usize);
+
+impl fmt::Debug for Sig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIGNAL_{}", self.0)
+    }
+}
+
+/// Relay parameters: line length `n ≥ 1` (processes `P_0 … P_n`) and
+/// per-hop delay `[d1, d2]` with `0 ≤ d1 ≤ d2 < ∞`, `d2 > 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelayParams {
+    /// Number of relaying hops (`P_1 … P_n`).
+    pub n: usize,
+    /// Minimum per-hop delay.
+    pub d1: Rat,
+    /// Maximum per-hop delay.
+    pub d2: Rat,
+}
+
+/// Parameter-validation error for [`RelayParams::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayParamError {
+    /// Need at least one relaying process.
+    TooShort,
+    /// Requires `0 ≤ d1 ≤ d2` and `d2 > 0`.
+    BadDelays,
+}
+
+impl fmt::Display for RelayParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayParamError::TooShort => write!(f, "the line needs n >= 1"),
+            RelayParamError::BadDelays => {
+                write!(f, "delays must satisfy 0 <= d1 <= d2 and d2 > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelayParamError {}
+
+impl RelayParams {
+    /// Creates and validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RelayParamError`] if the assumptions are violated.
+    pub fn new(n: usize, d1: Rat, d2: Rat) -> Result<RelayParams, RelayParamError> {
+        if n < 1 {
+            return Err(RelayParamError::TooShort);
+        }
+        if d1.is_negative() || d1 > d2 || !d2.is_positive() {
+            return Err(RelayParamError::BadDelays);
+        }
+        Ok(RelayParams { n, d1, d2 })
+    }
+
+    /// Convenience constructor from integers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RelayParams::new`].
+    pub fn ints(n: usize, d1: i64, d2: i64) -> Result<RelayParams, RelayParamError> {
+        RelayParams::new(n, Rat::from(d1), Rat::from(d2))
+    }
+
+    /// The bound of `U_{k,n}`: `[(n−k)·d1, (n−k)·d2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k ≥ n`.
+    pub fn u_kn_bounds(&self, k: usize) -> Interval {
+        assert!(k < self.n, "k must be below n");
+        let hops = (self.n - k) as i128;
+        Interval::new(
+            self.d1.scale(hops),
+            TimeVal::from(self.d2.scale(hops)),
+        )
+        .expect("validated delays give a nonempty interval")
+    }
+
+    /// The bound of the overall requirement `U_{0,n}`: `[n·d1, n·d2]`.
+    pub fn u0n_bounds(&self) -> Interval {
+        self.u_kn_bounds(0)
+    }
+}
+
+/// One relay process `P_i`. `P_0` starts with `FLAG = true` and only
+/// outputs `SIGNAL_0`; each `P_i` (`i ≥ 1`) sets its flag on `SIGNAL_{i−1}`
+/// and relays `SIGNAL_i`, clearing it.
+#[derive(Debug)]
+pub struct RelayProcess {
+    index: usize,
+    sig: Signature<Sig>,
+    part: Partition<Sig>,
+}
+
+impl RelayProcess {
+    /// Creates `P_index`.
+    pub fn new(index: usize) -> RelayProcess {
+        let (inputs, outputs) = if index == 0 {
+            (vec![], vec![Sig(0)])
+        } else {
+            (vec![Sig(index - 1)], vec![Sig(index)])
+        };
+        let sig = Signature::new(inputs, outputs, vec![]).expect("distinct actions");
+        let part = Partition::new(&sig, vec![(format!("SIGNAL_{index}"), vec![Sig(index)])])
+            .expect("single output class");
+        RelayProcess { index, sig, part }
+    }
+
+    /// The process index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+impl Ioa for RelayProcess {
+    type State = bool; // FLAG
+    type Action = Sig;
+
+    fn signature(&self) -> &Signature<Sig> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<Sig> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<bool> {
+        vec![self.index == 0]
+    }
+    fn post(&self, flag: &bool, a: &Sig) -> Vec<bool> {
+        if self.index > 0 && a.0 == self.index - 1 {
+            vec![true] // input: receive the signal
+        } else if a.0 == self.index && *flag {
+            vec![false] // relay it
+        } else {
+            vec![]
+        }
+    }
+}
+
+/// The composed line with the interior signals hidden: only `SIGNAL_0` and
+/// `SIGNAL_n` stay external.
+pub type RelayAutomaton = Hide<Product<RelayProcess>>;
+
+/// Line states: one flag per process.
+pub type RelayState = Vec<bool>;
+
+/// Builds the untimed line `P_0 ‖ … ‖ P_n` with `SIGNAL_1 … SIGNAL_{n−1}`
+/// hidden. Partition class `ClassId(i)` is `SIGNAL_i`.
+pub fn relay_untimed(params: &RelayParams) -> RelayAutomaton {
+    let line = Product::new((0..=params.n).map(RelayProcess::new).collect())
+        .expect("neighbouring processes are strongly compatible");
+    let interior: Vec<Sig> = (1..params.n).map(Sig).collect();
+    Hide::new(line, &interior)
+}
+
+/// Builds the timed line `(A, b)`: `SIGNAL_0 ↦ [0, ∞]` (it may fire at any
+/// time, or never), `SIGNAL_i ↦ [d1, d2]` for `i ≥ 1`.
+pub fn relay_line(params: &RelayParams) -> Timed<RelayAutomaton> {
+    let aut = Arc::new(relay_untimed(params));
+    let mut intervals = vec![Interval::unbounded_above(Rat::ZERO)];
+    for _ in 1..=params.n {
+        intervals.push(
+            Interval::new(params.d1, TimeVal::from(params.d2)).expect("validated delays"),
+        );
+    }
+    Timed::new(aut, Boundmap::from_intervals(intervals)).expect("one interval per class")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_core::{
+        check_timed_execution, time_ab, EarliestScheduler, LatestScheduler, RunError,
+        SatisfactionMode,
+    };
+    use tempo_ioa::{ActionKind, ClassId, Explorer, InvariantOutcome};
+
+    #[test]
+    fn params_validation() {
+        assert!(RelayParams::ints(1, 1, 1).is_ok());
+        assert_eq!(RelayParams::ints(0, 1, 2), Err(RelayParamError::TooShort));
+        assert_eq!(RelayParams::ints(2, 3, 2), Err(RelayParamError::BadDelays));
+        assert_eq!(RelayParams::ints(2, -1, 2), Err(RelayParamError::BadDelays));
+        assert_eq!(RelayParams::ints(2, 0, 0), Err(RelayParamError::BadDelays));
+        let p = RelayParams::ints(4, 1, 3).unwrap();
+        assert_eq!(p.u0n_bounds().to_string(), "[4, 12]");
+        assert_eq!(p.u_kn_bounds(2).to_string(), "[2, 6]");
+    }
+
+    #[test]
+    fn line_structure() {
+        let params = RelayParams::ints(3, 1, 2).unwrap();
+        let aut = relay_untimed(&params);
+        assert_eq!(aut.signature().kind_of(&Sig(0)), Some(ActionKind::Output));
+        assert_eq!(aut.signature().kind_of(&Sig(3)), Some(ActionKind::Output));
+        assert_eq!(aut.signature().kind_of(&Sig(1)), Some(ActionKind::Internal));
+        assert_eq!(aut.signature().kind_of(&Sig(2)), Some(ActionKind::Internal));
+        for i in 0..=3 {
+            assert_eq!(
+                aut.partition().class_by_name(&format!("SIGNAL_{i}")),
+                Some(ClassId(i))
+            );
+        }
+        assert_eq!(aut.initial_states(), vec![vec![true, false, false, false]]);
+    }
+
+    /// Lemma 6.1: at most one SIGNAL is enabled in any reachable state.
+    #[test]
+    fn lemma_6_1_single_enabled_signal() {
+        let params = RelayParams::ints(4, 1, 2).unwrap();
+        let aut = relay_untimed(&params);
+        let outcome = tempo_ioa::check_invariant(&aut, &Explorer::new(), |s: &RelayState| {
+            s.iter().filter(|f| **f).count() <= 1
+        });
+        assert!(matches!(outcome, InvariantOutcome::Holds { .. }));
+    }
+
+    #[test]
+    fn timed_runs_propagate_within_bounds_and_halt() {
+        let params = RelayParams::ints(3, 1, 2).unwrap();
+        let timed = relay_line(&params);
+        let t = time_ab(&timed);
+        // Earliest: signal fires at 0 and hops at d1 each.
+        let (run, reason) = t.generate(&mut EarliestScheduler::new(), 20);
+        assert_eq!(reason, RunError::Deadlock, "relay halts after delivery");
+        let seq = tempo_core::project(&run);
+        let sched = seq.timed_schedule();
+        assert_eq!(sched.len(), 4);
+        assert_eq!(sched[0], (Sig(0), Rat::ZERO));
+        assert_eq!(sched[3], (Sig(3), Rat::from(3))); // n·d1
+        assert!(check_timed_execution(&seq, &timed, SatisfactionMode::Prefix).is_ok());
+        // Latest: SIGNAL_0's class is unbounded above; the scheduler fires
+        // it after its cap, then hops at d2 each.
+        let (run, _) = t.generate(&mut LatestScheduler::new(), 20);
+        let seq = tempo_core::project(&run);
+        let sched = seq.timed_schedule();
+        let t0 = sched[0].1;
+        assert_eq!(sched[3].1 - t0, Rat::from(6)); // n·d2 after SIGNAL_0
+        assert!(check_timed_execution(&seq, &timed, SatisfactionMode::Prefix).is_ok());
+    }
+}

@@ -1,0 +1,492 @@
+//! The intermediate requirement automata `B_k` and the mapping hierarchy
+//! (§6.3 / §6.4).
+//!
+//! `B_k = time(Ã, U_k)` where `U_k` contains, in this condition order:
+//!
+//! | index | condition |
+//! |---|---|
+//! | `0 ..= k` | `cond(SIGNAL_i)` — boundmap conditions of the first classes |
+//! | `k + 1` | `Ũ_{k,n}` — `SIGNAL_n` within `[(n−k)·d1, (n−k)·d2]` of `SIGNAL_k` |
+//! | `k + 2` | `cond(NULL)` — the dummy's boundmap condition |
+//!
+//! The chain `time(Ã, b̃) → B_{n−1} → … → B_0 → B` is closed by the two
+//! trivial mappings of §6.3: the *top* mapping renames `cond(SIGNAL_n)` to
+//! `U_{n−1,n}` (they coincide), and the *bottom* mapping forgets the
+//! boundmap conditions, keeping only `U_{0,n}`.
+
+use std::sync::Arc;
+
+use tempo_core::mapping::{
+    CheckReport, CondConstraint, FnMapping, MappingChecker, PossibilitiesMapping, RunPlan,
+    SpecRegion,
+};
+use tempo_core::{
+    cond_of_class, dummify, time_ab, Dummy, TimeIoa, Timed, TimedState, TimingCondition,
+};
+use tempo_ioa::ClassId;
+use tempo_math::{Interval, Rat, TimeVal};
+
+use super::{lifted_u_kn, RelayAutomaton, RelayParams, RelayState, Sig};
+
+/// The dummified relay automaton `Ã`.
+pub type DummyRelay = Dummy<RelayAutomaton>;
+
+/// The action alphabet of `Ã`.
+pub type DummySig = tempo_core::DummyAction<Sig>;
+
+/// The NULL interval used throughout the relay hierarchy (any
+/// `[n1, n2] ⊂ [0, ∞)` works; Lemma 5.1 needs `n2 < ∞`).
+pub fn null_interval() -> Interval {
+    Interval::closed(Rat::ONE, Rat::from(2)).expect("valid NULL interval")
+}
+
+/// The condition list `U_k` of `B_k` (see the module table).
+///
+/// # Panics
+///
+/// Panics if `k ≥ n`.
+pub fn level_conditions(
+    k: usize,
+    params: &RelayParams,
+    dummified: &Timed<DummyRelay>,
+) -> Vec<TimingCondition<RelayState, DummySig>> {
+    assert!(k < params.n, "levels range over 0 ..= n−1");
+    let mut conds = Vec::with_capacity(k + 3);
+    for i in 0..=k {
+        conds.push(cond_of_class(
+            dummified.automaton(),
+            dummified.boundmap(),
+            ClassId(i),
+        ));
+    }
+    conds.push(lifted_u_kn(k, params));
+    conds.push(cond_of_class(
+        dummified.automaton(),
+        dummified.boundmap(),
+        ClassId(params.n + 1), // the NULL class
+    ));
+    conds
+}
+
+/// Builds `B_k = time(Ã, U_k)`.
+pub fn intermediate_automaton(
+    k: usize,
+    params: &RelayParams,
+    dummified: &Timed<DummyRelay>,
+) -> TimeIoa<DummyRelay> {
+    TimeIoa::new(
+        Arc::clone(dummified.automaton()),
+        level_conditions(k, params, dummified),
+    )
+}
+
+/// The mapping `f_k : B_k → B_{k−1}` of §6.4 (`1 ≤ k ≤ n−1`). A spec
+/// state `u` is in `f_k(s)` exactly when all shared components are equal
+/// and
+///
+/// ```text
+/// u.Lt(k−1, n) ≥  s.Lt(k, n)                     if FLAG_i for some i ∈ [k+1, n]
+///                 s.Lt(SIGNAL_k) + (n−k)·d2      if FLAG_k
+///                 ∞  (defaults pinned)           otherwise
+/// u.Ft(k−1, n) ≤  s.Ft(k, n) / s.Ft(SIGNAL_k) + (n−k)·d1 / 0, same cases.
+/// ```
+#[derive(Clone, Debug)]
+pub struct HierarchyMapping {
+    k: usize,
+    params: RelayParams,
+}
+
+impl HierarchyMapping {
+    /// Creates `f_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k ≤ n − 1`.
+    pub fn new(k: usize, params: &RelayParams) -> HierarchyMapping {
+        assert!(k >= 1 && k < params.n, "f_k is defined for 1 <= k <= n-1");
+        HierarchyMapping {
+            k,
+            params: params.clone(),
+        }
+    }
+}
+
+impl PossibilitiesMapping<RelayState, DummySig> for HierarchyMapping {
+    fn region(&self, s: &TimedState<RelayState>) -> SpecRegion {
+        let k = self.k;
+        let n = self.params.n;
+        let flags = &s.base;
+        // Spec condition order: 0..=k−1 the signal classes, k = U_{k−1,n},
+        // k+1 = NULL. Implementation indices: i ↦ i for the shared signal
+        // classes, k+1 = U_{k,n}, k+2 = NULL.
+        let mut constraints: Vec<CondConstraint> =
+            (0..k).map(CondConstraint::EqualTo).collect();
+        let in_flight_past_k = flags[k + 1..=n].iter().any(|f| *f);
+        let u_constraint = if in_flight_past_k {
+            CondConstraint::Window {
+                ft_max: TimeVal::from(s.ft[k + 1]),
+                lt_min: s.lt[k + 1],
+            }
+        } else if flags[k] {
+            let hops = (n - k) as i128;
+            CondConstraint::Window {
+                ft_max: TimeVal::from(s.ft[k] + self.params.d1.scale(hops)),
+                lt_min: s.lt[k] + self.params.d2.scale(hops),
+            }
+        } else {
+            // Signal not yet at (or already past) position k: the spec
+            // condition must carry its default predictions.
+            CondConstraint::Window {
+                ft_max: TimeVal::ZERO,
+                lt_min: TimeVal::INFINITY,
+            }
+        };
+        constraints.push(u_constraint);
+        constraints.push(CondConstraint::EqualTo(k + 2)); // NULL
+        SpecRegion::new(constraints)
+    }
+
+    fn name(&self) -> &str {
+        "relay f_k (§6.4)"
+    }
+}
+
+/// Coaxes closure lifetime inference into the higher-ranked signature
+/// `for<'a> Fn(&'a TimedState<RelayState>) -> SpecRegion`.
+fn region_fn<F>(f: F) -> F
+where
+    F: for<'a> Fn(&'a TimedState<RelayState>) -> SpecRegion,
+{
+    f
+}
+
+/// The trivial top mapping `time(Ã, b̃) → B_{n−1}`: a pure renaming —
+/// `cond(SIGNAL_n)` and `U_{n−1,n}` have identical triggers, bounds and
+/// update behaviour, so every spec component equals the corresponding
+/// implementation component.
+pub fn top_mapping(
+    params: &RelayParams,
+) -> FnMapping<impl Fn(&TimedState<RelayState>) -> SpecRegion> {
+    let n = params.n;
+    FnMapping::new("relay top (rename SIGNAL_n ↦ U_{n−1,n})", region_fn(move |_s| {
+        // Spec: [S_0..S_{n−1}, U_{n−1,n}, NULL] ← impl [S_0..S_n, NULL].
+        let mut constraints: Vec<CondConstraint> =
+            (0..n).map(CondConstraint::EqualTo).collect();
+        constraints.push(CondConstraint::EqualTo(n)); // U_{n−1,n} ← cond(SIGNAL_n)
+        constraints.push(CondConstraint::EqualTo(n + 1)); // NULL
+        SpecRegion::new(constraints)
+    }))
+}
+
+/// The trivial bottom mapping `B_0 → B = time(Ã, {Ũ_{0,n}})`: forgets the
+/// boundmap conditions, keeping `U_{0,n}` (implementation index 1).
+pub fn bottom_mapping() -> FnMapping<impl Fn(&TimedState<RelayState>) -> SpecRegion> {
+    FnMapping::new(
+        "relay bottom (forget boundmap conditions)",
+        region_fn(|_s| SpecRegion::new(vec![CondConstraint::EqualTo(1)])),
+    )
+}
+
+/// The §6.3 alternative: a **direct** mapping `time(Ã, b̃) → B` in one
+/// step ("one way of proceeding would be to exhibit a strong
+/// possibilities mapping directly … following the pattern of the first
+/// example"). Its case analysis is the `f_k` ladder collapsed: if the
+/// signal is in flight at position `j ≥ 1`, the next `SIGNAL_n` is
+/// `(n−j)` hops past `SIGNAL_j`'s own class window; otherwise the spec
+/// condition carries defaults. Semantically this is the composition
+/// `f_1 ∘ … ∘ f_{n−1}` of Corollary 6.3, and the checker verifies it in
+/// one pass.
+#[derive(Clone, Debug)]
+pub struct DirectRelayMapping {
+    params: RelayParams,
+}
+
+impl DirectRelayMapping {
+    /// Creates the direct mapping.
+    pub fn new(params: &RelayParams) -> DirectRelayMapping {
+        DirectRelayMapping {
+            params: params.clone(),
+        }
+    }
+}
+
+impl PossibilitiesMapping<RelayState, DummySig> for DirectRelayMapping {
+    fn region(&self, s: &TimedState<RelayState>) -> SpecRegion {
+        let n = self.params.n;
+        // Implementation conditions: classes SIGNAL_0..SIGNAL_n, NULL.
+        // Spec: the single lifted U_{0,n}.
+        let in_flight = (1..=n).find(|j| s.base[*j]);
+        let constraint = match in_flight {
+            Some(j) => {
+                let hops = (n - j) as i128;
+                CondConstraint::Window {
+                    ft_max: TimeVal::from(s.ft[j] + self.params.d1.scale(hops)),
+                    lt_min: s.lt[j] + self.params.d2.scale(hops),
+                }
+            }
+            // Signal not yet sent (FLAG_0) or already delivered: spec
+            // predictions are the defaults.
+            None => CondConstraint::Window {
+                ft_max: TimeVal::ZERO,
+                lt_min: TimeVal::INFINITY,
+            },
+        };
+        SpecRegion::new(vec![constraint])
+    }
+
+    fn name(&self) -> &str {
+        "relay direct (§6.3 alternative)"
+    }
+}
+
+/// Verifies the §6.3 direct mapping `time(Ã, b̃) → B` in a single check.
+pub fn check_direct(params: &RelayParams, timed: &Timed<RelayAutomaton>) -> CheckReport {
+    let dummified = dummify(timed, null_interval()).expect("dummification");
+    let impl_aut = time_ab(&dummified);
+    let spec_b = TimeIoa::new(
+        Arc::clone(dummified.automaton()),
+        vec![lifted_u_kn(0, params)],
+    );
+    MappingChecker::new().check(
+        &impl_aut,
+        &spec_b,
+        &DirectRelayMapping::new(params),
+        &RunPlan {
+            random_runs: 8,
+            steps: 30 + 8 * params.n,
+            seed: 0xD13,
+        },
+    )
+}
+
+/// Verifies the whole chain `time(Ã, b̃) → B_{n−1} → … → B_0 → B`,
+/// returning one report per mapping (top, `f_{n−1} … f_1`, bottom). The
+/// composition of the levels is the strong possibilities mapping of
+/// Corollary 6.3.
+pub fn check_chain(params: &RelayParams, timed: &Timed<RelayAutomaton>) -> Vec<CheckReport> {
+    let dummified = dummify(timed, null_interval()).expect("dummification");
+    let checker = MappingChecker::new();
+    let plan = RunPlan {
+        random_runs: 8,
+        steps: 30 + 8 * params.n,
+        seed: 0x6E,
+    };
+    let mut reports = Vec::new();
+
+    // Top: time(Ã, b̃) → B_{n−1}.
+    let impl_top = time_ab(&dummified);
+    let spec_top = intermediate_automaton(params.n - 1, params, &dummified);
+    reports.push(checker.check(&impl_top, &spec_top, &top_mapping(params), &plan));
+
+    // Levels f_k : B_k → B_{k−1}, k = n−1 … 1.
+    for k in (1..params.n).rev() {
+        let impl_k = intermediate_automaton(k, params, &dummified);
+        let spec_k = intermediate_automaton(k - 1, params, &dummified);
+        reports.push(checker.check(
+            &impl_k,
+            &spec_k,
+            &HierarchyMapping::new(k, params),
+            &plan,
+        ));
+    }
+
+    // Bottom: B_0 → B.
+    let impl_0 = intermediate_automaton(0, params, &dummified);
+    let spec_b = TimeIoa::new(
+        Arc::clone(dummified.automaton()),
+        vec![lifted_u_kn(0, params)],
+    );
+    reports.push(checker.check(&impl_0, &spec_b, &bottom_mapping(), &plan));
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::relay_line;
+    use super::*;
+
+    fn setup(n: usize, d1: i64, d2: i64) -> (RelayParams, Timed<DummyRelay>) {
+        let params = RelayParams::ints(n, d1, d2).unwrap();
+        let timed = relay_line(&params);
+        let dummified = dummify(&timed, null_interval()).unwrap();
+        (params, dummified)
+    }
+
+    #[test]
+    fn level_condition_shapes() {
+        let (params, dummified) = setup(3, 1, 2);
+        for k in 0..3 {
+            let conds = level_conditions(k, &params, &dummified);
+            assert_eq!(conds.len(), k + 3);
+            assert_eq!(conds[k + 1].name(), format!("U_{{{k},3}}"));
+            assert_eq!(conds[k + 2].name(), "NULL");
+            assert_eq!(conds[0].name(), "SIGNAL_0");
+        }
+    }
+
+    #[test]
+    fn b_k_initial_predictions() {
+        let (params, dummified) = setup(2, 1, 2);
+        let b1 = intermediate_automaton(1, &params, &dummified);
+        let s0 = b1.initial_states().pop().unwrap();
+        // cond(SIGNAL_0) triggered at start ([0, ∞]); SIGNAL_1 disabled;
+        // U_{1,2} untriggered; NULL always armed ([1, 2]).
+        assert_eq!(s0.ft[0], Rat::ZERO);
+        assert_eq!(s0.lt[0], TimeVal::INFINITY);
+        assert_eq!((s0.ft[1], s0.lt[1]), (Rat::ZERO, TimeVal::INFINITY));
+        assert_eq!((s0.ft[2], s0.lt[2]), (Rat::ZERO, TimeVal::INFINITY));
+        assert_eq!(s0.ft[3], Rat::ONE);
+        assert_eq!(s0.lt[3], TimeVal::from(Rat::from(2)));
+    }
+
+    #[test]
+    fn mapping_case_analysis() {
+        let (params, _) = setup(3, 1, 2);
+        let f1 = HierarchyMapping::new(1, &params);
+        // Case "otherwise": signal still at position 0.
+        let s = TimedState {
+            base: vec![true, false, false, false],
+            now: Rat::ZERO,
+            ft: vec![Rat::ZERO; 4],
+            lt: vec![TimeVal::INFINITY; 4],
+        };
+        let region = f1.region(&s);
+        assert_eq!(
+            region.constraints()[1],
+            CondConstraint::Window {
+                ft_max: TimeVal::ZERO,
+                lt_min: TimeVal::INFINITY
+            }
+        );
+        // Case FLAG_k: signal at position 1, SIGNAL_1 window [5, 6].
+        let s = TimedState {
+            base: vec![false, true, false, false],
+            now: Rat::from(4),
+            ft: vec![Rat::ZERO, Rat::from(5), Rat::ZERO, Rat::from(5)],
+            lt: vec![
+                TimeVal::INFINITY,
+                TimeVal::from(Rat::from(6)),
+                TimeVal::INFINITY,
+                TimeVal::from(Rat::from(6)),
+            ],
+        };
+        let region = f1.region(&s);
+        // ft_max = Ft(SIGNAL_1) + 2·d1 = 7; lt_min = Lt(SIGNAL_1) + 2·d2 = 10.
+        assert_eq!(
+            region.constraints()[1],
+            CondConstraint::Window {
+                ft_max: TimeVal::from(Rat::from(7)),
+                lt_min: TimeVal::from(Rat::from(10))
+            }
+        );
+        // Case in-flight past k: FLAG_2 set; U_{1,3} components referenced.
+        let s = TimedState {
+            base: vec![false, false, true, false],
+            now: Rat::from(6),
+            ft: vec![Rat::ZERO, Rat::ZERO, Rat::from(8), Rat::from(7)],
+            lt: vec![
+                TimeVal::INFINITY,
+                TimeVal::INFINITY,
+                TimeVal::from(Rat::from(10)),
+                TimeVal::from(Rat::from(8)),
+            ],
+        };
+        let region = f1.region(&s);
+        assert_eq!(
+            region.constraints()[1],
+            CondConstraint::Window {
+                ft_max: TimeVal::from(Rat::from(8)),
+                lt_min: TimeVal::from(Rat::from(10))
+            }
+        );
+        // Shared components are identity.
+        assert_eq!(region.constraints()[0], CondConstraint::EqualTo(0));
+        assert_eq!(region.constraints()[2], CondConstraint::EqualTo(3));
+    }
+
+    #[test]
+    fn direct_mapping_passes() {
+        // §6.3: the collapsed one-step mapping also verifies.
+        for n in [1, 3, 4] {
+            let params = RelayParams::ints(n, 1, 2).unwrap();
+            let timed = super::super::relay_line(&params);
+            let report = check_direct(&params, &timed);
+            assert!(report.passed(), "n={n}: {:?}", report.violations.first());
+        }
+    }
+
+    #[test]
+    fn direct_mapping_region_collapses_ladder() {
+        // In-flight at position 2 of 3: the direct window equals the
+        // f-ladder's accumulated bound from SIGNAL_2's class window.
+        let params = RelayParams::ints(3, 1, 2).unwrap();
+        let s = TimedState {
+            base: vec![false, false, true, false],
+            now: Rat::from(4),
+            ft: vec![Rat::ZERO, Rat::ZERO, Rat::from(5), Rat::ZERO, Rat::from(5)],
+            lt: vec![
+                TimeVal::INFINITY,
+                TimeVal::INFINITY,
+                TimeVal::from(Rat::from(6)),
+                TimeVal::INFINITY,
+                TimeVal::from(Rat::from(6)),
+            ],
+        };
+        let region = DirectRelayMapping::new(&params).region(&s);
+        assert_eq!(
+            region.constraints()[0],
+            CondConstraint::Window {
+                ft_max: TimeVal::from(Rat::from(6)),  // 5 + 1·d1
+                lt_min: TimeVal::from(Rat::from(8)),  // 6 + 1·d2
+            }
+        );
+    }
+
+    #[test]
+    fn chain_passes_for_lines_of_varied_length() {
+        for n in [1, 2, 4] {
+            let params = RelayParams::ints(n, 1, 3).unwrap();
+            let timed = relay_line(&params);
+            let reports = check_chain(&params, &timed);
+            assert_eq!(reports.len(), n + 1);
+            for (i, r) in reports.iter().enumerate() {
+                assert!(
+                    r.passed(),
+                    "n={n} level {i}: {:?}",
+                    r.violations.first()
+                );
+                assert!(r.steps_checked > 0);
+            }
+        }
+    }
+
+    /// A wrong hierarchy bound (claiming `(n−k)·d1` hops take at least
+    /// `(n−k)·d2`) must be caught.
+    #[test]
+    fn wrong_level_bound_detected() {
+        let (params, dummified) = setup(2, 1, 3);
+        // Build a *wrong* B_0 whose U_{0,n} demands delivery within
+        // [n·d2, n·d2] — lower bound too high.
+        let wrong_u: TimingCondition<RelayState, DummySig> = TimingCondition::new(
+            "U_{0,2}-wrong",
+            Interval::closed(Rat::from(6), Rat::from(6)).unwrap(),
+        )
+        .triggered_by_step(|_, a: &DummySig, _| matches!(a, tempo_core::DummyAction::Base(s) if s.0 == 0))
+        .on_actions(|a: &DummySig| matches!(a, tempo_core::DummyAction::Base(s) if s.0 == 2));
+        let impl_1 = intermediate_automaton(1, &params, &dummified);
+        let mut spec_conds = level_conditions(0, &params, &dummified);
+        spec_conds[1] = wrong_u;
+        let spec_wrong = TimeIoa::new(Arc::clone(dummified.automaton()), spec_conds);
+        let report = MappingChecker::new().check(
+            &impl_1,
+            &spec_wrong,
+            &HierarchyMapping::new(1, &params),
+            &RunPlan {
+                random_runs: 6,
+                steps: 40,
+                seed: 3,
+            },
+        );
+        assert!(!report.passed());
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's second example (§6): a **signal relay** line
+//! `P_0, …, P_n`.
+//!
+//! `P_0` may emit `SIGNAL_0` once (its class has bounds `[0, ∞]` — it may
+//! also never fire); each `P_i` relays the signal with per-hop delay in
+//! `[d1, d2]`. The requirement `U_{0,n}` states that a `SIGNAL_n` follows
+//! each `SIGNAL_0` within `[n·d1, n·d2]`.
+//!
+//! Because the relay halts after delivery, the proof first **dummifies**
+//! the system (§5). It then descends a **hierarchy** of intermediate
+//! requirement automata `B_k = time(Ã, U_k)` — where `U_k` keeps the
+//! boundmap conditions of classes `SIGNAL_0 … SIGNAL_k` (and `NULL`) plus
+//! the aggregated condition `U_{k,n}` (`SIGNAL_n` within
+//! `[(n−k)·d1, (n−k)·d2]` of `SIGNAL_k`) — via one strong possibilities
+//! mapping `f_k : B_k → B_{k−1}` per level (§6.4), the assertional
+//! counterpart of a recurrence-inequality proof.
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_systems::signal_relay::{self, RelayParams};
+//!
+//! let params = RelayParams::ints(4, 1, 3)?; // n = 4 hops, d ∈ [1, 3]
+//! let outcome = signal_relay::verify(&params);
+//! assert!(outcome.all_passed());
+//! assert_eq!(outcome.zone_u0n.earliest_pi.to_string(), "4");   // n·d1
+//! assert_eq!(outcome.zone_u0n.latest_armed.to_string(), "12"); // n·d2
+//! assert_eq!(outcome.chain_reports.len(), 3 + 2); // top + f_3 … f_1 + bottom
+//! # Ok::<(), tempo_systems::signal_relay::RelayParamError>(())
+//! ```
+
+mod automaton;
+mod hierarchy;
+mod requirements;
+
+pub use automaton::{
+    relay_line, relay_untimed, RelayAutomaton, RelayParamError, RelayParams, RelayProcess,
+    RelayState, Sig,
+};
+pub use hierarchy::{
+    bottom_mapping, check_chain, check_direct, intermediate_automaton, level_conditions,
+    top_mapping, DirectRelayMapping, HierarchyMapping,
+};
+pub use requirements::{lifted_u_kn, u_kn};
+
+use tempo_core::mapping::CheckReport;
+use tempo_core::{dummify, time_ab, undum, Dummy, DummyAction, Timed};
+use tempo_math::{Interval, Rat};
+use tempo_sim::GapStats;
+use tempo_zones::{CondVerdict, ZoneChecker};
+
+/// The dummified relay's action alphabet.
+pub type DummySig = DummyAction<Sig>;
+
+/// The combined outcome of verifying the relay three ways.
+#[derive(Debug)]
+pub struct RelayVerification {
+    /// Mapping reports: top (`time(Ã, b̃) → B_{n−1}`), each
+    /// `f_k : B_k → B_{k−1}` for `k = n−1 … 1`, and bottom (`B_0 → B`),
+    /// in that order.
+    pub chain_reports: Vec<CheckReport>,
+    /// Exact zone verdict for `U_{0,n}` on the undummified `(A, b)`.
+    pub zone_u0n: CondVerdict,
+    /// Simulated `SIGNAL_0 → SIGNAL_n` delays (on dummified runs).
+    pub sim_delay: GapStats,
+    /// Parameters verified.
+    pub params: RelayParams,
+}
+
+impl RelayVerification {
+    /// Returns `true` if every check agreed with the paper's bound.
+    pub fn all_passed(&self) -> bool {
+        let bounds = self.params.u0n_bounds();
+        self.chain_reports.iter().all(CheckReport::passed)
+            && self.zone_u0n.satisfies(bounds)
+            && self.sim_delay.min.is_none_or(|m| bounds.contains(m))
+            && self.sim_delay.max.is_none_or(|m| bounds.contains(m))
+    }
+}
+
+/// Verifies the relay: the full hierarchical mapping chain with the
+/// mapping checker, `U_{0,n}` exactly with the zone checker, and measured
+/// delays by simulation.
+pub fn verify(params: &RelayParams) -> RelayVerification {
+    let timed = relay_line(params);
+    let chain_reports = check_chain(params, &timed);
+    let zone_u0n = ZoneChecker::new(&timed)
+        .verify_condition(&u_kn(0, params))
+        .expect("non-overlapping trigger");
+    // Simulate the dummified system so runs outlive the delivery.
+    let dummified: Timed<Dummy<_>> = dummify(
+        &timed,
+        Interval::closed(Rat::ONE, Rat::from(2)).expect("valid NULL interval"),
+    )
+    .expect("dummification preserves the boundmap");
+    let impl_aut = time_ab(&dummified);
+    let runs: Vec<_> = tempo_sim::Ensemble::new(24, 30 + 6 * params.n)
+        .collect(&impl_aut)
+        .iter()
+        .map(undum)
+        .collect();
+    let n = params.n;
+    let sim_delay = GapStats::between(&runs, move |a: &Sig| a.0 == 0, move |a: &Sig| a.0 == n);
+    RelayVerification {
+        chain_reports,
+        zone_u0n,
+        sim_delay,
+        params: params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_verification_small_line() {
+        let params = RelayParams::ints(3, 1, 2).unwrap();
+        let v = verify(&params);
+        for (i, r) in v.chain_reports.iter().enumerate() {
+            assert!(r.passed(), "level {i}: {:?}", r.violations.first());
+        }
+        assert_eq!(v.zone_u0n.earliest_pi.to_string(), "3"); // n·d1
+        assert_eq!(v.zone_u0n.latest_armed.to_string(), "6"); // n·d2
+        assert!(v.all_passed());
+        // Simulation observed delays inside the proved interval.
+        assert!(v.sim_delay.count > 0);
+        assert!(v.sim_delay.min >= Some(Rat::from(3)));
+        assert!(v.sim_delay.max <= Some(Rat::from(6)));
+    }
+
+    #[test]
+    fn zero_lower_bound_relay() {
+        // d1 = 0 is allowed (the paper writes 0 ≤ d1 ≤ d2).
+        let params = RelayParams::ints(2, 0, 1).unwrap();
+        let v = verify(&params);
+        assert!(v.all_passed());
+        assert_eq!(v.zone_u0n.earliest_pi.to_string(), "0");
+        assert_eq!(v.zone_u0n.latest_armed.to_string(), "2");
+    }
+}

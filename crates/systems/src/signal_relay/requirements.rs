@@ -1,0 +1,86 @@
+//! The timing conditions `U_{k,n}` (§6.2 / §6.3).
+
+use tempo_core::{DummyAction, TimingCondition};
+
+use super::{RelayParams, RelayState, Sig};
+
+/// `U_{k,n}`: after each `SIGNAL_k` step, a `SIGNAL_n` follows within
+/// `[(n−k)·d1, (n−k)·d2]` (trigger `T_step` = `SIGNAL_k` steps,
+/// `Π = {SIGNAL_n}`, empty disabling set).
+///
+/// `U_{0,n}` is the requirement to be proved; `U_{n−1,n}` coincides with
+/// the boundmap condition of class `SIGNAL_n`.
+///
+/// # Panics
+///
+/// Panics if `k ≥ n`.
+pub fn u_kn(k: usize, params: &RelayParams) -> TimingCondition<RelayState, Sig> {
+    let n = params.n;
+    TimingCondition::new(format!("U_{{{k},{n}}}"), params.u_kn_bounds(k))
+        .triggered_by_step(move |_, a: &Sig, _| a.0 == k)
+        .on_actions(move |a: &Sig| a.0 == n)
+}
+
+/// The lifted condition `Ũ_{k,n}` over the dummified relay (§5): same
+/// triggers and action set, with `NULL` steps ignored.
+pub fn lifted_u_kn(
+    k: usize,
+    params: &RelayParams,
+) -> TimingCondition<RelayState, DummyAction<Sig>> {
+    tempo_core::lift_condition(&u_kn(k, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::relay_line;
+    use super::*;
+    use tempo_core::{check_wellformed, DummyAction};
+    use tempo_ioa::Explorer;
+    use tempo_math::{Rat, TimeVal};
+
+    #[test]
+    fn condition_components() {
+        let params = RelayParams::ints(4, 1, 3).unwrap();
+        let u = u_kn(1, &params);
+        assert_eq!(u.name(), "U_{1,4}");
+        assert_eq!(u.lower(), Rat::from(3)); // (n−k)·d1 = 3·1
+        assert_eq!(u.upper(), TimeVal::from(Rat::from(9))); // 3·3
+        assert!(u.in_t_step(&vec![false; 5], &Sig(1), &vec![false; 5]));
+        assert!(!u.in_t_step(&vec![false; 5], &Sig(2), &vec![false; 5]));
+        assert!(u.in_pi(&Sig(4)));
+        assert!(!u.in_pi(&Sig(1)));
+        assert!(!u.in_t_start(&vec![true, false, false, false, false]));
+    }
+
+    #[test]
+    fn lifted_condition_ignores_null() {
+        let params = RelayParams::ints(2, 1, 2).unwrap();
+        let u = lifted_u_kn(0, &params);
+        assert!(u.in_pi(&DummyAction::Base(Sig(2))));
+        assert!(!u.in_pi(&DummyAction::Null));
+        assert!(u.in_t_step(
+            &vec![true, false, false],
+            &DummyAction::Base(Sig(0)),
+            &vec![false, true, false]
+        ));
+        assert!(!u.in_t_step(
+            &vec![true, false, false],
+            &DummyAction::Null,
+            &vec![true, false, false]
+        ));
+    }
+
+    #[test]
+    fn conditions_are_wellformed() {
+        let params = RelayParams::ints(3, 1, 2).unwrap();
+        let timed = relay_line(&params);
+        for k in 0..params.n {
+            let out = check_wellformed(
+                timed.automaton().as_ref(),
+                &Explorer::new(),
+                &u_kn(k, &params),
+            );
+            assert!(out.is_ok(), "U_{{{k},n}} ill-formed");
+        }
+    }
+}

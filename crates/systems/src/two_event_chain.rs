@@ -1,0 +1,342 @@
+//! Extension (paper §8): the **two-event chain** — "one event `π`
+//! triggers two later events, `φ` occurring within a certain interval of
+//! time after `π` and `ψ` occurring within a certain interval of time
+//! after `φ`".
+//!
+//! We model the chain directly and prove the composed requirement: `ψ`
+//! occurs within `[l1 + l2, u1 + u2]` of `π`. Unlike the signal relay's
+//! level-by-level hierarchy, the proof here exhibits a **single direct
+//! mapping** from `time(Ã, b̃)` to `time(Ã, {CHAIN})` whose case analysis
+//! tracks how far the chain has progressed — demonstrating that the
+//! paper's §8 example fits the `time(A, U)` framework without any
+//! generalization.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::mapping::{
+    CheckReport, CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan, SpecRegion,
+};
+use tempo_core::{
+    cond_of_class, dummify, lift_condition, time_ab, undum, Boundmap, Dummy, DummyAction,
+    TimeIoa, Timed, TimedState, TimingCondition,
+};
+use tempo_ioa::{Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat, TimeVal};
+use tempo_sim::GapStats;
+use tempo_zones::{CondVerdict, ZoneChecker};
+
+/// The chain's action alphabet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainAction {
+    /// The initiating event.
+    Pi,
+    /// The first triggered event (within `[l1, u1]` of `Pi`).
+    Phi,
+    /// The second triggered event (within `[l2, u2]` of `Phi`).
+    Psi,
+}
+
+impl fmt::Debug for ChainAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainAction::Pi => write!(f, "PI"),
+            ChainAction::Phi => write!(f, "PHI"),
+            ChainAction::Psi => write!(f, "PSI"),
+        }
+    }
+}
+
+/// Chain states: which event is pending next.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ChainPhase {
+    /// `π` has not fired yet.
+    AwaitingPi,
+    /// `π` fired; `φ` pending.
+    AwaitingPhi,
+    /// `φ` fired; `ψ` pending.
+    AwaitingPsi,
+    /// The chain completed.
+    Done,
+}
+
+/// Chain parameters: `π` fires within `[p1, p2]` of the start, `φ` within
+/// `[l1, u1]` of `π`, `ψ` within `[l2, u2]` of `φ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainParams {
+    /// Bound on `π` from the start.
+    pub pi: Interval,
+    /// Bound on `φ` after `π`.
+    pub phi: Interval,
+    /// Bound on `ψ` after `φ`.
+    pub psi: Interval,
+}
+
+impl ChainParams {
+    /// Integer convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interval is ill-formed.
+    pub fn ints(p: (i64, i64), phi: (i64, i64), psi: (i64, i64)) -> ChainParams {
+        let iv = |(lo, hi): (i64, i64)| {
+            Interval::closed(Rat::from(lo), Rat::from(hi)).expect("well-formed interval")
+        };
+        ChainParams {
+            pi: iv(p),
+            phi: iv(phi),
+            psi: iv(psi),
+        }
+    }
+
+    /// The composed requirement bound: `[l1 + l2, u1 + u2]`.
+    pub fn chain_bounds(&self) -> Interval {
+        self.phi.sum(self.psi)
+    }
+}
+
+/// The chain automaton: three one-shot phases, each a singleton partition
+/// class (`PI`, `PHI`, `PSI` = `ClassId` 0, 1, 2).
+#[derive(Debug)]
+pub struct ChainAutomaton {
+    sig: Signature<ChainAction>,
+    part: Partition<ChainAction>,
+}
+
+impl ChainAutomaton {
+    /// Creates the chain automaton.
+    pub fn new() -> ChainAutomaton {
+        let sig = Signature::new(
+            vec![],
+            vec![ChainAction::Pi, ChainAction::Phi, ChainAction::Psi],
+            vec![],
+        )
+        .expect("distinct actions");
+        let part = Partition::new(
+            &sig,
+            vec![
+                ("PI", vec![ChainAction::Pi]),
+                ("PHI", vec![ChainAction::Phi]),
+                ("PSI", vec![ChainAction::Psi]),
+            ],
+        )
+        .expect("singleton classes");
+        ChainAutomaton { sig, part }
+    }
+}
+
+impl Default for ChainAutomaton {
+    fn default() -> ChainAutomaton {
+        ChainAutomaton::new()
+    }
+}
+
+impl Ioa for ChainAutomaton {
+    type State = ChainPhase;
+    type Action = ChainAction;
+
+    fn signature(&self) -> &Signature<ChainAction> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<ChainAction> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<ChainPhase> {
+        vec![ChainPhase::AwaitingPi]
+    }
+    fn post(&self, s: &ChainPhase, a: &ChainAction) -> Vec<ChainPhase> {
+        match (s, a) {
+            (ChainPhase::AwaitingPi, ChainAction::Pi) => vec![ChainPhase::AwaitingPhi],
+            (ChainPhase::AwaitingPhi, ChainAction::Phi) => vec![ChainPhase::AwaitingPsi],
+            (ChainPhase::AwaitingPsi, ChainAction::Psi) => vec![ChainPhase::Done],
+            _ => vec![],
+        }
+    }
+}
+
+/// Builds the timed chain `(A, b)`.
+pub fn chain_system(params: &ChainParams) -> Timed<ChainAutomaton> {
+    Timed::new(
+        Arc::new(ChainAutomaton::new()),
+        Boundmap::from_intervals(vec![params.pi, params.phi, params.psi]),
+    )
+    .expect("one interval per class")
+}
+
+/// The composed requirement `CHAIN`: after each `π` step, `ψ` follows
+/// within `[l1 + l2, u1 + u2]`.
+pub fn chain_condition(params: &ChainParams) -> TimingCondition<ChainPhase, ChainAction> {
+    TimingCondition::new("CHAIN", params.chain_bounds())
+        .triggered_by_step(|_, a, _| *a == ChainAction::Pi)
+        .on_actions(|a| *a == ChainAction::Psi)
+}
+
+/// Implementation condition indices in `time(Ã, b̃)` (class order + NULL).
+const PHI_COND: usize = 1;
+const PSI_COND: usize = 2;
+const NULL_COND: usize = 3;
+
+/// The direct mapping from `time(Ã, b̃)` to `time(Ã, {CHAIN, NULL})`,
+/// by progress case:
+///
+/// * `φ` pending: `u.Ft ≤ Ft(PHI) + l2`, `u.Lt ≥ Lt(PHI) + u2`;
+/// * `ψ` pending: `u.Ft ≤ Ft(PSI)`, `u.Lt ≥ Lt(PSI)`;
+/// * otherwise (before `π` / after `ψ`): defaults pinned.
+#[derive(Clone, Debug)]
+pub struct ChainMapping {
+    params: ChainParams,
+}
+
+impl ChainMapping {
+    /// Creates the mapping.
+    pub fn new(params: &ChainParams) -> ChainMapping {
+        ChainMapping {
+            params: params.clone(),
+        }
+    }
+}
+
+impl PossibilitiesMapping<ChainPhase, DummyAction<ChainAction>> for ChainMapping {
+    fn region(&self, s: &TimedState<ChainPhase>) -> SpecRegion {
+        let chain = match s.base {
+            ChainPhase::AwaitingPhi => CondConstraint::Window {
+                ft_max: TimeVal::from(s.ft[PHI_COND] + self.params.psi.lo()),
+                lt_min: s.lt[PHI_COND] + self.params.psi.hi(),
+            },
+            ChainPhase::AwaitingPsi => CondConstraint::Window {
+                ft_max: TimeVal::from(s.ft[PSI_COND]),
+                lt_min: s.lt[PSI_COND],
+            },
+            ChainPhase::AwaitingPi | ChainPhase::Done => CondConstraint::Window {
+                ft_max: TimeVal::ZERO,
+                lt_min: TimeVal::INFINITY,
+            },
+        };
+        SpecRegion::new(vec![chain, CondConstraint::EqualTo(NULL_COND)])
+    }
+
+    fn name(&self) -> &str {
+        "two-event chain (direct)"
+    }
+}
+
+/// The combined outcome of verifying the chain.
+#[derive(Debug)]
+pub struct ChainVerification {
+    /// Mapping-checker report for the direct mapping.
+    pub mapping_report: CheckReport,
+    /// Exact zone verdict for `CHAIN` on `(A, b)`.
+    pub zone: CondVerdict,
+    /// Simulated `π → ψ` delays.
+    pub sim_delay: GapStats,
+    /// Parameters verified.
+    pub params: ChainParams,
+}
+
+impl ChainVerification {
+    /// Returns `true` if every check agreed with the composed bound.
+    pub fn all_passed(&self) -> bool {
+        let bounds = self.params.chain_bounds();
+        self.mapping_report.passed()
+            && self.zone.satisfies(bounds)
+            && self.sim_delay.min.is_none_or(|m| bounds.contains(m))
+            && self.sim_delay.max.is_none_or(|m| bounds.contains(m))
+    }
+}
+
+/// Verifies the chain: direct mapping, exact zone bound, and simulation.
+pub fn verify(params: &ChainParams) -> ChainVerification {
+    let timed = chain_system(params);
+    let zone = ZoneChecker::new(&timed)
+        .verify_condition(&chain_condition(params))
+        .expect("non-overlapping trigger");
+    let dummified: Timed<Dummy<ChainAutomaton>> = dummify(
+        &timed,
+        Interval::closed(Rat::ONE, Rat::from(2)).expect("valid"),
+    )
+    .expect("dummification");
+    let impl_aut = time_ab(&dummified);
+    // Spec: time(Ã, {CHAIN, NULL}) — NULL keeps the spec's executions
+    // aligned with the implementation's.
+    let spec_aut = TimeIoa::new(
+        Arc::clone(dummified.automaton()),
+        vec![
+            lift_condition(&chain_condition(params)),
+            cond_of_class(
+                dummified.automaton(),
+                dummified.boundmap(),
+                tempo_ioa::ClassId(3),
+            ),
+        ],
+    );
+    let mapping_report = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &ChainMapping::new(params),
+        &RunPlan {
+            random_runs: 10,
+            steps: 40,
+            seed: 0xC4A1,
+        },
+    );
+    let runs: Vec<_> = tempo_sim::Ensemble::new(24, 40)
+        .collect(&impl_aut)
+        .iter()
+        .map(undum)
+        .collect();
+    let sim_delay = GapStats::between(
+        &runs,
+        |a: &ChainAction| *a == ChainAction::Pi,
+        |a: &ChainAction| *a == ChainAction::Psi,
+    );
+    ChainVerification {
+        mapping_report,
+        zone,
+        sim_delay,
+        params: params.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composed_bound_holds_three_ways() {
+        let params = ChainParams::ints((0, 5), (1, 3), (2, 4));
+        assert_eq!(params.chain_bounds().to_string(), "[3, 7]");
+        let v = verify(&params);
+        assert!(
+            v.mapping_report.passed(),
+            "{:?}",
+            v.mapping_report.violations.first()
+        );
+        assert_eq!(v.zone.earliest_pi.to_string(), "3"); // l1 + l2
+        assert_eq!(v.zone.latest_armed.to_string(), "7"); // u1 + u2
+        assert!(v.all_passed());
+        assert!(v.sim_delay.count > 0);
+    }
+
+    #[test]
+    fn tighter_claim_fails() {
+        // Claiming ψ within [l1 + l2 + 1, u1 + u2 − 1] of π must fail.
+        let params = ChainParams::ints((0, 2), (1, 3), (2, 4));
+        let v = verify(&params);
+        let too_tight = Interval::closed(Rat::from(4), Rat::from(6)).unwrap();
+        assert!(!v.zone.satisfies(too_tight));
+        assert!(v.zone.satisfies(params.chain_bounds()));
+    }
+
+    #[test]
+    fn chain_progresses_in_order() {
+        let aut = ChainAutomaton::new();
+        let s0 = aut.initial_states().pop().unwrap();
+        assert!(aut.post(&s0, &ChainAction::Phi).is_empty());
+        assert!(aut.post(&s0, &ChainAction::Psi).is_empty());
+        let s1 = aut.post(&s0, &ChainAction::Pi).pop().unwrap();
+        let s2 = aut.post(&s1, &ChainAction::Phi).pop().unwrap();
+        let s3 = aut.post(&s2, &ChainAction::Psi).pop().unwrap();
+        assert_eq!(s3, ChainPhase::Done);
+        assert!(aut.enabled_actions(&s3).is_empty());
+    }
+}

@@ -1,0 +1,724 @@
+//! Symbolic forward reachability and timing-condition verification.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use tempo_core::{Timed, TimingCondition};
+use tempo_ioa::Ioa;
+use tempo_math::{Interval, TimeVal};
+
+use crate::{Dbm, ObsLoc, Observer};
+
+/// Errors from symbolic verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneError {
+    /// The condition re-triggers while a measurement is pending without
+    /// completing it; a one-clock observer cannot track overlapping
+    /// windows. (The paper's example conditions are all non-overlapping.)
+    OverlappingTrigger {
+        /// The condition's name.
+        condition: String,
+    },
+    /// The symbolic state space exceeded the configured limit.
+    Truncated {
+        /// The limit that was hit.
+        max_zones: usize,
+    },
+}
+
+impl fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneError::OverlappingTrigger { condition } => write!(
+                f,
+                "condition {condition} re-triggers while armed; overlapping windows unsupported"
+            ),
+            ZoneError::Truncated { max_zones } => {
+                write!(f, "symbolic exploration exceeded {max_zones} zones")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+/// Exploration statistics (for benchmarking and diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct ZoneStats {
+    /// Symbolic states expanded.
+    pub expanded: usize,
+    /// Zones stored in the passed list.
+    pub stored: usize,
+    /// Completion edges (measurement samples) observed.
+    pub completions: usize,
+}
+
+/// The exact verdict for a timing condition, measured relative to its
+/// triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct CondVerdict {
+    /// The minimum observer-clock value at any completing `Π`-event — the
+    /// *exact* best-case bound. `∞` if no completion is reachable.
+    pub earliest_pi: TimeVal,
+    /// The supremum of the observer clock over all armed configurations —
+    /// the *exact* worst-case time a measurement can remain unserved
+    /// (`∞` if the measurement can outlive the extrapolation constant,
+    /// i.e. exceed every bound of interest).
+    pub latest_armed: TimeVal,
+    /// The maximum observer-clock value at any completing `Π`-event.
+    pub latest_pi: TimeVal,
+    /// Whether any measurement was ever armed.
+    pub armed_seen: bool,
+    /// Exploration statistics.
+    pub stats: ZoneStats,
+}
+
+impl CondVerdict {
+    /// Checks the verdict against an interval `[b_l, b_u]`: every
+    /// completion happens no earlier than `b_l` after its trigger, and no
+    /// armed measurement survives past `b_u`.
+    pub fn satisfies(&self, bounds: Interval) -> bool {
+        let lower_ok = self.earliest_pi >= TimeVal::from(bounds.lo());
+        let upper_ok = self.latest_armed <= bounds.hi();
+        lower_ok && upper_ok
+    }
+}
+
+/// The outcome of a [`ZoneChecker::check_progress`] liveness audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Progress<S> {
+    /// Every reachable configuration can take another step (Lemma 4.2
+    /// holds: all timed executions are infinite).
+    Live {
+        /// Symbolic states examined.
+        states_checked: usize,
+    },
+    /// A reachable state with no enabled actions at all.
+    Deadlock {
+        /// The halting base state.
+        state: S,
+    },
+    /// A reachable configuration whose enabled actions are all blocked by
+    /// lower-bound guards that can no longer be met.
+    Timelock {
+        /// The stuck base state.
+        state: S,
+    },
+}
+
+impl<S> Progress<S> {
+    /// Returns `true` for the live outcome.
+    pub fn is_live(&self) -> bool {
+        matches!(self, Progress::Live { .. })
+    }
+}
+
+/// A zone-based symbolic model checker for an MMT timed automaton
+/// `(A, b)`.
+pub struct ZoneChecker<'a, M: Ioa> {
+    timed: &'a Timed<M>,
+    max_zones: usize,
+}
+
+impl<'a, M: Ioa> ZoneChecker<'a, M> {
+    /// Creates a checker with the default zone limit (200,000).
+    pub fn new(timed: &'a Timed<M>) -> ZoneChecker<'a, M> {
+        ZoneChecker {
+            timed,
+            max_zones: 200_000,
+        }
+    }
+
+    /// Sets the symbolic state-space limit.
+    pub fn with_max_zones(mut self, max_zones: usize) -> ZoneChecker<'a, M> {
+        self.max_zones = max_zones;
+        self
+    }
+
+    /// Verifies a timing condition exactly: explores the zone graph of
+    /// `(A, b)` composed with the condition's observer and returns the
+    /// measured first-`Π` bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZoneError::OverlappingTrigger`] for conditions whose
+    /// triggers overlap, or [`ZoneError::Truncated`] if the zone limit is
+    /// hit.
+    pub fn verify_condition(
+        &self,
+        cond: &TimingCondition<M::State, M::Action>,
+    ) -> Result<CondVerdict, ZoneError> {
+        self.verdict_for(Observer::observing(self.timed, cond))
+    }
+
+    /// Measures a condition's exact first-event bounds with the observer
+    /// clock kept exact up to `horizon`: use this when the condition's
+    /// interval is a placeholder and the true bound is to be *discovered*.
+    /// A reported `latest_armed = ∞` means "beyond the horizon" — retry
+    /// with a larger one (see [`measure_condition_adaptive`]).
+    ///
+    /// [`measure_condition_adaptive`]: ZoneChecker::measure_condition_adaptive
+    ///
+    /// # Errors
+    ///
+    /// As for [`verify_condition`](ZoneChecker::verify_condition).
+    pub fn measure_condition(
+        &self,
+        cond: &TimingCondition<M::State, M::Action>,
+        horizon: tempo_math::Rat,
+    ) -> Result<CondVerdict, ZoneError> {
+        self.verdict_for(Observer::observing_with_floor(self.timed, cond, horizon))
+    }
+
+    /// Measures a condition's bounds by doubling the horizon (starting
+    /// from `initial`) until the worst case resolves below it, giving the
+    /// exact value for any truly bounded measurement; gives up (returning
+    /// the saturated verdict) after `max_doublings`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`verify_condition`](ZoneChecker::verify_condition).
+    pub fn measure_condition_adaptive(
+        &self,
+        cond: &TimingCondition<M::State, M::Action>,
+        initial: tempo_math::Rat,
+        max_doublings: u32,
+    ) -> Result<CondVerdict, ZoneError> {
+        let mut horizon = initial;
+        let mut verdict = self.measure_condition(cond, horizon)?;
+        for _ in 0..max_doublings {
+            if verdict.latest_armed.is_finite() || !verdict.armed_seen {
+                break;
+            }
+            horizon = horizon.scale(2);
+            verdict = self.measure_condition(cond, horizon)?;
+        }
+        Ok(verdict)
+    }
+
+    /// Measures the exact first-`Π`/`S` occurrence bounds **from an
+    /// arbitrary clock valuation** of the system (one value per partition
+    /// class): the one-shot observer arms immediately (`y = 0`) and the
+    /// verdict's `earliest_pi` / `latest_armed` are the exact
+    /// `inf first_ΠU` / `sup first_U` of the completeness theorem,
+    /// relative to that state. Measurements beyond `horizon` saturate to
+    /// `∞`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZoneError::Truncated`] if the zone limit is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clocks` does not have one value per partition class.
+    pub fn measure_from_valuation(
+        &self,
+        cond: &TimingCondition<M::State, M::Action>,
+        base: &M::State,
+        clocks: &[tempo_math::Rat],
+        horizon: tempo_math::Rat,
+    ) -> Result<CondVerdict, ZoneError> {
+        let classes = self.timed.automaton().partition().len();
+        assert_eq!(clocks.len(), classes, "one clock value per class");
+        let obs = Observer::one_shot(self.timed, cond, horizon);
+        let consts = obs.max_consts();
+        let loc = ObsLoc {
+            base: base.clone(),
+            armed: true,
+        };
+        // Point zone: x_i = clocks[i], y = 0; then delay within invariants.
+        let mut z = Dbm::universe(classes + 1);
+        for (i, v) in clocks.iter().enumerate() {
+            z.and_lower(i + 1, *v, false);
+            z.and_upper(i + 1, *v, false);
+        }
+        z.and_upper(classes + 1, tempo_math::Rat::ZERO, false);
+        z.up();
+        for (clock, hi) in obs.invariants(&loc) {
+            z.and_upper(clock, hi, false);
+        }
+        if z.is_empty() {
+            // The valuation violates an invariant: nothing is reachable.
+            return Ok(CondVerdict {
+                earliest_pi: TimeVal::INFINITY,
+                latest_pi: TimeVal::INFINITY,
+                latest_armed: TimeVal::ZERO,
+                armed_seen: false,
+                stats: ZoneStats::default(),
+            });
+        }
+        z.extrapolate(&consts);
+        self.verdict_for_initials(&obs, vec![(loc, z)])
+    }
+
+    fn verdict_for(&self, obs: Observer<'_, M>) -> Result<CondVerdict, ZoneError> {
+        let initials = self.default_initials(&obs);
+        self.verdict_for_initials(&obs, initials)
+    }
+
+    fn default_initials(
+        &self,
+        obs: &Observer<'_, M>,
+    ) -> Vec<(ObsLoc<M::State>, Dbm)> {
+        let clocks = obs.num_clocks();
+        let consts = obs.max_consts();
+        let mut out = Vec::new();
+        for loc in obs.initial_locs() {
+            let mut z = Dbm::zero(clocks);
+            z.up();
+            for (clock, hi) in obs.invariants(&loc) {
+                z.and_upper(clock, hi, false);
+            }
+            if z.is_empty() {
+                continue;
+            }
+            z.extrapolate(&consts);
+            out.push((loc, z));
+        }
+        out
+    }
+
+    fn verdict_for_initials(
+        &self,
+        obs: &Observer<'_, M>,
+        initials: Vec<(ObsLoc<M::State>, Dbm)>,
+    ) -> Result<CondVerdict, ZoneError> {
+        let y = obs.y_clock().expect("observer clock present");
+        let mut earliest: Option<TimeVal> = None;
+        let mut latest_pi: Option<TimeVal> = None;
+        let mut latest_armed: Option<TimeVal> = None;
+        let mut armed_seen = false;
+        let stats = self.explore_from(obs, initials, |loc, zone, edge_info| {
+            if loc.armed {
+                armed_seen = true;
+                let top = zone.clock_max(y);
+                latest_armed = Some(latest_armed.map_or(top, |cur| cur.max(top)));
+            }
+            if let Some(guard_zone) = edge_info {
+                // A completing edge, intersected with its guard.
+                let lo = TimeVal::from(guard_zone.clock_min(y));
+                let hi = guard_zone.clock_max(y);
+                earliest = Some(earliest.map_or(lo, |cur| cur.min(lo)));
+                latest_pi = Some(latest_pi.map_or(hi, |cur| cur.max(hi)));
+            }
+        })?;
+        Ok(CondVerdict {
+            earliest_pi: earliest.unwrap_or(TimeVal::INFINITY),
+            latest_pi: latest_pi.unwrap_or(TimeVal::INFINITY),
+            latest_armed: if armed_seen {
+                latest_armed.unwrap_or(TimeVal::INFINITY)
+            } else {
+                TimeVal::ZERO
+            },
+            armed_seen,
+            stats,
+        })
+    }
+
+    /// Explores the plain zone graph of `(A, b)` and returns the base
+    /// states that are reachable *respecting the timing constraints* —
+    /// possibly fewer than untimed reachability (e.g. the resource
+    /// manager's `TIMER` never goes negative because `c1 > l`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZoneError::Truncated`] if the zone limit is hit.
+    pub fn reachable_bases(&self) -> Result<(Vec<M::State>, ZoneStats), ZoneError> {
+        let obs = Observer::plain(self.timed);
+        let initials = self.default_initials(&obs);
+        let mut seen: Vec<M::State> = Vec::new();
+        let stats = self.explore_from(&obs, initials, |loc, _zone, _| {
+            if !seen.contains(&loc.base) {
+                seen.push(loc.base.clone());
+            }
+        })?;
+        Ok((seen, stats))
+    }
+
+    /// Checks a base-state predicate over the timed-reachable states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZoneError::Truncated`] if the zone limit is hit.
+    pub fn check_invariant<F>(&self, pred: F) -> Result<Option<M::State>, ZoneError>
+    where
+        F: Fn(&M::State) -> bool,
+    {
+        let (states, _) = self.reachable_bases()?;
+        Ok(states.into_iter().find(|s| !pred(s)))
+    }
+
+    /// Checks *progress*: every timed-reachable configuration has a
+    /// continuation, i.e. all timed executions of `(A, b)` are infinite —
+    /// the executable form of the paper's Lemma 4.2. Systems that halt
+    /// (like the §6 signal relay) fail this check and need dummification
+    /// (§5) before the mapping theorem applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZoneError::Truncated`] if the zone limit is hit.
+    pub fn check_progress(&self) -> Result<Progress<M::State>, ZoneError> {
+        let obs = Observer::plain(self.timed);
+        let initials = self.default_initials(&obs);
+        let mut verdict = Progress::Live { states_checked: 0 };
+        let stats = self.explore_from(&obs, initials, |loc, zone, edge_info| {
+            if edge_info.is_some() {
+                return;
+            }
+            if !matches!(verdict, Progress::Live { .. }) {
+                return; // already found a counterexample
+            }
+            let edges = obs.edges(loc);
+            if edges.is_empty() {
+                verdict = Progress::Deadlock {
+                    state: loc.base.clone(),
+                };
+                return;
+            }
+            // Timelock: edges exist but none is firable from any valuation
+            // of this zone.
+            let any_firable = edges.iter().any(|edge| {
+                let mut zg = zone.clone();
+                for (clock, lo) in &edge.guard_lower {
+                    zg.and_lower(*clock, *lo, false);
+                }
+                !zg.is_empty()
+            });
+            if !any_firable {
+                verdict = Progress::Timelock {
+                    state: loc.base.clone(),
+                };
+            }
+        })?;
+        if let Progress::Live { states_checked } = &mut verdict {
+            *states_checked = stats.expanded;
+        }
+        Ok(verdict)
+    }
+
+    /// Core worklist exploration from the given initial symbolic states.
+    /// `visit` is called once per expanded symbolic state with
+    /// `edge_info = None`, and once per completing edge with the
+    /// guard-intersected zone.
+    fn explore_from<F>(
+        &self,
+        obs: &Observer<'_, M>,
+        initials: Vec<(ObsLoc<M::State>, Dbm)>,
+        mut visit: F,
+    ) -> Result<ZoneStats, ZoneError>
+    where
+        F: FnMut(&ObsLoc<M::State>, &Dbm, Option<&Dbm>),
+    {
+        let consts = obs.max_consts();
+        let mut passed: HashMap<ObsLoc<M::State>, Vec<Dbm>> = HashMap::new();
+        let mut queue: VecDeque<(ObsLoc<M::State>, Dbm)> = VecDeque::new();
+        let mut stats = ZoneStats::default();
+
+        for (loc, z) in initials {
+            passed.entry(loc.clone()).or_default().push(z.clone());
+            stats.stored += 1;
+            queue.push_back((loc, z));
+        }
+
+        while let Some((loc, zone)) = queue.pop_front() {
+            stats.expanded += 1;
+            visit(&loc, &zone, None);
+            for edge in obs.edges(&loc) {
+                let mut zg = zone.clone();
+                for (clock, lo) in &edge.guard_lower {
+                    zg.and_lower(*clock, *lo, false);
+                }
+                if zg.is_empty() {
+                    continue;
+                }
+                if edge.overlap {
+                    return Err(ZoneError::OverlappingTrigger {
+                        condition: "observed".to_string(),
+                    });
+                }
+                if edge.completes {
+                    stats.completions += 1;
+                    visit(&loc, &zone, Some(&zg));
+                }
+                let mut zt = zg;
+                for clock in &edge.resets {
+                    zt.reset(*clock);
+                }
+                zt.up();
+                for (clock, hi) in obs.invariants(&edge.target) {
+                    zt.and_upper(clock, hi, false);
+                }
+                if zt.is_empty() {
+                    continue;
+                }
+                zt.extrapolate(&consts);
+                let slot = passed.entry(edge.target.clone()).or_default();
+                if slot.iter().any(|z| z.includes(&zt)) {
+                    continue;
+                }
+                slot.retain(|z| !zt.includes(z));
+                slot.push(zt.clone());
+                stats.stored += 1;
+                if stats.stored > self.max_zones {
+                    return Err(ZoneError::Truncated {
+                        max_zones: self.max_zones,
+                    });
+                }
+                queue.push_back((edge.target, zt));
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use tempo_core::Boundmap;
+    use tempo_math::Rat;
+    use tempo_ioa::{Partition, Signature};
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
+    }
+
+    /// Ticker counting modulo 6, bounds [1, 2] per tick.
+    #[derive(Debug)]
+    struct Ticker {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ioa for Ticker {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            if *a == "tick" {
+                vec![(s + 1) % 6]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    fn ticker(lo: i64, hi: i64) -> Timed<Ticker> {
+        let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        Timed::new(
+            Arc::new(Ticker { sig, part }),
+            Boundmap::from_intervals(vec![iv(lo, hi)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_tick_bounds_exact() {
+        let t = ticker(1, 2);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("FIRST", iv(1, 2))
+            .triggered_at_start(|_| true)
+            .on_actions(|a| *a == "tick");
+        let v = ZoneChecker::new(&t).verify_condition(&cond).unwrap();
+        assert_eq!(v.earliest_pi, TimeVal::from(Rat::ONE));
+        assert_eq!(v.latest_armed, TimeVal::from(Rat::from(2)));
+        assert_eq!(v.latest_pi, TimeVal::from(Rat::from(2)));
+        assert!(v.armed_seen);
+        assert!(v.satisfies(iv(1, 2)));
+        assert!(!v.satisfies(iv(1, 1))); // upper too tight
+        assert!(!v.satisfies(iv(2, 2))); // lower too tight
+        assert!(v.satisfies(iv(0, 5))); // looser is fine
+    }
+
+    /// The *third* tick after start happens within [3, 6]: a multi-step
+    /// accumulated bound, verified through the full zone graph.
+    #[test]
+    fn third_tick_accumulates() {
+        let t = ticker(1, 2);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("THIRD", iv(3, 6))
+            .triggered_by_step(|pre, a, _| *a == "tick" && *pre == 1)
+            .on_actions(|a| *a == "tick")
+            // Measurement runs from the 2nd tick to the 3rd: [1, 2].
+            .renamed("SECOND-TO-THIRD");
+        let v = ZoneChecker::new(&t).verify_condition(&cond).unwrap();
+        assert_eq!(v.earliest_pi, TimeVal::from(Rat::ONE));
+        assert_eq!(v.latest_armed, TimeVal::from(Rat::from(2)));
+    }
+
+    /// Inter-tick gap measured by a Π-triggered condition (the G2 shape).
+    #[test]
+    fn inter_tick_gap() {
+        let t = ticker(1, 3);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("GAP", iv(1, 3))
+            .triggered_by_step(|_, a, _| *a == "tick")
+            .on_actions(|a| *a == "tick");
+        let v = ZoneChecker::new(&t).verify_condition(&cond).unwrap();
+        assert_eq!(v.earliest_pi, TimeVal::from(Rat::ONE));
+        assert_eq!(v.latest_armed, TimeVal::from(Rat::from(3)));
+        assert!(v.satisfies(iv(1, 3)));
+    }
+
+    #[test]
+    fn unreachable_condition_is_vacuous() {
+        let t = ticker(1, 2);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("NEVER", iv(1, 2))
+            .triggered_by_step(|pre, _, _| *pre == 77)
+            .on_actions(|a| *a == "tick");
+        let v = ZoneChecker::new(&t).verify_condition(&cond).unwrap();
+        assert!(!v.armed_seen);
+        assert_eq!(v.earliest_pi, TimeVal::INFINITY);
+        assert_eq!(v.latest_armed, TimeVal::ZERO);
+        assert!(v.satisfies(iv(1, 2)));
+    }
+
+    #[test]
+    fn reachable_bases_and_invariants() {
+        let t = ticker(1, 2);
+        let (bases, stats) = ZoneChecker::new(&t).reachable_bases().unwrap();
+        assert_eq!(bases.len(), 6);
+        assert!(stats.expanded >= 6);
+        let violation = ZoneChecker::new(&t).check_invariant(|s| *s < 6).unwrap();
+        assert!(violation.is_none());
+        let violation = ZoneChecker::new(&t).check_invariant(|s| *s < 3).unwrap();
+        assert_eq!(violation, Some(3));
+    }
+
+    #[test]
+    fn adaptive_measurement_is_exact_with_placeholder_bounds() {
+        // The condition's own interval is a placeholder ([0, ∞]); the
+        // adaptive measurement still recovers the exact first-tick window.
+        let t = ticker(1, 2);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new(
+            "FIRST",
+            Interval::unbounded_above(Rat::ZERO),
+        )
+        .triggered_at_start(|_| true)
+        .on_actions(|a| *a == "tick");
+        let adaptive = ZoneChecker::new(&t)
+            .measure_condition_adaptive(&cond, Rat::ONE, 8)
+            .unwrap();
+        assert_eq!(adaptive.earliest_pi, TimeVal::from(Rat::ONE));
+        assert_eq!(adaptive.latest_armed, TimeVal::from(Rat::from(2)));
+    }
+
+    #[test]
+    fn from_valuation_measures_mid_cycle() {
+        // With the tick clock already at 1 (of [1, 2]), the next tick is
+        // due within [0, 1].
+        let t = ticker(1, 2);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new(
+            "NEXT",
+            Interval::unbounded_above(Rat::ZERO),
+        )
+        .on_actions(|a| *a == "tick");
+        let v = ZoneChecker::new(&t)
+            .measure_from_valuation(&cond, &0u8, &[Rat::ONE], Rat::from(8))
+            .unwrap();
+        assert_eq!(v.earliest_pi, TimeVal::ZERO);
+        assert_eq!(v.latest_armed, TimeVal::from(Rat::ONE));
+        // A valuation violating the invariant measures nothing.
+        let v = ZoneChecker::new(&t)
+            .measure_from_valuation(&cond, &0u8, &[Rat::from(5)], Rat::from(8))
+            .unwrap();
+        assert!(!v.armed_seen);
+    }
+
+    #[test]
+    fn progress_live_and_deadlocked() {
+        // The cyclic ticker is live.
+        let t = ticker(1, 2);
+        let verdict = ZoneChecker::new(&t).check_progress().unwrap();
+        assert!(verdict.is_live());
+        match verdict {
+            crate::Progress::Live { states_checked } => assert!(states_checked >= 6),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A one-shot system deadlocks after firing.
+        #[derive(Debug)]
+        struct OneShot {
+            sig: Signature<&'static str>,
+            part: Partition<&'static str>,
+        }
+        impl Ioa for OneShot {
+            type State = bool;
+            type Action = &'static str;
+            fn signature(&self) -> &Signature<&'static str> {
+                &self.sig
+            }
+            fn partition(&self) -> &Partition<&'static str> {
+                &self.part
+            }
+            fn initial_states(&self) -> Vec<bool> {
+                vec![false]
+            }
+            fn post(&self, s: &bool, a: &&'static str) -> Vec<bool> {
+                if *a == "fire" && !*s {
+                    vec![true]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let sig = Signature::new(vec![], vec!["fire"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        let once = Timed::new(
+            Arc::new(OneShot { sig, part }),
+            Boundmap::from_intervals(vec![iv(1, 2)]),
+        )
+        .unwrap();
+        let verdict = ZoneChecker::new(&once).check_progress().unwrap();
+        assert_eq!(
+            verdict,
+            crate::Progress::Deadlock { state: true },
+        );
+        assert!(!verdict.is_live());
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let t = ticker(1, 2);
+        let err = ZoneChecker::new(&t)
+            .with_max_zones(2)
+            .reachable_bases()
+            .unwrap_err();
+        assert_eq!(err, ZoneError::Truncated { max_zones: 2 });
+    }
+
+    #[test]
+    fn overlapping_trigger_rejected() {
+        let t = ticker(1, 2);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("OVER", iv(0, 100))
+            .triggered_by_step(|_, a, _| *a == "tick")
+            .on_actions(|_| false);
+        let err = ZoneChecker::new(&t).verify_condition(&cond).unwrap_err();
+        assert!(matches!(err, ZoneError::OverlappingTrigger { .. }));
+    }
+
+    /// Upper-bound violation detected: ticks may take up to 5, so a
+    /// 3-bound on the first tick fails via `latest_armed`.
+    #[test]
+    fn upper_violation_detected() {
+        let t = ticker(1, 5);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new("FAST?", iv(0, 3))
+            .triggered_at_start(|_| true)
+            .on_actions(|a| *a == "tick");
+        let v = ZoneChecker::new(&t).verify_condition(&cond).unwrap();
+        assert!(!v.satisfies(iv(0, 3)));
+        // The measurement can survive to 5 (the true worst case), though
+        // extrapolation at the condition constant may report ∞; both mean
+        // "later than 3".
+        assert!(v.latest_armed > TimeVal::from(Rat::from(3)));
+    }
+}

@@ -1,0 +1,75 @@
+//! A small **zone-based symbolic model checker** for MMT timed automata —
+//! the operational-style baseline the paper's assertional method is
+//! contrasted against (UPPAAL-style technology, compare paper §8).
+//!
+//! An MMT timed automaton `(A, b)` (a [`tempo_core::Timed`]) is translated
+//! on the fly into a clock timed automaton with one clock per partition
+//! class (`x_C` tracks the time since class `C`'s bound was last
+//! (re)started):
+//!
+//! * invariant `x_C ≤ b_u(C)` in every location where `C` is enabled;
+//! * guard `x_C ≥ b_l(C)` on every edge labeled with a `C`-action;
+//! * `x_C` reset on edges after which `C`'s bound restarts (newly enabled,
+//!   or fired and still enabled); reset-on-disable keeps zones canonical.
+//!
+//! A [`TimingCondition`](tempo_core::TimingCondition) is verified by
+//! composing an *observer* with one extra clock `y`, armed by the
+//! condition's triggers, disarmed by its disabling set and by `Π`-events.
+//! Symbolic forward reachability over [`Dbm`] zones (with per-clock
+//! max-constant extrapolation for termination) then yields **exact**
+//! earliest/latest first-`Π` times, against which the condition's interval
+//! is checked — an independent oracle for every bound proved by mapping in
+//! this repository.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::sync::Arc;
+//! # use tempo_ioa::{Ioa, Partition, Signature};
+//! # use tempo_math::{Interval, Rat, TimeVal};
+//! # use tempo_core::{Boundmap, Timed, TimingCondition};
+//! use tempo_zones::ZoneChecker;
+//!
+//! # #[derive(Debug)]
+//! # struct Ticker { sig: Signature<&'static str>, part: Partition<&'static str> }
+//! # impl Ioa for Ticker {
+//! #     type State = u8;
+//! #     type Action = &'static str;
+//! #     fn signature(&self) -> &Signature<&'static str> { &self.sig }
+//! #     fn partition(&self) -> &Partition<&'static str> { &self.part }
+//! #     fn initial_states(&self) -> Vec<u8> { vec![0] }
+//! #     fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+//! #         if *a == "tick" { vec![(s + 1).min(5)] } else { vec![] }
+//! #     }
+//! # }
+//! # let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+//! # let part = Partition::singletons(&sig).unwrap();
+//! # let aut = Arc::new(Ticker { sig, part });
+//! # let b = Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2)).unwrap()]);
+//! # let timed = Timed::new(aut, b).unwrap();
+//! // After the first tick, the second follows within [1, 2]:
+//! let cond: TimingCondition<u8, &'static str> =
+//!     TimingCondition::new("SECOND", Interval::closed(Rat::ONE, Rat::from(2)).unwrap())
+//!         .triggered_by_step(|pre, a, _post| *a == "tick" && *pre == 0)
+//!         .on_actions(|a| *a == "tick");
+//! let verdict = ZoneChecker::new(&timed).verify_condition(&cond)?;
+//! assert!(verdict.satisfies(cond.bounds()));
+//! assert_eq!(verdict.earliest_pi, TimeVal::from(Rat::ONE)); // relative to the trigger
+//! assert_eq!(verdict.latest_armed, TimeVal::from(Rat::from(2)));
+//! # Ok::<(), tempo_zones::ZoneError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bound;
+mod checker;
+mod dbm;
+mod observer;
+mod oracle;
+
+pub use bound::DbmBound;
+pub use checker::{CondVerdict, Progress, ZoneChecker, ZoneError, ZoneStats};
+pub use dbm::Dbm;
+pub use observer::{ObsEdge, ObsLoc, Observer};
+pub use oracle::ZoneFirstOracle;

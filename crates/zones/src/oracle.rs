@@ -1,0 +1,233 @@
+//! The zone-backed **exact** oracle for the completeness construction
+//! (paper §7): computes `sup first_U` / `inf first_ΠU` from arbitrary
+//! predictive states of `time(A, b)` by symbolic search, replacing the
+//! core crate's bounded-depth/sampled approximations.
+
+use tempo_core::completeness::{FirstBounds, FirstOracle};
+use tempo_core::{Timed, TimedState, TimingCondition};
+use tempo_ioa::Ioa;
+use tempo_math::{Rat, TimeVal};
+
+use crate::ZoneChecker;
+
+/// A [`FirstOracle`] that answers queries exactly via one-shot observer
+/// zone exploration.
+///
+/// The oracle interprets the queried [`TimedState`] as a state of
+/// `time(A, b)` — prediction slot `j` belongs to partition class
+/// `ClassId(j)` — and recovers the clock valuation from the predictions
+/// (`x_C = b_l(C) + Ct − Ft(C)` for enabled classes).
+///
+/// Results saturate to `∞` beyond the measurement horizon; the horizon is
+/// doubled automatically (up to `max_doublings`) while the worst case is
+/// unresolved.
+pub struct ZoneFirstOracle<'a, M: Ioa> {
+    timed: &'a Timed<M>,
+    horizon: Rat,
+    max_doublings: u32,
+}
+
+impl<'a, M: Ioa> ZoneFirstOracle<'a, M> {
+    /// Creates an oracle with the given initial measurement horizon.
+    pub fn new(timed: &'a Timed<M>, horizon: Rat) -> ZoneFirstOracle<'a, M> {
+        ZoneFirstOracle {
+            timed,
+            horizon,
+            max_doublings: 6,
+        }
+    }
+
+    /// Sets how many horizon doublings to attempt before accepting `∞`.
+    pub fn with_max_doublings(mut self, n: u32) -> ZoneFirstOracle<'a, M> {
+        self.max_doublings = n;
+        self
+    }
+
+    /// Recovers the class-clock valuation from a predictive state.
+    fn clocks_of(&self, s: &TimedState<M::State>) -> Vec<Rat> {
+        let aut = self.timed.automaton();
+        let b = self.timed.boundmap();
+        aut.partition()
+            .ids()
+            .map(|c| {
+                if aut.class_enabled(&s.base, c) {
+                    // Ft(C) = restart + b_l(C) ⇒ x_C = Ct − restart.
+                    (b.lower(c) + s.now - s.ft[c.0]).max(Rat::ZERO)
+                } else {
+                    Rat::ZERO // the clock is inactive; its value is moot
+                }
+            })
+            .collect()
+    }
+}
+
+impl<M: Ioa> FirstOracle<M::State, M::Action> for ZoneFirstOracle<'_, M> {
+    /// # Panics
+    ///
+    /// Panics if the symbolic exploration exceeds the zone limit.
+    fn first_bounds(
+        &self,
+        s: &TimedState<M::State>,
+        cond: &TimingCondition<M::State, M::Action>,
+    ) -> FirstBounds {
+        let clocks = self.clocks_of(s);
+        let checker = ZoneChecker::new(self.timed);
+        let mut horizon = self.horizon;
+        let mut verdict = checker
+            .measure_from_valuation(cond, &s.base, &clocks, horizon)
+            .expect("zone exploration within limits");
+        for _ in 0..self.max_doublings {
+            if verdict.latest_armed.is_finite() || !verdict.armed_seen {
+                break;
+            }
+            horizon = horizon.scale(2);
+            verdict = checker
+                .measure_from_valuation(cond, &s.base, &clocks, horizon)
+                .expect("zone exploration within limits");
+        }
+        // The observer measures relative to the queried state; the
+        // canonical mapping wants absolute times.
+        FirstBounds {
+            sup_first: if verdict.armed_seen {
+                verdict.latest_armed + s.now
+            } else {
+                TimeVal::from(s.now)
+            },
+            inf_first_pi: verdict.earliest_pi + s.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use tempo_core::{time_ab, Boundmap, RandomScheduler};
+    use tempo_ioa::{Partition, Signature};
+    use tempo_math::Interval;
+
+    /// Ticker with bounds [1, 2].
+    #[derive(Debug)]
+    struct Ticker {
+        sig: Signature<&'static str>,
+        part: Partition<&'static str>,
+    }
+
+    impl Ioa for Ticker {
+        type State = u8;
+        type Action = &'static str;
+        fn signature(&self) -> &Signature<&'static str> {
+            &self.sig
+        }
+        fn partition(&self) -> &Partition<&'static str> {
+            &self.part
+        }
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn post(&self, s: &u8, a: &&'static str) -> Vec<u8> {
+            if *a == "tick" {
+                vec![(s + 1) % 8]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    fn ticker() -> Timed<Ticker> {
+        let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
+        let part = Partition::singletons(&sig).unwrap();
+        Timed::new(
+            Arc::new(Ticker { sig, part }),
+            Boundmap::from_intervals(vec![
+                Interval::closed(Rat::ONE, Rat::from(2)).unwrap()
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_bounds_from_initial_state() {
+        let timed = ticker();
+        let aut = time_ab(&timed);
+        let s0 = aut.initial_states().pop().unwrap();
+        let cond: TimingCondition<u8, &str> = TimingCondition::new(
+            "FIRST",
+            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+        )
+        .on_actions(|a| *a == "tick");
+        let oracle = ZoneFirstOracle::new(&timed, Rat::from(8));
+        let b = oracle.first_bounds(&s0, &cond);
+        assert_eq!(b.sup_first, TimeVal::from(Rat::from(2)));
+        assert_eq!(b.inf_first_pi, TimeVal::from(Rat::ONE));
+    }
+
+    #[test]
+    fn bounds_track_elapsed_time_mid_run(
+    ) {
+        // From a state reached after some events, the bounds are absolute
+        // (≥ the state's current time) and exactly one inter-tick window
+        // wide.
+        let timed = ticker();
+        let aut = time_ab(&timed);
+        let mut sched = RandomScheduler::new(5);
+        let (run, _) = aut.generate(&mut sched, 6);
+        let s = run.last_state().clone();
+        let cond: TimingCondition<u8, &str> = TimingCondition::new(
+            "NEXT",
+            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+        )
+        .on_actions(|a| *a == "tick");
+        let oracle = ZoneFirstOracle::new(&timed, Rat::from(8));
+        let b = oracle.first_bounds(&s, &cond);
+        // The next tick lands exactly in [Ft(TICK), Lt(TICK)].
+        assert_eq!(b.inf_first_pi, TimeVal::from(s.ft[0]));
+        assert_eq!(b.sup_first, s.lt[0]);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_oracle_along_runs() {
+        use tempo_core::completeness::ExhaustiveOracle;
+        let timed = ticker();
+        let aut = time_ab(&timed);
+        let cond: TimingCondition<u8, &str> = TimingCondition::new(
+            "NEXT",
+            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+        )
+        .on_actions(|a| *a == "tick");
+        let zone_oracle = ZoneFirstOracle::new(&timed, Rat::from(8));
+        let exhaustive = ExhaustiveOracle::new(&aut, 6);
+        for seed in 0..6 {
+            let mut sched = RandomScheduler::new(seed);
+            let (run, _) = aut.generate(&mut sched, 8);
+            for s in run.states() {
+                let zb = zone_oracle.first_bounds(s, &cond);
+                let eb = exhaustive.first_bounds(s, &cond);
+                assert_eq!(zb.sup_first, eb.sup_first, "sup at {s:?}");
+                assert_eq!(zb.inf_first_pi, eb.inf_first_pi, "inf at {s:?}");
+            }
+        }
+    }
+
+    /// A condition with a disabling set: entering it resolves `first_U`
+    /// but pushes `first_ΠU` to ∞.
+    #[test]
+    fn disabling_set_resolves_sup_but_not_inf() {
+        let timed = ticker();
+        let aut = time_ab(&timed);
+        let s0 = aut.initial_states().pop().unwrap();
+        // Π never fires; states ≥ 2 disable (reached at the 2nd tick).
+        let cond: TimingCondition<u8, &str> = TimingCondition::new(
+            "DISABLES",
+            Interval::unbounded_above(Rat::ZERO),
+        )
+        .on_actions(|_| false)
+        .disabled_in(|s| *s >= 2);
+        let oracle = ZoneFirstOracle::new(&timed, Rat::from(16));
+        let b = oracle.first_bounds(&s0, &cond);
+        // Latest second tick: 4 (2 + 2); first_ΠU never resolves.
+        assert_eq!(b.sup_first, TimeVal::from(Rat::from(4)));
+        assert_eq!(b.inf_first_pi, TimeVal::INFINITY);
+    }
+}

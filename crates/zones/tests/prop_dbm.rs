@@ -1,0 +1,176 @@
+//! Property tests for the DBM algebra: canonicalization is idempotent and
+//! sound, inclusion is a partial order respecting membership, `up` and
+//! `reset` act correctly on valuations, and extrapolation only enlarges.
+
+use proptest::prelude::*;
+use tempo_math::Rat;
+use tempo_zones::{Dbm, DbmBound};
+
+const CLOCKS: usize = 3;
+
+/// A random constraint: `x_i − x_j ≤/< c`.
+#[derive(Debug, Clone)]
+struct Constraint {
+    i: usize,
+    j: usize,
+    c: Rat,
+    strict: bool,
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (0..=CLOCKS, 0..=CLOCKS, -8i128..=12, any::<bool>()).prop_map(|(i, j, c, strict)| Constraint {
+        i,
+        j,
+        c: Rat::from(c),
+        strict,
+    })
+}
+
+fn zone(constraints: &[Constraint]) -> Dbm {
+    let mut z = Dbm::universe(CLOCKS);
+    z.up();
+    for c in constraints {
+        if c.i == c.j {
+            continue;
+        }
+        let b = if c.strict {
+            DbmBound::Strict(c.c)
+        } else {
+            DbmBound::Weak(c.c)
+        };
+        z.and(c.i, c.j, b);
+    }
+    z
+}
+
+fn valuation() -> impl Strategy<Value = Vec<Rat>> {
+    proptest::collection::vec((0i128..=12).prop_map(Rat::from), CLOCKS)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonicalization is idempotent.
+    #[test]
+    fn canonicalize_idempotent(cs in proptest::collection::vec(constraint(), 0..8)) {
+        let z = zone(&cs);
+        let mut z2 = z.clone();
+        z2.canonicalize();
+        prop_assert_eq!(&z, &z2);
+    }
+
+    /// Membership is preserved by the (already canonical) tightening: a
+    /// valuation satisfies the constraint list iff it is in the zone.
+    #[test]
+    fn membership_matches_constraints(
+        cs in proptest::collection::vec(constraint(), 0..6),
+        v in valuation(),
+    ) {
+        let z = zone(&cs);
+        let val = |idx: usize| if idx == 0 { Rat::ZERO } else { v[idx - 1] };
+        let satisfies_all = cs.iter().all(|c| {
+            if c.i == c.j { return true; }
+            let d = val(c.i) - val(c.j);
+            if c.strict { d < c.c } else { d <= c.c }
+        });
+        if z.is_empty() {
+            prop_assert!(!z.contains(&v));
+        } else {
+            prop_assert_eq!(z.contains(&v), satisfies_all);
+        }
+    }
+
+    /// Inclusion is consistent with membership: z1 ⊆ z2 implies every
+    /// sampled member of z1 is in z2.
+    #[test]
+    fn inclusion_sound_on_members(
+        cs1 in proptest::collection::vec(constraint(), 0..6),
+        cs2 in proptest::collection::vec(constraint(), 0..6),
+        v in valuation(),
+    ) {
+        let z1 = zone(&cs1);
+        let z2 = zone(&cs2);
+        if z2.includes(&z1) && z1.contains(&v) {
+            prop_assert!(z2.contains(&v));
+        }
+    }
+
+    /// Adding constraints only shrinks the zone.
+    #[test]
+    fn and_shrinks(
+        cs in proptest::collection::vec(constraint(), 0..6),
+        extra in constraint(),
+    ) {
+        let z = zone(&cs);
+        let mut smaller = z.clone();
+        if extra.i != extra.j {
+            let b = if extra.strict {
+                DbmBound::Strict(extra.c)
+            } else {
+                DbmBound::Weak(extra.c)
+            };
+            smaller.and(extra.i, extra.j, b);
+        }
+        prop_assert!(z.includes(&smaller));
+    }
+
+    /// `up` contains the original and is closed under uniform delay.
+    #[test]
+    fn up_is_delay_closure(
+        cs in proptest::collection::vec(constraint(), 0..6),
+        v in valuation(),
+        d in 0i128..=6,
+    ) {
+        let z = zone(&cs);
+        let mut up = z.clone();
+        up.up();
+        prop_assert!(up.includes(&z));
+        if z.contains(&v) {
+            let delayed: Vec<Rat> = v.iter().map(|x| *x + Rat::from(d)).collect();
+            prop_assert!(up.contains(&delayed), "delay by {d}");
+        }
+    }
+
+    /// `reset` sets the clock to zero and keeps the others.
+    #[test]
+    fn reset_zeroes_one_clock(
+        cs in proptest::collection::vec(constraint(), 0..6),
+        v in valuation(),
+        clock in 1usize..=CLOCKS,
+    ) {
+        let z = zone(&cs);
+        if z.contains(&v) {
+            let mut zr = z.clone();
+            zr.reset(clock);
+            let mut vr = v.clone();
+            vr[clock - 1] = Rat::ZERO;
+            prop_assert!(zr.contains(&vr));
+        }
+    }
+
+    /// Extrapolation only enlarges the zone.
+    #[test]
+    fn extrapolation_enlarges(
+        cs in proptest::collection::vec(constraint(), 0..6),
+        k in 1i128..=6,
+    ) {
+        let z = zone(&cs);
+        let mut ex = z.clone();
+        ex.extrapolate(&[Rat::from(k); CLOCKS]);
+        prop_assert!(ex.includes(&z));
+    }
+
+    /// Inclusion is reflexive and transitive on generated zones.
+    #[test]
+    fn inclusion_partial_order(
+        cs1 in proptest::collection::vec(constraint(), 0..5),
+        cs2 in proptest::collection::vec(constraint(), 0..5),
+        cs3 in proptest::collection::vec(constraint(), 0..5),
+    ) {
+        let (z1, z2, z3) = (zone(&cs1), zone(&cs2), zone(&cs3));
+        prop_assert!(z1.includes(&z1));
+        if z1.includes(&z2) && z2.includes(&z3) {
+            prop_assert!(z1.includes(&z3));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Experiment E4 — the completeness theorem (paper §7) in action.
+//!
+//! Theorem 7.1 says: whenever the timing requirements actually hold, the
+//! *canonical* mapping — built from the `sup`/`inf` of first-occurrence
+//! times over all extensions of each state — is a strong possibilities
+//! mapping. This example constructs that mapping for the resource manager
+//! with an exhaustive corner-schedule oracle, shows that it coincides with
+//! the hand-written §4.3 mapping at the start state, and runs it through
+//! the mapping checker.
+//!
+//! Run with: `cargo run --example completeness`
+
+use tempo_core::completeness::{CanonicalMapping, ExhaustiveOracle, FirstOracle, SampledOracle};
+use tempo_core::mapping::{MappingChecker, PossibilitiesMapping, RunPlan};
+use tempo_core::{time_ab, TimeIoa};
+use tempo_systems::resource_manager::{self, g1, g2, Params, RmMapping};
+
+fn main() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let impl_aut: TimeIoa<_> = time_ab(&timed);
+    let spec_aut = resource_manager::requirements_automaton(&timed, &params);
+    let spec_conds = [g1(&params), g2(&params)];
+
+    println!("E4 — completeness (paper §7), resource manager k=2, c=[2,3], l=1\n");
+
+    // The canonical bounds at the start state.
+    let s0 = impl_aut.initial_states().pop().unwrap();
+    let oracle = ExhaustiveOracle::new(&impl_aut, 14);
+    let b_g1 = oracle.first_bounds(&s0, &spec_conds[0]);
+    println!("canonical bounds at the start state (exhaustive corner search):");
+    println!(
+        "  sup first_G1 = {}   (paper: k·c2 + l = 7)",
+        b_g1.sup_first
+    );
+    println!(
+        "  inf first_ΠG1 = {}  (paper: k·c1 = 4)",
+        b_g1.inf_first_pi
+    );
+
+    // Compare with the hand-written mapping's region at the start state.
+    let hand = RmMapping::new(params.clone());
+    println!("\nregion at the start state:");
+    println!("  hand-written §4.3 : {:?}", hand.region(&s0).constraints()[0]);
+    let canonical = CanonicalMapping::new(ExhaustiveOracle::new(&impl_aut, 14), &spec_conds);
+    println!("  canonical (§7)    : {:?}", canonical.region(&s0).constraints()[0]);
+
+    // A Monte-Carlo oracle brackets the exhaustive one from inside.
+    let sampled = SampledOracle::new(&impl_aut, 200, 40, 42).first_bounds(&s0, &spec_conds[0]);
+    println!("\nMonte-Carlo estimate (200 runs): sup ≈ {}, inf ≈ {}",
+        sampled.sup_first, sampled.inf_first_pi);
+    assert!(sampled.sup_first <= b_g1.sup_first);
+    assert!(sampled.inf_first_pi >= b_g1.inf_first_pi);
+
+    // The canonical mapping passes the checker (Theorem 7.1).
+    let report = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &canonical,
+        &RunPlan {
+            random_runs: 4,
+            steps: 16, // the oracle re-searches per state; keep runs short
+            seed: 99,
+        },
+    );
+    println!(
+        "\nmapping checker on the canonical mapping: {} steps × {} spec states … {}",
+        report.steps_checked,
+        report.spec_states_checked,
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    if let Some(v) = report.violations.first() {
+        println!("  first violation: {v}");
+    }
+    assert!(report.passed(), "Theorem 7.1: the canonical mapping must verify");
+    println!("\nTheorem 7.1 confirmed on this instance.");
+}

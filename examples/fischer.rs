@@ -1,0 +1,60 @@
+//! Experiment E7c — Fischer-style timed mutual exclusion (an instance of
+//! the "timing-dependent algorithms" the paper's conclusions call for).
+//!
+//! Sweeps the write bound `a` against the check delay `b` and shows the
+//! safety frontier `a < b`, found exactly by the zone checker; then proves
+//! the solo entry-time bound `[b, 2a + B]` by both the mapping method and
+//! zones.
+//!
+//! Run with: `cargo run --example fischer`
+
+use tempo_systems::fischer::{self, FischerParams};
+
+fn main() {
+    println!("E7c — Fischer mutual exclusion: write within a, check after [b, B]\n");
+
+    println!("safety frontier (n = 2, B = b + 2): mutual exclusion holds iff a < b");
+    println!("{:<8} {:<8} {:<12} zone checker", "a", "b", "prediction");
+    let mut agreement = true;
+    for a in 1..=4i64 {
+        for b in 1..=4i64 {
+            let params = FischerParams::ints(2, a, b, b + 2);
+            let violation = fischer::check_mutual_exclusion(&params).unwrap();
+            let safe = violation.is_none();
+            let predicted = params.safe();
+            if safe != predicted {
+                agreement = false;
+            }
+            println!(
+                "{:<8} {:<8} {:<12} {}",
+                a,
+                b,
+                if predicted { "safe" } else { "unsafe" },
+                if safe { "safe" } else { "VIOLATION found" },
+            );
+        }
+    }
+    assert!(agreement, "the zone checker must agree with the a < b frontier");
+
+    println!("\nsolo entry time (n = 1): first CHECK within [b, 2a + B] of the start");
+    println!(
+        "{:<14} {:<14} {:<14} {:<10} verdict",
+        "(a, b, B)", "paper-style", "zone exact", "mapping"
+    );
+    for (a, b, big_b) in [(1, 2, 4), (2, 3, 5), (1, 5, 9)] {
+        let params = FischerParams::ints(1, a, b, big_b);
+        let v = fischer::verify(&params);
+        let bounds = params.solo_entry_bounds();
+        println!(
+            "{:<14} {:<14} {:<14} {:<10} {}",
+            format!("({a},{b},{big_b})"),
+            bounds.to_string(),
+            format!("[{}, {}]", v.solo_entry.earliest_pi, v.solo_entry.latest_armed),
+            if v.solo_mapping.passed() { "PASS" } else { "FAIL" },
+            if v.all_passed() { "OK" } else { "MISMATCH" },
+        );
+        assert!(v.all_passed());
+    }
+
+    println!("\nzone checker and the a < b frontier agree on all 16 grid points");
+}

@@ -1,0 +1,155 @@
+//! Quickstart: model a tiny timed system, state a timing requirement, and
+//! verify it three ways — by trace checking, by the zone-based model
+//! checker, and by the paper's mapping method (using the canonical mapping
+//! of the completeness theorem, so no hand-written inequalities needed).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use tempo_core::completeness::{CanonicalMapping, ExhaustiveOracle};
+use tempo_core::mapping::{MappingChecker, RunPlan};
+use tempo_core::{
+    project, satisfies, time_ab, Boundmap, EarliestScheduler, LatestScheduler, RandomScheduler,
+    TimeIoa, Timed, TimingCondition,
+};
+use tempo_ioa::{Ioa, Partition, Signature};
+use tempo_math::{Interval, Rat};
+use tempo_zones::ZoneChecker;
+
+/// Step 1 — an I/O automaton: a pedestrian button and a traffic light.
+/// `press` is always possible; after a press, `walk` turns the light.
+#[derive(Debug)]
+struct Crossing {
+    sig: Signature<&'static str>,
+    part: Partition<&'static str>,
+}
+
+impl Crossing {
+    fn new() -> Crossing {
+        let sig = Signature::new(vec![], vec!["press", "walk"], vec![]).unwrap();
+        let part = Partition::new(
+            &sig,
+            vec![("BUTTON", vec!["press"]), ("LIGHT", vec!["walk"])],
+        )
+        .unwrap();
+        Crossing { sig, part }
+    }
+}
+
+impl Ioa for Crossing {
+    type State = bool; // requested?
+    type Action = &'static str;
+
+    fn signature(&self) -> &Signature<&'static str> {
+        &self.sig
+    }
+    fn partition(&self) -> &Partition<&'static str> {
+        &self.part
+    }
+    fn initial_states(&self) -> Vec<bool> {
+        vec![false]
+    }
+    fn post(&self, requested: &bool, a: &&'static str) -> Vec<bool> {
+        match (*a, *requested) {
+            ("press", false) => vec![true],
+            ("walk", true) => vec![false],
+            _ => vec![],
+        }
+    }
+}
+
+fn main() {
+    // Step 2 — timing assumptions, as a boundmap: a press comes within
+    // [0, 10] of being possible; the light reacts within [1, 3].
+    let aut = Arc::new(Crossing::new());
+    let boundmap = Boundmap::by_name(
+        aut.as_ref(),
+        vec![
+            ("BUTTON", Interval::closed(Rat::ZERO, Rat::from(10)).unwrap()),
+            ("LIGHT", Interval::closed(Rat::ONE, Rat::from(3)).unwrap()),
+        ],
+    )
+    .unwrap();
+    let timed = Timed::new(aut, boundmap).unwrap();
+    println!("System: pedestrian crossing (press ∈ [0,10], walk ∈ [1,3] after press)\n");
+
+    // Step 3 — a timing requirement: every press is answered by a walk
+    // within [1, 3].
+    let requirement: TimingCondition<bool, &str> =
+        TimingCondition::new("RESPONSE", Interval::closed(Rat::ONE, Rat::from(3)).unwrap())
+            .triggered_by_step(|_, a, _| *a == "press")
+            .on_actions(|a| *a == "walk");
+
+    // Verification 1 — trace checking: simulate and check Definition 2.2.
+    let impl_aut: TimeIoa<Crossing> = time_ab(&timed);
+    let mut all_ok = true;
+    for seed in 0..10u64 {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), 40);
+        let seq = project(&run);
+        if satisfies(&seq, &requirement).is_err() {
+            all_ok = false;
+        }
+    }
+    let (run, _) = impl_aut.generate(&mut EarliestScheduler::new(), 40);
+    all_ok &= satisfies(&project(&run), &requirement).is_ok();
+    let (run, _) = impl_aut.generate(&mut LatestScheduler::new(), 40);
+    all_ok &= satisfies(&project(&run), &requirement).is_ok();
+    println!("1. trace checking   : 12 runs, all satisfy RESPONSE … {}", verdict(all_ok));
+
+    // Verification 2 — symbolic: the zone checker proves the bound exactly.
+    let zone = ZoneChecker::new(&timed)
+        .verify_condition(&requirement)
+        .expect("non-overlapping triggers");
+    println!(
+        "2. zone checker     : response time ∈ [{}, {}] exactly … {}",
+        zone.earliest_pi,
+        zone.latest_armed,
+        verdict(zone.satisfies(requirement.bounds()))
+    );
+
+    // Verification 3 — the paper's method: a strong possibilities mapping
+    // from time(A, b) to time(A, {RESPONSE}). We let the completeness
+    // theorem construct it: the canonical sup/inf first-occurrence bounds.
+    let spec_aut = TimeIoa::new(Arc::clone(timed.automaton()), vec![requirement.clone()]);
+    let spec_conds = [requirement];
+    let oracle = ExhaustiveOracle::new(&impl_aut, 6);
+    let mapping = CanonicalMapping::new(oracle, &spec_conds);
+    let report = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &mapping,
+        &RunPlan {
+            random_runs: 8,
+            steps: 30,
+            seed: 7,
+        },
+    );
+    println!(
+        "3. mapping method   : canonical mapping, {} steps × {} spec states … {}",
+        report.steps_checked,
+        report.spec_states_checked,
+        verdict(report.passed())
+    );
+
+    // A sanity check in the other direction: a false claim is refuted.
+    let too_fast: TimingCondition<bool, &str> =
+        TimingCondition::new("TOO-FAST", Interval::closed(Rat::from(2), Rat::from(3)).unwrap())
+            .triggered_by_step(|_, a, _| *a == "press")
+            .on_actions(|a| *a == "walk");
+    let refuted = ZoneChecker::new(&timed).verify_condition(&too_fast).unwrap();
+    println!(
+        "\ncounter-check: claiming response ≥ 2 is refuted (walk can come at {})",
+        refuted.earliest_pi
+    );
+    assert!(!refuted.satisfies(too_fast.bounds()));
+    assert!(all_ok && report.passed());
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

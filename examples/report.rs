@@ -1,0 +1,106 @@
+//! Machine-readable experiment report: regenerates the EXPERIMENTS.md
+//! tables as a JSON document (exact rationals as strings).
+//!
+//! Run with: `cargo run --example report > results.json`
+
+use serde::Serialize;
+use tempo_math::Interval;
+use tempo_sim::GapStats;
+use tempo_systems::peterson::{self, PetersonParams};
+use tempo_systems::resource_manager::{self, Params};
+use tempo_systems::signal_relay::{self, RelayParams};
+use tempo_zones::CondVerdict;
+
+#[derive(Serialize)]
+struct Report {
+    paper: &'static str,
+    e1_resource_manager: Vec<E1Row>,
+    e2_signal_relay: Vec<E2Row>,
+    e7d_peterson_entry: Vec<PetersonRow>,
+}
+
+#[derive(Serialize)]
+struct E1Row {
+    params: String,
+    g1_paper: Interval,
+    g1_zone: CondVerdict,
+    g1_sim: GapStats,
+    g2_paper: Interval,
+    g2_zone: CondVerdict,
+    g2_sim: GapStats,
+    mapping_passed: bool,
+    lemma_4_1: bool,
+    all_passed: bool,
+}
+
+#[derive(Serialize)]
+struct E2Row {
+    params: String,
+    paper: Interval,
+    zone: CondVerdict,
+    sim: GapStats,
+    chain_levels: usize,
+    chain_passed: bool,
+    all_passed: bool,
+}
+
+#[derive(Serialize)]
+struct PetersonRow {
+    params: String,
+    entry: CondVerdict,
+}
+
+fn main() {
+    let mut report = Report {
+        paper: "Lynch & Attiya, Using Mappings to Prove Timing Properties (PODC 1990)",
+        e1_resource_manager: Vec::new(),
+        e2_signal_relay: Vec::new(),
+        e7d_peterson_entry: Vec::new(),
+    };
+
+    for params in [
+        Params::ints(1, 2, 3, 1).unwrap(),
+        Params::ints(2, 2, 3, 1).unwrap(),
+        Params::ints(3, 2, 5, 1).unwrap(),
+    ] {
+        let v = resource_manager::verify(&params);
+        report.e1_resource_manager.push(E1Row {
+            params: format!("k={} c=[{},{}] l={}", params.k, params.c1, params.c2, params.l),
+            g1_paper: params.g1_bounds(),
+            g1_zone: v.zone_g1.clone(),
+            g1_sim: v.sim_first.clone(),
+            g2_paper: params.g2_bounds(),
+            g2_zone: v.zone_g2.clone(),
+            g2_sim: v.sim_gap.clone(),
+            mapping_passed: v.mapping_report.passed(),
+            lemma_4_1: v.lemma_4_1,
+            all_passed: v.all_passed(),
+        });
+    }
+
+    for (n, d1, d2) in [(2, 1, 2), (3, 1, 2), (4, 1, 3)] {
+        let params = RelayParams::ints(n, d1, d2).unwrap();
+        let v = signal_relay::verify(&params);
+        report.e2_signal_relay.push(E2Row {
+            params: format!("n={n} d=[{d1},{d2}]"),
+            paper: params.u0n_bounds(),
+            zone: v.zone_u0n.clone(),
+            sim: v.sim_delay.clone(),
+            chain_levels: v.chain_reports.len(),
+            chain_passed: v.chain_reports.iter().all(|r| r.passed()),
+            all_passed: v.all_passed(),
+        });
+    }
+
+    for (e, a) in [(0, 1), (0, 2), (1, 3)] {
+        report.e7d_peterson_entry.push(PetersonRow {
+            params: format!("e={e} a={a}"),
+            entry: peterson::entry_verdict(&PetersonParams::ints(e, a), 0),
+        });
+    }
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+}

@@ -1,0 +1,206 @@
+//! Cross-method consistency: for every system and bound in this
+//! repository, the three verification paths must brace one another —
+//! `zone.earliest ≤ sim.min ≤ sim.max ≤ zone.latest`, mapping verdicts
+//! agree with zone verdicts, and the general `time(A, U)` construction
+//! agrees with the §3.2 special case along real runs.
+
+use tempo_core::{project, time_ab, update_time_ab, RandomScheduler};
+use tempo_math::TimeVal;
+use tempo_sim::GapStats;
+use tempo_systems::resource_manager::{self, Params, RmAction};
+use tempo_systems::signal_relay::{self, RelayParams};
+use tempo_systems::two_event_chain::{self, ChainParams};
+
+/// Zone extremes bracket simulated extremes on the resource manager.
+#[test]
+fn zone_brackets_simulation_rm() {
+    let params = Params::ints(3, 2, 4, 1).unwrap();
+    let v = resource_manager::verify(&params);
+    let lo = v.zone_g1.earliest_pi;
+    let hi = v.zone_g1.latest_armed;
+    assert!(TimeVal::from(v.sim_first.min.unwrap()) >= lo);
+    assert!(TimeVal::from(v.sim_first.max.unwrap()) <= hi);
+    let lo2 = v.zone_g2.earliest_pi;
+    let hi2 = v.zone_g2.latest_armed;
+    assert!(TimeVal::from(v.sim_gap.min.unwrap()) >= lo2);
+    assert!(TimeVal::from(v.sim_gap.max.unwrap()) <= hi2);
+}
+
+/// Same bracketing on the relay and the chain.
+#[test]
+fn zone_brackets_simulation_relay_and_chain() {
+    let params = RelayParams::ints(3, 1, 3).unwrap();
+    let v = signal_relay::verify(&params);
+    if let (Some(lo), Some(hi)) = (v.sim_delay.min, v.sim_delay.max) {
+        assert!(TimeVal::from(lo) >= v.zone_u0n.earliest_pi);
+        assert!(TimeVal::from(hi) <= v.zone_u0n.latest_armed);
+    }
+    let params = ChainParams::ints((0, 2), (1, 3), (2, 4));
+    let v = two_event_chain::verify(&params);
+    if let (Some(lo), Some(hi)) = (v.sim_delay.min, v.sim_delay.max) {
+        assert!(TimeVal::from(lo) >= v.zone.earliest_pi);
+        assert!(TimeVal::from(hi) <= v.zone.latest_armed);
+    }
+}
+
+/// The zone-exact latest time is *attained* by the completion events too
+/// (`latest_pi == latest_armed` for these deadline-driven systems).
+#[test]
+fn latest_completion_attains_supremum() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let v = resource_manager::verify(&params);
+    assert_eq!(v.zone_g1.latest_pi, v.zone_g1.latest_armed);
+    assert_eq!(v.zone_g2.latest_pi, v.zone_g2.latest_armed);
+}
+
+/// The general `time(A, U_b)` update and the §3.2 specialized rules agree
+/// on every step of real system runs (both examples).
+#[test]
+fn general_vs_special_update_on_real_systems() {
+    // Resource manager.
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let aut = time_ab(&timed);
+    for seed in 0..6 {
+        let (run, _) = aut.generate(&mut RandomScheduler::new(seed), 50);
+        for (pre, a, t, post) in run.step_triples() {
+            let special = update_time_ab(
+                timed.automaton().as_ref(),
+                timed.boundmap(),
+                pre,
+                a,
+                t,
+                &post.base,
+            );
+            assert_eq!(post, &special, "divergence at ({a:?}, {t})");
+        }
+    }
+    // Relay.
+    let params = RelayParams::ints(3, 1, 2).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    let aut = time_ab(&timed);
+    for seed in 0..6 {
+        let (run, _) = aut.generate(&mut RandomScheduler::new(seed), 12);
+        for (pre, a, t, post) in run.step_triples() {
+            let special = update_time_ab(
+                timed.automaton().as_ref(),
+                timed.boundmap(),
+                pre,
+                a,
+                t,
+                &post.base,
+            );
+            assert_eq!(post, &special);
+        }
+    }
+}
+
+/// Determinized measurement: two ensembles with the same seed produce
+/// identical statistics (full reproducibility of the experiment tables).
+#[test]
+fn experiments_are_reproducible() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let a = resource_manager::verify(&params);
+    let b = resource_manager::verify(&params);
+    assert_eq!(a.sim_first, b.sim_first);
+    assert_eq!(a.sim_gap, b.sim_gap);
+    assert_eq!(a.zone_g1.earliest_pi, b.zone_g1.earliest_pi);
+    assert_eq!(
+        a.mapping_report.steps_checked,
+        b.mapping_report.steps_checked
+    );
+}
+
+/// The sim statistics derive from projections faithfully: recomputing
+/// first-GRANT stats from raw runs matches the harness's numbers.
+#[test]
+fn stats_match_raw_projection() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let impl_aut = time_ab(&timed);
+    let runs = tempo_sim::Ensemble::new(24, 100).collect(&impl_aut);
+    let expected = GapStats::first(&runs, |a| *a == RmAction::Grant);
+    let v = resource_manager::verify(&params);
+    assert_eq!(v.sim_first, expected);
+    // Spot check: first-grant of the earliest run equals k·c1.
+    let first_run = &runs[0];
+    let first = first_run
+        .timed_schedule()
+        .into_iter()
+        .find(|(a, _)| *a == RmAction::Grant)
+        .map(|(_, t)| t)
+        .unwrap();
+    assert_eq!(first, params.c1.scale(params.k as i128));
+    let _ = project(&impl_aut.generate(&mut RandomScheduler::new(0), 5).0);
+}
+
+/// Lemma 4.2, executable: the resource manager's timed executions are all
+/// infinite (symbolic progress check passes); the relay's are not (it
+/// deadlocks after delivery), which is exactly why §6 dummifies before
+/// applying the mapping theorem — and the dummified relay is live.
+#[test]
+fn lemma_4_2_progress() {
+    use tempo_math::Interval;
+    use tempo_zones::{Progress, ZoneChecker};
+
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let manager = resource_manager::system(&params);
+    let verdict = ZoneChecker::new(&manager).check_progress().unwrap();
+    assert!(verdict.is_live(), "{verdict:?}");
+
+    let relay = signal_relay::relay_line(&RelayParams::ints(2, 1, 2).unwrap());
+    let verdict = ZoneChecker::new(&relay).check_progress().unwrap();
+    match verdict {
+        Progress::Deadlock { state } => {
+            assert!(state.iter().all(|f| !f), "halts after delivery");
+        }
+        other => panic!("the relay must deadlock, got {other:?}"),
+    }
+
+    let dummified = tempo_core::dummify(
+        &relay,
+        Interval::closed(tempo_math::Rat::ONE, tempo_math::Rat::from(2)).unwrap(),
+    )
+    .unwrap();
+    let verdict = ZoneChecker::new(&dummified).check_progress().unwrap();
+    assert!(verdict.is_live(), "dummification restores liveness");
+}
+
+/// MMT equivalence of viewpoints (paper §2.2, footnote 2): building the
+/// resource manager as a *composition of timed automata* yields exactly
+/// the same verified bounds as the monolithic `(A, b)` of §4.
+#[test]
+fn composed_timed_viewpoint_agrees() {
+    use tempo_core::{compose_timed, Boundmap};
+    use tempo_math::Interval;
+    use tempo_systems::resource_manager::{g1, g2, Clock, Manager};
+    use tempo_zones::ZoneChecker;
+
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let clock_bounds = Boundmap::from_intervals(vec![
+        Interval::new(params.c1, params.c2.into()).unwrap()
+    ]);
+    let manager_bounds = Boundmap::from_intervals(vec![
+        Interval::new(tempo_math::Rat::ZERO, params.l.into()).unwrap()
+    ]);
+    let composed = compose_timed(
+        Clock::new(),
+        &clock_bounds,
+        Manager::new(params.k),
+        &manager_bounds,
+    )
+    .unwrap();
+    let via_composition = ZoneChecker::new(&composed)
+        .verify_condition(&g1(&params))
+        .unwrap();
+    let monolithic = resource_manager::system(&params);
+    let via_monolith = ZoneChecker::new(&monolithic)
+        .verify_condition(&g1(&params))
+        .unwrap();
+    assert_eq!(via_composition.earliest_pi, via_monolith.earliest_pi);
+    assert_eq!(via_composition.latest_armed, via_monolith.latest_armed);
+    let g2c = ZoneChecker::new(&composed).verify_condition(&g2(&params)).unwrap();
+    let g2m = ZoneChecker::new(&monolithic).verify_condition(&g2(&params)).unwrap();
+    assert_eq!(g2c.earliest_pi, g2m.earliest_pi);
+    assert_eq!(g2c.latest_armed, g2m.latest_armed);
+}

@@ -1,0 +1,200 @@
+//! E1 — cross-crate verification of the paper's §4 resource manager:
+//! paper formulas vs zone checker vs simulation vs mapping method, across
+//! a parameter sweep.
+
+use tempo_core::mapping::{MappingChecker, RunPlan};
+use tempo_core::{time_ab, SatisfactionMode};
+use tempo_math::{Rat, TimeVal};
+use tempo_sim::{audit_runs, Ensemble, GapStats};
+use tempo_systems::resource_manager::{
+    self, g1, g2, requirements_automaton, Params, RmAction, RmMapping,
+};
+use tempo_zones::ZoneChecker;
+
+fn sweep() -> Vec<Params> {
+    vec![
+        Params::ints(1, 2, 2, 1).unwrap(),
+        Params::ints(2, 2, 3, 1).unwrap(),
+        Params::ints(3, 2, 5, 1).unwrap(),
+        Params::ints(4, 3, 3, 2).unwrap(),
+        Params::new(2, Rat::new(3, 2), Rat::new(7, 3), Rat::new(1, 2)).unwrap(),
+    ]
+}
+
+/// E1a/E1b: the zone checker reproduces both paper formulas exactly.
+#[test]
+fn zone_bounds_match_paper_formulas() {
+    for params in sweep() {
+        let timed = resource_manager::system(&params);
+        let zone = ZoneChecker::new(&timed);
+        let v1 = zone.verify_condition(&g1(&params)).unwrap();
+        assert_eq!(
+            v1.earliest_pi,
+            TimeVal::from(params.g1_bounds().lo()),
+            "G1 lower, {params:?}"
+        );
+        assert_eq!(v1.latest_armed, params.g1_bounds().hi(), "G1 upper, {params:?}");
+        let v2 = zone.verify_condition(&g2(&params)).unwrap();
+        assert_eq!(
+            v2.earliest_pi,
+            TimeVal::from(params.g2_bounds().lo()),
+            "G2 lower, {params:?}"
+        );
+        assert_eq!(v2.latest_armed, params.g2_bounds().hi(), "G2 upper, {params:?}");
+    }
+}
+
+/// E1d: the §4.3 mapping passes the step-correspondence check (Lemma 4.3).
+#[test]
+fn section_4_3_mapping_verifies() {
+    for params in sweep() {
+        let timed = resource_manager::system(&params);
+        let impl_aut = time_ab(&timed);
+        let spec_aut = requirements_automaton(&timed, &params);
+        let report = MappingChecker::new().check(
+            &impl_aut,
+            &spec_aut,
+            &RmMapping::new(params.clone()),
+            &RunPlan {
+                random_runs: 10,
+                steps: 90,
+                seed: 0xE1A,
+            },
+        );
+        assert!(report.passed(), "{params:?}: {:?}", report.violations.first());
+    }
+}
+
+/// E1c: Lemma 4.1 holds along simulated predictive states, and its first
+/// half (TIMER ≥ 0) holds over the zone-reachable base states.
+#[test]
+fn lemma_4_1_both_ways() {
+    for params in sweep() {
+        let timed = resource_manager::system(&params);
+        let impl_aut = time_ab(&timed);
+        assert!(resource_manager::check_lemma_4_1_on_runs(
+            &params, &impl_aut, 16, 120
+        ));
+        let violation = ZoneChecker::new(&timed)
+            .check_invariant(|s| s.1 >= 0)
+            .unwrap();
+        assert_eq!(violation, None, "{params:?}");
+    }
+}
+
+/// The timing assumptions are essential for Lemma 4.1: untimed
+/// reachability (no boundmap) reaches TIMER < 0.
+#[test]
+fn untimed_reachability_violates_timer_invariant() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let aut = resource_manager::untimed(&params);
+    let outcome = tempo_ioa::check_invariant(
+        &aut,
+        &tempo_ioa::Explorer::new().with_max_states(50),
+        |s: &((), i64)| s.1 >= 0,
+    );
+    assert!(
+        !outcome.holds(),
+        "without timing, ticks can pass a pending grant"
+    );
+}
+
+/// Every simulated run (random + extremal) semi-satisfies G1 and G2, and
+/// the observed gaps stay within the proved intervals.
+#[test]
+fn simulation_within_proved_bounds() {
+    for params in sweep() {
+        let timed = resource_manager::system(&params);
+        let impl_aut = time_ab(&timed);
+        let runs = Ensemble::new(20, 120).collect(&impl_aut);
+        let audit = audit_runs(&runs, &[g1(&params), g2(&params)]);
+        assert!(audit.passed(), "{params:?}: {audit}");
+        let first = GapStats::first(&runs, |a| *a == RmAction::Grant);
+        assert!(first.count > 0);
+        assert!(params.g1_bounds().contains(first.min.unwrap()), "{params:?}");
+        assert!(params.g1_bounds().contains(first.max.unwrap()), "{params:?}");
+        let gaps = GapStats::between(
+            &runs,
+            |a| *a == RmAction::Grant,
+            |a| *a == RmAction::Grant,
+        );
+        assert!(gaps.count > 0);
+        assert!(params.g2_bounds().contains(gaps.min.unwrap()), "{params:?}");
+        assert!(params.g2_bounds().contains(gaps.max.unwrap()), "{params:?}");
+    }
+}
+
+/// Extremal schedulers attain the exact extremes of G1 (rush ⇒ k·c1;
+/// the upper end is approached within the LOCAL slack `l`).
+#[test]
+fn extremal_schedulers_touch_bounds() {
+    let params = Params::ints(3, 2, 4, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let impl_aut = time_ab(&timed);
+    let mut rush = tempo_sim::TargetRushScheduler::new(|a: &RmAction| *a == RmAction::Grant);
+    let (run, _) = impl_aut.generate(&mut rush, 60);
+    let seq = tempo_core::project(&run);
+    let first = seq
+        .timed_schedule()
+        .into_iter()
+        .find(|(a, _)| *a == RmAction::Grant)
+        .map(|(_, t)| t)
+        .unwrap();
+    assert_eq!(first, Rat::from(6), "rush attains k·c1");
+
+    let mut delay =
+        tempo_sim::TargetDelayScheduler::new(impl_aut.clone(), |a: &RmAction| *a == RmAction::Grant);
+    let (run, _) = impl_aut.generate(&mut delay, 60);
+    let seq = tempo_core::project(&run);
+    let first = seq
+        .timed_schedule()
+        .into_iter()
+        .find(|(a, _)| *a == RmAction::Grant)
+        .map(|(_, t)| t)
+        .unwrap();
+    // k·c2 ≤ observed ≤ k·c2 + l.
+    assert!(first >= Rat::from(12) && first <= Rat::from(13), "got {first}");
+}
+
+/// Definition 2.1 check: extremal runs are timed executions of (A, b).
+#[test]
+fn runs_are_timed_executions() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let impl_aut = time_ab(&timed);
+    for seed in 0..8 {
+        let mut sched = tempo_core::RandomScheduler::new(seed);
+        let (run, _) = impl_aut.generate(&mut sched, 80);
+        let seq = tempo_core::project(&run);
+        assert_eq!(
+            tempo_core::check_timed_execution(&seq, &timed, SatisfactionMode::Prefix),
+            Ok(()),
+            "seed {seed}"
+        );
+    }
+}
+
+/// **Exhaustive** verification of the §4.3 mapping: every reachable
+/// corner-quotient state of `time(A, b)` is expanded and the Definition
+/// 3.2 obligations hold at each — a complete mechanical case analysis,
+/// not a sampled one.
+#[test]
+fn section_4_3_mapping_verifies_exhaustively() {
+    for params in [Params::ints(2, 2, 3, 1).unwrap(), Params::ints(3, 2, 5, 1).unwrap()] {
+        let timed = resource_manager::system(&params);
+        let impl_aut = time_ab(&timed);
+        let spec_aut = requirements_automaton(&timed, &params);
+        let report = MappingChecker::new().check_exhaustive(
+            &impl_aut,
+            &spec_aut,
+            &RmMapping::new(params.clone()),
+            200_000,
+        );
+        assert!(report.passed(), "{params:?}: {:?}", report.violations.first());
+        assert!(
+            report.steps_checked > 20,
+            "expected a nontrivial quotient space, got {} steps",
+            report.steps_checked
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! E2 — cross-crate verification of the paper's §6 signal relay: the
+//! hierarchical mapping chain, the exact `U_{0,n}` bound, Lemma 6.1, and
+//! the Theorem 6.4 claim (`beh(α) ∈ Q`) on generated behaviors.
+
+use tempo_core::{dummify, project, time_ab, undum, RandomScheduler};
+use tempo_ioa::{ActionKind, Ioa};
+use tempo_math::{Interval, Rat, TimeVal};
+use tempo_systems::signal_relay::{self, u_kn, RelayParams, Sig};
+use tempo_zones::ZoneChecker;
+
+/// E2a: the zone bound equals `[n·d1, n·d2]` across a sweep.
+#[test]
+fn zone_bounds_match_paper_formula() {
+    for (n, d1, d2) in [(1, 1, 2), (2, 1, 2), (3, 2, 2), (4, 1, 3), (5, 0, 2)] {
+        let params = RelayParams::ints(n, d1, d2).unwrap();
+        let timed = signal_relay::relay_line(&params);
+        let v = ZoneChecker::new(&timed)
+            .verify_condition(&u_kn(0, &params))
+            .unwrap();
+        let bounds = params.u0n_bounds();
+        assert_eq!(v.earliest_pi, TimeVal::from(bounds.lo()), "n={n}");
+        assert_eq!(v.latest_armed, bounds.hi(), "n={n}");
+    }
+}
+
+/// E2a (intermediate levels): every `U_{k,n}` is itself exact.
+#[test]
+fn intermediate_bounds_are_exact() {
+    let params = RelayParams::ints(4, 1, 3).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    for k in 0..4 {
+        let v = ZoneChecker::new(&timed)
+            .verify_condition(&u_kn(k, &params))
+            .unwrap();
+        let bounds = params.u_kn_bounds(k);
+        assert_eq!(v.earliest_pi, TimeVal::from(bounds.lo()), "k={k}");
+        assert_eq!(v.latest_armed, bounds.hi(), "k={k}");
+    }
+}
+
+/// E2b: the mapping chain verifies at every level (Lemma 6.2 +
+/// Corollary 6.3), for several line lengths.
+#[test]
+fn hierarchy_chain_verifies() {
+    for n in [1, 2, 3, 5] {
+        let params = RelayParams::ints(n, 1, 2).unwrap();
+        let timed = signal_relay::relay_line(&params);
+        let reports = signal_relay::check_chain(&params, &timed);
+        assert_eq!(reports.len(), n + 1);
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.passed(), "n={n} level {i}: {:?}", r.violations.first());
+        }
+    }
+}
+
+/// Theorem 6.4, observed: every generated behavior is in `Q` — at most
+/// one SIGNAL_n per SIGNAL_0, delayed by a value in `[n·d1, n·d2]`.
+#[test]
+fn behaviors_lie_in_q() {
+    let params = RelayParams::ints(3, 1, 2).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    let dummified = dummify(&timed, Interval::closed(Rat::ONE, Rat::ONE).unwrap()).unwrap();
+    let impl_aut = time_ab(&dummified);
+    let bounds = params.u0n_bounds();
+    let mut deliveries = 0;
+    for seed in 0..24 {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), 60);
+        let seq = undum(&project(&run));
+        // Timed behavior = external (SIGNAL_0, SIGNAL_n) events only.
+        let beh = seq.timed_behavior(timed.automaton().as_ref());
+        let starts: Vec<Rat> = beh.iter().filter(|(a, _)| a.0 == 0).map(|(_, t)| *t).collect();
+        let ends: Vec<Rat> = beh.iter().filter(|(a, _)| a.0 == 3).map(|(_, t)| *t).collect();
+        assert!(starts.len() <= 1, "SIGNAL_0 fires at most once");
+        assert!(ends.len() <= starts.len(), "no delivery without a send");
+        if let (Some(t0), Some(tn)) = (starts.first(), ends.first()) {
+            assert!(bounds.contains(*tn - *t0), "delay {} outside {bounds}", *tn - *t0);
+            deliveries += 1;
+        }
+    }
+    assert!(deliveries > 0, "some run must complete the relay");
+}
+
+/// Lemma 6.1 over the full reachable space, plus the signature shape the
+/// paper fixes (only SIGNAL_0 and SIGNAL_n external).
+#[test]
+fn structure_and_lemma_6_1() {
+    let params = RelayParams::ints(4, 1, 2).unwrap();
+    let aut = signal_relay::relay_untimed(&params);
+    let outcome = tempo_ioa::check_invariant(
+        &aut,
+        &tempo_ioa::Explorer::new(),
+        |s: &Vec<bool>| s.iter().filter(|f| **f).count() <= 1,
+    );
+    assert!(outcome.holds());
+    assert_eq!(aut.signature().kind_of(&Sig(0)), Some(ActionKind::Output));
+    assert_eq!(aut.signature().kind_of(&Sig(4)), Some(ActionKind::Output));
+    for i in 1..4 {
+        assert_eq!(aut.signature().kind_of(&Sig(i)), Some(ActionKind::Internal));
+    }
+}
+
+/// A deliberately broken relay (one hop slower than claimed) must fail
+/// both the zone check and the chain.
+#[test]
+fn broken_relay_detected() {
+    use std::sync::Arc;
+    use tempo_core::{Boundmap, Timed};
+    // Build the n = 2 line but give SIGNAL_2's class looser bounds than
+    // the per-hop claim.
+    let params = RelayParams::ints(2, 1, 2).unwrap();
+    let aut = Arc::new(signal_relay::relay_untimed(&params));
+    let b = Boundmap::from_intervals(vec![
+        Interval::unbounded_above(Rat::ZERO),
+        Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+        Interval::closed(Rat::ONE, Rat::from(5)).unwrap(), // slow hop!
+    ]);
+    let slow = Timed::new(aut, b).unwrap();
+    let v = ZoneChecker::new(&slow)
+        .verify_condition(&u_kn(0, &params))
+        .unwrap();
+    assert!(!v.satisfies(params.u0n_bounds()));
+    assert_eq!(v.latest_armed, TimeVal::from(Rat::from(7))); // 2 + 5
+}
+
+/// Exhaustive verification of the relay hierarchy: each mapping level is
+/// checked over the full corner-quotient state space of its source
+/// automaton (dummified, so the space is finite and live).
+#[test]
+fn hierarchy_verifies_exhaustively() {
+    use std::sync::Arc;
+    use tempo_core::mapping::MappingChecker;
+    use tempo_core::{dummify, time_ab, TimeIoa};
+    use tempo_systems::signal_relay::{
+        bottom_mapping, intermediate_automaton, lifted_u_kn, top_mapping, HierarchyMapping,
+    };
+
+    let params = RelayParams::ints(3, 1, 2).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    let dummified = dummify(&timed, Interval::closed(Rat::ONE, Rat::from(2)).unwrap()).unwrap();
+    let checker = MappingChecker::new();
+    let cap = 400_000;
+
+    // Top.
+    let impl_top = time_ab(&dummified);
+    let spec_top = intermediate_automaton(params.n - 1, &params, &dummified);
+    let report = checker.check_exhaustive(&impl_top, &spec_top, &top_mapping(&params), cap);
+    assert!(report.passed(), "top: {:?}", report.violations.first());
+
+    // f_k levels.
+    for k in (1..params.n).rev() {
+        let impl_k = intermediate_automaton(k, &params, &dummified);
+        let spec_k = intermediate_automaton(k - 1, &params, &dummified);
+        let report = checker.check_exhaustive(
+            &impl_k,
+            &spec_k,
+            &HierarchyMapping::new(k, &params),
+            cap,
+        );
+        assert!(report.passed(), "f_{k}: {:?}", report.violations.first());
+    }
+
+    // Bottom.
+    let impl_0 = intermediate_automaton(0, &params, &dummified);
+    let spec_b = TimeIoa::new(
+        Arc::clone(dummified.automaton()),
+        vec![lifted_u_kn(0, &params)],
+    );
+    let report = checker.check_exhaustive(&impl_0, &spec_b, &bottom_mapping(), cap);
+    assert!(report.passed(), "bottom: {:?}", report.violations.first());
+}

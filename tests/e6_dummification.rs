@@ -1,0 +1,123 @@
+//! E6 — dummification (paper §5), executable forms of Lemmas 5.1–5.3:
+//! dummified systems never halt, `undum` recovers base timed executions,
+//! and lifted conditions are satisfied exactly when the originals are.
+
+use tempo_core::{
+    check_timed_execution, dummify, lift_condition, project, semi_satisfies, time_ab, undum,
+    DummyAction, EarliestScheduler, RandomScheduler, RunError, SatisfactionMode,
+};
+use tempo_math::{Interval, Rat};
+use tempo_systems::signal_relay::{self, RelayParams};
+use tempo_systems::two_event_chain::{self, ChainAction, ChainParams};
+
+fn null_iv() -> Interval {
+    Interval::closed(Rat::ONE, Rat::from(2)).unwrap()
+}
+
+/// Lemma 5.1: the dummified relay never deadlocks, for any scheduler.
+#[test]
+fn dummified_runs_are_unbounded() {
+    let params = RelayParams::ints(3, 1, 2).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    // The plain relay halts.
+    let plain = time_ab(&timed);
+    let (_, reason) = plain.generate(&mut EarliestScheduler::new(), 100);
+    assert_eq!(reason, RunError::Deadlock);
+    // The dummified relay runs forever (to any budget) and time diverges.
+    let dummified = dummify(&timed, null_iv()).unwrap();
+    let aut = time_ab(&dummified);
+    for seed in 0..8 {
+        let (run, reason) = aut.generate(&mut RandomScheduler::new(seed), 120);
+        assert_eq!(reason, RunError::MaxSteps, "seed {seed}");
+        assert!(run.t_end() > Rat::from(30), "time diverges, got {}", run.t_end());
+    }
+}
+
+/// Lemma 5.2: `undum` of a dummified timed execution is a timed execution
+/// of the original `(A, b)`.
+#[test]
+fn undum_recovers_base_executions() {
+    let params = RelayParams::ints(2, 1, 3).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    let dummified = dummify(&timed, null_iv()).unwrap();
+    let aut = time_ab(&dummified);
+    for seed in 0..12 {
+        let (run, _) = aut.generate(&mut RandomScheduler::new(seed), 80);
+        let dummy_seq = project(&run);
+        // The dummified sequence is a timed execution of (Ã, b̃)…
+        assert!(
+            check_timed_execution(&dummy_seq, &dummified, SatisfactionMode::Prefix).is_ok(),
+            "seed {seed}"
+        );
+        // …and its undum is one of (A, b).
+        let base_seq = undum(&dummy_seq);
+        assert!(
+            check_timed_execution(&base_seq, &timed, SatisfactionMode::Prefix).is_ok(),
+            "seed {seed}"
+        );
+        // undum removes exactly the NULL events.
+        let nulls = dummy_seq
+            .timed_schedule()
+            .iter()
+            .filter(|(a, _)| matches!(a, DummyAction::Null))
+            .count();
+        assert_eq!(base_seq.len() + nulls, dummy_seq.len());
+    }
+}
+
+/// Lemma 5.3: a dummified execution satisfies `Ũ` iff its undum satisfies
+/// `U` (semi-satisfaction on prefixes).
+#[test]
+fn lifted_condition_satisfaction_agrees() {
+    let params = ChainParams::ints((0, 4), (1, 3), (2, 4));
+    let timed = two_event_chain::chain_system(&params);
+    let cond = two_event_chain::chain_condition(&params);
+    let lifted = lift_condition(&cond);
+    let dummified = dummify(&timed, null_iv()).unwrap();
+    let aut = time_ab(&dummified);
+    for seed in 0..16 {
+        let (run, _) = aut.generate(&mut RandomScheduler::new(seed), 60);
+        let dummy_seq = project(&run);
+        let base_seq = undum(&dummy_seq);
+        assert_eq!(
+            semi_satisfies(&dummy_seq, &lifted).is_ok(),
+            semi_satisfies(&base_seq, &cond).is_ok(),
+            "seed {seed}"
+        );
+        // On honest runs both are in fact satisfied.
+        assert!(semi_satisfies(&base_seq, &cond).is_ok());
+    }
+}
+
+/// Dummification leaves the base behavior alone: the non-NULL projection
+/// of a dummified run is a plain chain run event-for-event.
+#[test]
+fn base_events_undisturbed() {
+    let params = ChainParams::ints((0, 2), (1, 2), (1, 2));
+    let timed = two_event_chain::chain_system(&params);
+    let dummified = dummify(&timed, null_iv()).unwrap();
+    let aut = time_ab(&dummified);
+    let (run, _) = aut.generate(&mut RandomScheduler::new(5), 60);
+    let base_seq = undum(&project(&run));
+    let actions: Vec<ChainAction> = base_seq.timed_schedule().iter().map(|(a, _)| *a).collect();
+    // The chain fires in order, each at most once.
+    let expected = [ChainAction::Pi, ChainAction::Phi, ChainAction::Psi];
+    assert!(actions.len() <= 3);
+    assert_eq!(&expected[..actions.len()], &actions[..]);
+}
+
+/// The NULL interval is arbitrary: different choices leave base timed
+/// executions valid.
+#[test]
+fn null_interval_is_immaterial() {
+    let params = RelayParams::ints(2, 1, 2).unwrap();
+    let timed = signal_relay::relay_line(&params);
+    for (n1, n2) in [(1i64, 1i64), (1, 5), (3, 4)] {
+        let iv = Interval::closed(Rat::from(n1), Rat::from(n2)).unwrap();
+        let dummified = dummify(&timed, iv).unwrap();
+        let aut = time_ab(&dummified);
+        let (run, _) = aut.generate(&mut RandomScheduler::new(9), 60);
+        let base_seq = undum(&project(&run));
+        assert!(check_timed_execution(&base_seq, &timed, SatisfactionMode::Prefix).is_ok());
+    }
+}

@@ -1,0 +1,201 @@
+//! E7 — the extension systems: the two-event chain (§8), the
+//! request-driven manager (§4 footnote), and Fischer mutual exclusion.
+
+use tempo_math::{Interval, Rat, TimeVal};
+use tempo_systems::fischer::{self, FischerParams, Pc};
+use tempo_systems::request_manager::{self, response_bounds};
+use tempo_systems::resource_manager::Params;
+use tempo_systems::two_event_chain::{self, ChainParams};
+
+/// E7a: the chain's composed bound `[l1+l2, u1+u2]` holds three ways,
+/// across parameters.
+#[test]
+fn chain_bounds_across_parameters() {
+    for (p, phi, psi) in [
+        ((0, 3), (1, 2), (1, 2)),
+        ((2, 9), (0, 4), (3, 3)),
+        ((0, 1), (5, 7), (2, 6)),
+    ] {
+        let params = ChainParams::ints(p, phi, psi);
+        let v = two_event_chain::verify(&params);
+        let bounds = params.chain_bounds();
+        assert!(v.all_passed(), "{params:?}: {:?}", v.mapping_report.violations.first());
+        assert_eq!(v.zone.earliest_pi, TimeVal::from(bounds.lo()), "{params:?}");
+        assert_eq!(v.zone.latest_armed, bounds.hi(), "{params:?}");
+    }
+}
+
+/// E7a (negative): corrupting the mapping's case analysis is caught.
+#[test]
+fn chain_mapping_wrong_offset_detected() {
+    use std::sync::Arc;
+    use tempo_core::mapping::{
+        CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan, SpecRegion,
+    };
+    use tempo_core::{cond_of_class, dummify, lift_condition, time_ab, TimeIoa, TimedState};
+    use tempo_systems::two_event_chain::{chain_condition, chain_system, ChainPhase};
+
+    let params = ChainParams::ints((0, 3), (1, 2), (1, 2));
+    let timed = chain_system(&params);
+    let dummified = dummify(&timed, Interval::closed(Rat::ONE, Rat::from(2)).unwrap()).unwrap();
+    let impl_aut = time_ab(&dummified);
+    let spec_aut = TimeIoa::new(
+        Arc::clone(dummified.automaton()),
+        vec![
+            lift_condition(&chain_condition(&params)),
+            cond_of_class(
+                dummified.automaton(),
+                dummified.boundmap(),
+                tempo_ioa::ClassId(3),
+            ),
+        ],
+    );
+
+    /// Claims the ψ-pending phase still has a whole φ-hop of slack.
+    struct WrongMapping;
+    impl PossibilitiesMapping<ChainPhase, tempo_core::DummyAction<two_event_chain::ChainAction>>
+        for WrongMapping
+    {
+        fn region(&self, s: &TimedState<ChainPhase>) -> SpecRegion {
+            let wrong = match s.base {
+                ChainPhase::AwaitingPsi => CondConstraint::Window {
+                    ft_max: TimeVal::from(s.ft[2] + Rat::from(1)), // inflated
+                    lt_min: s.lt[2] + Rat::from(2),                // inflated
+                },
+                _ => CondConstraint::Window {
+                    ft_max: TimeVal::ZERO,
+                    lt_min: TimeVal::INFINITY,
+                },
+            };
+            SpecRegion::new(vec![wrong, CondConstraint::EqualTo(3)])
+        }
+    }
+
+    let report = MappingChecker::new().check(
+        &impl_aut,
+        &spec_aut,
+        &WrongMapping,
+        &RunPlan {
+            random_runs: 8,
+            steps: 40,
+            seed: 17,
+        },
+    );
+    assert!(!report.passed());
+}
+
+/// E7b: the request-driven manager's phase-uncertain bound, swept.
+#[test]
+fn request_manager_bounds() {
+    for (k, c1, c2, l) in [(1, 2, 3, 1), (2, 2, 3, 1), (3, 3, 4, 2)] {
+        let params = Params::ints(k, c1, c2, l).unwrap();
+        let v = request_manager::verify(&params);
+        let bounds = response_bounds(&params);
+        assert!(v.all_passed(), "k={k}");
+        assert_eq!(v.zone.earliest_pi, TimeVal::from(bounds.lo()), "k={k}");
+        assert_eq!(v.zone.latest_armed, bounds.hi(), "k={k}");
+    }
+}
+
+/// E7b: the lower bound genuinely differs from G1's — by exactly c1.
+#[test]
+fn request_manager_loses_one_c1() {
+    let params = Params::ints(3, 2, 3, 1).unwrap();
+    let rq = request_manager::verify(&params);
+    assert_eq!(
+        TimeVal::from(params.g1_bounds().lo()),
+        rq.zone.earliest_pi + params.c1,
+        "REQUEST can land just before a tick"
+    );
+    // Upper bounds agree.
+    assert_eq!(params.g1_bounds().hi(), rq.zone.latest_armed);
+}
+
+/// E7c: the Fischer safety frontier is exactly `a < b` on a grid, and the
+/// violation witness is a genuine double-critical state.
+#[test]
+fn fischer_safety_frontier() {
+    for a in 1..=3i64 {
+        for b in 1..=3i64 {
+            let params = FischerParams::ints(2, a, b, b + 1);
+            let violation = fischer::check_mutual_exclusion(&params).unwrap();
+            if a < b {
+                assert_eq!(violation, None, "a={a} b={b} must be safe");
+            } else {
+                let w = violation.unwrap_or_else(|| panic!("a={a} b={b} must be unsafe"));
+                assert_eq!(w.pcs.iter().filter(|pc| **pc == Pc::Crit).count(), 2);
+            }
+        }
+    }
+}
+
+/// E7c: three processes, still safe under `a < b`.
+#[test]
+fn fischer_three_processes_safe() {
+    let params = FischerParams::ints(3, 1, 3, 5);
+    assert_eq!(fischer::check_mutual_exclusion(&params).unwrap(), None);
+}
+
+/// E7c: the solo entry bound, via both methods, swept.
+#[test]
+fn fischer_solo_entry_bounds() {
+    for (a, b, big_b) in [(1, 2, 2), (1, 2, 4), (3, 4, 7)] {
+        let params = FischerParams::ints(1, a, b, big_b);
+        let v = fischer::verify(&params);
+        assert!(v.all_passed(), "a={a} b={b} B={big_b}: {:?}", v.solo_mapping.violations.first());
+        let bounds = params.solo_entry_bounds();
+        assert_eq!(v.solo_entry.earliest_pi, TimeVal::from(bounds.lo()));
+        assert_eq!(v.solo_entry.latest_armed, bounds.hi());
+    }
+}
+
+/// Exhaustive verification of the extension mappings: the two-event
+/// chain's direct mapping and Fischer's solo-entry mapping hold over
+/// their entire corner-quotient state spaces.
+#[test]
+fn extension_mappings_verify_exhaustively() {
+    use std::sync::Arc;
+    use tempo_core::mapping::MappingChecker;
+    use tempo_core::{cond_of_class, dummify, lift_condition, time_ab, TimeIoa};
+
+    // Two-event chain (dummified; the chain halts after ψ).
+    let params = ChainParams::ints((0, 3), (1, 2), (1, 2));
+    let timed = two_event_chain::chain_system(&params);
+    let dummified =
+        dummify(&timed, Interval::closed(Rat::ONE, Rat::from(2)).unwrap()).unwrap();
+    let impl_aut = time_ab(&dummified);
+    let spec_aut = TimeIoa::new(
+        Arc::clone(dummified.automaton()),
+        vec![
+            lift_condition(&two_event_chain::chain_condition(&params)),
+            cond_of_class(
+                dummified.automaton(),
+                dummified.boundmap(),
+                tempo_ioa::ClassId(3),
+            ),
+        ],
+    );
+    let report = MappingChecker::new().check_exhaustive(
+        &impl_aut,
+        &spec_aut,
+        &two_event_chain::ChainMapping::new(&params),
+        200_000,
+    );
+    assert!(report.passed(), "chain: {:?}", report.violations.first());
+
+    // Fischer solo entry (the process cycles forever; no dummy needed).
+    let fparams = FischerParams::ints(1, 1, 2, 4);
+    let ftimed = fischer::fischer_system(&fparams);
+    let fimpl = time_ab(&ftimed);
+    let fspec = TimeIoa::new(
+        Arc::clone(ftimed.automaton()),
+        vec![fischer::solo_entry_condition(&fparams)],
+    );
+    let report = MappingChecker::new().check_exhaustive(
+        &fimpl,
+        &fspec,
+        &fischer::SoloEntryMapping::new(&fparams),
+        200_000,
+    );
+    assert!(report.passed(), "fischer: {:?}", report.violations.first());
+}

@@ -1,0 +1,152 @@
+//! Property tests over randomly drawn system parameters: the paper's
+//! bound formulas hold for *every* valid parameterization, simulated runs
+//! never escape the proved intervals, and the trace-checking machinery is
+//! internally consistent.
+
+use proptest::prelude::*;
+use tempo_core::{project, time_ab, u_b, RandomScheduler, SatisfactionMode};
+use tempo_math::{Rat, TimeVal};
+use tempo_sim::{audit_runs, Ensemble, GapStats};
+use tempo_systems::resource_manager::{self, g1, g2, Params, RmAction};
+use tempo_systems::signal_relay::{self, u_kn, RelayParams, Sig};
+use tempo_zones::ZoneChecker;
+
+fn rm_params() -> impl Strategy<Value = Params> {
+    // k ∈ [1, 4]; c1 = l + δ with l ∈ [1, 4], δ ∈ [1, 3]; c2 = c1 + [0, 4].
+    (1u32..=4, 1i64..=4, 1i64..=3, 0i64..=4).prop_map(|(k, l, delta, spread)| {
+        let c1 = l + delta;
+        Params::ints(k, c1, c1 + spread, l).expect("constructed to be valid")
+    })
+}
+
+fn relay_params() -> impl Strategy<Value = RelayParams> {
+    (1usize..=4, 0i64..=3, 1i64..=3)
+        .prop_map(|(n, d1, spread)| RelayParams::ints(n, d1, d1 + spread).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// E1 for arbitrary valid parameters: zone == paper formulas.
+    #[test]
+    fn rm_zone_bounds_equal_formulas(params in rm_params()) {
+        let timed = resource_manager::system(&params);
+        let zone = ZoneChecker::new(&timed);
+        let v1 = zone.verify_condition(&g1(&params)).unwrap();
+        prop_assert_eq!(v1.earliest_pi, TimeVal::from(params.g1_bounds().lo()));
+        prop_assert_eq!(v1.latest_armed, params.g1_bounds().hi());
+        let v2 = zone.verify_condition(&g2(&params)).unwrap();
+        prop_assert_eq!(v2.earliest_pi, TimeVal::from(params.g2_bounds().lo()));
+        prop_assert_eq!(v2.latest_armed, params.g2_bounds().hi());
+    }
+
+    /// Simulated manager runs always stay inside the proved intervals.
+    #[test]
+    fn rm_simulation_inside_bounds(params in rm_params(), seed in 0u64..1000) {
+        let timed = resource_manager::system(&params);
+        let impl_aut = time_ab(&timed);
+        let runs = Ensemble::new(4, 80).with_seed(seed).collect(&impl_aut);
+        let audit = audit_runs(&runs, &[g1(&params), g2(&params)]);
+        prop_assert!(audit.passed(), "{}", audit);
+        let first = GapStats::first(&runs, |a| *a == RmAction::Grant);
+        if let (Some(lo), Some(hi)) = (first.min, first.max) {
+            prop_assert!(params.g1_bounds().contains(lo));
+            prop_assert!(params.g1_bounds().contains(hi));
+        }
+    }
+
+    /// Lemma 4.1 along random runs, for arbitrary parameters.
+    #[test]
+    fn rm_lemma_4_1(params in rm_params(), seed in 0u64..1000) {
+        let impl_aut = time_ab(&resource_manager::system(&params));
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = impl_aut.generate(&mut sched, 60);
+        for s in run.states() {
+            prop_assert!(resource_manager::lemma_4_1(&params, s), "{s:?}");
+        }
+    }
+
+    /// E2 for arbitrary valid parameters: zone == n·[d1, d2].
+    #[test]
+    fn relay_zone_bounds_equal_formulas(params in relay_params()) {
+        let timed = signal_relay::relay_line(&params);
+        let v = ZoneChecker::new(&timed)
+            .verify_condition(&u_kn(0, &params))
+            .unwrap();
+        prop_assert_eq!(v.earliest_pi, TimeVal::from(params.u0n_bounds().lo()));
+        prop_assert_eq!(v.latest_armed, params.u0n_bounds().hi());
+    }
+
+    /// Relay deliveries observed in simulation respect n·[d1, d2].
+    #[test]
+    fn relay_simulation_inside_bounds(params in relay_params(), seed in 0u64..1000) {
+        let timed = signal_relay::relay_line(&params);
+        let dummified = tempo_core::dummify(
+            &timed,
+            tempo_math::Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
+        ).unwrap();
+        let impl_aut = time_ab(&dummified);
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = impl_aut.generate(&mut sched, 30 + 10 * params.n);
+        let seq = tempo_core::undum(&project(&run));
+        let sched_events = seq.timed_schedule();
+        let t0 = sched_events.iter().find(|(a, _)| a.0 == 0).map(|(_, t)| *t);
+        let tn = sched_events
+            .iter()
+            .find(|(a, _)| a.0 == params.n)
+            .map(|(_, t)| *t);
+        if let (Some(t0), Some(tn)) = (t0, tn) {
+            prop_assert!(params.u0n_bounds().contains(tn - t0), "delay {}", tn - t0);
+        }
+        // And the run is a timed execution (Definition 2.1).
+        prop_assert!(tempo_core::check_timed_execution(
+            &seq, &timed, SatisfactionMode::Prefix
+        ).is_ok());
+    }
+
+    /// Lemma 2.1 equivalence on random manager runs with random
+    /// time-compression: the direct Definition 2.1 check and the U_b
+    /// condition check agree.
+    #[test]
+    fn lemma_2_1_agreement_under_compression(
+        params in rm_params(),
+        seed in 0u64..1000,
+        num in 1i128..=8,
+    ) {
+        let timed = resource_manager::system(&params);
+        let conds = u_b(timed.automaton(), timed.boundmap());
+        let impl_aut = time_ab(&timed);
+        let mut sched = RandomScheduler::new(seed);
+        let (run, _) = impl_aut.generate(&mut sched, 40);
+        let seq = project(&run);
+        // Compress times by num/8 (possibly the identity).
+        let factor = Rat::new(num, 8);
+        let mut warped = tempo_core::TimedSequence::new(*seq.first_state());
+        for (_, a, t, post) in seq.step_triples() {
+            warped.push(*a, t * factor, *post);
+        }
+        let direct = tempo_core::check_timed_execution(
+            &warped, &timed, SatisfactionMode::Prefix
+        ).is_ok();
+        let via = conds.iter().all(|c| tempo_core::semi_satisfies(&warped, c).is_ok());
+        prop_assert_eq!(direct, via);
+    }
+
+    /// Relay hierarchies of random shape verify at every level.
+    #[test]
+    fn relay_chain_verifies(params in relay_params()) {
+        let timed = signal_relay::relay_line(&params);
+        let reports = signal_relay::check_chain(&params, &timed);
+        for (i, r) in reports.iter().enumerate() {
+            prop_assert!(r.passed(), "level {i}: {:?}", r.violations.first());
+        }
+    }
+}
+
+/// Non-proptest sanity companion: Sig ordering is by index (used by the
+/// stats filters above).
+#[test]
+fn sig_is_ordered_by_index() {
+    assert!(Sig(0) < Sig(1));
+    assert_eq!(Sig(3), Sig(3));
+}
