@@ -7,9 +7,7 @@ use tempo_bench::rm_sweep;
 use tempo_core::mapping::{MappingChecker, RunPlan};
 use tempo_core::time_ab;
 use tempo_sim::Ensemble;
-use tempo_systems::resource_manager::{
-    g1, g2, requirements_automaton, system, RmMapping,
-};
+use tempo_systems::resource_manager::{g1, g2, requirements_automaton, system, RmMapping};
 use tempo_zones::ZoneChecker;
 
 fn bench_zone(c: &mut Criterion) {

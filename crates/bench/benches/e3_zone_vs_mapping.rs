@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tempo_bench::rm_fixture;
 use tempo_core::mapping::{MappingChecker, RunPlan};
 use tempo_core::{
-    check_timed_execution, project, semi_satisfies, time_ab, u_b, RandomScheduler,
-    SatisfactionMode,
+    check_timed_execution, project, semi_satisfies, time_ab, u_b, RandomScheduler, SatisfactionMode,
 };
 use tempo_systems::resource_manager::{g1, g2, requirements_automaton, Params, RmMapping};
 use tempo_zones::ZoneChecker;
@@ -36,8 +35,12 @@ fn bench_methods_head_to_head(c: &mut Criterion) {
     });
     group.bench_function("zone_check_k4", |b| {
         b.iter(|| {
-            let v1 = ZoneChecker::new(&timed).verify_condition(&g1(&params)).unwrap();
-            let v2 = ZoneChecker::new(&timed).verify_condition(&g2(&params)).unwrap();
+            let v1 = ZoneChecker::new(&timed)
+                .verify_condition(&g1(&params))
+                .unwrap();
+            let v2 = ZoneChecker::new(&timed)
+                .verify_condition(&g2(&params))
+                .unwrap();
             v1.stats.expanded + v2.stats.expanded
         })
     });
@@ -70,9 +73,7 @@ fn bench_exhaustive_vs_sampled(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_checker_modes");
     group.bench_function("exhaustive_quotient", |b| {
         b.iter(|| {
-            let r = MappingChecker::new().check_exhaustive(
-                &impl_aut, &spec_aut, &mapping, 100_000,
-            );
+            let r = MappingChecker::new().check_exhaustive(&impl_aut, &spec_aut, &mapping, 100_000);
             assert!(r.passed());
             r.spec_states_checked
         })

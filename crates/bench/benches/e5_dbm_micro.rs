@@ -69,5 +69,10 @@ fn bench_inclusion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_canonicalize, bench_step_pipeline, bench_inclusion);
+criterion_group!(
+    benches,
+    bench_canonicalize,
+    bench_step_pipeline,
+    bench_inclusion
+);
 criterion_main!(benches);

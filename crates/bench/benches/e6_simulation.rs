@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tempo_bench::{relay_fixture, rm_fixture};
-use tempo_core::{
-    dummify, time_ab, EarliestScheduler, LatestScheduler, RandomScheduler,
-};
+use tempo_core::{dummify, time_ab, EarliestScheduler, LatestScheduler, RandomScheduler};
 use tempo_math::{Interval, Rat};
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -38,11 +36,7 @@ fn bench_schedulers(c: &mut Criterion) {
 fn bench_dummification_overhead(c: &mut Criterion) {
     let timed = relay_fixture(4);
     let plain = time_ab(&timed);
-    let dummified = dummify(
-        &timed,
-        Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
-    )
-    .unwrap();
+    let dummified = dummify(&timed, Interval::closed(Rat::ONE, Rat::from(2)).unwrap()).unwrap();
     let dummy_aut = time_ab(&dummified);
 
     let mut group = c.benchmark_group("e6_dummification");

@@ -1,0 +1,106 @@
+//! E8 — streaming monitor throughput.
+//!
+//! Two questions from EXPERIMENTS.md:
+//!
+//! 1. How much faster is the incremental online monitor than re-running
+//!    the offline checker after every event (the naive way to get a
+//!    per-event verdict)? The offline re-check is `O(n^2)` over the
+//!    stream, the monitor `O(n)` with `O(open obligations)` per event.
+//! 2. How does `MonitorPool` behave when a fixed event budget is split
+//!    across 1 / 4 / 16 concurrent streams?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_core::{semi_satisfies, SatisfactionMode, TimedSequence, TimingCondition};
+use tempo_math::{Interval, Rat};
+use tempo_monitor::{Monitor, MonitorPool, PoolConfig};
+
+/// Request/response bound over the synthetic pulse stream below: every
+/// `go` step must be answered by a `done` within `[1, 3]` time units.
+fn pulse_condition() -> TimingCondition<u32, &'static str> {
+    TimingCondition::new("PULSE", Interval::closed(Rat::ONE, Rat::from(3)).unwrap())
+        .triggered_by_step(|_, a, _| *a == "go")
+        .on_actions(|a| *a == "done")
+}
+
+/// A satisfying `go`/`done` pulse train: `n` events, one per time unit,
+/// so every response lands exactly one unit after its request.
+fn pulse_stream(n: usize) -> TimedSequence<u32, &'static str> {
+    let mut seq = TimedSequence::new(0u32);
+    for i in 0..n {
+        let a = if i % 2 == 0 { "go" } else { "done" };
+        seq.push(a, Rat::from(i as i64), (i + 1) as u32);
+    }
+    seq
+}
+
+/// Online monitor over the whole stream vs offline `semi_satisfies`
+/// re-run on every prefix (what "checking after each event" costs
+/// without an incremental monitor).
+fn bench_online_vs_offline(c: &mut Criterion) {
+    let cond = pulse_condition();
+    let conds = [cond.clone()];
+    let mut group = c.benchmark_group("e8_single_stream");
+    for n in [1_000usize, 10_000] {
+        let seq = pulse_stream(n);
+        group.bench_with_input(BenchmarkId::new("online", n), &seq, |b, seq| {
+            b.iter(|| {
+                let mut mon = Monitor::new(&conds, seq.first_state());
+                for (_, a, t, post) in seq.step_triples() {
+                    let v = mon.observe(a, t, post);
+                    assert!(v.is_ok());
+                }
+                mon.finish(SatisfactionMode::Prefix).is_empty()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("offline_recheck", n), &seq, |b, seq| {
+            b.iter(|| {
+                let mut prefix = TimedSequence::new(*seq.first_state());
+                let mut ok = true;
+                for (_, a, t, post) in seq.step_triples() {
+                    prefix.push(*a, t, *post);
+                    ok &= semi_satisfies(&prefix, &cond).is_ok();
+                }
+                ok
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A fixed budget of 16k events split evenly across 1 / 4 / 16 pool
+/// streams (4 workers throughout), measured end to end including pool
+/// spawn and shutdown.
+fn bench_pool_scaling(c: &mut Criterion) {
+    let conds = [pulse_condition()];
+    const TOTAL: usize = 16_000;
+    let mut group = c.benchmark_group("e8_pool_scaling");
+    for streams in [1usize, 4, 16] {
+        let seq = pulse_stream(TOTAL / streams);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(streams),
+            &streams,
+            |b, &streams| {
+                b.iter(|| {
+                    let mut pool = MonitorPool::new(&conds, PoolConfig::default());
+                    let mut handles: Vec<_> = (0..streams)
+                        .map(|_| pool.open_stream(*seq.first_state()))
+                        .collect();
+                    for (_, a, t, post) in seq.step_triples() {
+                        for h in &mut handles {
+                            h.send(*a, t, *post).expect("block policy never fails");
+                        }
+                    }
+                    for h in handles {
+                        h.finish();
+                    }
+                    let report = pool.shutdown();
+                    assert!(report.passed());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_vs_offline, bench_pool_scaling);
+criterion_main!(benches);

@@ -232,8 +232,7 @@ mod tests {
     impl TwoClass {
         fn new() -> TwoClass {
             let sig = Signature::new(vec![], vec!["x", "y"], vec![]).unwrap();
-            let part =
-                Partition::new(&sig, vec![("X", vec!["x"]), ("Y", vec!["y"])]).unwrap();
+            let part = Partition::new(&sig, vec![("X", vec!["x"]), ("Y", vec!["y"])]).unwrap();
             TwoClass { sig, part }
         }
     }

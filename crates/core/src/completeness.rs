@@ -244,7 +244,12 @@ pub struct SampledOracle<'a, M: Ioa> {
 impl<'a, M: Ioa> SampledOracle<'a, M> {
     /// Creates an oracle drawing `samples` random extensions of `horizon`
     /// steps each.
-    pub fn new(aut: &'a TimeIoa<M>, samples: u64, horizon: usize, seed: u64) -> SampledOracle<'a, M> {
+    pub fn new(
+        aut: &'a TimeIoa<M>,
+        samples: u64,
+        horizon: usize,
+        seed: u64,
+    ) -> SampledOracle<'a, M> {
         SampledOracle {
             aut,
             samples,
@@ -264,9 +269,7 @@ impl<M: Ioa> FirstOracle<M::State, M::Action> for SampledOracle<'_, M> {
         let mut inf = None;
         for i in 0..self.samples {
             let mut sched = RandomScheduler::new(self.seed.wrapping_add(i));
-            let (run, _) = self
-                .aut
-                .generate_from(s.clone(), &mut sched, self.horizon);
+            let (run, _) = self.aut.generate_from(s.clone(), &mut sched, self.horizon);
             let projected = crate::run::project(&run);
             match first_u(&projected, s.now, cond) {
                 Some(t) => join_sup(&mut sup, TimeVal::from(t)),
@@ -295,7 +298,10 @@ pub struct CanonicalMapping<'a, O, S, A> {
 
 impl<'a, O, S, A> CanonicalMapping<'a, O, S, A> {
     /// Builds the canonical mapping toward the given spec conditions.
-    pub fn new(oracle: O, spec_conds: &'a [TimingCondition<S, A>]) -> CanonicalMapping<'a, O, S, A> {
+    pub fn new(
+        oracle: O,
+        spec_conds: &'a [TimingCondition<S, A>],
+    ) -> CanonicalMapping<'a, O, S, A> {
         CanonicalMapping { oracle, spec_conds }
     }
 }
@@ -348,7 +354,10 @@ mod tests {
         seq.push("noise", Rat::ONE, 1);
         seq.push("fire", Rat::from(3), 2);
         assert_eq!(first_u(&seq, Rat::ZERO, &cond), Some(Rat::from(3)));
-        assert_eq!(first_pi_u(&seq, Rat::ZERO, &cond), FirstPi::At(Rat::from(3)));
+        assert_eq!(
+            first_pi_u(&seq, Rat::ZERO, &cond),
+            FirstPi::At(Rat::from(3))
+        );
         // S-state first.
         let mut seq: TimedSequence<u8, &str> = TimedSequence::new(0);
         seq.push("noise", Rat::from(2), 9);

@@ -93,9 +93,7 @@ mod tests {
     use std::sync::Arc;
 
     use super::*;
-    use crate::{
-        check_timed_execution, project, time_ab, RandomScheduler, SatisfactionMode,
-    };
+    use crate::{check_timed_execution, project, time_ab, RandomScheduler, SatisfactionMode};
     use tempo_ioa::{Partition, Signature};
     use tempo_math::{Interval, Rat};
 
@@ -199,8 +197,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(composed.boundmap().len(), 2);
-        assert_eq!(composed.boundmap().interval(tempo_ioa::ClassId(0)), iv(1, 2));
-        assert_eq!(composed.boundmap().interval(tempo_ioa::ClassId(1)), iv(1, 3));
+        assert_eq!(
+            composed.boundmap().interval(tempo_ioa::ClassId(0)),
+            iv(1, 2)
+        );
+        assert_eq!(
+            composed.boundmap().interval(tempo_ioa::ClassId(1)),
+            iv(1, 3)
+        );
         let part = composed.automaton().partition();
         assert_eq!(part.class_name(tempo_ioa::ClassId(0)), "PUT");
         assert_eq!(part.class_name(tempo_ioa::ClassId(1)), "ACK");
@@ -253,7 +257,10 @@ mod tests {
         seq.push("shared", Rat::from(3), (2, 2));
         let mine = seq.component_projection(|s| s.0, |a| *a != "theirs");
         assert_eq!(mine.len(), 2);
-        assert_eq!(mine.timed_schedule(), vec![("mine", Rat::ONE), ("shared", Rat::from(3))]);
+        assert_eq!(
+            mine.timed_schedule(),
+            vec![("mine", Rat::ONE), ("shared", Rat::from(3))]
+        );
         assert_eq!(mine.states().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 

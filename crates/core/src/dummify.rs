@@ -50,7 +50,9 @@ impl<M: Ioa> Dummy<M> {
     /// Wraps `base` with a dummy component.
     pub fn new(base: Arc<M>) -> Dummy<M> {
         let lift = |it: Vec<&M::Action>| -> Vec<DummyAction<M::Action>> {
-            it.into_iter().map(|a| DummyAction::Base(a.clone())).collect()
+            it.into_iter()
+                .map(|a| DummyAction::Base(a.clone()))
+                .collect()
         };
         let inner = base.signature();
         let mut outputs = lift(inner.outputs().collect());
@@ -122,7 +124,10 @@ impl<M: Ioa> Ioa for Dummy<M> {
 ///
 /// Panics if `null_interval` is unbounded above — the dummy must tick at a
 /// finite rate for Lemma 5.1 (all timed executions infinite) to hold.
-pub fn dummify<M>(timed: &Timed<M>, null_interval: Interval) -> Result<Timed<Dummy<M>>, BoundmapError>
+pub fn dummify<M>(
+    timed: &Timed<M>,
+    null_interval: Interval,
+) -> Result<Timed<Dummy<M>>, BoundmapError>
 where
     M: Ioa,
 {
@@ -246,7 +251,8 @@ mod tests {
         );
         assert_eq!(d.partition().len(), 2);
         assert_eq!(
-            d.partition().class_name(d.partition().class_of(&DummyAction::Null).unwrap()),
+            d.partition()
+                .class_name(d.partition().class_of(&DummyAction::Null).unwrap()),
             NULL_CLASS
         );
     }

@@ -106,9 +106,10 @@ pub use run::{
     project, EarliestScheduler, LatestScheduler, RandomScheduler, RunError, Scheduler, TimedRun,
 };
 pub use satisfaction::{
-    check_timed_execution, satisfies, semi_satisfies, SatisfactionMode, Violation, ViolationKind,
+    check_timed_execution, satisfies, semi_satisfies, violations, SatisfactionMode, Violation,
+    ViolationKind,
 };
 pub use sequence::TimedSequence;
 pub use special::update_time_ab;
 pub use time_ioa::{FireError, LiftError, TimeIoa, TimedState, Window};
-pub use ub::{cond_of_class, u_b, time_ab};
+pub use ub::{cond_of_class, time_ab, u_b};

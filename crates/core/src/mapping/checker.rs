@@ -9,9 +9,7 @@ use tempo_ioa::Ioa;
 use tempo_math::Rat;
 
 use crate::mapping::PossibilitiesMapping;
-use crate::{
-    EarliestScheduler, FireError, LatestScheduler, RandomScheduler, TimeIoa, TimedRun,
-};
+use crate::{EarliestScheduler, FireError, LatestScheduler, RandomScheduler, TimeIoa, TimedRun};
 
 /// How a mapping check failed.
 #[derive(Clone, Debug)]
@@ -370,7 +368,15 @@ impl MappingChecker {
                     for post_base in impl_aut.base().post(&s.base, &a) {
                         let post = impl_aut.update(&s, &a, t, &post_base);
                         self.check_one_step(
-                            spec_aut, mapping, &s, &a, t, &post, step_index, None, &mut report,
+                            spec_aut,
+                            mapping,
+                            &s,
+                            &a,
+                            t,
+                            &post,
+                            step_index,
+                            None,
+                            &mut report,
                         );
                         step_index += 1;
                         let q = quotient(&post, stale_floor);
@@ -486,22 +492,20 @@ mod tests {
 
     fn setup() -> (TimeIoa<Ticker>, TimeIoa<Ticker>) {
         let aut = Arc::new(Ticker::new());
-        let b = Boundmap::from_intervals(vec![Interval::closed(
-            Rat::ONE,
-            Rat::from(2),
-        )
-        .unwrap()]);
+        let b = Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2)).unwrap()]);
         let impl_aut = time_ab(&Timed::new(Arc::clone(&aut), b).unwrap());
         // Requirement: the second tick occurs at a time in [2, 4].
-        let req: TimingCondition<u32, &str> =
-            TimingCondition::new("SECOND", Interval::closed(Rat::from(2), Rat::from(4)).unwrap())
-                .triggered_at_start(|s| *s == 0)
-                .on_actions(|a| *a == "tick")
-                // Only the second tick matters: measurement is disabled
-                // once the count passes 1... but a disabling set may not
-                // overlap the trigger; instead bound "next tick after the
-                // first", triggered by the first tick.
-                .renamed("unused");
+        let req: TimingCondition<u32, &str> = TimingCondition::new(
+            "SECOND",
+            Interval::closed(Rat::from(2), Rat::from(4)).unwrap(),
+        )
+        .triggered_at_start(|s| *s == 0)
+        .on_actions(|a| *a == "tick")
+        // Only the second tick matters: measurement is disabled
+        // once the count passes 1... but a disabling set may not
+        // overlap the trigger; instead bound "next tick after the
+        // first", triggered by the first tick.
+        .renamed("unused");
         let _ = req;
         let req: TimingCondition<u32, &str> =
             TimingCondition::new("SECOND", Interval::closed(Rat::ONE, Rat::from(2)).unwrap())

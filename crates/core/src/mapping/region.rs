@@ -344,8 +344,9 @@ mod tests {
             assert!(region.contains(&s, c), "corner {c:?} must be a member");
         }
         // The extremal corner (ft = ft_max, lt = lt_min) is present.
-        assert!(corners.iter().any(|c| c.ft[0] == Rat::from(12)
-            && c.lt[0] == TimeVal::from(Rat::from(14))));
+        assert!(corners
+            .iter()
+            .any(|c| c.ft[0] == Rat::from(12) && c.lt[0] == TimeVal::from(Rat::from(14))));
         // The lax corner (ft = 0, lt = ∞) is present.
         assert!(corners
             .iter()

@@ -180,9 +180,7 @@ mod tests {
         let part = Partition::singletons(&sig).unwrap();
         let timed = Timed::new(
             std::sync::Arc::new(Tick { sig, part }),
-            Boundmap::from_intervals(vec![
-                Interval::closed(Rat::ONE, Rat::from(2)).unwrap()
-            ]),
+            Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2)).unwrap()]),
         )
         .unwrap();
         let aut = time_ab(&timed);

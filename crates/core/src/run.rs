@@ -337,9 +337,7 @@ mod tests {
 
     fn ticker_time_ab() -> (Arc<Ticker>, Boundmap, crate::TimeIoa<Ticker>) {
         let aut = Arc::new(Ticker::new());
-        let b = Boundmap::from_intervals(vec![
-            Interval::closed(Rat::ONE, Rat::from(2)).unwrap()
-        ]);
+        let b = Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2)).unwrap()]);
         let timed = Timed::new(Arc::clone(&aut), b.clone()).unwrap();
         let t = time_ab(&timed);
         (aut, b, t)
@@ -424,9 +422,7 @@ mod tests {
         let sig = Signature::new(vec![], vec!["fire"], vec![]).unwrap();
         let part = Partition::singletons(&sig).unwrap();
         let aut = Arc::new(OneShot { sig, part });
-        let b = Boundmap::from_intervals(vec![
-            Interval::closed(Rat::ZERO, Rat::ONE).unwrap()
-        ]);
+        let b = Boundmap::from_intervals(vec![Interval::closed(Rat::ZERO, Rat::ONE).unwrap()]);
         let timed = Timed::new(aut, b).unwrap();
         let t = time_ab(&timed);
         let (run, reason) = t.generate(&mut EarliestScheduler::new(), 10);

@@ -86,16 +86,52 @@ where
     check_condition(seq, cond, SatisfactionMode::Prefix)
 }
 
-fn check_condition<S, A>(
+/// Collects *every* violation of `cond` by `seq` — one per violated
+/// trigger (each trigger's first lower-bound violation, or its
+/// upper-bound violation), in trigger order.
+///
+/// [`satisfies`]/[`semi_satisfies`] report only the first of these; the
+/// full list is what an online monitor observing the same events must
+/// reproduce, which the `tempo-monitor` crate's property tests check.
+pub fn violations<S, A>(
     seq: &TimedSequence<S, A>,
     cond: &TimingCondition<S, A>,
     mode: SatisfactionMode,
-) -> Result<(), Violation>
+) -> Vec<Violation>
 where
     S: Clone + std::fmt::Debug,
     A: Clone + std::fmt::Debug,
 {
-    // Collect the trigger points: (trigger_index, trigger_time).
+    let mut out = Vec::new();
+    for (i, t_i) in collect_triggers(seq, cond) {
+        if let Err(v) = check_trigger(
+            seq,
+            cond.name(),
+            i,
+            t_i,
+            cond.lower(),
+            cond.upper(),
+            mode,
+            true,
+            |a| cond.in_pi(a),
+            |s| cond.in_disabling(s),
+        ) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The trigger points of `cond` along `seq`: (trigger_index,
+/// trigger_time), the start-state trigger first.
+fn collect_triggers<S, A>(
+    seq: &TimedSequence<S, A>,
+    cond: &TimingCondition<S, A>,
+) -> Vec<(usize, Rat)>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
     let mut triggers: Vec<(usize, Rat)> = Vec::new();
     if cond.in_t_start(seq.first_state()) {
         triggers.push((0, Rat::ZERO));
@@ -106,8 +142,19 @@ where
             triggers.push((i, t));
         }
     }
+    triggers
+}
 
-    for (i, t_i) in triggers {
+fn check_condition<S, A>(
+    seq: &TimedSequence<S, A>,
+    cond: &TimingCondition<S, A>,
+    mode: SatisfactionMode,
+) -> Result<(), Violation>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    for (i, t_i) in collect_triggers(seq, cond) {
         check_trigger(
             seq,
             cond.name(),
@@ -307,7 +354,10 @@ mod tests {
         assert!(matches!(
             satisfies(&s, &c),
             Err(Violation {
-                kind: ViolationKind::UpperBound { trigger_index: 0, .. },
+                kind: ViolationKind::UpperBound {
+                    trigger_index: 0,
+                    ..
+                },
                 ..
             })
         ));
@@ -383,11 +433,117 @@ mod tests {
 
     #[test]
     fn infinite_upper_bound_never_violated() {
-        let c: TimingCondition<u8, &str> = TimingCondition::new("C", Interval::unbounded_above(Rat::from(1)))
-            .triggered_at_start(|_| true)
-            .on_actions(|a| *a == "fire");
+        let c: TimingCondition<u8, &str> =
+            TimingCondition::new("C", Interval::unbounded_above(Rat::from(1)))
+                .triggered_at_start(|_| true)
+                .on_actions(|a| *a == "fire");
         let s = seq(&[("noise", 100, 1)]);
         assert!(satisfies(&s, &c).is_ok());
+    }
+
+    #[test]
+    fn upper_bound_exactly_at_deadline_serves() {
+        // fire at t = 4 = deadline: `t_j ≤ t_i + b_u` is inclusive.
+        let s = seq(&[("fire", 4, 1)]);
+        assert!(satisfies(&s, &cond(0, 4)).is_ok());
+        // One instant later is a violation.
+        let s2 = seq(&[("noise", 4, 1), ("fire", 5, 2)]);
+        assert!(satisfies(&s2, &cond(0, 4)).is_err());
+    }
+
+    #[test]
+    fn disabling_reset_mid_window() {
+        // Trigger at t=0 with window [5, 10]; the disabling state appears
+        // mid-window (t=2), after which an early fire (t=3 < 5) is
+        // excused — the reset must apply to *later* events only.
+        let c = TimingCondition::new("C", iv(5, 10))
+            .triggered_at_start(|s: &u8| *s == 0)
+            .on_actions(|a: &&str| *a == "fire")
+            .disabled_in(|s: &u8| *s == 9);
+        let s = seq(&[("noise", 1, 1), ("noise", 2, 9), ("fire", 3, 2)]);
+        assert!(satisfies(&s, &c).is_ok());
+        // An early fire *at* the event entering the disabling state is
+        // not excused: the post-state disables later events, not its own.
+        let s2 = seq(&[("noise", 1, 1), ("fire", 2, 9)]);
+        assert!(matches!(
+            satisfies(&s2, &c).unwrap_err().kind,
+            ViolationKind::LowerBound { event_index: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn infinite_upper_bound_excuses_complete_mode_too() {
+        // upper = ∞: no deadline exists, so even a "complete" sequence
+        // with no fire at all satisfies the condition.
+        let c: TimingCondition<u8, &str> =
+            TimingCondition::new("C", Interval::unbounded_above(Rat::ZERO))
+                .triggered_at_start(|_| true)
+                .on_actions(|a| *a == "fire");
+        let s = seq(&[("noise", 1_000_000, 1)]);
+        assert!(satisfies(&s, &c).is_ok());
+        assert!(violations(&s, &c, SatisfactionMode::Complete).is_empty());
+    }
+
+    #[test]
+    fn violations_lists_one_per_violated_trigger() {
+        // Every `go` re-triggers; both resulting windows are violated by
+        // early fires. `semi_satisfies` reports the first, `violations`
+        // reports both, in trigger order.
+        let c: TimingCondition<u8, &str> = TimingCondition::new("C", iv(2, 10))
+            .triggered_by_step(|_, a, _| *a == "go")
+            .on_actions(|a| *a == "fire");
+        let s = seq(&[
+            ("go", 1, 1),
+            ("fire", 2, 2), // violates trigger 1 (earliest 3)
+            ("go", 4, 1),
+            ("fire", 5, 2), // violates trigger 3 (earliest 6)
+        ]);
+        let all = violations(&s, &c, SatisfactionMode::Prefix);
+        assert_eq!(all.len(), 2);
+        assert!(matches!(
+            all[0].kind,
+            ViolationKind::LowerBound {
+                trigger_index: 1,
+                event_index: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            all[1].kind,
+            ViolationKind::LowerBound {
+                trigger_index: 3,
+                event_index: 4,
+                ..
+            }
+        ));
+        assert_eq!(semi_satisfies(&s, &c).unwrap_err(), all[0]);
+    }
+
+    #[test]
+    fn violations_mixes_lower_and_upper() {
+        // Trigger 0: early fire (lower). The same fire serves trigger 0's
+        // deadline; the re-trigger's deadline then expires (upper).
+        let c: TimingCondition<u8, &str> = TimingCondition::new("C", iv(2, 4))
+            .triggered_at_start(|s| *s == 0)
+            .triggered_by_step(|_, a, _| *a == "go")
+            .on_actions(|a| *a == "fire");
+        let s = seq(&[("fire", 1, 1), ("go", 2, 0), ("noise", 10, 1)]);
+        let all = violations(&s, &c, SatisfactionMode::Complete);
+        assert_eq!(all.len(), 2);
+        assert!(matches!(
+            all[0].kind,
+            ViolationKind::LowerBound {
+                trigger_index: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            all[1].kind,
+            ViolationKind::UpperBound {
+                trigger_index: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -201,10 +201,7 @@ mod tests {
         assert_eq!(seq.state(2), &2);
         assert_eq!(seq.event(1), (&"a", Rat::ONE));
         assert_eq!(seq.event(3), (&"c", Rat::from(3)));
-        assert_eq!(
-            seq.states().copied().collect::<Vec<_>>(),
-            vec![0, 1, 2, 3]
-        );
+        assert_eq!(seq.states().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
     }
 
     #[test]

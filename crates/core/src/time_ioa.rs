@@ -473,10 +473,7 @@ mod tests {
         assert_eq!(s0.now, Rat::ZERO);
         // GO is triggered at start: [1, 2]. DONE is not: defaults.
         assert_eq!(s0.ft, vec![Rat::ONE, Rat::ZERO]);
-        assert_eq!(
-            s0.lt,
-            vec![TimeVal::from(Rat::from(2)), TimeVal::INFINITY]
-        );
+        assert_eq!(s0.lt, vec![TimeVal::from(Rat::from(2)), TimeVal::INFINITY]);
         assert_eq!(aut.condition_index("GO"), Some(0));
         assert_eq!(aut.condition_index("DONE"), Some(1));
         assert_eq!(aut.condition_index("NOPE"), None);
@@ -515,7 +512,10 @@ mod tests {
                 condition: "GO".into()
             })
         );
-        assert_eq!(aut.fire(&s0, &"done", Rat::ONE), Err(FireError::BaseDisabled));
+        assert_eq!(
+            aut.fire(&s0, &"done", Rat::ONE),
+            Err(FireError::BaseDisabled)
+        );
 
         let s1 = aut.fire(&s0, &"go", Rat::new(3, 2)).unwrap().pop().unwrap();
         assert_eq!(s1.base, 1);
@@ -528,7 +528,10 @@ mod tests {
             vec![TimeVal::INFINITY, TimeVal::from(Rat::new(11, 2))]
         );
         // Time regression rejected.
-        assert_eq!(aut.fire(&s1, &"done", Rat::ONE), Err(FireError::TimeRegression));
+        assert_eq!(
+            aut.fire(&s1, &"done", Rat::ONE),
+            Err(FireError::TimeRegression)
+        );
     }
 
     #[test]

@@ -170,10 +170,7 @@ mod tests {
         let s1 = t.fire(&s0, &"a", Rat::from(2)).unwrap().pop().unwrap();
         // a's class is now disabled → defaults; b triggered: [5, 6].
         assert_eq!(s1.ft, vec![Rat::ZERO, Rat::from(5)]);
-        assert_eq!(
-            s1.lt,
-            vec![TimeVal::INFINITY, TimeVal::from(Rat::from(6))]
-        );
+        assert_eq!(s1.lt, vec![TimeVal::INFINITY, TimeVal::from(Rat::from(6))]);
         let w = t.window(&s1, &"b").unwrap();
         assert_eq!((w.lo, w.hi), (Rat::from(5), TimeVal::from(Rat::from(6))));
         let s2 = t.fire(&s1, &"b", Rat::from(6)).unwrap().pop().unwrap();

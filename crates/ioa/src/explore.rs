@@ -232,7 +232,7 @@ mod tests {
         assert!(w.validate(&aut).is_ok());
         assert_eq!(w.last_state(), &(true, true));
         assert_eq!(w.len(), 2); // shortest path flips each bit once
-        // Witness of an initial state is empty.
+                                // Witness of an initial state is empty.
         let w0 = report.witness(report.index_of(&(false, false)).unwrap());
         assert!(w0.is_empty());
     }

@@ -76,7 +76,7 @@ pub use compose::{Compose, CompositionError};
 pub use execution::{Execution, ExecutionError};
 pub use explore::{Explorer, ReachReport};
 pub use hide::Hide;
-pub use invariant::{check_invariant, check_input_enabled, InvariantOutcome};
+pub use invariant::{check_input_enabled, check_invariant, InvariantOutcome};
 pub use partition::{ClassId, Partition, PartitionError};
 pub use product::Product;
 pub use rename::{Relabel, Rename};

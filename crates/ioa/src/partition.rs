@@ -63,10 +63,16 @@ impl fmt::Display for PartitionError {
         match self {
             PartitionError::Overlap(a) => write!(f, "action {a} appears in two classes"),
             PartitionError::NotLocallyControlled(a) => {
-                write!(f, "action {a} is not a locally controlled action of the signature")
+                write!(
+                    f,
+                    "action {a} is not a locally controlled action of the signature"
+                )
             }
             PartitionError::Uncovered(a) => {
-                write!(f, "locally controlled action {a} is not covered by any class")
+                write!(
+                    f,
+                    "locally controlled action {a} is not covered by any class"
+                )
             }
             PartitionError::EmptyClass(c) => write!(f, "class {c} has no actions"),
         }
@@ -230,7 +236,10 @@ mod tests {
 
     #[test]
     fn rejects_overlap() {
-        let err = Partition::new(&sig(), vec![("A", vec!["o1"]), ("B", vec!["o1", "o2", "i1"])]);
+        let err = Partition::new(
+            &sig(),
+            vec![("A", vec!["o1"]), ("B", vec!["o1", "o2", "i1"])],
+        );
         assert!(matches!(err, Err(PartitionError::Overlap(_))));
     }
 

@@ -35,8 +35,7 @@ impl<P: Ioa> Product<P> {
             !components.is_empty(),
             "a product needs at least one component"
         );
-        let sigs: Vec<&Signature<P::Action>> =
-            components.iter().map(|c| c.signature()).collect();
+        let sigs: Vec<&Signature<P::Action>> = components.iter().map(|c| c.signature()).collect();
         let sig = compose_signatures(&sigs)?;
         let mut part = components[0].partition().clone();
         for c in &components[1..] {

@@ -50,8 +50,7 @@ where
         let inputs = map(sig_in.inputs().collect());
         let outputs = map(sig_in.outputs().collect());
         let internals = map(sig_in.internals().collect());
-        let sig =
-            Signature::new(inputs, outputs, internals).expect("relabeling must be injective");
+        let sig = Signature::new(inputs, outputs, internals).expect("relabeling must be injective");
         for a in sig_in.actions() {
             let round_trip = relabel
                 .backward(&relabel.forward(a))
@@ -98,7 +97,9 @@ where
     B::Out: Clone + Eq + Hash + fmt::Debug,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Rename").field("inner", &self.inner).finish()
+        f.debug_struct("Rename")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 

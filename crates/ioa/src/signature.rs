@@ -105,9 +105,7 @@ impl<A: Clone + Eq + Hash + fmt::Debug> Signature<A> {
 
     /// Iterates over actions of a given kind.
     pub fn of_kind(&self, kind: ActionKind) -> impl Iterator<Item = &A> {
-        self.actions
-            .iter()
-            .filter(move |a| self.kinds[*a] == kind)
+        self.actions.iter().filter(move |a| self.kinds[*a] == kind)
     }
 
     /// Iterates over input actions.

@@ -6,9 +6,7 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
-use tempo_ioa::{
-    ActionKind, Compose, Explorer, Hide, Ioa, Partition, Product, Signature,
-};
+use tempo_ioa::{ActionKind, Compose, Explorer, Hide, Ioa, Partition, Product, Signature};
 
 /// A small configurable component: counts its own output modulo `m`, and
 /// listens to a shared input that resets it.

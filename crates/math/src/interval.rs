@@ -53,7 +53,10 @@ impl fmt::Display for IntervalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IntervalError::Empty { lo, hi } => {
-                write!(f, "empty interval: lower bound {lo} exceeds upper bound {hi}")
+                write!(
+                    f,
+                    "empty interval: lower bound {lo} exceeds upper bound {hi}"
+                )
             }
             IntervalError::ZeroUpper => write!(f, "interval upper bound must be nonzero"),
             IntervalError::NegativeLower(lo) => {

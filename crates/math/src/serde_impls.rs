@@ -80,7 +80,11 @@ mod tests {
 
     #[test]
     fn timeval_round_trip() {
-        for t in [TimeVal::ZERO, TimeVal::INFINITY, TimeVal::from(Rat::new(5, 3))] {
+        for t in [
+            TimeVal::ZERO,
+            TimeVal::INFINITY,
+            TimeVal::from(Rat::new(5, 3)),
+        ] {
             assert_eq!(round_trip(&t), t);
         }
         assert_eq!(
@@ -95,10 +99,7 @@ mod tests {
         assert_eq!(round_trip(&iv), iv);
         let unb = Interval::unbounded_above(Rat::ZERO);
         assert_eq!(round_trip(&unb), unb);
-        assert_eq!(
-            serde_json::to_string(&iv).unwrap(),
-            "[\"1\",\"7/2\"]"
-        );
+        assert_eq!(serde_json::to_string(&iv).unwrap(), "[\"1\",\"7/2\"]");
         // Ill-formed intervals are rejected.
         assert!(serde_json::from_str::<Interval>("[\"3\",\"2\"]").is_err());
         assert!(serde_json::from_str::<Interval>("[\"inf\",\"inf\"]").is_err());

@@ -1,0 +1,41 @@
+//! Owned stream events, as carried across pool queues.
+
+use tempo_math::Rat;
+
+/// One owned event of a timed stream: the action, its absolute time, and
+/// the state reached. The owned counterpart of the borrowed triple taken
+/// by [`Monitor::observe`](crate::Monitor::observe), suitable for
+/// sending over channels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event<S, A> {
+    /// The action performed.
+    pub action: A,
+    /// Absolute time of the event (nondecreasing along a stream).
+    pub time: Rat,
+    /// The post-state reached by the action.
+    pub state: S,
+}
+
+impl<S, A> Event<S, A> {
+    /// Bundles an event.
+    pub fn new(action: A, time: Rat, state: S) -> Event<S, A> {
+        Event {
+            action,
+            time,
+            state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundles_fields() {
+        let e = Event::new("fire", Rat::from(3), 7u8);
+        assert_eq!(e.action, "fire");
+        assert_eq!(e.time, Rat::from(3));
+        assert_eq!(e.state, 7);
+    }
+}

@@ -1,0 +1,68 @@
+//! Streaming runtime verification of timing conditions.
+//!
+//! The offline checkers in `tempo-core` decide Definition 3.1
+//! (semi-satisfaction) by re-scanning a complete [`TimedSequence`]; this
+//! crate decides it *incrementally*, one event at a time, so timing
+//! conditions can be enforced against live executions — simulation runs
+//! as they are generated, or any external event source.
+//!
+//! The pieces:
+//!
+//! * [`Monitor`] — compiles a set of [`TimingCondition`]s and consumes
+//!   `(action, time, state)` events, maintaining only the open
+//!   obligations (pending deadlines and un-elapsed lower-bound windows).
+//!   Each event costs `O(conditions + open obligations)`, independent of
+//!   the stream length; verdicts carry the same
+//!   [`Violation`](tempo_core::Violation) payloads as the offline
+//!   checker and agree with it exactly.
+//! * [`MonitorPool`] — shards many independent streams across worker
+//!   threads with bounded queues and a configurable [`OverloadPolicy`]
+//!   (block / drop-oldest / fail-stream).
+//! * [`MonitorMetrics`] — shared atomic counters (events, obligation
+//!   churn, queue depths, per-stream lag) with a plain-text
+//!   [snapshot](MetricsSnapshot) renderer.
+//! * [`replay`] — adapters feeding recorded [`TimedSequence`]s through a
+//!   monitor, bridging the offline and online worlds.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tempo_core::TimingCondition;
+//! use tempo_math::{Interval, Rat};
+//! use tempo_monitor::{Monitor, Verdict};
+//!
+//! // "After a request, a grant within [1, 5]."
+//! let cond: TimingCondition<u32, &str> =
+//!     TimingCondition::new("RESP", Interval::closed(Rat::ONE, Rat::from(5)).unwrap())
+//!         .triggered_by_step(|_, a, _| *a == "REQ")
+//!         .on_actions(|a| *a == "GRANT");
+//!
+//! let mut mon = Monitor::new(&[cond], &0);
+//! assert_eq!(mon.observe(&"REQ", Rat::from(2), &1), Verdict::Ok);
+//! assert_eq!(mon.observe(&"GRANT", Rat::from(4), &0), Verdict::Ok);
+//! assert!(mon.is_ok());
+//! ```
+//!
+//! [`TimedSequence`]: tempo_core::TimedSequence
+//! [`TimingCondition`]: tempo_core::TimingCondition
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod monitor;
+mod obligation;
+mod pool;
+pub mod replay;
+mod verdict;
+
+pub use event::Event;
+pub use metrics::{MetricsSnapshot, MonitorMetrics, StreamLag, StreamLagSnapshot};
+pub use monitor::Monitor;
+pub use obligation::{Obligation, ObligationKind, Resolution};
+pub use pool::{
+    MonitorPool, OverloadPolicy, PoolConfig, PoolReport, StreamHandle, StreamOverflow, StreamReport,
+};
+pub use replay::{replay, replay_semi_satisfies, replay_verdicts};
+pub use verdict::Verdict;

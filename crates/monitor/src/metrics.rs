@@ -1,0 +1,281 @@
+//! Shared monitor counters and a plain-text snapshot renderer.
+//!
+//! A [`MonitorMetrics`] is a bag of atomics that any number of monitors,
+//! pool workers and producer threads bump concurrently; [`snapshot`]
+//! freezes the counters into a [`MetricsSnapshot`] whose `Display`
+//! renders an aligned table in the style of `tempo-core`'s `render`
+//! module.
+//!
+//! [`snapshot`]: MonitorMetrics::snapshot
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Lag accounting for one stream: events enqueued by the producer vs
+/// events drained (processed or dropped) by the worker.
+#[derive(Debug, Default)]
+pub struct StreamLag {
+    enqueued: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl StreamLag {
+    /// Records one event handed to the stream's queue.
+    pub fn record_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one event leaving the queue (processed or dropped).
+    pub fn record_drained(&self) {
+        self.drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events currently in flight for this stream.
+    pub fn lag(&self) -> u64 {
+        self.enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.drained.load(Ordering::Relaxed))
+    }
+
+    /// Total events enqueued so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+}
+
+/// Atomic counters shared by monitors and pool workers.
+#[derive(Debug, Default)]
+pub struct MonitorMetrics {
+    events: AtomicU64,
+    obligations_opened: AtomicU64,
+    obligations_discharged: AtomicU64,
+    obligations_violated: AtomicU64,
+    max_queue_depth: AtomicU64,
+    dropped_events: AtomicU64,
+    failed_streams: AtomicU64,
+    streams: Mutex<Vec<(u64, Arc<StreamLag>)>>,
+}
+
+impl MonitorMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> MonitorMetrics {
+        MonitorMetrics::default()
+    }
+
+    /// Records one event consumed by a monitor.
+    pub fn record_event(&self) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` obligations opened by a trigger.
+    pub fn record_opened(&self, n: u64) {
+        self.obligations_opened.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one obligation discharged without violation.
+    pub fn record_discharged(&self) {
+        self.obligations_discharged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one obligation resolved as a violation.
+    pub fn record_violated(&self) {
+        self.obligations_violated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds an observed queue depth into the running maximum.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one event discarded by the drop-oldest overload policy.
+    pub fn record_dropped(&self) {
+        self.dropped_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stream refused under the fail-stream overload policy.
+    pub fn record_failed_stream(&self) {
+        self.failed_streams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a stream for per-stream lag reporting.
+    pub fn register_stream(&self, id: u64) -> Arc<StreamLag> {
+        let lag = Arc::new(StreamLag::default());
+        self.streams
+            .lock()
+            .expect("metrics mutex poisoned")
+            .push((id, Arc::clone(&lag)));
+        lag
+    }
+
+    /// Freezes the counters into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let streams = self
+            .streams
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+            .map(|(id, lag)| StreamLagSnapshot {
+                stream: *id,
+                enqueued: lag.enqueued(),
+                lag: lag.lag(),
+            })
+            .collect();
+        MetricsSnapshot {
+            events: self.events.load(Ordering::Relaxed),
+            obligations_opened: self.obligations_opened.load(Ordering::Relaxed),
+            obligations_discharged: self.obligations_discharged.load(Ordering::Relaxed),
+            obligations_violated: self.obligations_violated.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            dropped_events: self.dropped_events.load(Ordering::Relaxed),
+            failed_streams: self.failed_streams.load(Ordering::Relaxed),
+            streams,
+        }
+    }
+}
+
+/// Per-stream lag at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamLagSnapshot {
+    /// Stream id.
+    pub stream: u64,
+    /// Total events the producer has enqueued.
+    pub enqueued: u64,
+    /// Events enqueued but not yet drained.
+    pub lag: u64,
+}
+
+/// A frozen copy of every counter, render-able as an aligned table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Events consumed by monitors.
+    pub events: u64,
+    /// Obligations opened by triggers.
+    pub obligations_opened: u64,
+    /// Obligations discharged without violation.
+    pub obligations_discharged: u64,
+    /// Obligations resolved as violations.
+    pub obligations_violated: u64,
+    /// Deepest queue observed by any worker.
+    pub max_queue_depth: u64,
+    /// Events discarded by the drop-oldest policy.
+    pub dropped_events: u64,
+    /// Streams refused by the fail-stream policy.
+    pub failed_streams: u64,
+    /// Per-stream lag, in registration order.
+    pub streams: Vec<StreamLagSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Obligations still open (opened minus resolved either way).
+    pub fn obligations_open(&self) -> u64 {
+        self.obligations_opened
+            .saturating_sub(self.obligations_discharged + self.obligations_violated)
+    }
+
+    /// Renders the snapshot as an aligned two-column table:
+    ///
+    /// ```text
+    ///   events                 10000
+    ///   obligations opened       312
+    ///   ...
+    ///   stream 0 lag               3   (of 5000 enqueued)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut rows: Vec<(String, String, String)> = vec![
+            row("events", self.events),
+            row("obligations opened", self.obligations_opened),
+            row("obligations discharged", self.obligations_discharged),
+            row("obligations violated", self.obligations_violated),
+            row("obligations open", self.obligations_open()),
+            row("max queue depth", self.max_queue_depth),
+            row("dropped events", self.dropped_events),
+            row("failed streams", self.failed_streams),
+        ];
+        for s in &self.streams {
+            rows.push((
+                format!("stream {} lag", s.stream),
+                s.lag.to_string(),
+                format!("(of {} enqueued)", s.enqueued),
+            ));
+        }
+        render_rows(&rows)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+fn row(label: &str, value: u64) -> (String, String, String) {
+    (label.to_string(), value.to_string(), String::new())
+}
+
+/// Aligned three-column rendering, after `tempo-core`'s `render` module:
+/// left-padded label column, right-aligned value column, trailing note.
+fn render_rows(rows: &[(String, String, String)]) -> String {
+    let w0 = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let w1 = rows.iter().map(|r| r.1.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value, note) in rows {
+        out.push_str(&format!("  {label:<w0$}  {value:>w1$}"));
+        if !note.is_empty() {
+            out.push_str(&format!("  {note}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MonitorMetrics::new();
+        m.record_event();
+        m.record_event();
+        m.record_opened(3);
+        m.record_discharged();
+        m.record_violated();
+        m.record_queue_depth(5);
+        m.record_queue_depth(2);
+        let s = m.snapshot();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.obligations_opened, 3);
+        assert_eq!(s.obligations_open(), 1);
+        assert_eq!(s.max_queue_depth, 5);
+    }
+
+    #[test]
+    fn stream_lag_tracks_in_flight() {
+        let m = MonitorMetrics::new();
+        let lag = m.register_stream(7);
+        lag.record_enqueued();
+        lag.record_enqueued();
+        lag.record_drained();
+        let s = m.snapshot();
+        assert_eq!(
+            s.streams,
+            vec![StreamLagSnapshot {
+                stream: 7,
+                enqueued: 2,
+                lag: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let m = MonitorMetrics::new();
+        m.record_event();
+        let text = m.snapshot().render();
+        assert!(text.contains("events"));
+        assert!(text.contains("max queue depth"));
+        // Every line is indented like render.rs output.
+        assert!(text.lines().all(|l| l.starts_with("  ")));
+    }
+}

@@ -1,0 +1,438 @@
+//! The incremental semi-satisfaction monitor.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempo_core::{SatisfactionMode, TimingCondition, Violation, ViolationKind};
+use tempo_math::Rat;
+
+use crate::metrics::MonitorMetrics;
+use crate::obligation::{Obligation, ObligationKind, Resolution};
+use crate::verdict::Verdict;
+
+/// One condition compiled for incremental checking: the condition itself
+/// plus its currently open obligations.
+struct CompiledCondition<S, A> {
+    cond: TimingCondition<S, A>,
+    /// Cached `b_l` (obligations are only opened when it is positive).
+    lower: Rat,
+    /// Cached finite `b_u`, if any (no deadline obligation opens for ∞).
+    upper: Option<Rat>,
+    open: Vec<Obligation>,
+}
+
+/// An online monitor for a set of timing conditions over one event
+/// stream — the incremental form of Definition 3.1 (semi-satisfaction).
+///
+/// Where the offline checker ([`tempo_core::semi_satisfies`]) re-scans
+/// the whole sequence, the monitor consumes one `(action, time, state)`
+/// event at a time and keeps only the *open obligations*: trigger windows
+/// whose lower bound has not yet elapsed and deadlines not yet served.
+/// Each event costs `O(conditions + open obligations)`, independent of
+/// the stream length.
+///
+/// The verdicts agree with the offline checker: after any finite prefix,
+/// the set of violations reported so far (plus [`finish`] for
+/// [`SatisfactionMode::Complete`]) equals the set reported by
+/// [`tempo_core::violations`] on the corresponding [`TimedSequence`].
+///
+/// # Example
+///
+/// ```
+/// use tempo_core::TimingCondition;
+/// use tempo_math::{Interval, Rat};
+/// use tempo_monitor::{Monitor, Verdict};
+///
+/// let cond: TimingCondition<u32, &str> =
+///     TimingCondition::new("G", Interval::closed(Rat::from(2), Rat::from(5)).unwrap())
+///         .triggered_at_start(|_| true)
+///         .on_actions(|a| *a == "GRANT");
+/// let mut mon = Monitor::new(&[cond], &0);
+/// assert_eq!(mon.observe(&"TICK", Rat::from(1), &1), Verdict::Ok);
+/// assert_eq!(mon.observe(&"GRANT", Rat::from(3), &2), Verdict::Ok);
+/// assert!(mon.is_ok());
+/// ```
+///
+/// [`finish`]: Monitor::finish
+/// [`TimedSequence`]: tempo_core::TimedSequence
+pub struct Monitor<S, A> {
+    conds: Vec<CompiledCondition<S, A>>,
+    /// Post-state of the last event (initially the start state); the
+    /// `pre` argument of `T_step` triggers.
+    last_state: S,
+    last_time: Rat,
+    events_seen: usize,
+    violations: Vec<Violation>,
+    metrics: Option<Arc<MonitorMetrics>>,
+}
+
+impl<S, A> fmt::Debug for Monitor<S, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Monitor")
+            .field("conditions", &self.conds.len())
+            .field("events_seen", &self.events_seen)
+            .field("open_obligations", &self.open_obligations())
+            .field("violations", &self.violations.len())
+            .finish()
+    }
+}
+
+impl<S: Clone, A> Monitor<S, A> {
+    /// Compiles `conds` into a monitor, opening the start-state
+    /// obligations (trigger index 0 at time 0) for every condition whose
+    /// `T_start` contains `start`.
+    pub fn new(conds: &[TimingCondition<S, A>], start: &S) -> Monitor<S, A> {
+        let mut mon = Monitor {
+            conds: conds
+                .iter()
+                .map(|c| CompiledCondition {
+                    lower: c.lower(),
+                    upper: c.upper().finite(),
+                    cond: c.clone(),
+                    open: Vec::new(),
+                })
+                .collect(),
+            last_state: start.clone(),
+            last_time: Rat::ZERO,
+            events_seen: 0,
+            violations: Vec::new(),
+            metrics: None,
+        };
+        for ci in 0..mon.conds.len() {
+            if mon.conds[ci].cond.in_t_start(start) {
+                mon.open_trigger(ci, 0, Rat::ZERO);
+            }
+        }
+        mon
+    }
+
+    /// Attaches shared metrics counters; every subsequent event and
+    /// obligation transition is recorded there. Obligations already
+    /// opened by the start-state trigger are counted retroactively, so
+    /// `opened = discharged + violated + open` holds at all times.
+    pub fn with_metrics(mut self, metrics: Arc<MonitorMetrics>) -> Monitor<S, A> {
+        metrics.record_opened(self.open_obligations() as u64);
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Opens the (up to two) obligations of a trigger at `(index, time)`.
+    fn open_trigger(&mut self, ci: usize, trigger_index: usize, t_i: Rat) {
+        let c = &mut self.conds[ci];
+        let mut opened = 0;
+        // A zero lower bound can never be violated (times are
+        // nondecreasing), so no window obligation opens for it.
+        if c.lower > Rat::ZERO {
+            c.open.push(Obligation {
+                trigger_index,
+                kind: ObligationKind::Lower {
+                    earliest: t_i + c.lower,
+                },
+            });
+            opened += 1;
+        }
+        // An infinite upper bound imposes no deadline.
+        if let Some(b_u) = c.upper {
+            c.open.push(Obligation {
+                trigger_index,
+                kind: ObligationKind::Upper {
+                    deadline: t_i + b_u,
+                },
+            });
+            opened += 1;
+        }
+        if opened > 0 {
+            if let Some(m) = &self.metrics {
+                m.record_opened(opened);
+            }
+        }
+    }
+
+    /// Consumes one event: the action, its (nondecreasing) absolute time,
+    /// and the post-state. Returns [`Verdict::Ok`] or the event's first
+    /// violation; *all* violations are appended to [`violations`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` decreases, mirroring
+    /// [`TimedSequence::push`](tempo_core::TimedSequence::push).
+    ///
+    /// [`violations`]: Monitor::violations
+    pub fn observe(&mut self, action: &A, time: Rat, state: &S) -> Verdict {
+        assert!(
+            time >= self.last_time,
+            "monitored event times must be nondecreasing: {time} after {}",
+            self.last_time
+        );
+        self.events_seen += 1;
+        let j = self.events_seen;
+        let mut first: Option<Violation> = None;
+
+        for ci in 0..self.conds.len() {
+            let c = &mut self.conds[ci];
+            let in_pi = c.cond.in_pi(action);
+            let in_disabling = c.cond.in_disabling(state);
+
+            // Resolve the open obligations against this event, keeping
+            // the ones that stay open. Violations are recorded in
+            // obligation order, matching the offline checker's
+            // per-trigger results.
+            let mut k = 0;
+            while k < c.open.len() {
+                match c.open[k].resolve(time, in_pi, in_disabling) {
+                    Resolution::Open => k += 1,
+                    Resolution::Discharged => {
+                        c.open.swap_remove(k);
+                        if let Some(m) = &self.metrics {
+                            m.record_discharged();
+                        }
+                    }
+                    Resolution::Violated => {
+                        let ob = c.open.swap_remove(k);
+                        let kind = match ob.kind {
+                            ObligationKind::Lower { earliest } => ViolationKind::LowerBound {
+                                trigger_index: ob.trigger_index,
+                                event_index: j,
+                                earliest,
+                            },
+                            ObligationKind::Upper { deadline } => ViolationKind::UpperBound {
+                                trigger_index: ob.trigger_index,
+                                deadline,
+                            },
+                        };
+                        let v = Violation {
+                            condition: c.cond.name().to_string(),
+                            kind,
+                        };
+                        if first.is_none() {
+                            first = Some(v.clone());
+                        }
+                        self.violations.push(v);
+                        if let Some(m) = &self.metrics {
+                            m.record_violated();
+                        }
+                    }
+                }
+            }
+
+            // Only after the event has been weighed against the existing
+            // obligations may it trigger new ones: a trigger's bounds
+            // constrain strictly later events (`j > i`).
+            if c.cond.in_t_step(&self.last_state, action, state) {
+                self.open_trigger(ci, j, time);
+            }
+        }
+
+        if let Some(m) = &self.metrics {
+            m.record_event();
+        }
+        self.last_state = state.clone();
+        self.last_time = time;
+        first.map_or(Verdict::Ok, Verdict::from_violation)
+    }
+
+    /// Ends the stream and returns the complete violation list.
+    ///
+    /// Under [`SatisfactionMode::Complete`] (Definition 2.2) every still
+    /// open deadline becomes an upper-bound violation — no further event
+    /// can serve it. Under [`SatisfactionMode::Prefix`] (Definition 3.1,
+    /// semi-satisfaction) open deadlines are excused: an open deadline
+    /// implies `t_end ≤ deadline`, so some extension could still meet it.
+    pub fn finish(mut self, mode: SatisfactionMode) -> Vec<Violation> {
+        for c in &mut self.conds {
+            for ob in c.open.drain(..) {
+                match (mode, ob.kind) {
+                    (SatisfactionMode::Complete, ObligationKind::Upper { deadline }) => {
+                        self.violations.push(Violation {
+                            condition: c.cond.name().to_string(),
+                            kind: ViolationKind::UpperBound {
+                                trigger_index: ob.trigger_index,
+                                deadline,
+                            },
+                        });
+                        if let Some(m) = &self.metrics {
+                            m.record_violated();
+                        }
+                    }
+                    _ => {
+                        if let Some(m) = &self.metrics {
+                            m.record_discharged();
+                        }
+                    }
+                }
+            }
+        }
+        self.violations
+    }
+}
+
+impl<S, A> Monitor<S, A> {
+    /// The violations witnessed so far (in discovery order).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `true` while no violation has been witnessed.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of currently open obligations, across all conditions.
+    pub fn open_obligations(&self) -> usize {
+        self.conds.iter().map(|c| c.open.len()).sum()
+    }
+
+    /// Number of events consumed.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::Interval;
+
+    fn cond(lo: i64, hi: i64) -> TimingCondition<u8, &'static str> {
+        TimingCondition::new("C", Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap())
+            .triggered_at_start(|s| *s == 0)
+            .on_actions(|a| *a == "fire")
+    }
+
+    #[test]
+    fn upper_bound_served_in_window() {
+        let mut mon = Monitor::new(&[cond(2, 4)], &0u8);
+        assert_eq!(mon.observe(&"noise", Rat::from(1), &1), Verdict::Ok);
+        assert_eq!(mon.observe(&"fire", Rat::from(3), &2), Verdict::Ok);
+        assert_eq!(mon.open_obligations(), 0);
+        assert!(mon.finish(SatisfactionMode::Complete).is_empty());
+    }
+
+    #[test]
+    fn early_fire_is_lower_violation() {
+        let mut mon = Monitor::new(&[cond(2, 10)], &0u8);
+        let v = mon.observe(&"fire", Rat::from(1), &1);
+        match v {
+            Verdict::LowerBoundViolation(v) => assert_eq!(
+                v.kind,
+                ViolationKind::LowerBound {
+                    trigger_index: 0,
+                    event_index: 1,
+                    earliest: Rat::from(2)
+                }
+            ),
+            other => panic!("expected lower violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_passing_is_definite_immediately() {
+        let mut mon = Monitor::new(&[cond(0, 4)], &0u8);
+        assert_eq!(mon.observe(&"noise", Rat::from(3), &1), Verdict::Ok);
+        // First event past the deadline makes the violation definite —
+        // even though it is not itself a Π-event.
+        let v = mon.observe(&"noise", Rat::from(5), &1);
+        assert!(matches!(v, Verdict::UpperBoundViolation(_)));
+    }
+
+    #[test]
+    fn finish_mode_distinguishes_prefix_and_complete() {
+        let c = cond(0, 4);
+        let mut mon = Monitor::new(std::slice::from_ref(&c), &0u8);
+        mon.observe(&"noise", Rat::from(3), &1);
+        // Prefix: deadline 4 not yet passed at t_end = 3 → excused.
+        assert!(mon.finish(SatisfactionMode::Prefix).is_empty());
+        let mut mon = Monitor::new(&[c], &0u8);
+        mon.observe(&"noise", Rat::from(3), &1);
+        // Complete: the pending deadline is a violation.
+        let vs = mon.finish(SatisfactionMode::Complete);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(vs[0].kind, ViolationKind::UpperBound { .. }));
+    }
+
+    #[test]
+    fn step_triggers_reset_the_bound() {
+        let c: TimingCondition<u8, &str> =
+            TimingCondition::new("C", Interval::closed(Rat::from(1), Rat::from(3)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "fire");
+        let mut mon = Monitor::new(&[c], &0u8);
+        assert_eq!(mon.observe(&"go", Rat::from(5), &1), Verdict::Ok);
+        assert_eq!(mon.open_obligations(), 2);
+        assert_eq!(mon.observe(&"fire", Rat::from(7), &2), Verdict::Ok);
+        assert_eq!(mon.open_obligations(), 0);
+        // A go-step re-arms; a too-early fire then violates.
+        assert_eq!(mon.observe(&"go", Rat::from(7), &1), Verdict::Ok);
+        let v = mon.observe(&"fire", Rat::from(7), &2);
+        assert!(matches!(v, Verdict::LowerBoundViolation(_)));
+    }
+
+    #[test]
+    fn trigger_event_does_not_serve_its_own_deadline() {
+        // `go` is both the trigger and a Π-action: the triggering
+        // occurrence must not count as serving the freshly opened bound.
+        let c: TimingCondition<u8, &str> =
+            TimingCondition::new("C", Interval::closed(Rat::ZERO, Rat::from(3)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "go");
+        let mut mon = Monitor::new(&[c], &0u8);
+        assert_eq!(mon.observe(&"go", Rat::from(1), &1), Verdict::Ok);
+        assert_eq!(mon.open_obligations(), 1);
+    }
+
+    #[test]
+    fn disabling_state_excuses_lower_and_serves_upper() {
+        let c: TimingCondition<u8, &str> =
+            TimingCondition::new("C", Interval::closed(Rat::from(3), Rat::from(5)).unwrap())
+                .triggered_at_start(|s| *s == 0)
+                .on_actions(|a| *a == "fire")
+                .disabled_in(|s| *s == 9);
+        // Passing through the disabling state excuses an early fire.
+        let mut mon = Monitor::new(std::slice::from_ref(&c), &0u8);
+        assert_eq!(mon.observe(&"noise", Rat::from(1), &9), Verdict::Ok);
+        assert_eq!(mon.observe(&"fire", Rat::from(2), &1), Verdict::Ok);
+        assert!(mon.is_ok());
+        // The same early fire without the disabling state violates.
+        let mut mon = Monitor::new(&[c], &0u8);
+        assert_eq!(mon.observe(&"noise", Rat::from(1), &1), Verdict::Ok);
+        assert!(!mon.observe(&"fire", Rat::from(2), &2).is_ok());
+    }
+
+    #[test]
+    fn infinite_upper_bound_opens_no_deadline() {
+        let c: TimingCondition<u8, &str> =
+            TimingCondition::new("C", Interval::unbounded_above(Rat::from(1)))
+                .triggered_at_start(|_| true)
+                .on_actions(|a| *a == "fire");
+        let mon = Monitor::new(&[c], &0u8);
+        // Only the lower window is open; no deadline can ever fire.
+        assert_eq!(mon.open_obligations(), 1);
+        assert!(mon.finish(SatisfactionMode::Complete).is_empty());
+    }
+
+    #[test]
+    fn zero_lower_bound_opens_no_window() {
+        let mon = Monitor::new(&[cond(0, 4)], &0u8);
+        assert_eq!(mon.open_obligations(), 1); // the deadline only
+    }
+
+    #[test]
+    fn metrics_are_recorded() {
+        let metrics = Arc::new(MonitorMetrics::new());
+        let mut mon = Monitor::new(&[cond(2, 4)], &0u8).with_metrics(Arc::clone(&metrics));
+        mon.observe(&"fire", Rat::from(1), &1); // lower violation
+        mon.observe(&"fire", Rat::from(3), &1);
+        let s = metrics.snapshot();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.obligations_violated, 1);
+        assert!(s.obligations_opened >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_time_panics() {
+        let mut mon = Monitor::new(&[cond(1, 2)], &0u8);
+        mon.observe(&"noise", Rat::from(3), &1);
+        mon.observe(&"noise", Rat::from(2), &1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Open obligations: the monitor's only per-condition state.
+//!
+//! Each trigger of a condition (Definition 3.1's `T_start`/`T_step`
+//! occurrences) opens up to two obligations — a lower-bound window that
+//! forbids early `Π`-events, and an upper-bound deadline that demands a
+//! `Π`-event or disabling state in time. Obligations close (are
+//! *discharged*) as soon as they can no longer produce a violation, so
+//! the work per event is proportional to the number of still-open
+//! obligations, not to the length of the history.
+
+use tempo_math::Rat;
+
+/// What an open obligation is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObligationKind {
+    /// No `Π`-event may occur strictly before `earliest` (unless a
+    /// disabling state intervenes first).
+    Lower {
+        /// The earliest permitted absolute time `t_i + b_l`.
+        earliest: Rat,
+    },
+    /// Some `Π`-event or disabling state must occur at time `≤ deadline`.
+    Upper {
+        /// The absolute deadline `t_i + b_u`.
+        deadline: Rat,
+    },
+}
+
+/// An open obligation: a trigger whose bound is still live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Obligation {
+    /// Index of the trigger that opened it (0 = start-state trigger,
+    /// `i ≥ 1` = step trigger at event `i`), matching the offline
+    /// checker's `trigger_index`.
+    pub trigger_index: usize,
+    /// What the obligation waits for.
+    pub kind: ObligationKind,
+}
+
+/// How an obligation was resolved by an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// Still open: the event neither discharged nor violated it.
+    Open,
+    /// Discharged: the obligation can no longer be violated.
+    Discharged,
+    /// Violated by this event.
+    Violated,
+}
+
+impl Obligation {
+    /// Resolves the obligation against one event at (nondecreasing) time
+    /// `t`, where `in_pi` says whether the event's action is in `Π` and
+    /// `in_disabling` whether its *post*-state is in the disabling set.
+    ///
+    /// Mirrors `check_trigger` in `tempo-core`'s `satisfaction` module
+    /// exactly, including the ordering subtlety that a disabling
+    /// post-state excuses only *later* events, never the `Π`-check of its
+    /// own event.
+    pub fn resolve(&self, t: Rat, in_pi: bool, in_disabling: bool) -> Resolution {
+        match self.kind {
+            ObligationKind::Lower { earliest } => {
+                if t >= earliest {
+                    // The forbidden window is over; nothing can violate it.
+                    Resolution::Discharged
+                } else if in_pi {
+                    Resolution::Violated
+                } else if in_disabling {
+                    // An intervening disabling state suspends the bound
+                    // for every later event, so the obligation is dead.
+                    Resolution::Discharged
+                } else {
+                    Resolution::Open
+                }
+            }
+            ObligationKind::Upper { deadline } => {
+                if t > deadline {
+                    // Times are nondecreasing: the deadline has definitely
+                    // passed unserved.
+                    Resolution::Violated
+                } else if in_pi || in_disabling {
+                    Resolution::Discharged
+                } else {
+                    Resolution::Open
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower(trigger: usize, earliest: i64) -> Obligation {
+        Obligation {
+            trigger_index: trigger,
+            kind: ObligationKind::Lower {
+                earliest: Rat::from(earliest),
+            },
+        }
+    }
+
+    fn upper(trigger: usize, deadline: i64) -> Obligation {
+        Obligation {
+            trigger_index: trigger,
+            kind: ObligationKind::Upper {
+                deadline: Rat::from(deadline),
+            },
+        }
+    }
+
+    #[test]
+    fn lower_window_resolution() {
+        let o = lower(0, 3);
+        // Early non-Π event keeps it open.
+        assert_eq!(o.resolve(Rat::from(1), false, false), Resolution::Open);
+        // Early Π-event violates.
+        assert_eq!(o.resolve(Rat::from(1), true, false), Resolution::Violated);
+        // Π exactly at the bound is fine (window closed).
+        assert_eq!(o.resolve(Rat::from(3), true, false), Resolution::Discharged);
+        // Disabling post-state kills the window...
+        assert_eq!(o.resolve(Rat::from(1), false, true), Resolution::Discharged);
+        // ...but not for its own event's Π-check.
+        assert_eq!(o.resolve(Rat::from(1), true, true), Resolution::Violated);
+    }
+
+    #[test]
+    fn upper_deadline_resolution() {
+        let o = upper(2, 5);
+        assert_eq!(o.resolve(Rat::from(4), false, false), Resolution::Open);
+        // Served by Π at the deadline exactly.
+        assert_eq!(o.resolve(Rat::from(5), true, false), Resolution::Discharged);
+        // Served by a disabling state.
+        assert_eq!(o.resolve(Rat::from(4), false, true), Resolution::Discharged);
+        // Past the deadline, even a Π-event is too late.
+        assert_eq!(o.resolve(Rat::from(6), true, false), Resolution::Violated);
+    }
+}

@@ -1,0 +1,557 @@
+//! Sharding many event streams across worker threads.
+//!
+//! A [`MonitorPool`] owns a fixed set of worker threads, each with a
+//! bounded queue; every opened stream is pinned to one worker (round
+//! robin), so a stream's events are processed in order by a single
+//! [`Monitor`]. Producers hand events to [`StreamHandle::send`], which
+//! applies the configured [`OverloadPolicy`] when the worker's queue is
+//! full: block the producer, drop the oldest queued event, or fail the
+//! stream.
+//!
+//! All workers share one [`MonitorMetrics`], so a snapshot sees the whole
+//! pool: total events, obligation churn, the deepest queue observed, and
+//! per-stream lag.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use tempo_core::{SatisfactionMode, TimingCondition, Violation};
+use tempo_math::Rat;
+
+use crate::event::Event;
+use crate::metrics::{MetricsSnapshot, MonitorMetrics, StreamLag};
+use crate::monitor::Monitor;
+
+/// What [`StreamHandle::send`] does when the worker's queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the producer until the worker catches up (lossless,
+    /// backpressure).
+    Block,
+    /// Drop the oldest queued *event* to make room (lossy, bounded
+    /// latency; control messages are never dropped).
+    DropOldest,
+    /// Refuse the event and mark the stream failed; subsequent sends on
+    /// the stream error immediately.
+    FailStream,
+}
+
+/// Pool sizing and overload behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Number of worker threads (streams are pinned round robin).
+    pub workers: usize,
+    /// Per-worker queue capacity, in messages.
+    pub queue_capacity: usize,
+    /// What to do when a queue is full.
+    pub policy: OverloadPolicy,
+    /// How stream ends are judged (Definition 3.1 prefix semantics by
+    /// default: open deadlines at the end of a stream are excused).
+    pub mode: SatisfactionMode,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            policy: OverloadPolicy::Block,
+            mode: SatisfactionMode::Prefix,
+        }
+    }
+}
+
+/// An event was refused because the stream is failed (fail-stream
+/// policy).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamOverflow {
+    /// The failed stream's id.
+    pub stream: u64,
+}
+
+impl fmt::Display for StreamOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream {} overflowed its monitor queue", self.stream)
+    }
+}
+
+impl std::error::Error for StreamOverflow {}
+
+enum Msg<S, A> {
+    Open {
+        stream: u64,
+        start: S,
+    },
+    Event {
+        stream: u64,
+        lag: Arc<StreamLag>,
+        event: Event<S, A>,
+    },
+    Finish {
+        stream: u64,
+        failed: bool,
+    },
+    Shutdown,
+}
+
+/// A bounded MPSC queue with the three overload behaviours.
+struct Queue<T> {
+    inner: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> Queue<T> {
+    fn new(cap: usize) -> Queue<T> {
+        Queue {
+            inner: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Pushes, waiting for room. Returns the depth after the push.
+    fn push_blocking(&self, item: T) -> usize {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        while q.len() >= self.cap {
+            q = self.not_full.wait(q).expect("queue mutex poisoned");
+        }
+        q.push_back(item);
+        let depth = q.len();
+        drop(q);
+        self.not_empty.notify_one();
+        depth
+    }
+
+    /// Pushes, evicting the oldest `droppable` entry when full. Returns
+    /// the depth and the evicted entry, if any. Falls back to blocking
+    /// when the queue is full of non-droppable entries.
+    fn push_drop_oldest(&self, item: T, droppable: impl Fn(&T) -> bool) -> (usize, Option<T>) {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        let mut dropped = None;
+        if q.len() >= self.cap {
+            if let Some(pos) = q.iter().position(&droppable) {
+                dropped = q.remove(pos);
+            } else {
+                while q.len() >= self.cap {
+                    q = self.not_full.wait(q).expect("queue mutex poisoned");
+                }
+            }
+        }
+        q.push_back(item);
+        let depth = q.len();
+        drop(q);
+        self.not_empty.notify_one();
+        (depth, dropped)
+    }
+
+    /// Pushes only if there is room. Returns the depth, or the rejected
+    /// item.
+    fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        if q.len() >= self.cap {
+            return Err(item);
+        }
+        q.push_back(item);
+        let depth = q.len();
+        drop(q);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Pops, waiting for an entry.
+    fn pop(&self) -> T {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = q.pop_front() {
+                drop(q);
+                self.not_full.notify_one();
+                return item;
+            }
+            q = self.not_empty.wait(q).expect("queue mutex poisoned");
+        }
+    }
+}
+
+/// The monitoring outcome of one stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Stream id (in [`MonitorPool::open_stream`] order).
+    pub stream: u64,
+    /// Events the stream's monitor consumed.
+    pub events: usize,
+    /// All violations witnessed, in event order.
+    pub violations: Vec<Violation>,
+    /// Whether the fail-stream policy cut the stream short (its verdicts
+    /// then cover only a prefix).
+    pub failed: bool,
+}
+
+/// The pool's aggregate outcome: one report per stream plus a final
+/// metrics snapshot.
+#[derive(Clone, Debug)]
+pub struct PoolReport {
+    /// Per-stream outcomes, ordered by stream id.
+    pub streams: Vec<StreamReport>,
+    /// Final counter values.
+    pub metrics: MetricsSnapshot,
+}
+
+impl PoolReport {
+    /// `true` when no stream was failed and no violation was witnessed.
+    pub fn passed(&self) -> bool {
+        self.streams
+            .iter()
+            .all(|s| !s.failed && s.violations.is_empty())
+    }
+
+    /// All violations with their stream ids.
+    pub fn violations(&self) -> Vec<(u64, &Violation)> {
+        self.streams
+            .iter()
+            .flat_map(|s| s.violations.iter().map(move |v| (s.stream, v)))
+            .collect()
+    }
+}
+
+/// A handle for feeding one stream. Dropping the handle finishes the
+/// stream implicitly.
+pub struct StreamHandle<S, A> {
+    stream: u64,
+    queue: Arc<Queue<Msg<S, A>>>,
+    lag: Arc<StreamLag>,
+    metrics: Arc<MonitorMetrics>,
+    policy: OverloadPolicy,
+    failed: bool,
+    finished: bool,
+}
+
+impl<S, A> StreamHandle<S, A> {
+    /// This stream's id, as it will appear in the [`PoolReport`].
+    pub fn id(&self) -> u64 {
+        self.stream
+    }
+
+    /// Hands one event to the stream's worker, applying the overload
+    /// policy if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Under [`OverloadPolicy::FailStream`], returns [`StreamOverflow`]
+    /// when the queue is full — and on every later send, the stream
+    /// having failed. The other policies never error.
+    pub fn send(&mut self, action: A, time: Rat, state: S) -> Result<(), StreamOverflow> {
+        if self.failed {
+            return Err(StreamOverflow {
+                stream: self.stream,
+            });
+        }
+        let msg = Msg::Event {
+            stream: self.stream,
+            lag: Arc::clone(&self.lag),
+            event: Event::new(action, time, state),
+        };
+        let depth = match self.policy {
+            OverloadPolicy::Block => self.queue.push_blocking(msg),
+            OverloadPolicy::DropOldest => {
+                let (depth, dropped) = self
+                    .queue
+                    .push_drop_oldest(msg, |m| matches!(m, Msg::Event { .. }));
+                if let Some(Msg::Event { lag, .. }) = dropped {
+                    // The evicted event left the queue unprocessed; it
+                    // still counts against its stream's lag.
+                    lag.record_drained();
+                    self.metrics.record_dropped();
+                }
+                depth
+            }
+            OverloadPolicy::FailStream => match self.queue.try_push(msg) {
+                Ok(depth) => depth,
+                Err(_) => {
+                    self.failed = true;
+                    self.metrics.record_failed_stream();
+                    return Err(StreamOverflow {
+                        stream: self.stream,
+                    });
+                }
+            },
+        };
+        self.lag.record_enqueued();
+        self.metrics.record_queue_depth(depth as u64);
+        Ok(())
+    }
+
+    /// Ends the stream: the worker finalizes its monitor and files the
+    /// stream's report.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.queue.push_blocking(Msg::Finish {
+            stream: self.stream,
+            failed: self.failed,
+        });
+    }
+}
+
+impl<S, A> Drop for StreamHandle<S, A> {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// A pool of monitor workers sharding independent event streams.
+///
+/// # Example
+///
+/// ```
+/// use tempo_core::TimingCondition;
+/// use tempo_math::{Interval, Rat};
+/// use tempo_monitor::{MonitorPool, PoolConfig};
+///
+/// let cond: TimingCondition<u32, &str> =
+///     TimingCondition::new("G", Interval::closed(Rat::from(1), Rat::from(5)).unwrap())
+///         .triggered_at_start(|_| true)
+///         .on_actions(|a| *a == "GRANT");
+/// let mut pool = MonitorPool::new(&[cond], PoolConfig::default());
+/// let mut stream = pool.open_stream(0);
+/// stream.send("GRANT", Rat::from(2), 1).unwrap();
+/// stream.finish();
+/// let report = pool.shutdown();
+/// assert!(report.passed());
+/// ```
+pub struct MonitorPool<S, A> {
+    queues: Vec<Arc<Queue<Msg<S, A>>>>,
+    workers: Vec<JoinHandle<Vec<StreamReport>>>,
+    metrics: Arc<MonitorMetrics>,
+    policy: OverloadPolicy,
+    next_stream: u64,
+}
+
+impl<S, A> MonitorPool<S, A>
+where
+    S: Clone + Send + 'static,
+    A: Send + 'static,
+{
+    /// Spawns `config.workers` worker threads, each monitoring its
+    /// streams against (clones of) `conds`.
+    pub fn new(conds: &[TimingCondition<S, A>], config: PoolConfig) -> MonitorPool<S, A> {
+        let metrics = Arc::new(MonitorMetrics::new());
+        let mut queues = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let queue = Arc::new(Queue::new(config.queue_capacity));
+            let conds: Vec<TimingCondition<S, A>> = conds.to_vec();
+            let metrics = Arc::clone(&metrics);
+            let worker_queue = Arc::clone(&queue);
+            let mode = config.mode;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&worker_queue, &conds, &metrics, mode)
+            }));
+            queues.push(queue);
+        }
+        MonitorPool {
+            queues,
+            workers,
+            metrics,
+            policy: config.policy,
+            next_stream: 0,
+        }
+    }
+
+    /// Opens a new stream starting in `start`, pinned to a worker round
+    /// robin. The returned handle feeds the stream.
+    pub fn open_stream(&mut self, start: S) -> StreamHandle<S, A> {
+        let stream = self.next_stream;
+        self.next_stream += 1;
+        let queue = Arc::clone(&self.queues[(stream as usize) % self.queues.len()]);
+        let lag = self.metrics.register_stream(stream);
+        queue.push_blocking(Msg::Open { stream, start });
+        StreamHandle {
+            stream,
+            queue,
+            lag,
+            metrics: Arc::clone(&self.metrics),
+            policy: self.policy,
+            failed: false,
+            finished: false,
+        }
+    }
+
+    /// The pool's shared counters (snapshot any time for live lag).
+    pub fn metrics(&self) -> Arc<MonitorMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops the workers (after they drain their queues) and collects
+    /// every stream's report. Streams never explicitly finished are
+    /// finalized here.
+    pub fn shutdown(self) -> PoolReport {
+        for queue in &self.queues {
+            queue.push_blocking(Msg::Shutdown);
+        }
+        let mut streams: Vec<StreamReport> = Vec::new();
+        for worker in self.workers {
+            streams.extend(worker.join().expect("monitor worker panicked"));
+        }
+        streams.sort_by_key(|r| r.stream);
+        PoolReport {
+            streams,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+fn worker_loop<S: Clone, A>(
+    queue: &Queue<Msg<S, A>>,
+    conds: &[TimingCondition<S, A>],
+    metrics: &Arc<MonitorMetrics>,
+    mode: SatisfactionMode,
+) -> Vec<StreamReport> {
+    let mut monitors: HashMap<u64, Monitor<S, A>> = HashMap::new();
+    let mut reports = Vec::new();
+    loop {
+        match queue.pop() {
+            Msg::Open { stream, start } => {
+                let mon = Monitor::new(conds, &start).with_metrics(Arc::clone(metrics));
+                monitors.insert(stream, mon);
+            }
+            Msg::Event { stream, lag, event } => {
+                if let Some(mon) = monitors.get_mut(&stream) {
+                    mon.observe(&event.action, event.time, &event.state);
+                }
+                lag.record_drained();
+            }
+            Msg::Finish { stream, failed } => {
+                if let Some(mon) = monitors.remove(&stream) {
+                    reports.push(StreamReport {
+                        stream,
+                        events: mon.events_seen(),
+                        violations: mon.finish(mode),
+                        failed,
+                    });
+                }
+            }
+            Msg::Shutdown => {
+                for (stream, mon) in monitors.drain() {
+                    reports.push(StreamReport {
+                        stream,
+                        events: mon.events_seen(),
+                        violations: mon.finish(mode),
+                        failed: false,
+                    });
+                }
+                return reports;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::Interval;
+
+    fn cond() -> TimingCondition<u8, &'static str> {
+        TimingCondition::new("C", Interval::closed(Rat::from(2), Rat::from(10)).unwrap())
+            .triggered_at_start(|s| *s == 0)
+            .on_actions(|a| *a == "fire")
+    }
+
+    #[test]
+    fn pool_monitors_many_streams() {
+        let mut pool = MonitorPool::new(&[cond()], PoolConfig::default());
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let mut h = pool.open_stream(0u8);
+            // Odd streams violate the lower bound (fire at t=1 < 2).
+            let t = if i % 2 == 1 { 1 } else { 3 };
+            h.send("fire", Rat::from(t), 1).unwrap();
+            handles.push(h);
+        }
+        drop(handles); // implicit finish
+        let report = pool.shutdown();
+        assert_eq!(report.streams.len(), 8);
+        assert!(!report.passed());
+        let bad: Vec<u64> = report.violations().iter().map(|(s, _)| *s).collect();
+        assert_eq!(bad, vec![1, 3, 5, 7]);
+        assert_eq!(report.metrics.events, 8);
+    }
+
+    #[test]
+    fn drop_oldest_policy_sheds_events() {
+        let config = PoolConfig {
+            workers: 1,
+            queue_capacity: 2,
+            policy: OverloadPolicy::DropOldest,
+            mode: SatisfactionMode::Prefix,
+        };
+        // A condition that never triggers: the worker just drains.
+        let never: TimingCondition<u8, &'static str> =
+            TimingCondition::new("N", Interval::closed(Rat::ZERO, Rat::from(1)).unwrap());
+        let mut pool = MonitorPool::new(&[never], config);
+        let mut h = pool.open_stream(0u8);
+        for t in 0..64 {
+            h.send("x", Rat::from(t), 0).unwrap();
+        }
+        h.finish();
+        let report = pool.shutdown();
+        assert!(report.passed());
+        // Lag accounting is exact even when events were shed.
+        assert_eq!(report.metrics.streams[0].enqueued, 64);
+        assert_eq!(report.metrics.streams[0].lag, 0);
+    }
+
+    #[test]
+    fn fail_stream_policy_errors_and_reports() {
+        let config = PoolConfig {
+            workers: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::FailStream,
+            mode: SatisfactionMode::Prefix,
+        };
+        let never: TimingCondition<u8, &'static str> =
+            TimingCondition::new("N", Interval::closed(Rat::ZERO, Rat::from(1)).unwrap());
+        let mut pool = MonitorPool::new(&[never], config);
+        let mut h = pool.open_stream(0u8);
+        // Keep pushing until the bounded queue refuses one.
+        let mut failed = false;
+        for t in 0..100_000 {
+            if h.send("x", Rat::from(t), 0).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "a capacity-1 queue must eventually refuse");
+        // Once failed, every send errors.
+        assert!(h.send("x", Rat::from(100_000), 0).is_err());
+        h.finish();
+        let report = pool.shutdown();
+        assert!(report.streams[0].failed);
+        assert!(!report.passed());
+        assert_eq!(report.metrics.failed_streams, 1);
+    }
+
+    #[test]
+    fn max_queue_depth_is_observed() {
+        let mut pool = MonitorPool::new(&[cond()], PoolConfig::default());
+        let mut h = pool.open_stream(0u8);
+        for t in 0..32 {
+            h.send("noise", Rat::from(t), 1).unwrap();
+        }
+        h.finish();
+        let report = pool.shutdown();
+        assert!(report.metrics.max_queue_depth >= 1);
+        assert_eq!(report.streams[0].events, 32);
+    }
+}

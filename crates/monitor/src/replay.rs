@@ -1,0 +1,135 @@
+//! Replaying recorded [`TimedSequence`]s through the online monitor.
+//!
+//! The bridge between the repository's offline world (simulation
+//! ensembles, counterexample traces) and the streaming monitor: any
+//! recorded sequence can be fed event-by-event through a [`Monitor`],
+//! which must then report exactly the violations the offline checker
+//! finds. The equivalence is exercised by the repository's property
+//! tests.
+
+use tempo_core::{SatisfactionMode, TimedSequence, TimingCondition, Violation};
+
+use crate::monitor::Monitor;
+use crate::verdict::Verdict;
+
+/// Feeds every event of `seq` through a fresh monitor for `conds` and
+/// returns all violations, closing the stream in `mode`.
+///
+/// Agrees with collecting [`tempo_core::violations`] over each condition
+/// (up to discovery order: the monitor reports violations in event
+/// order, the offline checker in trigger order).
+pub fn replay<S, A>(
+    seq: &TimedSequence<S, A>,
+    conds: &[TimingCondition<S, A>],
+    mode: SatisfactionMode,
+) -> Vec<Violation>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    let mut mon = Monitor::new(conds, seq.first_state());
+    for (_, a, t, post) in seq.step_triples() {
+        mon.observe(a, t, post);
+    }
+    mon.finish(mode)
+}
+
+/// Replays `seq` and returns the per-event verdicts (one per event, plus
+/// one final verdict for the finish), for callers that care *when* a
+/// violation was detected rather than just whether.
+pub fn replay_verdicts<S, A>(
+    seq: &TimedSequence<S, A>,
+    conds: &[TimingCondition<S, A>],
+    mode: SatisfactionMode,
+) -> Vec<Verdict>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    let mut mon = Monitor::new(conds, seq.first_state());
+    let mut out = Vec::with_capacity(seq.len() + 1);
+    for (_, a, t, post) in seq.step_triples() {
+        out.push(mon.observe(a, t, post));
+    }
+    let already = mon.violations().len();
+    let vs = mon.finish(mode);
+    out.push(
+        vs.into_iter()
+            .nth(already)
+            .map_or(Verdict::Ok, Verdict::from_violation),
+    );
+    out
+}
+
+/// Replay form of [`tempo_core::semi_satisfies`]: `Ok` iff the stream
+/// semi-satisfies every condition.
+///
+/// # Errors
+///
+/// Returns the first violation *in event order* (the offline checker
+/// reports the first in trigger order; the violation sets agree).
+pub fn replay_semi_satisfies<S, A>(
+    seq: &TimedSequence<S, A>,
+    conds: &[TimingCondition<S, A>],
+) -> Result<(), Violation>
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    match replay(seq, conds, SatisfactionMode::Prefix)
+        .into_iter()
+        .next()
+    {
+        None => Ok(()),
+        Some(v) => Err(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::{Interval, Rat};
+
+    fn cond(lo: i64, hi: i64) -> TimingCondition<u8, &'static str> {
+        TimingCondition::new("C", Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap())
+            .triggered_at_start(|s| *s == 0)
+            .on_actions(|a| *a == "fire")
+    }
+
+    fn seq(events: &[(&'static str, i64, u8)]) -> TimedSequence<u8, &'static str> {
+        let mut s = TimedSequence::new(0);
+        for (a, t, post) in events {
+            s.push(*a, Rat::from(*t), *post);
+        }
+        s
+    }
+
+    #[test]
+    fn replay_matches_offline_on_ok_and_violating_traces() {
+        let c = cond(2, 4);
+        let ok = seq(&[("noise", 1, 1), ("fire", 3, 2)]);
+        assert!(replay(&ok, std::slice::from_ref(&c), SatisfactionMode::Complete).is_empty());
+        assert!(replay_semi_satisfies(&ok, std::slice::from_ref(&c)).is_ok());
+
+        let early = seq(&[("fire", 1, 1)]);
+        let online = replay(&early, std::slice::from_ref(&c), SatisfactionMode::Prefix);
+        let offline = tempo_core::violations(&early, &c, SatisfactionMode::Prefix);
+        assert_eq!(online, offline);
+        assert!(replay_semi_satisfies(&early, &[c]).is_err());
+    }
+
+    #[test]
+    fn verdicts_locate_the_violation() {
+        let c = cond(0, 4);
+        let late = seq(&[("noise", 3, 1), ("noise", 5, 1)]);
+        let verdicts = replay_verdicts(&late, std::slice::from_ref(&c), SatisfactionMode::Prefix);
+        assert_eq!(verdicts.len(), 3); // two events + finish
+        assert!(verdicts[0].is_ok());
+        assert!(matches!(verdicts[1], Verdict::UpperBoundViolation(_)));
+        // In Complete mode an unserved pending deadline surfaces at finish.
+        let pending = seq(&[("noise", 3, 1)]);
+        let verdicts = replay_verdicts(&pending, &[c], SatisfactionMode::Complete);
+        assert!(verdicts[0].is_ok());
+        assert!(matches!(verdicts[1], Verdict::UpperBoundViolation(_)));
+    }
+}

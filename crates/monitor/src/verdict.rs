@@ -1,0 +1,86 @@
+//! Per-event verdicts emitted by the monitor.
+
+use tempo_core::{Violation, ViolationKind};
+
+/// The monitor's judgement after consuming one event (or finishing a
+/// stream): either everything is still consistent with the conditions, or
+/// a definite violation has been witnessed.
+///
+/// Violation payloads are exactly [`tempo_core::Violation`], so online
+/// verdicts compare `==` against the offline checker's output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The event is consistent with every open obligation.
+    Ok,
+    /// A `Π`-event arrived strictly before its earliest permitted time.
+    LowerBoundViolation(Violation),
+    /// A deadline passed with no `Π`-event and no disabling state.
+    UpperBoundViolation(Violation),
+}
+
+impl Verdict {
+    /// Wraps a violation in the matching verdict variant.
+    pub fn from_violation(v: Violation) -> Verdict {
+        match v.kind {
+            ViolationKind::LowerBound { .. } => Verdict::LowerBoundViolation(v),
+            ViolationKind::UpperBound { .. } => Verdict::UpperBoundViolation(v),
+        }
+    }
+
+    /// Returns `true` for [`Verdict::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Ok)
+    }
+
+    /// The violation carried by a non-`Ok` verdict.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            Verdict::Ok => None,
+            Verdict::LowerBoundViolation(v) | Verdict::UpperBoundViolation(v) => Some(v),
+        }
+    }
+
+    /// Unwraps into the violation, if any.
+    pub fn into_violation(self) -> Option<Violation> {
+        match self {
+            Verdict::Ok => None,
+            Verdict::LowerBoundViolation(v) | Verdict::UpperBoundViolation(v) => Some(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::Rat;
+
+    #[test]
+    fn wraps_by_kind() {
+        let lower = Violation {
+            condition: "C".into(),
+            kind: ViolationKind::LowerBound {
+                trigger_index: 0,
+                event_index: 1,
+                earliest: Rat::from(2),
+            },
+        };
+        assert!(matches!(
+            Verdict::from_violation(lower.clone()),
+            Verdict::LowerBoundViolation(_)
+        ));
+        let upper = Violation {
+            condition: "C".into(),
+            kind: ViolationKind::UpperBound {
+                trigger_index: 0,
+                deadline: Rat::from(4),
+            },
+        };
+        let v = Verdict::from_violation(upper.clone());
+        assert!(matches!(v, Verdict::UpperBoundViolation(_)));
+        assert!(!v.is_ok());
+        assert_eq!(v.violation(), Some(&upper));
+        assert_eq!(v.into_violation(), Some(upper));
+        assert!(Verdict::Ok.is_ok());
+        assert_eq!(Verdict::Ok.violation(), None);
+    }
+}

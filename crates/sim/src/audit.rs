@@ -74,12 +74,9 @@ mod tests {
     }
 
     fn cond(lo: i64, hi: i64) -> TimingCondition<(), &'static str> {
-        TimingCondition::new(
-            "C",
-            Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap(),
-        )
-        .triggered_at_start(|_| true)
-        .on_actions(|a| *a == "g")
+        TimingCondition::new("C", Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap())
+            .triggered_at_start(|_| true)
+            .on_actions(|a| *a == "g")
     }
 
     #[test]

@@ -49,10 +49,7 @@ impl Ensemble {
 
     /// Generates the runs of `aut` and projects them to base timed
     /// sequences.
-    pub fn collect<M: Ioa>(
-        &self,
-        aut: &TimeIoa<M>,
-    ) -> Vec<TimedSequence<M::State, M::Action>> {
+    pub fn collect<M: Ioa>(&self, aut: &TimeIoa<M>) -> Vec<TimedSequence<M::State, M::Action>> {
         let mut out = Vec::new();
         if self.extremal {
             let (run, _) = aut.generate(&mut EarliestScheduler::new(), self.steps);
@@ -132,9 +129,7 @@ mod tests {
         let sig = Signature::new(vec![], vec!["tick"], vec![]).unwrap();
         let part = Partition::singletons(&sig).unwrap();
         let aut = Arc::new(Ticker { sig, part });
-        let b = Boundmap::from_intervals(vec![
-            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
-        ]);
+        let b = Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2)).unwrap()]);
         let t = time_ab(&Timed::new(aut, b).unwrap());
         let runs = Ensemble::new(5, 10).collect(&t);
         assert_eq!(runs.len(), 7); // 2 extremal + 5 random

@@ -46,8 +46,10 @@ mod audit;
 mod ensemble;
 mod scheduler;
 mod stats;
+mod stream;
 
 pub use audit::{audit_runs, AuditSummary};
 pub use ensemble::Ensemble;
 pub use scheduler::{TargetDelayScheduler, TargetRushScheduler};
 pub use stats::{FirstTimeStats, GapStats};
+pub use stream::{pooled_audit_runs, stream_audit_runs};

@@ -50,7 +50,8 @@ pub struct TargetDelayScheduler<M: tempo_ioa::Ioa, P> {
 
 impl<M: tempo_ioa::Ioa, P> std::fmt::Debug for TargetDelayScheduler<M, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TargetDelayScheduler").finish_non_exhaustive()
+        f.debug_struct("TargetDelayScheduler")
+            .finish_non_exhaustive()
     }
 }
 
@@ -147,12 +148,7 @@ where
             .enumerate()
             .filter(|(_, (a, _))| (self.is_target)(a))
             .min_by_key(|(_, (_, w))| w.lo)
-            .or_else(|| {
-                options
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, (_, w))| w.lo)
-            });
+            .or_else(|| options.iter().enumerate().min_by_key(|(_, (_, w))| w.lo));
         let (i, (a, w)) = pick?;
         let t = self.guard.adjust(a, w.lo, *w, self.cap);
         Some((i, t))
@@ -278,13 +274,15 @@ mod tests {
         let sig = Signature::new(vec![], vec!["idle"], vec![]).unwrap();
         let part = Partition::singletons(&sig).unwrap();
         let aut = Arc::new(Stutter { sig, part });
-        let b = Boundmap::from_intervals(vec![
-            Interval::closed(Rat::ZERO, Rat::ONE).unwrap(),
-        ]);
+        let b = Boundmap::from_intervals(vec![Interval::closed(Rat::ZERO, Rat::ONE).unwrap()]);
         let t = time_ab(&Timed::new(aut, b).unwrap());
         let mut rush = TargetRushScheduler::new(|_: &&str| false);
         let (run, _) = t.generate(&mut rush, 20);
-        assert!(run.t_end() >= Rat::from(5), "time must diverge, got {}", run.t_end());
+        assert!(
+            run.t_end() >= Rat::from(5),
+            "time must diverge, got {}",
+            run.t_end()
+        );
         let mut delay = TargetDelayScheduler::new(t.clone(), |_: &&str| false);
         let (run, _) = t.generate(&mut delay, 20);
         assert!(run.t_end() >= Rat::from(10));

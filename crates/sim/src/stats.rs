@@ -58,10 +58,7 @@ impl GapStats {
     }
 
     /// Measures the time of the first `to`-event in each run (from time 0).
-    pub fn first<S, A>(
-        runs: &[TimedSequence<S, A>],
-        mut to: impl FnMut(&A) -> bool,
-    ) -> GapStats
+    pub fn first<S, A>(runs: &[TimedSequence<S, A>], mut to: impl FnMut(&A) -> bool) -> GapStats
     where
         S: Clone + fmt::Debug,
         A: Clone + fmt::Debug,

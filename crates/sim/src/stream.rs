@@ -1,0 +1,136 @@
+//! Online auditing of run ensembles through the streaming monitor.
+//!
+//! The offline [`audit_runs`](crate::audit_runs) re-checks every
+//! condition against every complete run; these adapters push the same
+//! runs through `tempo-monitor` instead — sequentially with a single
+//! [`Monitor`](tempo_monitor::Monitor) per run, or sharded across a
+//! [`MonitorPool`]'s worker threads. Both agree with the offline audit
+//! on whether the ensemble passes.
+
+use std::fmt;
+
+use tempo_core::{TimedSequence, TimingCondition};
+use tempo_monitor::{replay, MonitorPool, PoolConfig};
+
+use crate::audit::AuditSummary;
+
+/// Streaming semi-satisfaction audit: each run is replayed through an
+/// online monitor compiled from `conds`.
+///
+/// Agrees with [`audit_runs`](crate::audit_runs) on
+/// [`passed`](AuditSummary::passed); the violation lists may differ in
+/// granularity — the offline audit records only the first violation per
+/// (run, condition) pair, the monitor records one per violated trigger.
+pub fn stream_audit_runs<S, A>(
+    runs: &[TimedSequence<S, A>],
+    conds: &[TimingCondition<S, A>],
+) -> AuditSummary
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let mut summary = AuditSummary {
+        checks: runs.len() * conds.len(),
+        violations: Vec::new(),
+    };
+    for (i, run) in runs.iter().enumerate() {
+        for v in replay(run, conds, tempo_core::SatisfactionMode::Prefix) {
+            summary.violations.push((i, v));
+        }
+    }
+    summary
+}
+
+/// Streaming audit sharded across a [`MonitorPool`]: each run becomes
+/// one stream, fed event-by-event to the pool's worker threads.
+///
+/// Same agreement guarantee as [`stream_audit_runs`].
+pub fn pooled_audit_runs<S, A>(
+    runs: &[TimedSequence<S, A>],
+    conds: &[TimingCondition<S, A>],
+    config: PoolConfig,
+) -> AuditSummary
+where
+    S: Clone + fmt::Debug + Send + 'static,
+    A: Clone + fmt::Debug + Send + 'static,
+{
+    let mut pool = MonitorPool::new(conds, config);
+    for run in runs {
+        let mut stream = pool.open_stream(run.first_state().clone());
+        for (_, a, t, post) in run.step_triples() {
+            stream
+                .send(a.clone(), t, post.clone())
+                .expect("audit pools use the lossless Block policy");
+        }
+        stream.finish();
+    }
+    let report = pool.shutdown();
+    let mut summary = AuditSummary {
+        checks: runs.len() * conds.len(),
+        violations: Vec::new(),
+    };
+    for s in report.streams {
+        for v in s.violations {
+            summary.violations.push((s.stream as usize, v));
+        }
+    }
+    summary.violations.sort_by_key(|(i, _)| *i);
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit_runs;
+    use tempo_math::{Interval, Rat};
+
+    fn seq(events: &[(&'static str, i64)]) -> TimedSequence<(), &'static str> {
+        let mut s = TimedSequence::new(());
+        for (a, t) in events {
+            s.push(*a, Rat::from(*t), ());
+        }
+        s
+    }
+
+    fn cond(lo: i64, hi: i64) -> TimingCondition<(), &'static str> {
+        TimingCondition::new("C", Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap())
+            .triggered_at_start(|_| true)
+            .on_actions(|a| *a == "g")
+    }
+
+    #[test]
+    fn streaming_audit_agrees_with_offline() {
+        let runs = vec![
+            seq(&[("g", 2)]),
+            seq(&[("g", 0)]),
+            seq(&[("x", 1), ("g", 3)]),
+        ];
+        let conds = [cond(1, 3)];
+        let offline = audit_runs(&runs, &conds);
+        let online = stream_audit_runs(&runs, &conds);
+        assert_eq!(offline.passed(), online.passed());
+        assert_eq!(online.checks, 3);
+        assert_eq!(online.violations.len(), 1);
+        assert_eq!(online.violations[0].0, 1);
+    }
+
+    #[test]
+    fn pooled_audit_agrees_with_offline() {
+        let runs: Vec<_> = (0..10)
+            .map(|i| {
+                if i % 3 == 0 {
+                    seq(&[("g", 0)]) // lower-bound violation
+                } else {
+                    seq(&[("g", 2)])
+                }
+            })
+            .collect();
+        let conds = [cond(1, 3)];
+        let offline = audit_runs(&runs, &conds);
+        let online = pooled_audit_runs(&runs, &conds, PoolConfig::default());
+        assert_eq!(offline.passed(), online.passed());
+        let offline_runs: Vec<usize> = offline.violations.iter().map(|(i, _)| *i).collect();
+        let online_runs: Vec<usize> = online.violations.iter().map(|(i, _)| *i).collect();
+        assert_eq!(offline_runs, online_runs);
+    }
+}

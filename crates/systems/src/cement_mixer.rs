@@ -324,11 +324,7 @@ mod tests {
         };
         let params = MixerParams::ints(1, 3, 5, None);
         let timed = mixer_system(&params);
-        let dummified = dummify(
-            &timed,
-            Interval::closed(Rat::ONE, Rat::ONE).unwrap(),
-        )
-        .unwrap();
+        let dummified = dummify(&timed, Interval::closed(Rat::ONE, Rat::ONE).unwrap()).unwrap();
         let aut = time_ab(&dummified);
         let cond = lift_condition(&conditional_response(&params));
         let naive = lift_condition(&naive_response(&params));

@@ -97,7 +97,10 @@ impl FischerParams {
     ///
     /// Panics on degenerate values (`n = 0`, `a ≤ 0`, `b > big_b`).
     pub fn ints(n: usize, a: i64, b: i64, big_b: i64) -> FischerParams {
-        assert!(n >= 1 && a > 0 && b <= big_b && b >= 0, "degenerate parameters");
+        assert!(
+            n >= 1 && a > 0 && b <= big_b && b >= 0,
+            "degenerate parameters"
+        );
         FischerParams {
             n,
             a: Rat::from(a),
@@ -113,11 +116,7 @@ impl FischerParams {
 
     /// The solo entry bound `[b, 2a + B]` (for `n = 1`).
     pub fn solo_entry_bounds(&self) -> Interval {
-        Interval::new(
-            self.b,
-            TimeVal::from(self.a.scale(2) + self.big_b),
-        )
-        .expect("b ≤ B ≤ 2a + B")
+        Interval::new(self.b, TimeVal::from(self.a.scale(2) + self.big_b)).expect("b ≤ B ≤ 2a + B")
     }
 }
 
@@ -135,7 +134,12 @@ impl Fischer {
     pub fn new(n: usize) -> Fischer {
         let mut outputs = Vec::new();
         for i in 0..n {
-            outputs.extend([FAction::Test(i), FAction::Set(i), FAction::Check(i), FAction::Exit(i)]);
+            outputs.extend([
+                FAction::Test(i),
+                FAction::Set(i),
+                FAction::Check(i),
+                FAction::Exit(i),
+            ]);
         }
         let sig = Signature::new(vec![], outputs, vec![]).expect("distinct actions");
         let mut classes = Vec::new();
@@ -195,12 +199,8 @@ pub fn fischer_system(params: &FischerParams) -> Timed<Fischer> {
     let aut = Arc::new(Fischer::new(params.n));
     let mut intervals = Vec::new();
     for _ in 0..params.n {
-        intervals.push(
-            Interval::new(Rat::ZERO, TimeVal::from(params.a)).expect("a > 0"),
-        );
-        intervals.push(
-            Interval::new(params.b, TimeVal::from(params.big_b)).expect("b ≤ B"),
-        );
+        intervals.push(Interval::new(Rat::ZERO, TimeVal::from(params.a)).expect("a > 0"));
+        intervals.push(Interval::new(params.b, TimeVal::from(params.big_b)).expect("b ≤ B"));
     }
     Timed::new(aut, Boundmap::from_intervals(intervals)).expect("one interval per class")
 }
@@ -212,9 +212,8 @@ pub fn fischer_system(params: &FischerParams) -> Timed<Fischer> {
 /// Propagates [`ZoneError`] (state-space limit).
 pub fn check_mutual_exclusion(params: &FischerParams) -> Result<Option<FState>, ZoneError> {
     let timed = fischer_system(params);
-    ZoneChecker::new(&timed).check_invariant(|s: &FState| {
-        s.pcs.iter().filter(|pc| **pc == Pc::Crit).count() <= 1
-    })
+    ZoneChecker::new(&timed)
+        .check_invariant(|s: &FState| s.pcs.iter().filter(|pc| **pc == Pc::Crit).count() <= 1)
 }
 
 /// The solo-entry condition (`n = 1`): from the start, `Check(0)` occurs
@@ -366,10 +365,7 @@ mod tests {
         assert!(!params.safe());
         let violation = check_mutual_exclusion(&params).unwrap();
         let witness = violation.expect("two processes must reach Crit");
-        assert_eq!(
-            witness.pcs.iter().filter(|pc| **pc == Pc::Crit).count(),
-            2
-        );
+        assert_eq!(witness.pcs.iter().filter(|pc| **pc == Pc::Crit).count(), 2);
     }
 
     #[test]

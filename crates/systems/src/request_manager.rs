@@ -185,12 +185,7 @@ pub struct Requester {
 impl Requester {
     /// Creates the requester.
     pub fn new() -> Requester {
-        let sig = Signature::new(
-            vec![RqAction::Grant],
-            vec![RqAction::Request],
-            vec![],
-        )
-        .unwrap();
+        let sig = Signature::new(vec![RqAction::Grant], vec![RqAction::Request], vec![]).unwrap();
         let part = Partition::new(&sig, vec![("REQUEST", vec![RqAction::Request])]).unwrap();
         Requester { sig, part }
     }

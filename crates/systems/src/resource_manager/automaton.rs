@@ -68,7 +68,9 @@ impl fmt::Display for ParamError {
         match self {
             ParamError::ZeroK => write!(f, "k must be positive"),
             ParamError::BadClockBounds => write!(f, "clock bounds must satisfy 0 < c1 <= c2"),
-            ParamError::NonpositiveL => write!(f, "l must be positive (boundmap upper bounds are nonzero)"),
+            ParamError::NonpositiveL => {
+                write!(f, "l must be positive (boundmap upper bounds are nonzero)")
+            }
             ParamError::ClockNotSlower => write!(f, "the paper assumes c1 > l"),
         }
     }
@@ -189,11 +191,8 @@ impl Manager {
             vec![RmAction::Else],
         )
         .unwrap();
-        let part = Partition::new(
-            &sig,
-            vec![("LOCAL", vec![RmAction::Grant, RmAction::Else])],
-        )
-        .unwrap();
+        let part =
+            Partition::new(&sig, vec![("LOCAL", vec![RmAction::Grant, RmAction::Else])]).unwrap();
         Manager {
             k: k as i64,
             sig,
@@ -297,7 +296,10 @@ mod tests {
             Some(ActionKind::Internal)
         );
         // Class indices as advertised.
-        assert_eq!(aut.partition().class_by_name("TICK"), Some(ClassId(TICK_CLASS)));
+        assert_eq!(
+            aut.partition().class_by_name("TICK"),
+            Some(ClassId(TICK_CLASS))
+        );
         assert_eq!(
             aut.partition().class_by_name("LOCAL"),
             Some(ClassId(LOCAL_CLASS))

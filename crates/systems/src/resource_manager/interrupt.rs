@@ -81,8 +81,8 @@ pub type InterruptAutomaton = Hide<Compose<Clock, InterruptManager>>;
 /// Builds the interrupt-driven timed system with the same boundmap shape
 /// as the polled one.
 pub fn interrupt_system(params: &Params) -> Timed<InterruptAutomaton> {
-    let composed = Compose::new(Clock::new(), InterruptManager::new(params.k))
-        .expect("strongly compatible");
+    let composed =
+        Compose::new(Clock::new(), InterruptManager::new(params.k)).expect("strongly compatible");
     let aut = Arc::new(Hide::new(composed, &[RmAction::Tick]));
     let b = Boundmap::by_name(
         aut.as_ref(),
@@ -102,18 +102,14 @@ pub fn interrupt_system(params: &Params) -> Timed<InterruptAutomaton> {
 }
 
 /// `G1` for the interrupt variant (same formula target as the polled one).
-pub fn interrupt_g1(
-    params: &Params,
-) -> tempo_core::TimingCondition<((), i64), RmAction> {
+pub fn interrupt_g1(params: &Params) -> tempo_core::TimingCondition<((), i64), RmAction> {
     tempo_core::TimingCondition::new("G1", params.g1_bounds())
         .triggered_at_start(|_| true)
         .on_actions(|a| *a == RmAction::Grant)
 }
 
 /// `G2` for the interrupt variant.
-pub fn interrupt_g2(
-    params: &Params,
-) -> tempo_core::TimingCondition<((), i64), RmAction> {
+pub fn interrupt_g2(params: &Params) -> tempo_core::TimingCondition<((), i64), RmAction> {
     tempo_core::TimingCondition::new("G2", params.g2_bounds())
         .triggered_by_step(|_, a, _| *a == RmAction::Grant)
         .on_actions(|a| *a == RmAction::Grant)
@@ -134,13 +130,17 @@ mod tests {
             let params = Params::ints(k, c1, c2, l).unwrap();
             let polled = system(&params);
             let interrupt = interrupt_system(&params);
-            let pz1 = ZoneChecker::new(&polled).verify_condition(&g1(&params)).unwrap();
+            let pz1 = ZoneChecker::new(&polled)
+                .verify_condition(&g1(&params))
+                .unwrap();
             let iz1 = ZoneChecker::new(&interrupt)
                 .verify_condition(&interrupt_g1(&params))
                 .unwrap();
             assert_eq!(pz1.earliest_pi, iz1.earliest_pi, "G1 lower, k={k}");
             assert_eq!(pz1.latest_armed, iz1.latest_armed, "G1 upper, k={k}");
-            let pz2 = ZoneChecker::new(&polled).verify_condition(&g2(&params)).unwrap();
+            let pz2 = ZoneChecker::new(&polled)
+                .verify_condition(&g2(&params))
+                .unwrap();
             let iz2 = ZoneChecker::new(&interrupt)
                 .verify_condition(&interrupt_g2(&params))
                 .unwrap();
@@ -163,11 +163,15 @@ mod tests {
         let polled = system(&params);
         let interrupt = interrupt_system(&params);
         assert_eq!(
-            ZoneChecker::new(&polled).check_invariant(|s| s.1 >= 0).unwrap(),
+            ZoneChecker::new(&polled)
+                .check_invariant(|s| s.1 >= 0)
+                .unwrap(),
             None
         );
         assert_eq!(
-            ZoneChecker::new(&interrupt).check_invariant(|s| s.1 >= 0).unwrap(),
+            ZoneChecker::new(&interrupt)
+                .check_invariant(|s| s.1 >= 0)
+                .unwrap(),
             None
         );
         // Violated assumption (c1 ≤ l), built by hand for both variants.

@@ -109,7 +109,10 @@ mod tests {
             .with_max_zones(50_000)
             .check_invariant(|s| s.1 >= 0)
             .unwrap();
-        assert!(violation.is_some(), "TIMER must dip below zero when c1 <= l");
+        assert!(
+            violation.is_some(),
+            "TIMER must dip below zero when c1 <= l"
+        );
     }
 
     #[test]
@@ -127,10 +130,7 @@ mod tests {
             now: Rat::from(10),
             // Ft(TICK) too small relative to Lt(LOCAL) + c1 − l.
             ft: vec![Rat::from(10), Rat::ZERO],
-            lt: vec![
-                TimeVal::from(Rat::from(12)),
-                TimeVal::from(Rat::from(11)),
-            ],
+            lt: vec![TimeVal::from(Rat::from(12)), TimeVal::from(Rat::from(11))],
         };
         assert!(!lemma_4_1(&params, &bad2));
     }

@@ -38,8 +38,7 @@ impl PossibilitiesMapping<RmState, RmAction> for RmMapping {
             // A tick by Lt(TICK), then TIMER − 1 more at ≤ c2 each, then
             // the local GRANT within l; dually for the lower bound.
             let remaining = (timer - 1) as i128;
-            let lt_min =
-                s.lt[TICK_CLASS] + (self.params.c2.scale(remaining) + self.params.l);
+            let lt_min = s.lt[TICK_CLASS] + (self.params.c2.scale(remaining) + self.params.l);
             let ft_max = TimeVal::from(s.ft[TICK_CLASS] + self.params.c1.scale(remaining));
             (ft_max, lt_min)
         } else {

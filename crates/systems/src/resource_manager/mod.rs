@@ -37,7 +37,7 @@ mod mapping;
 mod requirements;
 
 pub use automaton::{
-    system, untimed, Clock, Manager, Params, ParamError, RmAction, RmAutomaton, RmState,
+    system, untimed, Clock, Manager, ParamError, Params, RmAction, RmAutomaton, RmState,
     LOCAL_CLASS, TICK_CLASS,
 };
 pub use invariant::{check_lemma_4_1_on_runs, lemma_4_1};
@@ -158,15 +158,13 @@ mod tests {
 
     #[test]
     fn rational_parameters() {
-        let params = Params::new(
-            3,
-            Rat::new(3, 2),
-            Rat::new(5, 2),
-            Rat::ONE,
-        )
-        .unwrap();
+        let params = Params::new(3, Rat::new(3, 2), Rat::new(5, 2), Rat::ONE).unwrap();
         let v = verify(&params);
-        assert!(v.all_passed(), "mapping: {:?}", v.mapping_report.violations.first());
+        assert!(
+            v.all_passed(),
+            "mapping: {:?}",
+            v.mapping_report.violations.first()
+        );
         assert_eq!(v.zone_g1.earliest_pi.to_string(), "9/2");
         assert_eq!(v.zone_g1.latest_armed.to_string(), "17/2");
         assert_eq!(v.zone_g2.earliest_pi.to_string(), "7/2");

@@ -30,10 +30,7 @@ pub fn g2(params: &Params) -> TimingCondition<RmState, RmAction> {
 }
 
 /// The requirements automaton `B = time(A, {G1, G2})`.
-pub fn requirements_automaton(
-    timed: &Timed<RmAutomaton>,
-    params: &Params,
-) -> TimeIoa<RmAutomaton> {
+pub fn requirements_automaton(timed: &Timed<RmAutomaton>, params: &Params) -> TimeIoa<RmAutomaton> {
     TimeIoa::new(Arc::clone(timed.automaton()), vec![g1(params), g2(params)])
 }
 
@@ -41,7 +38,9 @@ pub fn requirements_automaton(
 mod tests {
     use super::super::system;
     use super::*;
-    use tempo_core::{check_wellformed, project, satisfies, semi_satisfies, EarliestScheduler, LatestScheduler};
+    use tempo_core::{
+        check_wellformed, project, satisfies, semi_satisfies, EarliestScheduler, LatestScheduler,
+    };
     use tempo_ioa::Explorer;
     use tempo_math::{Rat, TimeVal};
 

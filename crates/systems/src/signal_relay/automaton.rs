@@ -84,11 +84,8 @@ impl RelayParams {
     pub fn u_kn_bounds(&self, k: usize) -> Interval {
         assert!(k < self.n, "k must be below n");
         let hops = (self.n - k) as i128;
-        Interval::new(
-            self.d1.scale(hops),
-            TimeVal::from(self.d2.scale(hops)),
-        )
-        .expect("validated delays give a nonempty interval")
+        Interval::new(self.d1.scale(hops), TimeVal::from(self.d2.scale(hops)))
+            .expect("validated delays give a nonempty interval")
     }
 
     /// The bound of the overall requirement `U_{0,n}`: `[n·d1, n·d2]`.
@@ -173,9 +170,8 @@ pub fn relay_line(params: &RelayParams) -> Timed<RelayAutomaton> {
     let aut = Arc::new(relay_untimed(params));
     let mut intervals = vec![Interval::unbounded_above(Rat::ZERO)];
     for _ in 1..=params.n {
-        intervals.push(
-            Interval::new(params.d1, TimeVal::from(params.d2)).expect("validated delays"),
-        );
+        intervals
+            .push(Interval::new(params.d1, TimeVal::from(params.d2)).expect("validated delays"));
     }
     Timed::new(aut, Boundmap::from_intervals(intervals)).expect("one interval per class")
 }

@@ -119,8 +119,7 @@ impl PossibilitiesMapping<RelayState, DummySig> for HierarchyMapping {
         // Spec condition order: 0..=k−1 the signal classes, k = U_{k−1,n},
         // k+1 = NULL. Implementation indices: i ↦ i for the shared signal
         // classes, k+1 = U_{k,n}, k+2 = NULL.
-        let mut constraints: Vec<CondConstraint> =
-            (0..k).map(CondConstraint::EqualTo).collect();
+        let mut constraints: Vec<CondConstraint> = (0..k).map(CondConstraint::EqualTo).collect();
         let in_flight_past_k = flags[k + 1..=n].iter().any(|f| *f);
         let u_constraint = if in_flight_past_k {
             CondConstraint::Window {
@@ -168,14 +167,17 @@ pub fn top_mapping(
     params: &RelayParams,
 ) -> FnMapping<impl Fn(&TimedState<RelayState>) -> SpecRegion> {
     let n = params.n;
-    FnMapping::new("relay top (rename SIGNAL_n ↦ U_{n−1,n})", region_fn(move |_s| {
-        // Spec: [S_0..S_{n−1}, U_{n−1,n}, NULL] ← impl [S_0..S_n, NULL].
-        let mut constraints: Vec<CondConstraint> =
-            (0..n).map(CondConstraint::EqualTo).collect();
-        constraints.push(CondConstraint::EqualTo(n)); // U_{n−1,n} ← cond(SIGNAL_n)
-        constraints.push(CondConstraint::EqualTo(n + 1)); // NULL
-        SpecRegion::new(constraints)
-    }))
+    FnMapping::new(
+        "relay top (rename SIGNAL_n ↦ U_{n−1,n})",
+        region_fn(move |_s| {
+            // Spec: [S_0..S_{n−1}, U_{n−1,n}, NULL] ← impl [S_0..S_n, NULL].
+            let mut constraints: Vec<CondConstraint> =
+                (0..n).map(CondConstraint::EqualTo).collect();
+            constraints.push(CondConstraint::EqualTo(n)); // U_{n−1,n} ← cond(SIGNAL_n)
+            constraints.push(CondConstraint::EqualTo(n + 1)); // NULL
+            SpecRegion::new(constraints)
+        }),
+    )
 }
 
 /// The trivial bottom mapping `B_0 → B = time(Ã, {Ũ_{0,n}})`: forgets the
@@ -282,12 +284,7 @@ pub fn check_chain(params: &RelayParams, timed: &Timed<RelayAutomaton>) -> Vec<C
     for k in (1..params.n).rev() {
         let impl_k = intermediate_automaton(k, params, &dummified);
         let spec_k = intermediate_automaton(k - 1, params, &dummified);
-        reports.push(checker.check(
-            &impl_k,
-            &spec_k,
-            &HierarchyMapping::new(k, params),
-            &plan,
-        ));
+        reports.push(checker.check(&impl_k, &spec_k, &HierarchyMapping::new(k, params), &plan));
     }
 
     // Bottom: B_0 → B.
@@ -436,8 +433,8 @@ mod tests {
         assert_eq!(
             region.constraints()[0],
             CondConstraint::Window {
-                ft_max: TimeVal::from(Rat::from(6)),  // 5 + 1·d1
-                lt_min: TimeVal::from(Rat::from(8)),  // 6 + 1·d2
+                ft_max: TimeVal::from(Rat::from(6)), // 5 + 1·d1
+                lt_min: TimeVal::from(Rat::from(8)), // 6 + 1·d2
             }
         );
     }
@@ -450,11 +447,7 @@ mod tests {
             let reports = check_chain(&params, &timed);
             assert_eq!(reports.len(), n + 1);
             for (i, r) in reports.iter().enumerate() {
-                assert!(
-                    r.passed(),
-                    "n={n} level {i}: {:?}",
-                    r.violations.first()
-                );
+                assert!(r.passed(), "n={n} level {i}: {:?}", r.violations.first());
                 assert!(r.steps_checked > 0);
             }
         }
@@ -471,7 +464,9 @@ mod tests {
             "U_{0,2}-wrong",
             Interval::closed(Rat::from(6), Rat::from(6)).unwrap(),
         )
-        .triggered_by_step(|_, a: &DummySig, _| matches!(a, tempo_core::DummyAction::Base(s) if s.0 == 0))
+        .triggered_by_step(
+            |_, a: &DummySig, _| matches!(a, tempo_core::DummyAction::Base(s) if s.0 == 0),
+        )
         .on_actions(|a: &DummySig| matches!(a, tempo_core::DummyAction::Base(s) if s.0 == 2));
         let impl_1 = intermediate_automaton(1, &params, &dummified);
         let mut spec_conds = level_conditions(0, &params, &dummified);

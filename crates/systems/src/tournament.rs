@@ -141,7 +141,10 @@ impl Tournament {
     ///
     /// Panics unless `n` is a power of two, `n ≥ 2`.
     pub fn new(n: usize) -> Tournament {
-        assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two ≥ 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "n must be a power of two ≥ 2"
+        );
         let mut outputs = Vec::new();
         for i in 0..n {
             outputs.extend([
@@ -226,23 +229,39 @@ impl Ioa for Tournament {
                     phase: TPhase::SetFlag,
                 };
             }
-            (TAction::SetFlag(_), TPc::At { node, phase: TPhase::SetFlag }) => {
+            (
+                TAction::SetFlag(_),
+                TPc::At {
+                    node,
+                    phase: TPhase::SetFlag,
+                },
+            ) => {
                 next.nodes[node].flags[self.side(i, node)] = true;
                 next.pcs[i] = TPc::At {
                     node,
                     phase: TPhase::SetTurn,
                 };
             }
-            (TAction::SetTurn(_), TPc::At { node, phase: TPhase::SetTurn }) => {
+            (
+                TAction::SetTurn(_),
+                TPc::At {
+                    node,
+                    phase: TPhase::SetTurn,
+                },
+            ) => {
                 next.nodes[node].turn = 1 - self.side(i, node);
                 next.pcs[i] = TPc::At {
                     node,
                     phase: TPhase::Wait,
                 };
             }
-            (TAction::Advance(_), TPc::At { node, phase: TPhase::Wait })
-                if self.may_enter(s, i, node) =>
-            {
+            (
+                TAction::Advance(_),
+                TPc::At {
+                    node,
+                    phase: TPhase::Wait,
+                },
+            ) if self.may_enter(s, i, node) => {
                 next.pcs[i] = if node == 1 {
                     TPc::Crit
                 } else {
@@ -252,9 +271,13 @@ impl Ioa for Tournament {
                     }
                 };
             }
-            (TAction::Retry(_), TPc::At { node, phase: TPhase::Wait })
-                if !self.may_enter(s, i, node) =>
-            {
+            (
+                TAction::Retry(_),
+                TPc::At {
+                    node,
+                    phase: TPhase::Wait,
+                },
+            ) if !self.may_enter(s, i, node) => {
                 // Spin.
             }
             (TAction::Release(_), TPc::Crit) => {
@@ -336,8 +359,7 @@ pub fn entry_condition(
     let leaf = aut.leaf(i);
     TimingCondition::new(format!("T-ENTRY_{i}"), bound)
         .triggered_by_step(move |pre: &TState, a: &TAction, _| {
-            *a == TAction::SetFlag(i)
-                && matches!(pre.pcs[i], TPc::At { node, .. } if node == leaf)
+            *a == TAction::SetFlag(i) && matches!(pre.pcs[i], TPc::At { node, .. } if node == leaf)
         })
         .on_actions(move |a: &TAction| *a == TAction::Advance(i))
         // Only the final Advance (root win) counts: disable on non-root

@@ -18,8 +18,8 @@ use tempo_core::mapping::{
     CheckReport, CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan, SpecRegion,
 };
 use tempo_core::{
-    cond_of_class, dummify, lift_condition, time_ab, undum, Boundmap, Dummy, DummyAction,
-    TimeIoa, Timed, TimedState, TimingCondition,
+    cond_of_class, dummify, lift_condition, time_ab, undum, Boundmap, Dummy, DummyAction, TimeIoa,
+    Timed, TimedState, TimingCondition,
 };
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};

@@ -97,9 +97,7 @@ impl Add for DbmBound {
         match (self, other) {
             (DbmBound::Unbounded, _) | (_, DbmBound::Unbounded) => DbmBound::Unbounded,
             (DbmBound::Weak(a), DbmBound::Weak(b)) => DbmBound::Weak(a + b),
-            (a, b) => DbmBound::Strict(
-                a.value().expect("finite") + b.value().expect("finite"),
-            ),
+            (a, b) => DbmBound::Strict(a.value().expect("finite") + b.value().expect("finite")),
         }
     }
 }

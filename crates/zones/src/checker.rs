@@ -258,10 +258,7 @@ impl<'a, M: Ioa> ZoneChecker<'a, M> {
         self.verdict_for_initials(&obs, initials)
     }
 
-    fn default_initials(
-        &self,
-        obs: &Observer<'_, M>,
-    ) -> Vec<(ObsLoc<M::State>, Dbm)> {
+    fn default_initials(&self, obs: &Observer<'_, M>) -> Vec<(ObsLoc<M::State>, Dbm)> {
         let clocks = obs.num_clocks();
         let consts = obs.max_consts();
         let mut out = Vec::new();
@@ -479,8 +476,8 @@ mod tests {
 
     use super::*;
     use tempo_core::Boundmap;
-    use tempo_math::Rat;
     use tempo_ioa::{Partition, Signature};
+    use tempo_math::Rat;
 
     fn iv(lo: i64, hi: i64) -> Interval {
         Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap()
@@ -599,12 +596,10 @@ mod tests {
         // The condition's own interval is a placeholder ([0, ∞]); the
         // adaptive measurement still recovers the exact first-tick window.
         let t = ticker(1, 2);
-        let cond: TimingCondition<u8, &str> = TimingCondition::new(
-            "FIRST",
-            Interval::unbounded_above(Rat::ZERO),
-        )
-        .triggered_at_start(|_| true)
-        .on_actions(|a| *a == "tick");
+        let cond: TimingCondition<u8, &str> =
+            TimingCondition::new("FIRST", Interval::unbounded_above(Rat::ZERO))
+                .triggered_at_start(|_| true)
+                .on_actions(|a| *a == "tick");
         let adaptive = ZoneChecker::new(&t)
             .measure_condition_adaptive(&cond, Rat::ONE, 8)
             .unwrap();
@@ -617,11 +612,9 @@ mod tests {
         // With the tick clock already at 1 (of [1, 2]), the next tick is
         // due within [0, 1].
         let t = ticker(1, 2);
-        let cond: TimingCondition<u8, &str> = TimingCondition::new(
-            "NEXT",
-            Interval::unbounded_above(Rat::ZERO),
-        )
-        .on_actions(|a| *a == "tick");
+        let cond: TimingCondition<u8, &str> =
+            TimingCondition::new("NEXT", Interval::unbounded_above(Rat::ZERO))
+                .on_actions(|a| *a == "tick");
         let v = ZoneChecker::new(&t)
             .measure_from_valuation(&cond, &0u8, &[Rat::ONE], Rat::from(8))
             .unwrap();
@@ -679,10 +672,7 @@ mod tests {
         )
         .unwrap();
         let verdict = ZoneChecker::new(&once).check_progress().unwrap();
-        assert_eq!(
-            verdict,
-            crate::Progress::Deadlock { state: true },
-        );
+        assert_eq!(verdict, crate::Progress::Deadlock { state: true },);
         assert!(!verdict.is_live());
     }
 

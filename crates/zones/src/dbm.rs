@@ -129,7 +129,10 @@ impl Dbm {
 
     /// Resets clock `i` to 0.
     pub fn reset(&mut self, clock: usize) {
-        assert!(clock >= 1 && clock < self.dim, "cannot reset the reference clock");
+        assert!(
+            clock >= 1 && clock < self.dim,
+            "cannot reset the reference clock"
+        );
         for j in 0..self.dim {
             self.set(clock, j, self.at(0, j));
             self.set(j, clock, self.at(j, 0));

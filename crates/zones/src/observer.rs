@@ -185,11 +185,7 @@ impl<'a, M: Ioa> Observer<'a, M> {
         aut.partition()
             .ids()
             .filter(|c| aut.class_enabled(&loc.base, *c))
-            .filter_map(|c| {
-                b.upper(c)
-                    .finite()
-                    .map(|hi| (self.class_clock(c), hi))
-            })
+            .filter_map(|c| b.upper(c).finite().map(|hi| (self.class_clock(c), hi)))
             .collect()
     }
 
@@ -359,7 +355,10 @@ mod tests {
         let obs = Observer::observing(&t, &cond);
         assert_eq!(obs.num_clocks(), 3);
         assert_eq!(obs.y_clock(), Some(3));
-        assert_eq!(obs.max_consts(), vec![Rat::from(2), Rat::from(3), Rat::from(3)]);
+        assert_eq!(
+            obs.max_consts(),
+            vec![Rat::from(2), Rat::from(3), Rat::from(3)]
+        );
         let loc0 = obs.initial_locs().pop().unwrap();
         assert!(!loc0.armed, "step-triggered condition starts disarmed");
         let e_a = &obs.edges(&loc0)[0];

@@ -140,9 +140,7 @@ mod tests {
         let part = Partition::singletons(&sig).unwrap();
         Timed::new(
             Arc::new(Ticker { sig, part }),
-            Boundmap::from_intervals(vec![
-                Interval::closed(Rat::ONE, Rat::from(2)).unwrap()
-            ]),
+            Boundmap::from_intervals(vec![Interval::closed(Rat::ONE, Rat::from(2)).unwrap()]),
         )
         .unwrap()
     }
@@ -152,11 +150,9 @@ mod tests {
         let timed = ticker();
         let aut = time_ab(&timed);
         let s0 = aut.initial_states().pop().unwrap();
-        let cond: TimingCondition<u8, &str> = TimingCondition::new(
-            "FIRST",
-            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
-        )
-        .on_actions(|a| *a == "tick");
+        let cond: TimingCondition<u8, &str> =
+            TimingCondition::new("FIRST", Interval::closed(Rat::ONE, Rat::from(2)).unwrap())
+                .on_actions(|a| *a == "tick");
         let oracle = ZoneFirstOracle::new(&timed, Rat::from(8));
         let b = oracle.first_bounds(&s0, &cond);
         assert_eq!(b.sup_first, TimeVal::from(Rat::from(2)));
@@ -164,8 +160,7 @@ mod tests {
     }
 
     #[test]
-    fn bounds_track_elapsed_time_mid_run(
-    ) {
+    fn bounds_track_elapsed_time_mid_run() {
         // From a state reached after some events, the bounds are absolute
         // (≥ the state's current time) and exactly one inter-tick window
         // wide.
@@ -174,11 +169,9 @@ mod tests {
         let mut sched = RandomScheduler::new(5);
         let (run, _) = aut.generate(&mut sched, 6);
         let s = run.last_state().clone();
-        let cond: TimingCondition<u8, &str> = TimingCondition::new(
-            "NEXT",
-            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
-        )
-        .on_actions(|a| *a == "tick");
+        let cond: TimingCondition<u8, &str> =
+            TimingCondition::new("NEXT", Interval::closed(Rat::ONE, Rat::from(2)).unwrap())
+                .on_actions(|a| *a == "tick");
         let oracle = ZoneFirstOracle::new(&timed, Rat::from(8));
         let b = oracle.first_bounds(&s, &cond);
         // The next tick lands exactly in [Ft(TICK), Lt(TICK)].
@@ -191,11 +184,9 @@ mod tests {
         use tempo_core::completeness::ExhaustiveOracle;
         let timed = ticker();
         let aut = time_ab(&timed);
-        let cond: TimingCondition<u8, &str> = TimingCondition::new(
-            "NEXT",
-            Interval::closed(Rat::ONE, Rat::from(2)).unwrap(),
-        )
-        .on_actions(|a| *a == "tick");
+        let cond: TimingCondition<u8, &str> =
+            TimingCondition::new("NEXT", Interval::closed(Rat::ONE, Rat::from(2)).unwrap())
+                .on_actions(|a| *a == "tick");
         let zone_oracle = ZoneFirstOracle::new(&timed, Rat::from(8));
         let exhaustive = ExhaustiveOracle::new(&aut, 6);
         for seed in 0..6 {
@@ -218,12 +209,10 @@ mod tests {
         let aut = time_ab(&timed);
         let s0 = aut.initial_states().pop().unwrap();
         // Π never fires; states ≥ 2 disable (reached at the 2nd tick).
-        let cond: TimingCondition<u8, &str> = TimingCondition::new(
-            "DISABLES",
-            Interval::unbounded_above(Rat::ZERO),
-        )
-        .on_actions(|_| false)
-        .disabled_in(|s| *s >= 2);
+        let cond: TimingCondition<u8, &str> =
+            TimingCondition::new("DISABLES", Interval::unbounded_above(Rat::ZERO))
+                .on_actions(|_| false)
+                .disabled_in(|s| *s >= 2);
         let oracle = ZoneFirstOracle::new(&timed, Rat::from(16));
         let b = oracle.first_bounds(&s0, &cond);
         // Latest second tick: 4 (2 + 2); first_ΠU never resolves.

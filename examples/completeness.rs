@@ -33,22 +33,27 @@ fn main() {
         "  sup first_G1 = {}   (paper: k·c2 + l = 7)",
         b_g1.sup_first
     );
-    println!(
-        "  inf first_ΠG1 = {}  (paper: k·c1 = 4)",
-        b_g1.inf_first_pi
-    );
+    println!("  inf first_ΠG1 = {}  (paper: k·c1 = 4)", b_g1.inf_first_pi);
 
     // Compare with the hand-written mapping's region at the start state.
     let hand = RmMapping::new(params.clone());
     println!("\nregion at the start state:");
-    println!("  hand-written §4.3 : {:?}", hand.region(&s0).constraints()[0]);
+    println!(
+        "  hand-written §4.3 : {:?}",
+        hand.region(&s0).constraints()[0]
+    );
     let canonical = CanonicalMapping::new(ExhaustiveOracle::new(&impl_aut, 14), &spec_conds);
-    println!("  canonical (§7)    : {:?}", canonical.region(&s0).constraints()[0]);
+    println!(
+        "  canonical (§7)    : {:?}",
+        canonical.region(&s0).constraints()[0]
+    );
 
     // A Monte-Carlo oracle brackets the exhaustive one from inside.
     let sampled = SampledOracle::new(&impl_aut, 200, 40, 42).first_bounds(&s0, &spec_conds[0]);
-    println!("\nMonte-Carlo estimate (200 runs): sup ≈ {}, inf ≈ {}",
-        sampled.sup_first, sampled.inf_first_pi);
+    println!(
+        "\nMonte-Carlo estimate (200 runs): sup ≈ {}, inf ≈ {}",
+        sampled.sup_first, sampled.inf_first_pi
+    );
     assert!(sampled.sup_first <= b_g1.sup_first);
     assert!(sampled.inf_first_pi >= b_g1.inf_first_pi);
 
@@ -72,6 +77,9 @@ fn main() {
     if let Some(v) = report.violations.first() {
         println!("  first violation: {v}");
     }
-    assert!(report.passed(), "Theorem 7.1: the canonical mapping must verify");
+    assert!(
+        report.passed(),
+        "Theorem 7.1: the canonical mapping must verify"
+    );
     println!("\nTheorem 7.1 confirmed on this instance.");
 }

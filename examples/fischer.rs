@@ -34,7 +34,10 @@ fn main() {
             );
         }
     }
-    assert!(agreement, "the zone checker must agree with the a < b frontier");
+    assert!(
+        agreement,
+        "the zone checker must agree with the a < b frontier"
+    );
 
     println!("\nsolo entry time (n = 1): first CHECK within [b, 2a + B] of the start");
     println!(
@@ -49,8 +52,15 @@ fn main() {
             "{:<14} {:<14} {:<14} {:<10} {}",
             format!("({a},{b},{big_b})"),
             bounds.to_string(),
-            format!("[{}, {}]", v.solo_entry.earliest_pi, v.solo_entry.latest_armed),
-            if v.solo_mapping.passed() { "PASS" } else { "FAIL" },
+            format!(
+                "[{}, {}]",
+                v.solo_entry.earliest_pi, v.solo_entry.latest_armed
+            ),
+            if v.solo_mapping.passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             if v.all_passed() { "OK" } else { "MISMATCH" },
         );
         assert!(v.all_passed());

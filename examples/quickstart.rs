@@ -66,7 +66,10 @@ fn main() {
     let boundmap = Boundmap::by_name(
         aut.as_ref(),
         vec![
-            ("BUTTON", Interval::closed(Rat::ZERO, Rat::from(10)).unwrap()),
+            (
+                "BUTTON",
+                Interval::closed(Rat::ZERO, Rat::from(10)).unwrap(),
+            ),
             ("LIGHT", Interval::closed(Rat::ONE, Rat::from(3)).unwrap()),
         ],
     )
@@ -76,10 +79,12 @@ fn main() {
 
     // Step 3 — a timing requirement: every press is answered by a walk
     // within [1, 3].
-    let requirement: TimingCondition<bool, &str> =
-        TimingCondition::new("RESPONSE", Interval::closed(Rat::ONE, Rat::from(3)).unwrap())
-            .triggered_by_step(|_, a, _| *a == "press")
-            .on_actions(|a| *a == "walk");
+    let requirement: TimingCondition<bool, &str> = TimingCondition::new(
+        "RESPONSE",
+        Interval::closed(Rat::ONE, Rat::from(3)).unwrap(),
+    )
+    .triggered_by_step(|_, a, _| *a == "press")
+    .on_actions(|a| *a == "walk");
 
     // Verification 1 — trace checking: simulate and check Definition 2.2.
     let impl_aut: TimeIoa<Crossing> = time_ab(&timed);
@@ -95,7 +100,10 @@ fn main() {
     all_ok &= satisfies(&project(&run), &requirement).is_ok();
     let (run, _) = impl_aut.generate(&mut LatestScheduler::new(), 40);
     all_ok &= satisfies(&project(&run), &requirement).is_ok();
-    println!("1. trace checking   : 12 runs, all satisfy RESPONSE … {}", verdict(all_ok));
+    println!(
+        "1. trace checking   : 12 runs, all satisfy RESPONSE … {}",
+        verdict(all_ok)
+    );
 
     // Verification 2 — symbolic: the zone checker proves the bound exactly.
     let zone = ZoneChecker::new(&timed)
@@ -133,11 +141,15 @@ fn main() {
     );
 
     // A sanity check in the other direction: a false claim is refuted.
-    let too_fast: TimingCondition<bool, &str> =
-        TimingCondition::new("TOO-FAST", Interval::closed(Rat::from(2), Rat::from(3)).unwrap())
-            .triggered_by_step(|_, a, _| *a == "press")
-            .on_actions(|a| *a == "walk");
-    let refuted = ZoneChecker::new(&timed).verify_condition(&too_fast).unwrap();
+    let too_fast: TimingCondition<bool, &str> = TimingCondition::new(
+        "TOO-FAST",
+        Interval::closed(Rat::from(2), Rat::from(3)).unwrap(),
+    )
+    .triggered_by_step(|_, a, _| *a == "press")
+    .on_actions(|a| *a == "walk");
+    let refuted = ZoneChecker::new(&timed)
+        .verify_condition(&too_fast)
+        .unwrap();
     println!(
         "\ncounter-check: claiming response ≥ 2 is refuted (walk can come at {})",
         refuted.earliest_pi

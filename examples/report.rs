@@ -65,7 +65,10 @@ fn main() {
     ] {
         let v = resource_manager::verify(&params);
         report.e1_resource_manager.push(E1Row {
-            params: format!("k={} c=[{},{}] l={}", params.k, params.c1, params.c2, params.l),
+            params: format!(
+                "k={} c=[{},{}] l={}",
+                params.k, params.c1, params.c2, params.l
+            ),
             g1_paper: params.g1_bounds(),
             g1_zone: v.zone_g1.clone(),
             g1_sim: v.sim_first.clone(),

@@ -54,7 +54,11 @@ fn main() {
             g1.to_string(),
             zone,
             sim,
-            if v.mapping_report.passed() { "PASS" } else { "FAIL" },
+            if v.mapping_report.passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             if v.lemma_4_1 { "PASS" } else { "FAIL" },
             if ok { "OK" } else { "MISMATCH" },
         );
@@ -90,6 +94,9 @@ fn main() {
     println!("\nLemma 4.1 ablation: TIMER ≥ 0 requires c1 > l — see");
     println!("`resource_manager::invariant` tests for the violating run when c1 ≤ l.");
 
-    assert_eq!(failures, 0, "all parameter sets must reproduce the paper bounds");
+    assert_eq!(
+        failures, 0,
+        "all parameter sets must reproduce the paper bounds"
+    );
     println!("\nall parameter sets reproduce the paper's bounds exactly");
 }

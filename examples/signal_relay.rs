@@ -17,7 +17,14 @@ fn main() {
     );
 
     let mut failures = 0;
-    for (n, d1, d2) in [(1, 1, 2), (2, 1, 2), (3, 1, 2), (4, 1, 3), (5, 2, 5), (6, 1, 4)] {
+    for (n, d1, d2) in [
+        (1, 1, 2),
+        (2, 1, 2),
+        (3, 1, 2),
+        (4, 1, 3),
+        (5, 2, 5),
+        (6, 1, 4),
+    ] {
         let params = RelayParams::ints(n, d1, d2).unwrap();
         let v = signal_relay::verify(&params);
         let bounds = params.u0n_bounds();
@@ -39,7 +46,11 @@ fn main() {
             bounds.to_string(),
             zone,
             sim,
-            format!("{} maps {}", v.chain_reports.len(), if chain_ok { "PASS" } else { "FAIL" }),
+            format!(
+                "{} maps {}",
+                v.chain_reports.len(),
+                if chain_ok { "PASS" } else { "FAIL" }
+            ),
             if ok { "OK" } else { "MISMATCH" },
         );
     }
@@ -50,7 +61,9 @@ fn main() {
     println!("\nhierarchy anatomy for n = 4 (top → bottom):");
     let names: Vec<String> = std::iter::once("time(Ã,b̃) → B_3 (rename SIGNAL_4 ↦ U_{3,4})".into())
         .chain((1..4).rev().map(|k| format!("f_{k} : B_{k} → B_{}", k - 1)))
-        .chain(std::iter::once("B_0 → B (forget boundmap conditions)".into()))
+        .chain(std::iter::once(
+            "B_0 → B (forget boundmap conditions)".into(),
+        ))
         .collect();
     for (name, report) in names.iter().zip(&v.chain_reports) {
         println!(

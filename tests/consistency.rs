@@ -177,12 +177,12 @@ fn composed_timed_viewpoint_agrees() {
     use tempo_zones::ZoneChecker;
 
     let params = Params::ints(2, 2, 3, 1).unwrap();
-    let clock_bounds = Boundmap::from_intervals(vec![
-        Interval::new(params.c1, params.c2.into()).unwrap()
-    ]);
-    let manager_bounds = Boundmap::from_intervals(vec![
-        Interval::new(tempo_math::Rat::ZERO, params.l.into()).unwrap()
-    ]);
+    let clock_bounds =
+        Boundmap::from_intervals(vec![Interval::new(params.c1, params.c2.into()).unwrap()]);
+    let manager_bounds =
+        Boundmap::from_intervals(vec![
+            Interval::new(tempo_math::Rat::ZERO, params.l.into()).unwrap()
+        ]);
     let composed = compose_timed(
         Clock::new(),
         &clock_bounds,
@@ -199,8 +199,12 @@ fn composed_timed_viewpoint_agrees() {
         .unwrap();
     assert_eq!(via_composition.earliest_pi, via_monolith.earliest_pi);
     assert_eq!(via_composition.latest_armed, via_monolith.latest_armed);
-    let g2c = ZoneChecker::new(&composed).verify_condition(&g2(&params)).unwrap();
-    let g2m = ZoneChecker::new(&monolithic).verify_condition(&g2(&params)).unwrap();
+    let g2c = ZoneChecker::new(&composed)
+        .verify_condition(&g2(&params))
+        .unwrap();
+    let g2m = ZoneChecker::new(&monolithic)
+        .verify_condition(&g2(&params))
+        .unwrap();
     assert_eq!(g2c.earliest_pi, g2m.earliest_pi);
     assert_eq!(g2c.latest_armed, g2m.latest_armed);
 }

@@ -33,14 +33,22 @@ fn zone_bounds_match_paper_formulas() {
             TimeVal::from(params.g1_bounds().lo()),
             "G1 lower, {params:?}"
         );
-        assert_eq!(v1.latest_armed, params.g1_bounds().hi(), "G1 upper, {params:?}");
+        assert_eq!(
+            v1.latest_armed,
+            params.g1_bounds().hi(),
+            "G1 upper, {params:?}"
+        );
         let v2 = zone.verify_condition(&g2(&params)).unwrap();
         assert_eq!(
             v2.earliest_pi,
             TimeVal::from(params.g2_bounds().lo()),
             "G2 lower, {params:?}"
         );
-        assert_eq!(v2.latest_armed, params.g2_bounds().hi(), "G2 upper, {params:?}");
+        assert_eq!(
+            v2.latest_armed,
+            params.g2_bounds().hi(),
+            "G2 upper, {params:?}"
+        );
     }
 }
 
@@ -61,7 +69,11 @@ fn section_4_3_mapping_verifies() {
                 seed: 0xE1A,
             },
         );
-        assert!(report.passed(), "{params:?}: {:?}", report.violations.first());
+        assert!(
+            report.passed(),
+            "{params:?}: {:?}",
+            report.violations.first()
+        );
     }
 }
 
@@ -111,13 +123,15 @@ fn simulation_within_proved_bounds() {
         assert!(audit.passed(), "{params:?}: {audit}");
         let first = GapStats::first(&runs, |a| *a == RmAction::Grant);
         assert!(first.count > 0);
-        assert!(params.g1_bounds().contains(first.min.unwrap()), "{params:?}");
-        assert!(params.g1_bounds().contains(first.max.unwrap()), "{params:?}");
-        let gaps = GapStats::between(
-            &runs,
-            |a| *a == RmAction::Grant,
-            |a| *a == RmAction::Grant,
+        assert!(
+            params.g1_bounds().contains(first.min.unwrap()),
+            "{params:?}"
         );
+        assert!(
+            params.g1_bounds().contains(first.max.unwrap()),
+            "{params:?}"
+        );
+        let gaps = GapStats::between(&runs, |a| *a == RmAction::Grant, |a| *a == RmAction::Grant);
         assert!(gaps.count > 0);
         assert!(params.g2_bounds().contains(gaps.min.unwrap()), "{params:?}");
         assert!(params.g2_bounds().contains(gaps.max.unwrap()), "{params:?}");
@@ -142,8 +156,9 @@ fn extremal_schedulers_touch_bounds() {
         .unwrap();
     assert_eq!(first, Rat::from(6), "rush attains k·c1");
 
-    let mut delay =
-        tempo_sim::TargetDelayScheduler::new(impl_aut.clone(), |a: &RmAction| *a == RmAction::Grant);
+    let mut delay = tempo_sim::TargetDelayScheduler::new(impl_aut.clone(), |a: &RmAction| {
+        *a == RmAction::Grant
+    });
     let (run, _) = impl_aut.generate(&mut delay, 60);
     let seq = tempo_core::project(&run);
     let first = seq
@@ -153,7 +168,10 @@ fn extremal_schedulers_touch_bounds() {
         .map(|(_, t)| t)
         .unwrap();
     // k·c2 ≤ observed ≤ k·c2 + l.
-    assert!(first >= Rat::from(12) && first <= Rat::from(13), "got {first}");
+    assert!(
+        first >= Rat::from(12) && first <= Rat::from(13),
+        "got {first}"
+    );
 }
 
 /// Definition 2.1 check: extremal runs are timed executions of (A, b).
@@ -180,7 +198,10 @@ fn runs_are_timed_executions() {
 /// not a sampled one.
 #[test]
 fn section_4_3_mapping_verifies_exhaustively() {
-    for params in [Params::ints(2, 2, 3, 1).unwrap(), Params::ints(3, 2, 5, 1).unwrap()] {
+    for params in [
+        Params::ints(2, 2, 3, 1).unwrap(),
+        Params::ints(3, 2, 5, 1).unwrap(),
+    ] {
         let timed = resource_manager::system(&params);
         let impl_aut = time_ab(&timed);
         let spec_aut = requirements_automaton(&timed, &params);
@@ -190,7 +211,11 @@ fn section_4_3_mapping_verifies_exhaustively() {
             &RmMapping::new(params.clone()),
             200_000,
         );
-        assert!(report.passed(), "{params:?}: {:?}", report.violations.first());
+        assert!(
+            report.passed(),
+            "{params:?}: {:?}",
+            report.violations.first()
+        );
         assert!(
             report.steps_checked > 20,
             "expected a nontrivial quotient space, got {} steps",

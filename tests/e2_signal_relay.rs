@@ -68,12 +68,24 @@ fn behaviors_lie_in_q() {
         let seq = undum(&project(&run));
         // Timed behavior = external (SIGNAL_0, SIGNAL_n) events only.
         let beh = seq.timed_behavior(timed.automaton().as_ref());
-        let starts: Vec<Rat> = beh.iter().filter(|(a, _)| a.0 == 0).map(|(_, t)| *t).collect();
-        let ends: Vec<Rat> = beh.iter().filter(|(a, _)| a.0 == 3).map(|(_, t)| *t).collect();
+        let starts: Vec<Rat> = beh
+            .iter()
+            .filter(|(a, _)| a.0 == 0)
+            .map(|(_, t)| *t)
+            .collect();
+        let ends: Vec<Rat> = beh
+            .iter()
+            .filter(|(a, _)| a.0 == 3)
+            .map(|(_, t)| *t)
+            .collect();
         assert!(starts.len() <= 1, "SIGNAL_0 fires at most once");
         assert!(ends.len() <= starts.len(), "no delivery without a send");
         if let (Some(t0), Some(tn)) = (starts.first(), ends.first()) {
-            assert!(bounds.contains(*tn - *t0), "delay {} outside {bounds}", *tn - *t0);
+            assert!(
+                bounds.contains(*tn - *t0),
+                "delay {} outside {bounds}",
+                *tn - *t0
+            );
             deliveries += 1;
         }
     }
@@ -86,11 +98,9 @@ fn behaviors_lie_in_q() {
 fn structure_and_lemma_6_1() {
     let params = RelayParams::ints(4, 1, 2).unwrap();
     let aut = signal_relay::relay_untimed(&params);
-    let outcome = tempo_ioa::check_invariant(
-        &aut,
-        &tempo_ioa::Explorer::new(),
-        |s: &Vec<bool>| s.iter().filter(|f| **f).count() <= 1,
-    );
+    let outcome = tempo_ioa::check_invariant(&aut, &tempo_ioa::Explorer::new(), |s: &Vec<bool>| {
+        s.iter().filter(|f| **f).count() <= 1
+    });
     assert!(outcome.holds());
     assert_eq!(aut.signature().kind_of(&Sig(0)), Some(ActionKind::Output));
     assert_eq!(aut.signature().kind_of(&Sig(4)), Some(ActionKind::Output));
@@ -150,12 +160,8 @@ fn hierarchy_verifies_exhaustively() {
     for k in (1..params.n).rev() {
         let impl_k = intermediate_automaton(k, &params, &dummified);
         let spec_k = intermediate_automaton(k - 1, &params, &dummified);
-        let report = checker.check_exhaustive(
-            &impl_k,
-            &spec_k,
-            &HierarchyMapping::new(k, &params),
-            cap,
-        );
+        let report =
+            checker.check_exhaustive(&impl_k, &spec_k, &HierarchyMapping::new(k, &params), cap);
         assert!(report.passed(), "f_{k}: {:?}", report.violations.first());
     }
 

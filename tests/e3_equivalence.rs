@@ -77,8 +77,7 @@ fn generated_and_scaled_runs_agree_relay() {
         // Compressed to 1/4 speed: hops become too fast; both reject (or,
         // for degenerate prefixes without hops, both accept).
         let compressed = scale_event_times(&seq, Rat::new(1, 4));
-        let direct =
-            check_timed_execution(&compressed, &timed, SatisfactionMode::Prefix).is_ok();
+        let direct = check_timed_execution(&compressed, &timed, SatisfactionMode::Prefix).is_ok();
         let via = conds.iter().all(|c| semi_satisfies(&compressed, c).is_ok());
         assert_eq!(direct, via, "seed {seed}");
         checked += 1;

@@ -3,9 +3,7 @@
 //! mapping whenever the requirements hold, and it coincides with (or
 //! dominates) hand-written mappings.
 
-use tempo_core::completeness::{
-    CanonicalMapping, ExhaustiveOracle, FirstOracle, SampledOracle,
-};
+use tempo_core::completeness::{CanonicalMapping, ExhaustiveOracle, FirstOracle, SampledOracle};
 use tempo_core::mapping::{CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan};
 use tempo_core::{time_ab, RandomScheduler, TimeIoa};
 use tempo_math::TimeVal;
@@ -178,7 +176,10 @@ fn zone_oracle_exact_and_consistent() {
             // canonical; the Ft side is a (possibly strict) lower bound of
             // the canonical one.
             if let CondConstraint::Window { ft_max, lt_min } = &hand.region(s).constraints()[j] {
-                assert_eq!(zb.sup_first, *lt_min, "the §4.3 Lt bound is canonical at {s:?}");
+                assert_eq!(
+                    zb.sup_first, *lt_min,
+                    "the §4.3 Lt bound is canonical at {s:?}"
+                );
                 assert!(zb.inf_first_pi >= *ft_max);
             }
         }

@@ -29,7 +29,11 @@ fn dummified_runs_are_unbounded() {
     for seed in 0..8 {
         let (run, reason) = aut.generate(&mut RandomScheduler::new(seed), 120);
         assert_eq!(reason, RunError::MaxSteps, "seed {seed}");
-        assert!(run.t_end() > Rat::from(30), "time diverges, got {}", run.t_end());
+        assert!(
+            run.t_end() > Rat::from(30),
+            "time diverges, got {}",
+            run.t_end()
+        );
     }
 }
 

@@ -19,7 +19,11 @@ fn chain_bounds_across_parameters() {
         let params = ChainParams::ints(p, phi, psi);
         let v = two_event_chain::verify(&params);
         let bounds = params.chain_bounds();
-        assert!(v.all_passed(), "{params:?}: {:?}", v.mapping_report.violations.first());
+        assert!(
+            v.all_passed(),
+            "{params:?}: {:?}",
+            v.mapping_report.violations.first()
+        );
         assert_eq!(v.zone.earliest_pi, TimeVal::from(bounds.lo()), "{params:?}");
         assert_eq!(v.zone.latest_armed, bounds.hi(), "{params:?}");
     }
@@ -142,7 +146,11 @@ fn fischer_solo_entry_bounds() {
     for (a, b, big_b) in [(1, 2, 2), (1, 2, 4), (3, 4, 7)] {
         let params = FischerParams::ints(1, a, b, big_b);
         let v = fischer::verify(&params);
-        assert!(v.all_passed(), "a={a} b={b} B={big_b}: {:?}", v.solo_mapping.violations.first());
+        assert!(
+            v.all_passed(),
+            "a={a} b={b} B={big_b}: {:?}",
+            v.solo_mapping.violations.first()
+        );
         let bounds = params.solo_entry_bounds();
         assert_eq!(v.solo_entry.earliest_pi, TimeVal::from(bounds.lo()));
         assert_eq!(v.solo_entry.latest_armed, bounds.hi());
@@ -161,8 +169,7 @@ fn extension_mappings_verify_exhaustively() {
     // Two-event chain (dummified; the chain halts after ψ).
     let params = ChainParams::ints((0, 3), (1, 2), (1, 2));
     let timed = two_event_chain::chain_system(&params);
-    let dummified =
-        dummify(&timed, Interval::closed(Rat::ONE, Rat::from(2)).unwrap()).unwrap();
+    let dummified = dummify(&timed, Interval::closed(Rat::ONE, Rat::from(2)).unwrap()).unwrap();
     let impl_aut = time_ab(&dummified);
     let spec_aut = TimeIoa::new(
         Arc::clone(dummified.automaton()),

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no network access, so the real `rand` cannot be
+//! fetched; the workspace patches `crates-io` to this implementation (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). It provides exactly the
+//! surface the workspace uses — `Rng::{gen_range, gen_bool}`,
+//! `SeedableRng::seed_from_u64`, `rngs::StdRng`, `rngs::mock::StepRng` —
+//! with a deterministic xoshiro256** generator. It is *not* a
+//! cryptographically secure or statistically rigorous RNG; it only needs to
+//! drive reproducible simulation schedules and samplers.
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Range types samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value in the range using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let k = (rng.next_u64() as u128) % span;
+                ((self.start as i128) + k as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                let k = (rng.next_u64() as u128) % span;
+                ((start as i128) + k as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// i128 spans can exceed u128 half-range only for pathological ranges the
+// workspace never uses; a direct modular draw over the (positive) span is
+// exact for every range appearing here.
+impl SampleRange<i128> for core::ops::Range<i128> {
+    fn sample(self, rng: &mut dyn RngCore) -> i128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        let k = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+        self.start + k as i128
+    }
+}
+
+impl SampleRange<i128> for core::ops::RangeInclusive<i128> {
+    fn sample(self, rng: &mut dyn RngCore) -> i128 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let span = end.wrapping_sub(start) as u128 + 1;
+        let k = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+        start + k as i128
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53 high bits → uniform in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        v < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// `StdRng`. Streams differ from the real `StdRng` but are stable
+    /// per seed, which is all reproducible simulation requires.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut x: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng::from_state(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Mock generators.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// An arithmetic-progression "generator" for tests: yields
+        /// `initial`, `initial + increment`, … (wrapping).
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            v: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates a mock generator from its start value and increment.
+            pub fn new(initial: u64, increment: u64) -> StepRng {
+                StepRng {
+                    v: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{mock::StepRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_land_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a = rng.gen_range(0..5usize);
+            assert!(a < 5);
+            let b = rng.gen_range(-3i128..=9);
+            assert!((-3..=9).contains(&b));
+            let c = rng.gen_range(0..=0u64);
+            assert_eq!(c, 0);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0..=u64::MAX)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0..=u64::MAX)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0..=u64::MAX)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1800..3200).contains(&hits), "hits={hits}");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn step_rng_is_an_arithmetic_progression() {
+        let mut rng = StepRng::new(10, 3);
+        let mut take = || rng.gen_range(0..=u64::MAX);
+        assert_eq!([take(), take(), take()], [10, 13, 16]);
+    }
+}

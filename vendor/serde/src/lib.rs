@@ -1,0 +1,463 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the real `serde` cannot
+//! be fetched; the workspace patches `crates-io` to this implementation
+//! (see `[patch.crates-io]` in the root `Cargo.toml`). It keeps serde's
+//! *generic trait shape* — `Serialize`/`Serializer`,
+//! `Deserialize`/`Deserializer` with an error-trait bound — so the
+//! workspace's manual impls (`tempo-math`'s exact-rational encodings)
+//! compile unchanged, but replaces the visitor machinery with a small
+//! self-describing [`Value`] tree that the `serde_json` stand-in renders
+//! and parses. The `derive` feature re-exports a `Serialize` derive for
+//! plain named-field structs from the `serde_derive` stand-in.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+// Bring the error trait's associated function (`custom`) into scope for
+// the `D::Error::custom(..)` calls in the Deserialize impls below.
+use crate::de::Error as _;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// The self-describing data tree every (de)serialization passes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing option.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (all widths normalize to `i128`).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// A sequence (arrays, tuples).
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (structs).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) => "an integer",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        }
+    }
+}
+
+/// Serialization support.
+pub mod ser {
+    use std::fmt;
+
+    /// Errors producible while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Creates an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization support.
+pub mod de {
+    use std::fmt;
+
+    /// What a deserializer actually found (diagnostic payloads).
+    #[derive(Clone, Copy, Debug)]
+    pub enum Unexpected<'a> {
+        /// An unexpected boolean.
+        Bool(bool),
+        /// An unexpected integer.
+        Signed(i64),
+        /// An unexpected string.
+        Str(&'a str),
+        /// Some other unexpected shape.
+        Other(&'a str),
+    }
+
+    impl fmt::Display for Unexpected<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Unexpected::Bool(b) => write!(f, "boolean `{b}`"),
+                Unexpected::Signed(i) => write!(f, "integer `{i}`"),
+                Unexpected::Str(s) => write!(f, "string {s:?}"),
+                Unexpected::Other(o) => write!(f, "{o}"),
+            }
+        }
+    }
+
+    /// A description of what was expected (used by
+    /// [`Error::invalid_value`]); implemented for string literals.
+    pub trait Expected {
+        /// Formats the expectation.
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+    }
+
+    impl Expected for &str {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{self}")
+        }
+    }
+
+    impl fmt::Display for dyn Expected + '_ {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            Expected::fmt(self, f)
+        }
+    }
+
+    /// Errors producible while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Creates an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+
+        /// An error for a value of the right shape but invalid content.
+        fn invalid_value(unexp: Unexpected, exp: &dyn Expected) -> Self {
+            Self::custom(format!("invalid value: {unexp}, expected {exp}"))
+        }
+    }
+}
+
+/// A data format (or value sink) that can consume a [`Value`] tree.
+///
+/// Unlike real serde there is one required method; the per-type
+/// `serialize_*` helpers are provided in terms of it.
+pub trait Serializer: Sized {
+    /// Output of successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes a complete value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, s: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(s.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, b: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(b))
+    }
+
+    /// Serializes an integer.
+    fn serialize_i128(self, i: i128) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Int(i))
+    }
+
+    /// Serializes a unit/none marker.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// Types that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i128(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self
+            .iter()
+            .map(to_value)
+            .collect::<Result<Vec<Value>, ValueError>>()
+            .map_err(ser::Error::custom)?;
+        serializer.serialize_value(Value::Seq(items))
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(ser::Error::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    };
+}
+
+impl_serialize_tuple!(A.0);
+impl_serialize_tuple!(A.0, B.1);
+impl_serialize_tuple!(A.0, B.1, C.2);
+impl_serialize_tuple!(A.0, B.1, C.2, D.3);
+
+/// The error of [`to_value`] (a plain message).
+#[derive(Clone, Debug)]
+pub struct ValueError(String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> ValueError {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> ValueError {
+        ValueError(msg.to_string())
+    }
+}
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, v: Value) -> Result<Value, ValueError> {
+        Ok(v)
+    }
+}
+
+/// Serializes any value into the [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Result<Value, ValueError> {
+    t.serialize(ValueSerializer)
+}
+
+/// A data format (or value source) that can produce a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the complete value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an in-memory [`Value`], generic in the error
+/// type so nested fields surface the caller's error.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    marker: PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value tree.
+    pub fn new(value: Value) -> ValueDeserializer<E> {
+        ValueDeserializer {
+            value,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<String, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            v => Err(D::Error::custom(format!(
+                "expected a string, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<bool, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            v => Err(D::Error::custom(format!(
+                "expected a boolean, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<$t, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Int(i) => <$t>::try_from(i).map_err(|_| {
+                        D::Error::custom(format!("integer {i} out of range"))
+                    }),
+                    v => Err(D::Error::custom(format!(
+                        "expected an integer, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Vec<T>, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(ValueDeserializer::<D::Error>::new(v)))
+                .collect(),
+            v => Err(D::Error::custom(format!(
+                "expected a sequence, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Option<T>, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => T::deserialize(ValueDeserializer::<D::Error>::new(v)).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($n:literal; $($name:ident),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            // `__D` rather than `D`: the 4-tuple instantiation names an
+            // element `D`, which would collide with the deserializer param.
+            fn deserialize<__D: Deserializer<'de>>(
+                deserializer: __D,
+            ) -> Result<Self, __D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Seq(items) if items.len() == $n => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            $name::deserialize(ValueDeserializer::<__D::Error>::new(
+                                it.next().expect("length checked"),
+                            ))?,
+                        )+))
+                    }
+                    Value::Seq(items) => Err(__D::Error::custom(format!(
+                        "expected a sequence of length {}, found length {}",
+                        $n,
+                        items.len()
+                    ))),
+                    v => Err(__D::Error::custom(format!(
+                        "expected a sequence, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_deserialize_tuple!(1; A);
+impl_deserialize_tuple!(2; A, B);
+impl_deserialize_tuple!(3; A, B, C);
+impl_deserialize_tuple!(4; A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        let v = to_value(&(String::from("hi"), 3usize, true)).unwrap();
+        assert_eq!(
+            v,
+            Value::Seq(vec![
+                Value::Str("hi".into()),
+                Value::Int(3),
+                Value::Bool(true)
+            ])
+        );
+        let back: (String, usize, bool) =
+            Deserialize::deserialize(ValueDeserializer::<ValueError>::new(v)).unwrap();
+        assert_eq!(back, ("hi".to_string(), 3, true));
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(to_value(&None::<u8>).unwrap(), Value::Null);
+        assert_eq!(to_value(&Some(7u8)).unwrap(), Value::Int(7));
+        let none: Option<u8> =
+            Deserialize::deserialize(ValueDeserializer::<ValueError>::new(Value::Null)).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let r: Result<bool, ValueError> =
+            Deserialize::deserialize(ValueDeserializer::new(Value::Int(3)));
+        assert!(r.unwrap_err().to_string().contains("expected a boolean"));
+        let r: Result<u8, ValueError> =
+            Deserialize::deserialize(ValueDeserializer::new(Value::Int(300)));
+        assert!(r.unwrap_err().to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` for *plain named-field structs* — the
+//! only shape the workspace derives on (`GapStats`, `FirstTimeStats`,
+//! `ZoneStats`, `CondVerdict`, and the report rows). Implemented directly
+//! on `proc_macro` (no `syn`/`quote`, which the offline container cannot
+//! fetch): the struct's field names are read off the token stream and the
+//! impl is assembled as source text. Generics, enums, and tuple structs
+//! are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a plain named-field struct by
+/// serializing it as an ordered string-keyed map of its fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // '#' + bracketed group
+    }
+    // Skip a visibility qualifier.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    match &tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        _ => return Err("Serialize can only be derived for structs here".to_string()),
+    }
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a struct name".to_string()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive Serialize for generic struct `{name}`"
+        ));
+    }
+
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "can only derive Serialize for named-field structs, `{name}` has none"
+            ))
+        }
+    };
+
+    let fields = field_names(body)?;
+    if fields.is_empty() {
+        return Err(format!("struct `{name}` has no fields to serialize"));
+    }
+
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{f}\"), \
+             ::serde::to_value(&self.{f}).map_err(\
+             <__S::Error as ::serde::ser::Error>::custom)?));\n"
+        ));
+    }
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize<__S: ::serde::Serializer>(\n\
+               &self,\n\
+               serializer: __S,\n\
+           ) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+               let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                   ::std::vec::Vec::with_capacity({len});\n\
+               {pushes}\
+               ::serde::Serializer::serialize_value(serializer, ::serde::Value::Map(__fields))\n\
+           }}\n\
+         }}",
+        len = fields.len(),
+    );
+    out.parse()
+        .map_err(|e| format!("serde_derive stand-in produced invalid code: {e:?}"))
+}
+
+/// Extracts field names from the brace body of a named-field struct:
+/// per field, skip attributes and visibility, take the ident before `:`,
+/// then skip to the next top-level comma.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(t) => return Err(format!("unsupported struct field syntax at `{t}`")),
+        }
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("expected `:` after field name (named fields only)".to_string()),
+        }
+        // Skip the type up to the next top-level comma. `<` `>` nesting
+        // does not produce groups, but commas inside angle brackets (e.g.
+        // `Vec<(A, B)>`) sit inside parenthesis/bracket groups or between
+        // angle tokens; track angle depth to stay at the top level.
+        let mut angle: i32 = 0;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
