@@ -151,6 +151,21 @@ impl Rat {
     }
 
     fn checked_add(self, other: Rat) -> Option<Rat> {
+        // Fast paths for the overwhelmingly common operands — zero and
+        // integers — which need no gcd reduction (each gcd step is an
+        // `i128` modulo, a library call on most targets).
+        if self.num == 0 {
+            return Some(other);
+        }
+        if other.num == 0 {
+            return Some(self);
+        }
+        if self.den == 1 && other.den == 1 {
+            return Some(Rat {
+                num: self.num.checked_add(other.num)?,
+                den: 1,
+            });
+        }
         // a/b + c/d = (a*d + c*b) / (b*d), using lcm to keep magnitudes small.
         let g = gcd(self.den.unsigned_abs(), other.den.unsigned_abs()) as i128;
         let lhs = self.num.checked_mul(other.den / g)?;
@@ -161,6 +176,15 @@ impl Rat {
     }
 
     fn checked_mul(self, other: Rat) -> Option<Rat> {
+        if self.num == 0 || other.num == 0 {
+            return Some(Rat::ZERO);
+        }
+        if self.den == 1 && other.den == 1 {
+            return Some(Rat {
+                num: self.num.checked_mul(other.num)?,
+                den: 1,
+            });
+        }
         // Cross-reduce before multiplying to delay overflow.
         let g1 = gcd(self.num.unsigned_abs(), other.den.unsigned_abs()) as i128;
         let g2 = gcd(other.num.unsigned_abs(), self.den.unsigned_abs()) as i128;
@@ -290,6 +314,11 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
+        // Same denominator (in particular: two integers) needs no
+        // cross-multiplication at all.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b vs c/d  with b,d > 0  ⇔  a*d vs c*b.
         let lhs = self
             .num

@@ -15,14 +15,23 @@
 //!   the stream length; verdicts carry the same
 //!   [`Violation`](tempo_core::Violation) payloads as the offline
 //!   checker and agree with it exactly.
+//! * [`Predictor`] — zone-based early warning: one DBM clock per
+//!   condition tracks the time since its most recent trigger, so every
+//!   open deadline carries its remaining slack (the online reading of
+//!   the paper's `Lt(U)` prediction, Section 3.1). A monitor built with
+//!   [`Monitor::with_predictor`] emits a [`Verdict::Warning`] when an
+//!   open deadline's slack drops to the configured horizon — before the
+//!   violation, if one follows.
 //! * [`MonitorPool`] — shards many independent streams across worker
 //!   threads with bounded queues and a configurable [`OverloadPolicy`]
-//!   (block / drop-oldest / fail-stream).
+//!   (block / drop-oldest / fail-stream); batch submission
+//!   ([`StreamHandle::send_batch`]) amortizes the queue synchronization.
 //! * [`MonitorMetrics`] — shared atomic counters (events, obligation
-//!   churn, queue depths, per-stream lag) with a plain-text
-//!   [snapshot](MetricsSnapshot) renderer.
-//! * [`replay`] — adapters feeding recorded [`TimedSequence`]s through a
-//!   monitor, bridging the offline and online worlds.
+//!   churn, warnings, slack, queue depths, per-stream lag) with a
+//!   plain-text [snapshot](MetricsSnapshot) renderer.
+//! * [`mod@replay`] — adapters feeding recorded [`TimedSequence`]s through a
+//!   monitor, bridging the offline and online worlds;
+//!   [`replay_predictive`] replays with early warnings.
 //!
 //! # Quickstart
 //!
@@ -47,22 +56,24 @@
 //! [`TimingCondition`]: tempo_core::TimingCondition
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod event;
 mod metrics;
 mod monitor;
 mod obligation;
 mod pool;
+mod predict;
 pub mod replay;
 mod verdict;
 
 pub use event::Event;
-pub use metrics::{MetricsSnapshot, MonitorMetrics, StreamLag, StreamLagSnapshot};
+pub use metrics::{MetricsSnapshot, MonitorMetrics, StreamLag, StreamLagSnapshot, SLACK_BUCKETS};
 pub use monitor::Monitor;
 pub use obligation::{Obligation, ObligationKind, Resolution};
 pub use pool::{
     MonitorPool, OverloadPolicy, PoolConfig, PoolReport, StreamHandle, StreamOverflow, StreamReport,
 };
-pub use replay::{replay, replay_semi_satisfies, replay_verdicts};
+pub use predict::{Outcome, Predictor, Warning};
+pub use replay::{replay, replay_predictive, replay_semi_satisfies, replay_verdicts};
 pub use verdict::Verdict;

@@ -12,6 +12,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use tempo_math::Rat;
+
+/// Number of buckets in the warning-slack histogram: quartiles of the
+/// `slack / horizon` ratio plus a final bucket for full-horizon warnings.
+pub const SLACK_BUCKETS: usize = 5;
+
 /// Lag accounting for one stream: events enqueued by the producer vs
 /// events drained (processed or dropped) by the worker.
 #[derive(Debug, Default)]
@@ -24,6 +30,11 @@ impl StreamLag {
     /// Records one event handed to the stream's queue.
     pub fn record_enqueued(&self) {
         self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` events handed to the stream's queue in one batch.
+    pub fn record_enqueued_many(&self, n: u64) {
+        self.enqueued.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one event leaving the queue (processed or dropped).
@@ -54,6 +65,12 @@ pub struct MonitorMetrics {
     max_queue_depth: AtomicU64,
     dropped_events: AtomicU64,
     failed_streams: AtomicU64,
+    warnings: AtomicU64,
+    warning_slack_hist: [AtomicU64; SLACK_BUCKETS],
+    min_slack: Mutex<Option<Rat>>,
+    batches: AtomicU64,
+    batched_events: AtomicU64,
+    max_batch: AtomicU64,
     streams: Mutex<Vec<(u64, Arc<StreamLag>)>>,
 }
 
@@ -98,6 +115,48 @@ impl MonitorMetrics {
         self.failed_streams.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one early warning and buckets its slack into the
+    /// `slack / horizon` histogram. A clamped warning (`b_u < horizon`,
+    /// so `slack < horizon`) lands in the quartile of its ratio; a
+    /// full-horizon warning — and every warning at horizon `0` — lands
+    /// in the last bucket.
+    pub fn record_warning(&self, slack: Rat, horizon: Rat) {
+        self.warnings.fetch_add(1, Ordering::Relaxed);
+        let bucket = if horizon.is_zero() || slack >= horizon {
+            SLACK_BUCKETS - 1
+        } else {
+            // slack/horizon ∈ [0, 1): quartile index without division.
+            let s4 = slack * Rat::from(4);
+            if s4 < horizon {
+                0
+            } else if s4 < horizon * Rat::from(2) {
+                1
+            } else if s4 < horizon * Rat::from(3) {
+                2
+            } else {
+                3
+            }
+        };
+        self.warning_slack_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds an observed minimum remaining slack into the running
+    /// all-time low-water mark.
+    pub fn record_min_slack(&self, slack: Rat) {
+        let mut guard = self.min_slack.lock().expect("metrics mutex poisoned");
+        match *guard {
+            Some(m) if m <= slack => {}
+            _ => *guard = Some(slack),
+        }
+    }
+
+    /// Records one batch of `n` events pushed through a pool handle.
+    pub fn record_batch(&self, n: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_events.fetch_add(n, Ordering::Relaxed);
+        self.max_batch.fetch_max(n, Ordering::Relaxed);
+    }
+
     /// Registers a stream for per-stream lag reporting.
     pub fn register_stream(&self, id: u64) -> Arc<StreamLag> {
         let lag = Arc::new(StreamLag::default());
@@ -129,6 +188,14 @@ impl MonitorMetrics {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             dropped_events: self.dropped_events.load(Ordering::Relaxed),
             failed_streams: self.failed_streams.load(Ordering::Relaxed),
+            warnings: self.warnings.load(Ordering::Relaxed),
+            warning_slack_hist: std::array::from_fn(|i| {
+                self.warning_slack_hist[i].load(Ordering::Relaxed)
+            }),
+            min_slack: *self.min_slack.lock().expect("metrics mutex poisoned"),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_events: self.batched_events.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
             streams,
         }
     }
@@ -162,6 +229,21 @@ pub struct MetricsSnapshot {
     pub dropped_events: u64,
     /// Streams refused by the fail-stream policy.
     pub failed_streams: u64,
+    /// Early warnings emitted by predictors.
+    pub warnings: u64,
+    /// Warning counts bucketed by `slack / horizon` quartile; the last
+    /// bucket holds full-horizon warnings (see
+    /// [`record_warning`](MonitorMetrics::record_warning)).
+    pub warning_slack_hist: [u64; SLACK_BUCKETS],
+    /// All-time minimum remaining slack observed across every open
+    /// deadline; `None` until a predictor has reported one.
+    pub min_slack: Option<Rat>,
+    /// Batches pushed through pool handles.
+    pub batches: u64,
+    /// Events contained in those batches.
+    pub batched_events: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
     /// Per-stream lag, in registration order.
     pub streams: Vec<StreamLagSnapshot>,
 }
@@ -191,7 +273,27 @@ impl MetricsSnapshot {
             row("max queue depth", self.max_queue_depth),
             row("dropped events", self.dropped_events),
             row("failed streams", self.failed_streams),
+            row("warnings", self.warnings),
         ];
+        if self.warnings > 0 {
+            rows.push((
+                "warning slack histogram".to_string(),
+                self.warning_slack_hist
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                "(slack/horizon quartiles, full-horizon last)".to_string(),
+            ));
+        }
+        if let Some(s) = self.min_slack {
+            rows.push(("min slack seen".to_string(), s.to_string(), String::new()));
+        }
+        if self.batches > 0 {
+            rows.push(row("batches", self.batches));
+            rows.push(row("batched events", self.batched_events));
+            rows.push(row("max batch", self.max_batch));
+        }
         for s in &self.streams {
             rows.push((
                 format!("stream {} lag", s.stream),
@@ -266,6 +368,49 @@ mod tests {
                 lag: 1
             }]
         );
+    }
+
+    #[test]
+    fn warning_histogram_buckets_by_slack_ratio() {
+        let m = MonitorMetrics::new();
+        let h = Rat::from(8);
+        m.record_warning(Rat::from(1), h); // 1/8 → bucket 0
+        m.record_warning(Rat::from(3), h); // 3/8 → bucket 1
+        m.record_warning(Rat::from(4), h); // 4/8 → bucket 2
+        m.record_warning(Rat::from(7), h); // 7/8 → bucket 3
+        m.record_warning(h, h); // full horizon → bucket 4
+        m.record_warning(Rat::ZERO, Rat::ZERO); // horizon 0 → bucket 4
+        let s = m.snapshot();
+        assert_eq!(s.warnings, 6);
+        assert_eq!(s.warning_slack_hist, [1, 1, 1, 1, 2]);
+        assert!(s.render().contains("1/1/1/1/2"));
+    }
+
+    #[test]
+    fn min_slack_keeps_the_low_water_mark() {
+        let m = MonitorMetrics::new();
+        assert_eq!(m.snapshot().min_slack, None);
+        m.record_min_slack(Rat::from(5));
+        m.record_min_slack(Rat::from(9));
+        m.record_min_slack(Rat::from(2));
+        assert_eq!(m.snapshot().min_slack, Some(Rat::from(2)));
+        assert!(m.snapshot().render().contains("min slack seen"));
+    }
+
+    #[test]
+    fn batches_accumulate_and_track_max() {
+        let m = MonitorMetrics::new();
+        m.record_batch(3);
+        m.record_batch(10);
+        m.record_batch(1);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batched_events, 14);
+        assert_eq!(s.max_batch, 10);
+        let lag = m.register_stream(0);
+        lag.record_enqueued_many(4);
+        assert_eq!(lag.enqueued(), 4);
+        assert_eq!(lag.lag(), 4);
     }
 
     #[test]

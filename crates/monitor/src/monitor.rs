@@ -8,6 +8,7 @@ use tempo_math::Rat;
 
 use crate::metrics::MonitorMetrics;
 use crate::obligation::{Obligation, ObligationKind, Resolution};
+use crate::predict::{Outcome, Predictor, Warning};
 use crate::verdict::Verdict;
 
 /// One condition compiled for incremental checking: the condition itself
@@ -63,6 +64,8 @@ pub struct Monitor<S, A> {
     last_time: Rat,
     events_seen: usize,
     violations: Vec<Violation>,
+    warnings: Vec<Warning>,
+    predictor: Option<Predictor>,
     metrics: Option<Arc<MonitorMetrics>>,
 }
 
@@ -73,6 +76,7 @@ impl<S, A> fmt::Debug for Monitor<S, A> {
             .field("events_seen", &self.events_seen)
             .field("open_obligations", &self.open_obligations())
             .field("violations", &self.violations.len())
+            .field("warnings", &self.warnings.len())
             .finish()
     }
 }
@@ -96,6 +100,8 @@ impl<S: Clone, A> Monitor<S, A> {
             last_time: Rat::ZERO,
             events_seen: 0,
             violations: Vec::new(),
+            warnings: Vec::new(),
+            predictor: None,
             metrics: None,
         };
         for ci in 0..mon.conds.len() {
@@ -113,6 +119,64 @@ impl<S: Clone, A> Monitor<S, A> {
     pub fn with_metrics(mut self, metrics: Arc<MonitorMetrics>) -> Monitor<S, A> {
         metrics.record_opened(self.open_obligations() as u64);
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches an early-warning [`Predictor`] with the given horizon:
+    /// from now on every open deadline obligation is tracked in a
+    /// per-stream prediction zone, and a [`Verdict::Warning`] is emitted
+    /// the first time the stream's clock passes strictly beyond
+    /// `deadline − horizon` with the obligation unresolved (see
+    /// [`Predictor`] for the exact semantics, and the paper's Section
+    /// 3.1 for the `Lt(U)` prediction the slack is read from).
+    ///
+    /// Deadline obligations already opened by the start-state trigger
+    /// are armed retroactively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been observed (attach the predictor
+    /// right after [`Monitor::new`]) or if `horizon` is negative.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tempo_core::TimingCondition;
+    /// use tempo_math::{Interval, Rat};
+    /// use tempo_monitor::{Monitor, Verdict};
+    ///
+    /// // A deadline of 10 with a warning horizon of 3.
+    /// let cond: TimingCondition<u32, &str> =
+    ///     TimingCondition::new("G", Interval::closed(Rat::ZERO, Rat::from(10)).unwrap())
+    ///         .triggered_at_start(|_| true)
+    ///         .on_actions(|a| *a == "GRANT");
+    /// let mut mon = Monitor::new(&[cond], &0).with_predictor(Rat::from(3));
+    /// // t = 5: slack 5 > horizon, all quiet.
+    /// assert_eq!(mon.observe(&"TICK", Rat::from(5), &1), Verdict::Ok);
+    /// // t = 8 passes the warning point 10 − 3 = 7: early warning.
+    /// let v = mon.observe(&"TICK", Rat::from(8), &1);
+    /// let w = v.warning().expect("inside the horizon");
+    /// assert_eq!(w.slack, Rat::from(3));
+    /// assert!(v.is_ok(), "a warning is a prediction, not a violation");
+    /// // The GRANT still makes it: no violation was ever witnessed.
+    /// assert_eq!(mon.observe(&"GRANT", Rat::from(9), &0), Verdict::Ok);
+    /// assert!(mon.is_ok());
+    /// assert_eq!(mon.warnings().len(), 1);
+    /// ```
+    pub fn with_predictor(mut self, horizon: Rat) -> Monitor<S, A> {
+        assert_eq!(
+            self.events_seen, 0,
+            "attach the predictor before observing events"
+        );
+        let mut p = Predictor::new(self.conds.len(), horizon);
+        for (ci, c) in self.conds.iter().enumerate() {
+            for ob in &c.open {
+                if let ObligationKind::Upper { deadline } = ob.kind {
+                    p.arm(ci, ob.trigger_index, Rat::ZERO, deadline);
+                }
+            }
+        }
+        self.predictor = Some(p);
         self
     }
 
@@ -139,6 +203,9 @@ impl<S: Clone, A> Monitor<S, A> {
                     deadline: t_i + b_u,
                 },
             });
+            if let Some(p) = &mut self.predictor {
+                p.arm(ci, trigger_index, t_i, t_i + b_u);
+            }
             opened += 1;
         }
         if opened > 0 {
@@ -146,6 +213,21 @@ impl<S: Clone, A> Monitor<S, A> {
                 m.record_opened(opened);
             }
         }
+    }
+
+    /// Files a warning from the predictor under the condition's name and
+    /// records it in the metrics.
+    fn file_warning(
+        warnings: &mut Vec<Warning>,
+        metrics: &Option<Arc<MonitorMetrics>>,
+        name: &str,
+        mut w: Warning,
+    ) {
+        w.condition = name.to_string();
+        if let Some(m) = metrics {
+            m.record_warning(w.slack, w.horizon);
+        }
+        warnings.push(w);
     }
 
     /// Consumes one event: the action, its (nondecreasing) absolute time,
@@ -167,6 +249,10 @@ impl<S: Clone, A> Monitor<S, A> {
         self.events_seen += 1;
         let j = self.events_seen;
         let mut first: Option<Violation> = None;
+        let warnings_before = self.warnings.len();
+        if let Some(p) = &mut self.predictor {
+            p.advance_to(time);
+        }
 
         for ci in 0..self.conds.len() {
             let c = &mut self.conds[ci];
@@ -176,13 +262,43 @@ impl<S: Clone, A> Monitor<S, A> {
             // Resolve the open obligations against this event, keeping
             // the ones that stay open. Violations are recorded in
             // obligation order, matching the offline checker's
-            // per-trigger results.
+            // per-trigger results. Each resolution is mirrored to the
+            // predictor, which may owe an early warning for it.
             let mut k = 0;
             while k < c.open.len() {
                 match c.open[k].resolve(time, in_pi, in_disabling) {
-                    Resolution::Open => k += 1,
+                    Resolution::Open => {
+                        if let (Some(p), ObligationKind::Upper { .. }) =
+                            (&mut self.predictor, c.open[k].kind)
+                        {
+                            if let Some(w) = p.poll(ci, c.open[k].trigger_index, Outcome::StillOpen)
+                            {
+                                Self::file_warning(
+                                    &mut self.warnings,
+                                    &self.metrics,
+                                    c.cond.name(),
+                                    w,
+                                );
+                            }
+                        }
+                        k += 1;
+                    }
                     Resolution::Discharged => {
-                        c.open.swap_remove(k);
+                        let ob = c.open.swap_remove(k);
+                        if let (Some(p), ObligationKind::Upper { .. }) =
+                            (&mut self.predictor, ob.kind)
+                        {
+                            // A discharge inside the warning window is a
+                            // near miss and still gets its warning.
+                            if let Some(w) = p.poll(ci, ob.trigger_index, Outcome::Discharged) {
+                                Self::file_warning(
+                                    &mut self.warnings,
+                                    &self.metrics,
+                                    c.cond.name(),
+                                    w,
+                                );
+                            }
+                        }
                         if let Some(m) = &self.metrics {
                             m.record_discharged();
                         }
@@ -195,10 +311,25 @@ impl<S: Clone, A> Monitor<S, A> {
                                 event_index: j,
                                 earliest,
                             },
-                            ObligationKind::Upper { deadline } => ViolationKind::UpperBound {
-                                trigger_index: ob.trigger_index,
-                                deadline,
-                            },
+                            ObligationKind::Upper { deadline } => {
+                                // The owed warning is filed before the
+                                // violation it predicts.
+                                if let Some(p) = &mut self.predictor {
+                                    if let Some(w) = p.poll(ci, ob.trigger_index, Outcome::Violated)
+                                    {
+                                        Self::file_warning(
+                                            &mut self.warnings,
+                                            &self.metrics,
+                                            c.cond.name(),
+                                            w,
+                                        );
+                                    }
+                                }
+                                ViolationKind::UpperBound {
+                                    trigger_index: ob.trigger_index,
+                                    deadline,
+                                }
+                            }
                         };
                         let v = Violation {
                             condition: c.cond.name().to_string(),
@@ -225,10 +356,19 @@ impl<S: Clone, A> Monitor<S, A> {
 
         if let Some(m) = &self.metrics {
             m.record_event();
+            if let Some(s) = self.predictor.as_ref().and_then(Predictor::min_slack) {
+                m.record_min_slack(s);
+            }
         }
         self.last_state = state.clone();
         self.last_time = time;
-        first.map_or(Verdict::Ok, Verdict::from_violation)
+        if let Some(v) = first {
+            Verdict::from_violation(v)
+        } else if self.warnings.len() > warnings_before {
+            Verdict::Warning(self.warnings[warnings_before].clone())
+        } else {
+            Verdict::Ok
+        }
     }
 
     /// Ends the stream and returns the complete violation list.
@@ -238,11 +378,36 @@ impl<S: Clone, A> Monitor<S, A> {
     /// can serve it. Under [`SatisfactionMode::Prefix`] (Definition 3.1,
     /// semi-satisfaction) open deadlines are excused: an open deadline
     /// implies `t_end ≤ deadline`, so some extension could still meet it.
-    pub fn finish(mut self, mode: SatisfactionMode) -> Vec<Violation> {
-        for c in &mut self.conds {
+    pub fn finish(self, mode: SatisfactionMode) -> Vec<Violation> {
+        self.finish_with_warnings(mode).0
+    }
+
+    /// Like [`finish`](Monitor::finish), but also returns the warnings
+    /// collected over the stream's lifetime, including any owed for the
+    /// end-of-stream violations of [`SatisfactionMode::Complete`] (each
+    /// such warning precedes its violation in the returned lists, so the
+    /// warning-before-violation guarantee survives stream end).
+    ///
+    /// Without a predictor the warning list is empty.
+    pub fn finish_with_warnings(
+        mut self,
+        mode: SatisfactionMode,
+    ) -> (Vec<Violation>, Vec<Warning>) {
+        for ci in 0..self.conds.len() {
+            let c = &mut self.conds[ci];
             for ob in c.open.drain(..) {
                 match (mode, ob.kind) {
                     (SatisfactionMode::Complete, ObligationKind::Upper { deadline }) => {
+                        if let Some(p) = &mut self.predictor {
+                            if let Some(w) = p.poll(ci, ob.trigger_index, Outcome::Violated) {
+                                Self::file_warning(
+                                    &mut self.warnings,
+                                    &self.metrics,
+                                    c.cond.name(),
+                                    w,
+                                );
+                            }
+                        }
                         self.violations.push(Violation {
                             condition: c.cond.name().to_string(),
                             kind: ViolationKind::UpperBound {
@@ -262,7 +427,7 @@ impl<S: Clone, A> Monitor<S, A> {
                 }
             }
         }
-        self.violations
+        (self.violations, self.warnings)
     }
 }
 
@@ -270,6 +435,26 @@ impl<S, A> Monitor<S, A> {
     /// The violations witnessed so far (in discovery order).
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// The early warnings emitted so far (in discovery order); always
+    /// empty without a predictor
+    /// ([`with_predictor`](Monitor::with_predictor)).
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    /// The attached predictor, if any — exposes the prediction zone and
+    /// per-condition slack/elapsed readings.
+    pub fn predictor(&self) -> Option<&Predictor> {
+        self.predictor.as_ref()
+    }
+
+    /// The minimum remaining slack over every open deadline, read from
+    /// the predictor. `None` without a predictor or when no deadline is
+    /// open.
+    pub fn min_slack(&self) -> Option<Rat> {
+        self.predictor.as_ref().and_then(Predictor::min_slack)
     }
 
     /// `true` while no violation has been witnessed.
@@ -434,5 +619,124 @@ mod tests {
         let mut mon = Monitor::new(&[cond(1, 2)], &0u8);
         mon.observe(&"noise", Rat::from(3), &1);
         mon.observe(&"noise", Rat::from(2), &1);
+    }
+
+    #[test]
+    fn predictor_warns_before_deadline_then_discharges() {
+        let mut mon = Monitor::new(&[cond(0, 10)], &0u8).with_predictor(Rat::from(3));
+        assert_eq!(mon.observe(&"noise", Rat::from(5), &1), Verdict::Ok);
+        assert_eq!(mon.min_slack(), Some(Rat::from(5)));
+        // Strictly past the warning point 10 − 3 = 7.
+        let v = mon.observe(&"noise", Rat::from(8), &1);
+        let w = v.warning().expect("inside horizon");
+        assert_eq!(w.condition, "C");
+        assert_eq!(w.deadline, Rat::from(10));
+        assert_eq!(w.at, Rat::from(7));
+        assert_eq!(w.slack, Rat::from(3));
+        // Warned once only; serving it keeps the stream violation-free.
+        assert_eq!(mon.observe(&"fire", Rat::from(9), &1), Verdict::Ok);
+        assert!(mon.is_ok());
+        assert_eq!(mon.warnings().len(), 1);
+        let (violations, warnings) = mon.finish_with_warnings(SatisfactionMode::Complete);
+        assert!(violations.is_empty());
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn warning_always_precedes_the_violation() {
+        // Time jumps straight past the deadline: the violating event
+        // still files the owed warning first.
+        let mut mon = Monitor::new(&[cond(0, 4)], &0u8).with_predictor(Rat::from(1));
+        let v = mon.observe(&"noise", Rat::from(50), &1);
+        assert!(matches!(v, Verdict::UpperBoundViolation(_)));
+        assert_eq!(mon.warnings().len(), 1);
+        assert_eq!(mon.warnings()[0].at, Rat::from(3));
+        assert_eq!(mon.warnings()[0].deadline, Rat::from(4));
+    }
+
+    #[test]
+    fn horizon_zero_is_silent_on_violation_free_streams() {
+        let mut mon = Monitor::new(&[cond(0, 4)], &0u8).with_predictor(Rat::ZERO);
+        assert_eq!(mon.observe(&"noise", Rat::from(4), &1), Verdict::Ok);
+        assert_eq!(mon.observe(&"fire", Rat::from(4), &1), Verdict::Ok);
+        let (violations, warnings) = mon.finish_with_warnings(SatisfactionMode::Complete);
+        assert!(violations.is_empty());
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn complete_finish_files_warning_before_endstream_violation() {
+        // The stream ends before the deadline: Complete mode violates the
+        // open obligation and the predictor still owes its warning.
+        let mut mon = Monitor::new(&[cond(0, 10)], &0u8).with_predictor(Rat::from(2));
+        assert_eq!(mon.observe(&"noise", Rat::from(1), &1), Verdict::Ok);
+        let (violations, warnings) = mon.finish_with_warnings(SatisfactionMode::Complete);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].trigger_index, 0);
+        // Prefix mode excuses the deadline — and owes no warning either.
+        let mut mon = Monitor::new(&[cond(0, 10)], &0u8).with_predictor(Rat::from(2));
+        mon.observe(&"noise", Rat::from(1), &1);
+        let (violations, warnings) = mon.finish_with_warnings(SatisfactionMode::Prefix);
+        assert!(violations.is_empty());
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn predictor_does_not_change_verdicts() {
+        // Same trace, with and without the predictor: identical
+        // violations.
+        let c = cond(2, 4);
+        let trace: &[(&str, i64)] = &[("noise", 1), ("fire", 1), ("noise", 6)];
+        let mut plain = Monitor::new(std::slice::from_ref(&c), &0u8);
+        let mut predictive =
+            Monitor::new(std::slice::from_ref(&c), &0u8).with_predictor(Rat::from(1));
+        for (a, t) in trace {
+            plain.observe(a, Rat::from(*t), &1);
+            predictive.observe(a, Rat::from(*t), &1);
+        }
+        assert_eq!(plain.violations(), predictive.violations());
+        assert_eq!(
+            plain.finish(SatisfactionMode::Complete),
+            predictive.finish(SatisfactionMode::Complete)
+        );
+    }
+
+    #[test]
+    fn predictor_tracks_step_triggers() {
+        let c: TimingCondition<u8, &str> =
+            TimingCondition::new("C", Interval::closed(Rat::ZERO, Rat::from(3)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "fire");
+        let mut mon = Monitor::new(&[c], &0u8).with_predictor(Rat::from(1));
+        assert_eq!(mon.min_slack(), None);
+        assert_eq!(mon.observe(&"go", Rat::from(5), &1), Verdict::Ok);
+        // Deadline 8, warn point 7.
+        assert_eq!(mon.min_slack(), Some(Rat::from(3)));
+        let v = mon.observe(&"noise", Rat::from(7 + 1), &1);
+        assert!(v.is_warning());
+        assert_eq!(mon.observe(&"fire", Rat::from(8), &1), Verdict::Ok);
+        assert!(mon.is_ok());
+    }
+
+    #[test]
+    fn predictor_metrics_record_warnings_and_slack() {
+        let metrics = Arc::new(MonitorMetrics::new());
+        let mut mon = Monitor::new(&[cond(0, 10)], &0u8)
+            .with_metrics(Arc::clone(&metrics))
+            .with_predictor(Rat::from(4));
+        mon.observe(&"noise", Rat::from(7), &1); // warn point 6 passed
+        mon.observe(&"fire", Rat::from(8), &1);
+        let s = metrics.snapshot();
+        assert_eq!(s.warnings, 1);
+        assert_eq!(s.min_slack, Some(Rat::from(3))); // 10 − 7 at the warned event
+    }
+
+    #[test]
+    #[should_panic(expected = "before observing")]
+    fn predictor_after_events_panics() {
+        let mut mon = Monitor::new(&[cond(0, 4)], &0u8);
+        mon.observe(&"noise", Rat::from(1), &1);
+        let _ = mon.with_predictor(Rat::ZERO);
     }
 }

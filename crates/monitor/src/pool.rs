@@ -24,6 +24,7 @@ use tempo_math::Rat;
 use crate::event::Event;
 use crate::metrics::{MetricsSnapshot, MonitorMetrics, StreamLag};
 use crate::monitor::Monitor;
+use crate::predict::Warning;
 
 /// What [`StreamHandle::send`] does when the worker's queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +52,11 @@ pub struct PoolConfig {
     /// How stream ends are judged (Definition 3.1 prefix semantics by
     /// default: open deadlines at the end of a stream are excused).
     pub mode: SatisfactionMode,
+    /// Early-warning horizon: `Some(h)` attaches a
+    /// [`Predictor`](crate::Predictor) with horizon `h` to every
+    /// stream's monitor, so stream reports also carry [`Warning`]s.
+    /// `None` (the default) monitors without prediction.
+    pub horizon: Option<Rat>,
 }
 
 impl Default for PoolConfig {
@@ -60,6 +66,7 @@ impl Default for PoolConfig {
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
             mode: SatisfactionMode::Prefix,
+            horizon: None,
         }
     }
 }
@@ -150,6 +157,71 @@ impl<T> Queue<T> {
         (depth, dropped)
     }
 
+    /// Pushes a whole batch under a single lock acquisition, waiting for
+    /// room as needed. Returns the deepest depth observed.
+    fn push_blocking_many(&self, items: Vec<T>) -> usize {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        let mut max_depth = q.len();
+        for item in items {
+            while q.len() >= self.cap {
+                q = self.not_full.wait(q).expect("queue mutex poisoned");
+            }
+            q.push_back(item);
+            max_depth = max_depth.max(q.len());
+            self.not_empty.notify_one();
+        }
+        max_depth
+    }
+
+    /// Pushes a whole batch under a single lock acquisition, evicting
+    /// the oldest `droppable` entries as needed. Returns the deepest
+    /// depth observed and every evicted entry.
+    fn push_drop_oldest_many(
+        &self,
+        items: Vec<T>,
+        droppable: impl Fn(&T) -> bool,
+    ) -> (usize, Vec<T>) {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        let mut dropped = Vec::new();
+        let mut max_depth = q.len();
+        for item in items {
+            if q.len() >= self.cap {
+                if let Some(pos) = q.iter().position(&droppable) {
+                    dropped.extend(q.remove(pos));
+                } else {
+                    while q.len() >= self.cap {
+                        q = self.not_full.wait(q).expect("queue mutex poisoned");
+                    }
+                }
+            }
+            q.push_back(item);
+            max_depth = max_depth.max(q.len());
+            self.not_empty.notify_one();
+        }
+        (max_depth, dropped)
+    }
+
+    /// Pushes batch items while room lasts, under a single lock
+    /// acquisition; excess items are discarded. Returns the depth after
+    /// the pushes and the number of items accepted.
+    fn try_push_many(&self, items: Vec<T>) -> (usize, usize) {
+        let mut q = self.inner.lock().expect("queue mutex poisoned");
+        let mut accepted = 0;
+        for item in items {
+            if q.len() >= self.cap {
+                break;
+            }
+            q.push_back(item);
+            accepted += 1;
+        }
+        let depth = q.len();
+        drop(q);
+        if accepted > 0 {
+            self.not_empty.notify_all();
+        }
+        (depth, accepted)
+    }
+
     /// Pushes only if there is room. Returns the depth, or the rejected
     /// item.
     fn try_push(&self, item: T) -> Result<usize, T> {
@@ -164,14 +236,23 @@ impl<T> Queue<T> {
         Ok(depth)
     }
 
-    /// Pops, waiting for an entry.
-    fn pop(&self) -> T {
+    /// Drains up to `max` entries into `out` under one lock acquisition,
+    /// waiting until at least one is available — the consumer-side twin
+    /// of the batched push operations. Workers draining in batches pay
+    /// one lock/notify round-trip per batch instead of per message,
+    /// which is what lets [`StreamHandle::send_batch`]'s producer-side
+    /// amortization show up as end-to-end throughput.
+    fn pop_many(&self, max: usize, out: &mut Vec<T>) {
         let mut q = self.inner.lock().expect("queue mutex poisoned");
         loop {
-            if let Some(item) = q.pop_front() {
+            if !q.is_empty() {
+                let n = q.len().min(max);
+                out.extend(q.drain(..n));
                 drop(q);
-                self.not_full.notify_one();
-                return item;
+                // Many slots may have opened at once: wake every
+                // blocked producer, not just one.
+                self.not_full.notify_all();
+                return;
             }
             q = self.not_empty.wait(q).expect("queue mutex poisoned");
         }
@@ -187,6 +268,9 @@ pub struct StreamReport {
     pub events: usize,
     /// All violations witnessed, in event order.
     pub violations: Vec<Violation>,
+    /// Early warnings emitted by the stream's predictor, in event order;
+    /// empty unless [`PoolConfig::horizon`] was set.
+    pub warnings: Vec<Warning>,
     /// Whether the fail-stream policy cut the stream short (its verdicts
     /// then cover only a prefix).
     pub failed: bool,
@@ -215,6 +299,14 @@ impl PoolReport {
         self.streams
             .iter()
             .flat_map(|s| s.violations.iter().map(move |v| (s.stream, v)))
+            .collect()
+    }
+
+    /// All early warnings with their stream ids.
+    pub fn warnings(&self) -> Vec<(u64, &Warning)> {
+        self.streams
+            .iter()
+            .flat_map(|s| s.warnings.iter().map(move |w| (s.stream, w)))
             .collect()
     }
 }
@@ -283,6 +375,78 @@ impl<S, A> StreamHandle<S, A> {
         };
         self.lag.record_enqueued();
         self.metrics.record_queue_depth(depth as u64);
+        Ok(())
+    }
+
+    /// Hands a whole batch of events to the stream's worker under a
+    /// *single* queue synchronization, amortizing the per-event lock and
+    /// wake-up cost of [`send`](StreamHandle::send) — the win behind the
+    /// `e11_predictor` benchmark's batching figures.
+    ///
+    /// The overload policy applies per event within the batch: `Block`
+    /// waits for room as it goes, `DropOldest` evicts per excess event,
+    /// and `FailStream` accepts the prefix that fits and fails the
+    /// stream if anything is left over.
+    ///
+    /// # Errors
+    ///
+    /// Under [`OverloadPolicy::FailStream`], returns [`StreamOverflow`]
+    /// when the batch did not fit entirely (the fitting prefix is still
+    /// delivered), and on every later send. The other policies never
+    /// error.
+    pub fn send_batch<I>(&mut self, events: I) -> Result<(), StreamOverflow>
+    where
+        I: IntoIterator<Item = (A, Rat, S)>,
+    {
+        if self.failed {
+            return Err(StreamOverflow {
+                stream: self.stream,
+            });
+        }
+        let msgs: Vec<Msg<S, A>> = events
+            .into_iter()
+            .map(|(action, time, state)| Msg::Event {
+                stream: self.stream,
+                lag: Arc::clone(&self.lag),
+                event: Event::new(action, time, state),
+            })
+            .collect();
+        let n = msgs.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        let depth = match self.policy {
+            OverloadPolicy::Block => self.queue.push_blocking_many(msgs),
+            OverloadPolicy::DropOldest => {
+                let (depth, dropped) = self
+                    .queue
+                    .push_drop_oldest_many(msgs, |m| matches!(m, Msg::Event { .. }));
+                for d in dropped {
+                    if let Msg::Event { lag, .. } = d {
+                        lag.record_drained();
+                        self.metrics.record_dropped();
+                    }
+                }
+                depth
+            }
+            OverloadPolicy::FailStream => {
+                let (depth, accepted) = self.queue.try_push_many(msgs);
+                self.lag.record_enqueued_many(accepted as u64);
+                self.metrics.record_queue_depth(depth as u64);
+                self.metrics.record_batch(accepted as u64);
+                if (accepted as u64) < n {
+                    self.failed = true;
+                    self.metrics.record_failed_stream();
+                    return Err(StreamOverflow {
+                        stream: self.stream,
+                    });
+                }
+                return Ok(());
+            }
+        };
+        self.lag.record_enqueued_many(n);
+        self.metrics.record_queue_depth(depth as u64);
+        self.metrics.record_batch(n);
         Ok(())
     }
 
@@ -355,8 +519,9 @@ where
             let metrics = Arc::clone(&metrics);
             let worker_queue = Arc::clone(&queue);
             let mode = config.mode;
+            let horizon = config.horizon;
             workers.push(std::thread::spawn(move || {
-                worker_loop(&worker_queue, &conds, &metrics, mode)
+                worker_loop(&worker_queue, &conds, &metrics, mode, horizon)
             }));
             queues.push(queue);
         }
@@ -417,41 +582,55 @@ fn worker_loop<S: Clone, A>(
     conds: &[TimingCondition<S, A>],
     metrics: &Arc<MonitorMetrics>,
     mode: SatisfactionMode,
+    horizon: Option<Rat>,
 ) -> Vec<StreamReport> {
     let mut monitors: HashMap<u64, Monitor<S, A>> = HashMap::new();
     let mut reports = Vec::new();
+    let file = |reports: &mut Vec<StreamReport>, stream, mon: Monitor<S, A>, failed| {
+        let events = mon.events_seen();
+        let (violations, warnings) = mon.finish_with_warnings(mode);
+        reports.push(StreamReport {
+            stream,
+            events,
+            violations,
+            warnings,
+            failed,
+        });
+    };
+    // Drain the queue in batches: one lock round-trip covers up to
+    // `WORKER_DRAIN` messages, so a producer feeding via `send_batch`
+    // and this loop together touch the mutex O(events / batch) times.
+    const WORKER_DRAIN: usize = 1024;
+    let mut batch = Vec::new();
     loop {
-        match queue.pop() {
-            Msg::Open { stream, start } => {
-                let mon = Monitor::new(conds, &start).with_metrics(Arc::clone(metrics));
-                monitors.insert(stream, mon);
-            }
-            Msg::Event { stream, lag, event } => {
-                if let Some(mon) = monitors.get_mut(&stream) {
-                    mon.observe(&event.action, event.time, &event.state);
+        batch.clear();
+        queue.pop_many(WORKER_DRAIN, &mut batch);
+        for msg in batch.drain(..) {
+            match msg {
+                Msg::Open { stream, start } => {
+                    let mut mon = Monitor::new(conds, &start).with_metrics(Arc::clone(metrics));
+                    if let Some(h) = horizon {
+                        mon = mon.with_predictor(h);
+                    }
+                    monitors.insert(stream, mon);
                 }
-                lag.record_drained();
-            }
-            Msg::Finish { stream, failed } => {
-                if let Some(mon) = monitors.remove(&stream) {
-                    reports.push(StreamReport {
-                        stream,
-                        events: mon.events_seen(),
-                        violations: mon.finish(mode),
-                        failed,
-                    });
+                Msg::Event { stream, lag, event } => {
+                    if let Some(mon) = monitors.get_mut(&stream) {
+                        mon.observe(&event.action, event.time, &event.state);
+                    }
+                    lag.record_drained();
                 }
-            }
-            Msg::Shutdown => {
-                for (stream, mon) in monitors.drain() {
-                    reports.push(StreamReport {
-                        stream,
-                        events: mon.events_seen(),
-                        violations: mon.finish(mode),
-                        failed: false,
-                    });
+                Msg::Finish { stream, failed } => {
+                    if let Some(mon) = monitors.remove(&stream) {
+                        file(&mut reports, stream, mon, failed);
+                    }
                 }
-                return reports;
+                Msg::Shutdown => {
+                    for (stream, mon) in monitors.drain() {
+                        file(&mut reports, stream, mon, false);
+                    }
+                    return reports;
+                }
             }
         }
     }
@@ -495,6 +674,7 @@ mod tests {
             queue_capacity: 2,
             policy: OverloadPolicy::DropOldest,
             mode: SatisfactionMode::Prefix,
+            horizon: None,
         };
         // A condition that never triggers: the worker just drains.
         let never: TimingCondition<u8, &'static str> =
@@ -519,6 +699,7 @@ mod tests {
             queue_capacity: 1,
             policy: OverloadPolicy::FailStream,
             mode: SatisfactionMode::Prefix,
+            horizon: None,
         };
         let never: TimingCondition<u8, &'static str> =
             TimingCondition::new("N", Interval::closed(Rat::ZERO, Rat::from(1)).unwrap());
@@ -553,5 +734,107 @@ mod tests {
         let report = pool.shutdown();
         assert!(report.metrics.max_queue_depth >= 1);
         assert_eq!(report.streams[0].events, 32);
+    }
+
+    #[test]
+    fn pool_horizon_attaches_predictors_per_stream() {
+        let config = PoolConfig {
+            horizon: Some(Rat::from(3)),
+            ..PoolConfig::default()
+        };
+        let mut pool = MonitorPool::new(&[cond()], config);
+        // Stream 0 serves its deadline inside the warning window (near
+        // miss); stream 1 lets it lapse (warning, then violation).
+        let mut near = pool.open_stream(0u8);
+        near.send("fire", Rat::from(9), 1).unwrap();
+        near.finish();
+        let mut late = pool.open_stream(0u8);
+        late.send("noise", Rat::from(20), 1).unwrap();
+        late.finish();
+        let report = pool.shutdown();
+        assert_eq!(report.streams[0].warnings.len(), 1);
+        assert!(report.streams[0].violations.is_empty());
+        assert_eq!(report.streams[1].warnings.len(), 1);
+        assert_eq!(report.streams[1].violations.len(), 1);
+        assert_eq!(report.warnings().len(), 2);
+        assert_eq!(report.metrics.warnings, 2);
+        // Warnings do not fail a stream, but the violation does.
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn send_batch_delivers_in_order_and_counts_batches() {
+        let config = PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        };
+        let mut pool = MonitorPool::new(&[cond()], config);
+        let metrics = pool.metrics();
+        let mut h = pool.open_stream(0u8);
+        h.send_batch((0..6).map(|t| ("noise", Rat::from(t), 1u8)))
+            .unwrap();
+        h.send_batch(std::iter::empty()).unwrap();
+        h.send("fire", Rat::from(7), 1).unwrap();
+        h.finish();
+        let report = pool.shutdown();
+        assert!(report.passed());
+        assert_eq!(report.streams[0].events, 7);
+        let s = metrics.snapshot();
+        assert_eq!(s.batches, 1); // the empty batch is not counted
+        assert_eq!(s.batched_events, 6);
+        assert_eq!(s.max_batch, 6);
+        assert_eq!(s.streams[0].enqueued, 7);
+    }
+
+    #[test]
+    fn send_batch_respects_drop_oldest_and_fail_stream() {
+        // DropOldest: a batch larger than the queue sheds events but
+        // keeps exact lag accounting.
+        let never: TimingCondition<u8, &'static str> =
+            TimingCondition::new("N", Interval::closed(Rat::ZERO, Rat::from(1)).unwrap());
+        let config = PoolConfig {
+            workers: 1,
+            queue_capacity: 2,
+            policy: OverloadPolicy::DropOldest,
+            mode: SatisfactionMode::Prefix,
+            horizon: None,
+        };
+        let mut pool = MonitorPool::new(std::slice::from_ref(&never), config);
+        let mut h = pool.open_stream(0u8);
+        h.send_batch((0..64).map(|t| ("x", Rat::from(t), 0u8)))
+            .unwrap();
+        h.finish();
+        let report = pool.shutdown();
+        assert!(report.passed());
+        assert_eq!(report.metrics.streams[0].enqueued, 64);
+        assert_eq!(report.metrics.streams[0].lag, 0);
+
+        // FailStream: an oversized batch delivers its fitting prefix,
+        // then fails the stream.
+        let config = PoolConfig {
+            workers: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::FailStream,
+            mode: SatisfactionMode::Prefix,
+            horizon: None,
+        };
+        let mut pool = MonitorPool::new(&[never], config);
+        let mut h = pool.open_stream(0u8);
+        let mut failed = false;
+        for round in 0..100_000i64 {
+            let base = round * 8;
+            if h.send_batch((base..base + 8).map(|t| ("x", Rat::from(t), 0u8)))
+                .is_err()
+            {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "a capacity-1 queue must eventually refuse a batch");
+        assert!(h.send("x", Rat::from(1_000_000), 0).is_err());
+        h.finish();
+        let report = pool.shutdown();
+        assert!(report.streams[0].failed);
+        assert_eq!(report.metrics.failed_streams, 1);
     }
 }

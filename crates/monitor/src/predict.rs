@@ -1,0 +1,512 @@
+//! Zone-based early-warning deadline prediction.
+//!
+//! The monitor alone reports a timing violation only *at* the event that
+//! makes it definite; the paper's whole point (Section 3.1) is that the
+//! predictive components `Ft(U)`/`Lt(U)` of `time(A, U)` let you reason
+//! about deadlines *before* they expire. The [`Predictor`] carries that
+//! predictive state at runtime: one [`Dbm`] clock per condition, where
+//! clock `x_C` measures the time elapsed since condition `C`'s most
+//! recent trigger. Between events the zone is advanced by *exactly* the
+//! observed delay ([`Dbm::shift`] — no re-canonicalization), so at any
+//! instant `L_t`-style residuals are readable straight off the zone: an
+//! open deadline `d = t_i + b_u` has remaining slack `d − now`, and the
+//! zone invariant `x_C ≤ b_u` holds exactly while the deadline can
+//! still be met. The advance is *lazy*: elapsed time accumulates as a
+//! pending delay that is flushed into the zone with a single exact
+//! shift the next time the zone is consulted (a trigger arming a clock,
+//! or a [`zone`](Predictor::zone) read), so a quiet stretch of stream —
+//! or one with no open deadline at all — costs `O(1)` per event rather
+//! than a rational-arithmetic zone update per event.
+//!
+//! When the stream's clock passes an obligation's *warning point*
+//! `max(d − horizon, t_i)` with the obligation still unresolved, the
+//! predictor emits a [`Warning`] — an early-warning signal at least
+//! `horizon` time units before the deadline (or as early as the trigger
+//! allows, when `b_u < horizon`). Every deadline violation is therefore
+//! preceded by its warning, and with `horizon = 0` a violation-free
+//! stream emits no warnings at all.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use tempo_math::Rat;
+use tempo_zones::Dbm;
+
+/// An early warning: an open deadline obligation entered its warning
+/// window (its remaining slack dropped to at most the configured
+/// horizon) before being served.
+///
+/// Warnings are *predictions*, not verdicts: a warned obligation may
+/// still be discharged in time (a near miss) or may go on to become an
+/// [`UpperBound`](tempo_core::ViolationKind::UpperBound) violation. The
+/// predictor guarantees the warning is reported before the violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// Name of the condition whose deadline is at risk.
+    pub condition: String,
+    /// Index of the trigger that opened the obligation (0 = start-state
+    /// trigger, `i ≥ 1` = step trigger at event `i`), matching
+    /// [`ViolationKind`](tempo_core::ViolationKind) trigger indices.
+    pub trigger_index: usize,
+    /// The absolute deadline `t_i + b_u` at risk.
+    pub deadline: Rat,
+    /// The warning point `max(deadline − horizon, t_i)`: the stream time
+    /// at which the obligation entered its warning window.
+    pub at: Rat,
+    /// Remaining slack at the warning point: `deadline − at`, i.e.
+    /// `min(horizon, b_u)`.
+    pub slack: Rat,
+    /// The horizon the predictor was configured with.
+    pub horizon: Rat,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: deadline {} (trigger {}) within {} at t = {}",
+            self.condition, self.deadline, self.trigger_index, self.slack, self.at
+        )
+    }
+}
+
+/// One deadline the predictor is tracking: the obligation's identity,
+/// its absolute deadline, and its precomputed warning point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Tracked {
+    trigger_index: usize,
+    deadline: Rat,
+    warn_at: Rat,
+    warned: bool,
+}
+
+/// How the monitor tells the predictor an obligation was resolved, so
+/// the predictor can decide whether a (near-miss or pre-violation)
+/// warning is still owed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The obligation stays open after the current event.
+    StillOpen,
+    /// The obligation was discharged (served or disabled) by the event.
+    Discharged,
+    /// The obligation was violated by the event.
+    Violated,
+}
+
+/// Online early-warning state for one stream: a per-condition prediction
+/// zone plus the open deadlines with their warning points.
+///
+/// The predictor is deliberately independent of the monitored state and
+/// action types: it speaks condition *indices* and absolute times, so it
+/// can sit inside a [`Monitor`](crate::Monitor), a pool worker, or any
+/// external event loop. Per event the work is `O(1)` for the (lazy)
+/// time advance plus `O(open deadlines)` for the warning sweep; each
+/// trigger additionally pays one `O(clocks)` zone catch-up — the same
+/// asymptotics as the monitor itself.
+///
+/// # Example
+///
+/// Tracking one condition with bound `b_u = 10` and horizon `3`
+/// (matching Section 3.1: the zone's clock is `now − t_i`, so the
+/// residual `Lt − now` is `b_u − x`):
+///
+/// ```
+/// use tempo_math::Rat;
+/// use tempo_monitor::{Outcome, Predictor};
+///
+/// let mut p = Predictor::new(1, Rat::from(3));
+/// // Trigger at t = 2: deadline 12, warning point 12 − 3 = 9.
+/// p.advance_to(Rat::from(2));
+/// p.arm(0, 1, Rat::from(2), Rat::from(12));
+/// assert_eq!(p.slack(0), Some(Rat::from(10)));
+///
+/// // t = 7: still 5 of slack, no warning yet.
+/// p.advance_to(Rat::from(7));
+/// assert!(p.poll(0, 1, Outcome::StillOpen).is_none());
+/// assert_eq!(p.elapsed(0), Some(Rat::from(5)));
+///
+/// // t = 10 > 9: the warning window is entered.
+/// p.advance_to(Rat::from(10));
+/// let w = p.poll(0, 1, Outcome::StillOpen).expect("inside the horizon");
+/// assert_eq!(w.at, Rat::from(9));
+/// assert_eq!(w.slack, Rat::from(3));
+/// ```
+#[derive(Clone)]
+pub struct Predictor {
+    horizon: Rat,
+    /// One clock per condition: time since the condition's most recent
+    /// trigger. A point zone, advanced exactly by [`Dbm::shift`].
+    zone: Dbm,
+    /// The stream time the zone was last shifted to. Delay between
+    /// `zone_now` and `now` is pending: it is flushed into the zone by
+    /// [`sync_zone`](Predictor::sync_zone) the next time the zone is
+    /// consulted, so event processing itself never pays for a shift.
+    zone_now: Rat,
+    /// Conditions with at least one open deadline (their clocks are
+    /// meaningful; the rest are dormant at their last value).
+    active: Vec<bool>,
+    /// Number of `true` entries in `active`: while zero, pending delay
+    /// can be discarded without ever touching the zone.
+    active_count: usize,
+    /// Open deadlines per condition, oldest first (deadlines of one
+    /// condition are opened in nondecreasing order, so the front is
+    /// always the most urgent).
+    tracked: Vec<VecDeque<Tracked>>,
+    now: Rat,
+    warnings_emitted: u64,
+}
+
+impl fmt::Debug for Predictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Predictor")
+            .field("horizon", &self.horizon)
+            .field("conditions", &self.tracked.len())
+            .field("open_deadlines", &self.open_deadlines())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Predictor {
+    /// A predictor over `conditions` conditions with the given warning
+    /// horizon. The horizon must be nonnegative; `0` means "warn only
+    /// once a deadline has definitely passed" (i.e. only the warning
+    /// that immediately precedes a violation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is negative.
+    pub fn new(conditions: usize, horizon: Rat) -> Predictor {
+        assert!(
+            !horizon.is_negative(),
+            "the warning horizon must be nonnegative"
+        );
+        Predictor {
+            horizon,
+            zone: Dbm::zero(conditions),
+            zone_now: Rat::ZERO,
+            active: vec![false; conditions],
+            active_count: 0,
+            tracked: (0..conditions).map(|_| VecDeque::new()).collect(),
+            now: Rat::ZERO,
+            warnings_emitted: 0,
+        }
+    }
+
+    /// Flushes the pending delay into the zone with one exact shift.
+    /// While no clock is active the shift is skipped outright: dormant
+    /// clocks carry no meaning, and the next [`arm`](Predictor::arm)
+    /// resets its clock from the reference row anyway.
+    #[inline]
+    fn sync_zone(&mut self) {
+        if self.zone_now == self.now {
+            return;
+        }
+        if self.active_count > 0 {
+            self.zone.shift(self.now - self.zone_now);
+        }
+        self.zone_now = self.now;
+    }
+
+    /// The configured warning horizon.
+    pub fn horizon(&self) -> Rat {
+        self.horizon
+    }
+
+    /// The stream time the predictor has been advanced to.
+    pub fn now(&self) -> Rat {
+        self.now
+    }
+
+    /// The prediction zone, synchronized to the current stream time: one
+    /// clock per condition, clock `C` = time since condition `C`'s most
+    /// recent trigger (clocks of conditions with no open deadline are
+    /// dormant). Exposed for introspection and for composing with the
+    /// symbolic machinery of `tempo-zones`. Takes `&mut self` because
+    /// reading the zone flushes the lazily accumulated delay into it.
+    pub fn zone(&mut self) -> &Dbm {
+        self.sync_zone();
+        &self.zone
+    }
+
+    /// Warnings emitted so far.
+    pub fn warnings_emitted(&self) -> u64 {
+        self.warnings_emitted
+    }
+
+    /// Number of deadlines currently tracked, across all conditions.
+    pub fn open_deadlines(&self) -> usize {
+        self.tracked.iter().map(|q| q.len()).sum()
+    }
+
+    /// Advances the predictor to absolute time `t`. `O(1)`: the delay is
+    /// only *recorded* here; the zone itself catches up with a single
+    /// exact shift when next consulted by a trigger or a
+    /// [`zone`](Predictor::zone) read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` decreases, mirroring
+    /// [`Monitor::observe`](crate::Monitor::observe).
+    #[inline]
+    pub fn advance_to(&mut self, t: Rat) {
+        assert!(
+            t >= self.now,
+            "predictor time must be nondecreasing: {t} after {}",
+            self.now
+        );
+        self.now = t;
+    }
+
+    /// Starts tracking a deadline obligation: condition `ci`'s trigger
+    /// `trigger_index` fired at time `t_i` with absolute deadline
+    /// `deadline = t_i + b_u`. Resets the condition's zone clock and
+    /// precomputes the warning point `max(deadline − horizon, t_i)`.
+    #[inline]
+    pub fn arm(&mut self, ci: usize, trigger_index: usize, t_i: Rat, deadline: Rat) {
+        self.sync_zone();
+        self.zone.reset(ci + 1);
+        if !self.active[ci] {
+            self.active[ci] = true;
+            self.active_count += 1;
+        }
+        let warn_at = (deadline - self.horizon).max(t_i);
+        self.tracked[ci].push_back(Tracked {
+            trigger_index,
+            deadline,
+            warn_at,
+            warned: false,
+        });
+    }
+
+    /// Reports the state of a tracked obligation after the current event
+    /// and returns the [`Warning`] now owed for it, if any.
+    ///
+    /// A warning is owed when the stream's clock has passed *strictly*
+    /// beyond the warning point with the obligation unresolved at every
+    /// instant up to the current event — which covers all three
+    /// outcomes:
+    ///
+    /// * [`Outcome::StillOpen`] past the warning point — the canonical
+    ///   early warning, emitted once;
+    /// * [`Outcome::Discharged`] past the warning point — a *near miss*
+    ///   (the obligation entered its warning window before being
+    ///   served);
+    /// * [`Outcome::Violated`] — a violation always implies the warning
+    ///   point was passed first (`now > deadline ≥ warn_at`), so an
+    ///   unwarned obligation is warned here, immediately *before* the
+    ///   caller reports the violation.
+    ///
+    /// Strictness is what makes `horizon = 0` silent on violation-free
+    /// streams: the warning point is then the deadline itself, and a
+    /// served obligation never sees time strictly beyond it.
+    ///
+    /// The name of the condition is supplied by the caller (the
+    /// predictor tracks indices only); `poll` with an unknown
+    /// `(ci, trigger_index)` pair returns `None`.
+    #[inline]
+    pub fn poll(&mut self, ci: usize, trigger_index: usize, outcome: Outcome) -> Option<Warning> {
+        let queue = &mut self.tracked[ci];
+        let pos = queue
+            .iter()
+            .position(|t| t.trigger_index == trigger_index)?;
+        let due = match outcome {
+            Outcome::StillOpen => self.now > queue[pos].warn_at && !queue[pos].warned,
+            Outcome::Discharged => self.now > queue[pos].warn_at && !queue[pos].warned,
+            Outcome::Violated => !queue[pos].warned,
+        };
+        let entry = if matches!(outcome, Outcome::StillOpen) {
+            let e = &mut queue[pos];
+            e.warned = e.warned || due;
+            *e
+        } else {
+            let e = queue.remove(pos).expect("position just found");
+            if queue.is_empty() && self.active[ci] {
+                self.active[ci] = false;
+                self.active_count -= 1;
+            }
+            e
+        };
+        if !due {
+            return None;
+        }
+        self.warnings_emitted += 1;
+        Some(Warning {
+            condition: String::new(), // caller fills the name in
+            trigger_index: entry.trigger_index,
+            deadline: entry.deadline,
+            at: entry.warn_at,
+            slack: entry.deadline - entry.warn_at,
+            horizon: self.horizon,
+        })
+    }
+
+    /// Time since condition `ci`'s most recent trigger, read off the
+    /// prediction zone — the online analogue of `now − t_i`, i.e. the
+    /// zone clock `x_C`. `None` while the condition has no open
+    /// deadline.
+    pub fn elapsed(&self, ci: usize) -> Option<Rat> {
+        if !self.active[ci] {
+            return None;
+        }
+        // The zone clock plus whatever delay has not been flushed into
+        // the zone yet — exact, without forcing a sync.
+        Some(self.zone.clock_min(ci + 1) + (self.now - self.zone_now))
+    }
+
+    /// Remaining slack of condition `ci`'s most urgent open deadline
+    /// (`deadline − now`; negative once the deadline has passed).
+    /// `None` while the condition has no open deadline.
+    pub fn slack(&self, ci: usize) -> Option<Rat> {
+        self.tracked[ci].front().map(|t| t.deadline - self.now)
+    }
+
+    /// The minimum remaining slack over every open deadline — the
+    /// stream's distance to its nearest `Lt` expiry. `None` when no
+    /// deadline is open.
+    pub fn min_slack(&self) -> Option<Rat> {
+        self.tracked
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|t| t.deadline - self.now)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn warns_strictly_past_the_warning_point() {
+        let mut p = Predictor::new(1, r(2));
+        p.arm(0, 0, r(0), r(10)); // warn_at = 8
+        p.advance_to(r(8));
+        // At exactly the warning point: not yet (strictness).
+        assert!(p.poll(0, 0, Outcome::StillOpen).is_none());
+        p.advance_to(r(9));
+        let w = p.poll(0, 0, Outcome::StillOpen).expect("past warn_at");
+        assert_eq!(w.at, r(8));
+        assert_eq!(w.slack, r(2));
+        assert_eq!(w.deadline, r(10));
+        // Only once per obligation.
+        assert!(p.poll(0, 0, Outcome::StillOpen).is_none());
+        assert_eq!(p.warnings_emitted(), 1);
+    }
+
+    #[test]
+    fn violation_always_collects_the_pending_warning() {
+        let mut p = Predictor::new(1, r(2));
+        p.arm(0, 0, r(0), r(5));
+        // Time jumps straight past the deadline: no event ever landed in
+        // the warning window, but the violation still gets its warning.
+        p.advance_to(r(50));
+        let w = p.poll(0, 0, Outcome::Violated).expect("owed a warning");
+        assert_eq!(w.at, r(3));
+        assert_eq!(w.slack, r(2));
+        assert_eq!(p.open_deadlines(), 0);
+    }
+
+    #[test]
+    fn near_miss_warns_on_discharge() {
+        let mut p = Predictor::new(1, r(3));
+        p.arm(0, 0, r(0), r(10)); // warn_at = 7
+        p.advance_to(r(9));
+        // Served at t = 9, inside the window: a near miss.
+        let w = p.poll(0, 0, Outcome::Discharged).expect("near miss");
+        assert_eq!(w.at, r(7));
+        // Served before the window: silent.
+        p.arm(0, 1, r(9), r(20)); // warn_at = 17
+        p.advance_to(r(12));
+        assert!(p.poll(0, 1, Outcome::Discharged).is_none());
+    }
+
+    #[test]
+    fn horizon_zero_warns_only_past_the_deadline() {
+        let mut p = Predictor::new(1, r(0));
+        p.arm(0, 0, r(0), r(5)); // warn_at = deadline = 5
+        p.advance_to(r(5));
+        // Exactly at the deadline, still open: no warning (strict).
+        assert!(p.poll(0, 0, Outcome::StillOpen).is_none());
+        // Served at the deadline: no warning either.
+        assert!(p.poll(0, 0, Outcome::Discharged).is_none());
+        // A violated sibling does warn.
+        p.arm(0, 1, r(5), r(6));
+        p.advance_to(r(7));
+        assert!(p.poll(0, 1, Outcome::Violated).is_some());
+    }
+
+    #[test]
+    fn short_bound_clamps_warning_point_to_trigger() {
+        let mut p = Predictor::new(1, r(100));
+        p.advance_to(r(4));
+        p.arm(0, 2, r(4), r(6)); // b_u = 2 < horizon: warn_at = t_i = 4
+        p.advance_to(r(5));
+        let w = p.poll(0, 2, Outcome::StillOpen).expect("inside window");
+        assert_eq!(w.at, r(4));
+        assert_eq!(w.slack, r(2)); // min(horizon, b_u)
+    }
+
+    #[test]
+    fn zone_tracks_elapsed_time_per_condition() {
+        let mut p = Predictor::new(2, r(1));
+        p.advance_to(r(3));
+        p.arm(0, 1, r(3), r(13));
+        p.advance_to(r(7));
+        p.arm(1, 2, r(7), r(17));
+        p.advance_to(r(9));
+        assert_eq!(p.elapsed(0), Some(r(6)));
+        assert_eq!(p.elapsed(1), Some(r(2)));
+        assert_eq!(p.slack(0), Some(r(4)));
+        assert_eq!(p.slack(1), Some(r(8)));
+        assert_eq!(p.min_slack(), Some(r(4)));
+        // The zone is a point: min and max coincide.
+        assert_eq!(
+            p.zone().clock_max(1),
+            tempo_math::TimeVal::from(p.zone().clock_min(1))
+        );
+        // Resolving everything deactivates the clocks.
+        assert!(p.poll(0, 1, Outcome::Discharged).is_none());
+        assert!(p.poll(1, 2, Outcome::Discharged).is_none());
+        assert_eq!(p.elapsed(0), None);
+        assert_eq!(p.min_slack(), None);
+    }
+
+    #[test]
+    fn oldest_deadline_is_the_most_urgent() {
+        let mut p = Predictor::new(1, r(1));
+        p.arm(0, 0, r(0), r(10));
+        p.advance_to(r(4));
+        p.arm(0, 1, r(4), r(14));
+        assert_eq!(p.slack(0), Some(r(6))); // deadline 10, not 14
+        assert_eq!(p.open_deadlines(), 2);
+        // Resolving the older keeps the newer tracked.
+        assert!(p.poll(0, 0, Outcome::Discharged).is_none());
+        assert_eq!(p.slack(0), Some(r(10)));
+        assert_eq!(p.open_deadlines(), 1);
+    }
+
+    #[test]
+    fn unknown_obligation_polls_none() {
+        let mut p = Predictor::new(1, r(1));
+        assert!(p.poll(0, 99, Outcome::Violated).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_horizon_panics() {
+        let _ = Predictor::new(1, r(-1));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_time_panics() {
+        let mut p = Predictor::new(1, r(0));
+        p.advance_to(r(5));
+        p.advance_to(r(4));
+    }
+}

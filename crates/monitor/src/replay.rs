@@ -8,8 +8,10 @@
 //! tests.
 
 use tempo_core::{SatisfactionMode, TimedSequence, TimingCondition, Violation};
+use tempo_math::Rat;
 
 use crate::monitor::Monitor;
+use crate::predict::Warning;
 use crate::verdict::Verdict;
 
 /// Feeds every event of `seq` through a fresh monitor for `conds` and
@@ -32,6 +34,29 @@ where
         mon.observe(a, t, post);
     }
     mon.finish(mode)
+}
+
+/// Replays `seq` through a monitor with an early-warning predictor at
+/// the given `horizon` and returns both the violations and the warnings
+/// that preceded them (see [`Monitor::with_predictor`]).
+///
+/// The violation list is identical to [`replay`]'s — prediction never
+/// changes verdicts, it only adds warnings.
+pub fn replay_predictive<S, A>(
+    seq: &TimedSequence<S, A>,
+    conds: &[TimingCondition<S, A>],
+    mode: SatisfactionMode,
+    horizon: Rat,
+) -> (Vec<Violation>, Vec<Warning>)
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug,
+{
+    let mut mon = Monitor::new(conds, seq.first_state()).with_predictor(horizon);
+    for (_, a, t, post) in seq.step_triples() {
+        mon.observe(a, t, post);
+    }
+    mon.finish_with_warnings(mode)
 }
 
 /// Replays `seq` and returns the per-event verdicts (one per event, plus
@@ -116,6 +141,28 @@ mod tests {
         let offline = tempo_core::violations(&early, &c, SatisfactionMode::Prefix);
         assert_eq!(online, offline);
         assert!(replay_semi_satisfies(&early, &[c]).is_err());
+    }
+
+    #[test]
+    fn predictive_replay_adds_warnings_without_changing_violations() {
+        let c = cond(0, 4);
+        let late = seq(&[("noise", 3, 1), ("noise", 6, 1)]);
+        let plain = replay(&late, std::slice::from_ref(&c), SatisfactionMode::Prefix);
+        let (violations, warnings) = replay_predictive(
+            &late,
+            std::slice::from_ref(&c),
+            SatisfactionMode::Prefix,
+            Rat::from(2),
+        );
+        assert_eq!(plain, violations);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].deadline, Rat::from(4));
+        // Violation-free trace at horizon 0: silent.
+        let ok = seq(&[("fire", 2, 1)]);
+        let (violations, warnings) =
+            replay_predictive(&ok, &[c], SatisfactionMode::Complete, Rat::ZERO);
+        assert!(violations.is_empty());
+        assert!(warnings.is_empty());
     }
 
     #[test]

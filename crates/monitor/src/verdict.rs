@@ -2,16 +2,30 @@
 
 use tempo_core::{Violation, ViolationKind};
 
+use crate::predict::Warning;
+
 /// The monitor's judgement after consuming one event (or finishing a
-/// stream): either everything is still consistent with the conditions, or
-/// a definite violation has been witnessed.
+/// stream): everything is still consistent with the conditions, a
+/// deadline has entered its early-warning window, or a definite
+/// violation has been witnessed.
 ///
 /// Violation payloads are exactly [`tempo_core::Violation`], so online
-/// verdicts compare `==` against the offline checker's output.
+/// verdicts compare `==` against the offline checker's output. The
+/// [`Warning`](Verdict::Warning) variant only appears when the monitor
+/// was built with a predictor
+/// ([`Monitor::with_predictor`](crate::Monitor::with_predictor)); it is
+/// *not* a violation — [`is_ok`](Verdict::is_ok) stays `true` — but a
+/// prediction that one may be imminent.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// The event is consistent with every open obligation.
     Ok,
+    /// An open deadline's remaining slack dropped to the predictor's
+    /// horizon (see [`Warning`] for the payload). Emitted at most once
+    /// per obligation, and always before the obligation's
+    /// [`UpperBoundViolation`](Verdict::UpperBoundViolation) if one
+    /// follows.
+    Warning(Warning),
     /// A `Π`-event arrived strictly before its earliest permitted time.
     LowerBoundViolation(Violation),
     /// A deadline passed with no `Π`-event and no disabling state.
@@ -27,23 +41,43 @@ impl Verdict {
         }
     }
 
-    /// Returns `true` for [`Verdict::Ok`].
+    /// Returns `true` while no violation has been witnessed — i.e. for
+    /// [`Verdict::Ok`] and for [`Verdict::Warning`] (a warning predicts
+    /// trouble; it does not establish it).
     pub fn is_ok(&self) -> bool {
-        matches!(self, Verdict::Ok)
+        matches!(self, Verdict::Ok | Verdict::Warning(_))
     }
 
-    /// The violation carried by a non-`Ok` verdict.
+    /// Returns `true` for [`Verdict::Warning`].
+    pub fn is_warning(&self) -> bool {
+        matches!(self, Verdict::Warning(_))
+    }
+
+    /// Returns `true` for either violation variant.
+    pub fn is_violation(&self) -> bool {
+        !self.is_ok()
+    }
+
+    /// The violation carried by a violating verdict.
     pub fn violation(&self) -> Option<&Violation> {
         match self {
-            Verdict::Ok => None,
+            Verdict::Ok | Verdict::Warning(_) => None,
             Verdict::LowerBoundViolation(v) | Verdict::UpperBoundViolation(v) => Some(v),
+        }
+    }
+
+    /// The warning carried by a [`Verdict::Warning`].
+    pub fn warning(&self) -> Option<&Warning> {
+        match self {
+            Verdict::Warning(w) => Some(w),
+            _ => None,
         }
     }
 
     /// Unwraps into the violation, if any.
     pub fn into_violation(self) -> Option<Violation> {
         match self {
-            Verdict::Ok => None,
+            Verdict::Ok | Verdict::Warning(_) => None,
             Verdict::LowerBoundViolation(v) | Verdict::UpperBoundViolation(v) => Some(v),
         }
     }
@@ -78,9 +112,31 @@ mod tests {
         let v = Verdict::from_violation(upper.clone());
         assert!(matches!(v, Verdict::UpperBoundViolation(_)));
         assert!(!v.is_ok());
+        assert!(v.is_violation());
         assert_eq!(v.violation(), Some(&upper));
         assert_eq!(v.into_violation(), Some(upper));
         assert!(Verdict::Ok.is_ok());
         assert_eq!(Verdict::Ok.violation(), None);
+    }
+
+    #[test]
+    fn warnings_are_ok_but_flagged() {
+        let w = Warning {
+            condition: "C".into(),
+            trigger_index: 3,
+            deadline: Rat::from(10),
+            at: Rat::from(8),
+            slack: Rat::from(2),
+            horizon: Rat::from(2),
+        };
+        let v = Verdict::Warning(w.clone());
+        assert!(v.is_ok());
+        assert!(v.is_warning());
+        assert!(!v.is_violation());
+        assert_eq!(v.warning(), Some(&w));
+        assert_eq!(v.violation(), None);
+        assert_eq!(v.clone().into_violation(), None);
+        assert!(!Verdict::Ok.is_warning());
+        assert!(w.to_string().contains("deadline 10"));
     }
 }

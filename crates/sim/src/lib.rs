@@ -52,4 +52,6 @@ pub use audit::{audit_runs, AuditSummary};
 pub use ensemble::Ensemble;
 pub use scheduler::{TargetDelayScheduler, TargetRushScheduler};
 pub use stats::{FirstTimeStats, GapStats};
-pub use stream::{pooled_audit_runs, stream_audit_runs};
+pub use stream::{
+    pooled_audit_runs, predictive_audit_runs, stream_audit_runs, PredictiveAuditSummary,
+};

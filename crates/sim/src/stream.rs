@@ -9,8 +9,9 @@
 
 use std::fmt;
 
-use tempo_core::{TimedSequence, TimingCondition};
-use tempo_monitor::{replay, MonitorPool, PoolConfig};
+use tempo_core::{TimedSequence, TimingCondition, Violation};
+use tempo_math::Rat;
+use tempo_monitor::{replay, replay_predictive, MonitorPool, PoolConfig, Warning};
 
 use crate::audit::AuditSummary;
 
@@ -78,6 +79,81 @@ where
     summary
 }
 
+/// The result of a predictive streaming audit: violations plus the early
+/// warnings that preceded them.
+#[derive(Debug, Clone, Default)]
+pub struct PredictiveAuditSummary {
+    /// Total (run, condition) pairs checked.
+    pub checks: usize,
+    /// Violations found, with the index of the offending run.
+    pub violations: Vec<(usize, Violation)>,
+    /// Early warnings emitted, with the index of the warned run.
+    pub warnings: Vec<(usize, Warning)>,
+}
+
+impl PredictiveAuditSummary {
+    /// Returns `true` if every run semi-satisfied every condition
+    /// (warnings alone never fail an audit).
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violation/warning split as an [`AuditSummary`], for comparing
+    /// against the non-predictive audits.
+    pub fn without_warnings(self) -> AuditSummary {
+        AuditSummary {
+            checks: self.checks,
+            violations: self.violations,
+        }
+    }
+}
+
+impl fmt::Display for PredictiveAuditSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} checks, {} violations, {} warnings",
+            self.checks,
+            self.violations.len(),
+            self.warnings.len()
+        )
+    }
+}
+
+/// Streaming audit with early warnings: each run is replayed through a
+/// monitor carrying a [`Predictor`](tempo_monitor::Predictor) at the
+/// given horizon, so besides the violations the summary reports every
+/// deadline that entered its warning window (including the near misses
+/// that were ultimately served).
+///
+/// The violation set is identical to [`stream_audit_runs`]'s — the
+/// predictor only *adds* the warnings.
+pub fn predictive_audit_runs<S, A>(
+    runs: &[TimedSequence<S, A>],
+    conds: &[TimingCondition<S, A>],
+    horizon: Rat,
+) -> PredictiveAuditSummary
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug,
+{
+    let mut summary = PredictiveAuditSummary {
+        checks: runs.len() * conds.len(),
+        ..PredictiveAuditSummary::default()
+    };
+    for (i, run) in runs.iter().enumerate() {
+        let (violations, warnings) =
+            replay_predictive(run, conds, tempo_core::SatisfactionMode::Prefix, horizon);
+        summary
+            .violations
+            .extend(violations.into_iter().map(|v| (i, v)));
+        summary
+            .warnings
+            .extend(warnings.into_iter().map(|w| (i, w)));
+    }
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +188,33 @@ mod tests {
         assert_eq!(online.checks, 3);
         assert_eq!(online.violations.len(), 1);
         assert_eq!(online.violations[0].0, 1);
+    }
+
+    #[test]
+    fn predictive_audit_adds_warnings_only() {
+        let runs = vec![
+            seq(&[("g", 2)]),           // served early: no warning
+            seq(&[("x", 1), ("x", 9)]), // deadline 3 lapses: warning + violation...
+            seq(&[("x", 2), ("g", 3)]), // served inside the window: near miss
+        ];
+        let conds = [cond(1, 3)];
+        let offline = audit_runs(&runs, &conds);
+        let predictive = predictive_audit_runs(&runs, &conds, Rat::ONE);
+        assert_eq!(offline.passed(), predictive.passed());
+        assert_eq!(predictive.checks, 3);
+        // Run 1's lapse warns (at 3 − 1 = 2) then violates; run 2's
+        // grant at t = 3 > 2 is a near miss.
+        let warned: Vec<usize> = predictive.warnings.iter().map(|(i, _)| *i).collect();
+        assert_eq!(warned, vec![1, 2]);
+        let violated: Vec<usize> = predictive.violations.iter().map(|(i, _)| *i).collect();
+        assert_eq!(violated, vec![1]);
+        // Violation sets agree with the non-predictive streaming audit.
+        let plain = stream_audit_runs(&runs, &conds);
+        assert_eq!(
+            plain.violations,
+            predictive.clone().without_warnings().violations
+        );
+        assert!(predictive.to_string().contains("2 warnings"));
     }
 
     #[test]

@@ -48,6 +48,18 @@ impl DbmBound {
         }
     }
 
+    /// Translates the bound by a constant: `x − y ≺ c` becomes
+    /// `x − y ≺ c + d`, preserving strictness; `∞` is unaffected. Used by
+    /// [`Dbm::shift`](crate::Dbm::shift) to elapse an exact amount of
+    /// time.
+    pub fn add_const(self, d: Rat) -> DbmBound {
+        match self {
+            DbmBound::Strict(c) => DbmBound::Strict(c + d),
+            DbmBound::Weak(c) => DbmBound::Weak(c + d),
+            DbmBound::Unbounded => DbmBound::Unbounded,
+        }
+    }
+
     /// The negated bound for emptiness reasoning: `¬(x − y ≺ c)` is
     /// `y − x ≺' −c` with strictness flipped.
     ///
@@ -153,6 +165,16 @@ mod tests {
         assert!(!DbmBound::Strict(r(2)).admits(r(2)));
         assert!(DbmBound::Strict(r(2)).admits(r(1)));
         assert!(DbmBound::Unbounded.admits(r(1_000_000)));
+    }
+
+    #[test]
+    fn add_const_translates_preserving_strictness() {
+        assert_eq!(DbmBound::Weak(r(2)).add_const(r(3)), DbmBound::Weak(r(5)));
+        assert_eq!(
+            DbmBound::Strict(r(2)).add_const(r(-3)),
+            DbmBound::Strict(r(-1))
+        );
+        assert_eq!(DbmBound::Unbounded.add_const(r(7)), DbmBound::Unbounded);
     }
 
     #[test]
