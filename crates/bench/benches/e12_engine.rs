@@ -1,0 +1,91 @@
+//! E12 — compiled condition engine throughput.
+//!
+//! The engine refactor routes the offline checker, the streaming
+//! monitor, and the predictor through one obligation stepper
+//! (`tempo_core::engine`). This bench answers EXPERIMENTS.md §E12's
+//! question: what does an event cost under the shared engine as the
+//! number of monitored conditions grows (1 / 8 / 64), measured both as
+//! a direct engine fold and through the full `Monitor` wrapper — and is
+//! the monitor path still at its pre-refactor per-event cost?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tempo_core::engine::CompiledConditionSet;
+use tempo_core::{SatisfactionMode, TimedSequence, TimingCondition};
+use tempo_math::{Interval, Rat};
+use tempo_monitor::Monitor;
+
+const EVENTS: usize = 10_000;
+
+/// `k` request/response bounds over the pulse stream below, all armed
+/// by the same `go` steps: every event weighs against `k` conditions
+/// and each `go` opens `k` obligations, so per-event cost scales with
+/// the condition count — the quantity §E12 measures.
+fn pulse_conditions(k: usize) -> Vec<TimingCondition<u32, &'static str>> {
+    (0..k)
+        .map(|i| {
+            TimingCondition::new(
+                format!("PULSE{i}"),
+                Interval::closed(Rat::ONE, Rat::from(3)).unwrap(),
+            )
+            .triggered_by_step(|_, a, _| *a == "go")
+            .on_actions(|a| *a == "done")
+        })
+        .collect()
+}
+
+/// A satisfying `go`/`done` pulse train: one event per time unit, every
+/// response exactly one unit after its request.
+fn pulse_stream(n: usize) -> TimedSequence<u32, &'static str> {
+    let mut seq = TimedSequence::new(0u32);
+    for i in 0..n {
+        let a = if i % 2 == 0 { "go" } else { "done" };
+        seq.push(a, Rat::from(i as i64), (i + 1) as u32);
+    }
+    seq
+}
+
+/// Direct engine fold: the raw per-event cost of classification plus
+/// obligation stepping, with no monitor bookkeeping on top.
+fn bench_engine_fold(c: &mut Criterion) {
+    let seq = pulse_stream(EVENTS);
+    // Per-event cost = reported time / EVENTS (10k events per iteration).
+    let mut group = c.benchmark_group("e12_engine_fold");
+    for k in [1usize, 8, 64] {
+        let set = CompiledConditionSet::new(&pulse_conditions(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &set, |b, set| {
+            b.iter(|| {
+                let vs = set.fold_sequence(&seq, SatisfactionMode::Prefix);
+                assert!(vs.is_empty());
+                vs
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same stream through the full `Monitor` (verdicts, violation
+/// bookkeeping) over a pre-compiled shared set — the streaming path
+/// whose 1-condition row EXPERIMENTS.md compares against the
+/// pre-refactor monitor of §E8.
+fn bench_monitor_stream(c: &mut Criterion) {
+    let seq = pulse_stream(EVENTS);
+    let mut group = c.benchmark_group("e12_monitor_stream");
+    for k in [1usize, 8, 64] {
+        let set = Arc::new(CompiledConditionSet::new(&pulse_conditions(k)));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &set, |b, set| {
+            b.iter(|| {
+                let mut mon = Monitor::from_compiled(Arc::clone(set), seq.first_state());
+                for (_, a, t, post) in seq.step_triples() {
+                    let v = mon.observe(a, t, post);
+                    assert!(v.is_ok());
+                }
+                mon.finish(SatisfactionMode::Prefix).is_empty()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_fold, bench_monitor_stream);
+criterion_main!(benches);

@@ -1,0 +1,992 @@
+//! The compiled condition engine: **one** obligation stepper under every
+//! evaluator of timing-condition semantics.
+//!
+//! Definition 3.1 (semi-satisfaction) used to be interpreted in several
+//! places — the offline scanners in [`satisfaction`](crate::satisfies),
+//! the incremental `tempo-monitor` `Monitor`, and the predictor's shadow
+//! tracking — each re-evaluating the boxed trigger/action/disable
+//! closures of every [`TimingCondition`] per event per consumer. This
+//! module factors that out:
+//!
+//! * [`CompiledConditionSet`] interns a condition set once: the `Arc`'d
+//!   predicates plus dense per-condition bound tables (`b_l`, finite
+//!   `b_u`).
+//! * [`EventClassification`] is the per-event digest — three bitsets
+//!   (`Π`-membership, disabling post-state, `T_step` trigger) computed
+//!   **once per event for all conditions**, then shared by every
+//!   consumer.
+//! * [`EngineState`] owns the open-obligation bookkeeping, and
+//!   [`CompiledConditionSet::step`] resolves one event against it,
+//!   returning the event's [`EngineEvent`] log (obligations opened,
+//!   discharged, violated) from which offline violation lists, monitor
+//!   verdicts, metrics, and predictor warnings are all derived.
+//!
+//! The offline checkers ([`violations`](crate::violations),
+//! [`semi_satisfies`](crate::semi_satisfies),
+//! [`check_timed_execution`](crate::check_timed_execution)) are folds of
+//! this engine over a [`TimedSequence`]; the streaming monitor holds one
+//! [`EngineState`] and feeds it live events. Agreement between them
+//! holds by construction — they run the same code.
+
+use std::fmt;
+
+use tempo_math::Rat;
+
+use crate::satisfaction::{SatisfactionMode, Violation, ViolationKind};
+use crate::{TimedSequence, TimingCondition};
+
+/// What an open obligation is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObligationKind {
+    /// No `Π`-event may occur strictly before `earliest` (unless a
+    /// disabling state intervenes first).
+    Lower {
+        /// The earliest permitted absolute time `t_i + b_l`.
+        earliest: Rat,
+    },
+    /// Some `Π`-event or disabling state must occur at time `≤ deadline`.
+    Upper {
+        /// The absolute deadline `t_i + b_u`.
+        deadline: Rat,
+    },
+}
+
+/// An open obligation: a trigger whose bound is still live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Obligation {
+    /// Index of the trigger that opened it (0 = start-state trigger,
+    /// `i ≥ 1` = step trigger at event `i`), matching the offline
+    /// checker's `trigger_index`.
+    pub trigger_index: usize,
+    /// What the obligation waits for.
+    pub kind: ObligationKind,
+}
+
+/// How an obligation was resolved by an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// Still open: the event neither discharged nor violated it.
+    Open,
+    /// Discharged: the obligation can no longer be violated.
+    Discharged,
+    /// Violated by this event.
+    Violated,
+}
+
+impl Obligation {
+    /// Resolves the obligation against one event at (nondecreasing) time
+    /// `t`, where `in_pi` says whether the event's action is in `Π` and
+    /// `in_disabling` whether its *post*-state is in the disabling set.
+    ///
+    /// This is the single point where Definition 3.1's per-trigger
+    /// semantics live, including the ordering subtlety that a disabling
+    /// post-state excuses only *later* events, never the `Π`-check of
+    /// its own event.
+    #[inline]
+    pub fn resolve(&self, t: Rat, in_pi: bool, in_disabling: bool) -> Resolution {
+        self.resolve_in(t, in_pi, in_disabling, true)
+    }
+
+    /// [`resolve`](Obligation::resolve) with the lower bound's disabling
+    /// escape made optional: Definition 2.1's lower bound (timed
+    /// executions of a boundmap) has no escape clause, Definition 2.2's
+    /// does.
+    #[inline]
+    fn resolve_in(
+        &self,
+        t: Rat,
+        in_pi: bool,
+        in_disabling: bool,
+        lower_escape: bool,
+    ) -> Resolution {
+        match self.kind {
+            ObligationKind::Lower { earliest } => {
+                if t >= earliest {
+                    // The forbidden window is over; nothing can violate it.
+                    Resolution::Discharged
+                } else if in_pi {
+                    Resolution::Violated
+                } else if lower_escape && in_disabling {
+                    // An intervening disabling state suspends the bound
+                    // for every later event, so the obligation is dead.
+                    Resolution::Discharged
+                } else {
+                    Resolution::Open
+                }
+            }
+            ObligationKind::Upper { deadline } => {
+                if t > deadline {
+                    // Times are nondecreasing: the deadline has definitely
+                    // passed unserved.
+                    Resolution::Violated
+                } else if in_pi || in_disabling {
+                    Resolution::Discharged
+                } else {
+                    Resolution::Open
+                }
+            }
+        }
+    }
+}
+
+/// One entry of the dense per-condition bound table: everything the
+/// stepper needs about a condition, predicates excluded.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CondSpec {
+    /// Cached `b_l` (a window obligation only opens when it is positive).
+    pub(crate) lower: Rat,
+    /// Cached finite `b_u`, if any (no deadline obligation opens for ∞).
+    pub(crate) upper: Option<Rat>,
+    /// Whether a disabling state discharges an open lower-bound window
+    /// (Definitions 2.2/3.1: yes; Definition 2.1: no).
+    pub(crate) lower_escape: bool,
+}
+
+/// The per-event digest shared by every consumer: for each condition,
+/// whether the event's action is in `Π`, whether its post-state is
+/// disabling, and whether the step is a `T_step` trigger. Three dense
+/// bitsets, filled once per event by
+/// [`CompiledConditionSet::classify`] (or by hand for non-condition
+/// sources such as boundmap classes) and then read by
+/// [`CompiledConditionSet::step`].
+#[derive(Clone, Debug, Default)]
+pub struct EventClassification {
+    pi: Vec<u64>,
+    disabling: Vec<u64>,
+    trigger: Vec<u64>,
+}
+
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+impl EventClassification {
+    /// An all-clear classification sized for `conditions` conditions.
+    pub fn new(conditions: usize) -> EventClassification {
+        let words = conditions.div_ceil(64);
+        EventClassification {
+            pi: vec![0; words],
+            disabling: vec![0; words],
+            trigger: vec![0; words],
+        }
+    }
+
+    /// Clears every bit (reuse the buffers between events).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.pi.fill(0);
+        self.disabling.fill(0);
+        self.trigger.fill(0);
+    }
+
+    /// Marks condition `ci`'s action set `Π` as containing the event's
+    /// action.
+    #[inline]
+    pub fn set_pi(&mut self, ci: usize) {
+        bit_set(&mut self.pi, ci);
+    }
+
+    /// Marks the event's post-state as disabling for condition `ci`.
+    #[inline]
+    pub fn set_disabling(&mut self, ci: usize) {
+        bit_set(&mut self.disabling, ci);
+    }
+
+    /// Marks the event as a `T_step` trigger of condition `ci`.
+    #[inline]
+    pub fn set_trigger(&mut self, ci: usize) {
+        bit_set(&mut self.trigger, ci);
+    }
+
+    /// Whether the event's action is in condition `ci`'s `Π`.
+    #[inline]
+    pub fn pi(&self, ci: usize) -> bool {
+        bit_get(&self.pi, ci)
+    }
+
+    /// Whether the event's post-state is disabling for condition `ci`.
+    #[inline]
+    pub fn disabling(&self, ci: usize) -> bool {
+        bit_get(&self.disabling, ci)
+    }
+
+    /// Whether the event is a `T_step` trigger of condition `ci`.
+    #[inline]
+    pub fn trigger(&self, ci: usize) -> bool {
+        bit_get(&self.trigger, ci)
+    }
+}
+
+/// How the stepper learns one event's per-condition classification:
+/// either precomputed bitsets ([`EventClassification`], filled by a
+/// caller that classifies by some other key, e.g. boundmap classes) or
+/// lazily, straight off the condition predicates — the streaming hot
+/// path, where `Π`/disabling are only consulted for conditions that
+/// actually hold open obligations.
+pub(crate) trait Classify {
+    /// Whether the event is a `T_step` trigger of condition `ci`.
+    fn trigger(&self, ci: usize) -> bool;
+    /// Whether the event's action is in condition `ci`'s `Π`.
+    fn pi(&self, ci: usize) -> bool;
+    /// Whether the event's post-state is disabling for condition `ci`.
+    fn disabling(&self, ci: usize) -> bool;
+}
+
+impl Classify for EventClassification {
+    #[inline]
+    fn trigger(&self, ci: usize) -> bool {
+        bit_get(&self.trigger, ci)
+    }
+    #[inline]
+    fn pi(&self, ci: usize) -> bool {
+        bit_get(&self.pi, ci)
+    }
+    #[inline]
+    fn disabling(&self, ci: usize) -> bool {
+        bit_get(&self.disabling, ci)
+    }
+}
+
+/// Lazy classification of one live event against the compiled
+/// predicates (see [`CompiledConditionSet::step_event`]).
+struct LiveEvent<'e, S, A> {
+    conds: &'e [TimingCondition<S, A>],
+    pre: &'e S,
+    action: &'e A,
+    post: &'e S,
+}
+
+impl<S, A> Classify for LiveEvent<'_, S, A> {
+    #[inline]
+    fn trigger(&self, ci: usize) -> bool {
+        self.conds[ci].in_t_step(self.pre, self.action, self.post)
+    }
+    #[inline]
+    fn pi(&self, ci: usize) -> bool {
+        self.conds[ci].in_pi(self.action)
+    }
+    #[inline]
+    fn disabling(&self, ci: usize) -> bool {
+        self.conds[ci].in_disabling(self.post)
+    }
+}
+
+/// One entry of the event log produced by a [`step`]: an obligation
+/// opened, discharged, or violated. Consumers (the offline fold, the
+/// monitor's verdicts and metrics, the predictor's warnings) are all
+/// driven from this log, so none keeps obligation bookkeeping of its
+/// own.
+///
+/// [`step`]: CompiledConditionSet::step
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A trigger opened a new obligation at trigger time `t_i`.
+    Opened {
+        /// Condition index within the compiled set.
+        ci: usize,
+        /// The freshly opened obligation.
+        obligation: Obligation,
+        /// Absolute time of the trigger that opened it.
+        t_i: Rat,
+    },
+    /// An obligation was discharged — it can no longer be violated.
+    Discharged {
+        /// Condition index within the compiled set.
+        ci: usize,
+        /// The discharged obligation.
+        obligation: Obligation,
+    },
+    /// An obligation was violated; `kind` carries the full offline
+    /// [`ViolationKind`] payload (trigger index, deadline/earliest, and
+    /// for lower bounds the offending event index).
+    Violated {
+        /// Condition index within the compiled set.
+        ci: usize,
+        /// The violation, exactly as the offline checker reports it.
+        kind: ViolationKind,
+    },
+}
+
+/// The engine's whole mutable state: the open obligations per condition
+/// plus the stream position. Deliberately independent of the monitored
+/// state and action types, so it can be snapshotted, restored, and
+/// (behind the `serde` feature) serialized to persist a long-lived
+/// stream across restarts.
+#[derive(Clone, Debug)]
+pub struct EngineState {
+    /// Open obligations, per condition.
+    open: Vec<Vec<Obligation>>,
+    /// Time of the last stepped event (initially 0).
+    last_time: Rat,
+    /// Number of events stepped so far.
+    events_seen: usize,
+    /// Reusable event-log buffer (not part of the logical state).
+    events: Vec<EngineEvent>,
+    /// Whether [`EngineEvent::Opened`]/[`EngineEvent::Discharged`] are
+    /// logged (violations always are). Runtime configuration, not part
+    /// of the logical state: consumers with no obligation-lifecycle
+    /// listener turn it off to keep the per-event hot path free of log
+    /// traffic.
+    log_lifecycle: bool,
+}
+
+impl Default for EngineState {
+    /// An empty state tracking no conditions, lifecycle logging on.
+    fn default() -> EngineState {
+        EngineState::new(0)
+    }
+}
+
+impl EngineState {
+    /// Empty state for `conditions` conditions, with no obligations
+    /// open. [`CompiledConditionSet::start`] is the usual constructor —
+    /// it also opens the start-state triggers.
+    pub fn new(conditions: usize) -> EngineState {
+        EngineState {
+            open: vec![Vec::new(); conditions],
+            last_time: Rat::ZERO,
+            events_seen: 0,
+            events: Vec::new(),
+            log_lifecycle: true,
+        }
+    }
+
+    /// Turns [`EngineEvent::Opened`]/[`EngineEvent::Discharged`] logging
+    /// on or off (on by default; [`EngineEvent::Violated`] is always
+    /// logged). Checkers that only consume violations turn it off so
+    /// obligation churn never touches the event log.
+    pub fn set_log_lifecycle(&mut self, on: bool) {
+        self.log_lifecycle = on;
+    }
+
+    /// Number of conditions this state tracks.
+    pub fn conditions(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of events stepped so far.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Time of the last stepped event (0 before any event).
+    pub fn last_time(&self) -> Rat {
+        self.last_time
+    }
+
+    /// Total number of currently open obligations.
+    pub fn open_obligations(&self) -> usize {
+        self.open.iter().map(Vec::len).sum()
+    }
+
+    /// The open obligations of condition `ci`, in no particular order.
+    pub fn open_of(&self, ci: usize) -> &[Obligation] {
+        &self.open[ci]
+    }
+
+    /// Opens a trigger's (up to two) obligations and logs them.
+    #[inline]
+    pub(crate) fn open_trigger(
+        &mut self,
+        spec: &CondSpec,
+        ci: usize,
+        trigger_index: usize,
+        t_i: Rat,
+    ) {
+        // A zero lower bound can never be violated (times are
+        // nondecreasing), so no window obligation opens for it.
+        if spec.lower > Rat::ZERO {
+            let ob = Obligation {
+                trigger_index,
+                kind: ObligationKind::Lower {
+                    earliest: t_i + spec.lower,
+                },
+            };
+            self.open[ci].push(ob);
+            if self.log_lifecycle {
+                self.events.push(EngineEvent::Opened {
+                    ci,
+                    obligation: ob,
+                    t_i,
+                });
+            }
+        }
+        // An infinite upper bound imposes no deadline.
+        if let Some(b_u) = spec.upper {
+            let ob = Obligation {
+                trigger_index,
+                kind: ObligationKind::Upper {
+                    deadline: t_i + b_u,
+                },
+            };
+            self.open[ci].push(ob);
+            if self.log_lifecycle {
+                self.events.push(EngineEvent::Opened {
+                    ci,
+                    obligation: ob,
+                    t_i,
+                });
+            }
+        }
+    }
+}
+
+/// Steps one classified event against the open obligations (spec-level:
+/// shared by [`CompiledConditionSet`] and the boundmap checker, which
+/// classifies by partition class instead of by condition).
+///
+/// The order inside the returned log is load-bearing and mirrors the
+/// definitions exactly: per condition, the event is first weighed
+/// against the *existing* obligations (a trigger's bounds constrain
+/// strictly later events, `j > i`), and only then may it open new ones —
+/// so a trigger event never serves its own freshly opened bound.
+///
+/// `Π`/disabling classification is only requested for conditions that
+/// hold open obligations, so a lazy [`Classify`] source pays nothing
+/// for quiescent conditions.
+#[inline]
+pub(crate) fn step_specs<'a, C: Classify>(
+    specs: &[CondSpec],
+    st: &'a mut EngineState,
+    cls: &C,
+    time: Rat,
+) -> &'a [EngineEvent] {
+    assert!(
+        time >= st.last_time,
+        "monitored event times must be nondecreasing: {time} after {}",
+        st.last_time
+    );
+    st.events.clear();
+    st.events_seen += 1;
+    let j = st.events_seen;
+    for (ci, spec) in specs.iter().enumerate() {
+        if !st.open[ci].is_empty() {
+            let in_pi = cls.pi(ci);
+            let in_disabling = cls.disabling(ci);
+            let open = &mut st.open[ci];
+            let mut k = 0;
+            while k < open.len() {
+                match open[k].resolve_in(time, in_pi, in_disabling, spec.lower_escape) {
+                    Resolution::Open => k += 1,
+                    Resolution::Discharged => {
+                        let ob = open.swap_remove(k);
+                        if st.log_lifecycle {
+                            st.events
+                                .push(EngineEvent::Discharged { ci, obligation: ob });
+                        }
+                    }
+                    Resolution::Violated => {
+                        let ob = open.swap_remove(k);
+                        let kind = match ob.kind {
+                            ObligationKind::Lower { earliest } => ViolationKind::LowerBound {
+                                trigger_index: ob.trigger_index,
+                                event_index: j,
+                                earliest,
+                            },
+                            ObligationKind::Upper { deadline } => ViolationKind::UpperBound {
+                                trigger_index: ob.trigger_index,
+                                deadline,
+                            },
+                        };
+                        st.events.push(EngineEvent::Violated { ci, kind });
+                    }
+                }
+            }
+        }
+        if cls.trigger(ci) {
+            st.open_trigger(spec, ci, j, time);
+        }
+    }
+    st.last_time = time;
+    &st.events
+}
+
+/// Ends the stream: drains every still-open obligation, logging a
+/// violation for each open deadline under [`SatisfactionMode::Complete`]
+/// and a discharge otherwise (spec-level twin of
+/// [`CompiledConditionSet::finish`]).
+pub(crate) fn finish_specs<'a>(
+    _specs: &[CondSpec],
+    st: &'a mut EngineState,
+    mode: SatisfactionMode,
+) -> &'a [EngineEvent] {
+    st.events.clear();
+    for ci in 0..st.open.len() {
+        let open = std::mem::take(&mut st.open[ci]);
+        for ob in open {
+            match (mode, ob.kind) {
+                (SatisfactionMode::Complete, ObligationKind::Upper { deadline }) => {
+                    st.events.push(EngineEvent::Violated {
+                        ci,
+                        kind: ViolationKind::UpperBound {
+                            trigger_index: ob.trigger_index,
+                            deadline,
+                        },
+                    });
+                }
+                _ => {
+                    // An open lower window has outlived nothing — no more
+                    // events can violate it; an open deadline under
+                    // Prefix semantics implies `t_end ≤ deadline`, so
+                    // some extension could still meet it (Definition
+                    // 3.1's excuse).
+                    if st.log_lifecycle {
+                        st.events
+                            .push(EngineEvent::Discharged { ci, obligation: ob });
+                    }
+                }
+            }
+        }
+    }
+    &st.events
+}
+
+/// A set of timing conditions compiled for shared evaluation: the
+/// interned predicates plus the dense bound tables the obligation
+/// stepper reads. One compiled set serves any number of concurrent
+/// [`EngineState`]s (streams), so a pool of monitors compiles its
+/// conditions exactly once.
+///
+/// This is the engine behind every evaluator of Definition 3.1:
+/// [`violations`](crate::violations)/[`semi_satisfies`](crate::semi_satisfies)
+/// fold it over a recorded [`TimedSequence`], and `tempo-monitor`'s
+/// `Monitor` feeds it live events one at a time.
+///
+/// # Example
+///
+/// ```
+/// use tempo_core::engine::{CompiledConditionSet, EngineEvent, EventClassification};
+/// use tempo_core::TimingCondition;
+/// use tempo_math::{Interval, Rat};
+///
+/// let cond: TimingCondition<u32, &str> =
+///     TimingCondition::new("RESP", Interval::closed(Rat::ONE, Rat::from(5)).unwrap())
+///         .triggered_by_step(|_, a, _| *a == "REQ")
+///         .on_actions(|a| *a == "GRANT");
+/// let set = CompiledConditionSet::new(&[cond]);
+/// let mut st = set.start(&0);
+/// let mut cls = EventClassification::new(set.len());
+///
+/// set.classify(&0, &"REQ", &1, &mut cls);
+/// let opened = set.step(&mut st, &cls, Rat::from(2)).len();
+/// assert_eq!(opened, 2); // lower window + deadline
+///
+/// set.classify(&1, &"GRANT", &0, &mut cls);
+/// for ev in set.step(&mut st, &cls, Rat::from(4)) {
+///     assert!(matches!(ev, EngineEvent::Discharged { .. }));
+/// }
+/// assert_eq!(st.open_obligations(), 0);
+/// ```
+pub struct CompiledConditionSet<S, A> {
+    conds: Vec<TimingCondition<S, A>>,
+    specs: Vec<CondSpec>,
+}
+
+impl<S, A> fmt::Debug for CompiledConditionSet<S, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledConditionSet")
+            .field("conditions", &self.conds.len())
+            .finish()
+    }
+}
+
+impl<S, A> CompiledConditionSet<S, A> {
+    /// Compiles `conds`: caches each condition's `b_l`/finite `b_u` in a
+    /// dense table and interns the (cheaply cloned, `Arc`'d) predicates.
+    pub fn new(conds: &[TimingCondition<S, A>]) -> CompiledConditionSet<S, A> {
+        CompiledConditionSet {
+            specs: conds
+                .iter()
+                .map(|c| CondSpec {
+                    lower: c.lower(),
+                    upper: c.upper().finite(),
+                    lower_escape: true,
+                })
+                .collect(),
+            conds: conds.to_vec(),
+        }
+    }
+
+    /// Number of conditions in the set.
+    pub fn len(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.conds.is_empty()
+    }
+
+    /// The compiled conditions, in index order.
+    pub fn conditions(&self) -> &[TimingCondition<S, A>] {
+        &self.conds
+    }
+
+    /// The name of condition `ci`.
+    pub fn name(&self, ci: usize) -> &str {
+        self.conds[ci].name()
+    }
+
+    /// Cached finite upper bound `b_u` of condition `ci` (`None` for ∞).
+    pub fn upper(&self, ci: usize) -> Option<Rat> {
+        self.specs[ci].upper
+    }
+
+    /// A fresh [`EngineState`] with the start-state obligations open:
+    /// every condition whose `T_start` contains `start` triggers at
+    /// index 0, time 0 (Definition 3.1's start-state trigger).
+    pub fn start(&self, start: &S) -> EngineState {
+        let mut st = EngineState::new(self.conds.len());
+        for (ci, c) in self.conds.iter().enumerate() {
+            if c.in_t_start(start) {
+                st.open_trigger(&self.specs[ci], ci, 0, Rat::ZERO);
+            }
+        }
+        st.events.clear();
+        st
+    }
+
+    /// Classifies one event — pre-state, action, post-state — against
+    /// every condition in the set, filling `out`. Each predicate is
+    /// evaluated exactly once per event here; every consumer then reads
+    /// the shared bits.
+    pub fn classify(&self, pre: &S, action: &A, post: &S, out: &mut EventClassification) {
+        out.clear();
+        for (ci, c) in self.conds.iter().enumerate() {
+            if c.in_pi(action) {
+                out.set_pi(ci);
+            }
+            if c.in_disabling(post) {
+                out.set_disabling(ci);
+            }
+            if c.in_t_step(pre, action, post) {
+                out.set_trigger(ci);
+            }
+        }
+    }
+
+    /// Steps one classified event at (nondecreasing) absolute `time`
+    /// against the open obligations in `st`, returning the event's log:
+    /// existing obligations are resolved first (in open order, so a
+    /// trigger's bounds constrain strictly later events only), then the
+    /// event's own triggers open new obligations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` decreases below `st`'s last stepped time.
+    pub fn step<'a>(
+        &self,
+        st: &'a mut EngineState,
+        cls: &EventClassification,
+        time: Rat,
+    ) -> &'a [EngineEvent] {
+        step_specs(&self.specs, st, cls, time)
+    }
+
+    /// [`step`](CompiledConditionSet::step) on a live event, fusing
+    /// classification into the stepping pass: the `Π` and disabling
+    /// predicates are only evaluated for conditions that hold open
+    /// obligations (the trigger predicate always runs). Exactly
+    /// equivalent to [`classify`](CompiledConditionSet::classify)
+    /// followed by [`step`](CompiledConditionSet::step) — this is the
+    /// streaming monitor's per-event path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` decreases below `st`'s last stepped time.
+    pub fn step_event<'a>(
+        &self,
+        st: &'a mut EngineState,
+        pre: &S,
+        action: &A,
+        post: &S,
+        time: Rat,
+    ) -> &'a [EngineEvent] {
+        let live = LiveEvent {
+            conds: &self.conds,
+            pre,
+            action,
+            post,
+        };
+        step_specs(&self.specs, st, &live, time)
+    }
+
+    /// Ends the stream: under [`SatisfactionMode::Complete`]
+    /// (Definition 2.2) every still-open deadline becomes an upper-bound
+    /// violation; under [`SatisfactionMode::Prefix`] (Definition 3.1,
+    /// semi-satisfaction) open deadlines are excused. Open lower windows
+    /// are always discharged — no further event can violate them.
+    pub fn finish<'a>(&self, st: &'a mut EngineState, mode: SatisfactionMode) -> &'a [EngineEvent] {
+        finish_specs(&self.specs, st, mode)
+    }
+}
+
+impl<S: Clone + fmt::Debug, A: Clone + fmt::Debug> CompiledConditionSet<S, A> {
+    /// Folds the engine over a complete recorded sequence and collects
+    /// every violation, in event (discovery) order — the shared core of
+    /// [`violations`](crate::violations) and the replay checkers.
+    pub fn fold_sequence(
+        &self,
+        seq: &TimedSequence<S, A>,
+        mode: SatisfactionMode,
+    ) -> Vec<Violation> {
+        let mut st = self.start(seq.first_state());
+        // Only violations are consumed here; skip the lifecycle log.
+        st.set_log_lifecycle(false);
+        let mut out = Vec::new();
+        for (pre, a, t, post) in seq.step_triples() {
+            for ev in self.step_event(&mut st, pre, a, post, t) {
+                if let EngineEvent::Violated { ci, kind } = ev {
+                    out.push(Violation {
+                        condition: self.name(*ci).to_string(),
+                        kind: kind.clone(),
+                    });
+                }
+            }
+        }
+        for ev in self.finish(&mut st, mode) {
+            if let EngineEvent::Violated { ci, kind } = ev {
+                out.push(Violation {
+                    condition: self.name(*ci).to_string(),
+                    kind: kind.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Exact snapshot encodings (feature `serde`): an [`Obligation`] as
+    //! the triple `[trigger_index, is_upper, bound]` and an
+    //! [`EngineState`] as `[events_seen, last_time, open]`, with the
+    //! rationals in `tempo-math`'s `"num/den"` string form. The
+    //! transient event-log buffer is not part of the snapshot.
+
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    use super::{EngineState, Obligation, ObligationKind};
+    use tempo_math::Rat;
+
+    impl Serialize for Obligation {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let (is_upper, bound) = match self.kind {
+                ObligationKind::Lower { earliest } => (false, earliest),
+                ObligationKind::Upper { deadline } => (true, deadline),
+            };
+            (self.trigger_index, is_upper, bound).serialize(serializer)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Obligation {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Obligation, D::Error> {
+            let (trigger_index, is_upper, bound) = <(usize, bool, Rat)>::deserialize(deserializer)?;
+            let kind = if is_upper {
+                ObligationKind::Upper { deadline: bound }
+            } else {
+                ObligationKind::Lower { earliest: bound }
+            };
+            Ok(Obligation {
+                trigger_index,
+                kind,
+            })
+        }
+    }
+
+    impl Serialize for EngineState {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (self.events_seen, self.last_time, &self.open).serialize(serializer)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for EngineState {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<EngineState, D::Error> {
+            let (events_seen, last_time, open) =
+                <(usize, Rat, Vec<Vec<Obligation>>)>::deserialize(deserializer)?;
+            Ok(EngineState {
+                open,
+                last_time,
+                events_seen,
+                events: Vec::new(),
+                log_lifecycle: true,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_math::Interval;
+
+    fn lower(trigger: usize, earliest: i64) -> Obligation {
+        Obligation {
+            trigger_index: trigger,
+            kind: ObligationKind::Lower {
+                earliest: Rat::from(earliest),
+            },
+        }
+    }
+
+    fn upper(trigger: usize, deadline: i64) -> Obligation {
+        Obligation {
+            trigger_index: trigger,
+            kind: ObligationKind::Upper {
+                deadline: Rat::from(deadline),
+            },
+        }
+    }
+
+    #[test]
+    fn lower_window_resolution() {
+        let o = lower(0, 3);
+        // Early non-Π event keeps it open.
+        assert_eq!(o.resolve(Rat::from(1), false, false), Resolution::Open);
+        // Early Π-event violates.
+        assert_eq!(o.resolve(Rat::from(1), true, false), Resolution::Violated);
+        // Π exactly at the bound is fine (window closed).
+        assert_eq!(o.resolve(Rat::from(3), true, false), Resolution::Discharged);
+        // Disabling post-state kills the window...
+        assert_eq!(o.resolve(Rat::from(1), false, true), Resolution::Discharged);
+        // ...but not for its own event's Π-check.
+        assert_eq!(o.resolve(Rat::from(1), true, true), Resolution::Violated);
+    }
+
+    #[test]
+    fn upper_deadline_resolution() {
+        let o = upper(2, 5);
+        assert_eq!(o.resolve(Rat::from(4), false, false), Resolution::Open);
+        // Served by Π at the deadline exactly.
+        assert_eq!(o.resolve(Rat::from(5), true, false), Resolution::Discharged);
+        // Served by a disabling state.
+        assert_eq!(o.resolve(Rat::from(4), false, true), Resolution::Discharged);
+        // Past the deadline, even a Π-event is too late.
+        assert_eq!(o.resolve(Rat::from(6), true, false), Resolution::Violated);
+    }
+
+    #[test]
+    fn lower_escape_gates_the_disabling_discharge() {
+        // Definition 2.1's lower bound has no disabling escape: the
+        // window stays open through a disabling state.
+        let o = lower(0, 3);
+        assert_eq!(
+            o.resolve_in(Rat::from(1), false, true, false),
+            Resolution::Open
+        );
+        assert_eq!(
+            o.resolve_in(Rat::from(1), true, true, false),
+            Resolution::Violated
+        );
+    }
+
+    fn cond(lo: i64, hi: i64) -> TimingCondition<u8, &'static str> {
+        TimingCondition::new("C", Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap())
+            .triggered_at_start(|s| *s == 0)
+            .on_actions(|a| *a == "fire")
+    }
+
+    #[test]
+    fn classification_is_per_condition() {
+        let c2: TimingCondition<u8, &'static str> =
+            TimingCondition::new("D", Interval::closed(Rat::ZERO, Rat::from(9)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "done")
+                .disabled_in(|s| *s == 7);
+        let set = CompiledConditionSet::new(&[cond(1, 4), c2]);
+        let mut cls = EventClassification::new(set.len());
+        set.classify(&0, &"go", &7, &mut cls);
+        assert!(!cls.pi(0) && !cls.disabling(0) && !cls.trigger(0));
+        assert!(!cls.pi(1) && cls.disabling(1) && cls.trigger(1));
+        set.classify(&0, &"fire", &1, &mut cls);
+        assert!(cls.pi(0) && !cls.trigger(1));
+    }
+
+    #[test]
+    fn start_opens_trigger_zero_obligations() {
+        let set = CompiledConditionSet::new(&[cond(2, 4)]);
+        let st = set.start(&0);
+        assert_eq!(st.open_obligations(), 2);
+        assert_eq!(st.open_of(0)[0], lower(0, 2));
+        assert_eq!(st.open_of(0)[1], upper(0, 4));
+        // A non-T_start state opens nothing.
+        assert_eq!(set.start(&1).open_obligations(), 0);
+    }
+
+    #[test]
+    fn step_resolves_before_opening() {
+        // `go` both triggers and is a Π-action: the triggering event
+        // must not serve its own freshly opened deadline.
+        let c: TimingCondition<u8, &'static str> =
+            TimingCondition::new("C", Interval::closed(Rat::ZERO, Rat::from(3)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "go");
+        let set = CompiledConditionSet::new(&[c]);
+        let mut st = set.start(&0);
+        let mut cls = EventClassification::new(1);
+        set.classify(&0, &"go", &1, &mut cls);
+        let events = set.step(&mut st, &cls, Rat::from(1));
+        assert!(matches!(events, [EngineEvent::Opened { .. }]));
+        assert_eq!(st.open_obligations(), 1);
+    }
+
+    #[test]
+    fn fold_matches_the_event_and_trigger_indices() {
+        let set = CompiledConditionSet::new(&[cond(2, 10)]);
+        let mut seq = TimedSequence::new(0u8);
+        seq.push("fire", Rat::from(1), 1);
+        let vs = set.fold_sequence(&seq, SatisfactionMode::Prefix);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(
+            vs[0].kind,
+            ViolationKind::LowerBound {
+                trigger_index: 0,
+                event_index: 1,
+                earliest: Rat::from(2),
+            }
+        );
+    }
+
+    #[test]
+    fn finish_violates_open_deadlines_only_in_complete_mode() {
+        let set = CompiledConditionSet::new(&[cond(0, 4)]);
+        let mut st = set.start(&0);
+        assert!(matches!(
+            set.finish(&mut st, SatisfactionMode::Prefix),
+            [EngineEvent::Discharged { .. }]
+        ));
+        let mut st = set.start(&0);
+        assert!(matches!(
+            set.finish(&mut st, SatisfactionMode::Complete),
+            [EngineEvent::Violated { .. }]
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_time_panics() {
+        let set = CompiledConditionSet::new(&[cond(0, 4)]);
+        let mut st = set.start(&0);
+        let cls = EventClassification::new(1);
+        set.step(&mut st, &cls, Rat::from(3));
+        set.step(&mut st, &cls, Rat::from(2));
+    }
+
+    #[test]
+    fn classification_bitsets_span_many_words() {
+        let mut cls = EventClassification::new(130);
+        cls.set_pi(0);
+        cls.set_pi(64);
+        cls.set_trigger(129);
+        assert!(cls.pi(0) && cls.pi(64) && !cls.pi(63));
+        assert!(cls.trigger(129) && !cls.disabling(129));
+        cls.clear();
+        assert!(!cls.pi(64) && !cls.trigger(129));
+    }
+}

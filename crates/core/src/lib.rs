@@ -89,6 +89,7 @@ pub mod completeness;
 mod compose_timed;
 mod condition;
 mod dummify;
+pub mod engine;
 pub mod mapping;
 pub mod render;
 mod run;

@@ -1,10 +1,21 @@
 //! Trace checking of timing conditions: satisfaction (Definition 2.2),
 //! semi-satisfaction (Definition 3.1), and the direct timed-execution
 //! definition for boundmaps (Definition 2.1).
+//!
+//! Every checker here is a fold of the compiled condition engine
+//! ([`crate::engine`]) over the sequence under test: the engine owns the
+//! per-trigger obligation bookkeeping, and these functions only collect
+//! its violation events. The streaming monitor in `tempo-monitor` steps
+//! the *same* engine incrementally, so offline/online agreement holds by
+//! construction.
 
 use tempo_ioa::{ClassId, Ioa};
 use tempo_math::Rat;
 
+use crate::engine::{
+    finish_specs, step_specs, CompiledConditionSet, CondSpec, EngineEvent, EngineState,
+    EventClassification,
+};
 use crate::{Timed, TimedSequence, TimingCondition};
 
 /// How to treat the (finite) sequence under test when checking upper
@@ -88,11 +99,13 @@ where
 
 /// Collects *every* violation of `cond` by `seq` — one per violated
 /// trigger (each trigger's first lower-bound violation, or its
-/// upper-bound violation), in trigger order.
+/// upper-bound violation), in event (discovery) order: a fold of the
+/// compiled condition engine over the sequence, exactly what an online
+/// monitor observing the same events reports.
 ///
 /// [`satisfies`]/[`semi_satisfies`] report only the first of these; the
-/// full list is what an online monitor observing the same events must
-/// reproduce, which the `tempo-monitor` crate's property tests check.
+/// `tempo-monitor` crate's property tests check the online/offline
+/// agreement.
 pub fn violations<S, A>(
     seq: &TimedSequence<S, A>,
     cond: &TimingCondition<S, A>,
@@ -102,47 +115,9 @@ where
     S: Clone + std::fmt::Debug,
     A: Clone + std::fmt::Debug,
 {
-    let mut out = Vec::new();
-    for (i, t_i) in collect_triggers(seq, cond) {
-        if let Err(v) = check_trigger(
-            seq,
-            cond.name(),
-            i,
-            t_i,
-            cond.lower(),
-            cond.upper(),
-            mode,
-            true,
-            |a| cond.in_pi(a),
-            |s| cond.in_disabling(s),
-        ) {
-            out.push(v);
-        }
-    }
-    out
-}
-
-/// The trigger points of `cond` along `seq`: (trigger_index,
-/// trigger_time), the start-state trigger first.
-fn collect_triggers<S, A>(
-    seq: &TimedSequence<S, A>,
-    cond: &TimingCondition<S, A>,
-) -> Vec<(usize, Rat)>
-where
-    S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
-{
-    let mut triggers: Vec<(usize, Rat)> = Vec::new();
-    if cond.in_t_start(seq.first_state()) {
-        triggers.push((0, Rat::ZERO));
-    }
-    for (i, (pre, a, t, post)) in seq.step_triples().enumerate() {
-        let i = i + 1; // events are 1-based
-        if cond.in_t_step(pre, a, post) {
-            triggers.push((i, t));
-        }
-    }
-    triggers
+    // Definition 3.1/2.2 as an engine fold: compile the one condition,
+    // step each event, collect the violation log.
+    CompiledConditionSet::new(std::slice::from_ref(cond)).fold_sequence(seq, mode)
 }
 
 fn check_condition<S, A>(
@@ -154,100 +129,10 @@ where
     S: Clone + std::fmt::Debug,
     A: Clone + std::fmt::Debug,
 {
-    for (i, t_i) in collect_triggers(seq, cond) {
-        check_trigger(
-            seq,
-            cond.name(),
-            i,
-            t_i,
-            cond.lower(),
-            cond.upper(),
-            mode,
-            true,
-            |a| cond.in_pi(a),
-            |s| cond.in_disabling(s),
-        )?;
+    match violations(seq, cond, mode).into_iter().next() {
+        None => Ok(()),
+        Some(v) => Err(v),
     }
-    Ok(())
-}
-
-/// Shared trigger-resolution logic for Definitions 2.1, 2.2 and 3.1.
-///
-/// From trigger index `i` at absolute time `t_i`, with bounds
-/// `[b_l, b_u]`: the upper bound requires some `j > i` with
-/// `t_j ≤ t_i + b_u` and (`π_j ∈ Π` or `s_j ∈ S`); the lower bound forbids
-/// `j > i` with `t_j < t_i + b_l`, `π_j ∈ Π`, and — when `lower_escape` is
-/// set (Definition 2.2) — no intervening `s_k ∈ S`, `i < k < j`.
-/// Definition 2.1's lower bound has no such escape clause.
-#[allow(clippy::too_many_arguments)]
-fn check_trigger<S, A>(
-    seq: &TimedSequence<S, A>,
-    name: &str,
-    i: usize,
-    t_i: Rat,
-    b_l: Rat,
-    b_u: tempo_math::TimeVal,
-    mode: SatisfactionMode,
-    lower_escape: bool,
-    in_pi: impl Fn(&A) -> bool,
-    in_s: impl Fn(&S) -> bool,
-) -> Result<(), Violation>
-where
-    S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
-{
-    // Lower bound: scan events j > i while t_j < t_i + b_l.
-    let earliest = t_i + b_l;
-    let mut disabled_seen = false;
-    for j in (i + 1)..=seq.len() {
-        let (a_j, t_j) = seq.event(j);
-        if t_j >= earliest {
-            break;
-        }
-        if in_pi(a_j) && !disabled_seen {
-            return Err(Violation {
-                condition: name.to_string(),
-                kind: ViolationKind::LowerBound {
-                    trigger_index: i,
-                    event_index: j,
-                    earliest,
-                },
-            });
-        }
-        // s_j becomes an *intervening* state for events after j.
-        if lower_escape && in_s(seq.state(j)) {
-            disabled_seen = true;
-        }
-    }
-
-    // Upper bound (only if finite).
-    if let Some(b_u) = b_u.finite() {
-        let deadline = t_i + b_u;
-        let mut served = false;
-        for j in (i + 1)..=seq.len() {
-            let (a_j, t_j) = seq.event(j);
-            if t_j > deadline {
-                break;
-            }
-            if in_pi(a_j) || in_s(seq.state(j)) {
-                served = true;
-                break;
-            }
-        }
-        if !served {
-            let excused = mode == SatisfactionMode::Prefix && seq.t_end() <= deadline;
-            if !excused {
-                return Err(Violation {
-                    condition: name.to_string(),
-                    kind: ViolationKind::UpperBound {
-                        trigger_index: i,
-                        deadline,
-                    },
-                });
-            }
-        }
-    }
-    Ok(())
 }
 
 /// Checks Definition 2.1 directly: is `seq` (whose `ord` must already be an
@@ -260,9 +145,13 @@ where
 /// elapsed (lower). In [`SatisfactionMode::Prefix`] the upper bound is
 /// excused while the prefix has not outlived the deadline.
 ///
-/// By Lemma 2.1 this agrees with checking every `cond(C)` of
-/// [`u_b`](crate::u_b) via [`satisfies`]/[`semi_satisfies`]; the test suite
-/// exercises that equivalence.
+/// Implemented as a fold of the same obligation engine as
+/// [`satisfies`]/[`semi_satisfies`], with one classification slot per
+/// partition class and the lower bound's disabling escape switched off
+/// (Definition 2.1's lower bound has no escape clause). By Lemma 2.1
+/// this agrees with checking every `cond(C)` of [`u_b`](crate::u_b) via
+/// [`satisfies`]/[`semi_satisfies`] on executions of the automaton; the
+/// test suite exercises that equivalence.
 ///
 /// # Errors
 ///
@@ -274,47 +163,84 @@ pub fn check_timed_execution<M: Ioa>(
 ) -> Result<(), Violation> {
     let aut = timed.automaton().as_ref();
     let b = timed.boundmap();
-    for class in aut.partition().ids() {
-        let name = aut.partition().class_name(class);
-        for (i, t_i) in measurement_points(seq, aut, class) {
-            check_trigger(
-                seq,
-                name,
-                i,
-                t_i,
-                b.lower(class),
-                b.upper(class),
-                mode,
-                // Definition 2.1's lower bound has no disabling escape.
-                false,
-                |a| aut.partition().class_of(a) == Some(class),
-                |s| aut.class_disabled(s, class),
-            )?;
+    let classes: Vec<ClassId> = aut.partition().ids().collect();
+    let specs: Vec<CondSpec> = classes
+        .iter()
+        .map(|&c| CondSpec {
+            lower: b.lower(c),
+            upper: b.upper(c).finite(),
+            // Definition 2.1's lower bound has no disabling escape.
+            lower_escape: false,
+        })
+        .collect();
+
+    let fail = |aut: &M, ev: &EngineEvent| -> Option<Violation> {
+        if let EngineEvent::Violated { ci, kind } = ev {
+            Some(Violation {
+                condition: aut.partition().class_name(classes[*ci]).to_string(),
+                kind: kind.clone(),
+            })
+        } else {
+            None
+        }
+    };
+
+    // Measurement points (the positions Definition 2.1 measures its
+    // bounds from) become the engine's triggers: class `C` is triggered
+    // where it fires or first becomes enabled.
+    let mut st = EngineState::new(classes.len());
+    // Only violations are consumed here; skip the lifecycle log.
+    st.set_log_lifecycle(false);
+    let mut cls = EventClassification::new(classes.len());
+    for (pre, a, t, post) in seq.step_triples() {
+        cls.clear();
+        for (ci, &class) in classes.iter().enumerate() {
+            let fires = aut.partition().class_of(a) == Some(class);
+            if fires {
+                cls.set_pi(ci);
+            }
+            if aut.class_disabled(post, class) {
+                cls.set_disabling(ci);
+            }
+            if aut.class_enabled(post, class) && (aut.class_disabled(pre, class) || fires) {
+                cls.set_trigger(ci);
+            }
+        }
+        // The start-state triggers open lazily, before the first step
+        // (EngineState::new cannot see the automaton).
+        if st.events_seen() == 0 {
+            for (ci, &class) in classes.iter().enumerate() {
+                if aut.class_enabled(seq.first_state(), class) {
+                    open_start_trigger(&specs[ci], &mut st, ci);
+                }
+            }
+        }
+        if let Some(v) = step_specs(&specs, &mut st, &cls, t)
+            .iter()
+            .find_map(|ev| fail(aut, ev))
+        {
+            return Err(v);
         }
     }
-    Ok(())
+    if st.events_seen() == 0 {
+        for (ci, &class) in classes.iter().enumerate() {
+            if aut.class_enabled(seq.first_state(), class) {
+                open_start_trigger(&specs[ci], &mut st, ci);
+            }
+        }
+    }
+    match finish_specs(&specs, &mut st, mode)
+        .iter()
+        .find_map(|ev| fail(aut, ev))
+    {
+        None => Ok(()),
+        Some(v) => Err(v),
+    }
 }
 
-/// The positions where class `C` fires or first becomes enabled — the
-/// points from which Definition 2.1 measures its bounds.
-fn measurement_points<M: Ioa>(
-    seq: &TimedSequence<M::State, M::Action>,
-    aut: &M,
-    class: ClassId,
-) -> Vec<(usize, Rat)> {
-    let mut points = Vec::new();
-    if aut.class_enabled(seq.first_state(), class) {
-        points.push((0, Rat::ZERO));
-    }
-    for (i, (pre, a, t, post)) in seq.step_triples().enumerate() {
-        let i = i + 1;
-        if aut.class_enabled(post, class)
-            && (aut.class_disabled(pre, class) || aut.partition().class_of(a) == Some(class))
-        {
-            points.push((i, t));
-        }
-    }
-    points
+/// Opens the start-state (trigger 0, time 0) obligations of one class.
+fn open_start_trigger(spec: &CondSpec, st: &mut EngineState, ci: usize) {
+    st.open_trigger(spec, ci, 0, Rat::ZERO);
 }
 
 #[cfg(test)]
@@ -488,7 +414,7 @@ mod tests {
     fn violations_lists_one_per_violated_trigger() {
         // Every `go` re-triggers; both resulting windows are violated by
         // early fires. `semi_satisfies` reports the first, `violations`
-        // reports both, in trigger order.
+        // reports both, in discovery order.
         let c: TimingCondition<u8, &str> = TimingCondition::new("C", iv(2, 10))
             .triggered_by_step(|_, a, _| *a == "go")
             .on_actions(|a| *a == "fire");

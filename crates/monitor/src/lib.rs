@@ -1,20 +1,27 @@
 //! Streaming runtime verification of timing conditions.
 //!
 //! The offline checkers in `tempo-core` decide Definition 3.1
-//! (semi-satisfaction) by re-scanning a complete [`TimedSequence`]; this
-//! crate decides it *incrementally*, one event at a time, so timing
-//! conditions can be enforced against live executions — simulation runs
-//! as they are generated, or any external event source.
+//! (semi-satisfaction) by folding the compiled condition engine
+//! ([`tempo_core::engine`]) over a complete [`TimedSequence`]; this
+//! crate steps the *same* engine incrementally, one event at a time, so
+//! timing conditions can be enforced against live executions —
+//! simulation runs as they are generated, or any external event source —
+//! with online/offline agreement holding by construction.
 //!
 //! The pieces:
 //!
-//! * [`Monitor`] — compiles a set of [`TimingCondition`]s and consumes
-//!   `(action, time, state)` events, maintaining only the open
+//! * [`Monitor`] — compiles a set of [`TimingCondition`]s (or shares an
+//!   already-compiled
+//!   [`CompiledConditionSet`](tempo_core::engine::CompiledConditionSet))
+//!   and consumes `(action, time, state)` events, holding one engine
+//!   [`EngineState`](tempo_core::engine::EngineState) of open
 //!   obligations (pending deadlines and un-elapsed lower-bound windows).
 //!   Each event costs `O(conditions + open obligations)`, independent of
 //!   the stream length; verdicts carry the same
 //!   [`Violation`](tempo_core::Violation) payloads as the offline
-//!   checker and agree with it exactly.
+//!   checker and agree with it exactly. Snapshot the engine state
+//!   ([`Monitor::engine_state`]) and [`Monitor::resume`] it — with the
+//!   `serde` feature, across process restarts.
 //! * [`Predictor`] — zone-based early warning: one DBM clock per
 //!   condition tracks the time since its most recent trigger, so every
 //!   open deadline carries its remaining slack (the online reading of
@@ -61,7 +68,6 @@
 mod event;
 mod metrics;
 mod monitor;
-mod obligation;
 mod pool;
 mod predict;
 pub mod replay;
@@ -70,10 +76,13 @@ mod verdict;
 pub use event::Event;
 pub use metrics::{MetricsSnapshot, MonitorMetrics, StreamLag, StreamLagSnapshot, SLACK_BUCKETS};
 pub use monitor::Monitor;
-pub use obligation::{Obligation, ObligationKind, Resolution};
+// The obligation types moved into the shared condition engine
+// (`tempo_core::engine`) — re-exported here so downstream code keeps
+// its `tempo_monitor::{Obligation, ObligationKind, Resolution}` paths.
 pub use pool::{
     MonitorPool, OverloadPolicy, PoolConfig, PoolReport, StreamHandle, StreamOverflow, StreamReport,
 };
 pub use predict::{Outcome, Predictor, Warning};
 pub use replay::{replay, replay_predictive, replay_semi_satisfies, replay_verdicts};
+pub use tempo_core::engine::{Obligation, ObligationKind, Resolution};
 pub use verdict::Verdict;

@@ -3,39 +3,31 @@
 use std::fmt;
 use std::sync::Arc;
 
+use tempo_core::engine::{CompiledConditionSet, EngineEvent, EngineState, ObligationKind};
 use tempo_core::{SatisfactionMode, TimingCondition, Violation, ViolationKind};
 use tempo_math::Rat;
 
 use crate::metrics::MonitorMetrics;
-use crate::obligation::{Obligation, ObligationKind, Resolution};
 use crate::predict::{Outcome, Predictor, Warning};
 use crate::verdict::Verdict;
-
-/// One condition compiled for incremental checking: the condition itself
-/// plus its currently open obligations.
-struct CompiledCondition<S, A> {
-    cond: TimingCondition<S, A>,
-    /// Cached `b_l` (obligations are only opened when it is positive).
-    lower: Rat,
-    /// Cached finite `b_u`, if any (no deadline obligation opens for ∞).
-    upper: Option<Rat>,
-    open: Vec<Obligation>,
-}
 
 /// An online monitor for a set of timing conditions over one event
 /// stream — the incremental form of Definition 3.1 (semi-satisfaction).
 ///
-/// Where the offline checker ([`tempo_core::semi_satisfies`]) re-scans
-/// the whole sequence, the monitor consumes one `(action, time, state)`
-/// event at a time and keeps only the *open obligations*: trigger windows
-/// whose lower bound has not yet elapsed and deadlines not yet served.
-/// Each event costs `O(conditions + open obligations)`, independent of
-/// the stream length.
+/// The monitor is a thin wrapper around the compiled condition engine
+/// ([`tempo_core::engine`]): it holds one
+/// [`CompiledConditionSet`] (shareable across streams) and one
+/// [`EngineState`], classifies each incoming event once, steps the
+/// engine, and derives verdicts, metrics, and predictor warnings from
+/// the engine's event log. The offline checker
+/// ([`tempo_core::semi_satisfies`]) folds the *same* engine over a
+/// recorded sequence, so online/offline agreement holds by construction.
 ///
-/// The verdicts agree with the offline checker: after any finite prefix,
-/// the set of violations reported so far (plus [`finish`] for
-/// [`SatisfactionMode::Complete`]) equals the set reported by
-/// [`tempo_core::violations`] on the corresponding [`TimedSequence`].
+/// Each event costs `O(conditions + open obligations)`, independent of
+/// the stream length: after any finite prefix, the set of violations
+/// reported so far (plus [`finish`] for [`SatisfactionMode::Complete`])
+/// equals the set reported by [`tempo_core::violations`] on the
+/// corresponding [`TimedSequence`].
 ///
 /// # Example
 ///
@@ -57,12 +49,14 @@ struct CompiledCondition<S, A> {
 /// [`finish`]: Monitor::finish
 /// [`TimedSequence`]: tempo_core::TimedSequence
 pub struct Monitor<S, A> {
-    conds: Vec<CompiledCondition<S, A>>,
+    /// The compiled conditions — shared, so a pool of monitors over the
+    /// same condition set compiles it exactly once.
+    set: Arc<CompiledConditionSet<S, A>>,
+    /// The engine's obligation state for this stream.
+    engine: EngineState,
     /// Post-state of the last event (initially the start state); the
     /// `pre` argument of `T_step` triggers.
     last_state: S,
-    last_time: Rat,
-    events_seen: usize,
     violations: Vec<Violation>,
     warnings: Vec<Warning>,
     predictor: Option<Predictor>,
@@ -72,9 +66,9 @@ pub struct Monitor<S, A> {
 impl<S, A> fmt::Debug for Monitor<S, A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Monitor")
-            .field("conditions", &self.conds.len())
-            .field("events_seen", &self.events_seen)
-            .field("open_obligations", &self.open_obligations())
+            .field("conditions", &self.set.len())
+            .field("events_seen", &self.engine.events_seen())
+            .field("open_obligations", &self.engine.open_obligations())
             .field("violations", &self.violations.len())
             .field("warnings", &self.warnings.len())
             .finish()
@@ -86,30 +80,125 @@ impl<S: Clone, A> Monitor<S, A> {
     /// obligations (trigger index 0 at time 0) for every condition whose
     /// `T_start` contains `start`.
     pub fn new(conds: &[TimingCondition<S, A>], start: &S) -> Monitor<S, A> {
-        let mut mon = Monitor {
-            conds: conds
-                .iter()
-                .map(|c| CompiledCondition {
-                    lower: c.lower(),
-                    upper: c.upper().finite(),
-                    cond: c.clone(),
-                    open: Vec::new(),
-                })
-                .collect(),
+        Monitor::from_compiled(Arc::new(CompiledConditionSet::new(conds)), start)
+    }
+
+    /// A monitor over an already-compiled (and possibly shared) condition
+    /// set: many concurrent streams can hold the same
+    /// `Arc<CompiledConditionSet>` and pay the compilation exactly once —
+    /// this is how [`MonitorPool`](crate::MonitorPool) workers build
+    /// their per-stream monitors.
+    pub fn from_compiled(set: Arc<CompiledConditionSet<S, A>>, start: &S) -> Monitor<S, A> {
+        let mut engine = set.start(start);
+        // No predictor or metrics yet: nobody consumes obligation
+        // lifecycle events, so keep them out of the per-event hot path.
+        // `with_predictor`/`with_metrics` turn the log back on.
+        engine.set_log_lifecycle(false);
+        Monitor {
+            set,
+            engine,
             last_state: start.clone(),
-            last_time: Rat::ZERO,
-            events_seen: 0,
             violations: Vec::new(),
             warnings: Vec::new(),
             predictor: None,
             metrics: None,
-        };
-        for ci in 0..mon.conds.len() {
-            if mon.conds[ci].cond.in_t_start(start) {
-                mon.open_trigger(ci, 0, Rat::ZERO);
-            }
         }
-        mon
+    }
+
+    /// Rebuilds a monitor from a previously snapshotted [`EngineState`]
+    /// (see [`engine_state`](Monitor::engine_state)), continuing the
+    /// stream exactly where the snapshot left off: the restored monitor
+    /// emits the same verdicts on the remaining suffix as the original
+    /// would have. With the `serde` feature enabled on `tempo-core`, the
+    /// state itself can be serialized, persisted, and restored across
+    /// process restarts (the ROADMAP's long-lived streams item).
+    ///
+    /// `last_state` must be the post-state of the last event the
+    /// snapshotted monitor observed (the snapshot is pure obligation
+    /// state and deliberately holds no monitored-state data). Pass
+    /// `horizon` to re-attach an early-warning predictor: open deadlines
+    /// are re-armed from the snapshot, and obligations whose warning
+    /// point had already passed at snapshot time are marked warned, so
+    /// no warning is emitted twice across the snapshot boundary. The
+    /// restored prediction *zone* restarts its clocks at the snapshot
+    /// instant — warning/violation behavior is exact, only
+    /// [`Predictor::elapsed`] introspection is reset.
+    ///
+    /// The violation and warning lists start empty: they cover the
+    /// suffix. ([`Monitor::resume_compiled`] is the shared-set variant.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` tracks a different number of conditions than
+    /// `conds`.
+    pub fn resume(
+        conds: &[TimingCondition<S, A>],
+        state: EngineState,
+        last_state: &S,
+        horizon: Option<Rat>,
+    ) -> Monitor<S, A> {
+        Monitor::resume_compiled(
+            Arc::new(CompiledConditionSet::new(conds)),
+            state,
+            last_state,
+            horizon,
+        )
+    }
+
+    /// [`Monitor::resume`] over an already-compiled condition set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` tracks a different number of conditions than
+    /// `set`.
+    pub fn resume_compiled(
+        set: Arc<CompiledConditionSet<S, A>>,
+        state: EngineState,
+        last_state: &S,
+        horizon: Option<Rat>,
+    ) -> Monitor<S, A> {
+        assert_eq!(
+            set.len(),
+            state.conditions(),
+            "snapshot was taken over a different condition set"
+        );
+        let predictor = horizon.map(|h| {
+            let mut p = Predictor::new(set.len(), h);
+            p.advance_to(state.last_time());
+            for ci in 0..set.len() {
+                // Re-arm the open deadlines in trigger order (= deadline
+                // order, since one condition has one `b_u`); the trigger
+                // time is recovered as `deadline − b_u`.
+                let b_u = set.upper(ci);
+                let mut ups: Vec<(usize, Rat)> = state
+                    .open_of(ci)
+                    .iter()
+                    .filter_map(|ob| match ob.kind {
+                        ObligationKind::Upper { deadline } => Some((ob.trigger_index, deadline)),
+                        ObligationKind::Lower { .. } => None,
+                    })
+                    .collect();
+                ups.sort_unstable_by_key(|&(ti, _)| ti);
+                for (ti, deadline) in ups {
+                    let t_i = b_u.map_or(Rat::ZERO, |b| deadline - b);
+                    p.arm_restored(ci, ti, t_i, deadline);
+                }
+            }
+            p
+        });
+        let mut engine = state;
+        // As in `from_compiled`: only log obligation lifecycle events
+        // while someone (predictor, metrics) consumes them.
+        engine.set_log_lifecycle(predictor.is_some());
+        Monitor {
+            set,
+            engine,
+            last_state: last_state.clone(),
+            violations: Vec::new(),
+            warnings: Vec::new(),
+            predictor,
+            metrics: None,
+        }
     }
 
     /// Attaches shared metrics counters; every subsequent event and
@@ -117,8 +206,10 @@ impl<S: Clone, A> Monitor<S, A> {
     /// opened by the start-state trigger are counted retroactively, so
     /// `opened = discharged + violated + open` holds at all times.
     pub fn with_metrics(mut self, metrics: Arc<MonitorMetrics>) -> Monitor<S, A> {
-        metrics.record_opened(self.open_obligations() as u64);
+        metrics.record_opened(self.engine.open_obligations() as u64);
         self.metrics = Some(metrics);
+        // The metrics counters consume obligation lifecycle events.
+        self.engine.set_log_lifecycle(true);
         self
     }
 
@@ -165,54 +256,22 @@ impl<S: Clone, A> Monitor<S, A> {
     /// ```
     pub fn with_predictor(mut self, horizon: Rat) -> Monitor<S, A> {
         assert_eq!(
-            self.events_seen, 0,
+            self.engine.events_seen(),
+            0,
             "attach the predictor before observing events"
         );
-        let mut p = Predictor::new(self.conds.len(), horizon);
-        for (ci, c) in self.conds.iter().enumerate() {
-            for ob in &c.open {
+        let mut p = Predictor::new(self.set.len(), horizon);
+        for ci in 0..self.set.len() {
+            for ob in self.engine.open_of(ci) {
                 if let ObligationKind::Upper { deadline } = ob.kind {
                     p.arm(ci, ob.trigger_index, Rat::ZERO, deadline);
                 }
             }
         }
         self.predictor = Some(p);
+        // The predictor arms/retires off obligation lifecycle events.
+        self.engine.set_log_lifecycle(true);
         self
-    }
-
-    /// Opens the (up to two) obligations of a trigger at `(index, time)`.
-    fn open_trigger(&mut self, ci: usize, trigger_index: usize, t_i: Rat) {
-        let c = &mut self.conds[ci];
-        let mut opened = 0;
-        // A zero lower bound can never be violated (times are
-        // nondecreasing), so no window obligation opens for it.
-        if c.lower > Rat::ZERO {
-            c.open.push(Obligation {
-                trigger_index,
-                kind: ObligationKind::Lower {
-                    earliest: t_i + c.lower,
-                },
-            });
-            opened += 1;
-        }
-        // An infinite upper bound imposes no deadline.
-        if let Some(b_u) = c.upper {
-            c.open.push(Obligation {
-                trigger_index,
-                kind: ObligationKind::Upper {
-                    deadline: t_i + b_u,
-                },
-            });
-            if let Some(p) = &mut self.predictor {
-                p.arm(ci, trigger_index, t_i, t_i + b_u);
-            }
-            opened += 1;
-        }
-        if opened > 0 {
-            if let Some(m) = &self.metrics {
-                m.record_opened(opened);
-            }
-        }
     }
 
     /// Files a warning from the predictor under the condition's name and
@@ -234,6 +293,13 @@ impl<S: Clone, A> Monitor<S, A> {
     /// and the post-state. Returns [`Verdict::Ok`] or the event's first
     /// violation; *all* violations are appended to [`violations`].
     ///
+    /// One engine step: the event is classified against every condition
+    /// once, weighed against the open obligations, and the engine's
+    /// event log drives verdicts, metrics, and predictor warnings. Due
+    /// warnings are swept *before* the event is weighed, so a warning
+    /// always precedes the violation (or near-miss discharge) it
+    /// predicts.
+    ///
     /// # Panics
     ///
     /// Panics if `time` decreases, mirroring
@@ -241,127 +307,87 @@ impl<S: Clone, A> Monitor<S, A> {
     ///
     /// [`violations`]: Monitor::violations
     pub fn observe(&mut self, action: &A, time: Rat, state: &S) -> Verdict {
-        assert!(
-            time >= self.last_time,
-            "monitored event times must be nondecreasing: {time} after {}",
-            self.last_time
-        );
-        self.events_seen += 1;
-        let j = self.events_seen;
-        let mut first: Option<Violation> = None;
         let warnings_before = self.warnings.len();
-        if let Some(p) = &mut self.predictor {
+        let mut first: Option<Violation> = None;
+        let Monitor {
+            set,
+            engine,
+            last_state,
+            violations,
+            warnings,
+            predictor,
+            metrics,
+        } = self;
+        if let Some(p) = predictor.as_mut() {
             p.advance_to(time);
+            p.sweep(|ci, w| Self::file_warning(warnings, metrics, set.name(ci), w));
         }
-
-        for ci in 0..self.conds.len() {
-            let c = &mut self.conds[ci];
-            let in_pi = c.cond.in_pi(action);
-            let in_disabling = c.cond.in_disabling(state);
-
-            // Resolve the open obligations against this event, keeping
-            // the ones that stay open. Violations are recorded in
-            // obligation order, matching the offline checker's
-            // per-trigger results. Each resolution is mirrored to the
-            // predictor, which may owe an early warning for it.
-            let mut k = 0;
-            while k < c.open.len() {
-                match c.open[k].resolve(time, in_pi, in_disabling) {
-                    Resolution::Open => {
-                        if let (Some(p), ObligationKind::Upper { .. }) =
-                            (&mut self.predictor, c.open[k].kind)
-                        {
-                            if let Some(w) = p.poll(ci, c.open[k].trigger_index, Outcome::StillOpen)
-                            {
-                                Self::file_warning(
-                                    &mut self.warnings,
-                                    &self.metrics,
-                                    c.cond.name(),
-                                    w,
-                                );
-                            }
-                        }
-                        k += 1;
+        let mut opened = 0u64;
+        for ev in set.step_event(engine, last_state, action, state, time) {
+            match ev {
+                EngineEvent::Opened {
+                    ci,
+                    obligation,
+                    t_i,
+                } => {
+                    opened += 1;
+                    if let (Some(p), ObligationKind::Upper { deadline }) =
+                        (predictor.as_mut(), obligation.kind)
+                    {
+                        p.arm(*ci, obligation.trigger_index, *t_i, deadline);
                     }
-                    Resolution::Discharged => {
-                        let ob = c.open.swap_remove(k);
-                        if let (Some(p), ObligationKind::Upper { .. }) =
-                            (&mut self.predictor, ob.kind)
+                }
+                EngineEvent::Discharged { ci, obligation } => {
+                    if let (Some(p), ObligationKind::Upper { .. }) =
+                        (predictor.as_mut(), obligation.kind)
+                    {
+                        // A discharge inside the warning window is a near
+                        // miss: the sweep above already filed its
+                        // warning; this poll retires the tracking entry.
+                        if let Some(w) = p.poll(*ci, obligation.trigger_index, Outcome::Discharged)
                         {
-                            // A discharge inside the warning window is a
-                            // near miss and still gets its warning.
-                            if let Some(w) = p.poll(ci, ob.trigger_index, Outcome::Discharged) {
-                                Self::file_warning(
-                                    &mut self.warnings,
-                                    &self.metrics,
-                                    c.cond.name(),
-                                    w,
-                                );
-                            }
-                        }
-                        if let Some(m) = &self.metrics {
-                            m.record_discharged();
+                            Self::file_warning(warnings, metrics, set.name(*ci), w);
                         }
                     }
-                    Resolution::Violated => {
-                        let ob = c.open.swap_remove(k);
-                        let kind = match ob.kind {
-                            ObligationKind::Lower { earliest } => ViolationKind::LowerBound {
-                                trigger_index: ob.trigger_index,
-                                event_index: j,
-                                earliest,
-                            },
-                            ObligationKind::Upper { deadline } => {
-                                // The owed warning is filed before the
-                                // violation it predicts.
-                                if let Some(p) = &mut self.predictor {
-                                    if let Some(w) = p.poll(ci, ob.trigger_index, Outcome::Violated)
-                                    {
-                                        Self::file_warning(
-                                            &mut self.warnings,
-                                            &self.metrics,
-                                            c.cond.name(),
-                                            w,
-                                        );
-                                    }
-                                }
-                                ViolationKind::UpperBound {
-                                    trigger_index: ob.trigger_index,
-                                    deadline,
-                                }
+                    if let Some(m) = metrics {
+                        m.record_discharged();
+                    }
+                }
+                EngineEvent::Violated { ci, kind } => {
+                    if let ViolationKind::UpperBound { trigger_index, .. } = kind {
+                        // The owed warning was filed by the sweep before
+                        // the violation it predicts; the poll retires the
+                        // tracking entry.
+                        if let Some(p) = predictor.as_mut() {
+                            if let Some(w) = p.poll(*ci, *trigger_index, Outcome::Violated) {
+                                Self::file_warning(warnings, metrics, set.name(*ci), w);
                             }
-                        };
-                        let v = Violation {
-                            condition: c.cond.name().to_string(),
-                            kind,
-                        };
-                        if first.is_none() {
-                            first = Some(v.clone());
                         }
-                        self.violations.push(v);
-                        if let Some(m) = &self.metrics {
-                            m.record_violated();
-                        }
+                    }
+                    let v = Violation {
+                        condition: set.name(*ci).to_string(),
+                        kind: kind.clone(),
+                    };
+                    if first.is_none() {
+                        first = Some(v.clone());
+                    }
+                    violations.push(v);
+                    if let Some(m) = metrics {
+                        m.record_violated();
                     }
                 }
             }
-
-            // Only after the event has been weighed against the existing
-            // obligations may it trigger new ones: a trigger's bounds
-            // constrain strictly later events (`j > i`).
-            if c.cond.in_t_step(&self.last_state, action, state) {
-                self.open_trigger(ci, j, time);
-            }
         }
-
-        if let Some(m) = &self.metrics {
+        if let Some(m) = metrics {
+            if opened > 0 {
+                m.record_opened(opened);
+            }
             m.record_event();
-            if let Some(s) = self.predictor.as_ref().and_then(Predictor::min_slack) {
+            if let Some(s) = predictor.as_ref().and_then(Predictor::min_slack) {
                 m.record_min_slack(s);
             }
         }
-        self.last_state = state.clone();
-        self.last_time = time;
+        *last_state = state.clone();
         if let Some(v) = first {
             Verdict::from_violation(v)
         } else if self.warnings.len() > warnings_before {
@@ -393,41 +419,50 @@ impl<S: Clone, A> Monitor<S, A> {
         mut self,
         mode: SatisfactionMode,
     ) -> (Vec<Violation>, Vec<Warning>) {
-        for ci in 0..self.conds.len() {
-            let c = &mut self.conds[ci];
-            for ob in c.open.drain(..) {
-                match (mode, ob.kind) {
-                    (SatisfactionMode::Complete, ObligationKind::Upper { deadline }) => {
-                        if let Some(p) = &mut self.predictor {
-                            if let Some(w) = p.poll(ci, ob.trigger_index, Outcome::Violated) {
-                                Self::file_warning(
-                                    &mut self.warnings,
-                                    &self.metrics,
-                                    c.cond.name(),
-                                    w,
-                                );
+        let Monitor {
+            set,
+            engine,
+            violations,
+            warnings,
+            predictor,
+            metrics,
+            ..
+        } = &mut self;
+        for ev in set.finish(engine, mode) {
+            match ev {
+                EngineEvent::Violated { ci, kind } => {
+                    if let ViolationKind::UpperBound { trigger_index, .. } = kind {
+                        // End-of-stream violations still owe their
+                        // warning, filed first.
+                        if let Some(p) = predictor.as_mut() {
+                            if let Some(w) = p.poll(*ci, *trigger_index, Outcome::Violated) {
+                                Self::file_warning(warnings, metrics, set.name(*ci), w);
                             }
                         }
-                        self.violations.push(Violation {
-                            condition: c.cond.name().to_string(),
-                            kind: ViolationKind::UpperBound {
-                                trigger_index: ob.trigger_index,
-                                deadline,
-                            },
-                        });
-                        if let Some(m) = &self.metrics {
-                            m.record_violated();
-                        }
                     }
-                    _ => {
-                        if let Some(m) = &self.metrics {
-                            m.record_discharged();
-                        }
+                    violations.push(Violation {
+                        condition: set.name(*ci).to_string(),
+                        kind: kind.clone(),
+                    });
+                    if let Some(m) = metrics {
+                        m.record_violated();
                     }
                 }
+                EngineEvent::Discharged { .. } => {
+                    // Prefix-excused deadlines and open lower windows:
+                    // no warning is owed (the stream may yet be extended
+                    // to serve them).
+                    if let Some(m) = metrics {
+                        m.record_discharged();
+                    }
+                }
+                EngineEvent::Opened { .. } => {}
             }
         }
-        (self.violations, self.warnings)
+        (
+            std::mem::take(&mut self.violations),
+            std::mem::take(&mut self.warnings),
+        )
     }
 }
 
@@ -464,12 +499,27 @@ impl<S, A> Monitor<S, A> {
 
     /// Number of currently open obligations, across all conditions.
     pub fn open_obligations(&self) -> usize {
-        self.conds.iter().map(|c| c.open.len()).sum()
+        self.engine.open_obligations()
     }
 
     /// Number of events consumed.
     pub fn events_seen(&self) -> usize {
-        self.events_seen
+        self.engine.events_seen()
+    }
+
+    /// The engine's obligation state — the monitor's whole resumable
+    /// position in the stream. Snapshot it (clone, or serialize with the
+    /// `serde` feature of `tempo-core`) and hand it to
+    /// [`Monitor::resume`]/[`Monitor::resume_compiled`] to continue the
+    /// stream later, or in another process.
+    pub fn engine_state(&self) -> &EngineState {
+        &self.engine
+    }
+
+    /// The compiled condition set this monitor steps — shareable with
+    /// further monitors via [`Monitor::from_compiled`].
+    pub fn compiled(&self) -> &Arc<CompiledConditionSet<S, A>> {
+        &self.set
     }
 }
 
@@ -738,5 +788,58 @@ mod tests {
         let mut mon = Monitor::new(&[cond(0, 4)], &0u8);
         mon.observe(&"noise", Rat::from(1), &1);
         let _ = mon.with_predictor(Rat::ZERO);
+    }
+
+    #[test]
+    fn shared_compiled_set_serves_many_streams() {
+        let set = Arc::new(CompiledConditionSet::new(&[cond(2, 4)]));
+        let mut a = Monitor::from_compiled(Arc::clone(&set), &0u8);
+        let mut b = Monitor::from_compiled(Arc::clone(&set), &0u8);
+        assert!(!a.observe(&"fire", Rat::from(1), &1).is_ok()); // early
+        assert!(b.observe(&"fire", Rat::from(3), &1).is_ok()); // in window
+        assert!(!a.is_ok());
+        assert!(b.is_ok());
+    }
+
+    #[test]
+    fn resumed_monitor_continues_the_stream_exactly() {
+        let c = cond(2, 10);
+        // Original: trigger at start, snapshot after one quiet event.
+        let mut original = Monitor::new(std::slice::from_ref(&c), &0u8);
+        assert_eq!(original.observe(&"noise", Rat::from(1), &1), Verdict::Ok);
+        let snapshot = original.engine_state().clone();
+
+        let mut restored = Monitor::resume(std::slice::from_ref(&c), snapshot, &1u8, None);
+        assert_eq!(restored.events_seen(), 1);
+        assert_eq!(restored.open_obligations(), 2);
+        // The restored monitor sees the same early fire the original
+        // would have: a lower violation at event index 2.
+        let (r1, r2) = (
+            original.observe(&"fire", Rat::from(1), &1),
+            restored.observe(&"fire", Rat::from(1), &1),
+        );
+        assert_eq!(r1, r2);
+        assert!(matches!(r2, Verdict::LowerBoundViolation(_)));
+    }
+
+    #[test]
+    fn resume_rearms_the_predictor_without_rewarning() {
+        // Snapshot *after* the warning fired: the restored predictor
+        // must not warn for the same obligation again.
+        let mut original = Monitor::new(&[cond(0, 10)], &0u8).with_predictor(Rat::from(3));
+        assert!(original.observe(&"noise", Rat::from(8), &1).is_warning());
+        let snapshot = original.engine_state().clone();
+        let mut restored = Monitor::resume(&[cond(0, 10)], snapshot, &1u8, Some(Rat::from(3)));
+        assert_eq!(restored.observe(&"noise", Rat::from(9), &1), Verdict::Ok);
+        assert!(restored.warnings().is_empty());
+        // Snapshot *before* the warning point: the restored predictor
+        // picks the warning up.
+        let mut original = Monitor::new(&[cond(0, 10)], &0u8).with_predictor(Rat::from(3));
+        assert_eq!(original.observe(&"noise", Rat::from(5), &1), Verdict::Ok);
+        let snapshot = original.engine_state().clone();
+        let mut restored = Monitor::resume(&[cond(0, 10)], snapshot, &1u8, Some(Rat::from(3)));
+        let v = restored.observe(&"noise", Rat::from(8), &1);
+        assert_eq!(v.warning().expect("restored warning").at, Rat::from(7));
+        assert_eq!(restored.min_slack(), Some(Rat::from(2)));
     }
 }

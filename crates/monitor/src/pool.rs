@@ -21,6 +21,8 @@ use std::thread::JoinHandle;
 use tempo_core::{SatisfactionMode, TimingCondition, Violation};
 use tempo_math::Rat;
 
+use tempo_core::engine::CompiledConditionSet;
+
 use crate::event::Event;
 use crate::metrics::{MetricsSnapshot, MonitorMetrics, StreamLag};
 use crate::monitor::Monitor;
@@ -57,6 +59,15 @@ pub struct PoolConfig {
     /// stream's monitor, so stream reports also carry [`Warning`]s.
     /// `None` (the default) monitors without prediction.
     pub horizon: Option<Rat>,
+    /// How many queued messages a worker drains per lock acquisition
+    /// (default 1024). This is the worker-side latency/throughput knob:
+    /// a large batch amortizes the queue mutex and wake-ups over many
+    /// events (highest throughput, pairs with
+    /// [`StreamHandle::send_batch`]), while a small batch bounds how
+    /// many events a worker holds before producers blocked on a full
+    /// queue are woken, trimming tail latency under backpressure at the
+    /// cost of more lock round-trips. Values are clamped to at least 1.
+    pub drain_batch: usize,
 }
 
 impl Default for PoolConfig {
@@ -67,6 +78,7 @@ impl Default for PoolConfig {
             policy: OverloadPolicy::Block,
             mode: SatisfactionMode::Prefix,
             horizon: None,
+            drain_batch: 1024,
         }
     }
 }
@@ -507,21 +519,26 @@ where
     S: Clone + Send + 'static,
     A: Send + 'static,
 {
-    /// Spawns `config.workers` worker threads, each monitoring its
-    /// streams against (clones of) `conds`.
+    /// Spawns `config.workers` worker threads. The conditions are
+    /// compiled into one shared
+    /// [`CompiledConditionSet`](tempo_core::engine::CompiledConditionSet)
+    /// for the whole pool — every stream's monitor steps the same
+    /// compiled engine, paying the compilation exactly once.
     pub fn new(conds: &[TimingCondition<S, A>], config: PoolConfig) -> MonitorPool<S, A> {
         let metrics = Arc::new(MonitorMetrics::new());
+        let set = Arc::new(CompiledConditionSet::new(conds));
         let mut queues = Vec::new();
         let mut workers = Vec::new();
         for _ in 0..config.workers.max(1) {
             let queue = Arc::new(Queue::new(config.queue_capacity));
-            let conds: Vec<TimingCondition<S, A>> = conds.to_vec();
+            let set = Arc::clone(&set);
             let metrics = Arc::clone(&metrics);
             let worker_queue = Arc::clone(&queue);
             let mode = config.mode;
             let horizon = config.horizon;
+            let drain_batch = config.drain_batch.max(1);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&worker_queue, &conds, &metrics, mode, horizon)
+                worker_loop(&worker_queue, &set, &metrics, mode, horizon, drain_batch)
             }));
             queues.push(queue);
         }
@@ -579,10 +596,11 @@ where
 
 fn worker_loop<S: Clone, A>(
     queue: &Queue<Msg<S, A>>,
-    conds: &[TimingCondition<S, A>],
+    set: &Arc<CompiledConditionSet<S, A>>,
     metrics: &Arc<MonitorMetrics>,
     mode: SatisfactionMode,
     horizon: Option<Rat>,
+    drain_batch: usize,
 ) -> Vec<StreamReport> {
     let mut monitors: HashMap<u64, Monitor<S, A>> = HashMap::new();
     let mut reports = Vec::new();
@@ -598,17 +616,18 @@ fn worker_loop<S: Clone, A>(
         });
     };
     // Drain the queue in batches: one lock round-trip covers up to
-    // `WORKER_DRAIN` messages, so a producer feeding via `send_batch`
-    // and this loop together touch the mutex O(events / batch) times.
-    const WORKER_DRAIN: usize = 1024;
+    // `drain_batch` messages ([`PoolConfig::drain_batch`]), so a
+    // producer feeding via `send_batch` and this loop together touch
+    // the mutex O(events / batch) times.
     let mut batch = Vec::new();
     loop {
         batch.clear();
-        queue.pop_many(WORKER_DRAIN, &mut batch);
+        queue.pop_many(drain_batch, &mut batch);
         for msg in batch.drain(..) {
             match msg {
                 Msg::Open { stream, start } => {
-                    let mut mon = Monitor::new(conds, &start).with_metrics(Arc::clone(metrics));
+                    let mut mon = Monitor::from_compiled(Arc::clone(set), &start)
+                        .with_metrics(Arc::clone(metrics));
                     if let Some(h) = horizon {
                         mon = mon.with_predictor(h);
                     }
@@ -674,7 +693,7 @@ mod tests {
             queue_capacity: 2,
             policy: OverloadPolicy::DropOldest,
             mode: SatisfactionMode::Prefix,
-            horizon: None,
+            ..PoolConfig::default()
         };
         // A condition that never triggers: the worker just drains.
         let never: TimingCondition<u8, &'static str> =
@@ -699,7 +718,7 @@ mod tests {
             queue_capacity: 1,
             policy: OverloadPolicy::FailStream,
             mode: SatisfactionMode::Prefix,
-            horizon: None,
+            ..PoolConfig::default()
         };
         let never: TimingCondition<u8, &'static str> =
             TimingCondition::new("N", Interval::closed(Rat::ZERO, Rat::from(1)).unwrap());
@@ -797,7 +816,7 @@ mod tests {
             queue_capacity: 2,
             policy: OverloadPolicy::DropOldest,
             mode: SatisfactionMode::Prefix,
-            horizon: None,
+            ..PoolConfig::default()
         };
         let mut pool = MonitorPool::new(std::slice::from_ref(&never), config);
         let mut h = pool.open_stream(0u8);
@@ -816,7 +835,7 @@ mod tests {
             queue_capacity: 1,
             policy: OverloadPolicy::FailStream,
             mode: SatisfactionMode::Prefix,
-            horizon: None,
+            ..PoolConfig::default()
         };
         let mut pool = MonitorPool::new(&[never], config);
         let mut h = pool.open_stream(0u8);

@@ -279,6 +279,56 @@ impl Predictor {
         });
     }
 
+    /// [`arm`](Predictor::arm) for an obligation restored from a
+    /// snapshot (see `Monitor::resume`): if the warning point had
+    /// already passed at the current time, the obligation is marked
+    /// warned *silently* — the warning was emitted before the snapshot
+    /// and must not be emitted twice across the snapshot boundary.
+    pub fn arm_restored(&mut self, ci: usize, trigger_index: usize, t_i: Rat, deadline: Rat) {
+        self.arm(ci, trigger_index, t_i, deadline);
+        let e = self.tracked[ci]
+            .back_mut()
+            .expect("arm just pushed an entry");
+        e.warned = self.now > e.warn_at;
+    }
+
+    /// Sweeps every tracked obligation whose warning point has been
+    /// passed (strictly) without a warning yet, marking it warned and
+    /// handing each fresh [`Warning`] — with its condition *index* — to
+    /// `emit`. The monitor calls this once per event, right after
+    /// [`advance_to`](Predictor::advance_to) and *before* stepping the
+    /// engine, so a warning always precedes the violation or near-miss
+    /// discharge it predicts. `O(open deadlines)`; `O(1)` when no
+    /// deadline is open.
+    pub fn sweep<F: FnMut(usize, Warning)>(&mut self, mut emit: F) {
+        if self.active_count == 0 {
+            return;
+        }
+        let now = self.now;
+        let horizon = self.horizon;
+        let mut emitted = 0;
+        for (ci, queue) in self.tracked.iter_mut().enumerate() {
+            for e in queue.iter_mut() {
+                if !e.warned && now > e.warn_at {
+                    e.warned = true;
+                    emitted += 1;
+                    emit(
+                        ci,
+                        Warning {
+                            condition: String::new(), // caller fills the name in
+                            trigger_index: e.trigger_index,
+                            deadline: e.deadline,
+                            at: e.warn_at,
+                            slack: e.deadline - e.warn_at,
+                            horizon,
+                        },
+                    );
+                }
+            }
+        }
+        self.warnings_emitted += emitted;
+    }
+
     /// Reports the state of a tracked obligation after the current event
     /// and returns the [`Warning`] now owed for it, if any.
     ///

@@ -3,9 +3,11 @@
 //! The bridge between the repository's offline world (simulation
 //! ensembles, counterexample traces) and the streaming monitor: any
 //! recorded sequence can be fed event-by-event through a [`Monitor`],
-//! which must then report exactly the violations the offline checker
-//! finds. The equivalence is exercised by the repository's property
-//! tests.
+//! which reports exactly the violations the offline checker finds —
+//! both sides step the same compiled condition engine
+//! ([`tempo_core::engine`], Definition 3.1), so the agreement holds by
+//! construction and is additionally exercised by the repository's
+//! property tests.
 
 use tempo_core::{SatisfactionMode, TimedSequence, TimingCondition, Violation};
 use tempo_math::Rat;
@@ -17,9 +19,9 @@ use crate::verdict::Verdict;
 /// Feeds every event of `seq` through a fresh monitor for `conds` and
 /// returns all violations, closing the stream in `mode`.
 ///
-/// Agrees with collecting [`tempo_core::violations`] over each condition
-/// (up to discovery order: the monitor reports violations in event
-/// order, the offline checker in trigger order).
+/// Agrees with collecting [`tempo_core::violations`] over each
+/// condition: both fold the same engine, reporting violations in event
+/// (discovery) order.
 pub fn replay<S, A>(
     seq: &TimedSequence<S, A>,
     conds: &[TimingCondition<S, A>],
@@ -91,8 +93,8 @@ where
 ///
 /// # Errors
 ///
-/// Returns the first violation *in event order* (the offline checker
-/// reports the first in trigger order; the violation sets agree).
+/// Returns the first violation in event order, exactly as
+/// [`tempo_core::semi_satisfies`] reports it.
 pub fn replay_semi_satisfies<S, A>(
     seq: &TimedSequence<S, A>,
     conds: &[TimingCondition<S, A>],

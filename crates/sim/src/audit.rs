@@ -1,4 +1,11 @@
 //! Batch auditing of run ensembles against timing conditions.
+//!
+//! [`audit_runs`] checks each (run, condition) pair with the offline
+//! [`semi_satisfies`] checker, which steps the shared condition engine
+//! under the hood; [`stream_audit_runs`](crate::stream_audit_runs)
+//! compiles the conditions once and replays runs through the online
+//! monitor over the same engine, so the two audits agree on pass/fail
+//! by construction.
 
 use std::fmt;
 

@@ -8,15 +8,18 @@
 //! on whether the ensemble passes.
 
 use std::fmt;
+use std::sync::Arc;
 
+use tempo_core::engine::CompiledConditionSet;
 use tempo_core::{TimedSequence, TimingCondition, Violation};
 use tempo_math::Rat;
-use tempo_monitor::{replay, replay_predictive, MonitorPool, PoolConfig, Warning};
+use tempo_monitor::{Monitor, MonitorPool, PoolConfig, Warning};
 
 use crate::audit::AuditSummary;
 
-/// Streaming semi-satisfaction audit: each run is replayed through an
-/// online monitor compiled from `conds`.
+/// Streaming semi-satisfaction audit: the conditions are compiled once
+/// (one shared [`CompiledConditionSet`]) and each run is replayed
+/// through an online monitor over that set.
 ///
 /// Agrees with [`audit_runs`](crate::audit_runs) on
 /// [`passed`](AuditSummary::passed); the violation lists may differ in
@@ -30,12 +33,17 @@ where
     S: Clone + fmt::Debug,
     A: Clone + fmt::Debug,
 {
+    let set = Arc::new(CompiledConditionSet::new(conds));
     let mut summary = AuditSummary {
         checks: runs.len() * conds.len(),
         violations: Vec::new(),
     };
     for (i, run) in runs.iter().enumerate() {
-        for v in replay(run, conds, tempo_core::SatisfactionMode::Prefix) {
+        let mut mon = Monitor::from_compiled(Arc::clone(&set), run.first_state());
+        for (_, a, t, post) in run.step_triples() {
+            mon.observe(a, t, post);
+        }
+        for v in mon.finish(tempo_core::SatisfactionMode::Prefix) {
             summary.violations.push((i, v));
         }
     }
@@ -137,13 +145,18 @@ where
     S: Clone + fmt::Debug,
     A: Clone + fmt::Debug,
 {
+    let set = Arc::new(CompiledConditionSet::new(conds));
     let mut summary = PredictiveAuditSummary {
         checks: runs.len() * conds.len(),
         ..PredictiveAuditSummary::default()
     };
     for (i, run) in runs.iter().enumerate() {
-        let (violations, warnings) =
-            replay_predictive(run, conds, tempo_core::SatisfactionMode::Prefix, horizon);
+        let mut mon =
+            Monitor::from_compiled(Arc::clone(&set), run.first_state()).with_predictor(horizon);
+        for (_, a, t, post) in run.step_triples() {
+            mon.observe(a, t, post);
+        }
+        let (violations, warnings) = mon.finish_with_warnings(tempo_core::SatisfactionMode::Prefix);
         summary
             .violations
             .extend(violations.into_iter().map(|v| (i, v)));

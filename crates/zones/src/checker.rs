@@ -1,4 +1,10 @@
 //! Symbolic forward reachability and timing-condition verification.
+//!
+//! Verdicts produced here are cross-checked against the concrete
+//! condition engine ([`tempo_core::engine::CompiledConditionSet`]) by
+//! the `prop_engine` integration suite: a condition the zone checker
+//! proves satisfied must never trip the engine on any sampled run of
+//! the same automaton.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;

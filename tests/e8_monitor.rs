@@ -120,7 +120,7 @@ fn pool_metrics_are_consistent() {
         queue_capacity: 64,
         policy: OverloadPolicy::Block,
         mode: SatisfactionMode::Prefix,
-        horizon: None,
+        ..PoolConfig::default()
     };
     let mut pool = MonitorPool::new(&conds, config);
     let total_events: usize = runs.iter().map(|r| r.len()).sum();
