@@ -30,9 +30,13 @@
 //!   open deadline's slack drops to the configured horizon — before the
 //!   violation, if one follows.
 //! * [`MonitorPool`] — shards many independent streams across worker
-//!   threads with bounded queues and a configurable [`OverloadPolicy`]
-//!   (block / drop-oldest / fail-stream); batch submission
-//!   ([`StreamHandle::send_batch`]) amortizes the queue synchronization.
+//!   threads and a configurable [`OverloadPolicy`] (block / drop-oldest
+//!   / fail-stream). Ingestion is lock-free: each stream feeds its
+//!   worker through a bounded SPSC ring buffer ([`mod@ring`]) with
+//!   batched publish/drain and spin-then-park wakeups; batch submission
+//!   ([`StreamHandle::send_batch`]) amortizes even the atomic traffic.
+//! * [`mod@ring`] — the bounded single-producer/single-consumer ring
+//!   buffer underneath the pool, usable on its own.
 //! * [`MonitorMetrics`] — shared atomic counters (events, obligation
 //!   churn, warnings, slack, queue depths, per-stream lag) with a
 //!   plain-text [snapshot](MetricsSnapshot) renderer.
@@ -71,6 +75,7 @@ mod monitor;
 mod pool;
 mod predict;
 pub mod replay;
+pub mod ring;
 mod verdict;
 
 pub use event::Event;

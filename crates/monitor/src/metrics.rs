@@ -6,6 +6,14 @@
 //! renders an aligned table in the style of `tempo-core`'s `render`
 //! module.
 //!
+//! Internally the hot, worker-side counters (events, obligation churn,
+//! warnings, slack) are *sharded*: each pool worker records into its own
+//! cache-line-aligned [`MetricsShard`], and [`snapshot`] merges the
+//! shards with the base counters. Producer-side counters (queue depth,
+//! drops, batches, per-stream lag) stay on the base struct — they are
+//! either amortized by batching or per-stream to begin with. The public
+//! snapshot API is unchanged by the sharding.
+//!
 //! [`snapshot`]: MonitorMetrics::snapshot
 
 use std::fmt;
@@ -14,44 +22,178 @@ use std::sync::{Arc, Mutex};
 
 use tempo_math::Rat;
 
+use crate::ring::CachePadded;
+
 /// Number of buckets in the warning-slack histogram: quartiles of the
 /// `slack / horizon` ratio plus a final bucket for full-horizon warnings.
 pub const SLACK_BUCKETS: usize = 5;
 
+/// Buckets a warning's slack into the `slack / horizon` histogram. A
+/// clamped warning (`slack < horizon`) lands in the quartile of its
+/// ratio; a full-horizon warning — and every warning at horizon `0` —
+/// lands in the last bucket.
+fn slack_bucket(slack: Rat, horizon: Rat) -> usize {
+    if horizon.is_zero() || slack >= horizon {
+        SLACK_BUCKETS - 1
+    } else {
+        // slack/horizon ∈ [0, 1): quartile index without division.
+        let s4 = slack * Rat::from(4);
+        if s4 < horizon {
+            0
+        } else if s4 < horizon * Rat::from(2) {
+            1
+        } else if s4 < horizon * Rat::from(3) {
+            2
+        } else {
+            3
+        }
+    }
+}
+
 /// Lag accounting for one stream: events enqueued by the producer vs
 /// events drained (processed or dropped) by the worker.
+///
+/// The two counters live on separate cache lines: the producer bumps
+/// `enqueued` and the worker bumps `drained` at full ingestion rate, so
+/// sharing a line would make every send invalidate the worker's cache
+/// and vice versa.
 #[derive(Debug, Default)]
 pub struct StreamLag {
-    enqueued: AtomicU64,
-    drained: AtomicU64,
+    enqueued: CachePadded<AtomicU64>,
+    drained: CachePadded<AtomicU64>,
 }
 
 impl StreamLag {
     /// Records one event handed to the stream's queue.
     pub fn record_enqueued(&self) {
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.enqueued.value.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records `n` events handed to the stream's queue in one batch.
     pub fn record_enqueued_many(&self, n: u64) {
-        self.enqueued.fetch_add(n, Ordering::Relaxed);
+        self.enqueued.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one event leaving the queue (processed or dropped).
     pub fn record_drained(&self) {
-        self.drained.fetch_add(1, Ordering::Relaxed);
+        self.drained.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` events leaving the queue in one drained batch.
+    pub fn record_drained_many(&self, n: u64) {
+        self.drained.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Events currently in flight for this stream.
     pub fn lag(&self) -> u64 {
         self.enqueued
+            .value
             .load(Ordering::Relaxed)
-            .saturating_sub(self.drained.load(Ordering::Relaxed))
+            .saturating_sub(self.drained.value.load(Ordering::Relaxed))
     }
 
     /// Total events enqueued so far.
     pub fn enqueued(&self) -> u64 {
-        self.enqueued.load(Ordering::Relaxed)
+        self.enqueued.value.load(Ordering::Relaxed)
+    }
+}
+
+/// One worker's private slice of the hot counters. Cache-line-aligned so
+/// shards never false-share; all fields are bumped by exactly one worker
+/// thread and only read across threads at snapshot time.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct MetricsShard {
+    events: AtomicU64,
+    obligations_opened: AtomicU64,
+    obligations_discharged: AtomicU64,
+    obligations_violated: AtomicU64,
+    warnings: AtomicU64,
+    warning_slack_hist: [AtomicU64; SLACK_BUCKETS],
+    min_slack: Mutex<Option<Rat>>,
+}
+
+impl MetricsShard {
+    pub(crate) fn record_event(&self) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_opened(&self, n: u64) {
+        self.obligations_opened.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_discharged(&self) {
+        self.obligations_discharged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_violated(&self) {
+        self.obligations_violated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_warning(&self, slack: Rat, horizon: Rat) {
+        self.warnings.fetch_add(1, Ordering::Relaxed);
+        self.warning_slack_hist[slack_bucket(slack, horizon)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_min_slack(&self, slack: Rat) {
+        let mut guard = self.min_slack.lock().expect("metrics mutex poisoned");
+        match *guard {
+            Some(m) if m <= slack => {}
+            _ => *guard = Some(slack),
+        }
+    }
+}
+
+/// A monitor's destination for hot-path counters: either the shared base
+/// [`MonitorMetrics`] (standalone monitors) or one worker's private
+/// [`MetricsShard`] (pool monitors, merged at snapshot time).
+#[derive(Debug, Clone)]
+pub(crate) enum MetricsRef {
+    Base(Arc<MonitorMetrics>),
+    Shard(Arc<MetricsShard>),
+}
+
+impl MetricsRef {
+    pub(crate) fn record_event(&self) {
+        match self {
+            MetricsRef::Base(m) => m.record_event(),
+            MetricsRef::Shard(s) => s.record_event(),
+        }
+    }
+
+    pub(crate) fn record_opened(&self, n: u64) {
+        match self {
+            MetricsRef::Base(m) => m.record_opened(n),
+            MetricsRef::Shard(s) => s.record_opened(n),
+        }
+    }
+
+    pub(crate) fn record_discharged(&self) {
+        match self {
+            MetricsRef::Base(m) => m.record_discharged(),
+            MetricsRef::Shard(s) => s.record_discharged(),
+        }
+    }
+
+    pub(crate) fn record_violated(&self) {
+        match self {
+            MetricsRef::Base(m) => m.record_violated(),
+            MetricsRef::Shard(s) => s.record_violated(),
+        }
+    }
+
+    pub(crate) fn record_warning(&self, slack: Rat, horizon: Rat) {
+        match self {
+            MetricsRef::Base(m) => m.record_warning(slack, horizon),
+            MetricsRef::Shard(s) => s.record_warning(slack, horizon),
+        }
+    }
+
+    pub(crate) fn record_min_slack(&self, slack: Rat) {
+        match self {
+            MetricsRef::Base(m) => m.record_min_slack(slack),
+            MetricsRef::Shard(s) => s.record_min_slack(slack),
+        }
     }
 }
 
@@ -72,6 +214,7 @@ pub struct MonitorMetrics {
     batched_events: AtomicU64,
     max_batch: AtomicU64,
     streams: Mutex<Vec<(u64, Arc<StreamLag>)>>,
+    shards: Mutex<Vec<Arc<MetricsShard>>>,
 }
 
 impl MonitorMetrics {
@@ -122,22 +265,7 @@ impl MonitorMetrics {
     /// in the last bucket.
     pub fn record_warning(&self, slack: Rat, horizon: Rat) {
         self.warnings.fetch_add(1, Ordering::Relaxed);
-        let bucket = if horizon.is_zero() || slack >= horizon {
-            SLACK_BUCKETS - 1
-        } else {
-            // slack/horizon ∈ [0, 1): quartile index without division.
-            let s4 = slack * Rat::from(4);
-            if s4 < horizon {
-                0
-            } else if s4 < horizon * Rat::from(2) {
-                1
-            } else if s4 < horizon * Rat::from(3) {
-                2
-            } else {
-                3
-            }
-        };
-        self.warning_slack_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.warning_slack_hist[slack_bucket(slack, horizon)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Folds an observed minimum remaining slack into the running
@@ -167,7 +295,20 @@ impl MonitorMetrics {
         lag
     }
 
-    /// Freezes the counters into an immutable snapshot.
+    /// Registers a new private shard of the hot counters (one per pool
+    /// worker). The shard's counts are folded into every subsequent
+    /// [`snapshot`](MonitorMetrics::snapshot).
+    pub(crate) fn register_shard(&self) -> Arc<MetricsShard> {
+        let shard = Arc::new(MetricsShard::default());
+        self.shards
+            .lock()
+            .expect("metrics mutex poisoned")
+            .push(Arc::clone(&shard));
+        shard
+    }
+
+    /// Freezes the counters into an immutable snapshot, merging every
+    /// worker shard with the base counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let streams = self
             .streams
@@ -180,19 +321,40 @@ impl MonitorMetrics {
                 lag: lag.lag(),
             })
             .collect();
+        let mut events = self.events.load(Ordering::Relaxed);
+        let mut opened = self.obligations_opened.load(Ordering::Relaxed);
+        let mut discharged = self.obligations_discharged.load(Ordering::Relaxed);
+        let mut violated = self.obligations_violated.load(Ordering::Relaxed);
+        let mut warnings = self.warnings.load(Ordering::Relaxed);
+        let mut hist: [u64; SLACK_BUCKETS] =
+            std::array::from_fn(|i| self.warning_slack_hist[i].load(Ordering::Relaxed));
+        let mut min_slack = *self.min_slack.lock().expect("metrics mutex poisoned");
+        for shard in self.shards.lock().expect("metrics mutex poisoned").iter() {
+            events += shard.events.load(Ordering::Relaxed);
+            opened += shard.obligations_opened.load(Ordering::Relaxed);
+            discharged += shard.obligations_discharged.load(Ordering::Relaxed);
+            violated += shard.obligations_violated.load(Ordering::Relaxed);
+            warnings += shard.warnings.load(Ordering::Relaxed);
+            for (i, bucket) in shard.warning_slack_hist.iter().enumerate() {
+                hist[i] += bucket.load(Ordering::Relaxed);
+            }
+            let shard_min = *shard.min_slack.lock().expect("metrics mutex poisoned");
+            min_slack = match (min_slack, shard_min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
         MetricsSnapshot {
-            events: self.events.load(Ordering::Relaxed),
-            obligations_opened: self.obligations_opened.load(Ordering::Relaxed),
-            obligations_discharged: self.obligations_discharged.load(Ordering::Relaxed),
-            obligations_violated: self.obligations_violated.load(Ordering::Relaxed),
+            events,
+            obligations_opened: opened,
+            obligations_discharged: discharged,
+            obligations_violated: violated,
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             dropped_events: self.dropped_events.load(Ordering::Relaxed),
             failed_streams: self.failed_streams.load(Ordering::Relaxed),
-            warnings: self.warnings.load(Ordering::Relaxed),
-            warning_slack_hist: std::array::from_fn(|i| {
-                self.warning_slack_hist[i].load(Ordering::Relaxed)
-            }),
-            min_slack: *self.min_slack.lock().expect("metrics mutex poisoned"),
+            warnings,
+            warning_slack_hist: hist,
+            min_slack,
             batches: self.batches.load(Ordering::Relaxed),
             batched_events: self.batched_events.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
@@ -411,6 +573,36 @@ mod tests {
         lag.record_enqueued_many(4);
         assert_eq!(lag.enqueued(), 4);
         assert_eq!(lag.lag(), 4);
+        lag.record_drained_many(3);
+        assert_eq!(lag.lag(), 1);
+    }
+
+    #[test]
+    fn shards_merge_into_the_snapshot() {
+        let m = MonitorMetrics::new();
+        m.record_event();
+        m.record_warning(Rat::from(2), Rat::from(2)); // base, bucket 4
+        m.record_min_slack(Rat::from(5));
+        let a = m.register_shard();
+        let b = m.register_shard();
+        a.record_event();
+        a.record_opened(2);
+        a.record_discharged();
+        a.record_warning(Rat::from(1), Rat::from(8)); // bucket 0
+        a.record_min_slack(Rat::from(3));
+        b.record_event();
+        b.record_violated();
+        b.record_min_slack(Rat::from(7));
+        let s = m.snapshot();
+        assert_eq!(s.events, 3);
+        assert_eq!(s.obligations_opened, 2);
+        assert_eq!(s.obligations_discharged, 1);
+        assert_eq!(s.obligations_violated, 1);
+        assert_eq!(s.obligations_open(), 0);
+        assert_eq!(s.warnings, 2);
+        assert_eq!(s.warning_slack_hist, [1, 0, 0, 0, 1]);
+        // Minimum slack is the minimum across base and every shard.
+        assert_eq!(s.min_slack, Some(Rat::from(3)));
     }
 
     #[test]

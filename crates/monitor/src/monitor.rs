@@ -7,7 +7,7 @@ use tempo_core::engine::{CompiledConditionSet, EngineEvent, EngineState, Obligat
 use tempo_core::{SatisfactionMode, TimingCondition, Violation, ViolationKind};
 use tempo_math::Rat;
 
-use crate::metrics::MonitorMetrics;
+use crate::metrics::{MetricsRef, MetricsShard, MonitorMetrics};
 use crate::predict::{Outcome, Predictor, Warning};
 use crate::verdict::Verdict;
 
@@ -60,7 +60,9 @@ pub struct Monitor<S, A> {
     violations: Vec<Violation>,
     warnings: Vec<Warning>,
     predictor: Option<Predictor>,
-    metrics: Option<Arc<MonitorMetrics>>,
+    /// Hot-counter sink: the shared base metrics for standalone
+    /// monitors, or one pool worker's private shard.
+    metrics: Option<MetricsRef>,
 }
 
 impl<S, A> fmt::Debug for Monitor<S, A> {
@@ -205,7 +207,19 @@ impl<S: Clone, A> Monitor<S, A> {
     /// obligation transition is recorded there. Obligations already
     /// opened by the start-state trigger are counted retroactively, so
     /// `opened = discharged + violated + open` holds at all times.
-    pub fn with_metrics(mut self, metrics: Arc<MonitorMetrics>) -> Monitor<S, A> {
+    pub fn with_metrics(self, metrics: Arc<MonitorMetrics>) -> Monitor<S, A> {
+        self.with_metrics_ref(MetricsRef::Base(metrics))
+    }
+
+    /// [`with_metrics`](Monitor::with_metrics), but recording the hot
+    /// counters into one pool worker's private [`MetricsShard`] instead
+    /// of the shared base struct — the shard is merged back at snapshot
+    /// time, so the observable totals are identical.
+    pub(crate) fn with_metrics_shard(self, shard: Arc<MetricsShard>) -> Monitor<S, A> {
+        self.with_metrics_ref(MetricsRef::Shard(shard))
+    }
+
+    fn with_metrics_ref(mut self, metrics: MetricsRef) -> Monitor<S, A> {
         metrics.record_opened(self.engine.open_obligations() as u64);
         self.metrics = Some(metrics);
         // The metrics counters consume obligation lifecycle events.
@@ -278,7 +292,7 @@ impl<S: Clone, A> Monitor<S, A> {
     /// records it in the metrics.
     fn file_warning(
         warnings: &mut Vec<Warning>,
-        metrics: &Option<Arc<MonitorMetrics>>,
+        metrics: &Option<MetricsRef>,
         name: &str,
         mut w: Warning,
     ) {

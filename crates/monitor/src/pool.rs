@@ -1,22 +1,40 @@
 //! Sharding many event streams across worker threads.
 //!
-//! A [`MonitorPool`] owns a fixed set of worker threads, each with a
-//! bounded queue; every opened stream is pinned to one worker (round
-//! robin), so a stream's events are processed in order by a single
-//! [`Monitor`]. Producers hand events to [`StreamHandle::send`], which
-//! applies the configured [`OverloadPolicy`] when the worker's queue is
-//! full: block the producer, drop the oldest queued event, or fail the
-//! stream.
+//! A [`MonitorPool`] owns a fixed set of worker threads; every opened
+//! stream is pinned to one worker (round robin), so a stream's events
+//! are processed in order by a single [`Monitor`]. Producers hand events
+//! to [`StreamHandle::send`], which applies the configured
+//! [`OverloadPolicy`] when the stream's queue is full: block the
+//! producer, drop the oldest queued event, or fail the stream.
 //!
-//! All workers share one [`MonitorMetrics`], so a snapshot sees the whole
-//! pool: total events, obligation churn, the deepest queue observed, and
-//! per-stream lag.
+//! # Ingestion pipeline
+//!
+//! The transport is lock-free: each (stream, worker) pair owns a bounded
+//! SPSC ring buffer ([`crate::ring`]) carrying only [`Event`]s. The
+//! handle keeps the producer half, the worker keeps the consumer half,
+//! and stream lifecycle travels out of band — opening a stream registers
+//! the ring with the worker through a small injector list, finishing it
+//! flips a per-stream atomic flag. Publish and drain are batched (one
+//! release store per [`send_batch`](StreamHandle::send_batch), one
+//! claim per worker drain of up to [`PoolConfig::drain_batch`] events),
+//! and both sides block by spin-then-park
+//! ([`std::thread::park`]/[`unpark`](std::thread::Thread::unpark))
+//! instead of condvars: an idle worker spins briefly, advertises itself
+//! sleeping, re-checks its rings under a `SeqCst` fence, and parks;
+//! every producer wake goes through the mirror-image fence, so wakeups
+//! cannot be lost. A producer blocked on a full ring parks the same way
+//! inside [`crate::ring`], woken by the worker's draining pop.
+//!
+//! All workers report into one [`MonitorMetrics`]; the hot per-event
+//! counters are sharded per worker and merged at snapshot time, so a
+//! snapshot still sees the whole pool: total events, obligation churn,
+//! the deepest queue observed, and per-stream lag.
 
-use std::collections::HashMap;
-use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{fence, AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::Duration;
 
 use tempo_core::{SatisfactionMode, TimingCondition, Violation};
 use tempo_math::Rat;
@@ -24,18 +42,19 @@ use tempo_math::Rat;
 use tempo_core::engine::CompiledConditionSet;
 
 use crate::event::Event;
-use crate::metrics::{MetricsSnapshot, MonitorMetrics, StreamLag};
+use crate::metrics::{MetricsShard, MetricsSnapshot, MonitorMetrics, StreamLag};
 use crate::monitor::Monitor;
 use crate::predict::Warning;
+use crate::ring::{self, Consumer, Producer};
 
-/// What [`StreamHandle::send`] does when the worker's queue is full.
+/// What [`StreamHandle::send`] does when the stream's queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OverloadPolicy {
     /// Block the producer until the worker catches up (lossless,
     /// backpressure).
     Block,
-    /// Drop the oldest queued *event* to make room (lossy, bounded
-    /// latency; control messages are never dropped).
+    /// Drop the oldest queued event of *this stream* to make room
+    /// (lossy, bounded latency).
     DropOldest,
     /// Refuse the event and mark the stream failed; subsequent sends on
     /// the stream error immediately.
@@ -43,13 +62,21 @@ pub enum OverloadPolicy {
 }
 
 /// Pool sizing and overload behaviour.
+///
+/// Sizing fields are *normalized* rather than rejected: see
+/// [`PoolConfig::validated`] for the exact clamping contract.
+/// [`MonitorPool::new`] applies it, so a zero in any sizing field is
+/// safe and means "the minimum".
 #[derive(Clone, Copy, Debug)]
 pub struct PoolConfig {
     /// Number of worker threads (streams are pinned round robin).
+    /// Clamped to at least 1 by [`validated`](PoolConfig::validated).
     pub workers: usize,
-    /// Per-worker queue capacity, in messages.
+    /// Per-stream queue capacity, in events. Normalized by
+    /// [`validated`](PoolConfig::validated) to at least 1 and up to the
+    /// next power of two (the ring transport indexes by bitmask).
     pub queue_capacity: usize,
-    /// What to do when a queue is full.
+    /// What to do when a stream's queue is full.
     pub policy: OverloadPolicy,
     /// How stream ends are judged (Definition 3.1 prefix semantics by
     /// default: open deadlines at the end of a stream are excused).
@@ -59,14 +86,15 @@ pub struct PoolConfig {
     /// stream's monitor, so stream reports also carry [`Warning`]s.
     /// `None` (the default) monitors without prediction.
     pub horizon: Option<Rat>,
-    /// How many queued messages a worker drains per lock acquisition
-    /// (default 1024). This is the worker-side latency/throughput knob:
-    /// a large batch amortizes the queue mutex and wake-ups over many
-    /// events (highest throughput, pairs with
+    /// How many queued events a worker drains from one stream per ring
+    /// claim (default 1024). This is the worker-side latency/throughput
+    /// knob: a large batch amortizes the atomic claim and producer
+    /// wake-ups over many events (highest throughput, pairs with
     /// [`StreamHandle::send_batch`]), while a small batch bounds how
-    /// many events a worker holds before producers blocked on a full
-    /// queue are woken, trimming tail latency under backpressure at the
-    /// cost of more lock round-trips. Values are clamped to at least 1.
+    /// many events a worker takes from one stream before visiting the
+    /// next and before producers blocked on a full ring are woken,
+    /// trimming tail latency under backpressure. Clamped to at least 1
+    /// by [`validated`](PoolConfig::validated).
     pub drain_batch: usize,
 }
 
@@ -83,8 +111,60 @@ impl Default for PoolConfig {
     }
 }
 
-/// An event was refused because the stream is failed (fail-stream
-/// policy).
+impl PoolConfig {
+    /// Normalizes the sizing fields to the values the pool actually
+    /// runs with — the stated contract behind "zero means minimum":
+    ///
+    /// * `workers` is clamped to at least 1 (a pool always has a
+    ///   worker);
+    /// * `queue_capacity` is clamped to at least 1 and rounded **up**
+    ///   to the next power of two, because the SPSC ring transport
+    ///   ([`crate::ring`]) masks sequence numbers into its slot array;
+    /// * `drain_batch` is clamped to at least 1 (a worker drain must
+    ///   make progress).
+    ///
+    /// [`MonitorPool::new`] calls this itself; call it directly to see
+    /// the effective configuration before building a pool.
+    ///
+    /// ```
+    /// use tempo_monitor::PoolConfig;
+    ///
+    /// let cfg = PoolConfig {
+    ///     workers: 0,
+    ///     queue_capacity: 100,
+    ///     drain_batch: 0,
+    ///     ..PoolConfig::default()
+    /// }
+    /// .validated();
+    /// assert_eq!(cfg.workers, 1);
+    /// assert_eq!(cfg.queue_capacity, 128);
+    /// assert_eq!(cfg.drain_batch, 1);
+    /// ```
+    pub fn validated(self) -> PoolConfig {
+        PoolConfig {
+            workers: self.workers.max(1),
+            queue_capacity: self.queue_capacity.max(1).next_power_of_two(),
+            drain_batch: self.drain_batch.max(1),
+            ..self
+        }
+    }
+}
+
+/// An event was refused because the stream's bounded queue was full, or
+/// the stream had already failed.
+///
+/// Which sends return it depends on the [`OverloadPolicy`]:
+///
+/// * [`FailStream`](OverloadPolicy::FailStream) — [`StreamHandle::send`]
+///   returns it when the stream's queue is full (the event is refused
+///   and the stream is marked failed); [`StreamHandle::send_batch`]
+///   returns it when the batch does not fit entirely (the fitting
+///   prefix is still delivered). Once failed, *every* later send or
+///   send_batch on the handle returns it immediately.
+/// * [`Block`](OverloadPolicy::Block) — never returned: the producer
+///   waits for room instead.
+/// * [`DropOldest`](OverloadPolicy::DropOldest) — never returned: the
+///   oldest queued event is discarded to make room instead.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StreamOverflow {
     /// The failed stream's id.
@@ -99,174 +179,80 @@ impl fmt::Display for StreamOverflow {
 
 impl std::error::Error for StreamOverflow {}
 
-enum Msg<S, A> {
-    Open {
-        stream: u64,
-        start: S,
-    },
-    Event {
-        stream: u64,
-        lag: Arc<StreamLag>,
-        event: Event<S, A>,
-    },
-    Finish {
-        stream: u64,
-        failed: bool,
-    },
-    Shutdown,
+/// Spins an idle worker makes over its rings before parking.
+const WORKER_SPIN: u32 = 64;
+
+/// Backstop timeout for worker parking. The fenced sleeping-flag
+/// protocol makes lost wakeups impossible; the timeout only bounds the
+/// damage of bugs and gives a dropped-without-wake producer thread no
+/// way to wedge the pool.
+const WORKER_PARK: Duration = Duration::from_millis(1);
+
+/// Per-stream lifecycle flags, shared between the handle (writer) and
+/// the worker (reader) — the out-of-band replacement for the old
+/// `Finish` control message.
+#[derive(Default)]
+struct ConnCtl {
+    /// Set (release) by the handle after its last publish; once the
+    /// worker acquires it, every event of the stream is visible.
+    finished: AtomicBool,
+    /// Whether the fail-stream policy cut the stream short. Written
+    /// before `finished`, read after it.
+    failed: AtomicBool,
 }
 
-/// A bounded MPSC queue with the three overload behaviours.
-struct Queue<T> {
-    inner: Mutex<VecDeque<T>>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    cap: usize,
+/// A freshly opened stream, waiting in the worker's injector: the
+/// consumer half of its ring plus everything the worker needs to build
+/// its monitor — the out-of-band replacement for the old `Open` control
+/// message.
+struct NewConn<S, A> {
+    stream: u64,
+    start: S,
+    rx: Consumer<Event<S, A>>,
+    ctl: Arc<ConnCtl>,
+    lag: Arc<StreamLag>,
 }
 
-impl<T> Queue<T> {
-    fn new(cap: usize) -> Queue<T> {
-        Queue {
-            inner: Mutex::new(VecDeque::new()),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            cap: cap.max(1),
+/// One worker's shared face: how producers hand it new streams and wake
+/// it from its park.
+struct WorkerShared<S, A> {
+    /// Streams opened but not yet adopted by the worker loop.
+    injector: Mutex<Vec<NewConn<S, A>>>,
+    /// Set after pushing into the injector; cleared by the worker's
+    /// adopting swap.
+    dirty: AtomicBool,
+    /// Set once by [`MonitorPool::shutdown`].
+    shutdown: AtomicBool,
+    /// Advertised (with a `SeqCst` fence) by the worker before parking.
+    sleeping: AtomicBool,
+    /// The worker's thread handle, set once at loop start.
+    thread: OnceLock<Thread>,
+}
+
+impl<S, A> Default for WorkerShared<S, A> {
+    fn default() -> WorkerShared<S, A> {
+        WorkerShared {
+            injector: Mutex::new(Vec::new()),
+            dirty: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            sleeping: AtomicBool::new(false),
+            thread: OnceLock::new(),
         }
     }
+}
 
-    /// Pushes, waiting for room. Returns the depth after the push.
-    fn push_blocking(&self, item: T) -> usize {
-        let mut q = self.inner.lock().expect("queue mutex poisoned");
-        while q.len() >= self.cap {
-            q = self.not_full.wait(q).expect("queue mutex poisoned");
-        }
-        q.push_back(item);
-        let depth = q.len();
-        drop(q);
-        self.not_empty.notify_one();
-        depth
-    }
-
-    /// Pushes, evicting the oldest `droppable` entry when full. Returns
-    /// the depth and the evicted entry, if any. Falls back to blocking
-    /// when the queue is full of non-droppable entries.
-    fn push_drop_oldest(&self, item: T, droppable: impl Fn(&T) -> bool) -> (usize, Option<T>) {
-        let mut q = self.inner.lock().expect("queue mutex poisoned");
-        let mut dropped = None;
-        if q.len() >= self.cap {
-            if let Some(pos) = q.iter().position(&droppable) {
-                dropped = q.remove(pos);
-            } else {
-                while q.len() >= self.cap {
-                    q = self.not_full.wait(q).expect("queue mutex poisoned");
-                }
+impl<S, A> WorkerShared<S, A> {
+    /// Unparks the worker if it advertised itself sleeping. The `SeqCst`
+    /// fence pairs with the worker's advertise-fence-recheck sequence:
+    /// either the worker's recheck sees what this thread just published
+    /// (a ring publish, an injector entry, a lifecycle flag), or this
+    /// load sees the sleeping flag and unparks it.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleeping.load(Ordering::Relaxed) {
+            if let Some(th) = self.thread.get() {
+                th.unpark();
             }
-        }
-        q.push_back(item);
-        let depth = q.len();
-        drop(q);
-        self.not_empty.notify_one();
-        (depth, dropped)
-    }
-
-    /// Pushes a whole batch under a single lock acquisition, waiting for
-    /// room as needed. Returns the deepest depth observed.
-    fn push_blocking_many(&self, items: Vec<T>) -> usize {
-        let mut q = self.inner.lock().expect("queue mutex poisoned");
-        let mut max_depth = q.len();
-        for item in items {
-            while q.len() >= self.cap {
-                q = self.not_full.wait(q).expect("queue mutex poisoned");
-            }
-            q.push_back(item);
-            max_depth = max_depth.max(q.len());
-            self.not_empty.notify_one();
-        }
-        max_depth
-    }
-
-    /// Pushes a whole batch under a single lock acquisition, evicting
-    /// the oldest `droppable` entries as needed. Returns the deepest
-    /// depth observed and every evicted entry.
-    fn push_drop_oldest_many(
-        &self,
-        items: Vec<T>,
-        droppable: impl Fn(&T) -> bool,
-    ) -> (usize, Vec<T>) {
-        let mut q = self.inner.lock().expect("queue mutex poisoned");
-        let mut dropped = Vec::new();
-        let mut max_depth = q.len();
-        for item in items {
-            if q.len() >= self.cap {
-                if let Some(pos) = q.iter().position(&droppable) {
-                    dropped.extend(q.remove(pos));
-                } else {
-                    while q.len() >= self.cap {
-                        q = self.not_full.wait(q).expect("queue mutex poisoned");
-                    }
-                }
-            }
-            q.push_back(item);
-            max_depth = max_depth.max(q.len());
-            self.not_empty.notify_one();
-        }
-        (max_depth, dropped)
-    }
-
-    /// Pushes batch items while room lasts, under a single lock
-    /// acquisition; excess items are discarded. Returns the depth after
-    /// the pushes and the number of items accepted.
-    fn try_push_many(&self, items: Vec<T>) -> (usize, usize) {
-        let mut q = self.inner.lock().expect("queue mutex poisoned");
-        let mut accepted = 0;
-        for item in items {
-            if q.len() >= self.cap {
-                break;
-            }
-            q.push_back(item);
-            accepted += 1;
-        }
-        let depth = q.len();
-        drop(q);
-        if accepted > 0 {
-            self.not_empty.notify_all();
-        }
-        (depth, accepted)
-    }
-
-    /// Pushes only if there is room. Returns the depth, or the rejected
-    /// item.
-    fn try_push(&self, item: T) -> Result<usize, T> {
-        let mut q = self.inner.lock().expect("queue mutex poisoned");
-        if q.len() >= self.cap {
-            return Err(item);
-        }
-        q.push_back(item);
-        let depth = q.len();
-        drop(q);
-        self.not_empty.notify_one();
-        Ok(depth)
-    }
-
-    /// Drains up to `max` entries into `out` under one lock acquisition,
-    /// waiting until at least one is available — the consumer-side twin
-    /// of the batched push operations. Workers draining in batches pay
-    /// one lock/notify round-trip per batch instead of per message,
-    /// which is what lets [`StreamHandle::send_batch`]'s producer-side
-    /// amortization show up as end-to-end throughput.
-    fn pop_many(&self, max: usize, out: &mut Vec<T>) {
-        let mut q = self.inner.lock().expect("queue mutex poisoned");
-        loop {
-            if !q.is_empty() {
-                let n = q.len().min(max);
-                out.extend(q.drain(..n));
-                drop(q);
-                // Many slots may have opened at once: wake every
-                // blocked producer, not just one.
-                self.not_full.notify_all();
-                return;
-            }
-            q = self.not_empty.wait(q).expect("queue mutex poisoned");
         }
     }
 }
@@ -323,14 +309,20 @@ impl PoolReport {
     }
 }
 
-/// A handle for feeding one stream. Dropping the handle finishes the
-/// stream implicitly.
+/// A handle for feeding one stream — the producer half of the stream's
+/// SPSC ring. Dropping the handle finishes the stream implicitly.
 pub struct StreamHandle<S, A> {
     stream: u64,
-    queue: Arc<Queue<Msg<S, A>>>,
+    tx: Producer<Event<S, A>>,
+    ctl: Arc<ConnCtl>,
+    worker: Arc<WorkerShared<S, A>>,
     lag: Arc<StreamLag>,
     metrics: Arc<MonitorMetrics>,
     policy: OverloadPolicy,
+    /// Local cache of the deepest depth this handle has reported, so the
+    /// shared `max_queue_depth` atomic is touched O(capacity) times per
+    /// stream instead of once per event.
+    max_depth_seen: u64,
     failed: bool,
     finished: bool,
 }
@@ -341,40 +333,75 @@ impl<S, A> StreamHandle<S, A> {
         self.stream
     }
 
+    /// Folds a post-push queue depth into the pool-wide maximum, through
+    /// the handle-local cache.
+    fn record_depth(&mut self, depth: usize) {
+        let depth = depth as u64;
+        if depth > self.max_depth_seen {
+            self.max_depth_seen = depth;
+            self.metrics.record_queue_depth(depth);
+        }
+    }
+
+    /// Discards the oldest queued event to make room (the `DropOldest`
+    /// policy), keeping the lag and drop accounting exact. Spins when
+    /// nothing is evictable (every queued event already claimed by an
+    /// in-flight worker drain — room is imminent).
+    fn shed_oldest(&mut self) {
+        match self.tx.evict_oldest() {
+            Some(_victim) => {
+                // The evicted event left the queue unprocessed; it still
+                // counts against its stream's lag.
+                self.lag.record_drained();
+                self.metrics.record_dropped();
+            }
+            None => {
+                self.worker.wake();
+                std::hint::spin_loop();
+            }
+        }
+    }
+
     /// Hands one event to the stream's worker, applying the overload
-    /// policy if the queue is full.
+    /// policy if the stream's queue is full.
     ///
     /// # Errors
     ///
     /// Under [`OverloadPolicy::FailStream`], returns [`StreamOverflow`]
     /// when the queue is full — and on every later send, the stream
-    /// having failed. The other policies never error.
+    /// having failed. The other policies never error (see
+    /// [`StreamOverflow`] for the full per-policy contract).
     pub fn send(&mut self, action: A, time: Rat, state: S) -> Result<(), StreamOverflow> {
         if self.failed {
             return Err(StreamOverflow {
                 stream: self.stream,
             });
         }
-        let msg = Msg::Event {
-            stream: self.stream,
-            lag: Arc::clone(&self.lag),
-            event: Event::new(action, time, state),
-        };
+        let mut event = Event::new(action, time, state);
         let depth = match self.policy {
-            OverloadPolicy::Block => self.queue.push_blocking(msg),
-            OverloadPolicy::DropOldest => {
-                let (depth, dropped) = self
-                    .queue
-                    .push_drop_oldest(msg, |m| matches!(m, Msg::Event { .. }));
-                if let Some(Msg::Event { lag, .. }) = dropped {
-                    // The evicted event left the queue unprocessed; it
-                    // still counts against its stream's lag.
-                    lag.record_drained();
-                    self.metrics.record_dropped();
+            OverloadPolicy::Block => loop {
+                match self.tx.try_push(event) {
+                    Ok(depth) => break depth,
+                    Err(e) => {
+                        event = e;
+                        // The worker may be parked with the ring full:
+                        // wake it before parking ourselves, then let its
+                        // draining pop unpark us.
+                        self.worker.wake();
+                        self.tx.wait_space();
+                    }
                 }
-                depth
-            }
-            OverloadPolicy::FailStream => match self.queue.try_push(msg) {
+            },
+            OverloadPolicy::DropOldest => loop {
+                match self.tx.try_push(event) {
+                    Ok(depth) => break depth,
+                    Err(e) => {
+                        event = e;
+                        self.shed_oldest();
+                    }
+                }
+            },
+            OverloadPolicy::FailStream => match self.tx.try_push(event) {
                 Ok(depth) => depth,
                 Err(_) => {
                     self.failed = true;
@@ -386,14 +413,15 @@ impl<S, A> StreamHandle<S, A> {
             },
         };
         self.lag.record_enqueued();
-        self.metrics.record_queue_depth(depth as u64);
+        self.record_depth(depth);
+        self.worker.wake();
         Ok(())
     }
 
-    /// Hands a whole batch of events to the stream's worker under a
-    /// *single* queue synchronization, amortizing the per-event lock and
-    /// wake-up cost of [`send`](StreamHandle::send) — the win behind the
-    /// `e11_predictor` benchmark's batching figures.
+    /// Hands a whole batch of events to the stream's worker, published
+    /// with a *single* release store per run of free slots — amortizing
+    /// even the atomic traffic of [`send`](StreamHandle::send) (the win
+    /// behind the `e11_predictor` and `e13_ingest` batching figures).
     ///
     /// The overload policy applies per event within the batch: `Block`
     /// waits for room as it goes, `DropOldest` evicts per excess event,
@@ -405,7 +433,7 @@ impl<S, A> StreamHandle<S, A> {
     /// Under [`OverloadPolicy::FailStream`], returns [`StreamOverflow`]
     /// when the batch did not fit entirely (the fitting prefix is still
     /// delivered), and on every later send. The other policies never
-    /// error.
+    /// error (see [`StreamOverflow`] for the full per-policy contract).
     pub fn send_batch<I>(&mut self, events: I) -> Result<(), StreamOverflow>
     where
         I: IntoIterator<Item = (A, Rat, S)>,
@@ -415,55 +443,52 @@ impl<S, A> StreamHandle<S, A> {
                 stream: self.stream,
             });
         }
-        let msgs: Vec<Msg<S, A>> = events
+        let events: Vec<Event<S, A>> = events
             .into_iter()
-            .map(|(action, time, state)| Msg::Event {
-                stream: self.stream,
-                lag: Arc::clone(&self.lag),
-                event: Event::new(action, time, state),
-            })
+            .map(|(action, time, state)| Event::new(action, time, state))
             .collect();
-        let n = msgs.len() as u64;
+        let n = events.len() as u64;
         if n == 0 {
             return Ok(());
         }
-        let depth = match self.policy {
-            OverloadPolicy::Block => self.queue.push_blocking_many(msgs),
-            OverloadPolicy::DropOldest => {
-                let (depth, dropped) = self
-                    .queue
-                    .push_drop_oldest_many(msgs, |m| matches!(m, Msg::Event { .. }));
-                for d in dropped {
-                    if let Msg::Event { lag, .. } = d {
-                        lag.record_drained();
-                        self.metrics.record_dropped();
-                    }
-                }
-                depth
+        let mut items = events.into_iter();
+        let mut max_depth = 0usize;
+        loop {
+            let (depth, accepted) = self.tx.try_push_many(&mut items);
+            if accepted > 0 {
+                max_depth = max_depth.max(depth);
+                self.worker.wake();
             }
-            OverloadPolicy::FailStream => {
-                let (depth, accepted) = self.queue.try_push_many(msgs);
-                self.lag.record_enqueued_many(accepted as u64);
-                self.metrics.record_queue_depth(depth as u64);
-                self.metrics.record_batch(accepted as u64);
-                if (accepted as u64) < n {
+            if items.len() == 0 {
+                break;
+            }
+            match self.policy {
+                OverloadPolicy::Block => {
+                    self.worker.wake();
+                    self.tx.wait_space();
+                }
+                OverloadPolicy::DropOldest => self.shed_oldest(),
+                OverloadPolicy::FailStream => {
+                    let accepted_total = n - items.len() as u64;
+                    self.lag.record_enqueued_many(accepted_total);
+                    self.record_depth(max_depth);
+                    self.metrics.record_batch(accepted_total);
                     self.failed = true;
                     self.metrics.record_failed_stream();
                     return Err(StreamOverflow {
                         stream: self.stream,
                     });
                 }
-                return Ok(());
             }
-        };
+        }
         self.lag.record_enqueued_many(n);
-        self.metrics.record_queue_depth(depth as u64);
+        self.record_depth(max_depth);
         self.metrics.record_batch(n);
         Ok(())
     }
 
-    /// Ends the stream: the worker finalizes its monitor and files the
-    /// stream's report.
+    /// Ends the stream: the worker drains what remains, finalizes its
+    /// monitor and files the stream's report.
     pub fn finish(mut self) {
         self.finish_inner();
     }
@@ -473,10 +498,12 @@ impl<S, A> StreamHandle<S, A> {
             return;
         }
         self.finished = true;
-        self.queue.push_blocking(Msg::Finish {
-            stream: self.stream,
-            failed: self.failed,
-        });
+        // `failed` first, then the release store of `finished`: a worker
+        // that acquires `finished` sees the fail flag and every event
+        // published before this point.
+        self.ctl.failed.store(self.failed, Ordering::Relaxed);
+        self.ctl.finished.store(true, Ordering::Release);
+        self.worker.wake();
     }
 }
 
@@ -507,10 +534,11 @@ impl<S, A> Drop for StreamHandle<S, A> {
 /// assert!(report.passed());
 /// ```
 pub struct MonitorPool<S, A> {
-    queues: Vec<Arc<Queue<Msg<S, A>>>>,
+    shared: Vec<Arc<WorkerShared<S, A>>>,
     workers: Vec<JoinHandle<Vec<StreamReport>>>,
     metrics: Arc<MonitorMetrics>,
     policy: OverloadPolicy,
+    queue_capacity: usize,
     next_stream: u64,
 }
 
@@ -519,52 +547,74 @@ where
     S: Clone + Send + 'static,
     A: Send + 'static,
 {
-    /// Spawns `config.workers` worker threads. The conditions are
+    /// Spawns `config.workers` worker threads (after
+    /// [`PoolConfig::validated`] normalization). The conditions are
     /// compiled into one shared
     /// [`CompiledConditionSet`](tempo_core::engine::CompiledConditionSet)
     /// for the whole pool — every stream's monitor steps the same
     /// compiled engine, paying the compilation exactly once.
     pub fn new(conds: &[TimingCondition<S, A>], config: PoolConfig) -> MonitorPool<S, A> {
+        let config = config.validated();
         let metrics = Arc::new(MonitorMetrics::new());
         let set = Arc::new(CompiledConditionSet::new(conds));
-        let mut queues = Vec::new();
+        let mut shared = Vec::new();
         let mut workers = Vec::new();
-        for _ in 0..config.workers.max(1) {
-            let queue = Arc::new(Queue::new(config.queue_capacity));
+        for _ in 0..config.workers {
+            let ws: Arc<WorkerShared<S, A>> = Arc::new(WorkerShared::default());
+            let shard = metrics.register_shard();
+            let worker_ws = Arc::clone(&ws);
             let set = Arc::clone(&set);
-            let metrics = Arc::clone(&metrics);
-            let worker_queue = Arc::clone(&queue);
             let mode = config.mode;
             let horizon = config.horizon;
-            let drain_batch = config.drain_batch.max(1);
-            workers.push(std::thread::spawn(move || {
-                worker_loop(&worker_queue, &set, &metrics, mode, horizon, drain_batch)
+            let drain_batch = config.drain_batch;
+            workers.push(thread::spawn(move || {
+                worker_loop(&worker_ws, &set, &shard, mode, horizon, drain_batch)
             }));
-            queues.push(queue);
+            shared.push(ws);
         }
         MonitorPool {
-            queues,
+            shared,
             workers,
             metrics,
             policy: config.policy,
+            queue_capacity: config.queue_capacity,
             next_stream: 0,
         }
     }
 
     /// Opens a new stream starting in `start`, pinned to a worker round
-    /// robin. The returned handle feeds the stream.
+    /// robin: builds the stream's SPSC ring, hands its consumer half to
+    /// the worker through the injector, and returns the producer half
+    /// wrapped in a [`StreamHandle`].
     pub fn open_stream(&mut self, start: S) -> StreamHandle<S, A> {
         let stream = self.next_stream;
         self.next_stream += 1;
-        let queue = Arc::clone(&self.queues[(stream as usize) % self.queues.len()]);
+        let worker = Arc::clone(&self.shared[(stream as usize) % self.shared.len()]);
         let lag = self.metrics.register_stream(stream);
-        queue.push_blocking(Msg::Open { stream, start });
+        let (tx, rx) = ring::ring(self.queue_capacity);
+        let ctl = Arc::new(ConnCtl::default());
+        worker
+            .injector
+            .lock()
+            .expect("pool injector mutex poisoned")
+            .push(NewConn {
+                stream,
+                start,
+                rx,
+                ctl: Arc::clone(&ctl),
+                lag: Arc::clone(&lag),
+            });
+        worker.dirty.store(true, Ordering::Release);
+        worker.wake();
         StreamHandle {
             stream,
-            queue,
+            tx,
+            ctl,
+            worker,
             lag,
             metrics: Arc::clone(&self.metrics),
             policy: self.policy,
+            max_depth_seen: 0,
             failed: false,
             finished: false,
         }
@@ -575,12 +625,13 @@ where
         Arc::clone(&self.metrics)
     }
 
-    /// Stops the workers (after they drain their queues) and collects
+    /// Stops the workers (after they drain their rings) and collects
     /// every stream's report. Streams never explicitly finished are
     /// finalized here.
     pub fn shutdown(self) -> PoolReport {
-        for queue in &self.queues {
-            queue.push_blocking(Msg::Shutdown);
+        for ws in &self.shared {
+            ws.shutdown.store(true, Ordering::Release);
+            ws.wake();
         }
         let mut streams: Vec<StreamReport> = Vec::new();
         for worker in self.workers {
@@ -594,64 +645,138 @@ where
     }
 }
 
+/// One adopted stream inside a worker: the consumer half of its ring and
+/// its monitor.
+struct Conn<S, A> {
+    stream: u64,
+    rx: Consumer<Event<S, A>>,
+    ctl: Arc<ConnCtl>,
+    lag: Arc<StreamLag>,
+    mon: Monitor<S, A>,
+}
+
+/// `true` while the worker has visible work: new streams to adopt, a
+/// shutdown to honour, a non-empty ring, or a finished stream to file.
+/// This is the recheck an idle worker runs between advertising itself
+/// sleeping and parking.
+fn has_pending<S, A>(shared: &WorkerShared<S, A>, conns: &[Conn<S, A>]) -> bool {
+    shared.dirty.load(Ordering::Acquire)
+        || shared.shutdown.load(Ordering::Acquire)
+        || conns
+            .iter()
+            .any(|c| !c.rx.is_empty() || c.ctl.finished.load(Ordering::Acquire))
+}
+
 fn worker_loop<S: Clone, A>(
-    queue: &Queue<Msg<S, A>>,
+    shared: &WorkerShared<S, A>,
     set: &Arc<CompiledConditionSet<S, A>>,
-    metrics: &Arc<MonitorMetrics>,
+    shard: &Arc<MetricsShard>,
     mode: SatisfactionMode,
     horizon: Option<Rat>,
     drain_batch: usize,
 ) -> Vec<StreamReport> {
-    let mut monitors: HashMap<u64, Monitor<S, A>> = HashMap::new();
-    let mut reports = Vec::new();
-    let file = |reports: &mut Vec<StreamReport>, stream, mon: Monitor<S, A>, failed| {
-        let events = mon.events_seen();
-        let (violations, warnings) = mon.finish_with_warnings(mode);
+    shared
+        .thread
+        .set(thread::current())
+        .expect("worker thread registered twice");
+    let mut conns: Vec<Conn<S, A>> = Vec::new();
+    let mut reports: Vec<StreamReport> = Vec::new();
+    let mut scratch: Vec<Event<S, A>> = Vec::with_capacity(drain_batch);
+    let file = |reports: &mut Vec<StreamReport>, conn: Conn<S, A>, failed: bool| {
+        let events = conn.mon.events_seen();
+        let (violations, warnings) = conn.mon.finish_with_warnings(mode);
         reports.push(StreamReport {
-            stream,
+            stream: conn.stream,
             events,
             violations,
             warnings,
             failed,
         });
     };
-    // Drain the queue in batches: one lock round-trip covers up to
-    // `drain_batch` messages ([`PoolConfig::drain_batch`]), so a
-    // producer feeding via `send_batch` and this loop together touch
-    // the mutex O(events / batch) times.
-    let mut batch = Vec::new();
+    let mut spins = 0u32;
     loop {
-        batch.clear();
-        queue.pop_many(drain_batch, &mut batch);
-        for msg in batch.drain(..) {
-            match msg {
-                Msg::Open { stream, start } => {
-                    let mut mon = Monitor::from_compiled(Arc::clone(set), &start)
-                        .with_metrics(Arc::clone(metrics));
-                    if let Some(h) = horizon {
-                        mon = mon.with_predictor(h);
-                    }
-                    monitors.insert(stream, mon);
+        let mut did_work = false;
+        // Adopt freshly opened streams.
+        if shared.dirty.swap(false, Ordering::Acquire) {
+            let adopted: Vec<NewConn<S, A>> = shared
+                .injector
+                .lock()
+                .expect("pool injector mutex poisoned")
+                .drain(..)
+                .collect();
+            for nc in adopted {
+                let mut mon = Monitor::from_compiled(Arc::clone(set), &nc.start)
+                    .with_metrics_shard(Arc::clone(shard));
+                if let Some(h) = horizon {
+                    mon = mon.with_predictor(h);
                 }
-                Msg::Event { stream, lag, event } => {
-                    if let Some(mon) = monitors.get_mut(&stream) {
-                        mon.observe(&event.action, event.time, &event.state);
-                    }
-                    lag.record_drained();
-                }
-                Msg::Finish { stream, failed } => {
-                    if let Some(mon) = monitors.remove(&stream) {
-                        file(&mut reports, stream, mon, failed);
-                    }
-                }
-                Msg::Shutdown => {
-                    for (stream, mon) in monitors.drain() {
-                        file(&mut reports, stream, mon, false);
-                    }
-                    return reports;
-                }
+                conns.push(Conn {
+                    stream: nc.stream,
+                    rx: nc.rx,
+                    ctl: nc.ctl,
+                    lag: nc.lag,
+                    mon,
+                });
+                did_work = true;
             }
         }
+        let shutting_down = shared.shutdown.load(Ordering::Acquire);
+        // Round-robin over the adopted streams: one batched drain each,
+        // so no stream starves another. A finished (or shutting-down)
+        // stream is drained to empty and filed — the acquire on
+        // `finished` guarantees every published event is visible, so
+        // "empty after the flag" means complete.
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let finished = conn.ctl.finished.load(Ordering::Acquire);
+            loop {
+                scratch.clear();
+                let n = conn.rx.pop_many(drain_batch, &mut scratch);
+                if n == 0 {
+                    break;
+                }
+                did_work = true;
+                for ev in scratch.drain(..) {
+                    conn.mon.observe(&ev.action, ev.time, &ev.state);
+                }
+                conn.lag.record_drained_many(n as u64);
+                if !finished && !shutting_down {
+                    break;
+                }
+            }
+            if (finished || shutting_down) && conn.rx.is_empty() {
+                let conn = conns.swap_remove(i);
+                let failed = finished && conn.ctl.failed.load(Ordering::Relaxed);
+                file(&mut reports, conn, failed);
+                did_work = true;
+                continue; // the swapped-in conn now sits at `i`
+            }
+            i += 1;
+        }
+        if shutting_down && conns.is_empty() && !shared.dirty.load(Ordering::Acquire) {
+            return reports;
+        }
+        if did_work {
+            spins = 0;
+            continue;
+        }
+        // Idle: spin briefly, then advertise, fence, re-check, park.
+        spins += 1;
+        if spins < WORKER_SPIN {
+            std::hint::spin_loop();
+            continue;
+        }
+        shared.sleeping.store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        if has_pending(shared, &conns) {
+            shared.sleeping.store(false, Ordering::Relaxed);
+            spins = 0;
+            continue;
+        }
+        thread::park_timeout(WORKER_PARK);
+        shared.sleeping.store(false, Ordering::Relaxed);
+        spins = 0;
     }
 }
 
@@ -855,5 +980,45 @@ mod tests {
         let report = pool.shutdown();
         assert!(report.streams[0].failed);
         assert_eq!(report.metrics.failed_streams, 1);
+    }
+
+    #[test]
+    fn pool_config_validated_states_the_clamping_contract() {
+        let cfg = PoolConfig {
+            workers: 0,
+            queue_capacity: 0,
+            drain_batch: 0,
+            ..PoolConfig::default()
+        }
+        .validated();
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.queue_capacity, 1);
+        assert_eq!(cfg.drain_batch, 1);
+        // Capacities round up to the ring's power-of-two slot count.
+        let cfg = PoolConfig {
+            queue_capacity: 100,
+            ..PoolConfig::default()
+        }
+        .validated();
+        assert_eq!(cfg.queue_capacity, 128);
+        // Already-normalized configs pass through unchanged.
+        let cfg = PoolConfig::default().validated();
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.queue_capacity, 1024);
+        assert_eq!(cfg.drain_batch, 1024);
+        // A zero-sized pool still works end to end.
+        let mut pool = MonitorPool::new(
+            &[cond()],
+            PoolConfig {
+                workers: 0,
+                queue_capacity: 0,
+                drain_batch: 0,
+                ..PoolConfig::default()
+            },
+        );
+        let mut h = pool.open_stream(0u8);
+        h.send("fire", Rat::from(3), 1).unwrap();
+        h.finish();
+        assert!(pool.shutdown().passed());
     }
 }

@@ -1,0 +1,194 @@
+//! Cross-thread stress tests for the pool's SPSC ring transport
+//! (`tempo_monitor::ring`): FIFO order, no loss, no duplication under
+//! randomized batch sizes, wakeup correctness after parking, and
+//! wrap-around behaviour at capacity boundaries.
+//!
+//! CI runs this file in a loop under `--release` — reordering bugs in
+//! the ring's atomics tend to surface only with optimizations on.
+
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tempo_monitor::ring::ring;
+
+/// One producer and one consumer on separate threads, pushing with
+/// randomized batch sizes (mixing `push_blocking`, `try_push`, and the
+/// batched `try_push_many`) and draining with randomized claim sizes.
+/// Every value must arrive exactly once, in order.
+#[test]
+fn randomized_batches_preserve_fifo_without_loss_or_duplication() {
+    const TOTAL: u64 = 100_000;
+    for (seed, capacity) in [(1u64, 8usize), (2, 64), (3, 1024)] {
+        let (mut tx, mut rx) = ring::<u64>(capacity);
+        let producer = thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut next = 0u64;
+            while next < TOTAL {
+                match rng.gen_range(0..3u32) {
+                    0 => {
+                        tx.push_blocking(next);
+                        next += 1;
+                    }
+                    1 => {
+                        if tx.try_push(next).is_ok() {
+                            next += 1;
+                        }
+                    }
+                    _ => {
+                        let n = rng.gen_range(1..=32u64).min(TOTAL - next);
+                        let batch: Vec<u64> = (next..next + n).collect();
+                        let mut items = batch.into_iter();
+                        loop {
+                            let (_, accepted) = tx.try_push_many(&mut items);
+                            next += accepted as u64;
+                            if items.len() == 0 {
+                                break;
+                            }
+                            tx.wait_space();
+                        }
+                    }
+                }
+            }
+        });
+        let consumer = thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+            let mut out: Vec<u64> = Vec::with_capacity(TOTAL as usize);
+            while (out.len() as u64) < TOTAL {
+                let max = rng.gen_range(1..=64usize);
+                if rx.pop_many(max, &mut out) == 0 {
+                    std::hint::spin_loop();
+                }
+            }
+            out
+        });
+        producer.join().expect("producer panicked");
+        let out = consumer.join().expect("consumer panicked");
+        assert_eq!(out.len() as u64, TOTAL, "no loss, no duplication");
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64, "FIFO order (seed {seed}, cap {capacity})");
+        }
+    }
+}
+
+/// A producer on a tiny full ring must park and be woken by the
+/// consumer's drain — repeatedly, with the consumer deliberately slow
+/// enough that the producer exhausts its spin budget and parks for real.
+#[test]
+fn producer_wakes_correctly_after_parking() {
+    const TOTAL: u64 = 200;
+    let (mut tx, mut rx) = ring::<u64>(1);
+    let consumer = thread::spawn(move || {
+        let mut out = Vec::with_capacity(TOTAL as usize);
+        while (out.len() as u64) < TOTAL {
+            // Sleep long enough that the blocked producer parks; the
+            // drain must then unpark it promptly.
+            thread::sleep(Duration::from_micros(200));
+            rx.pop_many(usize::MAX, &mut out);
+        }
+        out
+    });
+    for v in 0..TOTAL {
+        tx.push_blocking(v);
+    }
+    let out = consumer.join().expect("consumer panicked");
+    assert_eq!(out, (0..TOTAL).collect::<Vec<_>>());
+}
+
+/// The drop-oldest eviction racing a concurrent drain: every pushed
+/// value is either received or evicted, exactly once, and the received
+/// subsequence stays in increasing order.
+#[test]
+fn eviction_and_drain_partition_the_stream_exactly() {
+    const TOTAL: u64 = 50_000;
+    let (mut tx, mut rx) = ring::<u64>(4);
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let done_tx = std::sync::Arc::clone(&done);
+    let producer = thread::spawn(move || {
+        let mut evicted = Vec::new();
+        for mut v in 0..TOTAL {
+            loop {
+                match tx.try_push(v) {
+                    Ok(_) => break,
+                    Err(rejected) => {
+                        v = rejected;
+                        match tx.evict_oldest() {
+                            Some(old) => evicted.push(old),
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                }
+            }
+        }
+        done_tx.store(true, std::sync::atomic::Ordering::Release);
+        evicted
+    });
+    let consumer = thread::spawn(move || {
+        let mut out = Vec::new();
+        // Drain until the producer reports done *and* the ring is empty:
+        // received + evicted then partition the TOTAL pushed values.
+        loop {
+            if rx.pop_many(7, &mut out) == 0 {
+                if done.load(std::sync::atomic::Ordering::Acquire) && rx.is_empty() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        out
+    });
+    let evicted = producer.join().expect("producer panicked");
+    let received = consumer.join().expect("consumer panicked");
+    assert!(
+        received.windows(2).all(|w| w[0] < w[1]),
+        "received values stay in increasing order"
+    );
+    assert!(
+        evicted.windows(2).all(|w| w[0] < w[1]),
+        "evictions happen oldest-first"
+    );
+    // Exactly-once accounting: the two sides partition 0..TOTAL.
+    let mut all: Vec<u64> = received.iter().chain(evicted.iter()).copied().collect();
+    all.sort_unstable();
+    assert_eq!(all.len() as u64, TOTAL, "nothing lost, nothing duplicated");
+    assert_eq!(all, (0..TOTAL).collect::<Vec<_>>());
+}
+
+/// Single-threaded wrap-around sweep: for every small power-of-two
+/// capacity, interleave fills and partial drains so the cursors cross
+/// the slot-array boundary at every possible offset.
+#[test]
+fn wrap_around_is_exact_at_every_capacity_boundary() {
+    for capacity in [1usize, 2, 4, 8, 16] {
+        let (mut tx, mut rx) = ring::<u64>(capacity);
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        let mut out = Vec::new();
+        // 4 × capacity rounds of "fill to the brim, drain k" shifts the
+        // boundary through every offset at least twice.
+        for round in 0..(4 * capacity) {
+            while tx.try_push(next).is_ok() {
+                next += 1;
+            }
+            assert_eq!(tx.len(), capacity, "filled to capacity");
+            let k = (round % capacity) + 1;
+            out.clear();
+            assert_eq!(rx.pop_many(k, &mut out), k);
+            for v in &out {
+                assert_eq!(*v, expect, "order across the wrap (cap {capacity})");
+                expect += 1;
+            }
+        }
+        // Final drain: everything pushed comes out, in order.
+        out.clear();
+        while rx.pop_many(usize::MAX, &mut out) > 0 {}
+        for v in &out {
+            assert_eq!(*v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, next, "every pushed value was popped exactly once");
+        assert!(tx.is_empty() && rx.is_empty());
+    }
+}
