@@ -1,0 +1,120 @@
+//! E14 — action-indexed condition dispatch.
+//!
+//! The dispatch tables intern every action named by a declarative
+//! [`ActionSet`] and precompile per-action trigger/Π/disabling bitmask
+//! rows, so classifying an event against `k` conditions is a handful of
+//! word-sized table lookups instead of `3k` closure calls. This bench
+//! answers EXPERIMENTS.md §E14's question: as the condition count grows
+//! (1 / 8 / 64 / 256) with *disjoint* action alphabets — the workload
+//! dispatch is built for — does the per-event cost of declarative sets
+//! stay near-flat while opaque closures scale linearly, and what does a
+//! half-and-half mixed set pay?
+//!
+//! The workload is `k` request/response pairs: condition `i` is armed
+//! by action `2i` and discharged by action `2i+1` within `[1, 3]`, and
+//! the stream round-robins one satisfying pair per two events, so every
+//! event is relevant to exactly one condition no matter how large `k`
+//! grows. Flavors: `decl` (all three components declarative), `opaque`
+//! (all closures — the pre-dispatch baseline), `mixed` (alternating,
+//! exercising the table path and the fallback masks in one set).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tempo_core::engine::CompiledConditionSet;
+use tempo_core::{ActionSet, SatisfactionMode, TimedSequence, TimingCondition};
+use tempo_math::{Interval, Rat};
+use tempo_monitor::Monitor;
+
+const EVENTS: usize = 10_000;
+
+/// Condition `i` of the pair workload, with every component given as a
+/// declarative [`ActionSet`]: classification for it is pure table work.
+fn pair_decl(i: u32) -> TimingCondition<u32, u32> {
+    TimingCondition::new(
+        format!("PAIR{i}"),
+        Interval::closed(Rat::ONE, Rat::from(3)).unwrap(),
+    )
+    .triggered_by_actions(ActionSet::only(2 * i))
+    .on_action_set(ActionSet::only(2 * i + 1))
+}
+
+/// The same condition as opaque closures: every event must run its
+/// trigger and Π predicates, the pre-dispatch cost model.
+fn pair_opaque(i: u32) -> TimingCondition<u32, u32> {
+    TimingCondition::new(
+        format!("PAIR{i}"),
+        Interval::closed(Rat::ONE, Rat::from(3)).unwrap(),
+    )
+    .triggered_by_step(move |_, a, _| *a == 2 * i)
+    .on_actions(move |a| *a == 2 * i + 1)
+}
+
+fn pair_conditions(k: usize, flavor: &str) -> Vec<TimingCondition<u32, u32>> {
+    (0..k as u32)
+        .map(|i| match flavor {
+            "decl" => pair_decl(i),
+            "opaque" => pair_opaque(i),
+            "mixed" if i % 2 == 0 => pair_decl(i),
+            _ => pair_opaque(i),
+        })
+        .collect()
+}
+
+/// A satisfying round-robin stream: pair `i % k` requests at `t = 2i`
+/// and responds at `t = 2i + 1`, inside every condition's `[1, 3]`.
+fn pair_stream(n: usize, k: usize) -> TimedSequence<u32, u32> {
+    let mut seq = TimedSequence::new(u32::MAX);
+    for i in 0..n / 2 {
+        let p = (i % k) as u32;
+        let t = 2 * i as i64;
+        seq.push(2 * p, Rat::from(t), 2 * p);
+        seq.push(2 * p + 1, Rat::from(t + 1), 2 * p + 1);
+    }
+    seq
+}
+
+/// Direct engine fold over the pair workload: per-event cost =
+/// reported time / 10k events.
+fn bench_dispatch_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_fold");
+    for flavor in ["decl", "opaque", "mixed"] {
+        for k in [1usize, 8, 64, 256] {
+            let seq = pair_stream(EVENTS, k);
+            let set = CompiledConditionSet::new(&pair_conditions(k, flavor));
+            group.bench_with_input(BenchmarkId::new(flavor, k), &(set, seq), |b, (set, seq)| {
+                b.iter(|| {
+                    let vs = set.fold_sequence(seq, SatisfactionMode::Prefix);
+                    assert!(vs.is_empty());
+                    vs
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The same sweep through the full `Monitor` wrapper — the streaming
+/// path EXPERIMENTS.md §E12b compares against.
+fn bench_dispatch_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_monitor");
+    for flavor in ["decl", "opaque", "mixed"] {
+        for k in [1usize, 8, 64, 256] {
+            let seq = pair_stream(EVENTS, k);
+            let set = Arc::new(CompiledConditionSet::new(&pair_conditions(k, flavor)));
+            group.bench_with_input(BenchmarkId::new(flavor, k), &(set, seq), |b, (set, seq)| {
+                b.iter(|| {
+                    let mut mon = Monitor::from_compiled(Arc::clone(set), seq.first_state());
+                    for (_, a, t, post) in seq.step_triples() {
+                        let v = mon.observe(a, t, post);
+                        assert!(v.is_ok());
+                    }
+                    mon.finish(SatisfactionMode::Prefix).is_empty()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_fold, bench_dispatch_monitor);
+criterion_main!(benches);

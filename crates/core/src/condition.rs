@@ -10,6 +10,107 @@ type StatePred<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
 type StepPred<S, A> = Arc<dyn Fn(&S, &A, &S) -> bool + Send + Sync>;
 type ActionPred<A> = Arc<dyn Fn(&A) -> bool + Send + Sync>;
 
+/// A **declarative** set of actions: an explicit list, or the complement
+/// of one (which also covers "all actions").
+///
+/// The paper's Definition 2.2 components `Π` and `T` are *sets* of
+/// actions; representing them as data instead of an opaque predicate
+/// lets the compiled condition engine
+/// ([`CompiledConditionSet`](crate::engine::CompiledConditionSet))
+/// intern the mentioned actions and precompute per-action dispatch
+/// bitmasks, so classifying an event against the whole condition set
+/// costs a few word-sized table lookups instead of one boxed-closure
+/// call per condition. Conditions built from closures
+/// ([`TimingCondition::on_actions`] and friends) remain fully supported
+/// — they take the engine's fallback path.
+///
+/// Membership is by `PartialEq`; a complement list contains every action
+/// *not* listed, including actions the set has never seen.
+///
+/// # Example
+///
+/// ```
+/// use tempo_core::ActionSet;
+///
+/// let grants = ActionSet::of(["GRANT", "REGRANT"]);
+/// assert!(grants.contains(&"GRANT"));
+/// assert!(!grants.contains(&"TICK"));
+///
+/// let not_ticks = ActionSet::all_except(["TICK"]);
+/// assert!(not_ticks.contains(&"GRANT"));
+/// assert!(!not_ticks.contains(&"TICK"));
+/// assert!(ActionSet::<&str>::all().contains(&"anything"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActionSet<A> {
+    /// Exactly the listed actions.
+    Of(Vec<A>),
+    /// Every action except the listed ones (`AllExcept(vec![])` = all).
+    AllExcept(Vec<A>),
+}
+
+impl<A> ActionSet<A> {
+    /// The set of exactly the given actions.
+    pub fn of(actions: impl IntoIterator<Item = A>) -> ActionSet<A> {
+        ActionSet::Of(actions.into_iter().collect())
+    }
+
+    /// The singleton set `{a}`.
+    pub fn only(a: A) -> ActionSet<A> {
+        ActionSet::Of(vec![a])
+    }
+
+    /// The empty set.
+    pub fn empty() -> ActionSet<A> {
+        ActionSet::Of(Vec::new())
+    }
+
+    /// The set of all actions.
+    pub fn all() -> ActionSet<A> {
+        ActionSet::AllExcept(Vec::new())
+    }
+
+    /// The complement of the given actions.
+    pub fn all_except(actions: impl IntoIterator<Item = A>) -> ActionSet<A> {
+        ActionSet::AllExcept(actions.into_iter().collect())
+    }
+
+    /// The explicitly listed actions (the members for [`ActionSet::Of`],
+    /// the non-members for [`ActionSet::AllExcept`]).
+    pub fn listed(&self) -> &[A] {
+        match self {
+            ActionSet::Of(v) | ActionSet::AllExcept(v) => v,
+        }
+    }
+
+    /// `true` for the complement representation.
+    pub fn is_complement(&self) -> bool {
+        matches!(self, ActionSet::AllExcept(_))
+    }
+
+    /// Whether `a` is a member of the set.
+    pub fn contains(&self, a: &A) -> bool
+    where
+        A: PartialEq,
+    {
+        match self {
+            ActionSet::Of(v) => v.contains(a),
+            ActionSet::AllExcept(v) => !v.contains(a),
+        }
+    }
+
+    /// Maps the listed actions through `f`, preserving the
+    /// list/complement shape (used when lifting conditions through
+    /// constructions that relabel actions injectively and preserve the
+    /// action universe).
+    pub fn map<B>(&self, f: impl FnMut(&A) -> B) -> ActionSet<B> {
+        match self {
+            ActionSet::Of(v) => ActionSet::Of(v.iter().map(f).collect()),
+            ActionSet::AllExcept(v) => ActionSet::AllExcept(v.iter().map(f).collect()),
+        }
+    }
+}
+
 /// A timing condition for an automaton with states `S` and actions `A`:
 /// upper and lower bounds on the time from a *trigger* (a designated start
 /// state, or a designated step) to the next occurrence of an action in the
@@ -41,11 +142,21 @@ pub struct TimingCondition<S, A> {
     t_step: StepPred<S, A>,
     pi: ActionPred<A>,
     disabling: StatePred<S>,
+    /// Declarative twin of `t_step`, when the triggers are pure action
+    /// membership (kept in sync with the derived closure).
+    trigger_set: Option<ActionSet<A>>,
+    /// Declarative twin of `pi` (kept in sync with the derived closure).
+    pi_set: Option<ActionSet<A>>,
+    /// Declarative *action-based* disabling set: when present, the
+    /// measurement is suspended by any event whose action is in the set
+    /// (instead of by a predicate on the post-state).
+    disabling_set: Option<ActionSet<A>>,
 }
 
-// Manual impl: `derive(Clone)` would demand `S: Clone + A: Clone`, but the
-// shared predicate `Arc`s clone regardless of the parameters.
-impl<S, A> Clone for TimingCondition<S, A> {
+// Manual impl: `derive(Clone)` would demand `S: Clone` too, but the
+// shared predicate `Arc`s clone regardless of the state parameter (the
+// declarative action sets do own `A` values).
+impl<S, A: Clone> Clone for TimingCondition<S, A> {
     fn clone(&self) -> Self {
         TimingCondition {
             name: self.name.clone(),
@@ -54,6 +165,9 @@ impl<S, A> Clone for TimingCondition<S, A> {
             t_step: Arc::clone(&self.t_step),
             pi: Arc::clone(&self.pi),
             disabling: Arc::clone(&self.disabling),
+            trigger_set: self.trigger_set.clone(),
+            pi_set: self.pi_set.clone(),
+            disabling_set: self.disabling_set.clone(),
         }
     }
 }
@@ -77,6 +191,12 @@ impl<S, A> TimingCondition<S, A> {
             t_step: Arc::new(|_, _, _| false),
             pi: Arc::new(|_| false),
             disabling: Arc::new(|_| false),
+            // The untouched defaults are *known-empty* declarative sets,
+            // so a condition only pays closure dispatch for the
+            // components it actually sets opaquely.
+            trigger_set: Some(ActionSet::empty()),
+            pi_set: Some(ActionSet::empty()),
+            disabling_set: Some(ActionSet::empty()),
         }
     }
 
@@ -89,30 +209,93 @@ impl<S, A> TimingCondition<S, A> {
         self
     }
 
-    /// Sets `T_step`: the steps after which the bound is (re)measured.
+    /// Sets `T_step` as an opaque predicate: the steps after which the
+    /// bound is (re)measured. Replaces any previously set
+    /// [`triggered_by_actions`](TimingCondition::triggered_by_actions)
+    /// set; the condition's triggers take the engine's closure-fallback
+    /// path.
     pub fn triggered_by_step<F>(mut self, f: F) -> Self
     where
         F: Fn(&S, &A, &S) -> bool + Send + Sync + 'static,
     {
         self.t_step = Arc::new(f);
+        self.trigger_set = None;
         self
     }
 
-    /// Sets `Π`: the actions whose next occurrence is being bounded.
+    /// Sets `T_step` **declaratively**: the bound is (re)measured after
+    /// every step whose action is in `set`, regardless of the states.
+    /// Exactly equivalent to
+    /// `triggered_by_step(move |_, a, _| set.contains(a))`, but the
+    /// compiled engine can intern the set into its per-action dispatch
+    /// tables, so classification never calls a boxed closure for this
+    /// condition's triggers.
+    pub fn triggered_by_actions(mut self, set: ActionSet<A>) -> Self
+    where
+        A: Clone + PartialEq + Send + Sync + 'static,
+    {
+        let probe = set.clone();
+        self.t_step = Arc::new(move |_, a, _| probe.contains(a));
+        self.trigger_set = Some(set);
+        self
+    }
+
+    /// Sets `Π` as an opaque predicate: the actions whose next
+    /// occurrence is being bounded. Replaces any previously set
+    /// [`on_action_set`](TimingCondition::on_action_set); the
+    /// condition's `Π`-checks take the engine's closure-fallback path.
     pub fn on_actions<F>(mut self, f: F) -> Self
     where
         F: Fn(&A) -> bool + Send + Sync + 'static,
     {
         self.pi = Arc::new(f);
+        self.pi_set = None;
         self
     }
 
-    /// Sets the disabling set `S`: states that suspend the measurement.
+    /// Sets `Π` **declaratively** — Definition 2.2's `Π` literally is a
+    /// set of actions. Exactly equivalent to
+    /// `on_actions(move |a| set.contains(a))`, but eligible for the
+    /// compiled engine's per-action dispatch tables.
+    pub fn on_action_set(mut self, set: ActionSet<A>) -> Self
+    where
+        A: Clone + PartialEq + Send + Sync + 'static,
+    {
+        let probe = set.clone();
+        self.pi = Arc::new(move |a| probe.contains(a));
+        self.pi_set = Some(set);
+        self
+    }
+
+    /// Sets the disabling set `S` as an opaque predicate over states:
+    /// states that suspend the measurement. Replaces any previously set
+    /// [`disabled_by_actions`](TimingCondition::disabled_by_actions).
     pub fn disabled_in<F>(mut self, f: F) -> Self
     where
         F: Fn(&S) -> bool + Send + Sync + 'static,
     {
         self.disabling = Arc::new(f);
+        self.disabling_set = None;
+        self
+    }
+
+    /// Sets the disabling set **declaratively, by action**: the
+    /// measurement is suspended by any event whose action is in `set`
+    /// (its post-state is treated as disabling). Replaces any previously
+    /// set [`disabled_in`](TimingCondition::disabled_in) state
+    /// predicate.
+    ///
+    /// This is the event-stream reading of the paper's disabling set:
+    /// when the disabling *states* are exactly the states entered by
+    /// certain actions, naming those actions lets the compiled engine
+    /// dispatch on them through its per-action tables. Note that
+    /// state-set consumers ([`in_disabling`](TimingCondition::in_disabling),
+    /// [`check_wellformed`]) see an empty state set for such a
+    /// condition — event-level checks go through
+    /// [`in_disabling_event`](TimingCondition::in_disabling_event).
+    pub fn disabled_by_actions(mut self, set: ActionSet<A>) -> Self {
+        self.disabling = Arc::new(|_| false);
+        self.disabling_set = Some(set);
         self
     }
 
@@ -154,6 +337,45 @@ impl<S, A> TimingCondition<S, A> {
     /// Returns `true` if `s` is in the disabling set.
     pub fn in_disabling(&self, s: &S) -> bool {
         (self.disabling)(s)
+    }
+
+    /// Returns `true` if the event `(a, post)` suspends the measurement:
+    /// either the condition's disabling set is action-based
+    /// ([`disabled_by_actions`](TimingCondition::disabled_by_actions))
+    /// and contains `a`, or it is state-based and contains `post`. This
+    /// is the disabling check event-driven consumers (the compiled
+    /// engine, the streaming monitor) use.
+    pub fn in_disabling_event(&self, a: &A, post: &S) -> bool
+    where
+        A: PartialEq,
+    {
+        match &self.disabling_set {
+            Some(set) => set.contains(a),
+            None => (self.disabling)(post),
+        }
+    }
+
+    /// The declarative trigger set, if `T_step` was given as one
+    /// ([`triggered_by_actions`](TimingCondition::triggered_by_actions)
+    /// or never set). `None` means the triggers are an opaque step
+    /// predicate.
+    pub fn trigger_set(&self) -> Option<&ActionSet<A>> {
+        self.trigger_set.as_ref()
+    }
+
+    /// The declarative `Π` set, if it was given as one
+    /// ([`on_action_set`](TimingCondition::on_action_set) or never set).
+    /// `None` means `Π` is an opaque action predicate.
+    pub fn pi_set(&self) -> Option<&ActionSet<A>> {
+        self.pi_set.as_ref()
+    }
+
+    /// The declarative action-based disabling set, if it was given as
+    /// one ([`disabled_by_actions`](TimingCondition::disabled_by_actions)
+    /// or never set). `None` means disabling is an opaque state
+    /// predicate.
+    pub fn disabling_set(&self) -> Option<&ActionSet<A>> {
+        self.disabling_set.as_ref()
     }
 
     /// Renames the condition (used when lifting through constructions).
@@ -250,6 +472,73 @@ mod tests {
         assert!(!cond.in_t_step(&0, &"x", &1));
         assert!(!cond.in_pi(&"x"));
         assert!(!cond.in_disabling(&0));
+        // Untouched components are known-empty declarative sets.
+        assert_eq!(cond.trigger_set(), Some(&ActionSet::empty()));
+        assert_eq!(cond.pi_set(), Some(&ActionSet::empty()));
+        assert_eq!(cond.disabling_set(), Some(&ActionSet::empty()));
+    }
+
+    #[test]
+    fn action_set_membership() {
+        let of = ActionSet::of(["a", "b"]);
+        assert!(of.contains(&"a") && of.contains(&"b") && !of.contains(&"c"));
+        assert!(!of.is_complement());
+        assert_eq!(of.listed(), &["a", "b"]);
+
+        let comp = ActionSet::all_except(["a"]);
+        assert!(!comp.contains(&"a") && comp.contains(&"z"));
+        assert!(comp.is_complement());
+        assert_eq!(ActionSet::only("x"), ActionSet::of(["x"]));
+        assert_eq!(ActionSet::<u8>::all(), ActionSet::all_except([]));
+        assert!(ActionSet::<u8>::all().contains(&7));
+        assert!(!ActionSet::<u8>::empty().contains(&7));
+
+        let mapped = of.map(|a| a.len());
+        assert_eq!(mapped, ActionSet::of([1, 1]));
+        assert_eq!(
+            comp.map(|a| a.to_uppercase()),
+            ActionSet::all_except(["A".to_string()])
+        );
+    }
+
+    #[test]
+    fn declarative_builders_derive_closures() {
+        let cond: TimingCondition<u32, &str> = TimingCondition::new("D", iv(1, 4))
+            .triggered_by_actions(ActionSet::only("go"))
+            .on_action_set(ActionSet::of(["done", "abort"]))
+            .disabled_by_actions(ActionSet::only("freeze"));
+        // Declarative twins are recorded...
+        assert_eq!(cond.trigger_set(), Some(&ActionSet::only("go")));
+        assert_eq!(cond.pi_set(), Some(&ActionSet::of(["done", "abort"])));
+        assert_eq!(cond.disabling_set(), Some(&ActionSet::only("freeze")));
+        // ...and the derived closures agree with set membership.
+        assert!(cond.in_t_step(&0, &"go", &1));
+        assert!(!cond.in_t_step(&0, &"done", &1));
+        assert!(cond.in_pi(&"done") && cond.in_pi(&"abort") && !cond.in_pi(&"go"));
+        // Action-based disabling: event check fires on the action, the
+        // state predicate stays empty.
+        assert!(cond.in_disabling_event(&"freeze", &0));
+        assert!(!cond.in_disabling_event(&"go", &0));
+        assert!(!cond.in_disabling(&0));
+    }
+
+    #[test]
+    fn opaque_builders_clear_declarative_sets() {
+        let cond: TimingCondition<u32, &str> = TimingCondition::new("O", iv(0, 2))
+            .triggered_by_actions(ActionSet::only("go"))
+            .on_action_set(ActionSet::only("done"))
+            .disabled_by_actions(ActionSet::only("freeze"))
+            .triggered_by_step(|_, a, _| *a == "go2")
+            .on_actions(|a| *a == "done2")
+            .disabled_in(|s| *s == 9);
+        assert!(cond.trigger_set().is_none());
+        assert!(cond.pi_set().is_none());
+        assert!(cond.disabling_set().is_none());
+        assert!(cond.in_t_step(&0, &"go2", &1) && !cond.in_t_step(&0, &"go", &1));
+        assert!(cond.in_pi(&"done2") && !cond.in_pi(&"done"));
+        // State-based disabling checks the post-state on events.
+        assert!(cond.in_disabling_event(&"anything", &9));
+        assert!(!cond.in_disabling_event(&"freeze", &0));
     }
 
     #[derive(Debug)]

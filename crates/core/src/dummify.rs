@@ -9,7 +9,7 @@ use std::sync::Arc;
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::Interval;
 
-use crate::{BoundmapError, Timed, TimedSequence, TimingCondition};
+use crate::{ActionSet, BoundmapError, Timed, TimedSequence, TimingCondition};
 
 /// The action alphabet of a dummified automaton: the base actions plus the
 /// dummy's `NULL` output.
@@ -143,26 +143,61 @@ where
 /// Lifts a timing condition of `A` to the corresponding condition `Ũ` of
 /// `Ã` (paper §5): triggers and disabling set are unchanged on the shared
 /// state; `NULL` steps never trigger and `NULL ∉ Π̃`.
+///
+/// Declarative [`ActionSet`] components survive the lift (so lifted
+/// conditions keep their table-dispatch eligibility): explicit lists map
+/// through [`DummyAction::Base`], and complements additionally exclude
+/// [`DummyAction::Null`] — `NULL` is never a trigger, never in `Π̃`, and
+/// never disabling.
 pub fn lift_condition<S, A>(cond: &TimingCondition<S, A>) -> TimingCondition<S, DummyAction<A>>
 where
     S: 'static,
-    A: 'static,
+    A: Clone + PartialEq + Send + Sync + 'static,
 {
     let c_start = cond.clone();
-    let c_step = cond.clone();
-    let c_pi = cond.clone();
-    let c_dis = cond.clone();
-    TimingCondition::new(cond.name(), cond.bounds())
-        .triggered_at_start(move |s: &S| c_start.in_t_start(s))
-        .triggered_by_step(move |pre: &S, a: &DummyAction<A>, post: &S| match a {
-            DummyAction::Base(inner) => c_step.in_t_step(pre, inner, post),
-            DummyAction::Null => false,
-        })
-        .on_actions(move |a: &DummyAction<A>| match a {
-            DummyAction::Base(inner) => c_pi.in_pi(inner),
-            DummyAction::Null => false,
-        })
-        .disabled_in(move |s: &S| c_dis.in_disabling(s))
+    let mut out = TimingCondition::new(cond.name(), cond.bounds())
+        .triggered_at_start(move |s: &S| c_start.in_t_start(s));
+    out = match cond.trigger_set() {
+        Some(set) => out.triggered_by_actions(lift_set(set)),
+        None => {
+            let c_step = cond.clone();
+            out.triggered_by_step(move |pre: &S, a: &DummyAction<A>, post: &S| match a {
+                DummyAction::Base(inner) => c_step.in_t_step(pre, inner, post),
+                DummyAction::Null => false,
+            })
+        }
+    };
+    out = match cond.pi_set() {
+        Some(set) => out.on_action_set(lift_set(set)),
+        None => {
+            let c_pi = cond.clone();
+            out.on_actions(move |a: &DummyAction<A>| match a {
+                DummyAction::Base(inner) => c_pi.in_pi(inner),
+                DummyAction::Null => false,
+            })
+        }
+    };
+    match cond.disabling_set() {
+        Some(set) => out.disabled_by_actions(lift_set(set)),
+        None => {
+            let c_dis = cond.clone();
+            out.disabled_in(move |s: &S| c_dis.in_disabling(s))
+        }
+    }
+}
+
+/// Maps a declarative set through the dummification's action relabeling:
+/// `NULL` is a member of no lifted set, so complements must list it.
+fn lift_set<A: Clone>(set: &ActionSet<A>) -> ActionSet<DummyAction<A>> {
+    match set {
+        ActionSet::Of(v) => ActionSet::Of(v.iter().cloned().map(DummyAction::Base).collect()),
+        ActionSet::AllExcept(v) => {
+            let mut excluded: Vec<DummyAction<A>> =
+                v.iter().cloned().map(DummyAction::Base).collect();
+            excluded.push(DummyAction::Null);
+            ActionSet::AllExcept(excluded)
+        }
+    }
 }
 
 /// `undum(α̃)`: removes the `NULL` steps from a timed sequence of `Ã`,

@@ -101,7 +101,7 @@ mod ub;
 
 pub use boundmap::{Boundmap, BoundmapError, Timed};
 pub use compose_timed::compose_timed;
-pub use condition::{check_wellformed, ConditionWellformedness, TimingCondition};
+pub use condition::{check_wellformed, ActionSet, ConditionWellformedness, TimingCondition};
 pub use dummify::{dummify, lift_condition, undum, Dummy, DummyAction, NULL_CLASS};
 pub use run::{
     project, EarliestScheduler, LatestScheduler, RandomScheduler, RunError, Scheduler, TimedRun,

@@ -75,7 +75,7 @@ pub fn satisfies<S, A>(
 ) -> Result<(), Violation>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug + Eq + std::hash::Hash,
 {
     check_condition(seq, cond, SatisfactionMode::Complete)
 }
@@ -92,7 +92,7 @@ pub fn semi_satisfies<S, A>(
 ) -> Result<(), Violation>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug + Eq + std::hash::Hash,
 {
     check_condition(seq, cond, SatisfactionMode::Prefix)
 }
@@ -113,7 +113,7 @@ pub fn violations<S, A>(
 ) -> Vec<Violation>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug + Eq + std::hash::Hash,
 {
     // Definition 3.1/2.2 as an engine fold: compile the one condition,
     // step each event, collect the violation log.
@@ -127,7 +127,7 @@ fn check_condition<S, A>(
 ) -> Result<(), Violation>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + std::fmt::Debug + Eq + std::hash::Hash,
 {
     match violations(seq, cond, mode).into_iter().next() {
         None => Ok(()),
@@ -215,7 +215,7 @@ pub fn check_timed_execution<M: Ioa>(
                 }
             }
         }
-        if let Some(v) = step_specs(&specs, &mut st, &cls, t)
+        if let Some(v) = step_specs(&specs, &mut st, &cls, t, false)
             .iter()
             .find_map(|ev| fail(aut, ev))
         {

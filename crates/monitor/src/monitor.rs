@@ -1,6 +1,7 @@
 //! The incremental semi-satisfaction monitor.
 
 use std::fmt;
+use std::hash::Hash;
 use std::sync::Arc;
 
 use tempo_core::engine::{CompiledConditionSet, EngineEvent, EngineState, ObligationKind};
@@ -77,7 +78,7 @@ impl<S, A> fmt::Debug for Monitor<S, A> {
     }
 }
 
-impl<S: Clone, A> Monitor<S, A> {
+impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     /// Compiles `conds` into a monitor, opening the start-state
     /// obligations (trigger index 0 at time 0) for every condition whose
     /// `T_start` contains `start`.

@@ -31,6 +31,7 @@
 //! the deepest queue observed, and per-stream lag.
 
 use std::fmt;
+use std::hash::Hash;
 use std::sync::atomic::{fence, AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle, Thread};
@@ -545,7 +546,7 @@ pub struct MonitorPool<S, A> {
 impl<S, A> MonitorPool<S, A>
 where
     S: Clone + Send + 'static,
-    A: Send + 'static,
+    A: Clone + Eq + Hash + Send + Sync + 'static,
 {
     /// Spawns `config.workers` worker threads (after
     /// [`PoolConfig::validated`] normalization). The conditions are
@@ -667,7 +668,7 @@ fn has_pending<S, A>(shared: &WorkerShared<S, A>, conns: &[Conn<S, A>]) -> bool 
             .any(|c| !c.rx.is_empty() || c.ctl.finished.load(Ordering::Acquire))
 }
 
-fn worker_loop<S: Clone, A>(
+fn worker_loop<S: Clone, A: Clone + Eq + Hash>(
     shared: &WorkerShared<S, A>,
     set: &Arc<CompiledConditionSet<S, A>>,
     shard: &Arc<MetricsShard>,

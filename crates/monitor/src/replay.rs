@@ -29,7 +29,7 @@ pub fn replay<S, A>(
 ) -> Vec<Violation>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut mon = Monitor::new(conds, seq.first_state());
     for (_, a, t, post) in seq.step_triples() {
@@ -52,7 +52,7 @@ pub fn replay_predictive<S, A>(
 ) -> (Vec<Violation>, Vec<Warning>)
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut mon = Monitor::new(conds, seq.first_state()).with_predictor(horizon);
     for (_, a, t, post) in seq.step_triples() {
@@ -71,7 +71,7 @@ pub fn replay_verdicts<S, A>(
 ) -> Vec<Verdict>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut mon = Monitor::new(conds, seq.first_state());
     let mut out = Vec::with_capacity(seq.len() + 1);
@@ -101,7 +101,7 @@ pub fn replay_semi_satisfies<S, A>(
 ) -> Result<(), Violation>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     match replay(seq, conds, SatisfactionMode::Prefix)
         .into_iter()

@@ -53,7 +53,7 @@ pub fn audit_runs<S, A>(
 ) -> AuditSummary
 where
     S: Clone + fmt::Debug,
-    A: Clone + fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + fmt::Debug,
 {
     let mut summary = AuditSummary::default();
     for (i, run) in runs.iter().enumerate() {

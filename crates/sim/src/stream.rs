@@ -31,7 +31,7 @@ pub fn stream_audit_runs<S, A>(
 ) -> AuditSummary
 where
     S: Clone + fmt::Debug,
-    A: Clone + fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + fmt::Debug,
 {
     let set = Arc::new(CompiledConditionSet::new(conds));
     let mut summary = AuditSummary {
@@ -61,7 +61,7 @@ pub fn pooled_audit_runs<S, A>(
 ) -> AuditSummary
 where
     S: Clone + fmt::Debug + Send + 'static,
-    A: Clone + fmt::Debug + Send + 'static,
+    A: Clone + Eq + std::hash::Hash + fmt::Debug + Send + Sync + 'static,
 {
     let mut pool = MonitorPool::new(conds, config);
     for run in runs {
@@ -143,7 +143,7 @@ pub fn predictive_audit_runs<S, A>(
 ) -> PredictiveAuditSummary
 where
     S: Clone + fmt::Debug,
-    A: Clone + fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + fmt::Debug,
 {
     let set = Arc::new(CompiledConditionSet::new(conds));
     let mut summary = PredictiveAuditSummary {

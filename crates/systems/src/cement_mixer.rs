@@ -26,7 +26,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tempo_core::{Boundmap, Timed, TimingCondition};
+use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
 use tempo_zones::{CondVerdict, ZoneChecker};
@@ -193,7 +193,7 @@ pub fn conditional_response(params: &MixerParams) -> TimingCondition<MixState, M
         Interval::new(params.s1, TimeVal::from(params.s2)).expect("validated"),
     )
     .triggered_by_step(|_, a, post: &MixState| *a == MixAction::Request && !post.hardened)
-    .on_actions(|a| *a == MixAction::Serve)
+    .on_action_set(ActionSet::only(MixAction::Serve))
     .disabled_in(|s: &MixState| s.hardened)
 }
 
@@ -205,8 +205,8 @@ pub fn naive_response(params: &MixerParams) -> TimingCondition<MixState, MixActi
         "SERVE-ALWAYS",
         Interval::new(params.s1, TimeVal::from(params.s2)).expect("validated"),
     )
-    .triggered_by_step(|_, a, _| *a == MixAction::Request)
-    .on_actions(|a| *a == MixAction::Serve)
+    .triggered_by_actions(ActionSet::only(MixAction::Request))
+    .on_action_set(ActionSet::only(MixAction::Serve))
 }
 
 /// Zone verdicts for both phrasings.

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use tempo_core::mapping::{
     CheckReport, CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan, SpecRegion,
 };
-use tempo_core::{Boundmap, TimeIoa, Timed, TimedState, TimingCondition};
+use tempo_core::{ActionSet, Boundmap, TimeIoa, Timed, TimedState, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
 use tempo_zones::{CondVerdict, ZoneChecker, ZoneError};
@@ -221,7 +221,7 @@ pub fn check_mutual_exclusion(params: &FischerParams) -> Result<Option<FState>, 
 pub fn solo_entry_condition(params: &FischerParams) -> TimingCondition<FState, FAction> {
     TimingCondition::new("ENTRY", params.solo_entry_bounds())
         .triggered_at_start(|_| true)
-        .on_actions(|a| *a == FAction::Check(0))
+        .on_action_set(ActionSet::only(FAction::Check(0)))
 }
 
 /// The inequality mapping proving the solo entry bound, by phase:

@@ -21,7 +21,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tempo_core::{Boundmap, Timed, TimingCondition};
+use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
 use tempo_zones::{CondVerdict, ZoneChecker};
@@ -242,8 +242,8 @@ pub fn peterson_system(params: &PetersonParams) -> Timed<Peterson> {
 /// claimed interval.)
 pub fn entry_condition(i: usize, bound: Interval) -> TimingCondition<PState, PAction> {
     TimingCondition::new(format!("ENTRY_{i}"), bound)
-        .triggered_by_step(move |_, a: &PAction, _| *a == PAction::SetFlag(i))
-        .on_actions(move |a: &PAction| *a == PAction::CheckSucceed(i))
+        .triggered_by_actions(ActionSet::only(PAction::SetFlag(i)))
+        .on_action_set(ActionSet::only(PAction::CheckSucceed(i)))
 }
 
 /// Computes the exact entry-time verdict for process `i` (measured from

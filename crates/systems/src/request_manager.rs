@@ -21,7 +21,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tempo_core::{Boundmap, Timed, TimingCondition};
+use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Compose, Hide, Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
 use tempo_sim::GapStats;
@@ -262,8 +262,8 @@ pub fn response_bounds(params: &Params) -> Interval {
 /// within [`response_bounds`].
 pub fn response_condition(params: &Params) -> TimingCondition<RqState, RqAction> {
     TimingCondition::new("RESPONSE", response_bounds(params))
-        .triggered_by_step(|_, a, _| *a == RqAction::Request)
-        .on_actions(|a| *a == RqAction::Grant)
+        .triggered_by_actions(ActionSet::only(RqAction::Request))
+        .on_action_set(ActionSet::only(RqAction::Grant))
 }
 
 /// The combined verification outcome.

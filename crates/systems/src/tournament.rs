@@ -23,7 +23,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tempo_core::{Boundmap, Timed, TimingCondition};
+use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
 use tempo_zones::{CondVerdict, ZoneChecker, ZoneError};
@@ -361,7 +361,7 @@ pub fn entry_condition(
         .triggered_by_step(move |pre: &TState, a: &TAction, _| {
             *a == TAction::SetFlag(i) && matches!(pre.pcs[i], TPc::At { node, .. } if node == leaf)
         })
-        .on_actions(move |a: &TAction| *a == TAction::Advance(i))
+        .on_action_set(ActionSet::only(TAction::Advance(i)))
         // Only the final Advance (root win) counts: disable on non-root
         // wins? Advance also fires at the leaf. Measure instead to the
         // *first* Advance... see `root_entry_condition` for the full-path

@@ -18,8 +18,8 @@ use tempo_core::mapping::{
     CheckReport, CondConstraint, MappingChecker, PossibilitiesMapping, RunPlan, SpecRegion,
 };
 use tempo_core::{
-    cond_of_class, dummify, lift_condition, time_ab, undum, Boundmap, Dummy, DummyAction, TimeIoa,
-    Timed, TimedState, TimingCondition,
+    cond_of_class, dummify, lift_condition, time_ab, undum, ActionSet, Boundmap, Dummy,
+    DummyAction, TimeIoa, Timed, TimedState, TimingCondition,
 };
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
@@ -167,8 +167,8 @@ pub fn chain_system(params: &ChainParams) -> Timed<ChainAutomaton> {
 /// within `[l1 + l2, u1 + u2]`.
 pub fn chain_condition(params: &ChainParams) -> TimingCondition<ChainPhase, ChainAction> {
     TimingCondition::new("CHAIN", params.chain_bounds())
-        .triggered_by_step(|_, a, _| *a == ChainAction::Pi)
-        .on_actions(|a| *a == ChainAction::Psi)
+        .triggered_by_actions(ActionSet::only(ChainAction::Pi))
+        .on_action_set(ActionSet::only(ChainAction::Psi))
 }
 
 /// Implementation condition indices in `time(Ã, b̃)` (class order + NULL).

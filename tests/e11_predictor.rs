@@ -19,7 +19,7 @@ fn rm_params() -> Params {
 fn stretch<S, A>(seq: &TimedSequence<S, A>, num: i128) -> TimedSequence<S, A>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let factor = Rat::new(num, 8);
     let mut out = TimedSequence::new(seq.first_state().clone());

@@ -120,7 +120,7 @@ fn scale_event_times(
     scale_generic(seq, factor)
 }
 
-fn scale_generic<S: Clone + std::fmt::Debug, A: Clone + std::fmt::Debug>(
+fn scale_generic<S: Clone + std::fmt::Debug, A: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
     seq: &TimedSequence<S, A>,
     factor: Rat,
 ) -> TimedSequence<S, A> {

@@ -38,7 +38,7 @@ fn relay_params() -> impl Strategy<Value = RelayParams> {
 fn warp<S, A>(seq: &TimedSequence<S, A>, factor: Rat) -> TimedSequence<S, A>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut out = TimedSequence::new(seq.first_state().clone());
     for (_, a, t, post) in seq.step_triples() {
@@ -64,7 +64,7 @@ fn assert_three_way<S, A>(
 ) -> Result<(), TestCaseError>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let set = CompiledConditionSet::new(conds);
     for mode in [SatisfactionMode::Prefix, SatisfactionMode::Complete] {

@@ -32,7 +32,7 @@ fn relay_params() -> impl Strategy<Value = RelayParams> {
 fn warp<S, A>(seq: &TimedSequence<S, A>, factor: Rat) -> TimedSequence<S, A>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut out = TimedSequence::new(seq.first_state().clone());
     for (_, a, t, post) in seq.step_triples() {
@@ -55,7 +55,7 @@ fn assert_agreement<S, A>(
 ) -> Result<(), TestCaseError>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     for mode in [SatisfactionMode::Prefix, SatisfactionMode::Complete] {
         let offline: Vec<Violation> = conds

@@ -24,7 +24,7 @@ fn rm_params() -> impl Strategy<Value = Params> {
 fn warp<S, A>(seq: &TimedSequence<S, A>, factor: Rat) -> TimedSequence<S, A>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut out = TimedSequence::new(seq.first_state().clone());
     for (_, a, t, post) in seq.step_triples() {
@@ -44,7 +44,7 @@ fn assert_predictive_guarantees<S, A>(
 ) -> Result<(), TestCaseError>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     for mode in [SatisfactionMode::Prefix, SatisfactionMode::Complete] {
         let plain = replay(seq, conds, mode);

@@ -24,7 +24,7 @@ fn rm_params() -> impl Strategy<Value = Params> {
 fn warp<S, A>(seq: &TimedSequence<S, A>, factor: Rat) -> TimedSequence<S, A>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut out = TimedSequence::new(seq.first_state().clone());
     for (_, a, t, post) in seq.step_triples() {
@@ -46,7 +46,7 @@ fn assert_roundtrip<S, A>(
 ) -> Result<(), TestCaseError>
 where
     S: Clone + std::fmt::Debug,
-    A: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let build = || {
         let mon = Monitor::new(conds, seq.first_state());
