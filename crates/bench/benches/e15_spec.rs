@@ -1,0 +1,145 @@
+//! E15 — `.tspec` front-end cost: compile latency and hot-reload pause.
+//!
+//! Two questions from EXPERIMENTS.md §E15:
+//!
+//! * **Compile latency** — the full `SpecRevision::compile` pipeline
+//!   (lex → parse → check → lower → `CompiledConditionSet::new`) on the
+//!   shipped system specs and on synthetic specs of 1/8/64 conditions.
+//!   This is the cost of *loading* a spec, paid once per revision, and
+//!   it bounds how fast an edit-compile-reload loop can spin.
+//! * **Reload pause** — what a *running* monitor pays at the swap
+//!   itself. Per monitor that is one `swap_compiled` (re-indexing the
+//!   open obligations by name, measured here as an A→B→A round trip at
+//!   1/64/1024 open obligations); per pool it is the full blocking
+//!   `reload_spec` rendezvous across live worker threads. The pause is
+//!   bounded by obligation count, never by events queued — rings are
+//!   not drained for a swap.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_math::Rat;
+use tempo_monitor::{Monitor, MonitorPool, PoolConfig};
+use tempo_spec::{MapBinder, SpecRevision};
+use tempo_systems::{fischer, tournament};
+
+fn binder() -> MapBinder<u8, String> {
+    MapBinder::new(|n: &str| Some(n.to_string()))
+}
+
+/// `k` independent request/response conditions over disjoint actions.
+fn synthetic(k: usize) -> String {
+    let mut src = String::from("spec synth;\nactions ");
+    for i in 0..k {
+        if i > 0 {
+            src.push_str(", ");
+        }
+        src.push_str(&format!("GO_{i}, DONE_{i}"));
+    }
+    src.push_str(";\n");
+    for i in 0..k {
+        src.push_str(&format!(
+            "cond C_{i} {{ trigger on GO_{i}; pi DONE_{i}; bounds [1, 6]; }}\n"
+        ));
+    }
+    src
+}
+
+/// One condition with a huge window, so observed `GO`s pile up open
+/// deadline obligations that every swap must re-index.
+const WIDE_A: &str =
+    "spec live; actions GO, DONE;\ncond C { trigger on GO; pi DONE; bounds [1, 1000000]; }";
+const WIDE_B: &str =
+    "spec live; actions GO, DONE;\ncond C { trigger on GO; pi DONE; bounds [1, 999999]; }";
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_compile");
+    // Shipped specs: the simplest and the most binder-heavy (tournament
+    // lowers two guarded triggers through state predicates).
+    group.bench_function("fischer", |b| {
+        b.iter(|| {
+            SpecRevision::compile(fischer::tspec_source(), &fischer::tspec_binder())
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("tournament", |b| {
+        b.iter(|| {
+            SpecRevision::compile(tournament::tspec_source(), &tournament::tspec_binder())
+                .unwrap()
+                .len()
+        })
+    });
+    for k in [1usize, 8, 64] {
+        let src = synthetic(k);
+        group.bench_with_input(BenchmarkId::new("synthetic", k), &src, |b, src| {
+            b.iter(|| SpecRevision::compile(src, &binder()).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitor_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_swap");
+    for n in [1usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::new("round_trip", n), &n, |b, &n| {
+            let rev_a: SpecRevision<u8, String> = SpecRevision::compile(WIDE_A, &binder()).unwrap();
+            let rev_b: SpecRevision<u8, String> = SpecRevision::compile(WIDE_B, &binder()).unwrap();
+            let mut mon = Monitor::from_compiled(Arc::clone(rev_a.compiled()), &0u8);
+            for i in 0..n {
+                mon.observe(&"GO".to_string(), Rat::from(i as i64), &0u8);
+            }
+            assert!(mon.open_obligations() >= n, "deadlines must be piled up");
+            let map_ab = rev_b.carry_map(rev_a.compiled());
+            let map_ba = rev_a.carry_map(rev_b.compiled());
+            // A -> B -> A keeps the obligation pile intact forever, so
+            // the reported time is two swaps at a steady `n`.
+            b.iter(|| {
+                mon.swap_compiled(Arc::clone(rev_b.compiled()), &map_ab);
+                mon.swap_compiled(Arc::clone(rev_a.compiled()), &map_ba);
+                mon.open_obligations()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_reload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_reload_pause");
+    for streams in [4usize, 32] {
+        group.bench_with_input(BenchmarkId::new("pool", streams), &streams, |b, &k| {
+            let rev: SpecRevision<u8, String> = SpecRevision::compile(WIDE_A, &binder()).unwrap();
+            let mut pool = MonitorPool::from_compiled(
+                Arc::clone(rev.compiled()),
+                PoolConfig {
+                    workers: 2,
+                    ..PoolConfig::default()
+                },
+            );
+            let mut handles: Vec<_> = (0..k).map(|_| pool.open_stream(0u8)).collect();
+            for h in &mut handles {
+                for i in 0..64 {
+                    h.send("GO".to_string(), Rat::from(i), 0).unwrap();
+                }
+            }
+            // Let every obligation open before timing the pause.
+            while pool.metrics().snapshot().events < (k * 64) as u64 {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            // Identity reload: the full blocking rendezvous, including
+            // worker wake-up, swap, and acknowledgment.
+            b.iter(|| pool.reload_spec(&rev).carried);
+            drop(handles);
+            pool.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_monitor_swap,
+    bench_pool_reload
+);
+criterion_main!(benches);

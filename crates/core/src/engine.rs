@@ -713,6 +713,53 @@ impl EngineState {
         &self.open[ci]
     }
 
+    /// Re-indexes this state for a new condition set — the state-level
+    /// half of hot spec reload.
+    ///
+    /// `map[ci]` gives the index in the *new* set of the condition that
+    /// was at index `ci` here, or `None` if it no longer exists (the
+    /// map's length must equal [`conditions`](Self::conditions), and
+    /// `new_conditions` bounds its targets). Obligations of preserved
+    /// conditions carry over **verbatim** — their deadlines are
+    /// absolute times fixed when the trigger fired, and revising a spec
+    /// does not revise history; the new bounds govern triggers that
+    /// fire after the swap. Obligations of dropped conditions are
+    /// returned alongside the new state, tagged with their *old*
+    /// condition index, so the caller can report them as closed rather
+    /// than lose them silently.
+    ///
+    /// Stream position (`last_time`, `events_seen`) and the lifecycle
+    /// logging flag carry over; the event-log buffer starts empty.
+    pub fn remap(
+        &self,
+        map: &[Option<usize>],
+        new_conditions: usize,
+    ) -> (EngineState, Vec<(usize, Obligation)>) {
+        assert_eq!(
+            map.len(),
+            self.open.len(),
+            "remap map must cover every old condition"
+        );
+        let mut next = EngineState::new(new_conditions);
+        next.last_time = self.last_time;
+        next.events_seen = self.events_seen;
+        next.log_lifecycle = self.log_lifecycle;
+        let mut dropped = Vec::new();
+        for (ci, obs) in self.open.iter().enumerate() {
+            match map[ci] {
+                Some(ni) => {
+                    assert!(ni < new_conditions, "remap target out of range");
+                    for &ob in obs {
+                        next.open[ni].push(ob);
+                        bit_set(&mut next.active, ni);
+                    }
+                }
+                None => dropped.extend(obs.iter().map(|&ob| (ci, ob))),
+            }
+        }
+        (next, dropped)
+    }
+
     /// Opens a trigger's (up to two) obligations and logs them.
     ///
     /// `inline(always)`: this is the open-phase body of both steppers;
@@ -1069,6 +1116,13 @@ impl<S, A> CompiledConditionSet<S, A> {
         self.conds[ci].name()
     }
 
+    /// The index of the first condition named `name`, if any. Hot
+    /// reload identifies conditions across spec revisions by name, so
+    /// this is the lookup behind the obligation carry map.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.conds.iter().position(|c| c.name() == name)
+    }
+
     /// Cached finite upper bound `b_u` of condition `ci` (`None` for ∞).
     pub fn upper(&self, ci: usize) -> Option<Rat> {
         self.specs[ci].upper
@@ -1332,6 +1386,35 @@ mod tests {
                 deadline: Rat::from(deadline),
             },
         }
+    }
+
+    #[test]
+    fn remap_carries_preserved_obligations_and_reports_dropped() {
+        let mut st = EngineState::new(3);
+        st.open[0].push(lower(0, 3));
+        bit_set(&mut st.active, 0);
+        st.open[2].push(upper(1, 9));
+        bit_set(&mut st.active, 2);
+        st.last_time = Rat::from(2);
+        st.events_seen = 5;
+        // Condition 0 moves to index 1, condition 1 is dropped (it has
+        // nothing open), condition 2 moves to index 0.
+        let (next, dropped) = st.remap(&[Some(1), None, Some(0)], 2);
+        assert_eq!(next.conditions(), 2);
+        assert_eq!(next.open_of(1), &[lower(0, 3)]);
+        assert_eq!(next.open_of(0), &[upper(1, 9)]);
+        assert_eq!(next.last_time(), Rat::from(2));
+        assert_eq!(next.events_seen(), 5);
+        assert!(dropped.is_empty());
+        assert_eq!(next.active[0] & 0b11, 0b11, "bitmask rebuilt in sync");
+
+        let mut st = EngineState::new(2);
+        st.open[1].push(upper(0, 4));
+        bit_set(&mut st.active, 1);
+        let (next, dropped) = st.remap(&[Some(0), None], 1);
+        assert_eq!(dropped, vec![(1, upper(0, 4))]);
+        assert_eq!(next.open_obligations(), 0);
+        assert_eq!(next.active[0], 0);
     }
 
     #[test]

@@ -80,12 +80,13 @@ mod verdict;
 
 pub use event::Event;
 pub use metrics::{MetricsSnapshot, MonitorMetrics, StreamLag, StreamLagSnapshot, SLACK_BUCKETS};
-pub use monitor::Monitor;
+pub use monitor::{Monitor, SwapReport};
 // The obligation types moved into the shared condition engine
 // (`tempo_core::engine`) — re-exported here so downstream code keeps
 // its `tempo_monitor::{Obligation, ObligationKind, Resolution}` paths.
 pub use pool::{
-    MonitorPool, OverloadPolicy, PoolConfig, PoolReport, StreamHandle, StreamOverflow, StreamReport,
+    MonitorPool, OverloadPolicy, PoolConfig, PoolReport, ReloadReport, StreamHandle,
+    StreamOverflow, StreamReport,
 };
 pub use predict::{Outcome, Predictor, Warning};
 pub use replay::{replay, replay_predictive, replay_semi_satisfies, replay_verdicts};

@@ -4,7 +4,9 @@ use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use tempo_core::engine::{CompiledConditionSet, EngineEvent, EngineState, ObligationKind};
+use tempo_core::engine::{
+    CompiledConditionSet, EngineEvent, EngineState, Obligation, ObligationKind,
+};
 use tempo_core::{SatisfactionMode, TimingCondition, Violation, ViolationKind};
 use tempo_math::Rat;
 
@@ -64,6 +66,17 @@ pub struct Monitor<S, A> {
     /// Hot-counter sink: the shared base metrics for standalone
     /// monitors, or one pool worker's private shard.
     metrics: Option<MetricsRef>,
+}
+
+/// What [`Monitor::swap_compiled`] did with the open obligations.
+#[derive(Clone, Debug)]
+pub struct SwapReport {
+    /// Obligations carried forward onto preserved conditions.
+    pub carried: usize,
+    /// Obligations closed administratively because their condition does
+    /// not exist in the new revision, tagged with the old condition's
+    /// name.
+    pub dropped: Vec<(String, Obligation)>,
 }
 
 impl<S, A> fmt::Debug for Monitor<S, A> {
@@ -202,6 +215,81 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             predictor,
             metrics: None,
         }
+    }
+
+    /// Hot-swaps this monitor onto a new compiled condition set without
+    /// losing its place in the stream — the per-stream half of spec hot
+    /// reload ([`MonitorPool::reload`](crate::MonitorPool::reload) is
+    /// the pool-level driver).
+    ///
+    /// `map[ci]` names the index in `new` of the condition currently at
+    /// index `ci` (hot reload matches conditions across revisions *by
+    /// name*), or `None` if the condition was dropped. Open obligations
+    /// of preserved conditions carry forward with their absolute
+    /// deadlines unchanged — the new bounds govern triggers that fire
+    /// after the swap, not history — while obligations of dropped
+    /// conditions are closed administratively and returned in the
+    /// [`SwapReport`] (and counted as discharged in the metrics, so
+    /// `opened = discharged + violated + open` keeps holding). An
+    /// attached predictor is rebuilt over the new indices with the same
+    /// horizon; already-warned obligations are not re-warned. Recorded
+    /// violations and warnings stay: they are stream history, not spec
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not have exactly one entry per current
+    /// condition, or maps outside `new`.
+    pub fn swap_compiled(
+        &mut self,
+        new: Arc<CompiledConditionSet<S, A>>,
+        map: &[Option<usize>],
+    ) -> SwapReport {
+        assert_eq!(
+            map.len(),
+            self.set.len(),
+            "swap map must cover every current condition"
+        );
+        let (engine, dropped) = self.engine.remap(map, new.len());
+        self.engine = engine;
+        if let Some(old_p) = self.predictor.take() {
+            let mut p = Predictor::new(new.len(), old_p.horizon());
+            p.advance_to(self.engine.last_time());
+            for (old_ci, &target) in map.iter().enumerate() {
+                let Some(ni) = target else { continue };
+                // The carried deadlines were fixed under the *old*
+                // bounds, so the trigger time recovers through the old
+                // `b_u` (exactly as `resume_compiled` recovers it).
+                let b_u = self.set.upper(old_ci);
+                let mut ups: Vec<(usize, Rat)> = self
+                    .engine
+                    .open_of(ni)
+                    .iter()
+                    .filter_map(|ob| match ob.kind {
+                        ObligationKind::Upper { deadline } => Some((ob.trigger_index, deadline)),
+                        ObligationKind::Lower { .. } => None,
+                    })
+                    .collect();
+                ups.sort_unstable_by_key(|&(ti, _)| ti);
+                for (ti, deadline) in ups {
+                    let t_i = b_u.map_or(Rat::ZERO, |b| deadline - b);
+                    p.arm_restored(ni, ti, t_i, deadline);
+                }
+            }
+            self.predictor = Some(p);
+        }
+        if let Some(m) = &self.metrics {
+            for _ in &dropped {
+                m.record_discharged();
+            }
+        }
+        let carried = self.engine.open_obligations();
+        let dropped = dropped
+            .into_iter()
+            .map(|(ci, ob)| (self.set.name(ci).to_string(), ob))
+            .collect();
+        self.set = new;
+        SwapReport { carried, dropped }
     }
 
     /// Attaches shared metrics counters; every subsequent event and

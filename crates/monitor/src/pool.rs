@@ -33,14 +33,15 @@
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{fence, AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle, Thread};
 use std::time::Duration;
 
 use tempo_core::{SatisfactionMode, TimingCondition, Violation};
 use tempo_math::Rat;
 
-use tempo_core::engine::CompiledConditionSet;
+use tempo_core::engine::{CompiledConditionSet, Obligation};
+use tempo_spec::SpecRevision;
 
 use crate::event::Event;
 use crate::metrics::{MetricsShard, MetricsSnapshot, MonitorMetrics, StreamLag};
@@ -222,6 +223,12 @@ struct WorkerShared<S, A> {
     /// Set after pushing into the injector; cleared by the worker's
     /// adopting swap.
     dirty: AtomicBool,
+    /// A pending hot-reload command from [`MonitorPool::reload`], taken
+    /// by the worker loop.
+    reload: Mutex<Option<ReloadCmd<S, A>>>,
+    /// Set after depositing a reload command; cleared by the worker's
+    /// taking swap.
+    reload_pending: AtomicBool,
     /// Set once by [`MonitorPool::shutdown`].
     shutdown: AtomicBool,
     /// Advertised (with a `SeqCst` fence) by the worker before parking.
@@ -235,11 +242,50 @@ impl<S, A> Default for WorkerShared<S, A> {
         WorkerShared {
             injector: Mutex::new(Vec::new()),
             dirty: AtomicBool::new(false),
+            reload: Mutex::new(None),
+            reload_pending: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             sleeping: AtomicBool::new(false),
             thread: OnceLock::new(),
         }
     }
+}
+
+/// A hot-reload command in flight to one worker: the new compiled set
+/// plus the rendezvous the reloading thread blocks on.
+struct ReloadCmd<S, A> {
+    set: Arc<CompiledConditionSet<S, A>>,
+    gather: Arc<ReloadGather>,
+}
+
+/// The rendezvous for one [`MonitorPool::reload`] call: every worker
+/// folds its swap outcomes in and decrements `pending`; the reloading
+/// thread waits for zero.
+struct ReloadGather {
+    state: Mutex<ReloadGatherState>,
+    cv: Condvar,
+}
+
+struct ReloadGatherState {
+    pending: usize,
+    streams: usize,
+    carried: usize,
+    dropped: Vec<(u64, String, Obligation)>,
+}
+
+/// What [`MonitorPool::reload`] did, aggregated across workers.
+#[derive(Clone, Debug)]
+pub struct ReloadReport {
+    /// Worker threads that acknowledged the swap.
+    pub workers: usize,
+    /// Live streams whose monitor was swapped onto the new set.
+    pub streams: usize,
+    /// Open obligations carried forward (summed over streams).
+    pub carried: usize,
+    /// Obligations closed administratively because their condition does
+    /// not exist in the new revision: `(stream id, old condition name,
+    /// obligation)`.
+    pub dropped: Vec<(u64, String, Obligation)>,
 }
 
 impl<S, A> WorkerShared<S, A> {
@@ -555,9 +601,19 @@ where
     /// for the whole pool — every stream's monitor steps the same
     /// compiled engine, paying the compilation exactly once.
     pub fn new(conds: &[TimingCondition<S, A>], config: PoolConfig) -> MonitorPool<S, A> {
+        MonitorPool::from_compiled(Arc::new(CompiledConditionSet::new(conds)), config)
+    }
+
+    /// [`new`](MonitorPool::new) with an already-compiled (possibly
+    /// shared) set — e.g. a [`SpecRevision`]'s, so a pool can start on
+    /// the same compiled revision it later hot-swaps with
+    /// [`reload_spec`](MonitorPool::reload_spec).
+    pub fn from_compiled(
+        set: Arc<CompiledConditionSet<S, A>>,
+        config: PoolConfig,
+    ) -> MonitorPool<S, A> {
         let config = config.validated();
         let metrics = Arc::new(MonitorMetrics::new());
-        let set = Arc::new(CompiledConditionSet::new(conds));
         let mut shared = Vec::new();
         let mut workers = Vec::new();
         for _ in 0..config.workers {
@@ -626,6 +682,74 @@ where
         Arc::clone(&self.metrics)
     }
 
+    /// Hot-swaps every live stream (and all future streams) onto a new
+    /// condition set, without dropping an event.
+    ///
+    /// Each worker, at its next loop iteration, swaps each of its
+    /// stream monitors via [`Monitor::swap_compiled`]: conditions are
+    /// matched across revisions **by name**, open obligations of
+    /// preserved conditions carry forward with their absolute deadlines
+    /// unchanged (the new bounds govern triggers that fire after the
+    /// swap), and obligations of dropped conditions are closed and
+    /// returned in the [`ReloadReport`]. Queued events are untouched —
+    /// they sit in the stream rings and are processed under the new set
+    /// once the swap lands, so nothing is lost; the reload pause per
+    /// worker is bounded by the drain batch it was already processing.
+    ///
+    /// Blocks until every worker has acknowledged, so a stream opened
+    /// after `reload` returns is monitored under the new set.
+    pub fn reload(&mut self, conds: &[TimingCondition<S, A>]) -> ReloadReport {
+        self.reload_compiled(Arc::new(CompiledConditionSet::new(conds)))
+    }
+
+    /// [`reload`](MonitorPool::reload) with an already-compiled
+    /// (possibly shared) set.
+    pub fn reload_compiled(&mut self, set: Arc<CompiledConditionSet<S, A>>) -> ReloadReport {
+        let gather = Arc::new(ReloadGather {
+            state: Mutex::new(ReloadGatherState {
+                pending: self.shared.len(),
+                streams: 0,
+                carried: 0,
+                dropped: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        for ws in &self.shared {
+            // `reload` takes `&mut self` and blocks until every worker
+            // acknowledges, so the slot is always empty here: a command
+            // can never overwrite an unprocessed one.
+            *ws.reload.lock().expect("pool reload mutex poisoned") = Some(ReloadCmd {
+                set: Arc::clone(&set),
+                gather: Arc::clone(&gather),
+            });
+            ws.reload_pending.store(true, Ordering::Release);
+            ws.wake();
+        }
+        let mut st = gather
+            .state
+            .lock()
+            .expect("pool reload gather mutex poisoned");
+        while st.pending > 0 {
+            st = gather
+                .cv
+                .wait(st)
+                .expect("pool reload gather mutex poisoned");
+        }
+        ReloadReport {
+            workers: self.shared.len(),
+            streams: st.streams,
+            carried: st.carried,
+            dropped: std::mem::take(&mut st.dropped),
+        }
+    }
+
+    /// [`reload`](MonitorPool::reload) from a compiled `.tspec`
+    /// revision (see [`SpecRevision`]): the spec hot-reload entry
+    /// point. The revision's set is shared, not recompiled.
+    pub fn reload_spec(&mut self, rev: &SpecRevision<S, A>) -> ReloadReport {
+        self.reload_compiled(Arc::clone(rev.compiled()))
+    }
+
     /// Stops the workers (after they drain their rings) and collects
     /// every stream's report. Streams never explicitly finished are
     /// finalized here.
@@ -662,6 +786,7 @@ struct Conn<S, A> {
 /// sleeping and parking.
 fn has_pending<S, A>(shared: &WorkerShared<S, A>, conns: &[Conn<S, A>]) -> bool {
     shared.dirty.load(Ordering::Acquire)
+        || shared.reload_pending.load(Ordering::Acquire)
         || shared.shutdown.load(Ordering::Acquire)
         || conns
             .iter()
@@ -680,6 +805,9 @@ fn worker_loop<S: Clone, A: Clone + Eq + Hash>(
         .thread
         .set(thread::current())
         .expect("worker thread registered twice");
+    // The worker's current condition set: starts as the pool's, replaced
+    // in place by hot reload.
+    let mut set = Arc::clone(set);
     let mut conns: Vec<Conn<S, A>> = Vec::new();
     let mut reports: Vec<StreamReport> = Vec::new();
     let mut scratch: Vec<Event<S, A>> = Vec::with_capacity(drain_batch);
@@ -694,32 +822,87 @@ fn worker_loop<S: Clone, A: Clone + Eq + Hash>(
             failed,
         });
     };
+    let adopt = |set: &Arc<CompiledConditionSet<S, A>>, conns: &mut Vec<Conn<S, A>>| -> bool {
+        if !shared.dirty.swap(false, Ordering::Acquire) {
+            return false;
+        }
+        let adopted: Vec<NewConn<S, A>> = shared
+            .injector
+            .lock()
+            .expect("pool injector mutex poisoned")
+            .drain(..)
+            .collect();
+        let mut any = false;
+        for nc in adopted {
+            let mut mon = Monitor::from_compiled(Arc::clone(set), &nc.start)
+                .with_metrics_shard(Arc::clone(shard));
+            if let Some(h) = horizon {
+                mon = mon.with_predictor(h);
+            }
+            conns.push(Conn {
+                stream: nc.stream,
+                rx: nc.rx,
+                ctl: nc.ctl,
+                lag: nc.lag,
+                mon,
+            });
+            any = true;
+        }
+        any
+    };
     let mut spins = 0u32;
     loop {
         let mut did_work = false;
         // Adopt freshly opened streams.
-        if shared.dirty.swap(false, Ordering::Acquire) {
-            let adopted: Vec<NewConn<S, A>> = shared
-                .injector
+        did_work |= adopt(&set, &mut conns);
+        // Apply a pending hot reload. Ring contents are untouched —
+        // queued events are simply processed under the new set from
+        // here on; streams adopted on later iterations are built from
+        // the new set directly.
+        if shared.reload_pending.swap(false, Ordering::Acquire) {
+            // Streams injected before the reload command must be
+            // swapped (and counted) with everything else, but this
+            // iteration's adoption pass may have read `dirty` before
+            // the injector push became visible — the acquire above
+            // makes it visible, so adopt once more before swapping.
+            adopt(&set, &mut conns);
+            let cmd = shared
+                .reload
                 .lock()
-                .expect("pool injector mutex poisoned")
-                .drain(..)
+                .expect("pool reload mutex poisoned")
+                .take()
+                .expect("reload flag set without a command");
+            // Conditions are matched across revisions by name; all of
+            // this worker's monitors share one old set, so the map is
+            // computed once.
+            let map: Vec<Option<usize>> = (0..set.len())
+                .map(|ci| cmd.set.index_of(set.name(ci)))
                 .collect();
-            for nc in adopted {
-                let mut mon = Monitor::from_compiled(Arc::clone(set), &nc.start)
-                    .with_metrics_shard(Arc::clone(shard));
-                if let Some(h) = horizon {
-                    mon = mon.with_predictor(h);
-                }
-                conns.push(Conn {
-                    stream: nc.stream,
-                    rx: nc.rx,
-                    ctl: nc.ctl,
-                    lag: nc.lag,
-                    mon,
-                });
-                did_work = true;
+            let mut streams = 0usize;
+            let mut carried = 0usize;
+            let mut dropped = Vec::new();
+            for conn in &mut conns {
+                let rep = conn.mon.swap_compiled(Arc::clone(&cmd.set), &map);
+                streams += 1;
+                carried += rep.carried;
+                dropped.extend(
+                    rep.dropped
+                        .into_iter()
+                        .map(|(name, ob)| (conn.stream, name, ob)),
+                );
             }
+            set = cmd.set;
+            let mut st = cmd
+                .gather
+                .state
+                .lock()
+                .expect("pool reload gather mutex poisoned");
+            st.streams += streams;
+            st.carried += carried;
+            st.dropped.extend(dropped);
+            st.pending -= 1;
+            cmd.gather.cv.notify_all();
+            did_work = true;
         }
         let shutting_down = shared.shutdown.load(Ordering::Acquire);
         // Round-robin over the adopted streams: one batched drain each,
@@ -981,6 +1164,83 @@ mod tests {
         let report = pool.shutdown();
         assert!(report.streams[0].failed);
         assert_eq!(report.metrics.failed_streams, 1);
+    }
+
+    #[test]
+    fn reload_swaps_live_streams_and_carries_obligations() {
+        let config = PoolConfig {
+            workers: 2,
+            ..PoolConfig::default()
+        };
+        // `cond()` opens a deadline at t=0 (start trigger in state 0).
+        let mut pool = MonitorPool::new(&[cond()], config);
+        let mut h0 = pool.open_stream(0u8);
+        let mut h1 = pool.open_stream(0u8);
+        h0.send("noise", Rat::from(1), 1).unwrap();
+        h1.send("noise", Rat::from(1), 1).unwrap();
+
+        // The new revision keeps C (so its open deadline at 10 carries,
+        // absolute) and drops nothing; it also adds a condition D that
+        // triggers on "late" with a tight bound.
+        let d: TimingCondition<u8, &'static str> =
+            TimingCondition::new("D", Interval::closed(Rat::ZERO, Rat::ONE).unwrap())
+                .triggered_by_step(|_, a, _| *a == "late")
+                .on_actions(|a| *a == "serve");
+        let report = pool.reload(&[cond(), d]);
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.streams, 2);
+        // One Upper obligation per stream carried (lower window at 2 is
+        // also still open at t=1, so two obligations per stream).
+        assert_eq!(report.carried, 4);
+        assert!(report.dropped.is_empty());
+
+        // Stream 0 serves the carried deadline in time; stream 1 lets
+        // it lapse — under the *old* absolute deadline of 10.
+        h0.send("fire", Rat::from(9), 1).unwrap();
+        h1.send("noise", Rat::from(11), 1).unwrap();
+        // The new condition D is live post-swap on both streams.
+        h0.send("late", Rat::from(12), 1).unwrap();
+        h0.send("noise", Rat::from(20), 1).unwrap();
+        drop(h0);
+        drop(h1);
+        let report = pool.shutdown();
+        let s0 = &report.streams[0];
+        let s1 = &report.streams[1];
+        assert_eq!(s0.events, 4, "no event was dropped across the swap");
+        assert_eq!(s1.events, 2);
+        let v0: Vec<&str> = s0.violations.iter().map(|v| v.condition.as_str()).collect();
+        assert_eq!(v0, vec!["D"], "the added condition is enforced");
+        let v1: Vec<&str> = s1.violations.iter().map(|v| v.condition.as_str()).collect();
+        assert_eq!(v1, vec!["C"], "the carried deadline still fires");
+    }
+
+    #[test]
+    fn reload_drops_removed_conditions_and_reports_them() {
+        let config = PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        };
+        let mut pool = MonitorPool::new(&[cond()], config);
+        let mut h = pool.open_stream(0u8);
+        h.send("noise", Rat::from(1), 1).unwrap();
+        // Give the worker a moment to drain so the obligations exist
+        // worker-side before the swap (reload itself synchronizes).
+        let replacement: TimingCondition<u8, &'static str> =
+            TimingCondition::new("Z", Interval::closed(Rat::ZERO, Rat::from(99)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "serve");
+        let report = pool.reload(&[replacement]);
+        assert_eq!(report.streams, 1);
+        assert_eq!(report.carried, 0);
+        assert_eq!(report.dropped.len(), 2, "lower window + deadline of C");
+        assert!(report
+            .dropped
+            .iter()
+            .all(|(s, name, _)| *s == 0 && name == "C"));
+        // C is gone: sailing past its old deadline violates nothing.
+        h.send("noise", Rat::from(50), 1).unwrap();
+        h.finish();
+        assert!(pool.shutdown().passed());
     }
 
     #[test]

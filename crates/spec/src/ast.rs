@@ -1,0 +1,456 @@
+//! The `.tspec` abstract syntax tree.
+//!
+//! Every node carries the [`Span`]s needed for diagnostics, but
+//! **structural equality ignores them**: `PartialEq` is hand-written to
+//! compare shape and names only, so the round-trip property
+//! `parse(pretty(spec)) == spec` holds even though pretty-printing
+//! moves every token.
+
+use tempo_core::ActionSet;
+use tempo_math::Rat;
+
+use crate::span::{Diagnostic, Span};
+
+/// An identifier with its source location. Equality is on the text.
+#[derive(Clone, Debug, Eq)]
+pub struct Ident {
+    /// The identifier's spelling.
+    pub text: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Ident) -> bool {
+        self.text == other.text
+    }
+}
+
+/// A whole `.tspec` file: `spec NAME;` followed by metadata, an
+/// optional action declaration, and the named conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spec {
+    /// The spec's name (`spec NAME;`).
+    pub name: Ident,
+    /// `meta KEY "VALUE";` entries, in source order.
+    pub meta: Vec<Meta>,
+    /// The optional `actions A, B, C;` declaration.
+    pub actions: Option<ActionsDecl>,
+    /// The named timing conditions, in source order.
+    pub conds: Vec<CondDecl>,
+}
+
+/// One `meta KEY "VALUE";` entry.
+#[derive(Clone, Debug, Eq)]
+pub struct Meta {
+    /// The metadata key.
+    pub key: Ident,
+    /// The (unescaped) metadata value.
+    pub value: String,
+    /// The whole entry.
+    pub span: Span,
+}
+
+impl PartialEq for Meta {
+    fn eq(&self, other: &Meta) -> bool {
+        self.key == other.key && self.value == other.value
+    }
+}
+
+/// An `actions A, B, C;` declaration: the spec's action vocabulary.
+/// When present, the [`check`](crate::check) pass rejects set
+/// expressions mentioning undeclared actions and warns about declared
+/// actions no condition uses.
+#[derive(Clone, Debug, Eq)]
+pub struct ActionsDecl {
+    /// The declared action names.
+    pub names: Vec<Ident>,
+    /// The whole declaration.
+    pub span: Span,
+}
+
+impl PartialEq for ActionsDecl {
+    fn eq(&self, other: &ActionsDecl) -> bool {
+        self.names == other.names
+    }
+}
+
+/// One `cond NAME { ... }` declaration — the textual form of a
+/// [`TimingCondition`](tempo_core::TimingCondition).
+#[derive(Clone, Debug, Eq)]
+pub struct CondDecl {
+    /// The condition's name.
+    pub name: Ident,
+    /// `trigger at start [when ...];` — the `T_start` component.
+    pub start: Option<StartTrigger>,
+    /// `trigger on EXPR [when ...];` — the `T_step` component.
+    pub step: Option<StepTrigger>,
+    /// `pi EXPR;` — the bounded action set `Π` (empty if absent).
+    pub pi: Option<SetExpr>,
+    /// `disable on EXPR;` / `disable when PRED;` — the disabling set.
+    pub disable: Option<DisableClause>,
+    /// `bounds [b_l, b_u];` — mandatory.
+    pub bounds: BoundsClause,
+    /// The whole declaration.
+    pub span: Span,
+}
+
+impl PartialEq for CondDecl {
+    fn eq(&self, other: &CondDecl) -> bool {
+        self.name == other.name
+            && self.start == other.start
+            && self.step == other.step
+            && self.pi == other.pi
+            && self.disable == other.disable
+            && self.bounds == other.bounds
+    }
+}
+
+/// `trigger at start;`, optionally restricted to start states
+/// satisfying a bound predicate: `trigger at start when [not] P;`.
+#[derive(Clone, Debug, Eq)]
+pub struct StartTrigger {
+    /// The optional state-predicate restriction.
+    pub when: Option<PredRef>,
+    /// The whole clause.
+    pub span: Span,
+}
+
+impl PartialEq for StartTrigger {
+    fn eq(&self, other: &StartTrigger) -> bool {
+        self.when == other.when
+    }
+}
+
+/// `trigger on EXPR;`, optionally guarded by a state predicate on the
+/// step's pre- or post-state: `trigger on EXPR when pre [not] P;`.
+///
+/// Without a guard the trigger is a pure action set and lowers to the
+/// engine's declarative dispatch tables; with one it lowers to the
+/// exact step closure `set.contains(a) && pred(state)`.
+#[derive(Clone, Debug, Eq)]
+pub struct StepTrigger {
+    /// The triggering action set.
+    pub expr: SetExpr,
+    /// The optional pre/post state guard.
+    pub when: Option<StepWhen>,
+    /// The whole clause.
+    pub span: Span,
+}
+
+impl PartialEq for StepTrigger {
+    fn eq(&self, other: &StepTrigger) -> bool {
+        self.expr == other.expr && self.when == other.when
+    }
+}
+
+/// The state guard of a [`StepTrigger`]: which end of the step it
+/// reads, and the (possibly negated) named predicate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepWhen {
+    /// Whether the guard reads the step's pre- or post-state.
+    pub at: WhenState,
+    /// The named predicate.
+    pub pred: PredRef,
+}
+
+/// Which end of a step a [`StepWhen`] guard reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WhenState {
+    /// The state before the action.
+    Pre,
+    /// The state after the action.
+    Post,
+}
+
+/// A (possibly negated) reference to a named state predicate, resolved
+/// at lowering time through the host's [`Binder`](crate::Binder).
+#[derive(Clone, Debug, Eq)]
+pub struct PredRef {
+    /// `true` for `not P`.
+    pub negated: bool,
+    /// The predicate's name.
+    pub name: Ident,
+}
+
+impl PartialEq for PredRef {
+    fn eq(&self, other: &PredRef) -> bool {
+        self.negated == other.negated && self.name == other.name
+    }
+}
+
+/// The disabling clause of a condition.
+#[derive(Clone, Debug, Eq)]
+pub enum DisableClause {
+    /// `disable on EXPR;` — suspension by *action* membership.
+    On(SetExpr, Span),
+    /// `disable when [not] P;` — suspension by a state predicate on the
+    /// post-state.
+    When(PredRef, Span),
+}
+
+impl DisableClause {
+    /// The whole clause's span.
+    pub fn span(&self) -> Span {
+        match self {
+            DisableClause::On(_, sp) | DisableClause::When(_, sp) => *sp,
+        }
+    }
+}
+
+impl PartialEq for DisableClause {
+    fn eq(&self, other: &DisableClause) -> bool {
+        match (self, other) {
+            (DisableClause::On(a, _), DisableClause::On(b, _)) => a == b,
+            (DisableClause::When(a, _), DisableClause::When(b, _)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// `bounds [b_l, b_u];` — a rational lower bound and a rational or
+/// infinite upper bound.
+#[derive(Clone, Debug, Eq)]
+pub struct BoundsClause {
+    /// The lower bound `b_l`.
+    pub lo: RatLit,
+    /// The upper bound `b_u` (possibly `inf`).
+    pub hi: BoundLit,
+    /// The whole clause.
+    pub span: Span,
+}
+
+impl PartialEq for BoundsClause {
+    fn eq(&self, other: &BoundsClause) -> bool {
+        self.lo == other.lo && self.hi == other.hi
+    }
+}
+
+/// A nonnegative rational literal, `a` or `a/b`.
+#[derive(Clone, Copy, Debug, Eq)]
+pub struct RatLit {
+    /// The parsed value.
+    pub value: Rat,
+    /// Where the literal appeared.
+    pub span: Span,
+}
+
+impl PartialEq for RatLit {
+    fn eq(&self, other: &RatLit) -> bool {
+        self.value == other.value
+    }
+}
+
+/// An upper bound: a finite rational or `inf`.
+#[derive(Clone, Copy, Debug, Eq)]
+pub enum BoundLit {
+    /// A finite upper bound.
+    Finite(RatLit),
+    /// No upper bound (`inf`).
+    Inf(Span),
+}
+
+impl PartialEq for BoundLit {
+    fn eq(&self, other: &BoundLit) -> bool {
+        match (self, other) {
+            (BoundLit::Finite(a), BoundLit::Finite(b)) => a == b,
+            (BoundLit::Inf(_), BoundLit::Inf(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// An action-set expression: literals, `any`, `none`, unions and
+/// complements. Closed under evaluation to the engine's two-shape
+/// [`ActionSet`] (a list, or the complement of one).
+#[derive(Clone, Debug, Eq)]
+pub enum SetExpr {
+    /// A single action literal.
+    Action(Ident),
+    /// Every action.
+    Any(Span),
+    /// No action.
+    None(Span),
+    /// Complement: `not EXPR`.
+    Not(Span, Box<SetExpr>),
+    /// Union: `EXPR | EXPR`.
+    Union(Box<SetExpr>, Box<SetExpr>),
+}
+
+impl PartialEq for SetExpr {
+    fn eq(&self, other: &SetExpr) -> bool {
+        match (self, other) {
+            (SetExpr::Action(a), SetExpr::Action(b)) => a == b,
+            (SetExpr::Any(_), SetExpr::Any(_)) | (SetExpr::None(_), SetExpr::None(_)) => true,
+            (SetExpr::Not(_, a), SetExpr::Not(_, b)) => a == b,
+            (SetExpr::Union(a1, a2), SetExpr::Union(b1, b2)) => a1 == b1 && a2 == b2,
+            _ => false,
+        }
+    }
+}
+
+impl SetExpr {
+    /// The expression's full source span.
+    pub fn span(&self) -> Span {
+        match self {
+            SetExpr::Action(id) => id.span,
+            SetExpr::Any(sp) | SetExpr::None(sp) => *sp,
+            SetExpr::Not(sp, e) => sp.to(e.span()),
+            SetExpr::Union(a, b) => a.span().to(b.span()),
+        }
+    }
+
+    /// Every action literal in the expression, in source order.
+    pub fn literals(&self) -> Vec<&Ident> {
+        let mut out = Vec::new();
+        self.collect_literals(&mut out);
+        out
+    }
+
+    fn collect_literals<'e>(&'e self, out: &mut Vec<&'e Ident>) {
+        match self {
+            SetExpr::Action(id) => out.push(id),
+            SetExpr::Any(_) | SetExpr::None(_) => {}
+            SetExpr::Not(_, e) => e.collect_literals(out),
+            SetExpr::Union(a, b) => {
+                a.collect_literals(out);
+                b.collect_literals(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression to a concrete [`ActionSet`], resolving
+    /// each literal through `resolve`. The set algebra is closed over
+    /// the two representations:
+    ///
+    /// * `¬Of(v) = AllExcept(v)`, `¬AllExcept(v) = Of(v)`;
+    /// * `Of(a) ∪ Of(b) = Of(a ∪ b)`;
+    /// * `Of(a) ∪ AllExcept(b) = AllExcept(b ∖ a)`;
+    /// * `AllExcept(a) ∪ AllExcept(b) = AllExcept(a ∩ b)`.
+    pub fn eval_with<A, F>(&self, resolve: &F) -> Result<ActionSet<A>, Diagnostic>
+    where
+        A: Clone + PartialEq,
+        F: Fn(&Ident) -> Result<A, Diagnostic>,
+    {
+        match self {
+            SetExpr::Action(id) => Ok(ActionSet::only(resolve(id)?)),
+            SetExpr::Any(_) => Ok(ActionSet::all()),
+            SetExpr::None(_) => Ok(ActionSet::empty()),
+            SetExpr::Not(_, e) => Ok(match e.eval_with(resolve)? {
+                ActionSet::Of(v) => ActionSet::AllExcept(v),
+                ActionSet::AllExcept(v) => ActionSet::Of(v),
+            }),
+            SetExpr::Union(l, r) => {
+                let (l, r) = (l.eval_with(resolve)?, r.eval_with(resolve)?);
+                Ok(match (l, r) {
+                    (ActionSet::Of(mut a), ActionSet::Of(b)) => {
+                        for x in b {
+                            if !a.contains(&x) {
+                                a.push(x);
+                            }
+                        }
+                        ActionSet::Of(a)
+                    }
+                    (ActionSet::Of(a), ActionSet::AllExcept(mut b))
+                    | (ActionSet::AllExcept(mut b), ActionSet::Of(a)) => {
+                        b.retain(|x| !a.contains(x));
+                        ActionSet::AllExcept(b)
+                    }
+                    (ActionSet::AllExcept(mut a), ActionSet::AllExcept(b)) => {
+                        a.retain(|x| b.contains(x));
+                        ActionSet::AllExcept(a)
+                    }
+                })
+            }
+        }
+    }
+
+    /// The expression's *abstract* value over action names — the
+    /// binder-free evaluation the [`check`](crate::check) pass uses for
+    /// static emptiness and membership questions.
+    pub fn abstract_set(&self) -> ActionSet<String> {
+        self.eval_with(&|id: &Ident| Ok::<_, Diagnostic>(id.text.clone()))
+            .expect("name resolution is infallible")
+    }
+
+    /// `true` when the expression denotes the empty set for every
+    /// possible binding (an `Of` shape with no members; complements are
+    /// conservatively nonempty).
+    pub fn is_statically_empty(&self) -> bool {
+        matches!(self.abstract_set(), ActionSet::Of(v) if v.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(text: &str) -> Ident {
+        Ident {
+            text: text.to_string(),
+            span: Span::default(),
+        }
+    }
+
+    fn act(text: &str) -> SetExpr {
+        SetExpr::Action(id(text))
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = SetExpr::Action(Ident {
+            text: "GO".into(),
+            span: Span::new(3, 5),
+        });
+        let b = SetExpr::Action(Ident {
+            text: "GO".into(),
+            span: Span::new(40, 42),
+        });
+        assert_eq!(a, b);
+        assert_ne!(a, act("STOP"));
+        assert_eq!(
+            BoundLit::Inf(Span::new(1, 2)),
+            BoundLit::Inf(Span::new(9, 9))
+        );
+    }
+
+    #[test]
+    fn set_algebra_is_closed() {
+        let u = SetExpr::Union(Box::new(act("A")), Box::new(act("B")));
+        assert_eq!(u.abstract_set(), ActionSet::of(["A".into(), "B".into()]));
+
+        // ¬(A | B) = AllExcept[A, B]
+        let n = SetExpr::Not(Span::default(), Box::new(u.clone()));
+        assert_eq!(
+            n.abstract_set(),
+            ActionSet::all_except(["A".into(), "B".into()])
+        );
+
+        // ¬(A|B) ∪ A = AllExcept[B]
+        let mixed = SetExpr::Union(Box::new(n.clone()), Box::new(act("A")));
+        assert_eq!(mixed.abstract_set(), ActionSet::all_except(["B".into()]));
+
+        // ¬(A|B) ∪ ¬(B|C) = AllExcept[B]
+        let u2 = SetExpr::Union(Box::new(act("B")), Box::new(act("C")));
+        let n2 = SetExpr::Not(Span::default(), Box::new(u2));
+        let inter = SetExpr::Union(Box::new(n), Box::new(n2));
+        assert_eq!(inter.abstract_set(), ActionSet::all_except(["B".into()]));
+
+        // Membership sanity against the expression semantics.
+        assert!(!inter.abstract_set().contains(&"B".to_string()));
+        assert!(inter.abstract_set().contains(&"A".to_string()));
+        assert!(inter.abstract_set().contains(&"Z".to_string()));
+    }
+
+    #[test]
+    fn emptiness_and_literals() {
+        assert!(SetExpr::None(Span::default()).is_statically_empty());
+        assert!(!SetExpr::Any(Span::default()).is_statically_empty());
+        let dup = SetExpr::Union(Box::new(act("A")), Box::new(act("A")));
+        assert_eq!(dup.abstract_set(), ActionSet::of(["A".into()]));
+        assert_eq!(dup.literals().len(), 2);
+        // not any = none
+        let none = SetExpr::Not(Span::default(), Box::new(SetExpr::Any(Span::default())));
+        assert!(none.is_statically_empty());
+    }
+}

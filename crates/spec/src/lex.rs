@@ -1,0 +1,236 @@
+//! The hand-written `.tspec` lexer.
+//!
+//! Tokens carry their [`Span`]; keywords are not distinguished here —
+//! the parser matches identifier text, so the token stream stays small.
+
+use crate::span::{Diagnostic, Span};
+
+/// The kinds of `.tspec` token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`spec`, `cond`, `REQUEST`, ...).
+    Ident,
+    /// An unsigned decimal integer.
+    Int,
+    /// A double-quoted string (the stored text is unescaped).
+    Str,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `|`
+    Pipe,
+    /// `/`
+    Slash,
+    /// End of input (always the last token).
+    Eof,
+}
+
+/// One lexed token: kind, source span, and (for identifiers, integers
+/// and strings) its text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's text: identifier/integer spelling, unescaped string
+    /// contents; empty for punctuation.
+    pub text: String,
+    /// Where the token sits in the source.
+    pub span: Span,
+}
+
+/// Lexes `src` into tokens (always ending with [`TokKind::Eof`]).
+///
+/// `#` starts a comment running to end of line. Errors (stray
+/// characters, unterminated strings) are collected with their spans;
+/// lexing continues past them so one bad character yields one
+/// diagnostic, not a cascade.
+pub fn lex(src: &str) -> Result<Vec<Tok>, Vec<Diagnostic>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut errs = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                // Identifiers may continue with `-` (but not start with
+                // it): system action names like `T-SETFLAG_0` and
+                // condition names like `SERVE-WHILE-WORKABLE` are
+                // single tokens. No minus operator exists to collide
+                // with — bounds are nonnegative rationals.
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+                {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Int,
+                    text: src[start..i].to_string(),
+                    span: Span::new(start, i),
+                });
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut text = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            // Only the two escapes the pretty-printer
+                            // emits: \" and \\.
+                            text.push(bytes[i + 1] as char);
+                            i += 2;
+                        }
+                        b'\n' => break,
+                        c => {
+                            text.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                if closed {
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    errs.push(Diagnostic::error(
+                        "unterminated-string",
+                        Span::new(start, i),
+                        "unterminated string literal",
+                    ));
+                }
+            }
+            _ => {
+                let kind = match b {
+                    b'{' => Some(TokKind::LBrace),
+                    b'}' => Some(TokKind::RBrace),
+                    b'[' => Some(TokKind::LBrack),
+                    b']' => Some(TokKind::RBrack),
+                    b'(' => Some(TokKind::LParen),
+                    b')' => Some(TokKind::RParen),
+                    b',' => Some(TokKind::Comma),
+                    b';' => Some(TokKind::Semi),
+                    b'|' => Some(TokKind::Pipe),
+                    b'/' => Some(TokKind::Slash),
+                    _ => None,
+                };
+                match kind {
+                    Some(kind) => toks.push(Tok {
+                        kind,
+                        text: String::new(),
+                        span: Span::new(i, i + 1),
+                    }),
+                    None => errs.push(Diagnostic::error(
+                        "stray-char",
+                        Span::new(i, i + 1),
+                        format!("unexpected character `{}`", b as char),
+                    )),
+                }
+                i += 1;
+            }
+        }
+    }
+    toks.push(Tok {
+        kind: TokKind::Eof,
+        text: String::new(),
+        span: Span::new(src.len(), src.len()),
+    });
+    if errs.is_empty() {
+        Ok(toks)
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_grammar_tokens() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("cond C { bounds [1/2, 7]; } # tail"),
+            vec![
+                Ident, Ident, LBrace, Ident, LBrack, Int, Slash, Int, Comma, Int, RBrack, Semi,
+                RBrace, Eof
+            ]
+        );
+        let toks = lex("meta k \"a \\\"b\\\\\";").unwrap();
+        assert_eq!(toks[2].kind, TokKind::Str);
+        assert_eq!(toks[2].text, "a \"b\\");
+    }
+
+    #[test]
+    fn hyphens_join_identifiers_but_cannot_start_them() {
+        let toks = lex("SERVE-WHILE-WORKABLE T-SETFLAG_0").unwrap();
+        assert_eq!(toks[0].text, "SERVE-WHILE-WORKABLE");
+        assert_eq!(toks[1].text, "T-SETFLAG_0");
+        assert_eq!(toks[2].kind, TokKind::Eof);
+        let errs = lex("-LEADING").unwrap_err();
+        assert_eq!(errs[0].code, "stray-char");
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let toks = lex("spec S;").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 4));
+        assert_eq!(toks[1].span, Span::new(5, 6));
+        assert_eq!(toks[2].span, Span::new(6, 7));
+        assert_eq!(toks[3].span, Span::new(7, 7)); // Eof
+    }
+
+    #[test]
+    fn errors_carry_spans_and_do_not_cascade() {
+        let errs = lex("spec @ S; %").unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].code, "stray-char");
+        assert_eq!(errs[0].span, Span::new(5, 6));
+        assert_eq!(errs[1].span, Span::new(10, 11));
+        let errs = lex("meta k \"open").unwrap_err();
+        assert_eq!(errs[0].code, "unterminated-string");
+    }
+}

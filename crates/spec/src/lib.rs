@@ -1,0 +1,64 @@
+//! `tempo-spec` — the `.tspec` timing-condition language.
+//!
+//! The engine crates build timing conditions `(T, b) ~> (Π, S)` in
+//! Rust. This crate adds a small textual surface for the same objects:
+//! a hand-written lexer and recursive-descent parser for `.tspec`
+//! files, a span-carrying diagnostics pass, a lowering onto the
+//! declarative [`TimingCondition`](tempo_core::TimingCondition)
+//! builders, and [`SpecRevision`] — the compiled unit a monitor pool
+//! hot-swaps at runtime.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tempo_spec::{MapBinder, SpecRevision};
+//!
+//! let src = r#"
+//! spec request_manager;
+//! meta paper "Lynch & Attiya, section 4";
+//! actions REQUEST, GRANT;
+//!
+//! cond RESPONSE {
+//!     trigger on REQUEST;   # opening events
+//!     pi GRANT;             # events that serve the bound
+//!     bounds [1, 10];       # b_l = 1, b_u = 10
+//! }
+//! "#;
+//!
+//! // The binder maps spec names onto host actions (and, for guarded
+//! // clauses, host state predicates). Here actions are plain strings.
+//! let binder: MapBinder<(), String> = MapBinder::new(|name| Some(name.to_string()));
+//! let rev = SpecRevision::compile(src, &binder).expect("spec compiles");
+//! assert_eq!(rev.name(), "request_manager");
+//! assert_eq!(rev.compiled().name(0), "RESPONSE");
+//! ```
+//!
+//! # Pipeline
+//!
+//! [`parse`] → [`check`] → [`lower`] → compiled set, with
+//! [`SpecRevision::compile`] running all four. Every stage reports
+//! [`Diagnostic`]s carrying byte [`Span`]s into the source; `check`
+//! warnings (contradictory bounds, vacuous conditions, duplicate
+//! names, unused actions) ride along on the revision, while
+//! error-severity findings at any stage abort compilation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod ast;
+mod check;
+mod lex;
+mod lower;
+mod parse;
+mod pretty;
+mod revision;
+mod span;
+
+pub use ast::Spec;
+pub use check::check;
+pub use lex::{lex, Tok, TokKind};
+pub use lower::{compile, lower, Binder, MapBinder, StatePred};
+pub use parse::{parse, RESERVED};
+pub use pretty::pretty;
+pub use revision::{lint, SpecRevision};
+pub use span::{Diagnostic, Severity, Span};

@@ -1,0 +1,401 @@
+//! Lowering a parsed [`Spec`] onto the engine's declarative
+//! [`TimingCondition`] builders.
+//!
+//! Action names resolve to host actions and `when` predicates to host
+//! state predicates through a [`Binder`]; everything expressible as
+//! pure action sets lowers declaratively (and so compiles into
+//! [`CompiledConditionSet`]'s per-action dispatch tables), while
+//! `when`-guarded clauses lower to the exact opaque closures a
+//! hand-written condition would use — pointwise equal behaviour either
+//! way.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use tempo_core::engine::CompiledConditionSet;
+use tempo_core::{ActionSet, TimingCondition};
+use tempo_math::{Interval, TimeVal};
+
+use crate::ast::{BoundLit, CondDecl, DisableClause, Ident, PredRef, Spec, WhenState};
+use crate::span::Diagnostic;
+
+/// A shared, thread-safe state predicate, as the engine stores them.
+pub type StatePred<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// A boxed name → action resolver, as [`MapBinder`] stores it.
+type ActionFn<A> = Box<dyn Fn(&str) -> Option<A> + Send + Sync>;
+
+/// Resolves a spec's names to a host system's actions and state
+/// predicates.
+///
+/// `.tspec` files are host-agnostic text; the binder is the one piece
+/// of Rust the host supplies at lowering time. [`MapBinder`] covers the
+/// common case (a name → action function plus a table of named
+/// predicates).
+pub trait Binder<S, A> {
+    /// The host action named `name`, or `None` if unknown (lowering
+    /// reports an `unknown-action` error at the literal's span).
+    fn action(&self, name: &str) -> Option<A>;
+
+    /// The host state predicate named `name`, or `None` if unknown
+    /// (lowering reports an `unknown-pred` error at the reference's
+    /// span). The default binder knows no predicates.
+    fn state_pred(&self, name: &str) -> Option<StatePred<S>> {
+        let _ = name;
+        None
+    }
+}
+
+/// The workhorse [`Binder`]: a name → action function plus a list of
+/// named state predicates.
+///
+/// ```
+/// use tempo_spec::MapBinder;
+///
+/// // String-actioned systems bind names to themselves.
+/// let binder: MapBinder<u32, String> = MapBinder::new(|name| Some(name.to_string()))
+///     .pred("past_ten", |s: &u32| *s > 10);
+/// ```
+pub struct MapBinder<S, A> {
+    action: ActionFn<A>,
+    preds: Vec<(String, StatePred<S>)>,
+}
+
+impl<S, A> MapBinder<S, A> {
+    /// A binder resolving actions through `action` and (so far) no
+    /// predicates.
+    pub fn new(action: impl Fn(&str) -> Option<A> + Send + Sync + 'static) -> MapBinder<S, A> {
+        MapBinder {
+            action: Box::new(action),
+            preds: Vec::new(),
+        }
+    }
+
+    /// Adds a named state predicate.
+    pub fn pred(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> MapBinder<S, A> {
+        self.preds.push((name.into(), Arc::new(f)));
+        self
+    }
+}
+
+impl<S, A> Binder<S, A> for MapBinder<S, A> {
+    fn action(&self, name: &str) -> Option<A> {
+        (self.action)(name)
+    }
+
+    fn state_pred(&self, name: &str) -> Option<StatePred<S>> {
+        self.preds
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| Arc::clone(p))
+    }
+}
+
+/// Lowers every condition of `spec` onto [`TimingCondition`]s, in
+/// declaration order, resolving names through `binder`.
+///
+/// Errors are collected across *all* conditions (`unknown-action`,
+/// `unknown-pred`, `bad-bounds`), each at its source span, so one pass
+/// reports everything wrong rather than the first problem only.
+pub fn lower<S, A, B>(
+    spec: &Spec,
+    binder: &B,
+) -> Result<Vec<TimingCondition<S, A>>, Vec<Diagnostic>>
+where
+    S: 'static,
+    A: Clone + PartialEq + Send + Sync + 'static,
+    B: Binder<S, A>,
+{
+    let mut conds = Vec::new();
+    let mut errs = Vec::new();
+    for decl in &spec.conds {
+        match lower_cond(decl, binder, &mut errs) {
+            Some(c) => conds.push(c),
+            None => debug_assert!(!errs.is_empty()),
+        }
+    }
+    if errs.is_empty() {
+        Ok(conds)
+    } else {
+        Err(errs)
+    }
+}
+
+/// [`lower`] followed by [`CompiledConditionSet::new`] — the one-call
+/// path from a parsed spec to a running engine.
+pub fn compile<S, A, B>(
+    spec: &Spec,
+    binder: &B,
+) -> Result<CompiledConditionSet<S, A>, Vec<Diagnostic>>
+where
+    S: 'static,
+    A: Clone + Eq + Hash + Send + Sync + 'static,
+    B: Binder<S, A>,
+{
+    Ok(CompiledConditionSet::new(&lower(spec, binder)?))
+}
+
+fn lower_cond<S, A, B>(
+    decl: &CondDecl,
+    binder: &B,
+    errs: &mut Vec<Diagnostic>,
+) -> Option<TimingCondition<S, A>>
+where
+    S: 'static,
+    A: Clone + PartialEq + Send + Sync + 'static,
+    B: Binder<S, A>,
+{
+    let before = errs.len();
+
+    let bounds = match decl.bounds.hi {
+        BoundLit::Inf(_) => Some(Interval::unbounded_above(decl.bounds.lo.value)),
+        BoundLit::Finite(hi) => {
+            match Interval::new(decl.bounds.lo.value, TimeVal::from(hi.value)) {
+                Ok(iv) => Some(iv),
+                Err(e) => {
+                    errs.push(Diagnostic::error(
+                        "bad-bounds",
+                        decl.bounds.span,
+                        format!("bounds do not form a valid interval: {e}"),
+                    ));
+                    None
+                }
+            }
+        }
+    };
+
+    let resolve = |id: &Ident| {
+        binder.action(&id.text).ok_or_else(|| {
+            Diagnostic::error(
+                "unknown-action",
+                id.span,
+                format!("the binder knows no action named `{}`", id.text),
+            )
+        })
+    };
+    let eval =
+        |expr: &crate::ast::SetExpr, errs: &mut Vec<Diagnostic>| match expr.eval_with(&resolve) {
+            Ok(set) => Some(set),
+            Err(d) => {
+                errs.push(d);
+                None
+            }
+        };
+
+    let step = match &decl.step {
+        None => None,
+        Some(t) => {
+            let set = eval(&t.expr, errs);
+            let when = match &t.when {
+                None => None,
+                Some(w) => pred_of(binder, &w.pred, errs).map(|p| (w.at, p)),
+            };
+            Some((set, when))
+        }
+    };
+    let pi = decl.pi.as_ref().and_then(|e| eval(e, errs));
+    let disable = match &decl.disable {
+        None => None,
+        Some(DisableClause::On(expr, _)) => eval(expr, errs).map(DisableLowered::Actions),
+        Some(DisableClause::When(p, _)) => pred_of(binder, p, errs).map(DisableLowered::State),
+    };
+    let start = match &decl.start {
+        None => None,
+        Some(st) => match &st.when {
+            None => Some(None),
+            Some(p) => pred_of(binder, p, errs).map(Some),
+        },
+    };
+
+    if errs.len() > before {
+        return None;
+    }
+
+    let mut cond: TimingCondition<S, A> = TimingCondition::new(&decl.name.text, bounds?);
+    match start {
+        None => {}
+        Some(None) => cond = cond.triggered_at_start(|_| true),
+        Some(Some(p)) => cond = cond.triggered_at_start(move |s| p(s)),
+    }
+    match step {
+        None => {}
+        Some((set, None)) => cond = cond.triggered_by_actions(set?),
+        Some((set, Some((at, p)))) => {
+            // A state-guarded trigger is inherently a step predicate;
+            // it takes the engine's closure-fallback path, exactly as
+            // the equivalent hand-written condition would.
+            let probe = set?;
+            cond = match at {
+                WhenState::Pre => {
+                    cond.triggered_by_step(move |pre, a, _| probe.contains(a) && p(pre))
+                }
+                WhenState::Post => {
+                    cond.triggered_by_step(move |_, a, post| probe.contains(a) && p(post))
+                }
+            };
+        }
+    }
+    if let Some(set) = pi {
+        cond = cond.on_action_set(set);
+    }
+    match disable {
+        None => {}
+        Some(DisableLowered::Actions(set)) => cond = cond.disabled_by_actions(set),
+        Some(DisableLowered::State(p)) => cond = cond.disabled_in(move |s| p(s)),
+    }
+    Some(cond)
+}
+
+enum DisableLowered<S, A> {
+    Actions(ActionSet<A>),
+    State(StatePred<S>),
+}
+
+/// Resolves a (possibly negated) predicate reference to a closure.
+fn pred_of<S: 'static, A, B: Binder<S, A>>(
+    binder: &B,
+    p: &PredRef,
+    errs: &mut Vec<Diagnostic>,
+) -> Option<StatePred<S>> {
+    match binder.state_pred(&p.name.text) {
+        Some(f) => {
+            if p.negated {
+                Some(Arc::new(move |s: &S| !f(s)))
+            } else {
+                Some(f)
+            }
+        }
+        None => {
+            errs.push(Diagnostic::error(
+                "unknown-pred",
+                p.name.span,
+                format!(
+                    "the binder knows no state predicate named `{}`",
+                    p.name.text
+                ),
+            ));
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use tempo_math::Rat;
+
+    fn string_binder() -> MapBinder<u32, String> {
+        MapBinder::new(|n: &str| Some(n.to_string())).pred("big", |s: &u32| *s >= 100)
+    }
+
+    #[test]
+    fn declarative_clauses_lower_to_action_sets() {
+        let spec = parse(
+            "spec s; cond C { trigger on GO | RETRY; pi not TICK; \
+             disable on FREEZE; bounds [1, 4]; }",
+        )
+        .unwrap();
+        let conds = lower::<u32, String, _>(&spec, &string_binder()).unwrap();
+        let c = &conds[0];
+        assert_eq!(c.name(), "C");
+        assert_eq!(c.lower(), Rat::ONE);
+        assert_eq!(
+            c.trigger_set(),
+            Some(&ActionSet::of(["GO".to_string(), "RETRY".to_string()]))
+        );
+        assert_eq!(
+            c.pi_set(),
+            Some(&ActionSet::all_except(["TICK".to_string()]))
+        );
+        assert_eq!(
+            c.disabling_set(),
+            Some(&ActionSet::only("FREEZE".to_string()))
+        );
+        // The compiled set needs no closure fallback for it.
+        let set = CompiledConditionSet::new(&conds);
+        let st = set.dispatch_stats();
+        assert_eq!(
+            (st.opaque_trigger, st.opaque_pi, st.opaque_disabling),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn guarded_clauses_lower_to_exact_closures() {
+        let spec = parse(
+            "spec s; cond C { trigger on GO when post not big; pi DONE; \
+             disable when big; bounds [0, 9]; }",
+        )
+        .unwrap();
+        let conds = lower::<u32, String, _>(&spec, &string_binder()).unwrap();
+        let c = &conds[0];
+        assert!(c.trigger_set().is_none(), "guarded trigger is opaque");
+        // go while post < 100 triggers; go into a big state does not.
+        assert!(c.in_t_step(&0, &"GO".to_string(), &5));
+        assert!(!c.in_t_step(&0, &"GO".to_string(), &100));
+        assert!(!c.in_t_step(&0, &"DONE".to_string(), &5));
+        assert!(c.in_disabling(&200) && !c.in_disabling(&5));
+    }
+
+    #[test]
+    fn start_trigger_with_and_without_guard() {
+        let spec = parse("spec s; cond C { trigger at start; pi DONE; bounds [0, 9]; }").unwrap();
+        let conds = lower::<u32, String, _>(&spec, &string_binder()).unwrap();
+        assert!(conds[0].in_t_start(&0) && conds[0].in_t_start(&100));
+
+        let spec =
+            parse("spec s; cond C { trigger at start when big; pi DONE; bounds [0, 9]; }").unwrap();
+        let conds = lower::<u32, String, _>(&spec, &string_binder()).unwrap();
+        assert!(!conds[0].in_t_start(&0) && conds[0].in_t_start(&100));
+    }
+
+    #[test]
+    fn unknown_names_error_at_their_spans() {
+        let src = "spec s; cond C { trigger on GO when pre tiny; pi DONE; bounds [0, 9]; }";
+        let spec = parse(src).unwrap();
+        let errs = lower::<u32, String, _>(&spec, &string_binder()).unwrap_err();
+        assert_eq!(errs[0].code, "unknown-pred");
+        assert_eq!(errs[0].span.slice(src), "tiny");
+
+        let binder: MapBinder<u32, u8> =
+            MapBinder::new(|n: &str| if n == "GO" { Some(1u8) } else { None });
+        let src = "spec s; cond C { trigger on GO; pi DONE; bounds [0, 9]; }";
+        let spec = parse(src).unwrap();
+        let errs = lower::<u32, u8, _>(&spec, &binder).unwrap_err();
+        assert_eq!(errs[0].code, "unknown-action");
+        assert_eq!(errs[0].span.slice(src), "DONE");
+    }
+
+    #[test]
+    fn invalid_bounds_fail_lowering() {
+        for src in [
+            "spec s; cond C { trigger on GO; pi D; bounds [5, 2]; }",
+            "spec s; cond C { trigger on GO; pi D; bounds [0, 0]; }",
+        ] {
+            let spec = parse(src).unwrap();
+            let errs = lower::<u32, String, _>(&spec, &string_binder()).unwrap_err();
+            assert_eq!(errs[0].code, "bad-bounds", "{src}");
+        }
+        // Unbounded above always lowers.
+        let spec = parse("spec s; cond C { trigger on GO; pi D; bounds [7, inf]; }").unwrap();
+        let conds = lower::<u32, String, _>(&spec, &string_binder()).unwrap();
+        assert_eq!(conds[0].upper(), TimeVal::INFINITY);
+    }
+
+    #[test]
+    fn errors_are_collected_across_conditions() {
+        let src = "spec s; \
+            cond A { trigger on GO when pre nope1; pi D; bounds [0, 9]; } \
+            cond B { disable when nope2; pi D; bounds [0, 9]; }";
+        let spec = parse(src).unwrap();
+        let errs = lower::<u32, String, _>(&spec, &string_binder()).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].span.slice(src), "nope1");
+        assert_eq!(errs[1].span.slice(src), "nope2");
+    }
+}

@@ -1,0 +1,693 @@
+//! The hand-written recursive-descent `.tspec` parser.
+//!
+//! Grammar (comments run `#` to end of line; `not` binds tighter than
+//! `|`):
+//!
+//! ```text
+//! spec      := "spec" IDENT ";" item*
+//! item      := meta | actions | cond
+//! meta      := "meta" IDENT STRING ";"
+//! actions   := "actions" IDENT ("," IDENT)* ";"
+//! cond      := "cond" IDENT "{" clause* "}"
+//! clause    := trigger | pi | disable | bounds
+//! trigger   := "trigger" "at" "start" ("when" pred)? ";"
+//!            | "trigger" "on" setexpr ("when" ("pre"|"post") pred)? ";"
+//! pi        := "pi" setexpr ";"
+//! disable   := "disable" ("on" setexpr | "when" pred) ";"
+//! bounds    := "bounds" "[" rat "," (rat | "inf") "]" ";"
+//! pred      := "not"? IDENT
+//! setexpr   := atom ("|" atom)*
+//! atom      := IDENT | "any" | "none" | "not" atom | "(" setexpr ")"
+//! rat       := INT ("/" INT)?
+//! ```
+//!
+//! Errors are collected with spans and recovery (skip to the next `;`
+//! or `}`), so one malformed clause yields one diagnostic and parsing
+//! continues into the rest of the file.
+
+use tempo_math::Rat;
+
+use crate::ast::*;
+use crate::lex::{lex, Tok, TokKind};
+use crate::span::{Diagnostic, Span};
+
+/// Words with grammatical meaning, refused as action or predicate
+/// names.
+pub const RESERVED: &[&str] = &[
+    "spec", "meta", "actions", "cond", "trigger", "at", "start", "on", "when", "pre", "post",
+    "not", "pi", "disable", "bounds", "inf", "any", "none",
+];
+
+/// Parses one `.tspec` source file.
+///
+/// Returns the AST, or *every* diagnostic found (never an empty error
+/// list). A successful parse is structurally complete — every condition
+/// has a bounds clause — but not yet linted: run
+/// [`check`](crate::check) for the static diagnostics pass.
+pub fn parse(src: &str) -> Result<Spec, Vec<Diagnostic>> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        diags: Vec::new(),
+    };
+    let spec = p.spec();
+    match spec {
+        Some(spec) if p.diags.is_empty() => Ok(spec),
+        _ => {
+            debug_assert!(!p.diags.is_empty());
+            Err(p.diags)
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.toks[self.pos].kind != TokKind::Eof {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        let t = self.peek();
+        t.kind == TokKind::Ident && t.text == kw
+    }
+
+    fn error(&mut self, code: &'static str, span: Span, msg: impl Into<String>) {
+        self.diags.push(Diagnostic::error(code, span, msg));
+    }
+
+    /// Consumes the next token if it has the given kind; errors
+    /// otherwise (without consuming).
+    fn expect(&mut self, kind: TokKind, what: &str) -> Option<Tok> {
+        if self.peek().kind == kind {
+            Some(self.bump())
+        } else {
+            let t = self.peek().clone();
+            self.error(
+                "parse",
+                t.span,
+                format!("expected {what}, found {}", describe(&t)),
+            );
+            None
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Option<Span> {
+        if self.at_kw(kw) {
+            Some(self.bump().span)
+        } else {
+            let t = self.peek().clone();
+            self.error(
+                "parse",
+                t.span,
+                format!("expected `{kw}`, found {}", describe(&t)),
+            );
+            None
+        }
+    }
+
+    /// An identifier usable as a *name* (action, predicate, condition):
+    /// any identifier that is not a reserved word.
+    fn name(&mut self, what: &str) -> Option<Ident> {
+        let t = self.peek().clone();
+        if t.kind != TokKind::Ident {
+            self.error(
+                "parse",
+                t.span,
+                format!("expected {what}, found {}", describe(&t)),
+            );
+            return None;
+        }
+        if RESERVED.contains(&t.text.as_str()) {
+            self.error(
+                "reserved-word",
+                t.span,
+                format!("`{}` is a reserved word and cannot name {what}", t.text),
+            );
+            return None;
+        }
+        self.bump();
+        Some(Ident {
+            text: t.text,
+            span: t.span,
+        })
+    }
+
+    /// Skips to just past the next `;`, or to a `}`/Eof — the clause-
+    /// level recovery point.
+    fn recover_clause(&mut self) {
+        loop {
+            match self.peek().kind {
+                TokKind::Semi => {
+                    self.bump();
+                    return;
+                }
+                TokKind::RBrace | TokKind::Eof => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips to the next top-level item keyword (or Eof) — the
+    /// item-level recovery point.
+    fn recover_item(&mut self) {
+        loop {
+            let t = self.peek();
+            if t.kind == TokKind::Eof {
+                return;
+            }
+            if t.kind == TokKind::Ident && matches!(t.text.as_str(), "meta" | "actions" | "cond") {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    fn spec(&mut self) -> Option<Spec> {
+        self.expect_kw("spec")?;
+        let name = self.name("the spec name")?;
+        self.expect(TokKind::Semi, "`;`")?;
+        let mut spec = Spec {
+            name,
+            meta: Vec::new(),
+            actions: None,
+            conds: Vec::new(),
+        };
+        while self.peek().kind != TokKind::Eof {
+            if self.at_kw("meta") {
+                if let Some(m) = self.meta() {
+                    spec.meta.push(m);
+                } else {
+                    self.recover_clause();
+                }
+            } else if self.at_kw("actions") {
+                match self.actions() {
+                    Some(decl) => {
+                        if spec.actions.is_some() {
+                            self.error(
+                                "duplicate-clause",
+                                decl.span,
+                                "a spec has at most one `actions` declaration",
+                            );
+                        } else {
+                            spec.actions = Some(decl);
+                        }
+                    }
+                    None => self.recover_clause(),
+                }
+            } else if self.at_kw("cond") {
+                if let Some(c) = self.cond() {
+                    spec.conds.push(c);
+                }
+            } else {
+                let t = self.peek().clone();
+                self.error(
+                    "parse",
+                    t.span,
+                    format!(
+                        "expected `meta`, `actions` or `cond`, found {}",
+                        describe(&t)
+                    ),
+                );
+                self.bump();
+                self.recover_item();
+            }
+        }
+        Some(spec)
+    }
+
+    fn meta(&mut self) -> Option<Meta> {
+        let kw = self.bump().span; // `meta`
+        let key = self.name("a metadata key")?;
+        let value = self.expect(TokKind::Str, "a quoted string")?;
+        let semi = self.expect(TokKind::Semi, "`;`")?;
+        Some(Meta {
+            key,
+            value: value.text,
+            span: kw.to(semi.span),
+        })
+    }
+
+    fn actions(&mut self) -> Option<ActionsDecl> {
+        let kw = self.bump().span; // `actions`
+        let mut names = vec![self.name("an action name")?];
+        while self.peek().kind == TokKind::Comma {
+            self.bump();
+            names.push(self.name("an action name")?);
+        }
+        let semi = self.expect(TokKind::Semi, "`;`")?;
+        Some(ActionsDecl {
+            names,
+            span: kw.to(semi.span),
+        })
+    }
+
+    fn cond(&mut self) -> Option<CondDecl> {
+        let kw = self.bump().span; // `cond`
+        let name = match self.name("the condition name") {
+            Some(n) => n,
+            None => {
+                self.recover_item();
+                return None;
+            }
+        };
+        if self.expect(TokKind::LBrace, "`{`").is_none() {
+            self.recover_item();
+            return None;
+        }
+        let mut start: Option<StartTrigger> = None;
+        let mut step: Option<StepTrigger> = None;
+        let mut pi: Option<SetExpr> = None;
+        let mut disable: Option<DisableClause> = None;
+        let mut bounds: Option<BoundsClause> = None;
+        loop {
+            match self.peek().kind {
+                TokKind::RBrace | TokKind::Eof => break,
+                _ => {}
+            }
+            if self.at_kw("trigger") {
+                match self.trigger() {
+                    Some(TriggerClause::Start(t)) => {
+                        if start.replace(t).is_some() {
+                            self.duplicate("trigger at start", name.span);
+                        }
+                    }
+                    Some(TriggerClause::Step(t)) => {
+                        if step.replace(t).is_some() {
+                            self.duplicate("trigger on", name.span);
+                        }
+                    }
+                    None => self.recover_clause(),
+                }
+            } else if self.at_kw("pi") {
+                let kw = self.bump().span;
+                match self.clause_setexpr() {
+                    Some(expr) => {
+                        if pi.replace(expr).is_some() {
+                            self.duplicate("pi", kw);
+                        }
+                    }
+                    None => self.recover_clause(),
+                }
+            } else if self.at_kw("disable") {
+                match self.disable() {
+                    Some(d) => {
+                        if disable.replace(d).is_some() {
+                            self.duplicate("disable", name.span);
+                        }
+                    }
+                    None => self.recover_clause(),
+                }
+            } else if self.at_kw("bounds") {
+                match self.bounds() {
+                    Some(b) => {
+                        if bounds.replace(b).is_some() {
+                            self.duplicate("bounds", name.span);
+                        }
+                    }
+                    None => self.recover_clause(),
+                }
+            } else {
+                let t = self.peek().clone();
+                self.error(
+                    "parse",
+                    t.span,
+                    format!(
+                        "expected `trigger`, `pi`, `disable`, `bounds` or `}}`, found {}",
+                        describe(&t)
+                    ),
+                );
+                self.recover_clause();
+            }
+        }
+        let close = self.expect(TokKind::RBrace, "`}`")?;
+        let bounds = match bounds {
+            Some(b) => b,
+            None => {
+                self.error(
+                    "missing-bounds",
+                    name.span,
+                    format!("condition `{}` has no `bounds` clause", name.text),
+                );
+                return None;
+            }
+        };
+        Some(CondDecl {
+            name,
+            start,
+            step,
+            pi,
+            disable,
+            bounds,
+            span: kw.to(close.span),
+        })
+    }
+
+    fn duplicate(&mut self, what: &str, span: Span) {
+        self.error(
+            "duplicate-clause",
+            span,
+            format!("duplicate `{what}` clause"),
+        );
+    }
+
+    fn trigger(&mut self) -> Option<TriggerClause> {
+        let kw = self.bump().span; // `trigger`
+        if self.at_kw("at") {
+            self.bump();
+            self.expect_kw("start")?;
+            let when = if self.at_kw("when") {
+                self.bump();
+                Some(self.pred()?)
+            } else {
+                None
+            };
+            let semi = self.expect(TokKind::Semi, "`;`")?;
+            Some(TriggerClause::Start(StartTrigger {
+                when,
+                span: kw.to(semi.span),
+            }))
+        } else if self.at_kw("on") {
+            self.bump();
+            let expr = self.setexpr()?;
+            let when = if self.at_kw("when") {
+                self.bump();
+                let at = if self.at_kw("pre") {
+                    self.bump();
+                    WhenState::Pre
+                } else if self.at_kw("post") {
+                    self.bump();
+                    WhenState::Post
+                } else {
+                    let t = self.peek().clone();
+                    self.error(
+                        "parse",
+                        t.span,
+                        format!("expected `pre` or `post`, found {}", describe(&t)),
+                    );
+                    return None;
+                };
+                Some(StepWhen {
+                    at,
+                    pred: self.pred()?,
+                })
+            } else {
+                None
+            };
+            let semi = self.expect(TokKind::Semi, "`;`")?;
+            Some(TriggerClause::Step(StepTrigger {
+                expr,
+                when,
+                span: kw.to(semi.span),
+            }))
+        } else {
+            let t = self.peek().clone();
+            self.error(
+                "parse",
+                t.span,
+                format!("expected `at start` or `on`, found {}", describe(&t)),
+            );
+            None
+        }
+    }
+
+    fn disable(&mut self) -> Option<DisableClause> {
+        let kw = self.bump().span; // `disable`
+        if self.at_kw("on") {
+            self.bump();
+            let expr = self.setexpr()?;
+            let semi = self.expect(TokKind::Semi, "`;`")?;
+            Some(DisableClause::On(expr, kw.to(semi.span)))
+        } else if self.at_kw("when") {
+            self.bump();
+            let pred = self.pred()?;
+            let semi = self.expect(TokKind::Semi, "`;`")?;
+            Some(DisableClause::When(pred, kw.to(semi.span)))
+        } else {
+            let t = self.peek().clone();
+            self.error(
+                "parse",
+                t.span,
+                format!("expected `on` or `when`, found {}", describe(&t)),
+            );
+            None
+        }
+    }
+
+    fn bounds(&mut self) -> Option<BoundsClause> {
+        let kw = self.bump().span; // `bounds`
+        self.expect(TokKind::LBrack, "`[`")?;
+        let lo = self.rat()?;
+        self.expect(TokKind::Comma, "`,`")?;
+        let hi = if self.at_kw("inf") {
+            BoundLit::Inf(self.bump().span)
+        } else {
+            BoundLit::Finite(self.rat()?)
+        };
+        self.expect(TokKind::RBrack, "`]`")?;
+        let semi = self.expect(TokKind::Semi, "`;`")?;
+        Some(BoundsClause {
+            lo,
+            hi,
+            span: kw.to(semi.span),
+        })
+    }
+
+    fn int(&mut self) -> Option<(i64, Span)> {
+        let t = self.expect(TokKind::Int, "an integer")?;
+        match t.text.parse::<i64>() {
+            Ok(n) => Some((n, t.span)),
+            Err(_) => {
+                self.error(
+                    "bad-rational",
+                    t.span,
+                    format!("integer `{}` does not fit in 64 bits", t.text),
+                );
+                None
+            }
+        }
+    }
+
+    fn rat(&mut self) -> Option<RatLit> {
+        let (num, span) = self.int()?;
+        if self.peek().kind == TokKind::Slash {
+            self.bump();
+            let (den, den_span) = self.int()?;
+            if den == 0 {
+                self.error("bad-rational", span.to(den_span), "denominator is zero");
+                return None;
+            }
+            Some(RatLit {
+                value: Rat::new(num.into(), den.into()),
+                span: span.to(den_span),
+            })
+        } else {
+            Some(RatLit {
+                value: Rat::from(num),
+                span,
+            })
+        }
+    }
+
+    fn pred(&mut self) -> Option<PredRef> {
+        let negated = if self.at_kw("not") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let name = self.name("a predicate name")?;
+        Some(PredRef { negated, name })
+    }
+
+    /// A set expression followed by `;` (the `pi` clause body).
+    fn clause_setexpr(&mut self) -> Option<SetExpr> {
+        let expr = self.setexpr()?;
+        self.expect(TokKind::Semi, "`;`")?;
+        Some(expr)
+    }
+
+    fn setexpr(&mut self) -> Option<SetExpr> {
+        let mut expr = self.atom()?;
+        while self.peek().kind == TokKind::Pipe {
+            self.bump();
+            let rhs = self.atom()?;
+            expr = SetExpr::Union(Box::new(expr), Box::new(rhs));
+        }
+        Some(expr)
+    }
+
+    fn atom(&mut self) -> Option<SetExpr> {
+        if self.at_kw("any") {
+            return Some(SetExpr::Any(self.bump().span));
+        }
+        if self.at_kw("none") {
+            return Some(SetExpr::None(self.bump().span));
+        }
+        if self.at_kw("not") {
+            let sp = self.bump().span;
+            let inner = self.atom()?;
+            return Some(SetExpr::Not(sp, Box::new(inner)));
+        }
+        if self.peek().kind == TokKind::LParen {
+            self.bump();
+            let expr = self.setexpr()?;
+            self.expect(TokKind::RParen, "`)`")?;
+            return Some(expr);
+        }
+        self.name("an action").map(SetExpr::Action)
+    }
+}
+
+enum TriggerClause {
+    Start(StartTrigger),
+    Step(StepTrigger),
+}
+
+fn describe(t: &Tok) -> String {
+    match t.kind {
+        TokKind::Ident => format!("`{}`", t.text),
+        TokKind::Int => format!("`{}`", t.text),
+        TokKind::Str => "a string".to_string(),
+        TokKind::LBrace => "`{`".to_string(),
+        TokKind::RBrace => "`}`".to_string(),
+        TokKind::LBrack => "`[`".to_string(),
+        TokKind::RBrack => "`]`".to_string(),
+        TokKind::LParen => "`(`".to_string(),
+        TokKind::RParen => "`)`".to_string(),
+        TokKind::Comma => "`,`".to_string(),
+        TokKind::Semi => "`;`".to_string(),
+        TokKind::Pipe => "`|`".to_string(),
+        TokKind::Slash => "`/`".to_string(),
+        TokKind::Eof => "end of input".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let src = r#"
+# A response-time requirement.
+spec demo;
+meta system "request manager";
+actions REQUEST, GRANT, TICK;
+
+cond RESPONSE {
+    trigger on REQUEST;
+    pi GRANT;
+    bounds [4, 10];
+}
+
+cond LIVE {
+    trigger at start;
+    pi not TICK;
+    disable on TICK | REQUEST;
+    bounds [0, inf];
+}
+"#;
+        let spec = parse(src).unwrap();
+        assert_eq!(spec.name.text, "demo");
+        assert_eq!(spec.meta.len(), 1);
+        assert_eq!(spec.meta[0].value, "request manager");
+        assert_eq!(spec.actions.as_ref().unwrap().names.len(), 3);
+        assert_eq!(spec.conds.len(), 2);
+        let r = &spec.conds[0];
+        assert!(r.start.is_none() && r.step.is_some());
+        assert_eq!(r.bounds.lo.value, Rat::from(4));
+        let l = &spec.conds[1];
+        assert!(l.start.is_some() && l.step.is_none());
+        assert!(matches!(l.bounds.hi, BoundLit::Inf(_)));
+        assert!(matches!(l.disable, Some(DisableClause::On(_, _))));
+    }
+
+    #[test]
+    fn parses_when_guards_and_rationals() {
+        let src = "spec s; cond C { \
+            trigger on REQUEST when post not hardened; \
+            pi SERVE; disable when hardened; bounds [1/2, 15/2]; }";
+        let spec = parse(src).unwrap();
+        let c = &spec.conds[0];
+        let step = c.step.as_ref().unwrap();
+        let w = step.when.as_ref().unwrap();
+        assert_eq!(w.at, WhenState::Post);
+        assert!(w.pred.negated);
+        assert_eq!(w.pred.name.text, "hardened");
+        assert!(matches!(c.disable, Some(DisableClause::When(ref p, _)) if !p.negated));
+        assert_eq!(c.bounds.lo.value, Rat::new(1, 2));
+    }
+
+    #[test]
+    fn missing_bounds_is_an_error_with_the_cond_span() {
+        let src = "spec s;\ncond NOPE { pi A; }";
+        let errs = parse(src).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].code, "missing-bounds");
+        assert_eq!(errs[0].span.slice(src), "NOPE");
+    }
+
+    #[test]
+    fn reserved_words_cannot_name_things() {
+        let errs = parse("spec s; cond C { pi cond; bounds [0, 1]; }").unwrap_err();
+        assert_eq!(errs[0].code, "reserved-word");
+        let errs = parse("spec pi;").unwrap_err();
+        assert_eq!(errs[0].code, "reserved-word");
+    }
+
+    #[test]
+    fn recovery_reports_multiple_errors() {
+        let src = "spec s;\n\
+            cond A { trigger on ; pi X; bounds [0, 1]; }\n\
+            cond B { bounds [2, ]; pi Y; bounds [0, 1]; }";
+        let errs = parse(src).unwrap_err();
+        // One per malformed clause, plus the duplicate bounds in B.
+        assert!(errs.len() >= 2, "{errs:?}");
+        assert!(errs.iter().all(|e| e.is_error()));
+    }
+
+    #[test]
+    fn zero_denominator_is_rejected() {
+        let src = "spec s; cond C { bounds [1/0, 2]; }";
+        let errs = parse(src).unwrap_err();
+        assert_eq!(errs[0].code, "bad-rational");
+        assert_eq!(errs[0].span.slice(src), "1/0");
+    }
+
+    #[test]
+    fn duplicate_clauses_are_rejected() {
+        let src = "spec s; cond C { pi A; pi B; bounds [0, 1]; }";
+        let errs = parse(src).unwrap_err();
+        assert_eq!(errs[0].code, "duplicate-clause");
+    }
+
+    #[test]
+    fn parens_and_precedence() {
+        let spec = parse("spec s; cond C { pi not (A | B) | C; bounds [0, 1]; }").unwrap();
+        let pi = spec.conds[0].pi.as_ref().unwrap();
+        // (not (A|B)) | C
+        match pi {
+            SetExpr::Union(l, r) => {
+                assert!(matches!(**l, SetExpr::Not(_, _)));
+                assert!(matches!(**r, SetExpr::Action(_)));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The canonical `.tspec` pretty-printer.
+//!
+//! [`pretty`] emits the normal form of a [`Spec`]: fixed clause order
+//! (`trigger at start`, `trigger on`, `pi`, `disable`, `bounds`),
+//! four-space indentation, one blank line between items. Re-parsing the
+//! output yields a structurally identical AST (`parse(pretty(s)) == s`
+//! — the round-trip property test), so the printer doubles as a
+//! formatter for hand-written specs.
+
+use std::fmt::Write;
+
+use crate::ast::{BoundLit, DisableClause, PredRef, SetExpr, Spec, WhenState};
+
+/// Renders `spec` in canonical form.
+pub fn pretty(spec: &Spec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "spec {};", spec.name.text);
+    for m in &spec.meta {
+        let _ = writeln!(out, "meta {} \"{}\";", m.key.text, escape(&m.value));
+    }
+    if let Some(decl) = &spec.actions {
+        let names: Vec<&str> = decl.names.iter().map(|n| n.text.as_str()).collect();
+        let _ = writeln!(out, "actions {};", names.join(", "));
+    }
+    for c in &spec.conds {
+        let _ = writeln!(out, "\ncond {} {{", c.name.text);
+        if let Some(st) = &c.start {
+            match &st.when {
+                None => out.push_str("    trigger at start;\n"),
+                Some(p) => {
+                    let _ = writeln!(out, "    trigger at start when {};", pred(p));
+                }
+            }
+        }
+        if let Some(t) = &c.step {
+            let _ = write!(out, "    trigger on {}", set(&t.expr));
+            if let Some(w) = &t.when {
+                let at = match w.at {
+                    WhenState::Pre => "pre",
+                    WhenState::Post => "post",
+                };
+                let _ = write!(out, " when {at} {}", pred(&w.pred));
+            }
+            out.push_str(";\n");
+        }
+        if let Some(e) = &c.pi {
+            let _ = writeln!(out, "    pi {};", set(e));
+        }
+        match &c.disable {
+            None => {}
+            Some(DisableClause::On(e, _)) => {
+                let _ = writeln!(out, "    disable on {};", set(e));
+            }
+            Some(DisableClause::When(p, _)) => {
+                let _ = writeln!(out, "    disable when {};", pred(p));
+            }
+        }
+        let hi = match &c.bounds.hi {
+            BoundLit::Finite(r) => r.value.to_string(),
+            BoundLit::Inf(_) => "inf".to_string(),
+        };
+        let _ = writeln!(out, "    bounds [{}, {}];", c.bounds.lo.value, hi);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn pred(p: &PredRef) -> String {
+    if p.negated {
+        format!("not {}", p.name.text)
+    } else {
+        p.name.text.clone()
+    }
+}
+
+/// Prints a set expression, parenthesizing exactly where the grammar
+/// demands it: a union under `not` or on the right of `|` (the parser
+/// is left-associative).
+fn set(e: &SetExpr) -> String {
+    match e {
+        SetExpr::Action(id) => id.text.clone(),
+        SetExpr::Any(_) => "any".to_string(),
+        SetExpr::None(_) => "none".to_string(),
+        SetExpr::Not(_, inner) => format!("not {}", atom(inner)),
+        SetExpr::Union(l, r) => format!("{} | {}", set(l), atom(r)),
+    }
+}
+
+/// Like [`set`], but wraps unions in parentheses (atom position).
+fn atom(e: &SetExpr) -> String {
+    match e {
+        SetExpr::Union(_, _) => format!("({})", set(e)),
+        _ => set(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn round_trips_a_representative_spec() {
+        let src = r#"
+spec relay; # comment noise
+meta paper "section 6";
+actions UP, DOWN, PULSE;
+cond EDGE {
+    trigger on UP | (DOWN | PULSE) when pre not latched;
+    pi not (UP | DOWN);
+    disable when latched;
+    bounds [1/2, 9];
+}
+cond BOOT { trigger at start; pi PULSE; bounds [0, inf]; }
+"#;
+        let ast = parse(src).unwrap();
+        let printed = pretty(&ast);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(ast, reparsed, "printed form:\n{printed}");
+        // Printing is idempotent: the canonical form prints to itself.
+        assert_eq!(printed, pretty(&reparsed));
+    }
+
+    #[test]
+    fn escapes_meta_strings() {
+        let src = "spec s; meta note \"a \\\"quoted\\\" \\\\ thing\";";
+        let ast = parse(src).unwrap();
+        let reparsed = parse(&pretty(&ast)).unwrap();
+        assert_eq!(ast, reparsed);
+        assert_eq!(reparsed.meta[0].value, "a \"quoted\" \\ thing");
+    }
+
+    #[test]
+    fn parenthesizes_right_nested_unions() {
+        let src = "spec s; cond C { pi A | (B | C); trigger on GO; bounds [0, 1]; }";
+        let ast = parse(src).unwrap();
+        let printed = pretty(&ast);
+        assert!(printed.contains("pi A | (B | C);"), "{printed}");
+        assert_eq!(parse(&printed).unwrap(), ast);
+    }
+}

@@ -1,0 +1,188 @@
+//! A compiled spec revision — the unit of hot reload.
+//!
+//! [`SpecRevision::compile`] runs the full front-to-back pipeline
+//! (parse → [`check`](crate::check) → [`lower`](crate::lower) →
+//! [`CompiledConditionSet::new`]) and keeps the parsed AST, the
+//! warnings, and the shared compiled set together. A monitor pool
+//! swaps between revisions; obligations carry across a swap for
+//! conditions whose *name* appears in both revisions, which is why the
+//! revision also knows how to compute that name-preserving index map.
+
+use std::hash::Hash;
+
+use std::sync::Arc;
+
+use tempo_core::engine::CompiledConditionSet;
+
+use crate::ast::Spec;
+use crate::check::check;
+use crate::lower::{compile, Binder};
+use crate::parse::parse;
+use crate::span::Diagnostic;
+
+/// One compiled revision of a `.tspec` source: AST + warnings + shared
+/// [`CompiledConditionSet`].
+pub struct SpecRevision<S, A> {
+    spec: Spec,
+    warnings: Vec<Diagnostic>,
+    set: Arc<CompiledConditionSet<S, A>>,
+}
+
+impl<S, A> std::fmt::Debug for SpecRevision<S, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecRevision")
+            .field("name", &self.spec.name.text)
+            .field("conditions", &self.set.len())
+            .field("warnings", &self.warnings)
+            .finish()
+    }
+}
+
+impl<S, A> SpecRevision<S, A>
+where
+    S: 'static,
+    A: Clone + Eq + Hash + Send + Sync + 'static,
+{
+    /// Compiles `src` against `binder`.
+    ///
+    /// Fails with every diagnostic of error severity found anywhere in
+    /// the pipeline — lexing, parsing, the [`check`] pass, or lowering.
+    /// Warning-severity findings do not block compilation; they ride
+    /// along on the revision as [`warnings`](Self::warnings).
+    pub fn compile<B: Binder<S, A>>(
+        src: &str,
+        binder: &B,
+    ) -> Result<SpecRevision<S, A>, Vec<Diagnostic>> {
+        let spec = parse(src)?;
+        let findings = check(&spec);
+        if findings.iter().any(Diagnostic::is_error) {
+            return Err(findings);
+        }
+        let set = compile(&spec, binder)?;
+        Ok(SpecRevision {
+            spec,
+            warnings: findings,
+            set: Arc::new(set),
+        })
+    }
+}
+
+impl<S, A> SpecRevision<S, A> {
+    /// The parsed AST this revision was compiled from.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// The spec's declared name.
+    pub fn name(&self) -> &str {
+        &self.spec.name.text
+    }
+
+    /// Warning-severity findings from the [`check`] pass.
+    pub fn warnings(&self) -> &[Diagnostic] {
+        &self.warnings
+    }
+
+    /// The compiled condition set, shareable across monitors.
+    pub fn compiled(&self) -> &Arc<CompiledConditionSet<S, A>> {
+        &self.set
+    }
+
+    /// How many conditions the revision compiles to.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the revision compiles to no conditions at all.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// For each condition of `from`, the index of the same-named
+    /// condition in this revision, or `None` if the name was dropped.
+    ///
+    /// This is the map hot reload feeds to
+    /// [`EngineState::remap`](tempo_core::engine::EngineState::remap):
+    /// obligations of preserved conditions carry forward (their
+    /// absolute deadlines unchanged — revising a spec does not revise
+    /// history), the rest are closed and reported.
+    pub fn carry_map(&self, from: &CompiledConditionSet<S, A>) -> Vec<Option<usize>> {
+        (0..from.len())
+            .map(|ci| self.set.index_of(from.name(ci)))
+            .collect()
+    }
+}
+
+/// Lints `src` without a binder: lex/parse errors if it does not parse,
+/// the [`check`] findings (errors *and* warnings) if it does.
+///
+/// This is the CI gate for shipped `.tspec` files — a fixture passes
+/// only if `lint` returns nothing at all.
+pub fn lint(src: &str) -> Vec<Diagnostic> {
+    match parse(src) {
+        Ok(spec) => check(&spec),
+        Err(errs) => errs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::MapBinder;
+
+    fn binder() -> MapBinder<u32, String> {
+        MapBinder::new(|n: &str| Some(n.to_string()))
+    }
+
+    const SRC: &str = "spec s; actions GO, DONE;\n\
+        cond C { trigger on GO; pi DONE; bounds [1, 5]; }\n\
+        cond D { trigger at start; pi GO; bounds [0, inf]; }";
+
+    #[test]
+    fn compiles_a_clean_spec_without_warnings() {
+        let rev: SpecRevision<u32, String> = SpecRevision::compile(SRC, &binder()).unwrap();
+        assert_eq!(rev.name(), "s");
+        assert!(rev.warnings().is_empty());
+        assert_eq!(rev.len(), 2);
+        assert!(!rev.is_empty());
+        assert_eq!(rev.compiled().name(0), "C");
+    }
+
+    #[test]
+    fn warnings_ride_along_but_errors_block() {
+        let warn = "spec s; cond C { trigger on GO; pi DONE; bounds [1, inf]; } \
+            cond V { trigger on none; pi DONE; bounds [0, 1]; }";
+        let rev: SpecRevision<u32, String> = SpecRevision::compile(warn, &binder()).unwrap();
+        assert_eq!(rev.warnings()[0].code, "vacuous-trigger");
+        assert_eq!(rev.len(), 2);
+
+        let err = "spec s; actions GO; cond C { trigger on OOPS; pi GO; bounds [0, 1]; }";
+        let errs = SpecRevision::<u32, String>::compile(err, &binder()).unwrap_err();
+        assert!(errs.iter().any(|d| d.code == "undeclared-action"));
+
+        let bad = "spec s; cond C { trigger on GO; pi DONE; bounds [0, ]; }";
+        assert!(SpecRevision::<u32, String>::compile(bad, &binder()).is_err());
+    }
+
+    #[test]
+    fn carry_map_matches_by_name() {
+        let old: SpecRevision<u32, String> = SpecRevision::compile(SRC, &binder()).unwrap();
+        // New revision drops D, keeps C (reordered), adds E.
+        let new_src = "spec s2; \
+            cond E { trigger on GO; pi DONE; bounds [0, 2]; } \
+            cond C { trigger on GO; pi DONE; bounds [1, 3]; }";
+        let new: SpecRevision<u32, String> = SpecRevision::compile(new_src, &binder()).unwrap();
+        assert_eq!(new.carry_map(old.compiled()), vec![Some(1), None]);
+    }
+
+    #[test]
+    fn lint_reports_parse_errors_and_check_findings() {
+        assert!(lint(SRC).is_empty());
+        assert!(lint("spec s; cond C {").iter().any(|d| d.is_error()));
+        let codes: Vec<_> = lint("spec s; cond C { trigger on A; pi B; bounds [5, 1]; }")
+            .iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(codes, vec!["contradictory-bounds"]);
+    }
+}

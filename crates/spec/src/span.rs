@@ -1,0 +1,180 @@
+//! Source locations and span-carrying diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into the spec source.
+///
+/// Spans are *locations only*: the AST's structural equality
+/// ([`PartialEq`] on [`Spec`](crate::Spec) and friends) deliberately
+/// ignores them, so a parse → pretty-print → re-parse round trip
+/// compares equal even though every token moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// The span `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The spanned slice of `src` (empty if out of range).
+    pub fn slice<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// 1-based `(line, column)` of the span start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto
+            .rfind('\n')
+            .map_or(self.start + 1, |nl| self.start - nl);
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The spec cannot be compiled.
+    Error,
+    /// The spec compiles but is suspicious (vacuous condition,
+    /// contradictory bounds, unused declaration, ...).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One message from the parser, the [`check`](crate::check) lint pass,
+/// or [`lower`](crate::lower)ing — always anchored to a source [`Span`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// A short, stable, kebab-case code (e.g. `"vacuous-trigger"`);
+    /// tests and tools match on this, never on the message text.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source the problem sits.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// An error diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// A warning diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// `true` for [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Renders the diagnostic against its source, rustc-style: the
+    /// message line, a `line:col` locus, and the offending source line
+    /// with a caret run under the span.
+    ///
+    /// ```
+    /// use tempo_spec::parse;
+    ///
+    /// let src = "spec S;\ncond C { trigger on GO; pi OK; bounds [2, 1]; }\n";
+    /// let spec = parse(src).unwrap();
+    /// let lint = &tempo_spec::check(&spec)[0];
+    /// let text = lint.render(src);
+    /// assert!(text.contains("warning[contradictory-bounds]"));
+    /// assert!(text.contains("--> 2:"));
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        let line_start = src[..self.span.start.min(src.len())]
+            .rfind('\n')
+            .map_or(0, |nl| nl + 1);
+        let line_text = src[line_start..].lines().next().unwrap_or("");
+        let width = self
+            .span
+            .end
+            .saturating_sub(self.span.start)
+            .clamp(1, line_text.len().saturating_sub(col - 1).max(1));
+        format!(
+            "{}[{}]: {}\n --> {}:{}\n  |\n{:>2} | {}\n  | {}{}",
+            self.severity,
+            self.code,
+            self.message,
+            line,
+            col,
+            line,
+            line_text,
+            " ".repeat(col - 1),
+            "^".repeat(width),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_and_slice() {
+        let src = "abc\ndef\n";
+        let sp = Span::new(5, 7);
+        assert_eq!(sp.line_col(src), (2, 2));
+        assert_eq!(sp.slice(src), "ef");
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(sp.to(Span::new(0, 1)), Span::new(0, 7));
+        assert_eq!(sp.to_string(), "5..7");
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "spec S;\ncond C {}\n";
+        let d = Diagnostic::error("parse", Span::new(13, 14), "boom");
+        let r = d.render(src);
+        assert!(r.contains("error[parse]: boom"), "{r}");
+        assert!(r.contains("--> 2:6"), "{r}");
+        assert!(r.contains("cond C {}"), "{r}");
+        assert!(r.lines().last().unwrap().trim_end().ends_with('^'), "{r}");
+    }
+}

@@ -29,6 +29,7 @@ use std::sync::Arc;
 use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
+use tempo_spec::MapBinder;
 use tempo_zones::{CondVerdict, ZoneChecker};
 
 /// Mixer-system actions.
@@ -243,6 +244,40 @@ pub fn verify(params: &MixerParams) -> MixerVerification {
         can_harden,
         params: params.clone(),
     }
+}
+
+/// The shipped `.tspec` source for this system
+/// (`crates/systems/specs/cement_mixer.tspec`), written against the
+/// canonical parameters `MixerParams::ints(1, 3, 5, None)`.
+pub fn tspec_source() -> &'static str {
+    include_str!("../specs/cement_mixer.tspec")
+}
+
+/// A [`MapBinder`] resolving the spec's action names onto
+/// [`MixAction`] (the same names [`MixAction`]'s `Debug` prints), plus
+/// the `hardened` state predicate guarding the conditional
+/// requirement.
+pub fn tspec_binder() -> MapBinder<MixState, MixAction> {
+    MapBinder::new(|name: &str| match name {
+        "REQUEST" => Some(MixAction::Request),
+        "SERVE" => Some(MixAction::Serve),
+        "TIMEOUT" => Some(MixAction::Timeout),
+        _ => None,
+    })
+    .pred("hardened", |s: &MixState| s.hardened)
+}
+
+/// The shipped spec's conditions, lowered through [`tspec_binder`] —
+/// behaviourally equal to [`conditional_response`] and
+/// [`naive_response`] at the canonical parameters
+/// (`tests/spec_differential.rs` checks them pointwise).
+///
+/// # Panics
+///
+/// Panics if the shipped spec fails to parse or lower — a build bug.
+pub fn tspec_conditions() -> Vec<TimingCondition<MixState, MixAction>> {
+    let spec = tempo_spec::parse(tspec_source()).expect("shipped spec parses");
+    tempo_spec::lower(&spec, &tspec_binder()).expect("shipped spec lowers")
 }
 
 #[cfg(test)]

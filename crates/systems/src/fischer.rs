@@ -29,6 +29,7 @@ use tempo_core::mapping::{
 use tempo_core::{ActionSet, Boundmap, TimeIoa, Timed, TimedState, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
+use tempo_spec::MapBinder;
 use tempo_zones::{CondVerdict, ZoneChecker, ZoneError};
 
 /// Fischer actions, indexed by process.
@@ -342,6 +343,41 @@ pub fn verify(params: &FischerParams) -> FischerVerification {
         solo_mapping,
         params: params.clone(),
     }
+}
+
+/// The shipped `.tspec` source for this system
+/// (`crates/systems/specs/fischer.tspec`), written against the
+/// canonical parameters `FischerParams::ints(1, 1, 2, 4)`.
+pub fn tspec_source() -> &'static str {
+    include_str!("../specs/fischer.tspec")
+}
+
+/// A [`MapBinder`] resolving the spec's `KIND_i` action names onto
+/// [`FAction`] (the same names [`FAction`]'s `Debug` prints).
+pub fn tspec_binder() -> MapBinder<FState, FAction> {
+    MapBinder::new(|name: &str| {
+        let (kind, i) = name.rsplit_once('_')?;
+        let i: usize = i.parse().ok()?;
+        match kind {
+            "TEST" => Some(FAction::Test(i)),
+            "SET" => Some(FAction::Set(i)),
+            "CHECK" => Some(FAction::Check(i)),
+            "EXIT" => Some(FAction::Exit(i)),
+            _ => None,
+        }
+    })
+}
+
+/// The shipped spec's conditions, lowered through [`tspec_binder`] —
+/// behaviourally equal to [`solo_entry_condition`] at the canonical
+/// parameters (`tests/spec_differential.rs` checks them pointwise).
+///
+/// # Panics
+///
+/// Panics if the shipped spec fails to parse or lower — a build bug.
+pub fn tspec_conditions() -> Vec<TimingCondition<FState, FAction>> {
+    let spec = tempo_spec::parse(tspec_source()).expect("shipped spec parses");
+    tempo_spec::lower(&spec, &tspec_binder()).expect("shipped spec lowers")
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
+use tempo_spec::MapBinder;
 use tempo_zones::{CondVerdict, ZoneChecker};
 
 /// Peterson actions, indexed by process (0 or 1).
@@ -272,6 +273,44 @@ pub fn check_mutual_exclusion_untimed() -> bool {
         !(s.pcs[0] == PPc::Crit && s.pcs[1] == PPc::Crit)
     })
     .holds()
+}
+
+/// The shipped `.tspec` source for this system
+/// (`crates/systems/specs/peterson.tspec`), written against the
+/// canonical parameters `PetersonParams::ints(1, 2)` with the claimed
+/// entry interval `[1, 10]`.
+pub fn tspec_source() -> &'static str {
+    include_str!("../specs/peterson.tspec")
+}
+
+/// A [`MapBinder`] resolving the spec's `KIND_i` action names onto
+/// [`PAction`] (the same names [`PAction`]'s `Debug` prints).
+pub fn tspec_binder() -> MapBinder<PState, PAction> {
+    MapBinder::new(|name: &str| {
+        let (kind, i) = name.rsplit_once('_')?;
+        let i: usize = i.parse().ok()?;
+        match kind {
+            "REQUEST" => Some(PAction::Request(i)),
+            "SETFLAG" => Some(PAction::SetFlag(i)),
+            "SETTURN" => Some(PAction::SetTurn(i)),
+            "ENTER" => Some(PAction::CheckSucceed(i)),
+            "RETRY" => Some(PAction::CheckRetry(i)),
+            "EXIT" => Some(PAction::Exit(i)),
+            _ => None,
+        }
+    })
+}
+
+/// The shipped spec's conditions, lowered through [`tspec_binder`] —
+/// behaviourally equal to [`entry_condition`]`(i, [1, 10])` for both
+/// processes (`tests/spec_differential.rs` checks them pointwise).
+///
+/// # Panics
+///
+/// Panics if the shipped spec fails to parse or lower — a build bug.
+pub fn tspec_conditions() -> Vec<TimingCondition<PState, PAction>> {
+    let spec = tempo_spec::parse(tspec_source()).expect("shipped spec parses");
+    tempo_spec::lower(&spec, &tspec_binder()).expect("shipped spec lowers")
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Compose, Hide, Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
 use tempo_sim::GapStats;
+use tempo_spec::MapBinder;
 use tempo_zones::{CondVerdict, ZoneChecker};
 
 use crate::resource_manager::Params;
@@ -305,6 +306,37 @@ pub fn verify(params: &Params) -> RqVerification {
         sim_response,
         params: params.clone(),
     }
+}
+
+/// The shipped `.tspec` source for this system
+/// (`crates/systems/specs/request_manager.tspec`), written against the
+/// canonical parameters `Params::ints(3, 2, 3, 1)`.
+pub fn tspec_source() -> &'static str {
+    include_str!("../specs/request_manager.tspec")
+}
+
+/// A [`MapBinder`] resolving the spec's action names onto
+/// [`RqAction`] (the same names [`RqAction`]'s `Debug` prints).
+pub fn tspec_binder() -> MapBinder<RqState, RqAction> {
+    MapBinder::new(|name: &str| match name {
+        "TICK" => Some(RqAction::Tick),
+        "REQUEST" => Some(RqAction::Request),
+        "GRANT" => Some(RqAction::Grant),
+        "ELSE" => Some(RqAction::Else),
+        _ => None,
+    })
+}
+
+/// The shipped spec's conditions, lowered through [`tspec_binder`] —
+/// behaviourally equal to [`response_condition`] at the canonical
+/// parameters (`tests/spec_differential.rs` checks them pointwise).
+///
+/// # Panics
+///
+/// Panics if the shipped spec fails to parse or lower — a build bug.
+pub fn tspec_conditions() -> Vec<TimingCondition<RqState, RqAction>> {
+    let spec = tempo_spec::parse(tspec_source()).expect("shipped spec parses");
+    tempo_spec::lower(&spec, &tspec_binder()).expect("shipped spec lowers")
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use tempo_core::{ActionSet, Boundmap, Timed, TimingCondition};
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
+use tempo_spec::MapBinder;
 use tempo_zones::{CondVerdict, ZoneChecker, ZoneError};
 
 use crate::peterson::PetersonParams;
@@ -382,6 +383,57 @@ pub fn root_entry_verdict(params: &PetersonParams) -> Result<CondVerdict, ZoneEr
     let aut = Tournament::new(2);
     let cond = entry_condition(&aut, 0, Interval::unbounded_above(Rat::ZERO));
     ZoneChecker::new(&timed).measure_condition_adaptive(&cond, params.a.scale(16), 8)
+}
+
+/// The shipped `.tspec` source for this system
+/// (`crates/systems/specs/tournament.tspec`), written against the
+/// two-process instance (`n = 2`) with `PetersonParams::ints(1, 2)`
+/// and the claimed leaf-entry interval `[1, 12]`.
+pub fn tspec_source() -> &'static str {
+    include_str!("../specs/tournament.tspec")
+}
+
+/// A [`MapBinder`] resolving the spec's `T-KIND_i` action names onto
+/// [`TAction`] (the same names [`TAction`]'s `Debug` prints), plus the
+/// `at_leaf_i` state predicates guarding the leaf-entry triggers for
+/// the two-process instance.
+pub fn tspec_binder() -> MapBinder<TState, TAction> {
+    let aut = Tournament::new(2);
+    let (leaf0, leaf1) = (aut.leaf(0), aut.leaf(1));
+    MapBinder::new(|name: &str| {
+        let (kind, i) = name.strip_prefix("T-")?.rsplit_once('_')?;
+        let i: usize = i.parse().ok()?;
+        match kind {
+            "REQUEST" => Some(TAction::Request(i)),
+            "SETFLAG" => Some(TAction::SetFlag(i)),
+            "SETTURN" => Some(TAction::SetTurn(i)),
+            "ADVANCE" => Some(TAction::Advance(i)),
+            "RETRY" => Some(TAction::Retry(i)),
+            "RELEASE" => Some(TAction::Release(i)),
+            _ => None,
+        }
+    })
+    .pred(
+        "at_leaf_0",
+        move |s: &TState| matches!(s.pcs[0], TPc::At { node, .. } if node == leaf0),
+    )
+    .pred(
+        "at_leaf_1",
+        move |s: &TState| matches!(s.pcs[1], TPc::At { node, .. } if node == leaf1),
+    )
+}
+
+/// The shipped spec's conditions, lowered through [`tspec_binder`] —
+/// behaviourally equal to [`entry_condition`]`(&Tournament::new(2), i,
+/// [1, 12])` for both processes (`tests/spec_differential.rs` checks
+/// them pointwise).
+///
+/// # Panics
+///
+/// Panics if the shipped spec fails to parse or lower — a build bug.
+pub fn tspec_conditions() -> Vec<TimingCondition<TState, TAction>> {
+    let spec = tempo_spec::parse(tspec_source()).expect("shipped spec parses");
+    tempo_spec::lower(&spec, &tspec_binder()).expect("shipped spec lowers")
 }
 
 #[cfg(test)]

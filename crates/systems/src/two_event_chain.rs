@@ -24,6 +24,7 @@ use tempo_core::{
 use tempo_ioa::{Ioa, Partition, Signature};
 use tempo_math::{Interval, Rat, TimeVal};
 use tempo_sim::GapStats;
+use tempo_spec::MapBinder;
 use tempo_zones::{CondVerdict, ZoneChecker};
 
 /// The chain's action alphabet.
@@ -295,6 +296,36 @@ pub fn verify(params: &ChainParams) -> ChainVerification {
         sim_delay,
         params: params.clone(),
     }
+}
+
+/// The shipped `.tspec` source for this system
+/// (`crates/systems/specs/two_event_chain.tspec`), written against the
+/// canonical parameters `ChainParams::ints((0, 5), (1, 3), (2, 4))`.
+pub fn tspec_source() -> &'static str {
+    include_str!("../specs/two_event_chain.tspec")
+}
+
+/// A [`MapBinder`] resolving the spec's action names onto
+/// [`ChainAction`] (the same names [`ChainAction`]'s `Debug` prints).
+pub fn tspec_binder() -> MapBinder<ChainPhase, ChainAction> {
+    MapBinder::new(|name: &str| match name {
+        "PI" => Some(ChainAction::Pi),
+        "PHI" => Some(ChainAction::Phi),
+        "PSI" => Some(ChainAction::Psi),
+        _ => None,
+    })
+}
+
+/// The shipped spec's conditions, lowered through [`tspec_binder`] —
+/// behaviourally equal to [`chain_condition`] at the canonical
+/// parameters (`tests/spec_differential.rs` checks them pointwise).
+///
+/// # Panics
+///
+/// Panics if the shipped spec fails to parse or lower — a build bug.
+pub fn tspec_conditions() -> Vec<TimingCondition<ChainPhase, ChainAction>> {
+    let spec = tempo_spec::parse(tspec_source()).expect("shipped spec parses");
+    tempo_spec::lower(&spec, &tspec_binder()).expect("shipped spec lowers")
 }
 
 #[cfg(test)]

@@ -1,0 +1,284 @@
+//! Round-trip and diagnostics properties of the `.tspec` front end.
+//!
+//! * **Round trip**: for arbitrary well-formed ASTs, `parse(pretty(s))`
+//!   is structurally identical to `s` (spans excepted — AST equality
+//!   ignores them), and `pretty` is idempotent. The shipped system
+//!   specs round-trip too.
+//! * **Malformed corpus**: a fixture set of broken specs pins the
+//!   diagnostics — code, severity, and the exact source slice each
+//!   span covers — so error messages cannot silently drift.
+
+use proptest::prelude::*;
+use tempo_math::Rat;
+use tempo_spec::ast::{
+    ActionsDecl, BoundLit, BoundsClause, CondDecl, DisableClause, Ident, Meta, PredRef, RatLit,
+    SetExpr, Spec, StartTrigger, StepTrigger, StepWhen, WhenState,
+};
+use tempo_spec::{lint, parse, pretty, Span};
+use tempo_systems::{
+    cement_mixer, fischer, peterson, request_manager, tournament, two_event_chain,
+};
+
+// ---------------------------------------------------------------------
+// AST strategies. Identifiers are uppercase so they can never collide
+// with the (all-lowercase) reserved words; they exercise underscores,
+// digits, and interior hyphens.
+// ---------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = Ident> {
+    const HEAD: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const TAIL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+    (
+        0usize..HEAD.len(),
+        proptest::collection::vec(0usize..TAIL.len(), 0..6),
+    )
+        .prop_map(|(head, tail)| {
+            let mut text = String::new();
+            text.push(HEAD[head] as char);
+            text.extend(tail.iter().map(|&i| TAIL[i] as char));
+            Ident {
+                text,
+                span: Span::default(),
+            }
+        })
+}
+
+/// Printable-ASCII metadata values, including `"` and `\` so the
+/// printer's escaping is exercised.
+fn meta_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..95, 0..16)
+        .prop_map(|cs| cs.iter().map(|c| (b' ' + c) as char).collect())
+}
+
+fn set_expr() -> impl Strategy<Value = SetExpr> {
+    let leaf = prop_oneof![
+        4 => ident().prop_map(SetExpr::Action),
+        1 => Just(SetExpr::Any(Span::default())),
+        1 => Just(SetExpr::None(Span::default())),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner
+                .clone()
+                .prop_map(|e| SetExpr::Not(Span::default(), Box::new(e))),
+            (inner.clone(), inner).prop_map(|(a, b)| SetExpr::Union(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn pred_ref() -> impl Strategy<Value = PredRef> {
+    (any::<bool>(), ident()).prop_map(|(negated, name)| PredRef { negated, name })
+}
+
+fn rat_lit() -> impl Strategy<Value = RatLit> {
+    (0i64..=30, 1i64..=9).prop_map(|(num, den)| RatLit {
+        value: Rat::new(num.into(), den.into()),
+        span: Span::default(),
+    })
+}
+
+fn bounds_clause() -> impl Strategy<Value = BoundsClause> {
+    (
+        rat_lit(),
+        prop_oneof![
+            3 => rat_lit().prop_map(BoundLit::Finite),
+            1 => Just(BoundLit::Inf(Span::default())),
+        ],
+    )
+        .prop_map(|(lo, hi)| BoundsClause {
+            lo,
+            hi,
+            span: Span::default(),
+        })
+}
+
+fn cond_decl() -> impl Strategy<Value = CondDecl> {
+    (
+        ident(),
+        proptest::option::of(proptest::option::of(pred_ref())),
+        proptest::option::of((
+            set_expr(),
+            proptest::option::of((
+                prop_oneof![Just(WhenState::Pre), Just(WhenState::Post)],
+                pred_ref(),
+            )),
+        )),
+        proptest::option::of(set_expr()),
+        proptest::option::of(prop_oneof![
+            set_expr().prop_map(|e| DisableClause::On(e, Span::default())),
+            pred_ref().prop_map(|p| DisableClause::When(p, Span::default())),
+        ]),
+        bounds_clause(),
+    )
+        .prop_map(|(name, start, step, pi, disable, bounds)| CondDecl {
+            name,
+            start: start.map(|when| StartTrigger {
+                when,
+                span: Span::default(),
+            }),
+            step: step.map(|(expr, when)| StepTrigger {
+                expr,
+                when: when.map(|(at, pred)| StepWhen { at, pred }),
+                span: Span::default(),
+            }),
+            pi,
+            disable,
+            bounds,
+            span: Span::default(),
+        })
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        ident(),
+        proptest::collection::vec(
+            (ident(), meta_value()).prop_map(|(key, value)| Meta {
+                key,
+                value,
+                span: Span::default(),
+            }),
+            0..3,
+        ),
+        proptest::option::of(proptest::collection::vec(ident(), 1..5).prop_map(|names| {
+            ActionsDecl {
+                names,
+                span: Span::default(),
+            }
+        })),
+        proptest::collection::vec(cond_decl(), 0..4),
+    )
+        .prop_map(|(name, meta, actions, conds)| Spec {
+            name,
+            meta,
+            actions,
+            conds,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(pretty(s)) == s` for arbitrary ASTs, and the canonical
+    /// form is a fixed point of the printer.
+    #[test]
+    fn pretty_then_parse_is_identity(s in spec()) {
+        let printed = pretty(&s);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form fails to parse:\n{printed}\n{e:?}"));
+        prop_assert_eq!(&reparsed, &s, "printed form:\n{}", printed);
+        prop_assert_eq!(pretty(&reparsed), printed);
+    }
+}
+
+/// The shipped system specs round-trip through the printer and the
+/// printer is idempotent on them.
+#[test]
+fn shipped_specs_round_trip() {
+    let shipped: [(&str, &str); 6] = [
+        ("fischer", fischer::tspec_source()),
+        ("peterson", peterson::tspec_source()),
+        ("tournament", tournament::tspec_source()),
+        ("cement_mixer", cement_mixer::tspec_source()),
+        ("request_manager", request_manager::tspec_source()),
+        ("two_event_chain", two_event_chain::tspec_source()),
+    ];
+    for (name, src) in shipped {
+        let ast = parse(src).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let printed = pretty(&ast);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{name}: {e:?}\n{printed}"));
+        assert_eq!(reparsed, ast, "{name}: round trip\n{printed}");
+        assert_eq!(pretty(&reparsed), printed, "{name}: printer idempotence");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Malformed corpus: every fixture pins (code, severity, exact source
+// slice) for each diagnostic `lint` reports, in order.
+// ---------------------------------------------------------------------
+
+struct Fixture {
+    /// What the fixture exercises.
+    label: &'static str,
+    src: &'static str,
+    /// `(code, is_error, span slice)` per expected diagnostic.
+    expect: &'static [(&'static str, bool, &'static str)],
+}
+
+const CORPUS: &[Fixture] = &[
+    Fixture {
+        label: "trigger with a missing set expression",
+        src: "spec s; cond C { trigger on ; pi X; bounds [0, 1]; }",
+        expect: &[("parse", true, ";")],
+    },
+    Fixture {
+        label: "condition without bounds",
+        src: "spec s;\ncond NOPE { pi A; }",
+        expect: &[("missing-bounds", true, "NOPE")],
+    },
+    Fixture {
+        label: "reserved word as the spec name",
+        src: "spec pi;",
+        expect: &[("reserved-word", true, "pi")],
+    },
+    Fixture {
+        label: "zero denominator (and the bounds clause it sinks)",
+        src: "spec s; cond C { bounds [1/0, 2]; }",
+        expect: &[("bad-rational", true, "1/0"), ("missing-bounds", true, "C")],
+    },
+    Fixture {
+        label: "duplicate pi clause",
+        src: "spec s; cond C { pi A; pi B; bounds [0, 1]; }",
+        expect: &[("duplicate-clause", true, "pi")],
+    },
+    Fixture {
+        label: "stray character",
+        src: "spec s; cond C @ { pi A; bounds [0, 1]; }",
+        expect: &[("stray-char", true, "@")],
+    },
+    Fixture {
+        label: "unterminated string",
+        src: "spec s; meta k \"open",
+        expect: &[("unterminated-string", true, "\"open")],
+    },
+    Fixture {
+        label: "warning pile-up, sorted by source position",
+        src: "spec s; actions GO, SPARE; cond C { trigger on GO; bounds [2, 1]; }",
+        expect: &[
+            ("unused-action", false, "SPARE"),
+            ("vacuous-pi", false, "C"),
+            ("contradictory-bounds", false, "bounds [2, 1];"),
+        ],
+    },
+    Fixture {
+        label: "undeclared action",
+        src: "spec s; actions GO; cond C { trigger on GO; pi OOPS; bounds [0, 5]; }",
+        expect: &[("undeclared-action", true, "OOPS")],
+    },
+    Fixture {
+        label: "duplicate condition name",
+        src: "spec s;\ncond C { trigger on A; pi B; bounds [0, 1]; }\ncond C { trigger on A; pi B; bounds [0, 1]; }",
+        expect: &[("duplicate-name", false, "C")],
+    },
+    Fixture {
+        label: "zero upper bound",
+        src: "spec s; cond C { trigger on A; pi B; bounds [0, 0]; }",
+        expect: &[("zero-upper", false, "0")],
+    },
+];
+
+#[test]
+fn malformed_corpus_diagnostics_are_stable() {
+    for f in CORPUS {
+        let got = lint(f.src);
+        let brief: Vec<(&str, bool, &str)> = got
+            .iter()
+            .map(|d| (d.code, d.is_error(), d.span.slice(f.src)))
+            .collect();
+        assert_eq!(brief, f.expect, "{}:\n{}", f.label, f.src);
+        // Every rendering names the code and is anchored in the source.
+        for d in &got {
+            let rendered = d.render(f.src);
+            assert!(rendered.contains(d.code), "{}: {rendered}", f.label);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Hot-reload properties of compiled spec revisions.
+//!
+//! * Swapping a monitor onto the **same** revision mid-stream is
+//!   invisible: verdicts and final violations match an un-swapped
+//!   monitor event for event, every open obligation is carried, none is
+//!   dropped.
+//! * Swapping onto a revision that **drops** every condition closes all
+//!   open obligations administratively — they are reported, not
+//!   violated.
+//! * Carried obligations keep their **absolute** deadlines (revising a
+//!   spec does not revise history); the tightened bound governs
+//!   triggers that fire after the swap.
+//! * At the pool level, an identity reload in the middle of live
+//!   traffic drops zero events and leaves every stream's verdicts
+//!   exactly as a reload-free run produces them; `reload_spec` with a
+//!   renamed condition reports each closed obligation under its old
+//!   name.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tempo_core::SatisfactionMode;
+use tempo_math::Rat;
+use tempo_monitor::{Monitor, MonitorPool, PoolConfig, Verdict};
+use tempo_spec::{MapBinder, SpecRevision};
+
+fn binder() -> MapBinder<u8, String> {
+    MapBinder::new(|n: &str| Some(n.to_string()))
+}
+
+/// Blocks until the pool's monitors have consumed `n` events, so a
+/// subsequent reload deterministically sees their obligations open.
+fn wait_processed(pool: &MonitorPool<u8, String>, n: u64) {
+    for _ in 0..20_000 {
+        if pool.metrics().snapshot().events >= n {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
+    panic!("pool did not process {n} events in time");
+}
+
+/// One condition, parameterized bounds: `GO` opens a window, `DONE`
+/// closes it.
+fn rev(bounds: &str) -> SpecRevision<u8, String> {
+    let src = format!(
+        "spec live; actions GO, DONE;\n\
+         cond C {{ trigger on GO; pi DONE; bounds {bounds}; }}"
+    );
+    SpecRevision::compile(&src, &binder()).expect("fixture spec compiles")
+}
+
+/// Materializes `(action index, time increment)` pairs into a
+/// monotone-time event list over the actions `GO`/`DONE`/`noise`.
+fn materialize(raw: &[(usize, u8)]) -> Vec<(String, Rat)> {
+    const ACTIONS: [&str; 3] = ["GO", "DONE", "noise"];
+    let mut t = 0i64;
+    raw.iter()
+        .map(|&(a, dt)| {
+            t += dt as i64;
+            (ACTIONS[a].to_string(), Rat::from(t))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identity swap at an arbitrary point of an arbitrary trace:
+    /// verdicts, final violations, and obligation accounting are those
+    /// of a monitor that never swapped.
+    #[test]
+    fn identity_swap_is_invisible(
+        raw in proptest::collection::vec((0usize..3, 0u8..4), 1..40),
+        cut in 0usize..41,
+    ) {
+        let rev = rev("[1, 6]");
+        let set = Arc::clone(rev.compiled());
+        let trace = materialize(&raw);
+        let cut = cut % (trace.len() + 1);
+        for mode in [SatisfactionMode::Prefix, SatisfactionMode::Complete] {
+            let mut plain = Monitor::from_compiled(Arc::clone(&set), &0u8);
+            let mut swapped = Monitor::from_compiled(Arc::clone(&set), &0u8);
+            for (i, (a, t)) in trace.iter().enumerate() {
+                if i == cut {
+                    let open = swapped.open_obligations();
+                    let report =
+                        swapped.swap_compiled(Arc::clone(&set), &rev.carry_map(&set));
+                    prop_assert_eq!(report.carried, open, "identity swap carries all");
+                    prop_assert!(report.dropped.is_empty(), "identity swap drops none");
+                }
+                prop_assert_eq!(
+                    plain.observe(a, *t, &0u8),
+                    swapped.observe(a, *t, &0u8),
+                    "verdict {} of {} diverged after swap at {}", i, trace.len(), cut
+                );
+            }
+            prop_assert_eq!(swapped.open_obligations(), plain.open_obligations());
+            prop_assert_eq!(plain.finish(mode), swapped.finish(mode));
+        }
+    }
+
+    /// Swapping onto an empty revision closes every open obligation
+    /// administratively: all are reported (under the old condition's
+    /// name), none survives, and nothing can violate afterwards.
+    #[test]
+    fn drop_all_swap_closes_every_obligation(
+        raw in proptest::collection::vec((0usize..3, 0u8..4), 1..30),
+    ) {
+        let old = rev("[1, 6]");
+        let empty: SpecRevision<u8, String> =
+            SpecRevision::compile("spec empty;", &binder()).expect("empty spec compiles");
+        prop_assert!(empty.is_empty());
+
+        let mut mon = Monitor::from_compiled(Arc::clone(old.compiled()), &0u8);
+        // Reference: same trace, no swap. Its Prefix-mode finish is
+        // exactly the violations witnessed *during* the trace.
+        let mut reference = Monitor::from_compiled(Arc::clone(old.compiled()), &0u8);
+        let trace = materialize(&raw);
+        let mut last = Rat::ZERO;
+        for (a, t) in &trace {
+            mon.observe(a, *t, &0u8);
+            reference.observe(a, *t, &0u8);
+            last = *t;
+        }
+        let open = mon.open_obligations();
+        let map = empty.carry_map(old.compiled());
+        prop_assert_eq!(&map, &vec![None; old.len()]);
+        let report = mon.swap_compiled(Arc::clone(empty.compiled()), &map);
+        prop_assert_eq!(report.carried, 0);
+        prop_assert_eq!(report.dropped.len(), open);
+        prop_assert!(report.dropped.iter().all(|(name, _)| name == "C"));
+        prop_assert_eq!(mon.open_obligations(), 0);
+        // Far beyond every old deadline: nothing is left to violate, so
+        // the violation record is frozen at what the trace itself
+        // produced before the swap.
+        let v = mon.observe(&"noise".to_string(), last + Rat::from(100), &0u8);
+        prop_assert_eq!(v, Verdict::Ok);
+        prop_assert_eq!(
+            mon.finish(SatisfactionMode::Complete),
+            reference.finish(SatisfactionMode::Prefix)
+        );
+    }
+}
+
+/// Tightening the bound mid-stream: the obligation opened under the old
+/// revision keeps its absolute deadline, while triggers after the swap
+/// are held to the new, tighter one.
+#[test]
+fn tightened_bound_governs_only_new_triggers() {
+    let old = rev("[1, 10]");
+    let new = rev("[1, 2]");
+    let mut mon = Monitor::from_compiled(Arc::clone(old.compiled()), &0u8);
+
+    // Opens a window [2, 11] under the old revision.
+    assert_eq!(
+        mon.observe(&"GO".to_string(), Rat::from(1), &0u8),
+        Verdict::Ok
+    );
+    let open = mon.open_obligations();
+    assert!(open > 0, "the trigger must open obligations");
+    let report = mon.swap_compiled(Arc::clone(new.compiled()), &new.carry_map(old.compiled()));
+    assert_eq!(
+        report.carried, open,
+        "same-named condition carries everything"
+    );
+    assert!(report.dropped.is_empty());
+
+    // t = 9 would be far past a re-based deadline of 1 + 2 = 3; under
+    // the preserved absolute window [2, 11] it discharges cleanly.
+    assert_eq!(
+        mon.observe(&"DONE".to_string(), Rat::from(9), &0u8),
+        Verdict::Ok
+    );
+
+    // A fresh trigger lives under the new revision: window [11, 12].
+    assert_eq!(
+        mon.observe(&"GO".to_string(), Rat::from(10), &0u8),
+        Verdict::Ok
+    );
+    match mon.observe(&"noise".to_string(), Rat::from(15), &0u8) {
+        Verdict::UpperBoundViolation(v) => assert_eq!(v.condition, "C"),
+        v => panic!("expected the tightened deadline to fire, got {v:?}"),
+    }
+    let violations = mon.finish(SatisfactionMode::Complete);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+}
+
+/// Pool-level identity reload under live traffic: no stream loses an
+/// event, the reload accounting is exact, and every stream's violations
+/// equal a reload-free run's.
+#[test]
+fn pool_identity_reload_is_zero_drop() {
+    let rev = rev("[1, 6]");
+    let run = |reload: bool| {
+        let config = PoolConfig {
+            workers: 2,
+            ..PoolConfig::default()
+        };
+        let mut pool: MonitorPool<u8, String> =
+            MonitorPool::from_compiled(Arc::clone(rev.compiled()), config);
+        let mut handles: Vec<_> = (0..4).map(|_| pool.open_stream(0u8)).collect();
+        for h in &mut handles {
+            h.send("GO".to_string(), Rat::from(1), 0).unwrap();
+            h.send("noise".to_string(), Rat::from(2), 0).unwrap();
+        }
+        if reload {
+            wait_processed(&pool, 8);
+            let report = pool.reload_spec(&rev);
+            assert_eq!(report.workers, 2);
+            assert_eq!(report.streams, 4);
+            assert!(report.dropped.is_empty(), "identity reload drops nothing");
+            assert!(report.carried >= 4, "each stream's deadline carries");
+        }
+        for (i, h) in handles.iter_mut().enumerate() {
+            // Odd streams discharge too late (deadline 1 + 6 = 7).
+            let t = if i % 2 == 1 { 9 } else { 3 };
+            h.send("DONE".to_string(), Rat::from(t), 0).unwrap();
+        }
+        drop(handles);
+        pool.shutdown()
+    };
+
+    let (with, without) = (run(true), run(false));
+    for (w, wo) in with.streams.iter().zip(&without.streams) {
+        assert_eq!(
+            w.events, 3,
+            "stream {}: no event dropped across reload",
+            w.stream
+        );
+        assert_eq!(w.events, wo.events);
+        let names = |r: &tempo_monitor::StreamReport| {
+            r.violations
+                .iter()
+                .map(|v| v.condition.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(w), names(wo), "stream {}: verdict drift", w.stream);
+    }
+    assert!(!with.passed(), "odd streams must violate in both runs");
+}
+
+/// `reload_spec` with a renamed condition: the old name's obligations
+/// are closed administratively and reported under the old name; the
+/// stream then sails past the old deadline without violating.
+#[test]
+fn pool_reload_spec_reports_dropped_by_old_name() {
+    let old = rev("[1, 6]");
+    let renamed: SpecRevision<u8, String> = SpecRevision::compile(
+        "spec live; actions GO, DONE;\n\
+         cond RENAMED { trigger on GO; pi DONE; bounds [1, 6]; }",
+        &binder(),
+    )
+    .unwrap();
+
+    let mut pool: MonitorPool<u8, String> = MonitorPool::from_compiled(
+        Arc::clone(old.compiled()),
+        PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        },
+    );
+    let mut h = pool.open_stream(0u8);
+    h.send("GO".to_string(), Rat::from(1), 0).unwrap();
+    wait_processed(&pool, 1);
+
+    let report = pool.reload_spec(&renamed);
+    assert!(
+        !report.dropped.is_empty(),
+        "the open obligations must be reported"
+    );
+    assert!(report
+        .dropped
+        .iter()
+        .all(|(s, name, _)| *s == 0 && name == "C"));
+    assert_eq!(report.carried, 0);
+
+    // C is gone; its old deadline of 7 passes silently.
+    h.send("noise".to_string(), Rat::from(50), 0).unwrap();
+    h.finish();
+    assert!(pool.shutdown().passed());
+}

@@ -1,0 +1,238 @@
+//! Differential tests for the shipped `.tspec` files: for each of the
+//! six example systems, the conditions lowered from the shipped spec
+//! through the system's binder must behave *identically* to the
+//! hand-built Rust conditions at the canonical parameters — per-event
+//! classification bits, offline folds in both satisfaction modes, and
+//! streaming monitor verdicts all agree pointwise, on real traces
+//! generated from each system's `time(A, b)` automaton.
+//!
+//! This is the `tests/prop_dispatch.rs` pattern turned outward: there
+//! the declarative and opaque *compilations* of one condition are
+//! compared; here the *textual* and *programmatic* definitions of one
+//! requirement are.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use tempo_core::engine::{CompiledConditionSet, EventClassification};
+use tempo_core::{
+    project, time_ab, RandomScheduler, SatisfactionMode, TimedSequence, TimingCondition, Violation,
+};
+use tempo_ioa::Ioa;
+use tempo_math::{Interval, Rat};
+use tempo_monitor::Monitor;
+use tempo_systems::{
+    cement_mixer, fischer, peterson, request_manager, resource_manager, tournament, two_event_chain,
+};
+
+/// Traces of the system's `time(A, b)` automaton under a handful of
+/// random schedules, projected to the base automaton.
+fn traces<M>(timed: &tempo_core::Timed<M>, steps: usize) -> Vec<TimedSequence<M::State, M::Action>>
+where
+    M: Ioa + Send + Sync + 'static,
+    M::State: Clone + Debug,
+    M::Action: Clone + Debug,
+{
+    let impl_aut = time_ab(timed);
+    (0..8u64)
+        .map(|seed| {
+            let mut sched = RandomScheduler::new(seed);
+            let (run, _) = impl_aut.generate(&mut sched, steps);
+            project(&run)
+        })
+        .collect()
+}
+
+fn sorted(vs: &[Violation]) -> Vec<String> {
+    let mut keys: Vec<String> = vs.iter().map(|v| format!("{v:?}")).collect();
+    keys.sort();
+    keys
+}
+
+/// Per-event classification bits over the trace.
+fn classifications<S, A>(
+    set: &CompiledConditionSet<S, A>,
+    seq: &TimedSequence<S, A>,
+) -> Vec<Vec<(bool, bool, bool)>>
+where
+    S: Clone + Debug,
+    A: Clone + Eq + Hash + Debug,
+{
+    let mut cls = EventClassification::new(set.len());
+    let mut out = Vec::new();
+    for (pre, a, _, post) in seq.step_triples() {
+        set.classify(pre, a, post, &mut cls);
+        out.push(
+            (0..set.len())
+                .map(|ci| (cls.trigger(ci), cls.pi(ci), cls.disabling(ci)))
+                .collect(),
+        );
+    }
+    out
+}
+
+/// The spec-lowered conditions agree with the hand-built ones on
+/// names, bounds, and pointwise behaviour over every trace.
+fn assert_differential<S, A>(
+    label: &str,
+    hand: &[TimingCondition<S, A>],
+    spec: &[TimingCondition<S, A>],
+    seqs: &[TimedSequence<S, A>],
+) where
+    S: Clone + Debug + 'static,
+    A: Clone + Eq + Hash + Debug + Send + Sync + 'static,
+{
+    assert_eq!(hand.len(), spec.len(), "{label}: condition count");
+    for (h, s) in hand.iter().zip(spec) {
+        assert_eq!(h.name(), s.name(), "{label}: names");
+        assert_eq!(h.lower(), s.lower(), "{label}/{}: lower bound", h.name());
+        assert_eq!(h.upper(), s.upper(), "{label}/{}: upper bound", h.name());
+    }
+    let h_set = CompiledConditionSet::new(hand);
+    let s_set = CompiledConditionSet::new(spec);
+    assert!(
+        seqs.iter().any(|s| !s.is_empty()),
+        "{label}: generated traces are empty — the comparison would be vacuous"
+    );
+    for seq in seqs {
+        assert_eq!(
+            classifications(&h_set, seq),
+            classifications(&s_set, seq),
+            "{label}: classification bits"
+        );
+        for mode in [SatisfactionMode::Prefix, SatisfactionMode::Complete] {
+            assert_eq!(
+                sorted(&h_set.fold_sequence(seq, mode)),
+                sorted(&s_set.fold_sequence(seq, mode)),
+                "{label}: offline fold, mode {mode:?}"
+            );
+            let mut h_mon = Monitor::new(hand, seq.first_state());
+            let mut s_mon = Monitor::new(spec, seq.first_state());
+            for (_, a, t, post) in seq.step_triples() {
+                assert_eq!(
+                    h_mon.observe(a, t, post),
+                    s_mon.observe(a, t, post),
+                    "{label}: monitor verdict at t={t}"
+                );
+            }
+            assert_eq!(
+                sorted(&h_mon.finish(mode)),
+                sorted(&s_mon.finish(mode)),
+                "{label}: final violations, mode {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fischer_spec_matches_hand_built() {
+    let params = fischer::FischerParams::ints(1, 1, 2, 4);
+    let hand = vec![fischer::solo_entry_condition(&params)];
+    let spec = fischer::tspec_conditions();
+    let seqs = traces(&fischer::fischer_system(&params), 40);
+    assert_differential("fischer", &hand, &spec, &seqs);
+}
+
+#[test]
+fn peterson_spec_matches_hand_built() {
+    let params = peterson::PetersonParams::ints(1, 2);
+    let bound = Interval::closed(Rat::ONE, Rat::from(10)).unwrap();
+    let hand = vec![
+        peterson::entry_condition(0, bound),
+        peterson::entry_condition(1, bound),
+    ];
+    let spec = peterson::tspec_conditions();
+    let seqs = traces(&peterson::peterson_system(&params), 60);
+    assert_differential("peterson", &hand, &spec, &seqs);
+}
+
+#[test]
+fn tournament_spec_matches_hand_built() {
+    let params = peterson::PetersonParams::ints(1, 2);
+    let aut = tournament::Tournament::new(2);
+    let bound = Interval::closed(Rat::ONE, Rat::from(12)).unwrap();
+    let hand = vec![
+        tournament::entry_condition(&aut, 0, bound),
+        tournament::entry_condition(&aut, 1, bound),
+    ];
+    let spec = tournament::tspec_conditions();
+    let seqs = traces(&tournament::tournament_system(2, &params), 60);
+    assert_differential("tournament", &hand, &spec, &seqs);
+}
+
+#[test]
+fn cement_mixer_spec_matches_hand_built() {
+    let params = cement_mixer::MixerParams::ints(1, 3, 5, None);
+    let hand = vec![
+        cement_mixer::conditional_response(&params),
+        cement_mixer::naive_response(&params),
+    ];
+    let spec = cement_mixer::tspec_conditions();
+    let seqs = traces(&cement_mixer::mixer_system(&params), 40);
+    assert_differential("cement_mixer", &hand, &spec, &seqs);
+}
+
+#[test]
+fn request_manager_spec_matches_hand_built() {
+    let params = resource_manager::Params::ints(3, 2, 3, 1).unwrap();
+    let hand = vec![request_manager::response_condition(&params)];
+    let spec = request_manager::tspec_conditions();
+    let seqs = traces(&request_manager::rq_system(&params), 40);
+    assert_differential("request_manager", &hand, &spec, &seqs);
+}
+
+#[test]
+fn two_event_chain_spec_matches_hand_built() {
+    let params = two_event_chain::ChainParams::ints((0, 5), (1, 3), (2, 4));
+    let hand = vec![two_event_chain::chain_condition(&params)];
+    let spec = two_event_chain::tspec_conditions();
+    let seqs = traces(&two_event_chain::chain_system(&params), 10);
+    assert_differential("two_event_chain", &hand, &spec, &seqs);
+}
+
+/// The guarded specs lower to exactly the dispatch shape the hand-built
+/// conditions have: tournament and the mixer's conditional requirement
+/// take the closure-fallback trigger path, everything else is fully
+/// declarative.
+#[test]
+fn lowered_specs_have_the_expected_dispatch_shape() {
+    let decl_only = [
+        (
+            "fischer",
+            CompiledConditionSet::new(&fischer::tspec_conditions()).dispatch_stats(),
+            0usize,
+        ),
+        (
+            "peterson",
+            CompiledConditionSet::new(&peterson::tspec_conditions()).dispatch_stats(),
+            0,
+        ),
+        (
+            "request_manager",
+            CompiledConditionSet::new(&request_manager::tspec_conditions()).dispatch_stats(),
+            0,
+        ),
+        (
+            "two_event_chain",
+            CompiledConditionSet::new(&two_event_chain::tspec_conditions()).dispatch_stats(),
+            0,
+        ),
+        (
+            "tournament",
+            CompiledConditionSet::new(&tournament::tspec_conditions()).dispatch_stats(),
+            2,
+        ),
+        (
+            "cement_mixer",
+            CompiledConditionSet::new(&cement_mixer::tspec_conditions()).dispatch_stats(),
+            1,
+        ),
+    ];
+    for (label, stats, opaque_triggers) in decl_only {
+        assert_eq!(
+            stats.opaque_trigger, opaque_triggers,
+            "{label}: trigger path"
+        );
+        assert_eq!(stats.opaque_pi, 0, "{label}: pi is always declarative");
+    }
+}

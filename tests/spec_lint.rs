@@ -1,0 +1,108 @@
+//! The shipped `.tspec` files must be pristine: they parse, pass the
+//! static diagnostics pass with **zero** findings (errors *and*
+//! warnings), lower through their system's binder, and carry the
+//! canonical parameters' derived bounds. CI runs this as the spec-lint
+//! gate.
+
+use tempo_core::TimingCondition;
+use tempo_math::{Rat, TimeVal};
+use tempo_spec::{lint, parse};
+use tempo_systems::{
+    cement_mixer, fischer, peterson, request_manager, resource_manager, tournament, two_event_chain,
+};
+
+type SourceFn = fn() -> &'static str;
+
+const SHIPPED: [(&str, SourceFn); 6] = [
+    ("fischer", fischer::tspec_source as SourceFn),
+    ("peterson", peterson::tspec_source),
+    ("tournament", tournament::tspec_source),
+    ("cement_mixer", cement_mixer::tspec_source),
+    ("request_manager", request_manager::tspec_source),
+    ("two_event_chain", two_event_chain::tspec_source),
+];
+
+#[test]
+fn shipped_specs_lint_clean() {
+    for (name, source) in SHIPPED {
+        let findings = lint(source());
+        assert!(
+            findings.is_empty(),
+            "{name}.tspec has findings:\n{}",
+            findings
+                .iter()
+                .map(|d| d.render(source()))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn shipped_specs_declare_their_system() {
+    for (name, source) in SHIPPED {
+        let spec = parse(source()).unwrap();
+        assert_eq!(spec.name.text, name, "{name}.tspec: spec name");
+        let system = spec
+            .meta
+            .iter()
+            .find(|m| m.key.text == "system")
+            .unwrap_or_else(|| panic!("{name}.tspec: no `meta system` entry"));
+        assert_eq!(system.value, name);
+        assert!(
+            spec.meta.iter().any(|m| m.key.text == "params"),
+            "{name}.tspec: no `meta params` entry documenting the canonical parameters"
+        );
+        assert!(!spec.conds.is_empty(), "{name}.tspec: no conditions");
+    }
+}
+
+/// The literal bounds written in each shipped spec equal the bounds the
+/// paper's formulas derive at the canonical parameters — the spec files
+/// cannot silently drift from the Rust constructors.
+#[test]
+fn shipped_bounds_match_derived_formulas() {
+    fn bounds<S, A>(c: &TimingCondition<S, A>) -> (Rat, TimeVal) {
+        (c.lower(), c.upper())
+    }
+
+    let f = fischer::FischerParams::ints(1, 1, 2, 4);
+    for c in fischer::tspec_conditions() {
+        assert_eq!(
+            bounds(&c),
+            bounds(&fischer::solo_entry_condition(&f)),
+            "fischer/{}",
+            c.name()
+        );
+    }
+
+    let m = cement_mixer::MixerParams::ints(1, 3, 5, None);
+    for c in cement_mixer::tspec_conditions() {
+        assert_eq!(
+            bounds(&c),
+            bounds(&cement_mixer::naive_response(&m)),
+            "cement_mixer/{}",
+            c.name()
+        );
+    }
+
+    let r = resource_manager::Params::ints(3, 2, 3, 1).unwrap();
+    for c in request_manager::tspec_conditions() {
+        assert_eq!(
+            bounds(&c),
+            bounds(&request_manager::response_condition(&r)),
+            "request_manager/{}",
+            c.name()
+        );
+    }
+
+    let ch = two_event_chain::ChainParams::ints((0, 5), (1, 3), (2, 4));
+    for c in two_event_chain::tspec_conditions() {
+        assert_eq!(
+            bounds(&c),
+            bounds(&two_event_chain::chain_condition(&ch)),
+            "two_event_chain/{}",
+            c.name()
+        );
+    }
+}

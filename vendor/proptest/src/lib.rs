@@ -76,6 +76,127 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Type-erases the strategy so differently-shaped strategies can be
+    /// mixed (see [`prop_oneof!`]). Clones share the erased strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves, and
+    /// `recurse` wraps a strategy for depth `d` into one for depth
+    /// `d + 1`. At each level the generator picks a leaf one time in
+    /// three, so nesting terminates. The `_desired_size` and
+    /// `_expected_branch_size` hints of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = one_of(vec![(1, leaf.clone()), (2, recurse(strat).boxed())]).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// A weighted choice among type-erased strategies (see [`prop_oneof!`]).
+pub struct OneOf<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof of zero total weight");
+        let mut pick = rng.below(total as u128) as u64;
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Builds the weighted union behind [`prop_oneof!`].
+pub fn one_of<T: fmt::Debug>(options: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+    assert!(!options.is_empty(), "prop_oneof of no strategies");
+    OneOf { options }
+}
+
+/// Picks among strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use super::{fmt, Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some three times in four: present-but-optional is the
+            // interesting case.
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, `Some(value)` otherwise.
+    pub fn of<S: Strategy>(strat: S) -> OptionStrategy<S> {
+        OptionStrategy(strat)
+    }
 }
 
 /// The strategy returned by [`Strategy::prop_map`].
@@ -287,8 +408,8 @@ impl ProptestConfig {
 /// Everything the test files import.
 pub mod prelude {
     pub use crate::{
-        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        any, collection, option, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 
