@@ -1,0 +1,133 @@
+//! E16 — integer-tick engine vs the exact-rational engine.
+//!
+//! The monomorphized int backend scales every bound onto a shared u64
+//! tick grid at compile time and keeps its open obligations in flat
+//! struct-of-arrays tables with min-deadline/min-earliest watermarks.
+//! This bench answers EXPERIMENTS.md §E16's two questions:
+//!
+//! 1. On the §E12 pulse workload, what does an event cost on the int
+//!    backend vs the exact backend as the condition count grows
+//!    (1 / 16 / 256)? This is the sub-20 ns monitor-core chase.
+//! 2. How does the per-event cost scale with the number of *open*
+//!    obligations (1 / 1k / 100k)? The exact engine's per-condition
+//!    `Vec<Obligation>` scan is linear per event; the int backend's
+//!    watermarks skip the scans outright for events that serve nothing
+//!    and pass no deadline.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_core::engine::{BackendChoice, CompiledConditionSet, EngineBackend};
+use tempo_core::{SatisfactionMode, TimedSequence, TimingCondition};
+use tempo_math::{Interval, Rat};
+
+const EVENTS: usize = 10_000;
+
+/// The §E12 workload: `k` request/response bounds armed by the same
+/// `go` steps, so every event weighs against `k` conditions.
+fn pulse_conditions(k: usize) -> Vec<TimingCondition<u32, &'static str>> {
+    (0..k)
+        .map(|i| {
+            TimingCondition::new(
+                format!("PULSE{i}"),
+                Interval::closed(Rat::ONE, Rat::from(3)).unwrap(),
+            )
+            .triggered_by_step(|_, a, _| *a == "go")
+            .on_actions(|a| *a == "done")
+        })
+        .collect()
+}
+
+/// A satisfying `go`/`done` pulse train: one event per time unit.
+fn pulse_stream(n: usize) -> TimedSequence<u32, &'static str> {
+    let mut seq = TimedSequence::new(0u32);
+    for i in 0..n {
+        let a = if i % 2 == 0 { "go" } else { "done" };
+        seq.push(a, Rat::from(i as i64), (i + 1) as u32);
+    }
+    seq
+}
+
+/// §E12's engine fold, backend vs backend. Per-event cost = reported
+/// time / 10k events.
+fn bench_pulse_fold(c: &mut Criterion) {
+    let seq = pulse_stream(EVENTS);
+    let mut group = c.benchmark_group("e16_pulse_fold");
+    for k in [1usize, 16, 256] {
+        let set = CompiledConditionSet::new(&pulse_conditions(k));
+        assert_eq!(
+            set.backend(),
+            EngineBackend::Int,
+            "pulse bounds are integral"
+        );
+        for (name, choice) in [
+            ("int", BackendChoice::Auto),
+            ("exact", BackendChoice::Exact),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, k), &set, |b, set| {
+                b.iter(|| {
+                    let vs = set.fold_sequence_with(&seq, SatisfactionMode::Prefix, choice);
+                    assert!(vs.is_empty());
+                    vs
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// One condition whose deadline is effectively never met: each `go`
+/// trigger parks an open upper obligation until the far future, so the
+/// obligation store can be pre-armed to any size.
+fn slow_condition() -> TimingCondition<u32, &'static str> {
+    TimingCondition::new(
+        "SLOW",
+        Interval::closed(Rat::ONE, Rat::from(1_000_000_000_000_000i64)).unwrap(),
+    )
+    .triggered_by_step(|_, a, _| *a == "go")
+    .on_actions(|a| *a == "done")
+}
+
+/// Per-event cost of a quiescent ("noise") event against `n` open
+/// obligations: arm the store with `n` triggers, then measure single
+/// noise steps at monotonically increasing times. The noise action
+/// triggers nothing and serves nothing, so the int backend's
+/// watermarks skip both scans while the exact backend walks its
+/// obligation vector every event.
+fn bench_open_obligations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_open_obligations");
+    // The exact/100k cell costs ~n per event; keep total runtime sane.
+    group.sample_size(20);
+    for n in [1usize, 1_000, 100_000] {
+        for (name, choice) in [
+            ("int", BackendChoice::Auto),
+            ("exact", BackendChoice::Exact),
+        ] {
+            let set = CompiledConditionSet::new(&[slow_condition()]);
+            let mut st = set.start_engine_with(&0u32, choice);
+            for i in 0..n {
+                set.step_engine(&mut st, &0, &"go", &0, Rat::from(i as i64));
+            }
+            // One flush event past every armed lower window discharges
+            // the lowers, leaving exactly n far-deadline uppers.
+            set.step_engine(&mut st, &0, &"noise", &0, Rat::from(n as i64 + 1));
+            assert_eq!(st.open_obligations(), n);
+            if matches!(choice, BackendChoice::Auto) {
+                assert_eq!(st.backend(), EngineBackend::Int);
+            }
+            let t = Cell::new(n as i64 + 1);
+            group.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| {
+                    let now = t.get() + 1;
+                    t.set(now);
+                    set.step_engine(&mut st, &0, &"noise", &0, Rat::from(now))
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pulse_fold, bench_open_obligations);
+criterion_main!(benches);

@@ -29,11 +29,20 @@
 //!   discharged, violated) from which offline violation lists, monitor
 //!   verdicts, metrics, and predictor warnings are all derived.
 //!
+//! * The engine runs on one of two **backends** behind [`EngineImpl`]:
+//!   the exact stepper over [`EngineState`] (`Rat` arithmetic,
+//!   always available, the semantic reference), and a monomorphized
+//!   integer-time stepper over [`IntEngineState`] — bounds scaled to
+//!   `u64` ticks at compile time, obligations in a struct-of-arrays
+//!   store — selected automatically when every bound fits the tick
+//!   domain and **exactly** equivalent (conversion is exact-or-spill,
+//!   never rounded; see [`CompiledConditionSet::int_capable`]).
+//!
 //! The offline checkers ([`violations`](crate::violations),
 //! [`semi_satisfies`](crate::semi_satisfies),
 //! [`check_timed_execution`](crate::check_timed_execution)) are folds of
 //! this engine over a [`TimedSequence`]; the streaming monitor holds one
-//! [`EngineState`] and feeds it live events. Agreement between them
+//! [`EngineImpl`] and feeds it live events. Agreement between them
 //! holds by construction — they run the same code.
 
 use std::collections::HashMap;
@@ -44,6 +53,15 @@ use tempo_math::Rat;
 
 use crate::satisfaction::{SatisfactionMode, Violation, ViolationKind};
 use crate::{ActionSet, TimedSequence, TimingCondition};
+
+// The integer-time fast backend lives in its own file but is a *child*
+// module, so it shares this module's private obligation bookkeeping
+// (`EngineState` fields, `CondSpec`, the `Classify` carriers).
+#[path = "engine_int.rs"]
+mod int;
+
+pub use int::IntEngineState;
+pub(crate) use int::IntPlan;
 
 /// What an open obligation is waiting for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -814,6 +832,196 @@ impl EngineState {
     }
 }
 
+/// Which obligation-stepper backend a stream is running on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineBackend {
+    /// The exact backend: obligations carry `Rat` bounds and every time
+    /// comparison is exact rational arithmetic. Always available;
+    /// semantically the reference.
+    Exact,
+    /// The monomorphized integer backend: bounds scaled to `u64` ticks
+    /// at compile time, open obligations in a struct-of-arrays store
+    /// ([`IntEngineState`]). Chosen automatically when every bound fits
+    /// the tick domain; verdicts are identical to [`EngineBackend::Exact`]
+    /// by construction (conversion is exact-or-spill, never rounded).
+    Int,
+}
+
+/// Backend selection policy for new engine states (and for adopting
+/// resumed snapshots).
+///
+/// There is deliberately no "force integer" choice: the integer backend
+/// exists only where it is *exactly* equivalent, so it can only be
+/// auto-selected — asking for it on a set with unscalable bounds could
+/// not preserve semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Integer backend when the compiled set is
+    /// [`int_capable`](CompiledConditionSet::int_capable), exact
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the exact backend — the differential oracle in CI, and
+    /// the debugging escape hatch.
+    Exact,
+}
+
+/// A stream's engine state, on whichever backend it is running — the
+/// handle `tempo-monitor`'s `Monitor` and the offline folds thread
+/// through the steppers.
+///
+/// Snapshots always materialize as the exact [`EngineState`]
+/// ([`EngineImpl::snapshot`]) — the integer form converts losslessly —
+/// so serialization, hot-reload remapping, and resume are
+/// backend-agnostic: a snapshot taken on one backend resumes on either.
+#[derive(Clone, Debug)]
+pub enum EngineImpl {
+    /// Running on the exact `Rat` backend.
+    Exact(EngineState),
+    /// Running on the integer-tick backend.
+    Int(IntEngineState),
+}
+
+impl EngineImpl {
+    /// Which backend this state is currently on. A stream that started
+    /// on [`EngineBackend::Int`] reports [`EngineBackend::Exact`] after
+    /// spilling (an event time its tick scale could not represent).
+    pub fn backend(&self) -> EngineBackend {
+        match self {
+            EngineImpl::Exact(_) => EngineBackend::Exact,
+            EngineImpl::Int(_) => EngineBackend::Int,
+        }
+    }
+
+    /// Number of conditions this state tracks.
+    pub fn conditions(&self) -> usize {
+        match self {
+            EngineImpl::Exact(st) => st.conditions(),
+            EngineImpl::Int(st) => st.conditions(),
+        }
+    }
+
+    /// Number of events stepped so far.
+    pub fn events_seen(&self) -> usize {
+        match self {
+            EngineImpl::Exact(st) => st.events_seen(),
+            EngineImpl::Int(st) => st.events_seen(),
+        }
+    }
+
+    /// Time of the last stepped event (0 before any event).
+    pub fn last_time(&self) -> Rat {
+        match self {
+            EngineImpl::Exact(st) => st.last_time(),
+            EngineImpl::Int(st) => st.last_time(),
+        }
+    }
+
+    /// Total number of currently open obligations.
+    pub fn open_obligations(&self) -> usize {
+        match self {
+            EngineImpl::Exact(st) => st.open_obligations(),
+            EngineImpl::Int(st) => st.open_obligations(),
+        }
+    }
+
+    /// The open obligations of condition `ci`, materialized in the
+    /// exact domain (the integer backend stores them as ticks).
+    pub fn open_of(&self, ci: usize) -> Vec<Obligation> {
+        match self {
+            EngineImpl::Exact(st) => st.open_of(ci).to_vec(),
+            EngineImpl::Int(st) => st.open_of(ci),
+        }
+    }
+
+    /// Turns obligation-lifecycle logging on or off (see
+    /// [`EngineState::set_log_lifecycle`]).
+    pub fn set_log_lifecycle(&mut self, on: bool) {
+        match self {
+            EngineImpl::Exact(st) => st.set_log_lifecycle(on),
+            EngineImpl::Int(st) => st.set_log_lifecycle(on),
+        }
+    }
+
+    /// A backend-agnostic snapshot of the logical state, as the exact
+    /// [`EngineState`]: the serializable, remappable, resumable form.
+    /// The integer backend's conversion is lossless (ticks are exact
+    /// rationals), so snapshot → resume round-trips across backends.
+    pub fn snapshot(&self) -> EngineState {
+        match self {
+            EngineImpl::Exact(st) => st.clone(),
+            EngineImpl::Int(st) => st.to_exact(),
+        }
+    }
+
+    /// Like [`snapshot`](EngineImpl::snapshot), consuming self (no
+    /// clone on the exact backend) — the hot-reload remap path.
+    pub fn into_exact(self) -> EngineState {
+        match self {
+            EngineImpl::Exact(st) => st,
+            EngineImpl::Int(st) => st.to_exact(),
+        }
+    }
+}
+
+impl Default for EngineImpl {
+    /// An exact state tracking no conditions.
+    fn default() -> EngineImpl {
+        EngineImpl::Exact(EngineState::default())
+    }
+}
+
+/// [`step_specs`] lifted over [`EngineImpl`]: routes to the integer
+/// stepper when the state is on the integer backend and the event time
+/// fits its tick domain, **spilling to exact first** otherwise — the
+/// conversion happens before any mutation, so a step is never partial.
+/// Shared by [`CompiledConditionSet::step_engine`] and the offline
+/// boundmap checker (which builds its own spec table and plan).
+#[inline(always)]
+pub(crate) fn step_specs_impl<'a, C: Classify>(
+    specs: &[CondSpec],
+    plan: Option<&IntPlan>,
+    st: &'a mut EngineImpl,
+    cls: &C,
+    time: Rat,
+    dense: bool,
+) -> &'a [EngineEvent] {
+    let ticks = match (&*st, plan) {
+        (EngineImpl::Int(_), Some(p)) => p.scale.to_ticks(time).filter(|&t| p.safe_ticks(t)),
+        _ => None,
+    };
+    if ticks.is_none() {
+        // Unrepresentable event time (or deadline headroom exhausted):
+        // spill losslessly to the exact backend and continue there.
+        if let EngineImpl::Int(ist) = &*st {
+            let exact = ist.to_exact();
+            *st = EngineImpl::Exact(exact);
+        }
+    }
+    match st {
+        EngineImpl::Int(ist) => int::step_int(
+            plan.expect("integer engine state requires an int plan"),
+            ist,
+            cls,
+            ticks.expect("checked above"),
+            dense,
+        ),
+        EngineImpl::Exact(est) => step_specs(specs, est, cls, time, dense),
+    }
+}
+
+/// [`finish_specs`] lifted over [`EngineImpl`].
+pub(crate) fn finish_specs_impl<'a>(
+    specs: &[CondSpec],
+    st: &'a mut EngineImpl,
+    mode: SatisfactionMode,
+) -> &'a [EngineEvent] {
+    match st {
+        EngineImpl::Exact(est) => finish_specs(specs, est, mode),
+        EngineImpl::Int(ist) => int::finish_int(ist, mode),
+    }
+}
+
 /// Steps one classified event against the open obligations (spec-level:
 /// shared by [`CompiledConditionSet`] and the boundmap checker, which
 /// classifies by partition class instead of by condition).
@@ -950,6 +1158,7 @@ fn resolve_open<C: Classify>(
 ) {
     let in_pi = cls.pi(ci);
     let in_disabling = cls.disabling(ci);
+    let mark = st.events.len();
     let open = &mut st.open[ci];
     let mut k = 0;
     while k < open.len() {
@@ -979,6 +1188,32 @@ fn resolve_open<C: Classify>(
             }
         }
     }
+    // The scan visits obligations in storage order, which is an
+    // artifact of earlier `swap_remove` compactions. Canonicalize this
+    // event's emissions to (trigger index, lower before upper) so both
+    // engine backends report identical within-event order — the
+    // monitor's per-event `Verdict` surfaces the *first* violation.
+    if st.events.len() - mark > 1 {
+        st.events[mark..].sort_by_key(resolve_emission_order);
+    }
+}
+
+/// Sort key canonicalizing one condition's within-event resolve
+/// emissions: by opening trigger, lower window before upper deadline.
+/// Matches the integer backend's emission order exactly.
+fn resolve_emission_order(ev: &EngineEvent) -> (usize, bool) {
+    match ev {
+        EngineEvent::Discharged { obligation, .. } => (
+            obligation.trigger_index,
+            matches!(obligation.kind, ObligationKind::Upper { .. }),
+        ),
+        EngineEvent::Violated { kind, .. } => match kind {
+            ViolationKind::LowerBound { trigger_index, .. } => (*trigger_index, false),
+            ViolationKind::UpperBound { trigger_index, .. } => (*trigger_index, true),
+        },
+        // Never emitted by the resolve phase.
+        EngineEvent::Opened { .. } => (usize::MAX, true),
+    }
 }
 
 /// Ends the stream: drains every still-open obligation, logging a
@@ -993,7 +1228,15 @@ pub(crate) fn finish_specs<'a>(
     st.events.clear();
     st.active.fill(0);
     for ci in 0..st.open.len() {
-        let open = std::mem::take(&mut st.open[ci]);
+        let mut open = std::mem::take(&mut st.open[ci]);
+        // Same canonical order as the per-event resolve phase (and as
+        // the integer backend): by trigger, lower before upper.
+        open.sort_by_key(|ob| {
+            (
+                ob.trigger_index,
+                matches!(ob.kind, ObligationKind::Upper { .. }),
+            )
+        });
         for ob in open {
             match (mode, ob.kind) {
                 (SatisfactionMode::Complete, ObligationKind::Upper { deadline }) => {
@@ -1062,6 +1305,10 @@ pub struct CompiledConditionSet<S, A> {
     conds: Vec<TimingCondition<S, A>>,
     specs: Vec<CondSpec>,
     dispatch: Dispatch<A>,
+    /// The integer-time lowering of the bound table, when every bound
+    /// fits the `u64` tick domain — `None` pins the set to the exact
+    /// backend (see [`IntPlan::from_specs`]).
+    int_plan: Option<IntPlan>,
 }
 
 impl<S, A> fmt::Debug for CompiledConditionSet<S, A> {
@@ -1080,15 +1327,17 @@ impl<S, A: Clone + Eq + Hash> CompiledConditionSet<S, A> {
     /// row over the conditions, so classification cost scales with the
     /// conditions *relevant to* an action, not the set size.
     pub fn new(conds: &[TimingCondition<S, A>]) -> CompiledConditionSet<S, A> {
+        let specs: Vec<CondSpec> = conds
+            .iter()
+            .map(|c| CondSpec {
+                lower: c.lower(),
+                upper: c.upper().finite(),
+                lower_escape: true,
+            })
+            .collect();
         CompiledConditionSet {
-            specs: conds
-                .iter()
-                .map(|c| CondSpec {
-                    lower: c.lower(),
-                    upper: c.upper().finite(),
-                    lower_escape: true,
-                })
-                .collect(),
+            int_plan: IntPlan::from_specs(&specs),
+            specs,
             dispatch: Dispatch::build(conds),
             conds: conds.to_vec(),
         }
@@ -1140,6 +1389,102 @@ impl<S, A> CompiledConditionSet<S, A> {
         }
         st.events.clear();
         st
+    }
+
+    /// The backend [`start_engine`](CompiledConditionSet::start_engine)
+    /// selects for this set under [`BackendChoice::Auto`]: the integer
+    /// backend iff the set is
+    /// [`int_capable`](CompiledConditionSet::int_capable).
+    pub fn backend(&self) -> EngineBackend {
+        if self.int_plan.is_some() {
+            EngineBackend::Int
+        } else {
+            EngineBackend::Exact
+        }
+    }
+
+    /// [`start`](CompiledConditionSet::start) on the automatically
+    /// selected backend: a fresh [`EngineImpl`] with the start-state
+    /// obligations open.
+    pub fn start_engine(&self, start: &S) -> EngineImpl {
+        self.start_engine_with(start, BackendChoice::default())
+    }
+
+    /// [`start_engine`](CompiledConditionSet::start_engine) with an
+    /// explicit [`BackendChoice`] — [`BackendChoice::Exact`] pins the
+    /// stream to exact arithmetic (the differential-oracle path).
+    pub fn start_engine_with(&self, start: &S, choice: BackendChoice) -> EngineImpl {
+        if matches!(choice, BackendChoice::Auto) {
+            if let Some(st) = self.start_int(start) {
+                return EngineImpl::Int(st);
+            }
+        }
+        EngineImpl::Exact(self.start(start))
+    }
+
+    /// Adopts a snapshot (an exact [`EngineState`], from
+    /// [`EngineImpl::snapshot`] or a deserialized stream) onto the
+    /// chosen backend. Under [`BackendChoice::Auto`] the integer
+    /// backend is picked when the set is int-capable **and** every open
+    /// obligation's time converts exactly to its tick domain; anything
+    /// else resumes on exact. Either way the logical state is
+    /// identical — this is what makes snapshots round-trip across
+    /// backends.
+    pub fn adopt_state(&self, st: EngineState, choice: BackendChoice) -> EngineImpl {
+        if matches!(choice, BackendChoice::Auto) {
+            if let Some(plan) = &self.int_plan {
+                if let Some(ist) = IntEngineState::from_exact(plan, &st) {
+                    return EngineImpl::Int(ist);
+                }
+            }
+        }
+        EngineImpl::Exact(st)
+    }
+
+    /// [`step_event`](CompiledConditionSet::step_event) lifted over
+    /// [`EngineImpl`]: the backend-routed per-event path used by the
+    /// streaming monitor and the offline folds. On the integer backend
+    /// an event time outside the tick domain spills the state to exact
+    /// (losslessly, before any mutation) and the stream continues
+    /// there with identical semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` decreases below `st`'s last stepped time.
+    #[inline(always)]
+    pub fn step_engine<'a>(
+        &self,
+        st: &'a mut EngineImpl,
+        pre: &S,
+        action: &A,
+        post: &S,
+        time: Rat,
+    ) -> &'a [EngineEvent]
+    where
+        A: Eq + Hash,
+    {
+        if self.dispatch.dense {
+            let live = LiveEvent::new(&self.conds, &self.dispatch, pre, action, post);
+            step_specs_impl(&self.specs, self.int_plan.as_ref(), st, &live, time, true)
+        } else {
+            let live = DirectEvent {
+                conds: &self.conds,
+                pre,
+                action,
+                post,
+            };
+            step_specs_impl(&self.specs, self.int_plan.as_ref(), st, &live, time, false)
+        }
+    }
+
+    /// [`finish`](CompiledConditionSet::finish) lifted over
+    /// [`EngineImpl`].
+    pub fn finish_engine<'a>(
+        &self,
+        st: &'a mut EngineImpl,
+        mode: SatisfactionMode,
+    ) -> &'a [EngineEvent] {
+        finish_specs_impl(&self.specs, st, mode)
     }
 
     /// Classifies one event — pre-state, action, post-state — against
@@ -1262,22 +1607,38 @@ impl<S, A> CompiledConditionSet<S, A> {
 impl<S: Clone + fmt::Debug, A: Clone + fmt::Debug + Eq + Hash> CompiledConditionSet<S, A> {
     /// Folds the engine over a complete recorded sequence and collects
     /// every violation, in event (discovery) order — the shared core of
-    /// [`violations`](crate::violations) and the replay checkers.
+    /// [`violations`](crate::violations) and the replay checkers. Runs
+    /// on the automatically selected backend
+    /// ([`BackendChoice::Auto`]); use
+    /// [`fold_sequence_with`](CompiledConditionSet::fold_sequence_with)
+    /// to pin the exact oracle.
     pub fn fold_sequence(
         &self,
         seq: &TimedSequence<S, A>,
         mode: SatisfactionMode,
     ) -> Vec<Violation> {
-        let mut st = self.start(seq.first_state());
+        self.fold_sequence_with(seq, mode, BackendChoice::default())
+    }
+
+    /// [`fold_sequence`](CompiledConditionSet::fold_sequence) with an
+    /// explicit [`BackendChoice`] — the differential property net folds
+    /// once per backend and compares verdicts pointwise.
+    pub fn fold_sequence_with(
+        &self,
+        seq: &TimedSequence<S, A>,
+        mode: SatisfactionMode,
+        choice: BackendChoice,
+    ) -> Vec<Violation> {
+        let mut st = self.start_engine_with(seq.first_state(), choice);
         // Only violations are consumed here; skip the lifecycle log.
         st.set_log_lifecycle(false);
         let mut out = Vec::new();
         for (pre, a, t, post) in seq.step_triples() {
-            if !self.step_event(&mut st, pre, a, post, t).is_empty() {
+            if !self.step_engine(&mut st, pre, a, post, t).is_empty() {
                 self.drain_violations(&mut st, &mut out);
             }
         }
-        self.finish(&mut st, mode);
+        self.finish_engine(&mut st, mode);
         self.drain_violations(&mut st, &mut out);
         out
     }
@@ -1285,8 +1646,12 @@ impl<S: Clone + fmt::Debug, A: Clone + fmt::Debug + Eq + Hash> CompiledCondition
     /// Moves every violation out of the state's event log into `out` —
     /// the log is drained, so each `ViolationKind` payload is moved
     /// rather than cloned.
-    fn drain_violations(&self, st: &mut EngineState, out: &mut Vec<Violation>) {
-        for ev in st.events.drain(..) {
+    fn drain_violations(&self, st: &mut EngineImpl, out: &mut Vec<Violation>) {
+        let events = match st {
+            EngineImpl::Exact(est) => &mut est.events,
+            EngineImpl::Int(ist) => ist.events_mut(),
+        };
+        for ev in events.drain(..) {
             if let EngineEvent::Violated { ci, kind } = ev {
                 out.push(Violation {
                     condition: self.name(ci).to_string(),

@@ -82,7 +82,7 @@
 //! repository root.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod boundmap;
 pub mod completeness;

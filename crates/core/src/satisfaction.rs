@@ -13,8 +13,8 @@ use tempo_ioa::{ClassId, Ioa};
 use tempo_math::Rat;
 
 use crate::engine::{
-    finish_specs, step_specs, CompiledConditionSet, CondSpec, EngineEvent, EngineState,
-    EventClassification,
+    finish_specs_impl, step_specs_impl, CompiledConditionSet, CondSpec, EngineEvent, EngineImpl,
+    EngineState, EventClassification, IntEngineState, IntPlan,
 };
 use crate::{Timed, TimedSequence, TimingCondition};
 
@@ -187,8 +187,14 @@ pub fn check_timed_execution<M: Ioa>(
 
     // Measurement points (the positions Definition 2.1 measures its
     // bounds from) become the engine's triggers: class `C` is triggered
-    // where it fires or first becomes enabled.
-    let mut st = EngineState::new(classes.len());
+    // where it fires or first becomes enabled. Like the condition-set
+    // checkers, the fold runs on the integer backend when the boundmap
+    // lowers into the tick domain, exact otherwise.
+    let plan = IntPlan::from_specs(&specs);
+    let mut st = match &plan {
+        Some(p) => EngineImpl::Int(IntEngineState::new(classes.len(), p.scale)),
+        None => EngineImpl::Exact(EngineState::new(classes.len())),
+    };
     // Only violations are consumed here; skip the lifecycle log.
     st.set_log_lifecycle(false);
     let mut cls = EventClassification::new(classes.len());
@@ -207,15 +213,15 @@ pub fn check_timed_execution<M: Ioa>(
             }
         }
         // The start-state triggers open lazily, before the first step
-        // (EngineState::new cannot see the automaton).
+        // (the bare engine state cannot see the automaton).
         if st.events_seen() == 0 {
             for (ci, &class) in classes.iter().enumerate() {
                 if aut.class_enabled(seq.first_state(), class) {
-                    open_start_trigger(&specs[ci], &mut st, ci);
+                    open_start_trigger(&specs, plan.as_ref(), &mut st, ci);
                 }
             }
         }
-        if let Some(v) = step_specs(&specs, &mut st, &cls, t, false)
+        if let Some(v) = step_specs_impl(&specs, plan.as_ref(), &mut st, &cls, t, false)
             .iter()
             .find_map(|ev| fail(aut, ev))
         {
@@ -225,11 +231,11 @@ pub fn check_timed_execution<M: Ioa>(
     if st.events_seen() == 0 {
         for (ci, &class) in classes.iter().enumerate() {
             if aut.class_enabled(seq.first_state(), class) {
-                open_start_trigger(&specs[ci], &mut st, ci);
+                open_start_trigger(&specs, plan.as_ref(), &mut st, ci);
             }
         }
     }
-    match finish_specs(&specs, &mut st, mode)
+    match finish_specs_impl(&specs, &mut st, mode)
         .iter()
         .find_map(|ev| fail(aut, ev))
     {
@@ -238,9 +244,15 @@ pub fn check_timed_execution<M: Ioa>(
     }
 }
 
-/// Opens the start-state (trigger 0, time 0) obligations of one class.
-fn open_start_trigger(spec: &CondSpec, st: &mut EngineState, ci: usize) {
-    st.open_trigger(spec, ci, 0, Rat::ZERO);
+/// Opens the start-state (trigger 0, time 0) obligations of one class,
+/// on whichever backend the fold is running.
+fn open_start_trigger(specs: &[CondSpec], plan: Option<&IntPlan>, st: &mut EngineImpl, ci: usize) {
+    match st {
+        EngineImpl::Exact(est) => est.open_trigger(&specs[ci], ci, 0, Rat::ZERO),
+        EngineImpl::Int(ist) => {
+            ist.open_trigger(plan.expect("integer state requires a plan"), ci, 0, 0)
+        }
+    }
 }
 
 #[cfg(test)]

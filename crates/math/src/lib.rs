@@ -33,10 +33,12 @@
 
 mod interval;
 mod rat;
+mod scale;
 #[cfg(feature = "serde")]
 mod serde_impls;
 mod timeval;
 
 pub use interval::{Interval, IntervalError};
 pub use rat::{ParseRatError, Rat};
+pub use scale::TimeScale;
 pub use timeval::TimeVal;

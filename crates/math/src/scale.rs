@@ -1,0 +1,216 @@
+//! Rational → fixed-point time scaling: the bridge between the exact
+//! [`Rat`] time domain and the integer-tick domain of the monomorphized
+//! engine backend.
+//!
+//! Every shipped system's bounds are integral (or small rationals), yet
+//! Definition 3.1's obligations only ever *compare* times — they never
+//! need exact rational arithmetic at runtime. A [`TimeScale`] fixes a
+//! tick length of `1/den` time units, where `den` is the LCM of the
+//! denominators of every bound in play: under that scale each bound
+//! becomes a plain `u64` tick count, additions and comparisons are
+//! single machine ops, and the order of any two representable times is
+//! preserved exactly (`to_ticks` is strictly monotone where defined).
+//!
+//! Conversion is **exact or refused**: [`TimeScale::to_ticks`] returns
+//! `None` for values the scale cannot represent without rounding
+//! (negative, denominator not dividing the scale, or overflowing
+//! `u64`), and the engine falls back to exact arithmetic rather than
+//! ever comparing approximations.
+
+use crate::Rat;
+
+/// A fixed-point scale for the integer-tick time domain: one tick is
+/// `1/denominator()` time units.
+///
+/// # Example
+///
+/// ```
+/// use tempo_math::{Rat, TimeScale};
+///
+/// // Bounds 3/2 and 1/3 need ticks of 1/6.
+/// let scale = TimeScale::for_values([Rat::new(3, 2), Rat::new(1, 3)]).unwrap();
+/// assert_eq!(scale.denominator(), 6);
+/// assert_eq!(scale.to_ticks(Rat::new(3, 2)), Some(9));
+/// assert_eq!(scale.from_ticks(9), Rat::new(3, 2));
+/// // 1/4 is not representable in sixths: refused, never rounded.
+/// assert_eq!(scale.to_ticks(Rat::new(1, 4)), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimeScale {
+    /// Ticks per time unit; always ≥ 1.
+    den: u64,
+}
+
+/// `gcd` over `u64` (Euclid).
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl TimeScale {
+    /// The unit scale: one tick per time unit. This is the scale of
+    /// every all-integral bound set — the denominator-1 fast path, where
+    /// `to_ticks` is a bare range check and cast.
+    pub const UNIT: TimeScale = TimeScale { den: 1 };
+
+    /// The scale whose tick is `1/lcm(denominators)`, or `None` when the
+    /// LCM overflows `u64`.
+    ///
+    /// Denominators must be positive (as [`Rat::denom`] guarantees);
+    /// nonpositive entries yield `None`.
+    pub fn for_denominators<I: IntoIterator<Item = i128>>(dens: I) -> Option<TimeScale> {
+        let mut lcm: u64 = 1;
+        for d in dens {
+            let d = u64::try_from(d).ok()?;
+            if d == 0 {
+                return None;
+            }
+            let g = gcd(lcm, d);
+            let step = (d / g) as u128 * lcm as u128;
+            lcm = u64::try_from(step).ok()?;
+        }
+        Some(TimeScale { den: lcm })
+    }
+
+    /// The coarsest scale representing every value in `vals` exactly:
+    /// the LCM of their denominators, with each scaled value checked to
+    /// be a nonnegative `u64` tick count. `None` when no such scale
+    /// exists (LCM overflow, a negative value, or a scaled value past
+    /// `u64::MAX`) — the caller must then stay on exact arithmetic.
+    pub fn for_values<I>(vals: I) -> Option<TimeScale>
+    where
+        I: IntoIterator<Item = Rat> + Clone,
+    {
+        let scale = TimeScale::for_denominators(vals.clone().into_iter().map(Rat::denom))?;
+        for v in vals {
+            scale.to_ticks(v)?;
+        }
+        Some(scale)
+    }
+
+    /// Ticks per time unit (always ≥ 1).
+    pub fn denominator(self) -> u64 {
+        self.den
+    }
+
+    /// Whether this is the unit scale (all-integral bounds: `to_ticks`
+    /// reduces to a range check and cast).
+    pub fn is_unit(self) -> bool {
+        self.den == 1
+    }
+
+    /// Converts `r` to ticks, exactly: `r · denominator()`. Returns
+    /// `None` — never a rounded value — when `r` is negative, its
+    /// denominator does not divide the scale, or the product overflows
+    /// `u64`.
+    ///
+    /// Where defined, the map is strictly monotone, so every ordered
+    /// comparison of tick counts agrees with the exact [`Rat`] order.
+    #[inline]
+    pub fn to_ticks(self, r: Rat) -> Option<u64> {
+        let num = r.numer();
+        if num < 0 {
+            return None;
+        }
+        let den = r.denom();
+        if den == 1 {
+            // Integral value: multiply by the scale (the all-integral
+            // unit-scale case folds to a bare cast).
+            let t = num as u128 * self.den as u128;
+            return u64::try_from(t).ok();
+        }
+        let den = u64::try_from(den).ok()?;
+        if !self.den.is_multiple_of(den) {
+            return None;
+        }
+        let t = num as u128 * (self.den / den) as u128;
+        u64::try_from(t).ok()
+    }
+
+    /// Converts a tick count back to the exact rational it represents:
+    /// `from_ticks(to_ticks(r)) == r` whenever `to_ticks(r)` is defined.
+    #[inline]
+    pub fn from_ticks(self, ticks: u64) -> Rat {
+        Rat::new(ticks as i128, self.den as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scale_is_a_cast() {
+        let s = TimeScale::UNIT;
+        assert!(s.is_unit());
+        assert_eq!(s.to_ticks(Rat::from(7)), Some(7));
+        assert_eq!(s.to_ticks(Rat::ZERO), Some(0));
+        assert_eq!(s.from_ticks(7), Rat::from(7));
+        // Non-integral values are refused on the unit scale.
+        assert_eq!(s.to_ticks(Rat::new(1, 2)), None);
+        // Negative values are never representable.
+        assert_eq!(s.to_ticks(Rat::from(-1)), None);
+    }
+
+    #[test]
+    fn lcm_of_denominators() {
+        let s = TimeScale::for_denominators([2, 3, 4]).unwrap();
+        assert_eq!(s.denominator(), 12);
+        assert_eq!(s.to_ticks(Rat::new(1, 3)), Some(4));
+        assert_eq!(s.to_ticks(Rat::new(5, 4)), Some(15));
+        assert_eq!(s.to_ticks(Rat::new(1, 5)), None);
+    }
+
+    #[test]
+    fn all_integral_denominators_yield_the_unit_scale() {
+        let s = TimeScale::for_values([Rat::from(4), Rat::from(10), Rat::ZERO]).unwrap();
+        assert!(s.is_unit());
+    }
+
+    #[test]
+    fn lcm_overflow_is_refused() {
+        // 2^32 + 1 and 2^32 − 1 are coprime (their gcd divides 2), so
+        // their LCM is 2^64 − 1 — still a u64; one more coprime factor
+        // overflows.
+        let a = (1i128 << 32) + 1;
+        let b = (1i128 << 32) - 1;
+        assert_eq!(
+            TimeScale::for_denominators([a, b]).unwrap().denominator(),
+            u64::MAX
+        );
+        assert!(TimeScale::for_denominators([a, b, 7]).is_none());
+        // A single denominator past u64 overflows immediately.
+        assert!(TimeScale::for_denominators([1i128 << 70]).is_none());
+    }
+
+    #[test]
+    fn oversized_and_negative_values_are_refused() {
+        // The value itself does not fit u64 ticks.
+        let big = Rat::from(1) + Rat::new(u64::MAX as i128, 1);
+        assert!(TimeScale::for_values([big]).is_none());
+        assert_eq!(TimeScale::UNIT.to_ticks(big), None);
+        // A negative value can never be a tick count.
+        assert!(TimeScale::for_values([Rat::from(-3)]).is_none());
+        // Scaling can push an in-range value out of range: 2^63 fits the
+        // unit scale but not a scale of 4.
+        let v = Rat::from(1i128 << 63);
+        assert_eq!(TimeScale::UNIT.to_ticks(v), Some(1u64 << 63));
+        let s = TimeScale::for_denominators([4]).unwrap();
+        assert_eq!(s.to_ticks(v), None);
+    }
+
+    #[test]
+    fn round_trips_and_preserves_order() {
+        let s = TimeScale::for_denominators([6]).unwrap();
+        for (n, d) in [(0, 1), (1, 6), (1, 3), (1, 2), (5, 6), (7, 2), (100, 3)] {
+            let r = Rat::new(n, d);
+            let t = s.to_ticks(r).unwrap();
+            assert_eq!(s.from_ticks(t), r);
+        }
+        assert!(s.to_ticks(Rat::new(1, 3)).unwrap() < s.to_ticks(Rat::new(1, 2)).unwrap());
+    }
+}

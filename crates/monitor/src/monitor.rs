@@ -5,7 +5,8 @@ use std::hash::Hash;
 use std::sync::Arc;
 
 use tempo_core::engine::{
-    CompiledConditionSet, EngineEvent, EngineState, Obligation, ObligationKind,
+    BackendChoice, CompiledConditionSet, EngineBackend, EngineEvent, EngineImpl, EngineState,
+    Obligation, ObligationKind,
 };
 use tempo_core::{SatisfactionMode, TimingCondition, Violation, ViolationKind};
 use tempo_math::Rat;
@@ -55,8 +56,10 @@ pub struct Monitor<S, A> {
     /// The compiled conditions — shared, so a pool of monitors over the
     /// same condition set compiles it exactly once.
     set: Arc<CompiledConditionSet<S, A>>,
-    /// The engine's obligation state for this stream.
-    engine: EngineState,
+    /// The engine's obligation state for this stream, on whichever
+    /// backend the compiled set selected (integer ticks when every
+    /// bound fits the tick domain, exact `Rat`s otherwise).
+    engine: EngineImpl,
     /// Post-state of the last event (initially the start state); the
     /// `pre` argument of `T_step` triggers.
     last_state: S,
@@ -105,7 +108,21 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     /// this is how [`MonitorPool`](crate::MonitorPool) workers build
     /// their per-stream monitors.
     pub fn from_compiled(set: Arc<CompiledConditionSet<S, A>>, start: &S) -> Monitor<S, A> {
-        let mut engine = set.start(start);
+        Monitor::from_compiled_with(set, start, BackendChoice::default())
+    }
+
+    /// [`from_compiled`](Monitor::from_compiled) with an explicit engine
+    /// [`BackendChoice`]: [`BackendChoice::Auto`] (the default) runs the
+    /// monomorphized integer-time backend whenever the compiled set's
+    /// bounds fit its tick domain; [`BackendChoice::Exact`] pins exact
+    /// `Rat` arithmetic — the differential-oracle configuration.
+    /// Verdicts are identical either way.
+    pub fn from_compiled_with(
+        set: Arc<CompiledConditionSet<S, A>>,
+        start: &S,
+        backend: BackendChoice,
+    ) -> Monitor<S, A> {
+        let mut engine = set.start_engine_with(start, backend);
         // No predictor or metrics yet: nobody consumes obligation
         // lifecycle events, so keep them out of the per-event hot path.
         // `with_predictor`/`with_metrics` turn the log back on.
@@ -202,7 +219,11 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             }
             p
         });
-        let mut engine = state;
+        // Adopt the snapshot onto the automatically selected backend:
+        // integer ticks when the set is int-capable and every open
+        // obligation converts exactly, exact `Rat`s otherwise — so a
+        // snapshot round-trips across backends.
+        let mut engine = set.adopt_state(state, BackendChoice::default());
         // As in `from_compiled`: only log obligation lifecycle events
         // while someone (predictor, metrics) consumes them.
         engine.set_log_lifecycle(predictor.is_some());
@@ -250,8 +271,13 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             self.set.len(),
             "swap map must cover every current condition"
         );
-        let (engine, dropped) = self.engine.remap(map, new.len());
-        self.engine = engine;
+        // Remapping works in the exact domain (the snapshot form); the
+        // remapped state is then adopted back onto whichever backend the
+        // *new* set selects — both conversions are lossless.
+        let (remapped, dropped) = std::mem::take(&mut self.engine)
+            .into_exact()
+            .remap(map, new.len());
+        self.engine = new.adopt_state(remapped, BackendChoice::default());
         if let Some(old_p) = self.predictor.take() {
             let mut p = Predictor::new(new.len(), old_p.horizon());
             p.advance_to(self.engine.last_time());
@@ -426,7 +452,7 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             p.sweep(|ci, w| Self::file_warning(warnings, metrics, set.name(ci), w));
         }
         let mut opened = 0u64;
-        for ev in set.step_event(engine, last_state, action, state, time) {
+        for ev in set.step_engine(engine, last_state, action, state, time) {
             match ev {
                 EngineEvent::Opened {
                     ci,
@@ -531,7 +557,7 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             metrics,
             ..
         } = &mut self;
-        for ev in set.finish(engine, mode) {
+        for ev in set.finish_engine(engine, mode) {
             match ev {
                 EngineEvent::Violated { ci, kind } => {
                     if let ViolationKind::UpperBound { trigger_index, .. } = kind {
@@ -610,13 +636,24 @@ impl<S, A> Monitor<S, A> {
         self.engine.events_seen()
     }
 
-    /// The engine's obligation state — the monitor's whole resumable
-    /// position in the stream. Snapshot it (clone, or serialize with the
-    /// `serde` feature of `tempo-core`) and hand it to
-    /// [`Monitor::resume`]/[`Monitor::resume_compiled`] to continue the
-    /// stream later, or in another process.
-    pub fn engine_state(&self) -> &EngineState {
-        &self.engine
+    /// A snapshot of the engine's obligation state — the monitor's whole
+    /// resumable position in the stream, always materialized as the
+    /// exact [`EngineState`] regardless of the running backend (the
+    /// integer backend's tick-to-rational conversion is lossless).
+    /// Serialize it (with the `serde` feature of `tempo-core`) and hand
+    /// it to [`Monitor::resume`]/[`Monitor::resume_compiled`] to
+    /// continue the stream later, or in another process; resume
+    /// re-selects the backend, so snapshots round-trip across backends.
+    pub fn engine_state(&self) -> EngineState {
+        self.engine.snapshot()
+    }
+
+    /// Which engine backend this stream is currently running on. A
+    /// stream that started on [`EngineBackend::Int`] reports
+    /// [`EngineBackend::Exact`] after an event time outside its tick
+    /// domain spilled it to exact arithmetic (verdicts are unaffected).
+    pub fn backend(&self) -> EngineBackend {
+        self.engine.backend()
     }
 
     /// The compiled condition set this monitor steps — shareable with

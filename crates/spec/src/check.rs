@@ -14,13 +14,14 @@
 //! | `vacuous-pi` | warning | no `pi` clause, or a statically empty `Π` set: no event can serve the bound |
 //! | `duplicate-name` | warning | two conditions (or two declared actions) share a name |
 //! | `unused-action` | warning | a declared action appears in no condition |
+//! | `exact-engine` | warning | the bounds share no u64 tick grid: monitors fall back to the exact-rational engine |
 
 use std::collections::HashSet;
 
-use tempo_math::Rat;
+use tempo_math::{Rat, TimeScale};
 
 use crate::ast::{BoundLit, Spec};
-use crate::span::Diagnostic;
+use crate::span::{Diagnostic, Span};
 
 /// Lints `spec`, returning every finding ordered by source position.
 ///
@@ -141,6 +142,45 @@ pub fn check(spec: &Spec) -> Vec<Diagnostic> {
         }
     }
 
+    // Whether the bounds admit a common u64 tick grid decides which
+    // engine backend `Auto` picks at compile time (see tempo-core's
+    // `BackendChoice`): every shipped spec is expected to take the
+    // integer fast path, so losing it — usually to one outsized bound
+    // whose scaled value overflows u64 — is worth a lint even though
+    // the spec still compiles and runs on the exact-rational engine.
+    let bound_vals: Vec<(Rat, Span)> = spec
+        .conds
+        .iter()
+        .flat_map(|c| {
+            let lo = Some((c.bounds.lo.value, c.bounds.lo.span));
+            let hi = match &c.bounds.hi {
+                BoundLit::Finite(h) => Some((h.value, h.span)),
+                BoundLit::Inf(_) => None,
+            };
+            [lo, hi].into_iter().flatten()
+        })
+        .collect();
+    if TimeScale::for_values(bound_vals.iter().map(|(v, _)| *v)).is_none() {
+        // Point at the first bound whose addition breaks the grid (the
+        // shortest failing prefix), not at the whole spec.
+        let mut at = bound_vals.len() - 1;
+        for i in 1..=bound_vals.len() {
+            if TimeScale::for_values(bound_vals[..i].iter().map(|(v, _)| *v)).is_none() {
+                at = i - 1;
+                break;
+            }
+        }
+        let (v, span) = bound_vals[at];
+        out.push(Diagnostic::warning(
+            "exact-engine",
+            span,
+            format!(
+                "bound {v} does not fit the shared u64 tick grid; \
+                 monitors will run this spec on the exact-rational engine"
+            ),
+        ));
+    }
+
     if let Some(decl) = &spec.actions {
         for n in &decl.names {
             if !used.contains(n.text.as_str()) {
@@ -231,5 +271,21 @@ mod tests {
 
     fn codes_of(src: &str) -> Vec<&'static str> {
         codes(src)
+    }
+
+    #[test]
+    fn unscalable_bounds_warn_exact_engine() {
+        // Alone, each bound fits a u64 tick grid; the shared grid
+        // (denominator 6) pushes the upper bound past u64::MAX, so the
+        // warning points at the bound whose addition breaks the grid.
+        let src = "spec s; cond C { trigger on A; pi B; \
+            bounds [1/3, 9223372036854775807/2]; }";
+        let spec = parse(src).unwrap();
+        let findings = check(&spec);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "exact-engine");
+        assert_eq!(findings[0].span.slice(src), "9223372036854775807/2");
+        // Grid-friendly rationals stay clean.
+        assert!(codes("spec s; cond C { trigger on A; pi B; bounds [1/2, 3/4]; }").is_empty());
     }
 }

@@ -1,0 +1,186 @@
+//! Differential property net for the integer-tick engine: on arbitrary
+//! condition sets whose bounds fit a tick grid, the int backend and the
+//! exact-rational backend must be **pointwise equal** — same violation
+//! lists from [`CompiledConditionSet::fold_sequence`], same per-event
+//! monitor verdict stream, in both satisfaction modes. Traces include
+//! off-grid event times on purpose, so the mid-stream spill from int to
+//! exact is exercised under random schedules, not just by hand-picked
+//! cases.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tempo_core::engine::{BackendChoice, CompiledConditionSet, EngineBackend};
+use tempo_core::{ActionSet, SatisfactionMode, TimedSequence, TimingCondition, Violation};
+use tempo_math::{Interval, Rat};
+use tempo_monitor::Monitor;
+
+const UNIVERSE: u32 = 6;
+const START: u32 = 999;
+
+#[derive(Clone, Debug)]
+struct CondSpec {
+    lo: i64,
+    hi: Option<i64>,
+    start_trigger: bool,
+    trigger: Vec<u32>,
+    pi: Vec<u32>,
+    disabling: Vec<u32>,
+}
+
+impl CondSpec {
+    fn build(&self, name: &str) -> TimingCondition<u32, u32> {
+        let bounds = match self.hi {
+            Some(h) => Interval::closed(Rat::from(self.lo), Rat::from(h)).unwrap(),
+            None => Interval::unbounded_above(Rat::from(self.lo)),
+        };
+        let mut c = TimingCondition::new(name, bounds)
+            .triggered_by_actions(ActionSet::of(self.trigger.iter().copied()))
+            .on_action_set(ActionSet::of(self.pi.iter().copied()))
+            .disabled_by_actions(ActionSet::of(self.disabling.iter().copied()));
+        if self.start_trigger {
+            c = c.triggered_at_start(|s| *s == START);
+        }
+        c
+    }
+}
+
+fn subset() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..UNIVERSE, 0..3)
+}
+
+/// Integral bounds only — every generated set must be int-capable.
+fn cond_spec() -> impl Strategy<Value = CondSpec> {
+    (
+        0i64..=3,
+        proptest::option::of(0i64..=5),
+        any::<bool>(),
+        subset(),
+        subset(),
+        subset(),
+    )
+        .prop_map(
+            |(lo, spread, start_trigger, trigger, pi, disabling)| CondSpec {
+                lo,
+                // `Interval` rejects hi == 0, so keep finite uppers ≥ 1.
+                hi: spread.map(|s| (lo + s).max(1)),
+                start_trigger,
+                trigger,
+                pi,
+                disabling,
+            },
+        )
+}
+
+/// A trace of `(action, dt)` steps. `dt` is in **quarters** of a time
+/// unit: integral-bound sets get a unit tick grid, so roughly three in
+/// four event times land off grid and drive the monitor through the
+/// spill path at a random prefix.
+fn trace(quarters: bool) -> impl Strategy<Value = Vec<(u32, i64)>> {
+    let step = if quarters { 0i64..=9 } else { 0i64..=2 };
+    proptest::collection::vec(((0..UNIVERSE + 2), step), 0..24)
+}
+
+fn to_sequence(events: &[(u32, i64)], quarters: bool) -> TimedSequence<u32, u32> {
+    let den = if quarters { 4 } else { 1 };
+    let mut s = TimedSequence::new(START);
+    let mut t = 0i64;
+    for &(a, dt) in events {
+        t += dt;
+        s.push(a, Rat::new(t.into(), den), a);
+    }
+    s
+}
+
+fn sorted(vs: &[Violation]) -> Vec<String> {
+    let mut keys: Vec<String> = vs.iter().map(|v| format!("{v:?}")).collect();
+    keys.sort();
+    keys
+}
+
+/// Per-event verdicts plus final violations of a monitor run under
+/// `choice`.
+fn monitor_run(
+    set: &Arc<CompiledConditionSet<u32, u32>>,
+    seq: &TimedSequence<u32, u32>,
+    choice: BackendChoice,
+    mode: SatisfactionMode,
+) -> (Vec<String>, Vec<String>) {
+    let mut mon = Monitor::from_compiled_with(Arc::clone(set), seq.first_state(), choice);
+    let mut verdicts = Vec::new();
+    for (_, a, t, post) in seq.step_triples() {
+        verdicts.push(format!("{:?}", mon.observe(a, t, post)));
+    }
+    (verdicts, sorted(&mon.finish(mode)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant: on integral-bound condition sets the
+    /// auto-selected int backend and the pinned exact backend agree
+    /// pointwise — fold violations, per-event monitor verdicts, and
+    /// final monitor violations, in both modes, on traces that mix
+    /// on-grid and off-grid times.
+    #[test]
+    fn int_and_exact_backends_agree(
+        specs in proptest::collection::vec(cond_spec(), 1..4),
+        events in trace(true),
+    ) {
+        let conds: Vec<TimingCondition<u32, u32>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.build(&format!("c{i}")))
+            .collect();
+        let set = Arc::new(CompiledConditionSet::new(&conds));
+        prop_assert_eq!(set.backend(), EngineBackend::Int);
+
+        let seq = to_sequence(&events, true);
+        for mode in [SatisfactionMode::Prefix, SatisfactionMode::Complete] {
+            let int_fold = set.fold_sequence_with(&seq, mode, BackendChoice::Auto);
+            let exact_fold = set.fold_sequence_with(&seq, mode, BackendChoice::Exact);
+            prop_assert_eq!(
+                sorted(&int_fold),
+                sorted(&exact_fold),
+                "fold, mode {:?}",
+                mode
+            );
+
+            let (int_verdicts, int_final) = monitor_run(&set, &seq, BackendChoice::Auto, mode);
+            let (exact_verdicts, exact_final) =
+                monitor_run(&set, &seq, BackendChoice::Exact, mode);
+            prop_assert_eq!(int_verdicts, exact_verdicts, "verdict stream, mode {:?}", mode);
+            prop_assert_eq!(int_final, exact_final, "monitor violations, mode {:?}", mode);
+        }
+    }
+
+    /// On-grid traces never spill: the monitor stays on the int backend
+    /// end to end and still matches the exact oracle.
+    #[test]
+    fn on_grid_traces_stay_on_the_int_backend(
+        specs in proptest::collection::vec(cond_spec(), 1..4),
+        events in trace(false),
+    ) {
+        let conds: Vec<TimingCondition<u32, u32>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.build(&format!("c{i}")))
+            .collect();
+        let set = Arc::new(CompiledConditionSet::new(&conds));
+        let seq = to_sequence(&events, false);
+
+        let mut int_mon = Monitor::from_compiled(Arc::clone(&set), seq.first_state());
+        let mut exact_mon =
+            Monitor::from_compiled_with(Arc::clone(&set), seq.first_state(), BackendChoice::Exact);
+        for (_, a, t, post) in seq.step_triples() {
+            let vi = int_mon.observe(a, t, post);
+            let ve = exact_mon.observe(a, t, post);
+            prop_assert_eq!(format!("{vi:?}"), format!("{ve:?}"));
+        }
+        prop_assert_eq!(int_mon.backend(), EngineBackend::Int, "no spill on grid times");
+        prop_assert_eq!(
+            sorted(&int_mon.finish(SatisfactionMode::Complete)),
+            sorted(&exact_mon.finish(SatisfactionMode::Complete))
+        );
+    }
+}

@@ -74,7 +74,7 @@ where
     let prefix_violations = prefix.violations().to_vec();
     let prefix_warnings = prefix.warnings().to_vec();
 
-    let json = serde_json::to_string(prefix.engine_state()).expect("snapshot serializes");
+    let json = serde_json::to_string(&prefix.engine_state()).expect("snapshot serializes");
     let restored: EngineState = serde_json::from_str(&json).expect("snapshot deserializes");
     prop_assert_eq!(restored.events_seen(), prefix.engine_state().events_seen());
     prop_assert_eq!(
@@ -150,7 +150,7 @@ fn snapshot_json_is_stable() {
             .on_actions(|a| *a == "done");
     let mut mon = Monitor::new(std::slice::from_ref(&cond), &0u8);
     mon.observe(&"go", Rat::from(2), &1);
-    let json = serde_json::to_string(mon.engine_state()).unwrap();
+    let json = serde_json::to_string(&mon.engine_state()).unwrap();
     let restored: EngineState = serde_json::from_str(&json).unwrap();
     assert_eq!(serde_json::to_string(&restored).unwrap(), json);
 }
