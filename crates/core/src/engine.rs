@@ -48,6 +48,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::Arc;
 
 use tempo_math::Rat;
 
@@ -647,6 +648,72 @@ pub enum EngineEvent {
         /// The violation, exactly as the offline checker reports it.
         kind: ViolationKind,
     },
+    /// An open deadline crossed its warning point `max(deadline −
+    /// horizon, t_i)` without being served — the `Lt(U)` half of
+    /// predictive tracking. Emitted at most once per obligation, by the
+    /// first event *strictly* past the warning point, ahead of that
+    /// event's resolutions — so a deadline that blows in one time jump
+    /// still gets its warning before the violation. Only emitted while
+    /// a warning horizon is attached (see
+    /// [`CompiledConditionSet::adopt_state_predictive`]).
+    Warned {
+        /// Condition index within the compiled set.
+        ci: usize,
+        /// Index of the trigger that opened the deadline.
+        trigger_index: usize,
+        /// The absolute deadline `t_i + b_u`.
+        deadline: Rat,
+        /// The absolute warning point that was crossed.
+        warn_at: Rat,
+    },
+    /// A freshly opened lower window forces the condition's `Π`-actions
+    /// to stay away for at least the attached horizon — the `Ft(U)`
+    /// half ("this GRANT cannot legally arrive for another 3 ticks").
+    /// Emitted exactly once, by the trigger event that opens the
+    /// window, when `margin = b_l ≥ horizon > 0`; horizon 0 therefore
+    /// requests no forced reports at all. The window is absolute and
+    /// fixed at open time, so resuming a snapshot or carrying the
+    /// obligation across a spec reload never re-reports it.
+    Forced {
+        /// Condition index within the compiled set.
+        ci: usize,
+        /// Index of the trigger that opened the window.
+        trigger_index: usize,
+        /// The earliest legal occurrence `t_i + b_l`.
+        earliest: Rat,
+        /// Absolute time of the trigger that opened the window.
+        t_i: Rat,
+        /// The forced wait `earliest − t_i = b_l`.
+        margin: Rat,
+    },
+}
+
+/// One stored open obligation plus its predictive bookkeeping: the
+/// absolute warning point of an upper deadline, and whether its
+/// [`EngineEvent::Warned`] has already been emitted. Entries that can
+/// never warn — lower windows, and every obligation while no horizon is
+/// attached — are stored pre-`warned`, so the warning sweep skips them
+/// without consulting the kind or the horizon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct OpenOb {
+    /// The obligation itself (the logical, serialized state).
+    pub(crate) ob: Obligation,
+    /// Absolute warning point `max(deadline − horizon, t_i)`; only
+    /// meaningful while `warned` is false.
+    pub(crate) warn_at: Rat,
+    /// Whether this entry's warning has been emitted (or never applies).
+    pub(crate) warned: bool,
+}
+
+impl OpenOb {
+    /// A non-predictive entry: no warning will ever be emitted for it.
+    pub(crate) fn plain(ob: Obligation) -> OpenOb {
+        OpenOb {
+            ob,
+            warn_at: Rat::ZERO,
+            warned: true,
+        }
+    }
 }
 
 /// The engine's whole mutable state: the open obligations per condition
@@ -657,7 +724,7 @@ pub enum EngineEvent {
 #[derive(Clone, Debug)]
 pub struct EngineState {
     /// Open obligations, per condition.
-    open: Vec<Vec<Obligation>>,
+    open: Vec<Vec<OpenOb>>,
     /// Bitmask of conditions with at least one open obligation, kept in
     /// exact sync with `open`: the stepper's resolution scan iterates
     /// its set bits, so quiescent conditions cost one word read per 64.
@@ -674,6 +741,19 @@ pub struct EngineState {
     /// listener turn it off to keep the per-event hot path free of log
     /// traffic.
     log_lifecycle: bool,
+    /// The attached warning horizon: `Some(h)` makes the steppers emit
+    /// [`EngineEvent::Warned`]/[`EngineEvent::Forced`] predictive
+    /// outcomes, `None` (the default) keeps prediction entirely off.
+    /// Attached by [`CompiledConditionSet::adopt_state_predictive`],
+    /// not serialized — a resumed snapshot re-arms explicitly.
+    horizon: Option<Rat>,
+    /// The warning watermark: the minimum `warn_at` over open unwarned
+    /// deadlines, or `None` when nothing is pending. The steppers only
+    /// run the warning sweep when the event time passes it, so events
+    /// that cannot owe a warning pay one comparison. May be stale *low*
+    /// after an unwarned deadline is discharged (the sweep recomputes
+    /// it exactly), never stale high.
+    warn_watermark: Option<Rat>,
 }
 
 impl Default for EngineState {
@@ -695,6 +775,8 @@ impl EngineState {
             events_seen: 0,
             events: Vec::new(),
             log_lifecycle: true,
+            horizon: None,
+            warn_watermark: None,
         }
     }
 
@@ -727,8 +809,32 @@ impl EngineState {
     }
 
     /// The open obligations of condition `ci`, in no particular order.
-    pub fn open_of(&self, ci: usize) -> &[Obligation] {
-        &self.open[ci]
+    pub fn open_of(&self, ci: usize) -> Vec<Obligation> {
+        self.open[ci].iter().map(|o| o.ob).collect()
+    }
+
+    /// The attached warning horizon, if prediction is on (see
+    /// [`CompiledConditionSet::adopt_state_predictive`]).
+    pub fn horizon(&self) -> Option<Rat> {
+        self.horizon
+    }
+
+    /// The earliest open deadline, if any deadline is open:
+    /// `min_deadline − last_time` is the stream's minimum upper-bound
+    /// slack, the `Lt` reading the monitor's metrics track.
+    pub fn min_deadline(&self) -> Option<Rat> {
+        let mut min: Option<Rat> = None;
+        for obs in &self.open {
+            for o in obs {
+                if let ObligationKind::Upper { deadline } = o.ob.kind {
+                    min = Some(match min {
+                        Some(m) if m <= deadline => m,
+                        _ => deadline,
+                    });
+                }
+            }
+        }
+        min
     }
 
     /// Re-indexes this state for a new condition set — the state-level
@@ -746,8 +852,12 @@ impl EngineState {
     /// condition index, so the caller can report them as closed rather
     /// than lose them silently.
     ///
-    /// Stream position (`last_time`, `events_seen`) and the lifecycle
-    /// logging flag carry over; the event-log buffer starts empty.
+    /// Stream position (`last_time`, `events_seen`), the lifecycle
+    /// logging flag, and the predictive state (horizon, per-obligation
+    /// warning points and warned flags — warning points were fixed when
+    /// each trigger fired, so a reload never re-warns or un-warns
+    /// carried obligations) carry over; the event-log buffer starts
+    /// empty.
     pub fn remap(
         &self,
         map: &[Option<usize>],
@@ -762,17 +872,24 @@ impl EngineState {
         next.last_time = self.last_time;
         next.events_seen = self.events_seen;
         next.log_lifecycle = self.log_lifecycle;
+        next.horizon = self.horizon;
         let mut dropped = Vec::new();
         for (ci, obs) in self.open.iter().enumerate() {
             match map[ci] {
                 Some(ni) => {
                     assert!(ni < new_conditions, "remap target out of range");
-                    for &ob in obs {
-                        next.open[ni].push(ob);
+                    for &o in obs {
+                        next.open[ni].push(o);
                         bit_set(&mut next.active, ni);
+                        if !o.warned {
+                            next.warn_watermark = Some(match next.warn_watermark {
+                                Some(w) if w <= o.warn_at => w,
+                                _ => o.warn_at,
+                            });
+                        }
                     }
                 }
-                None => dropped.extend(obs.iter().map(|&ob| (ci, ob))),
+                None => dropped.extend(obs.iter().map(|o| (ci, o.ob))),
             }
         }
         (next, dropped)
@@ -795,13 +912,59 @@ impl EngineState {
         // A zero lower bound can never be violated (times are
         // nondecreasing), so no window obligation opens for it.
         if spec.lower > Rat::ZERO {
+            let earliest = t_i + spec.lower;
             let ob = Obligation {
                 trigger_index,
-                kind: ObligationKind::Lower {
-                    earliest: t_i + spec.lower,
-                },
+                kind: ObligationKind::Lower { earliest },
             };
-            self.open[ci].push(ob);
+            self.open[ci].push(OpenOb::plain(ob));
+            bit_set(&mut self.active, ci);
+            if self.log_lifecycle {
+                self.events.push(EngineEvent::Opened {
+                    ci,
+                    obligation: ob,
+                    t_i,
+                });
+            }
+            if let Some(h) = self.horizon {
+                // Ft(U): the window keeps Π away for at least a full
+                // horizon — report the forced window once, as it opens.
+                if h > Rat::ZERO && spec.lower >= h {
+                    self.events.push(EngineEvent::Forced {
+                        ci,
+                        trigger_index,
+                        earliest,
+                        t_i,
+                        margin: spec.lower,
+                    });
+                }
+            }
+        }
+        // An infinite upper bound imposes no deadline.
+        if let Some(b_u) = spec.upper {
+            let deadline = t_i + b_u;
+            let ob = Obligation {
+                trigger_index,
+                kind: ObligationKind::Upper { deadline },
+            };
+            // Lt(U): fix the warning point now; the sweep emits the
+            // warning when an event passes it.
+            let entry = match self.horizon {
+                Some(h) => {
+                    let warn_at = if h < b_u { deadline - h } else { t_i };
+                    self.warn_watermark = Some(match self.warn_watermark {
+                        Some(w) if w <= warn_at => w,
+                        _ => warn_at,
+                    });
+                    OpenOb {
+                        ob,
+                        warn_at,
+                        warned: false,
+                    }
+                }
+                None => OpenOb::plain(ob),
+            };
+            self.open[ci].push(entry);
             bit_set(&mut self.active, ci);
             if self.log_lifecycle {
                 self.events.push(EngineEvent::Opened {
@@ -811,23 +974,55 @@ impl EngineState {
                 });
             }
         }
-        // An infinite upper bound imposes no deadline.
-        if let Some(b_u) = spec.upper {
-            let ob = Obligation {
-                trigger_index,
-                kind: ObligationKind::Upper {
-                    deadline: t_i + b_u,
-                },
-            };
-            self.open[ci].push(ob);
-            bit_set(&mut self.active, ci);
-            if self.log_lifecycle {
-                self.events.push(EngineEvent::Opened {
-                    ci,
-                    obligation: ob,
-                    t_i,
-                });
+    }
+
+    /// Emits every owed [`EngineEvent::Warned`] — open unwarned
+    /// deadlines whose warning point `time` has strictly passed — and
+    /// recomputes the warning watermark exactly. Only called once an
+    /// event passes the watermark, so it is cold relative to the
+    /// steppers; the scan canonicalizes its emission order to
+    /// (condition, trigger index) since storage order is a
+    /// `swap_remove` artifact that differs across backends.
+    #[inline(never)]
+    fn sweep_warnings(&mut self, time: Rat) {
+        let mark = self.events.len();
+        let mut next: Option<Rat> = None;
+        for w in 0..self.active.len() {
+            let mut act = self.active[w];
+            while act != 0 {
+                let ci = w * 64 + act.trailing_zeros() as usize;
+                act &= act - 1;
+                for o in &mut self.open[ci] {
+                    if o.warned {
+                        continue;
+                    }
+                    if time > o.warn_at {
+                        o.warned = true;
+                        if let ObligationKind::Upper { deadline } = o.ob.kind {
+                            self.events.push(EngineEvent::Warned {
+                                ci,
+                                trigger_index: o.ob.trigger_index,
+                                deadline,
+                                warn_at: o.warn_at,
+                            });
+                        }
+                    } else {
+                        next = Some(match next {
+                            Some(n) if n <= o.warn_at => n,
+                            _ => o.warn_at,
+                        });
+                    }
+                }
             }
+        }
+        self.warn_watermark = next;
+        if self.events.len() - mark > 1 {
+            self.events[mark..].sort_by_key(|ev| match ev {
+                EngineEvent::Warned {
+                    ci, trigger_index, ..
+                } => (*ci, *trigger_index),
+                _ => (usize::MAX, usize::MAX),
+            });
         }
     }
 }
@@ -929,8 +1124,27 @@ impl EngineImpl {
     /// exact domain (the integer backend stores them as ticks).
     pub fn open_of(&self, ci: usize) -> Vec<Obligation> {
         match self {
-            EngineImpl::Exact(st) => st.open_of(ci).to_vec(),
+            EngineImpl::Exact(st) => st.open_of(ci),
             EngineImpl::Int(st) => st.open_of(ci),
+        }
+    }
+
+    /// The attached warning horizon, if prediction is on.
+    pub fn horizon(&self) -> Option<Rat> {
+        match self {
+            EngineImpl::Exact(st) => st.horizon(),
+            EngineImpl::Int(st) => st.horizon(),
+        }
+    }
+
+    /// The earliest open deadline, if any deadline is open:
+    /// `min_deadline − last_time` is the stream's minimum upper-bound
+    /// slack. O(1) on the integer backend (its deadline watermark is
+    /// exact), a scan of the open store on the exact backend.
+    pub fn min_deadline(&self) -> Option<Rat> {
+        match self {
+            EngineImpl::Exact(st) => st.min_deadline(),
+            EngineImpl::Int(st) => st.min_deadline_rat(),
         }
     }
 
@@ -1079,6 +1293,14 @@ pub(crate) fn step_specs_dense<'a, C: Classify>(
     st.events.clear();
     st.events_seen += 1;
     let j = st.events_seen;
+    // Warning sweep: owed warnings are emitted before this event's
+    // resolutions, so a deadline that blows in one jump still warns
+    // first. One comparison when no warning is pending.
+    if let Some(w) = st.warn_watermark {
+        if time > w {
+            st.sweep_warnings(time);
+        }
+    }
     // Resolve phase: only conditions with open obligations are visited
     // (set bits of the active mask), so `Π`/disabling classification is
     // never requested for quiescent conditions. Per condition this
@@ -1130,6 +1352,12 @@ pub(crate) fn step_specs_sparse<'a, C: Classify>(
     st.events.clear();
     st.events_seen += 1;
     let j = st.events_seen;
+    // Owed warnings first — see `step_specs_dense`.
+    if let Some(w) = st.warn_watermark {
+        if time > w {
+            st.sweep_warnings(time);
+        }
+    }
     for (ci, spec) in specs.iter().enumerate() {
         if !st.open[ci].is_empty() {
             resolve_open(spec, st, cls, time, j, ci);
@@ -1162,17 +1390,20 @@ fn resolve_open<C: Classify>(
     let open = &mut st.open[ci];
     let mut k = 0;
     while k < open.len() {
-        match open[k].resolve_in(time, in_pi, in_disabling, spec.lower_escape) {
+        match open[k]
+            .ob
+            .resolve_in(time, in_pi, in_disabling, spec.lower_escape)
+        {
             Resolution::Open => k += 1,
             Resolution::Discharged => {
-                let ob = open.swap_remove(k);
+                let ob = open.swap_remove(k).ob;
                 if st.log_lifecycle {
                     st.events
                         .push(EngineEvent::Discharged { ci, obligation: ob });
                 }
             }
             Resolution::Violated => {
-                let ob = open.swap_remove(k);
+                let ob = open.swap_remove(k).ob;
                 let kind = match ob.kind {
                     ObligationKind::Lower { earliest } => ViolationKind::LowerBound {
                         trigger_index: ob.trigger_index,
@@ -1212,7 +1443,9 @@ fn resolve_emission_order(ev: &EngineEvent) -> (usize, bool) {
             ViolationKind::UpperBound { trigger_index, .. } => (*trigger_index, true),
         },
         // Never emitted by the resolve phase.
-        EngineEvent::Opened { .. } => (usize::MAX, true),
+        EngineEvent::Opened { .. } | EngineEvent::Warned { .. } | EngineEvent::Forced { .. } => {
+            (usize::MAX, true)
+        }
     }
 }
 
@@ -1227,23 +1460,35 @@ pub(crate) fn finish_specs<'a>(
 ) -> &'a [EngineEvent] {
     st.events.clear();
     st.active.fill(0);
+    st.warn_watermark = None;
     for ci in 0..st.open.len() {
         let mut open = std::mem::take(&mut st.open[ci]);
         // Same canonical order as the per-event resolve phase (and as
         // the integer backend): by trigger, lower before upper.
-        open.sort_by_key(|ob| {
+        open.sort_by_key(|o| {
             (
-                ob.trigger_index,
-                matches!(ob.kind, ObligationKind::Upper { .. }),
+                o.ob.trigger_index,
+                matches!(o.ob.kind, ObligationKind::Upper { .. }),
             )
         });
-        for ob in open {
-            match (mode, ob.kind) {
+        for o in open {
+            match (mode, o.ob.kind) {
                 (SatisfactionMode::Complete, ObligationKind::Upper { deadline }) => {
+                    // The stream ends by violating this deadline: file
+                    // the owed warning first, exactly as a stepped
+                    // event past the deadline would have.
+                    if !o.warned {
+                        st.events.push(EngineEvent::Warned {
+                            ci,
+                            trigger_index: o.ob.trigger_index,
+                            deadline,
+                            warn_at: o.warn_at,
+                        });
+                    }
                     st.events.push(EngineEvent::Violated {
                         ci,
                         kind: ViolationKind::UpperBound {
-                            trigger_index: ob.trigger_index,
+                            trigger_index: o.ob.trigger_index,
                             deadline,
                         },
                     });
@@ -1255,8 +1500,10 @@ pub(crate) fn finish_specs<'a>(
                     // some extension could still meet it (Definition
                     // 3.1's excuse).
                     if st.log_lifecycle {
-                        st.events
-                            .push(EngineEvent::Discharged { ci, obligation: ob });
+                        st.events.push(EngineEvent::Discharged {
+                            ci,
+                            obligation: o.ob,
+                        });
                     }
                 }
             }
@@ -1309,6 +1556,12 @@ pub struct CompiledConditionSet<S, A> {
     /// fits the `u64` tick domain — `None` pins the set to the exact
     /// backend (see [`IntPlan::from_specs`]).
     int_plan: Option<IntPlan>,
+    /// Condition names as shared strings: verdict payloads clone the
+    /// `Arc`, never the bytes.
+    names: Vec<Arc<str>>,
+    /// Per-condition human-readable label of the `Π` action set, for
+    /// forced-window reports ("this GRANT cannot legally arrive yet").
+    pi_labels: Vec<Arc<str>>,
 }
 
 impl<S, A> fmt::Debug for CompiledConditionSet<S, A> {
@@ -1319,7 +1572,7 @@ impl<S, A> fmt::Debug for CompiledConditionSet<S, A> {
     }
 }
 
-impl<S, A: Clone + Eq + Hash> CompiledConditionSet<S, A> {
+impl<S, A: Clone + Eq + Hash + fmt::Debug> CompiledConditionSet<S, A> {
     /// Compiles `conds`: caches each condition's `b_l`/finite `b_u` in a
     /// dense table, interns the (cheaply cloned, `Arc`'d) predicates,
     /// and builds the action-dispatch tables — every action mentioned by
@@ -1339,8 +1592,33 @@ impl<S, A: Clone + Eq + Hash> CompiledConditionSet<S, A> {
             int_plan: IntPlan::from_specs(&specs),
             specs,
             dispatch: Dispatch::build(conds),
+            names: conds.iter().map(|c| Arc::from(c.name())).collect(),
+            pi_labels: conds.iter().map(pi_label).collect(),
             conds: conds.to_vec(),
         }
+    }
+}
+
+/// Renders a condition's `Π` component as a short shared label for
+/// forced-window reports: the listed actions of a declarative set
+/// (`"GRANT"`, `"ack|nack"`, complements as `"not(tick)"`), or `"π"`
+/// for an opaque predicate that cannot be enumerated.
+fn pi_label<S, A: fmt::Debug>(c: &TimingCondition<S, A>) -> Arc<str> {
+    fn join<A: fmt::Debug>(list: &[A]) -> String {
+        let parts: Vec<String> = list
+            .iter()
+            .map(|a| format!("{a:?}").trim_matches('"').to_string())
+            .collect();
+        if parts.is_empty() {
+            "∅".to_string()
+        } else {
+            parts.join("|")
+        }
+    }
+    match c.pi_set() {
+        Some(ActionSet::Of(list)) => join(list).into(),
+        Some(ActionSet::AllExcept(list)) => format!("not({})", join(list)).into(),
+        None => "π".into(),
     }
 }
 
@@ -1375,6 +1653,54 @@ impl<S, A> CompiledConditionSet<S, A> {
     /// Cached finite upper bound `b_u` of condition `ci` (`None` for ∞).
     pub fn upper(&self, ci: usize) -> Option<Rat> {
         self.specs[ci].upper
+    }
+
+    /// The name of condition `ci` as a cheaply clonable shared string —
+    /// warning/forced verdict payloads clone the `Arc`, not the bytes.
+    pub fn shared_name(&self, ci: usize) -> &Arc<str> {
+        &self.names[ci]
+    }
+
+    /// A human-readable label of condition `ci`'s `Π` action set, for
+    /// forced-window reports: the listed actions of a declarative set
+    /// (complements as `not(...)`), `"π"` for an opaque predicate.
+    pub fn action_label(&self, ci: usize) -> &Arc<str> {
+        &self.pi_labels[ci]
+    }
+
+    /// Attaches (or, with `None`, detaches) a warning horizon to an
+    /// exact state: recomputes every open deadline's absolute warning
+    /// point from the compiled bounds — `warn_at = max(deadline −
+    /// horizon, t_i)` with `t_i = deadline − b_u` — and marks entries
+    /// whose point has already strictly passed as warned, so resuming
+    /// a snapshot never re-emits warnings the stream saw before it was
+    /// snapshotted.
+    fn arm_state(&self, st: &mut EngineState, horizon: Option<Rat>) {
+        st.horizon = horizon;
+        let last = st.last_time;
+        let mut next: Option<Rat> = None;
+        for (ci, obs) in st.open.iter_mut().enumerate() {
+            for o in obs.iter_mut() {
+                match (horizon, o.ob.kind) {
+                    (Some(h), ObligationKind::Upper { deadline }) => {
+                        let t_i = self.specs[ci].upper.map_or(Rat::ZERO, |b| deadline - b);
+                        o.warn_at = (deadline - h).max(t_i);
+                        o.warned = last > o.warn_at;
+                        if !o.warned {
+                            next = Some(match next {
+                                Some(n) if n <= o.warn_at => n,
+                                _ => o.warn_at,
+                            });
+                        }
+                    }
+                    _ => {
+                        o.warn_at = Rat::ZERO;
+                        o.warned = true;
+                    }
+                }
+            }
+        }
+        st.warn_watermark = next;
     }
 
     /// A fresh [`EngineState`] with the start-state obligations open:
@@ -1439,6 +1765,85 @@ impl<S, A> CompiledConditionSet<S, A> {
             }
         }
         EngineImpl::Exact(st)
+    }
+
+    /// [`adopt_state`](CompiledConditionSet::adopt_state) with a warning
+    /// horizon attached: the adopted engine emits
+    /// [`EngineEvent::Warned`]/[`EngineEvent::Forced`] predictive
+    /// outcomes natively (`None` detaches prediction). Warning points
+    /// for already-open deadlines are reconstructed from the compiled
+    /// bounds, and points the stream had already passed stay silent —
+    /// resuming never re-warns. Under [`BackendChoice::Auto`] the
+    /// integer backend additionally requires the horizon and every
+    /// warning point to fit its tick grid; anything else runs exact.
+    pub fn adopt_state_predictive(
+        &self,
+        mut st: EngineState,
+        choice: BackendChoice,
+        horizon: Option<Rat>,
+    ) -> EngineImpl {
+        self.arm_state(&mut st, horizon);
+        self.adopt_state(st, choice)
+    }
+
+    /// [`start_engine_with`](CompiledConditionSet::start_engine_with)
+    /// with a warning horizon attached from the first event on.
+    pub fn start_engine_predictive(
+        &self,
+        start: &S,
+        choice: BackendChoice,
+        horizon: Option<Rat>,
+    ) -> EngineImpl {
+        let mut st = self.start(start);
+        self.arm_state(&mut st, horizon);
+        self.adopt_state(st, choice)
+    }
+
+    /// `Ft` read-out: the earliest time at which `action` could next
+    /// legally occur, given the open lower windows whose `Π` contains
+    /// it — `None` when no open window constrains it. This is the
+    /// query form of [`EngineEvent::Forced`]: the dispatch tables key
+    /// the per-action `Π` rows, the active-condition bitmask names the
+    /// candidates, and the answer is the largest `earliest` still ahead
+    /// of the stream clock. (As with Definition 3.1's lower bound, an
+    /// intervening disabling state would lift the constraint early.)
+    pub fn earliest_legal(&self, st: &EngineImpl, action: &A) -> Option<Rat>
+    where
+        A: Eq + Hash,
+    {
+        let now = st.last_time();
+        let row = self.dispatch.row_of(action);
+        let pi_row = self.dispatch.pi_row(row);
+        let mut latest: Option<Rat> = None;
+        let mut fold = |ci: usize, earliest: Rat| {
+            if earliest <= now {
+                return;
+            }
+            let in_pi = if bit_get(&self.dispatch.opaque_pi, ci) {
+                self.conds[ci].in_pi(action)
+            } else {
+                bit_get(pi_row, ci)
+            };
+            if in_pi {
+                latest = Some(match latest {
+                    Some(l) if l >= earliest => l,
+                    _ => earliest,
+                });
+            }
+        };
+        match st {
+            EngineImpl::Exact(est) => {
+                for (ci, obs) in est.open.iter().enumerate() {
+                    for o in obs {
+                        if let ObligationKind::Lower { earliest } = o.ob.kind {
+                            fold(ci, earliest);
+                        }
+                    }
+                }
+            }
+            EngineImpl::Int(ist) => ist.for_each_open_lower(&mut fold),
+        }
+        latest
     }
 
     /// [`step_event`](CompiledConditionSet::step_event) lifted over
@@ -1702,7 +2107,18 @@ mod serde_impls {
 
     impl Serialize for EngineState {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            (self.events_seen, self.last_time, &self.open).serialize(serializer)
+            // Predictive bookkeeping (warning points, warned flags,
+            // horizon) is deliberately *not* part of the snapshot: it
+            // is derived state, reconstructed bit-for-bit by
+            // `CompiledConditionSet::adopt_state_predictive` from the
+            // compiled bounds — so the wire format is unchanged from
+            // pre-predictive snapshots and they resume seamlessly.
+            let open: Vec<Vec<Obligation>> = self
+                .open
+                .iter()
+                .map(|obs| obs.iter().map(|o| o.ob).collect())
+                .collect();
+            (self.events_seen, self.last_time, open).serialize(serializer)
         }
     }
 
@@ -1718,6 +2134,10 @@ mod serde_impls {
                     active[ci / 64] |= 1u64 << (ci % 64);
                 }
             }
+            let open = open
+                .into_iter()
+                .map(|obs| obs.into_iter().map(super::OpenOb::plain).collect())
+                .collect();
             Ok(EngineState {
                 open,
                 active,
@@ -1725,6 +2145,8 @@ mod serde_impls {
                 events_seen,
                 events: Vec::new(),
                 log_lifecycle: true,
+                horizon: None,
+                warn_watermark: None,
             })
         }
     }
@@ -1756,9 +2178,9 @@ mod tests {
     #[test]
     fn remap_carries_preserved_obligations_and_reports_dropped() {
         let mut st = EngineState::new(3);
-        st.open[0].push(lower(0, 3));
+        st.open[0].push(OpenOb::plain(lower(0, 3)));
         bit_set(&mut st.active, 0);
-        st.open[2].push(upper(1, 9));
+        st.open[2].push(OpenOb::plain(upper(1, 9)));
         bit_set(&mut st.active, 2);
         st.last_time = Rat::from(2);
         st.events_seen = 5;
@@ -1774,12 +2196,41 @@ mod tests {
         assert_eq!(next.active[0] & 0b11, 0b11, "bitmask rebuilt in sync");
 
         let mut st = EngineState::new(2);
-        st.open[1].push(upper(0, 4));
+        st.open[1].push(OpenOb::plain(upper(0, 4)));
         bit_set(&mut st.active, 1);
         let (next, dropped) = st.remap(&[Some(0), None], 1);
         assert_eq!(dropped, vec![(1, upper(0, 4))]);
         assert_eq!(next.open_obligations(), 0);
         assert_eq!(next.active[0], 0);
+    }
+
+    #[test]
+    fn remap_carries_warning_state_verbatim() {
+        // A predictive stream mid-flight: one deadline already warned,
+        // one not. Remapping (hot reload) must neither re-warn the
+        // first nor lose the second's pending warning point.
+        let mut st = EngineState::new(2);
+        st.horizon = Some(Rat::from(3));
+        st.open[0].push(OpenOb {
+            ob: upper(1, 9),
+            warn_at: Rat::from(6),
+            warned: true,
+        });
+        bit_set(&mut st.active, 0);
+        st.open[1].push(OpenOb {
+            ob: upper(2, 20),
+            warn_at: Rat::from(17),
+            warned: false,
+        });
+        bit_set(&mut st.active, 1);
+        st.last_time = Rat::from(7);
+        let (next, dropped) = st.remap(&[Some(1), Some(0)], 2);
+        assert!(dropped.is_empty());
+        assert_eq!(next.horizon(), Some(Rat::from(3)));
+        assert_eq!(next.warn_watermark, Some(Rat::from(17)));
+        assert!(next.open[1][0].warned);
+        assert!(!next.open[0][0].warned);
+        assert_eq!(next.open[0][0].warn_at, Rat::from(17));
     }
 
     #[test]
@@ -2046,5 +2497,176 @@ mod tests {
         assert!(cls.trigger(129) && !cls.disabling(129));
         cls.clear();
         assert!(!cls.pi(64) && !cls.trigger(129));
+    }
+
+    fn req_grant(lo: i64, hi: i64) -> TimingCondition<u8, &'static str> {
+        use crate::ActionSet;
+        TimingCondition::new("C", Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap())
+            .triggered_by_actions(ActionSet::only("req"))
+            .on_action_set(ActionSet::only("grant"))
+    }
+
+    fn predictive_start(
+        set: &CompiledConditionSet<u8, &'static str>,
+        h: i64,
+        choice: BackendChoice,
+    ) -> EngineImpl {
+        set.start_engine_predictive(&0, choice, Some(Rat::from(h)))
+    }
+
+    #[test]
+    fn warning_emitted_once_strictly_past_the_warn_point() {
+        for choice in [BackendChoice::Auto, BackendChoice::Exact] {
+            let set = CompiledConditionSet::new(&[req_grant(0, 10)]);
+            let mut st = predictive_start(&set, 3, choice);
+            st.set_log_lifecycle(false);
+            set.step_engine(&mut st, &0, &"req", &1, Rat::from(2)); // deadline 12, warn 9
+            assert!(set
+                .step_engine(&mut st, &0, &"idle", &1, Rat::from(9))
+                .is_empty());
+            let evs = set.step_engine(&mut st, &0, &"idle", &1, Rat::from(10));
+            assert_eq!(
+                evs,
+                &[EngineEvent::Warned {
+                    ci: 0,
+                    trigger_index: 1,
+                    deadline: Rat::from(12),
+                    warn_at: Rat::from(9),
+                }],
+                "backend {choice:?}"
+            );
+            // Once only.
+            assert!(set
+                .step_engine(&mut st, &0, &"idle", &1, Rat::from(11))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn warning_precedes_violation_on_a_time_jump() {
+        for choice in [BackendChoice::Auto, BackendChoice::Exact] {
+            let set = CompiledConditionSet::new(&[req_grant(0, 10)]);
+            let mut st = predictive_start(&set, 3, choice);
+            st.set_log_lifecycle(false);
+            set.step_engine(&mut st, &0, &"req", &1, Rat::from(2));
+            let evs = set.step_engine(&mut st, &0, &"idle", &1, Rat::from(50));
+            assert!(
+                matches!(
+                    evs,
+                    [EngineEvent::Warned { .. }, EngineEvent::Violated { .. }]
+                ),
+                "backend {choice:?}: {evs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_window_reported_once_at_open_when_margin_covers_horizon() {
+        for choice in [BackendChoice::Auto, BackendChoice::Exact] {
+            let set = CompiledConditionSet::new(&[req_grant(5, 20)]);
+            let mut st = predictive_start(&set, 3, choice);
+            st.set_log_lifecycle(false);
+            let evs = set.step_engine(&mut st, &0, &"req", &1, Rat::from(2));
+            assert_eq!(
+                evs,
+                &[EngineEvent::Forced {
+                    ci: 0,
+                    trigger_index: 1,
+                    earliest: Rat::from(7),
+                    t_i: Rat::from(2),
+                    margin: Rat::from(5),
+                }],
+                "backend {choice:?}"
+            );
+            // The Ft query agrees while the window is ahead...
+            assert_eq!(
+                set.earliest_legal(&st, &"grant"),
+                Some(Rat::from(7)),
+                "backend {choice:?}"
+            );
+            assert_eq!(set.earliest_legal(&st, &"req"), None);
+            // ...and clears once the stream clock passes it.
+            set.step_engine(&mut st, &0, &"idle", &1, Rat::from(7));
+            assert_eq!(set.earliest_legal(&st, &"grant"), None);
+        }
+    }
+
+    #[test]
+    fn short_margins_and_zero_horizon_report_no_forced_window() {
+        for (lo, h) in [(2i64, 3i64), (5, 0)] {
+            let set = CompiledConditionSet::new(&[req_grant(lo, 20)]);
+            let mut st = set.start_engine_predictive(&0, BackendChoice::Auto, Some(Rat::from(h)));
+            st.set_log_lifecycle(false);
+            let evs = set.step_engine(&mut st, &0, &"req", &1, Rat::from(2));
+            assert!(
+                !evs.iter().any(|e| matches!(e, EngineEvent::Forced { .. })),
+                "lo={lo} h={h}: {evs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adopting_a_snapshot_rearms_without_rewarning() {
+        let set = CompiledConditionSet::new(&[req_grant(0, 10)]);
+        let mut st = predictive_start(&set, 3, BackendChoice::Exact);
+        st.set_log_lifecycle(false);
+        set.step_engine(&mut st, &0, &"req", &1, Rat::from(2));
+        set.step_engine(&mut st, &0, &"idle", &1, Rat::from(10)); // warned
+        let snap = st.snapshot();
+        // Re-adopt on each backend: the warned flag must be
+        // reconstructed from `last_time`, so no second warning fires.
+        for choice in [BackendChoice::Auto, BackendChoice::Exact] {
+            let mut resumed = set.adopt_state_predictive(snap.clone(), choice, Some(Rat::from(3)));
+            resumed.set_log_lifecycle(false);
+            let evs = set.step_engine(&mut resumed, &0, &"idle", &1, Rat::from(11));
+            assert!(evs.is_empty(), "backend {choice:?}: {evs:?}");
+        }
+        // But a *pending* warning survives the round trip.
+        let set2 = CompiledConditionSet::new(&[req_grant(0, 10)]);
+        let mut st2 = predictive_start(&set2, 3, BackendChoice::Exact);
+        st2.set_log_lifecycle(false);
+        set2.step_engine(&mut st2, &0, &"req", &1, Rat::from(2));
+        let snap2 = st2.snapshot();
+        let mut resumed =
+            set2.adopt_state_predictive(snap2, BackendChoice::Auto, Some(Rat::from(3)));
+        resumed.set_log_lifecycle(false);
+        let evs = set2.step_engine(&mut resumed, &0, &"idle", &1, Rat::from(10));
+        assert!(
+            matches!(evs, [EngineEvent::Warned { .. }]),
+            "pending warning lost: {evs:?}"
+        );
+    }
+
+    #[test]
+    fn min_deadline_tracks_the_tightest_open_deadline() {
+        for choice in [BackendChoice::Auto, BackendChoice::Exact] {
+            let set = CompiledConditionSet::new(&[req_grant(0, 10)]);
+            let mut st = predictive_start(&set, 3, choice);
+            st.set_log_lifecycle(false);
+            assert_eq!(st.min_deadline(), None);
+            set.step_engine(&mut st, &0, &"req", &1, Rat::from(2));
+            set.step_engine(&mut st, &0, &"req", &1, Rat::from(5));
+            assert_eq!(st.min_deadline(), Some(Rat::from(12)), "backend {choice:?}");
+            set.step_engine(&mut st, &0, &"grant", &1, Rat::from(6));
+            assert_eq!(st.min_deadline(), None, "grant serves both deadlines");
+        }
+    }
+
+    #[test]
+    fn finish_complete_files_the_owed_warning_before_the_violation() {
+        for choice in [BackendChoice::Auto, BackendChoice::Exact] {
+            let set = CompiledConditionSet::new(&[req_grant(0, 10)]);
+            let mut st = predictive_start(&set, 3, choice);
+            st.set_log_lifecycle(false);
+            set.step_engine(&mut st, &0, &"req", &1, Rat::from(2));
+            let evs = set.finish_engine(&mut st, SatisfactionMode::Complete);
+            assert!(
+                matches!(
+                    evs,
+                    [EngineEvent::Warned { .. }, EngineEvent::Violated { .. }]
+                ),
+                "backend {choice:?}: {evs:?}"
+            );
+        }
     }
 }

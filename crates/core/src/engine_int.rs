@@ -38,7 +38,7 @@ use tempo_math::{Rat, TimeScale};
 
 use super::{
     bit_clear, bit_set, Classify, CompiledConditionSet, CondSpec, EngineEvent, EngineState,
-    Obligation, ObligationKind,
+    Obligation, ObligationKind, OpenOb,
 };
 use crate::satisfaction::{SatisfactionMode, ViolationKind};
 
@@ -46,6 +46,11 @@ use crate::satisfaction::{SatisfactionMode, ViolationKind};
 /// deadline obligation ever opens). A real scaled bound of `u64::MAX`
 /// is refused at plan time, so the sentinel is unambiguous.
 pub(crate) const NO_DEADLINE: u64 = u64::MAX;
+
+/// Sentinel in [`IntEngineState::up_warn`] for an entry whose warning
+/// has already been emitted — or never applies (prediction off). Real
+/// warn ticks are capped just below it, so the sentinel is unambiguous.
+const WARNED: u64 = u64::MAX;
 
 /// The compiled integer-time lowering of a condition set's bound table:
 /// the shared [`TimeScale`] plus each condition's bounds as tick
@@ -141,6 +146,11 @@ pub struct IntEngineState {
     up_deadline: Vec<u64>,
     up_ci: Vec<u32>,
     up_trigger: Vec<u64>,
+    /// Per-deadline warning tick (parallel to `up_deadline`):
+    /// `max(deadline − horizon, t_i)` in ticks, or [`WARNED`] once the
+    /// warning fired (or when prediction is off — entries are then born
+    /// warned, so the sweep never inspects them).
+    up_warn: Vec<u64>,
     // Open lower (window) obligations, struct-of-arrays.
     lo_earliest: Vec<u64>,
     lo_ci: Vec<u32>,
@@ -151,6 +161,19 @@ pub struct IntEngineState {
     /// Smallest open window end (`u64::MAX` when none), gating the
     /// lower scan the same way.
     min_earliest: u64,
+    /// Smallest pending (unwarned) warning tick (`u64::MAX` when none):
+    /// the generalization of `min_deadline` that keeps prediction off
+    /// the quiescent-event fast path — an event at `ticks ≤
+    /// warn_watermark` skips the warning sweep with one compare.
+    warn_watermark: u64,
+    /// The prediction horizon in ticks (0 when prediction is off).
+    h_ticks: u64,
+    /// Whether prediction is armed: new deadlines get real warn ticks
+    /// and qualifying lower windows emit [`EngineEvent::Forced`].
+    predict: bool,
+    /// The exact-domain horizon, kept for lossless spill to the exact
+    /// backend (`h_ticks` alone would lose an off-unit-scale value).
+    horizon: Option<Rat>,
     /// Bitmask of conditions with ≥ 1 open obligation (either kind).
     active: Vec<u64>,
     /// Per-condition open-obligation count, keeping `active` in sync
@@ -179,11 +202,16 @@ impl IntEngineState {
             up_deadline: Vec::new(),
             up_ci: Vec::new(),
             up_trigger: Vec::new(),
+            up_warn: Vec::new(),
             lo_earliest: Vec::new(),
             lo_ci: Vec::new(),
             lo_trigger: Vec::new(),
             min_deadline: u64::MAX,
             min_earliest: u64::MAX,
+            warn_watermark: u64::MAX,
+            h_ticks: 0,
+            predict: false,
+            horizon: None,
             active: vec![0; words],
             open_count: vec![0; conditions],
             pi_mask: vec![0; words],
@@ -218,6 +246,31 @@ impl IntEngineState {
     /// Time of the last stepped event, in the exact domain.
     pub(crate) fn last_time(&self) -> Rat {
         self.scale.from_ticks(self.last_ticks)
+    }
+
+    /// The armed prediction horizon, in the exact domain (`None` when
+    /// prediction is off).
+    pub(crate) fn horizon(&self) -> Option<Rat> {
+        self.horizon
+    }
+
+    /// The tightest open deadline in the exact domain. O(1): the
+    /// `min_deadline` watermark is recomputed by every scan that
+    /// removes a deadline and min-folded by every open, so it is the
+    /// true minimum at all times — not merely a stale-low gate.
+    pub(crate) fn min_deadline_rat(&self) -> Option<Rat> {
+        (self.min_deadline != u64::MAX).then(|| self.scale.from_ticks(self.min_deadline))
+    }
+
+    /// Visits every open lower window as `(ci, earliest)` in the exact
+    /// domain — the `Ft` query's iteration hook.
+    pub(crate) fn for_each_open_lower(&self, f: &mut impl FnMut(usize, Rat)) {
+        for k in 0..self.lo_earliest.len() {
+            f(
+                self.lo_ci[k] as usize,
+                self.scale.from_ticks(self.lo_earliest[k]),
+            );
+        }
     }
 
     pub(crate) fn set_log_lifecycle(&mut self, on: bool) {
@@ -273,13 +326,66 @@ impl IntEngineState {
         st.last_time = self.last_time();
         st.events_seen = self.events_seen;
         st.log_lifecycle = self.log_lifecycle;
+        st.horizon = self.horizon;
         for ci in 0..n {
-            for ob in self.open_of(ci) {
-                st.open[ci].push(ob);
+            if self.open_count[ci] == 0 {
+                continue;
+            }
+            for (ti, is_upper, t, warn) in self.open_with_warn(ci) {
+                let ob = Obligation {
+                    trigger_index: ti as usize,
+                    kind: if is_upper {
+                        ObligationKind::Upper {
+                            deadline: self.scale.from_ticks(t),
+                        }
+                    } else {
+                        ObligationKind::Lower {
+                            earliest: self.scale.from_ticks(t),
+                        }
+                    },
+                };
+                let entry = if warn == WARNED {
+                    OpenOb::plain(ob)
+                } else {
+                    let warn_at = self.scale.from_ticks(warn);
+                    st.warn_watermark = Some(st.warn_watermark.map_or(warn_at, |w| w.min(warn_at)));
+                    OpenOb {
+                        ob,
+                        warn_at,
+                        warned: false,
+                    }
+                };
+                st.open[ci].push(entry);
                 bit_set(&mut st.active, ci);
             }
         }
         st
+    }
+
+    /// Condition `ci`'s open obligations as raw `(trigger, is_upper,
+    /// tick, warn_tick)` rows in canonical (trigger,
+    /// window-before-deadline) order — the warn-state-carrying walk
+    /// behind [`to_exact`](IntEngineState::to_exact) and the finish
+    /// path. Lowers carry [`WARNED`] (warnings only apply to deadlines).
+    fn open_with_warn(&self, ci: usize) -> Vec<(u64, bool, u64, u64)> {
+        let mut obs: Vec<(u64, bool, u64, u64)> = Vec::new();
+        for k in 0..self.lo_earliest.len() {
+            if self.lo_ci[k] as usize == ci {
+                obs.push((self.lo_trigger[k], false, self.lo_earliest[k], WARNED));
+            }
+        }
+        for k in 0..self.up_deadline.len() {
+            if self.up_ci[k] as usize == ci {
+                obs.push((
+                    self.up_trigger[k],
+                    true,
+                    self.up_deadline[k],
+                    self.up_warn[k],
+                ));
+            }
+        }
+        obs.sort_unstable();
+        obs
     }
 
     /// The reverse adoption: lifts an exact state into this plan's tick
@@ -294,10 +400,15 @@ impl IntEngineState {
         }
         out.events_seen = st.events_seen;
         out.log_lifecycle = st.log_lifecycle;
+        if let Some(h) = st.horizon {
+            out.h_ticks = plan.scale.to_ticks(h)?;
+            out.predict = true;
+            out.horizon = Some(h);
+        }
         for (ci, obs) in st.open.iter().enumerate() {
-            for ob in obs {
-                let ti = ob.trigger_index as u64;
-                match ob.kind {
+            for o in obs {
+                let ti = o.ob.trigger_index as u64;
+                match o.ob.kind {
                     ObligationKind::Lower { earliest } => {
                         let t = plan.scale.to_ticks(earliest)?;
                         out.lo_earliest.push(t);
@@ -307,9 +418,17 @@ impl IntEngineState {
                     }
                     ObligationKind::Upper { deadline } => {
                         let t = plan.scale.to_ticks(deadline)?;
+                        let warn = if o.warned {
+                            WARNED
+                        } else {
+                            let w = plan.scale.to_ticks(o.warn_at)?.min(WARNED - 1);
+                            out.warn_watermark = out.warn_watermark.min(w);
+                            w
+                        };
                         out.up_deadline.push(t);
                         out.up_ci.push(ci as u32);
                         out.up_trigger.push(ti);
+                        out.up_warn.push(warn);
                         out.min_deadline = out.min_deadline.min(t);
                     }
                 }
@@ -355,6 +474,19 @@ impl IntEngineState {
                     t_i: self.scale.from_ticks(ticks),
                 });
             }
+            // Ft(U) at open: the whole window clears the horizon, so
+            // report the forced window once, now. Rat conversions here
+            // are per-trigger (not per-event) and only on predictive
+            // streams with qualifying margins.
+            if self.predict && self.h_ticks > 0 && b_l >= self.h_ticks {
+                self.events.push(EngineEvent::Forced {
+                    ci,
+                    trigger_index,
+                    earliest: self.scale.from_ticks(earliest),
+                    t_i: self.scale.from_ticks(ticks),
+                    margin: self.scale.from_ticks(b_l),
+                });
+            }
         }
         let b_u = plan.upper[ci];
         if b_u != NO_DEADLINE {
@@ -362,6 +494,17 @@ impl IntEngineState {
             self.up_deadline.push(deadline);
             self.up_ci.push(ci as u32);
             self.up_trigger.push(trigger_index as u64);
+            if self.predict {
+                // warn tick = deadline − min(h, b_u) = max(deadline − h,
+                // t_i); capped below the sentinel (reachable only when
+                // the deadline itself is u64::MAX, past any steppable
+                // event time anyway).
+                let w = (deadline - self.h_ticks.min(b_u)).min(WARNED - 1);
+                self.warn_watermark = self.warn_watermark.min(w);
+                self.up_warn.push(w);
+            } else {
+                self.up_warn.push(WARNED);
+            }
             self.min_deadline = self.min_deadline.min(deadline);
             self.open_count[ci] += 1;
             bit_set(&mut self.active, ci);
@@ -389,6 +532,42 @@ impl IntEngineState {
             bit_clear(&mut self.active, ci);
         }
     }
+
+    /// Emits a [`EngineEvent::Warned`] for every pending deadline whose
+    /// warning point has passed strictly (`ticks > warn tick`), marks
+    /// it [`WARNED`], and recomputes the watermark. Off the fast path:
+    /// only entered when an event actually crosses `warn_watermark`.
+    #[inline(never)]
+    fn sweep_warnings(&mut self, ticks: u64) {
+        let mark = self.events.len();
+        let mut next = u64::MAX;
+        for k in 0..self.up_warn.len() {
+            let w = self.up_warn[k];
+            if w == WARNED {
+                continue;
+            }
+            if ticks > w {
+                self.up_warn[k] = WARNED;
+                self.events.push(EngineEvent::Warned {
+                    ci: self.up_ci[k] as usize,
+                    trigger_index: self.up_trigger[k] as usize,
+                    deadline: self.scale.from_ticks(self.up_deadline[k]),
+                    warn_at: self.scale.from_ticks(w),
+                });
+            } else {
+                next = next.min(w);
+            }
+        }
+        self.warn_watermark = next;
+        if self.events.len() - mark > 1 {
+            self.events[mark..].sort_by_key(|ev| match ev {
+                EngineEvent::Warned {
+                    ci, trigger_index, ..
+                } => (*ci, *trigger_index),
+                _ => (usize::MAX, usize::MAX),
+            });
+        }
+    }
 }
 
 /// Sort key pinning the resolve phase's event order to (condition,
@@ -406,8 +585,9 @@ fn resolve_order(ev: &EngineEvent) -> (usize, usize, bool) {
             ViolationKind::LowerBound { trigger_index, .. } => (*ci, *trigger_index, false),
             ViolationKind::UpperBound { trigger_index, .. } => (*ci, *trigger_index, true),
         },
-        // The resolve phase never emits Opened.
+        // The resolve phase never emits Opened, Warned, or Forced.
         EngineEvent::Opened { ci, obligation, .. } => (*ci, obligation.trigger_index, false),
+        EngineEvent::Warned { .. } | EngineEvent::Forced { .. } => (usize::MAX, usize::MAX, true),
     }
 }
 
@@ -437,6 +617,14 @@ pub(crate) fn step_int<'a, C: Classify>(
     st.events.clear();
     st.events_seen += 1;
     let j = st.events_seen;
+
+    // Warning sweep first: warnings report the passage of time, so they
+    // precede whatever this event resolves (a deadline that violates on
+    // this very event still gets its owed warning first). One compare on
+    // the quiescent path — the watermark generalizes `min_deadline`.
+    if ticks > st.warn_watermark {
+        st.sweep_warnings(ticks);
+    }
 
     // Pre-scan: classify the event against the *active* conditions only,
     // caching Π / disabling bits in the scratch masks. Quiescent
@@ -537,6 +725,7 @@ pub(crate) fn step_int<'a, C: Classify>(
             st.up_deadline.swap_remove(k);
             st.up_ci.swap_remove(k);
             st.up_trigger.swap_remove(k);
+            st.up_warn.swap_remove(k);
             st.note_removed(ci);
             if violated {
                 st.events.push(EngineEvent::Violated {
@@ -562,9 +751,11 @@ pub(crate) fn step_int<'a, C: Classify>(
     }
     // The two array scans emit in store order; pin the consumer-visible
     // order to (condition, trigger) like the exact engine's
-    // per-condition walk. Only paid when something actually resolved.
+    // per-condition walk — sorting only the resolve slice, so
+    // sweep-emitted warnings keep their place ahead of it. Only paid
+    // when something actually resolved.
     if st.events.len() - resolved_from > 1 {
-        st.events.sort_by_key(resolve_order);
+        st.events[resolved_from..].sort_by_key(resolve_order);
     }
 
     // Open phase — identical shape to the exact steppers.
@@ -599,34 +790,56 @@ pub(crate) fn finish_int(st: &mut IntEngineState, mode: SatisfactionMode) -> &[E
         if st.open_count[ci] == 0 {
             continue;
         }
-        for ob in st.open_of(ci) {
-            match (mode, ob.kind) {
-                (SatisfactionMode::Complete, ObligationKind::Upper { deadline }) => {
-                    st.events.push(EngineEvent::Violated {
+        for (ti, is_upper, t, warn) in st.open_with_warn(ci) {
+            let trigger_index = ti as usize;
+            if is_upper && matches!(mode, SatisfactionMode::Complete) {
+                let deadline = st.scale.from_ticks(t);
+                // End-of-stream is "time ran out": a still-pending
+                // warning is owed before the violation it predicted.
+                if warn != WARNED {
+                    st.events.push(EngineEvent::Warned {
                         ci,
-                        kind: ViolationKind::UpperBound {
-                            trigger_index: ob.trigger_index,
-                            deadline,
-                        },
+                        trigger_index,
+                        deadline,
+                        warn_at: st.scale.from_ticks(warn),
                     });
                 }
-                _ => {
-                    if st.log_lifecycle {
-                        st.events
-                            .push(EngineEvent::Discharged { ci, obligation: ob });
-                    }
-                }
+                st.events.push(EngineEvent::Violated {
+                    ci,
+                    kind: ViolationKind::UpperBound {
+                        trigger_index,
+                        deadline,
+                    },
+                });
+            } else if st.log_lifecycle {
+                st.events.push(EngineEvent::Discharged {
+                    ci,
+                    obligation: Obligation {
+                        trigger_index,
+                        kind: if is_upper {
+                            ObligationKind::Upper {
+                                deadline: st.scale.from_ticks(t),
+                            }
+                        } else {
+                            ObligationKind::Lower {
+                                earliest: st.scale.from_ticks(t),
+                            }
+                        },
+                    },
+                });
             }
         }
     }
     st.up_deadline.clear();
     st.up_ci.clear();
     st.up_trigger.clear();
+    st.up_warn.clear();
     st.lo_earliest.clear();
     st.lo_ci.clear();
     st.lo_trigger.clear();
     st.min_deadline = u64::MAX;
     st.min_earliest = u64::MAX;
+    st.warn_watermark = u64::MAX;
     st.active.fill(0);
     st.open_count.fill(0);
     &st.events
@@ -738,5 +951,31 @@ mod tests {
         assert_eq!(back.open_of(1), st.open_of(1));
         assert_eq!(back.min_deadline, 5);
         assert_eq!(back.min_earliest, 2);
+        // Prediction off: every deadline is born warned, no watermark.
+        assert_eq!(back.up_warn, vec![WARNED; 2]);
+        assert_eq!(back.warn_watermark, u64::MAX);
+    }
+
+    #[test]
+    fn predictive_round_trip_preserves_warning_state() {
+        let plan = IntPlan::from_specs(&[spec(0, Some(5))]).unwrap();
+        let mut st = IntEngineState::new(1, plan.scale);
+        st.predict = true;
+        st.h_ticks = 2;
+        st.horizon = Some(Rat::from(2));
+        st.open_trigger(&plan, 0, 1, 10); // deadline 15, warn point 13
+        assert_eq!(st.up_warn, vec![13]);
+        assert_eq!(st.warn_watermark, 13);
+        let exact = st.to_exact();
+        assert_eq!(exact.horizon(), Some(Rat::from(2)));
+        let back = IntEngineState::from_exact(&plan, &exact).unwrap();
+        assert!(back.predict);
+        assert_eq!(back.h_ticks, 2);
+        assert_eq!(back.up_warn, vec![13]);
+        assert_eq!(back.warn_watermark, 13);
+        // An off-grid horizon refuses the lift: the stream stays exact.
+        let mut off = exact.clone();
+        off.horizon = Some(Rat::new(1, 3));
+        assert!(IntEngineState::from_exact(&plan, &off).is_none());
     }
 }

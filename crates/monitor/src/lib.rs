@@ -22,13 +22,16 @@
 //!   checker and agree with it exactly. Snapshot the engine state
 //!   ([`Monitor::engine_state`]) and [`Monitor::resume`] it — with the
 //!   `serde` feature, across process restarts.
-//! * [`Predictor`] — zone-based early warning: one DBM clock per
-//!   condition tracks the time since its most recent trigger, so every
-//!   open deadline carries its remaining slack (the online reading of
-//!   the paper's `Lt(U)` prediction, Section 3.1). A monitor built with
-//!   [`Monitor::with_predictor`] emits a [`Verdict::Warning`] when an
-//!   open deadline's slack drops to the configured horizon — before the
-//!   violation, if one follows.
+//! * Prediction — a monitor built with [`Monitor::with_predictor`]
+//!   arms the engine itself with a slack horizon: it emits a
+//!   [`Verdict::Warning`] when an open deadline's remaining slack drops
+//!   to the horizon (the online reading of the paper's `Lt(U)`,
+//!   Section 3.1) and a [`Verdict::Forced`] when a trigger opens a
+//!   lower-bound window at least the horizon wide (the `Ft(U)` side).
+//!   Both backends of the compiled engine track warning points
+//!   natively, so prediction costs no second pass over the obligations.
+//!   [`Predictor`] remains as the standalone zone-based (DBM) reading
+//!   of the same `Lt(U)` quantity for symbolic use.
 //! * [`MonitorPool`] — shards many independent streams across worker
 //!   threads and a configurable [`OverloadPolicy`] (block / drop-oldest
 //!   / fail-stream). Ingestion is lock-free: each stream feeds its
@@ -88,7 +91,9 @@ pub use pool::{
     MonitorPool, OverloadPolicy, PoolConfig, PoolReport, ReloadReport, StreamHandle,
     StreamOverflow, StreamReport,
 };
-pub use predict::{Outcome, Predictor, Warning};
-pub use replay::{replay, replay_predictive, replay_semi_satisfies, replay_verdicts};
+pub use predict::{Forced, Outcome, Predictor, Warning};
+pub use replay::{
+    replay, replay_predictive, replay_predictive_full, replay_semi_satisfies, replay_verdicts,
+};
 pub use tempo_core::engine::{Obligation, ObligationKind, Resolution};
 pub use verdict::Verdict;

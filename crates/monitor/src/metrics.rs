@@ -50,6 +50,26 @@ fn slack_bucket(slack: Rat, horizon: Rat) -> usize {
     }
 }
 
+/// Buckets a forced window's margin into the `margin / horizon`
+/// histogram. Forced windows are only reported when `margin ≥ horizon`,
+/// so the ratio is at least one: the buckets are doubling intervals
+/// `[1,2) [2,4) [4,8) [8,16) [16,∞)`. A zero horizon never reports a
+/// forced window, but is defensively sent to the last bucket.
+fn margin_bucket(margin: Rat, horizon: Rat) -> usize {
+    if horizon.is_zero() {
+        return SLACK_BUCKETS - 1;
+    }
+    // margin/horizon ∈ [1, ∞): doubling index without division.
+    let mut bound = horizon * Rat::from(2);
+    for bucket in 0..SLACK_BUCKETS - 1 {
+        if margin < bound {
+            return bucket;
+        }
+        bound *= Rat::from(2);
+    }
+    SLACK_BUCKETS - 1
+}
+
 /// Lag accounting for one stream: events enqueued by the producer vs
 /// events drained (processed or dropped) by the worker.
 ///
@@ -110,6 +130,8 @@ pub(crate) struct MetricsShard {
     obligations_violated: AtomicU64,
     warnings: AtomicU64,
     warning_slack_hist: [AtomicU64; SLACK_BUCKETS],
+    forced: AtomicU64,
+    forced_margin_hist: [AtomicU64; SLACK_BUCKETS],
     min_slack: Mutex<Option<Rat>>,
 }
 
@@ -133,6 +155,11 @@ impl MetricsShard {
     pub(crate) fn record_warning(&self, slack: Rat, horizon: Rat) {
         self.warnings.fetch_add(1, Ordering::Relaxed);
         self.warning_slack_hist[slack_bucket(slack, horizon)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_forced(&self, margin: Rat, horizon: Rat) {
+        self.forced.fetch_add(1, Ordering::Relaxed);
+        self.forced_margin_hist[margin_bucket(margin, horizon)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_min_slack(&self, slack: Rat) {
@@ -189,6 +216,13 @@ impl MetricsRef {
         }
     }
 
+    pub(crate) fn record_forced(&self, margin: Rat, horizon: Rat) {
+        match self {
+            MetricsRef::Base(m) => m.record_forced(margin, horizon),
+            MetricsRef::Shard(s) => s.record_forced(margin, horizon),
+        }
+    }
+
     pub(crate) fn record_min_slack(&self, slack: Rat) {
         match self {
             MetricsRef::Base(m) => m.record_min_slack(slack),
@@ -209,6 +243,8 @@ pub struct MonitorMetrics {
     failed_streams: AtomicU64,
     warnings: AtomicU64,
     warning_slack_hist: [AtomicU64; SLACK_BUCKETS],
+    forced: AtomicU64,
+    forced_margin_hist: [AtomicU64; SLACK_BUCKETS],
     min_slack: Mutex<Option<Rat>>,
     batches: AtomicU64,
     batched_events: AtomicU64,
@@ -266,6 +302,15 @@ impl MonitorMetrics {
     pub fn record_warning(&self, slack: Rat, horizon: Rat) {
         self.warnings.fetch_add(1, Ordering::Relaxed);
         self.warning_slack_hist[slack_bucket(slack, horizon)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one forced window and buckets its margin into the
+    /// `margin / horizon` histogram. Forced windows only exist with
+    /// `margin ≥ horizon`, so the buckets are the doubling intervals
+    /// `[1,2) [2,4) [4,8) [8,16) [16,∞)` of the ratio.
+    pub fn record_forced(&self, margin: Rat, horizon: Rat) {
+        self.forced.fetch_add(1, Ordering::Relaxed);
+        self.forced_margin_hist[margin_bucket(margin, horizon)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Folds an observed minimum remaining slack into the running
@@ -328,6 +373,9 @@ impl MonitorMetrics {
         let mut warnings = self.warnings.load(Ordering::Relaxed);
         let mut hist: [u64; SLACK_BUCKETS] =
             std::array::from_fn(|i| self.warning_slack_hist[i].load(Ordering::Relaxed));
+        let mut forced = self.forced.load(Ordering::Relaxed);
+        let mut margin_hist: [u64; SLACK_BUCKETS] =
+            std::array::from_fn(|i| self.forced_margin_hist[i].load(Ordering::Relaxed));
         let mut min_slack = *self.min_slack.lock().expect("metrics mutex poisoned");
         for shard in self.shards.lock().expect("metrics mutex poisoned").iter() {
             events += shard.events.load(Ordering::Relaxed);
@@ -337,6 +385,10 @@ impl MonitorMetrics {
             warnings += shard.warnings.load(Ordering::Relaxed);
             for (i, bucket) in shard.warning_slack_hist.iter().enumerate() {
                 hist[i] += bucket.load(Ordering::Relaxed);
+            }
+            forced += shard.forced.load(Ordering::Relaxed);
+            for (i, bucket) in shard.forced_margin_hist.iter().enumerate() {
+                margin_hist[i] += bucket.load(Ordering::Relaxed);
             }
             let shard_min = *shard.min_slack.lock().expect("metrics mutex poisoned");
             min_slack = match (min_slack, shard_min) {
@@ -354,6 +406,8 @@ impl MonitorMetrics {
             failed_streams: self.failed_streams.load(Ordering::Relaxed),
             warnings,
             warning_slack_hist: hist,
+            forced,
+            forced_margin_hist: margin_hist,
             min_slack,
             batches: self.batches.load(Ordering::Relaxed),
             batched_events: self.batched_events.load(Ordering::Relaxed),
@@ -397,6 +451,12 @@ pub struct MetricsSnapshot {
     /// bucket holds full-horizon warnings (see
     /// [`record_warning`](MonitorMetrics::record_warning)).
     pub warning_slack_hist: [u64; SLACK_BUCKETS],
+    /// Forced windows reported by predictive monitors.
+    pub forced: u64,
+    /// Forced-window counts bucketed by `margin / horizon` doubling
+    /// intervals `[1,2) … [16,∞)` (see
+    /// [`record_forced`](MonitorMetrics::record_forced)).
+    pub forced_margin_hist: [u64; SLACK_BUCKETS],
     /// All-time minimum remaining slack observed across every open
     /// deadline; `None` until a predictor has reported one.
     pub min_slack: Option<Rat>,
@@ -446,6 +506,18 @@ impl MetricsSnapshot {
                     .collect::<Vec<_>>()
                     .join("/"),
                 "(slack/horizon quartiles, full-horizon last)".to_string(),
+            ));
+        }
+        rows.push(row("forced windows", self.forced));
+        if self.forced > 0 {
+            rows.push((
+                "forced margin histogram".to_string(),
+                self.forced_margin_hist
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                "(margin/horizon doublings from 1x)".to_string(),
             ));
         }
         if let Some(s) = self.min_slack {
@@ -546,6 +618,34 @@ mod tests {
         assert_eq!(s.warnings, 6);
         assert_eq!(s.warning_slack_hist, [1, 1, 1, 1, 2]);
         assert!(s.render().contains("1/1/1/1/2"));
+    }
+
+    #[test]
+    fn forced_histogram_buckets_by_margin_ratio() {
+        let m = MonitorMetrics::new();
+        let h = Rat::from(2);
+        m.record_forced(Rat::from(2), h); // 1x → bucket 0
+        m.record_forced(Rat::from(5), h); // 2.5x → bucket 1
+        m.record_forced(Rat::from(9), h); // 4.5x → bucket 2
+        m.record_forced(Rat::from(17), h); // 8.5x → bucket 3
+        m.record_forced(Rat::from(64), h); // 32x → bucket 4
+        m.record_forced(Rat::ZERO, Rat::ZERO); // defensive: horizon 0 → bucket 4
+        let s = m.snapshot();
+        assert_eq!(s.forced, 6);
+        assert_eq!(s.forced_margin_hist, [1, 1, 1, 1, 2]);
+        assert!(s.render().contains("forced windows"));
+        assert!(s.render().contains("1/1/1/1/2"));
+    }
+
+    #[test]
+    fn forced_counts_merge_from_shards() {
+        let m = MonitorMetrics::new();
+        m.record_forced(Rat::from(3), Rat::from(3)); // base, bucket 0
+        let a = m.register_shard();
+        a.record_forced(Rat::from(10), Rat::from(3)); // shard, bucket 1
+        let s = m.snapshot();
+        assert_eq!(s.forced, 2);
+        assert_eq!(s.forced_margin_hist, [1, 1, 0, 0, 0]);
     }
 
     #[test]

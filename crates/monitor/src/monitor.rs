@@ -6,13 +6,13 @@ use std::sync::Arc;
 
 use tempo_core::engine::{
     BackendChoice, CompiledConditionSet, EngineBackend, EngineEvent, EngineImpl, EngineState,
-    Obligation, ObligationKind,
+    Obligation,
 };
-use tempo_core::{SatisfactionMode, TimingCondition, Violation, ViolationKind};
+use tempo_core::{SatisfactionMode, TimingCondition, Violation};
 use tempo_math::Rat;
 
 use crate::metrics::{MetricsRef, MetricsShard, MonitorMetrics};
-use crate::predict::{Outcome, Predictor, Warning};
+use crate::predict::{Forced, Warning};
 use crate::verdict::Verdict;
 
 /// An online monitor for a set of timing conditions over one event
@@ -65,7 +65,14 @@ pub struct Monitor<S, A> {
     last_state: S,
     violations: Vec<Violation>,
     warnings: Vec<Warning>,
-    predictor: Option<Predictor>,
+    forced: Vec<Forced>,
+    /// The prediction horizon the engine was armed with (`None`: no
+    /// prediction). The engine itself tracks the warning points; the
+    /// monitor keeps the horizon to stamp it into report payloads.
+    horizon: Option<Rat>,
+    /// The backend choice this monitor was built with, re-applied when
+    /// the engine state is re-adopted (predictor attach, hot swap).
+    choice: BackendChoice,
     /// Hot-counter sink: the shared base metrics for standalone
     /// monitors, or one pool worker's private shard.
     metrics: Option<MetricsRef>,
@@ -90,6 +97,7 @@ impl<S, A> fmt::Debug for Monitor<S, A> {
             .field("open_obligations", &self.engine.open_obligations())
             .field("violations", &self.violations.len())
             .field("warnings", &self.warnings.len())
+            .field("forced", &self.forced.len())
             .finish()
     }
 }
@@ -98,7 +106,10 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     /// Compiles `conds` into a monitor, opening the start-state
     /// obligations (trigger index 0 at time 0) for every condition whose
     /// `T_start` contains `start`.
-    pub fn new(conds: &[TimingCondition<S, A>], start: &S) -> Monitor<S, A> {
+    pub fn new(conds: &[TimingCondition<S, A>], start: &S) -> Monitor<S, A>
+    where
+        A: fmt::Debug,
+    {
         Monitor::from_compiled(Arc::new(CompiledConditionSet::new(conds)), start)
     }
 
@@ -123,9 +134,9 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
         backend: BackendChoice,
     ) -> Monitor<S, A> {
         let mut engine = set.start_engine_with(start, backend);
-        // No predictor or metrics yet: nobody consumes obligation
-        // lifecycle events, so keep them out of the per-event hot path.
-        // `with_predictor`/`with_metrics` turn the log back on.
+        // No metrics yet: nobody consumes obligation lifecycle events,
+        // so keep them out of the per-event hot path. `with_metrics`
+        // turns the log back on.
         engine.set_log_lifecycle(false);
         Monitor {
             set,
@@ -133,7 +144,9 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             last_state: start.clone(),
             violations: Vec::new(),
             warnings: Vec::new(),
-            predictor: None,
+            forced: Vec::new(),
+            horizon: None,
+            choice: backend,
             metrics: None,
         }
     }
@@ -149,27 +162,31 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     /// `last_state` must be the post-state of the last event the
     /// snapshotted monitor observed (the snapshot is pure obligation
     /// state and deliberately holds no monitored-state data). Pass
-    /// `horizon` to re-attach an early-warning predictor: open deadlines
-    /// are re-armed from the snapshot, and obligations whose warning
-    /// point had already passed at snapshot time are marked warned, so
-    /// no warning is emitted twice across the snapshot boundary. The
-    /// restored prediction *zone* restarts its clocks at the snapshot
-    /// instant — warning/violation behavior is exact, only
-    /// [`Predictor::elapsed`] introspection is reset.
+    /// `horizon` to re-arm prediction: the engine recomputes every open
+    /// deadline's warning point from the snapshot, and obligations
+    /// whose warning point had already passed at snapshot time are
+    /// marked warned, so no warning is emitted twice across the
+    /// snapshot boundary. (Forced windows are reported at the event
+    /// that opens them, which the snapshot is strictly after — nothing
+    /// is re-reported either.)
     ///
-    /// The violation and warning lists start empty: they cover the
-    /// suffix. ([`Monitor::resume_compiled`] is the shared-set variant.)
+    /// The violation, warning, and forced lists start empty: they cover
+    /// the suffix. ([`Monitor::resume_compiled`] is the shared-set
+    /// variant.)
     ///
     /// # Panics
     ///
     /// Panics if `state` tracks a different number of conditions than
-    /// `conds`.
+    /// `conds`, or if `horizon` is negative.
     pub fn resume(
         conds: &[TimingCondition<S, A>],
         state: EngineState,
         last_state: &S,
         horizon: Option<Rat>,
-    ) -> Monitor<S, A> {
+    ) -> Monitor<S, A>
+    where
+        A: fmt::Debug,
+    {
         Monitor::resume_compiled(
             Arc::new(CompiledConditionSet::new(conds)),
             state,
@@ -195,45 +212,29 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             state.conditions(),
             "snapshot was taken over a different condition set"
         );
-        let predictor = horizon.map(|h| {
-            let mut p = Predictor::new(set.len(), h);
-            p.advance_to(state.last_time());
-            for ci in 0..set.len() {
-                // Re-arm the open deadlines in trigger order (= deadline
-                // order, since one condition has one `b_u`); the trigger
-                // time is recovered as `deadline − b_u`.
-                let b_u = set.upper(ci);
-                let mut ups: Vec<(usize, Rat)> = state
-                    .open_of(ci)
-                    .iter()
-                    .filter_map(|ob| match ob.kind {
-                        ObligationKind::Upper { deadline } => Some((ob.trigger_index, deadline)),
-                        ObligationKind::Lower { .. } => None,
-                    })
-                    .collect();
-                ups.sort_unstable_by_key(|&(ti, _)| ti);
-                for (ti, deadline) in ups {
-                    let t_i = b_u.map_or(Rat::ZERO, |b| deadline - b);
-                    p.arm_restored(ci, ti, t_i, deadline);
-                }
-            }
-            p
-        });
+        if let Some(h) = horizon {
+            assert!(!h.is_negative(), "the warning horizon must be nonnegative");
+        }
         // Adopt the snapshot onto the automatically selected backend:
         // integer ticks when the set is int-capable and every open
-        // obligation converts exactly, exact `Rat`s otherwise — so a
-        // snapshot round-trips across backends.
-        let mut engine = set.adopt_state(state, BackendChoice::default());
+        // obligation (and the horizon) converts exactly, exact `Rat`s
+        // otherwise — so a snapshot round-trips across backends. The
+        // predictive adoption re-arms warning points from the compiled
+        // bounds, silently marking already-passed ones warned.
+        let mut engine = set.adopt_state_predictive(state, BackendChoice::default(), horizon);
         // As in `from_compiled`: only log obligation lifecycle events
-        // while someone (predictor, metrics) consumes them.
-        engine.set_log_lifecycle(predictor.is_some());
+        // while someone (metrics) consumes them — prediction is native
+        // to the engine and needs no lifecycle log.
+        engine.set_log_lifecycle(false);
         Monitor {
             set,
             engine,
             last_state: last_state.clone(),
             violations: Vec::new(),
             warnings: Vec::new(),
-            predictor,
+            forced: Vec::new(),
+            horizon,
+            choice: BackendChoice::default(),
             metrics: None,
         }
     }
@@ -251,10 +252,12 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     /// after the swap, not history — while obligations of dropped
     /// conditions are closed administratively and returned in the
     /// [`SwapReport`] (and counted as discharged in the metrics, so
-    /// `opened = discharged + violated + open` keeps holding). An
-    /// attached predictor is rebuilt over the new indices with the same
-    /// horizon; already-warned obligations are not re-warned. Recorded
-    /// violations and warnings stay: they are stream history, not spec
+    /// `opened = discharged + violated + open` keeps holding). An armed
+    /// prediction horizon survives the swap: warning points of carried
+    /// obligations travel with them verbatim (they were fixed by the
+    /// *old* bounds, like the deadlines themselves), so already-warned
+    /// obligations are not re-warned. Recorded violations, warnings,
+    /// and forced windows stay: they are stream history, not spec
     /// state.
     ///
     /// # Panics
@@ -273,37 +276,15 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
         );
         // Remapping works in the exact domain (the snapshot form); the
         // remapped state is then adopted back onto whichever backend the
-        // *new* set selects — both conversions are lossless.
+        // *new* set selects — both conversions are lossless. The remap
+        // carries the horizon and each obligation's warning state
+        // verbatim, so prediction continues seamlessly: no re-arm, no
+        // re-warn.
         let (remapped, dropped) = std::mem::take(&mut self.engine)
             .into_exact()
             .remap(map, new.len());
-        self.engine = new.adopt_state(remapped, BackendChoice::default());
-        if let Some(old_p) = self.predictor.take() {
-            let mut p = Predictor::new(new.len(), old_p.horizon());
-            p.advance_to(self.engine.last_time());
-            for (old_ci, &target) in map.iter().enumerate() {
-                let Some(ni) = target else { continue };
-                // The carried deadlines were fixed under the *old*
-                // bounds, so the trigger time recovers through the old
-                // `b_u` (exactly as `resume_compiled` recovers it).
-                let b_u = self.set.upper(old_ci);
-                let mut ups: Vec<(usize, Rat)> = self
-                    .engine
-                    .open_of(ni)
-                    .iter()
-                    .filter_map(|ob| match ob.kind {
-                        ObligationKind::Upper { deadline } => Some((ob.trigger_index, deadline)),
-                        ObligationKind::Lower { .. } => None,
-                    })
-                    .collect();
-                ups.sort_unstable_by_key(|&(ti, _)| ti);
-                for (ti, deadline) in ups {
-                    let t_i = b_u.map_or(Rat::ZERO, |b| deadline - b);
-                    p.arm_restored(ni, ti, t_i, deadline);
-                }
-            }
-            self.predictor = Some(p);
-        }
+        self.engine = new.adopt_state(remapped, self.choice);
+        self.engine.set_log_lifecycle(self.metrics.is_some());
         if let Some(m) = &self.metrics {
             for _ in &dropped {
                 m.record_discharged();
@@ -342,16 +323,22 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
         self
     }
 
-    /// Attaches an early-warning [`Predictor`] with the given horizon:
-    /// from now on every open deadline obligation is tracked in a
-    /// per-stream prediction zone, and a [`Verdict::Warning`] is emitted
-    /// the first time the stream's clock passes strictly beyond
-    /// `deadline − horizon` with the obligation unresolved (see
-    /// [`Predictor`] for the exact semantics, and the paper's Section
-    /// 3.1 for the `Lt(U)` prediction the slack is read from).
+    /// Arms engine-native prediction with the given horizon: from now
+    /// on the engine tracks every open deadline's warning point
+    /// (`Lt(U)` — a [`Verdict::Warning`] the first time the stream's
+    /// clock passes strictly beyond `deadline − horizon` with the
+    /// obligation unresolved) *and* every qualifying lower window
+    /// (`Ft(U)` — a [`Verdict::Forced`] at the trigger whose window is
+    /// at least `horizon` wide; see the paper's Section 3.1 for the
+    /// symmetric `time(A, U)` construction both are read from). Both
+    /// backends predict natively; quiescent events stay on the integer
+    /// backend's watermark fast path.
     ///
     /// Deadline obligations already opened by the start-state trigger
-    /// are armed retroactively.
+    /// are armed retroactively. (Start-state lower windows predate the
+    /// first observation, so they surface through
+    /// [`earliest_legal`](Monitor::earliest_legal) rather than as a
+    /// verdict.)
     ///
     /// # Panics
     ///
@@ -389,33 +376,21 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             0,
             "attach the predictor before observing events"
         );
-        let mut p = Predictor::new(self.set.len(), horizon);
-        for ci in 0..self.set.len() {
-            for ob in self.engine.open_of(ci) {
-                if let ObligationKind::Upper { deadline } = ob.kind {
-                    p.arm(ci, ob.trigger_index, Rat::ZERO, deadline);
-                }
-            }
-        }
-        self.predictor = Some(p);
-        // The predictor arms/retires off obligation lifecycle events.
-        self.engine.set_log_lifecycle(true);
+        assert!(
+            !horizon.is_negative(),
+            "the warning horizon must be nonnegative"
+        );
+        // Re-adopt the (still pristine) state predictively: the engine
+        // computes warning points for the start-state deadlines and
+        // carries the horizon from here on. Prediction is native — no
+        // lifecycle logging needed; metrics alone decide that.
+        let snapshot = self.engine.snapshot();
+        self.engine = self
+            .set
+            .adopt_state_predictive(snapshot, self.choice, Some(horizon));
+        self.engine.set_log_lifecycle(self.metrics.is_some());
+        self.horizon = Some(horizon);
         self
-    }
-
-    /// Files a warning from the predictor under the condition's name and
-    /// records it in the metrics.
-    fn file_warning(
-        warnings: &mut Vec<Warning>,
-        metrics: &Option<MetricsRef>,
-        name: &str,
-        mut w: Warning,
-    ) {
-        w.condition = name.to_string();
-        if let Some(m) = metrics {
-            m.record_warning(w.slack, w.horizon);
-        }
-        warnings.push(w);
     }
 
     /// Consumes one event: the action, its (nondecreasing) absolute time,
@@ -424,10 +399,11 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     ///
     /// One engine step: the event is classified against every condition
     /// once, weighed against the open obligations, and the engine's
-    /// event log drives verdicts, metrics, and predictor warnings. Due
-    /// warnings are swept *before* the event is weighed, so a warning
-    /// always precedes the violation (or near-miss discharge) it
-    /// predicts.
+    /// event log drives verdicts, metrics, and predictive reports. The
+    /// engine sweeps due warnings *before* the event is weighed, so a
+    /// warning always precedes the violation (or near-miss discharge)
+    /// it predicts; forced windows are reported at the trigger that
+    /// opens them.
     ///
     /// # Panics
     ///
@@ -437,6 +413,7 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     /// [`violations`]: Monitor::violations
     pub fn observe(&mut self, action: &A, time: Rat, state: &S) -> Verdict {
         let warnings_before = self.warnings.len();
+        let forced_before = self.forced.len();
         let mut first: Option<Violation> = None;
         let Monitor {
             set,
@@ -444,55 +421,65 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             last_state,
             violations,
             warnings,
-            predictor,
+            forced,
+            horizon,
             metrics,
+            ..
         } = self;
-        if let Some(p) = predictor.as_mut() {
-            p.advance_to(time);
-            p.sweep(|ci, w| Self::file_warning(warnings, metrics, set.name(ci), w));
-        }
         let mut opened = 0u64;
         for ev in set.step_engine(engine, last_state, action, state, time) {
             match ev {
-                EngineEvent::Opened {
-                    ci,
-                    obligation,
-                    t_i,
-                } => {
+                EngineEvent::Opened { .. } => {
                     opened += 1;
-                    if let (Some(p), ObligationKind::Upper { deadline }) =
-                        (predictor.as_mut(), obligation.kind)
-                    {
-                        p.arm(*ci, obligation.trigger_index, *t_i, deadline);
-                    }
                 }
-                EngineEvent::Discharged { ci, obligation } => {
-                    if let (Some(p), ObligationKind::Upper { .. }) =
-                        (predictor.as_mut(), obligation.kind)
-                    {
-                        // A discharge inside the warning window is a near
-                        // miss: the sweep above already filed its
-                        // warning; this poll retires the tracking entry.
-                        if let Some(w) = p.poll(*ci, obligation.trigger_index, Outcome::Discharged)
-                        {
-                            Self::file_warning(warnings, metrics, set.name(*ci), w);
-                        }
-                    }
+                EngineEvent::Discharged { .. } => {
                     if let Some(m) = metrics {
                         m.record_discharged();
                     }
                 }
-                EngineEvent::Violated { ci, kind } => {
-                    if let ViolationKind::UpperBound { trigger_index, .. } = kind {
-                        // The owed warning was filed by the sweep before
-                        // the violation it predicts; the poll retires the
-                        // tracking entry.
-                        if let Some(p) = predictor.as_mut() {
-                            if let Some(w) = p.poll(*ci, *trigger_index, Outcome::Violated) {
-                                Self::file_warning(warnings, metrics, set.name(*ci), w);
-                            }
-                        }
+                EngineEvent::Warned {
+                    ci,
+                    trigger_index,
+                    deadline,
+                    warn_at,
+                } => {
+                    let w = Warning {
+                        condition: Arc::clone(set.shared_name(*ci)),
+                        condition_index: *ci,
+                        trigger_index: *trigger_index,
+                        deadline: *deadline,
+                        at: *warn_at,
+                        slack: *deadline - *warn_at,
+                        horizon: horizon.expect("the engine only warns when armed"),
+                    };
+                    if let Some(m) = metrics {
+                        m.record_warning(w.slack, w.horizon);
                     }
+                    warnings.push(w);
+                }
+                EngineEvent::Forced {
+                    ci,
+                    trigger_index,
+                    earliest,
+                    t_i,
+                    margin,
+                } => {
+                    let fw = Forced {
+                        condition: Arc::clone(set.shared_name(*ci)),
+                        condition_index: *ci,
+                        action: Arc::clone(set.action_label(*ci)),
+                        trigger_index: *trigger_index,
+                        earliest: *earliest,
+                        at: *t_i,
+                        margin: *margin,
+                        horizon: horizon.expect("the engine only forces when armed"),
+                    };
+                    if let Some(m) = metrics {
+                        m.record_forced(fw.margin, fw.horizon);
+                    }
+                    forced.push(fw);
+                }
+                EngineEvent::Violated { ci, kind } => {
                     let v = Violation {
                         condition: set.name(*ci).to_string(),
                         kind: kind.clone(),
@@ -512,8 +499,10 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
                 m.record_opened(opened);
             }
             m.record_event();
-            if let Some(s) = predictor.as_ref().and_then(Predictor::min_slack) {
-                m.record_min_slack(s);
+            if horizon.is_some() {
+                if let Some(d) = engine.min_deadline() {
+                    m.record_min_slack(d - time);
+                }
             }
         }
         *last_state = state.clone();
@@ -521,6 +510,8 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
             Verdict::from_violation(v)
         } else if self.warnings.len() > warnings_before {
             Verdict::Warning(self.warnings[warnings_before].clone())
+        } else if self.forced.len() > forced_before {
+            Verdict::Forced(self.forced[forced_before].clone())
         } else {
             Verdict::Ok
         }
@@ -544,31 +535,32 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
     /// warning-before-violation guarantee survives stream end).
     ///
     /// Without a predictor the warning list is empty.
-    pub fn finish_with_warnings(
+    pub fn finish_with_warnings(self, mode: SatisfactionMode) -> (Vec<Violation>, Vec<Warning>) {
+        let (violations, warnings, _) = self.finish_full(mode);
+        (violations, warnings)
+    }
+
+    /// Ends the stream and returns everything it produced: the
+    /// violations, the warnings, and the forced windows — the full
+    /// bidirectional report. [`finish`](Monitor::finish) and
+    /// [`finish_with_warnings`](Monitor::finish_with_warnings) are
+    /// projections of this.
+    pub fn finish_full(
         mut self,
         mode: SatisfactionMode,
-    ) -> (Vec<Violation>, Vec<Warning>) {
+    ) -> (Vec<Violation>, Vec<Warning>, Vec<Forced>) {
         let Monitor {
             set,
             engine,
             violations,
             warnings,
-            predictor,
+            horizon,
             metrics,
             ..
         } = &mut self;
         for ev in set.finish_engine(engine, mode) {
             match ev {
                 EngineEvent::Violated { ci, kind } => {
-                    if let ViolationKind::UpperBound { trigger_index, .. } = kind {
-                        // End-of-stream violations still owe their
-                        // warning, filed first.
-                        if let Some(p) = predictor.as_mut() {
-                            if let Some(w) = p.poll(*ci, *trigger_index, Outcome::Violated) {
-                                Self::file_warning(warnings, metrics, set.name(*ci), w);
-                            }
-                        }
-                    }
                     violations.push(Violation {
                         condition: set.name(*ci).to_string(),
                         kind: kind.clone(),
@@ -576,6 +568,29 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
                     if let Some(m) = metrics {
                         m.record_violated();
                     }
+                }
+                EngineEvent::Warned {
+                    ci,
+                    trigger_index,
+                    deadline,
+                    warn_at,
+                } => {
+                    // End-of-stream violations still owe their pending
+                    // warning; the engine emits it immediately before
+                    // the violation it predicts.
+                    let w = Warning {
+                        condition: Arc::clone(set.shared_name(*ci)),
+                        condition_index: *ci,
+                        trigger_index: *trigger_index,
+                        deadline: *deadline,
+                        at: *warn_at,
+                        slack: *deadline - *warn_at,
+                        horizon: horizon.expect("the engine only warns when armed"),
+                    };
+                    if let Some(m) = metrics {
+                        m.record_warning(w.slack, w.horizon);
+                    }
+                    warnings.push(w);
                 }
                 EngineEvent::Discharged { .. } => {
                     // Prefix-excused deadlines and open lower windows:
@@ -585,12 +600,13 @@ impl<S: Clone, A: Clone + Eq + Hash> Monitor<S, A> {
                         m.record_discharged();
                     }
                 }
-                EngineEvent::Opened { .. } => {}
+                EngineEvent::Opened { .. } | EngineEvent::Forced { .. } => {}
             }
         }
         (
             std::mem::take(&mut self.violations),
             std::mem::take(&mut self.warnings),
+            std::mem::take(&mut self.forced),
         )
     }
 }
@@ -608,17 +624,36 @@ impl<S, A> Monitor<S, A> {
         &self.warnings
     }
 
-    /// The attached predictor, if any — exposes the prediction zone and
-    /// per-condition slack/elapsed readings.
-    pub fn predictor(&self) -> Option<&Predictor> {
-        self.predictor.as_ref()
+    /// The forced windows reported so far (in discovery order); always
+    /// empty without a predictor or with a zero horizon.
+    pub fn forced(&self) -> &[Forced] {
+        &self.forced
     }
 
-    /// The minimum remaining slack over every open deadline, read from
-    /// the predictor. `None` without a predictor or when no deadline is
-    /// open.
+    /// The armed prediction horizon, if any.
+    pub fn horizon(&self) -> Option<Rat> {
+        self.horizon
+    }
+
+    /// The minimum remaining slack over every open deadline — the
+    /// stream's distance to its nearest `Lt` expiry, read straight off
+    /// the engine (O(1) on the integer backend). `None` without a
+    /// predictor or when no deadline is open.
     pub fn min_slack(&self) -> Option<Rat> {
-        self.predictor.as_ref().and_then(Predictor::min_slack)
+        self.horizon?;
+        Some(self.engine.min_deadline()? - self.engine.last_time())
+    }
+
+    /// The `Ft` read-out: the earliest time at which `action` could
+    /// next legally occur, given the open lower windows whose `Π`
+    /// contains it — `None` when no open window constrains it. Works
+    /// with or without a predictor (it is a query, not a report; see
+    /// [`Verdict::Forced`] for the push form).
+    pub fn earliest_legal(&self, action: &A) -> Option<Rat>
+    where
+        A: Eq + Hash,
+    {
+        self.set.earliest_legal(&self.engine, action)
     }
 
     /// `true` while no violation has been witnessed.
@@ -666,6 +701,7 @@ impl<S, A> Monitor<S, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tempo_core::ViolationKind;
     use tempo_math::Interval;
 
     fn cond(lo: i64, hi: i64) -> TimingCondition<u8, &'static str> {
@@ -819,7 +855,8 @@ mod tests {
         // Strictly past the warning point 10 − 3 = 7.
         let v = mon.observe(&"noise", Rat::from(8), &1);
         let w = v.warning().expect("inside horizon");
-        assert_eq!(w.condition, "C");
+        assert_eq!(&*w.condition, "C");
+        assert_eq!(w.condition_index, 0);
         assert_eq!(w.deadline, Rat::from(10));
         assert_eq!(w.at, Rat::from(7));
         assert_eq!(w.slack, Rat::from(3));
@@ -981,5 +1018,76 @@ mod tests {
         let v = restored.observe(&"noise", Rat::from(8), &1);
         assert_eq!(v.warning().expect("restored warning").at, Rat::from(7));
         assert_eq!(restored.min_slack(), Some(Rat::from(2)));
+    }
+
+    fn guarded(lo: i64, hi: i64) -> TimingCondition<u8, &'static str> {
+        TimingCondition::new("C", Interval::closed(Rat::from(lo), Rat::from(hi)).unwrap())
+            .triggered_by_step(|_, a, _| *a == "go")
+            .on_actions(|a| *a == "fire")
+    }
+
+    #[test]
+    fn forced_window_reported_at_the_trigger() {
+        let mut mon = Monitor::new(&[guarded(5, 20)], &0u8).with_predictor(Rat::from(3));
+        let v = mon.observe(&"go", Rat::from(2), &1);
+        let fw = v.forced().expect("margin 5 covers horizon 3");
+        assert_eq!(&*fw.condition, "C");
+        assert_eq!(fw.condition_index, 0);
+        assert_eq!(fw.earliest, Rat::from(7));
+        assert_eq!(fw.at, Rat::from(2));
+        assert_eq!(fw.margin, Rat::from(5));
+        assert_eq!(fw.horizon, Rat::from(3));
+        assert!(
+            v.is_ok(),
+            "a forced window is a prediction, not a violation"
+        );
+        // The Ft query agrees while the window is open…
+        assert_eq!(mon.earliest_legal(&"fire"), Some(Rat::from(7)));
+        assert_eq!(mon.earliest_legal(&"go"), None);
+        // …and clears once the window closes; the report stays history.
+        assert_eq!(mon.observe(&"noise", Rat::from(7), &1), Verdict::Ok);
+        assert_eq!(mon.earliest_legal(&"fire"), None);
+        assert_eq!(mon.forced().len(), 1);
+        assert_eq!(mon.observe(&"fire", Rat::from(8), &1), Verdict::Ok);
+        let (violations, _, forced) = mon.finish_full(SatisfactionMode::Complete);
+        assert!(violations.is_empty());
+        assert_eq!(forced.len(), 1);
+    }
+
+    #[test]
+    fn short_margins_and_zero_horizon_force_nothing() {
+        // Margin 2 < horizon 3: below the reporting threshold.
+        let mut mon = Monitor::new(&[guarded(2, 20)], &0u8).with_predictor(Rat::from(3));
+        assert_eq!(mon.observe(&"go", Rat::from(2), &1), Verdict::Ok);
+        assert!(mon.forced().is_empty());
+        // The query still answers: Ft is state, not a report.
+        assert_eq!(mon.earliest_legal(&"fire"), Some(Rat::from(4)));
+        // Horizon 0: forced reporting is entirely off.
+        let mut mon = Monitor::new(&[guarded(5, 20)], &0u8).with_predictor(Rat::ZERO);
+        assert_eq!(mon.observe(&"go", Rat::from(2), &1), Verdict::Ok);
+        assert!(mon.forced().is_empty());
+    }
+
+    #[test]
+    fn warning_takes_verdict_precedence_over_forced() {
+        // One event both warns (open deadline from a start trigger) and
+        // opens a forced window (step trigger): the warning wins the
+        // verdict, both payloads are recorded.
+        let near = cond(0, 4); // start-trigger deadline 4, warn at 1
+        let wide = guarded(10, 20);
+        let mut mon = Monitor::new(&[near, wide], &0u8).with_predictor(Rat::from(3));
+        let v = mon.observe(&"go", Rat::from(2), &0);
+        assert!(v.is_warning());
+        assert_eq!(mon.warnings().len(), 1);
+        assert_eq!(mon.forced().len(), 1);
+    }
+
+    #[test]
+    fn shared_names_do_not_allocate_per_warning() {
+        let mut mon = Monitor::new(&[cond(0, 4)], &0u8).with_predictor(Rat::from(2));
+        assert!(mon.observe(&"noise", Rat::from(3), &1).is_warning());
+        let w = &mon.warnings()[0];
+        // The warning shares the compiled set's interned name.
+        assert!(Arc::ptr_eq(&w.condition, mon.compiled().shared_name(0)));
     }
 }

@@ -46,7 +46,7 @@ use tempo_spec::SpecRevision;
 use crate::event::Event;
 use crate::metrics::{MetricsShard, MetricsSnapshot, MonitorMetrics, StreamLag};
 use crate::monitor::Monitor;
-use crate::predict::Warning;
+use crate::predict::{Forced, Warning};
 use crate::ring::{self, Consumer, Producer};
 
 /// What [`StreamHandle::send`] does when the stream's queue is full.
@@ -83,9 +83,10 @@ pub struct PoolConfig {
     /// How stream ends are judged (Definition 3.1 prefix semantics by
     /// default: open deadlines at the end of a stream are excused).
     pub mode: SatisfactionMode,
-    /// Early-warning horizon: `Some(h)` attaches a
-    /// [`Predictor`](crate::Predictor) with horizon `h` to every
-    /// stream's monitor, so stream reports also carry [`Warning`]s.
+    /// Prediction horizon: `Some(h)` arms every stream's engine with
+    /// slack horizon `h` (see
+    /// [`Monitor::with_predictor`](crate::Monitor::with_predictor)), so
+    /// stream reports also carry [`Warning`]s and [`Forced`] windows.
     /// `None` (the default) monitors without prediction.
     pub horizon: Option<Rat>,
     /// How many queued events a worker drains from one stream per ring
@@ -321,9 +322,13 @@ pub struct StreamReport {
     pub events: usize,
     /// All violations witnessed, in event order.
     pub violations: Vec<Violation>,
-    /// Early warnings emitted by the stream's predictor, in event order;
-    /// empty unless [`PoolConfig::horizon`] was set.
+    /// Early warnings emitted by the stream's predictive engine, in
+    /// event order; empty unless [`PoolConfig::horizon`] was set.
     pub warnings: Vec<Warning>,
+    /// Forced windows reported by the stream's predictive engine (the
+    /// `Ft(U)` side), in event order; empty unless
+    /// [`PoolConfig::horizon`] was set.
+    pub forced: Vec<Forced>,
     /// Whether the fail-stream policy cut the stream short (its verdicts
     /// then cover only a prefix).
     pub failed: bool,
@@ -360,6 +365,14 @@ impl PoolReport {
         self.streams
             .iter()
             .flat_map(|s| s.warnings.iter().map(move |w| (s.stream, w)))
+            .collect()
+    }
+
+    /// All forced windows with their stream ids.
+    pub fn forced(&self) -> Vec<(u64, &Forced)> {
+        self.streams
+            .iter()
+            .flat_map(|s| s.forced.iter().map(move |fw| (s.stream, fw)))
             .collect()
     }
 }
@@ -608,7 +621,10 @@ where
     /// [`CompiledConditionSet`](tempo_core::engine::CompiledConditionSet)
     /// for the whole pool — every stream's monitor steps the same
     /// compiled engine, paying the compilation exactly once.
-    pub fn new(conds: &[TimingCondition<S, A>], config: PoolConfig) -> MonitorPool<S, A> {
+    pub fn new(conds: &[TimingCondition<S, A>], config: PoolConfig) -> MonitorPool<S, A>
+    where
+        A: fmt::Debug,
+    {
         MonitorPool::from_compiled(Arc::new(CompiledConditionSet::new(conds)), config)
     }
 
@@ -715,7 +731,10 @@ where
     ///
     /// Blocks until every worker has acknowledged, so a stream opened
     /// after `reload` returns is monitored under the new set.
-    pub fn reload(&mut self, conds: &[TimingCondition<S, A>]) -> ReloadReport {
+    pub fn reload(&mut self, conds: &[TimingCondition<S, A>]) -> ReloadReport
+    where
+        A: fmt::Debug,
+    {
         self.reload_compiled(Arc::new(CompiledConditionSet::new(conds)))
     }
 
@@ -831,12 +850,13 @@ fn worker_loop<S: Clone, A: Clone + Eq + Hash>(
     let mut scratch: Vec<Event<S, A>> = Vec::with_capacity(drain_batch);
     let file = |reports: &mut Vec<StreamReport>, conn: Conn<S, A>, failed: bool| {
         let events = conn.mon.events_seen();
-        let (violations, warnings) = conn.mon.finish_with_warnings(mode);
+        let (violations, warnings, forced) = conn.mon.finish_full(mode);
         reports.push(StreamReport {
             stream: conn.stream,
             events,
             violations,
             warnings,
+            forced,
             failed,
         });
     };
@@ -1088,11 +1108,19 @@ mod tests {
             horizon: Some(Rat::from(3)),
             ..PoolConfig::default()
         };
-        let mut pool = MonitorPool::new(&[cond()], config);
+        // A step-triggered condition with a wide lower-bound window, so
+        // a trigger also opens a forced window (the `Ft(U)` side).
+        let guarded: TimingCondition<u8, &'static str> =
+            TimingCondition::new("G", Interval::closed(Rat::from(10), Rat::from(30)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "serve");
+        let mut pool = MonitorPool::new(&[cond(), guarded], config);
         // Stream 0 serves its deadline inside the warning window (near
-        // miss); stream 1 lets it lapse (warning, then violation).
+        // miss), then triggers G, opening a forced window; stream 1
+        // lets its deadline lapse (warning, then violation).
         let mut near = pool.open_stream(0u8);
         near.send("fire", Rat::from(9), 1).unwrap();
+        near.send("go", Rat::from(15), 1).unwrap();
         near.finish();
         let mut late = pool.open_stream(0u8);
         late.send("noise", Rat::from(20), 1).unwrap();
@@ -1100,11 +1128,17 @@ mod tests {
         let report = pool.shutdown();
         assert_eq!(report.streams[0].warnings.len(), 1);
         assert!(report.streams[0].violations.is_empty());
+        assert_eq!(report.streams[0].forced.len(), 1);
+        assert_eq!(report.streams[0].forced[0].earliest, Rat::from(25));
         assert_eq!(report.streams[1].warnings.len(), 1);
         assert_eq!(report.streams[1].violations.len(), 1);
+        assert!(report.streams[1].forced.is_empty());
         assert_eq!(report.warnings().len(), 2);
+        assert_eq!(report.forced().len(), 1);
         assert_eq!(report.metrics.warnings, 2);
-        // Warnings do not fail a stream, but the violation does.
+        assert_eq!(report.metrics.forced, 1);
+        // Warnings and forced windows do not fail a stream, but the
+        // violation does.
         assert!(!report.passed());
     }
 

@@ -1,10 +1,20 @@
-//! Zone-based early-warning deadline prediction.
+//! Predictive outcome payloads ([`Warning`], [`Forced`]) and the
+//! zone-based [`Predictor`] adapter.
 //!
 //! The monitor alone reports a timing violation only *at* the event that
 //! makes it definite; the paper's whole point (Section 3.1) is that the
 //! predictive components `Ft(U)`/`Lt(U)` of `time(A, U)` let you reason
-//! about deadlines *before* they expire. The [`Predictor`] carries that
-//! predictive state at runtime: one [`Dbm`] clock per condition, where
+//! about deadlines *before* they expire. Since the engine refactor,
+//! prediction itself lives inside `tempo_core::engine`: both backends
+//! track warning points natively and emit `Warned`/`Forced` engine
+//! events that [`Monitor`](crate::Monitor) surfaces as [`Warning`]s and
+//! [`Forced`] windows (see
+//! [`Monitor::with_predictor`](crate::Monitor::with_predictor)). This
+//! module keeps the payload types — and the standalone [`Predictor`], a
+//! zone-backed adapter for callers who want the *symbolic* view.
+//!
+//! The [`Predictor`] carries predictive state as a timed zone: one
+//! [`Dbm`] clock per condition, where
 //! clock `x_C` measures the time elapsed since condition `C`'s most
 //! recent trigger. Between events the zone is advanced by *exactly* the
 //! observed delay ([`Dbm::shift`] — no re-canonicalization), so at any
@@ -28,6 +38,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use tempo_math::Rat;
 use tempo_zones::Dbm;
@@ -42,8 +53,13 @@ use tempo_zones::Dbm;
 /// predictor guarantees the warning is reported before the violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Warning {
-    /// Name of the condition whose deadline is at risk.
-    pub condition: String,
+    /// Name of the condition whose deadline is at risk — shared with
+    /// the engine's interned name table, so constructing a warning
+    /// never allocates a fresh string.
+    pub condition: Arc<str>,
+    /// Index of the condition in its compiled set — the stable interned
+    /// id (names are for humans; indices key the engine tables).
+    pub condition_index: usize,
     /// Index of the trigger that opened the obligation (0 = start-state
     /// trigger, `i ≥ 1` = step trigger at event `i`), matching
     /// [`ViolationKind`](tempo_core::ViolationKind) trigger indices.
@@ -66,6 +82,53 @@ impl fmt::Display for Warning {
             f,
             "{}: deadline {} (trigger {}) within {} at t = {}",
             self.condition, self.deadline, self.trigger_index, self.slack, self.at
+        )
+    }
+}
+
+/// A forced window: the `Ft(U)` half of the paper's `time(A, U)`
+/// construction. A trigger opened a lower-bound window wide enough to
+/// clear the prediction horizon, so the monitor knows — the moment the
+/// trigger fires — that the condition's `Π`-action *cannot legally
+/// occur* before [`earliest`](Forced::earliest): the action is forced
+/// to stay away at least [`margin`](Forced::margin) time units.
+///
+/// Like a [`Warning`], a forced window is a prediction about legal
+/// futures, not a verdict: verdicts stay
+/// [`is_ok`](crate::Verdict::is_ok). It is reported exactly once, at
+/// the event that opens the window, and only when `margin ≥ horizon`
+/// (with a zero horizon nothing is ever reported).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Forced {
+    /// Name of the condition whose window is forced — shared with the
+    /// engine's interned name table (no per-report allocation).
+    pub condition: Arc<str>,
+    /// Index of the condition in its compiled set.
+    pub condition_index: usize,
+    /// Human-readable label of the condition's `Π` action set — the
+    /// action(s) that cannot legally occur inside the window.
+    pub action: Arc<str>,
+    /// Index of the trigger that opened the window (same convention as
+    /// [`Warning::trigger_index`]).
+    pub trigger_index: usize,
+    /// The earliest legal occurrence `Ft = t_i + b_l`: a `Π`-event
+    /// strictly before this time would be a lower-bound violation.
+    pub earliest: Rat,
+    /// The trigger time `t_i` at which the window was reported.
+    pub at: Rat,
+    /// The window width `b_l = earliest − at` — how long the action is
+    /// forced to stay away, always `≥ horizon`.
+    pub margin: Rat,
+    /// The horizon the prediction was configured with.
+    pub horizon: Rat,
+}
+
+impl fmt::Display for Forced {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} forced out until {} (trigger {}, margin {}) at t = {}",
+            self.condition, self.action, self.earliest, self.trigger_index, self.margin, self.at
         )
     }
 }
@@ -315,7 +378,8 @@ impl Predictor {
                     emit(
                         ci,
                         Warning {
-                            condition: String::new(), // caller fills the name in
+                            condition: "".into(), // caller fills the name in
+                            condition_index: ci,
                             trigger_index: e.trigger_index,
                             deadline: e.deadline,
                             at: e.warn_at,
@@ -382,7 +446,8 @@ impl Predictor {
         }
         self.warnings_emitted += 1;
         Some(Warning {
-            condition: String::new(), // caller fills the name in
+            condition: "".into(), // caller fills the name in
+            condition_index: ci,
             trigger_index: entry.trigger_index,
             deadline: entry.deadline,
             at: entry.warn_at,
@@ -402,6 +467,21 @@ impl Predictor {
         // The zone clock plus whatever delay has not been flushed into
         // the zone yet — exact, without forcing a sync.
         Some(self.zone.clock_min(ci + 1) + (self.now - self.zone_now))
+    }
+
+    /// The `Ft(U)` residual of condition `ci`'s most recent trigger,
+    /// read off the prediction zone: with lower bound `b_l`, how much
+    /// longer the condition's `Π`-action is forced to stay away (zero
+    /// once the window has opened;
+    /// [`Dbm::lower_residual`] does the zone read). `None` while the
+    /// condition has no open obligation. Takes `&mut self` because the
+    /// zone read flushes the lazily accumulated delay.
+    pub fn forced_residual(&mut self, ci: usize, b_l: Rat) -> Option<Rat> {
+        if !self.active[ci] {
+            return None;
+        }
+        self.sync_zone();
+        Some(self.zone.lower_residual(ci + 1, b_l))
     }
 
     /// Remaining slack of condition `ci`'s most urgent open deadline
@@ -524,6 +604,23 @@ mod tests {
         assert!(p.poll(1, 2, Outcome::Discharged).is_none());
         assert_eq!(p.elapsed(0), None);
         assert_eq!(p.min_slack(), None);
+    }
+
+    #[test]
+    fn forced_residual_reads_ft_off_the_zone() {
+        let mut p = Predictor::new(1, r(1));
+        p.advance_to(r(2));
+        p.arm(0, 1, r(2), r(22)); // trigger at 2; say b_l = 5
+                                  // Immediately after the trigger the full window remains.
+        assert_eq!(p.forced_residual(0, r(5)), Some(r(5)));
+        p.advance_to(r(4));
+        assert_eq!(p.forced_residual(0, r(5)), Some(r(3)));
+        // Once the window has opened the residual clamps to zero.
+        p.advance_to(r(10));
+        assert_eq!(p.forced_residual(0, r(5)), Some(r(0)));
+        // No open obligation, no residual.
+        assert!(p.poll(0, 1, Outcome::Discharged).is_none());
+        assert_eq!(p.forced_residual(0, r(5)), None);
     }
 
     #[test]

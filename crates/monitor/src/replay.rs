@@ -13,7 +13,7 @@ use tempo_core::{SatisfactionMode, TimedSequence, TimingCondition, Violation};
 use tempo_math::Rat;
 
 use crate::monitor::Monitor;
-use crate::predict::Warning;
+use crate::predict::{Forced, Warning};
 use crate::verdict::Verdict;
 
 /// Feeds every event of `seq` through a fresh monitor for `conds` and
@@ -59,6 +59,27 @@ where
         mon.observe(a, t, post);
     }
     mon.finish_with_warnings(mode)
+}
+
+/// Like [`replay_predictive`], but also returns the forced windows —
+/// the `Ft(U)` side of prediction: one [`Forced`] per trigger that
+/// opened a lower-bound window at least `horizon` wide (see
+/// [`Monitor::with_predictor`]).
+pub fn replay_predictive_full<S, A>(
+    seq: &TimedSequence<S, A>,
+    conds: &[TimingCondition<S, A>],
+    mode: SatisfactionMode,
+    horizon: Rat,
+) -> (Vec<Violation>, Vec<Warning>, Vec<Forced>)
+where
+    S: Clone + std::fmt::Debug,
+    A: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    let mut mon = Monitor::new(conds, seq.first_state()).with_predictor(horizon);
+    for (_, a, t, post) in seq.step_triples() {
+        mon.observe(a, t, post);
+    }
+    mon.finish_full(mode)
 }
 
 /// Replays `seq` and returns the per-event verdicts (one per event, plus
@@ -165,6 +186,30 @@ mod tests {
             replay_predictive(&ok, &[c], SatisfactionMode::Complete, Rat::ZERO);
         assert!(violations.is_empty());
         assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn full_replay_reports_forced_windows() {
+        let guarded: TimingCondition<u8, &'static str> =
+            TimingCondition::new("G", Interval::closed(Rat::from(10), Rat::from(20)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "fire");
+        let trace = seq(&[("go", 2, 1), ("fire", 14, 1)]);
+        let (violations, warnings, forced) = replay_predictive_full(
+            &trace,
+            std::slice::from_ref(&guarded),
+            SatisfactionMode::Complete,
+            Rat::from(3),
+        );
+        assert!(violations.is_empty());
+        assert!(warnings.is_empty());
+        assert_eq!(forced.len(), 1);
+        assert_eq!(forced[0].earliest, Rat::from(12));
+        assert_eq!(forced[0].margin, Rat::from(10));
+        // Horizon 0 keeps the forced side silent too.
+        let (_, _, forced) =
+            replay_predictive_full(&trace, &[guarded], SatisfactionMode::Complete, Rat::ZERO);
+        assert!(forced.is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use tempo_core::{Violation, ViolationKind};
 
-use crate::predict::Warning;
+use crate::predict::{Forced, Warning};
 
 /// The monitor's judgement after consuming one event (or finishing a
 /// stream): everything is still consistent with the conditions, a
@@ -26,6 +26,14 @@ pub enum Verdict {
     /// [`UpperBoundViolation`](Verdict::UpperBoundViolation) if one
     /// follows.
     Warning(Warning),
+    /// A trigger opened a lower-bound window at least the horizon wide:
+    /// the condition's `Π`-action cannot legally occur before
+    /// [`Forced::earliest`]. The `Ft(U)` counterpart of
+    /// [`Warning`](Verdict::Warning) — also not a violation
+    /// ([`is_ok`](Verdict::is_ok) stays `true`). When one event both
+    /// warns and opens a forced window, the warning takes precedence in
+    /// the verdict; both payloads remain readable off the monitor.
+    Forced(Forced),
     /// A `Π`-event arrived strictly before its earliest permitted time.
     LowerBoundViolation(Violation),
     /// A deadline passed with no `Π`-event and no disabling state.
@@ -42,15 +50,20 @@ impl Verdict {
     }
 
     /// Returns `true` while no violation has been witnessed — i.e. for
-    /// [`Verdict::Ok`] and for [`Verdict::Warning`] (a warning predicts
-    /// trouble; it does not establish it).
+    /// [`Verdict::Ok`], [`Verdict::Warning`], and [`Verdict::Forced`]
+    /// (predictions anticipate trouble; they do not establish it).
     pub fn is_ok(&self) -> bool {
-        matches!(self, Verdict::Ok | Verdict::Warning(_))
+        matches!(self, Verdict::Ok | Verdict::Warning(_) | Verdict::Forced(_))
     }
 
     /// Returns `true` for [`Verdict::Warning`].
     pub fn is_warning(&self) -> bool {
         matches!(self, Verdict::Warning(_))
+    }
+
+    /// Returns `true` for [`Verdict::Forced`].
+    pub fn is_forced(&self) -> bool {
+        matches!(self, Verdict::Forced(_))
     }
 
     /// Returns `true` for either violation variant.
@@ -61,7 +74,7 @@ impl Verdict {
     /// The violation carried by a violating verdict.
     pub fn violation(&self) -> Option<&Violation> {
         match self {
-            Verdict::Ok | Verdict::Warning(_) => None,
+            Verdict::Ok | Verdict::Warning(_) | Verdict::Forced(_) => None,
             Verdict::LowerBoundViolation(v) | Verdict::UpperBoundViolation(v) => Some(v),
         }
     }
@@ -74,10 +87,18 @@ impl Verdict {
         }
     }
 
+    /// The forced window carried by a [`Verdict::Forced`].
+    pub fn forced(&self) -> Option<&Forced> {
+        match self {
+            Verdict::Forced(fw) => Some(fw),
+            _ => None,
+        }
+    }
+
     /// Unwraps into the violation, if any.
     pub fn into_violation(self) -> Option<Violation> {
         match self {
-            Verdict::Ok | Verdict::Warning(_) => None,
+            Verdict::Ok | Verdict::Warning(_) | Verdict::Forced(_) => None,
             Verdict::LowerBoundViolation(v) | Verdict::UpperBoundViolation(v) => Some(v),
         }
     }
@@ -123,6 +144,7 @@ mod tests {
     fn warnings_are_ok_but_flagged() {
         let w = Warning {
             condition: "C".into(),
+            condition_index: 0,
             trigger_index: 3,
             deadline: Rat::from(10),
             at: Rat::from(8),
@@ -138,5 +160,30 @@ mod tests {
         assert_eq!(v.clone().into_violation(), None);
         assert!(!Verdict::Ok.is_warning());
         assert!(w.to_string().contains("deadline 10"));
+    }
+
+    #[test]
+    fn forced_windows_are_ok_but_flagged() {
+        let fw = Forced {
+            condition: "C".into(),
+            condition_index: 0,
+            action: "grant".into(),
+            trigger_index: 2,
+            earliest: Rat::from(7),
+            at: Rat::from(2),
+            margin: Rat::from(5),
+            horizon: Rat::from(3),
+        };
+        let v = Verdict::Forced(fw.clone());
+        assert!(v.is_ok());
+        assert!(v.is_forced());
+        assert!(!v.is_warning());
+        assert!(!v.is_violation());
+        assert_eq!(v.forced(), Some(&fw));
+        assert_eq!(v.warning(), None);
+        assert_eq!(v.violation(), None);
+        assert_eq!(v.into_violation(), None);
+        assert!(!Verdict::Ok.is_forced());
+        assert!(fw.to_string().contains("until 7"));
     }
 }

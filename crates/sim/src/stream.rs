@@ -13,7 +13,7 @@ use std::sync::Arc;
 use tempo_core::engine::CompiledConditionSet;
 use tempo_core::{TimedSequence, TimingCondition, Violation};
 use tempo_math::Rat;
-use tempo_monitor::{Monitor, MonitorPool, PoolConfig, Warning};
+use tempo_monitor::{Forced, Monitor, MonitorPool, PoolConfig, Warning};
 
 use crate::audit::AuditSummary;
 
@@ -97,6 +97,9 @@ pub struct PredictiveAuditSummary {
     pub violations: Vec<(usize, Violation)>,
     /// Early warnings emitted, with the index of the warned run.
     pub warnings: Vec<(usize, Warning)>,
+    /// Forced windows reported (the `Ft(U)` side), with the index of
+    /// the run that opened them.
+    pub forced: Vec<(usize, Forced)>,
 }
 
 impl PredictiveAuditSummary {
@@ -120,22 +123,24 @@ impl fmt::Display for PredictiveAuditSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} checks, {} violations, {} warnings",
+            "{} checks, {} violations, {} warnings, {} forced windows",
             self.checks,
             self.violations.len(),
-            self.warnings.len()
+            self.warnings.len(),
+            self.forced.len()
         )
     }
 }
 
-/// Streaming audit with early warnings: each run is replayed through a
-/// monitor carrying a [`Predictor`](tempo_monitor::Predictor) at the
-/// given horizon, so besides the violations the summary reports every
-/// deadline that entered its warning window (including the near misses
-/// that were ultimately served).
+/// Streaming audit with prediction: each run is replayed through a
+/// monitor whose engine is armed with the given slack horizon
+/// ([`Monitor::with_predictor`]), so besides the violations the summary
+/// reports every deadline that entered its warning window (including
+/// the near misses that were ultimately served) and every forced window
+/// at least the horizon wide.
 ///
-/// The violation set is identical to [`stream_audit_runs`]'s — the
-/// predictor only *adds* the warnings.
+/// The violation set is identical to [`stream_audit_runs`]'s —
+/// prediction only *adds* the warnings and forced windows.
 pub fn predictive_audit_runs<S, A>(
     runs: &[TimedSequence<S, A>],
     conds: &[TimingCondition<S, A>],
@@ -156,13 +161,14 @@ where
         for (_, a, t, post) in run.step_triples() {
             mon.observe(a, t, post);
         }
-        let (violations, warnings) = mon.finish_with_warnings(tempo_core::SatisfactionMode::Prefix);
+        let (violations, warnings, forced) = mon.finish_full(tempo_core::SatisfactionMode::Prefix);
         summary
             .violations
             .extend(violations.into_iter().map(|v| (i, v)));
         summary
             .warnings
             .extend(warnings.into_iter().map(|w| (i, w)));
+        summary.forced.extend(forced.into_iter().map(|f| (i, f)));
     }
     summary
 }
@@ -228,6 +234,23 @@ mod tests {
             predictive.clone().without_warnings().violations
         );
         assert!(predictive.to_string().contains("2 warnings"));
+    }
+
+    #[test]
+    fn predictive_audit_reports_forced_windows() {
+        // A step-triggered condition with a wide lower bound: every "go"
+        // opens a forced window (margin 5 ≥ horizon 2).
+        let guarded: TimingCondition<(), &'static str> =
+            TimingCondition::new("G", Interval::closed(Rat::from(5), Rat::from(9)).unwrap())
+                .triggered_by_step(|_, a, _| *a == "go")
+                .on_actions(|a| *a == "g");
+        let runs = vec![seq(&[("go", 1), ("g", 7)]), seq(&[("x", 2)])];
+        let predictive = predictive_audit_runs(&runs, &[guarded], Rat::from(2));
+        assert!(predictive.passed());
+        assert_eq!(predictive.forced.len(), 1);
+        assert_eq!(predictive.forced[0].0, 0);
+        assert_eq!(predictive.forced[0].1.earliest, Rat::from(6));
+        assert!(predictive.to_string().contains("1 forced window"));
     }
 
     #[test]

@@ -133,7 +133,7 @@ pub fn compile<S, A, B>(
 ) -> Result<CompiledConditionSet<S, A>, Vec<Diagnostic>>
 where
     S: 'static,
-    A: Clone + Eq + Hash + Send + Sync + 'static,
+    A: Clone + Eq + Hash + Send + Sync + std::fmt::Debug + 'static,
     B: Binder<S, A>,
 {
     Ok(CompiledConditionSet::new(&lower(spec, binder)?))

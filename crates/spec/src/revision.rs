@@ -41,7 +41,7 @@ impl<S, A> std::fmt::Debug for SpecRevision<S, A> {
 impl<S, A> SpecRevision<S, A>
 where
     S: 'static,
-    A: Clone + Eq + Hash + Send + Sync + 'static,
+    A: Clone + Eq + Hash + Send + Sync + std::fmt::Debug + 'static,
 {
     /// Compiles `src` against `binder`.
     ///

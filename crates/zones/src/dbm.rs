@@ -232,6 +232,18 @@ impl Dbm {
         self.at(clock, 0).is_strict()
     }
 
+    /// The lower residual of clock `i` against `bound`: how much time
+    /// must still elapse, from the zone's earliest reading of the clock,
+    /// before the clock can reach `bound` — `max(bound − min(x_i), 0)`.
+    ///
+    /// With clock `i` measuring "time since condition `C`'s trigger" and
+    /// `bound = b_l` the condition's lower bound, this is the paper's
+    /// `Ft(U)` residual: how long `C`'s `Π`-action remains forced out of
+    /// the legal window (zero once the window has opened).
+    pub fn lower_residual(&self, clock: usize, bound: Rat) -> Rat {
+        (bound - self.clock_min(clock)).max(Rat::ZERO)
+    }
+
     /// Per-clock max-constant extrapolation (ExtraM): bounds above `k_i`
     /// become unbounded, lower bounds below `−k_j` are weakened to
     /// `> k_j`. Guarantees termination of zone-graph exploration while
@@ -292,6 +304,19 @@ mod tests {
 
     fn r(v: i64) -> Rat {
         Rat::from(v)
+    }
+
+    #[test]
+    fn lower_residual_counts_down_to_the_bound() {
+        // Clock 1 starts at 0; the window's lower bound is 5.
+        let mut z = Dbm::zero(1);
+        assert_eq!(z.lower_residual(1, r(5)), r(5));
+        // 3 time units later, 2 remain.
+        z.shift(r(3));
+        assert_eq!(z.lower_residual(1, r(5)), r(2));
+        // Past the bound the residual clamps to zero.
+        z.shift(r(4));
+        assert_eq!(z.lower_residual(1, r(5)), r(0));
     }
 
     #[test]

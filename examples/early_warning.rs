@@ -1,11 +1,13 @@
 //! Early-warning deadline prediction on the paper's resource manager.
 //!
 //! The streaming example catches a violation *at* the offending event;
-//! this one predicts it. A `Monitor` built with a `Predictor` carries a
-//! DBM zone (one clock per condition, Section 3.1's `Lt` residuals read
-//! off it live), so every open deadline reports its remaining slack and
-//! a `Warning` fires as soon as slack drops to the configured horizon —
-//! before the violation, if one follows.
+//! this one predicts it. A `Monitor` built with `with_predictor` arms
+//! the compiled engine itself with a slack horizon (Section 3.1's
+//! `Lt`/`Ft` residuals, tracked natively by both backends): every open
+//! deadline reports its remaining slack, a `Warning` fires as soon as
+//! slack drops to the horizon — before the violation, if one follows —
+//! and a `Forced` verdict marks each trigger that opens a lower-bound
+//! window at least the horizon wide.
 //!
 //! ```console
 //! $ cargo run --example early_warning
@@ -43,6 +45,10 @@ fn main() {
             Verdict::Warning(w) => println!(
                 "   t = {t}: WARNING  {} deadline {} at risk (slack {})",
                 w.condition, w.deadline, w.slack
+            ),
+            Verdict::Forced(fw) => println!(
+                "   t = {t}: FORCED   {} holds {:?} until {} (margin {})",
+                fw.condition, fw.action, fw.earliest, fw.margin
             ),
             Verdict::UpperBoundViolation(v) => {
                 println!("   t = {t}: VIOLATED {} ({:?})", v.condition, v.kind);

@@ -55,7 +55,7 @@ fn every_violation_is_warned_at_least_horizon_early() {
                 let w = warnings
                     .iter()
                     .find(|w| {
-                        w.condition == v.condition
+                        *w.condition == *v.condition
                             && w.trigger_index == trigger_index
                             && w.deadline == deadline
                     })

@@ -235,7 +235,10 @@ fn shipped_systems_auto_select_the_int_backend() {
         cement_mixer, fischer, peterson, request_manager, tournament, two_event_chain,
     };
 
-    fn assert_int<S, A: Clone + Eq + std::hash::Hash>(name: &str, conds: &[TimingCondition<S, A>]) {
+    fn assert_int<S, A: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+        name: &str,
+        conds: &[TimingCondition<S, A>],
+    ) {
         let set = CompiledConditionSet::new(conds);
         assert_eq!(set.backend(), EngineBackend::Int, "{name}.tspec");
         assert_eq!(

@@ -4,10 +4,13 @@
 //! is preceded by a warning whose lead time is at least the horizon, and
 //! (3) a violation-free stream at horizon 0 emits no warnings at all.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
+use tempo_core::engine::{BackendChoice, CompiledConditionSet};
 use tempo_core::{time_ab, SatisfactionMode, TimedSequence, TimingCondition, ViolationKind};
 use tempo_math::Rat;
-use tempo_monitor::{replay, replay_predictive};
+use tempo_monitor::{replay, replay_predictive, Monitor};
 use tempo_sim::{predictive_audit_runs, Ensemble};
 use tempo_systems::resource_manager::{self, g1, g2, Params};
 
@@ -59,7 +62,7 @@ where
                 let w = warnings
                     .iter()
                     .find(|w| {
-                        w.condition == v.condition
+                        *w.condition == *v.condition
                             && w.trigger_index == trigger_index
                             && w.deadline == deadline
                     })
@@ -122,6 +125,54 @@ proptest! {
             "horizon 0 warned on a violation-free stream: {:?}",
             summary.warnings
         );
+    }
+
+    /// Predictive differential: with the engine armed, the integer-tick
+    /// backend and the pinned exact backend agree *pointwise* — same
+    /// per-event verdict stream (warnings and forced windows included),
+    /// same final violation/warning/forced lists — on traces that mix
+    /// on-grid and off-grid times, so the mid-stream int→exact spill
+    /// carries warning state across the boundary.
+    #[test]
+    fn int_and_exact_prediction_agree(
+        params in rm_params(),
+        seed in 0u64..1000,
+        num in 1i128..=16,
+    ) {
+        let impl_aut = time_ab(&resource_manager::system(&params));
+        let runs = Ensemble::new(2, 60).with_seed(seed).collect(&impl_aut);
+        let conds = [g1(&params), g2(&params)];
+        let set = Arc::new(CompiledConditionSet::new(&conds));
+        let horizon = Rat::ONE; // on the unit tick grid of the int backend
+        for run in &runs {
+            // `num = 8` keeps the run on grid; everything else warps
+            // times to quarters/eighths and spills mid-stream.
+            for seq in [run.clone(), warp(run, Rat::new(num, 8))] {
+                let mut int_mon = Monitor::from_compiled_with(
+                    Arc::clone(&set),
+                    seq.first_state(),
+                    BackendChoice::Auto,
+                )
+                .with_predictor(horizon);
+                let mut exact_mon = Monitor::from_compiled_with(
+                    Arc::clone(&set),
+                    seq.first_state(),
+                    BackendChoice::Exact,
+                )
+                .with_predictor(horizon);
+                for (_, a, t, post) in seq.step_triples() {
+                    let vi = int_mon.observe(a, t, post);
+                    let ve = exact_mon.observe(a, t, post);
+                    prop_assert_eq!(format!("{vi:?}"), format!("{ve:?}"), "verdict at t = {}", t);
+                }
+                prop_assert_eq!(int_mon.min_slack(), exact_mon.min_slack());
+                let (iv, iw, ifc) = int_mon.finish_full(SatisfactionMode::Complete);
+                let (ev, ew, efc) = exact_mon.finish_full(SatisfactionMode::Complete);
+                prop_assert_eq!(format!("{iv:?}"), format!("{ev:?}"), "violations");
+                prop_assert_eq!(format!("{iw:?}"), format!("{ew:?}"), "warnings");
+                prop_assert_eq!(format!("{ifc:?}"), format!("{efc:?}"), "forced windows");
+            }
+        }
     }
 
     /// The predictive audit's violation set matches the plain streaming

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use tempo_core::engine::EngineState;
-use tempo_core::{time_ab, SatisfactionMode, TimedSequence, TimingCondition};
+use tempo_core::{time_ab, SatisfactionMode, TimedSequence, TimingCondition, ViolationKind};
 use tempo_math::{Interval, Rat};
 use tempo_monitor::Monitor;
 use tempo_sim::Ensemble;
@@ -153,6 +153,93 @@ fn snapshot_json_is_stable() {
     let json = serde_json::to_string(&mon.engine_state()).unwrap();
     let restored: EngineState = serde_json::from_str(&json).unwrap();
     assert_eq!(serde_json::to_string(&restored).unwrap(), json);
+}
+
+/// Backward compatibility: a snapshot written *before* prediction moved
+/// into the engine — the serialized form has always been just
+/// `(events_seen, last_time, open-obligation table)` and carries no
+/// predictive fields — resumes onto a predictive monitor. The warning
+/// points and forced-window state are reconstructed from the compiled
+/// bounds at adopt time: an obligation whose warning point had already
+/// passed is silently marked warned, a restored lower window answers
+/// `earliest_legal` and is still enforced, and nothing predictive is
+/// re-reported for the prefix.
+#[test]
+fn pre_refactor_snapshot_resumes_predictively() {
+    // Captured from the pre-refactor engine after REQ@2, go@4, noise@6
+    // under the two conditions below: RESP's lower window (earliest 3)
+    // is already pruned, its upper deadline 7 is open and was warned at
+    // its warning point 5; HOLD holds both halves of its [10, 20]
+    // window armed at t = 4.
+    const FIXTURE: &str = r#"[3,"6",[[[1,true,"7"]],[[2,false,"14"],[2,true,"24"]]]]"#;
+    let resp: TimingCondition<u8, &str> =
+        TimingCondition::new("RESP", Interval::closed(Rat::ONE, Rat::from(5)).unwrap())
+            .triggered_by_step(|_, a, _| *a == "REQ")
+            .on_actions(|a| *a == "GRANT");
+    let hold: TimingCondition<u8, &str> = TimingCondition::new(
+        "HOLD",
+        Interval::closed(Rat::from(10), Rat::from(20)).unwrap(),
+    )
+    .triggered_by_step(|_, a, _| *a == "go")
+    .on_actions(|a| *a == "fire");
+    let conds = [resp, hold];
+
+    // The fixture is byte-for-byte what the current engine writes for
+    // that prefix — the format is deliberately unchanged.
+    let mut live = Monitor::new(&conds, &0u8).with_predictor(Rat::from(2));
+    live.observe(&"REQ", Rat::from(2), &1);
+    live.observe(&"go", Rat::from(4), &1);
+    live.observe(&"noise", Rat::from(6), &1);
+    assert_eq!(
+        serde_json::to_string(&live.engine_state()).unwrap(),
+        FIXTURE
+    );
+
+    let restored: EngineState = serde_json::from_str(FIXTURE).unwrap();
+    assert_eq!(restored.events_seen(), 3);
+    assert_eq!(restored.open_obligations(), 3);
+    let mut mon = Monitor::resume(&conds, restored, &1u8, Some(Rat::from(2)));
+
+    // Predictive read-outs come straight back: RESP's deadline 7 is one
+    // unit away, HOLD's restored lower window pins `fire` until 14
+    // (`GRANT` has no open lower window — RESP's was pruned pre-snapshot).
+    assert_eq!(mon.min_slack(), Some(Rat::ONE));
+    assert_eq!(mon.earliest_legal(&"fire"), Some(Rat::from(14)));
+    assert_eq!(mon.earliest_legal(&"GRANT"), None);
+
+    // RESP's warning point (5) had already passed at snapshot time, so
+    // the re-armed obligation is marked warned: crossing it again stays
+    // silent rather than re-warning.
+    assert!(mon.observe(&"noise", Rat::new(13, 2), &1).is_ok());
+
+    // The restored deadline is still enforced …
+    let v = mon.observe(&"noise", Rat::from(8), &1);
+    assert!(matches!(
+        v.violation().map(|v| &v.kind),
+        Some(&ViolationKind::UpperBound { trigger_index: 1, deadline }) if deadline == Rat::from(7)
+    ));
+    // … and so is the restored lower window: `fire` at 12 lands inside
+    // the forced window that ends at 14.
+    let v = mon.observe(&"fire", Rat::from(12), &1);
+    assert!(matches!(
+        v.violation().map(|v| &v.kind),
+        Some(&ViolationKind::LowerBound { trigger_index: 2, event_index: 6, earliest })
+            if earliest == Rat::from(14)
+    ));
+
+    // Nothing predictive is re-reported for the prefix: the warning was
+    // consumed before the snapshot and forced windows are only emitted
+    // at the event that opens them.
+    let (violations, warnings, forced) = mon.finish_full(SatisfactionMode::Prefix);
+    assert_eq!(violations.len(), 2);
+    assert!(
+        warnings.is_empty(),
+        "re-warned across the snapshot: {warnings:?}"
+    );
+    assert!(
+        forced.is_empty(),
+        "re-forced across the snapshot: {forced:?}"
+    );
 }
 
 proptest! {
