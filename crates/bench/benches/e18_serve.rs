@@ -1,0 +1,65 @@
+//! E18 — networked ingest over the lock-free pool.
+//!
+//! Measures `tempo-serve` end to end on loopback: the loadgen opens
+//! streams over TCP, sends deterministic request/serve batches, and
+//! waits for every stream's verdict report. One server (2 io threads,
+//! 2 pool workers) stays up for the whole group, so iterations measure
+//! steady-state socket → decode → ring → monitor → egress cost, not
+//! server spawn.
+//!
+//! Criterion rows keep the per-iteration work small; the headline
+//! 10k/100k/1M-stream sweeps of EXPERIMENTS.md §E18 come from the
+//! `tempo-loadgen` binary against `tempo-serve` (same code paths, one
+//! long run instead of many short ones).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_monitor::PoolConfig;
+use tempo_serve::{loadgen, LoadgenConfig, ServeConfig, Server};
+use tempo_sim::loadgen::ReqServe;
+
+fn start_server(traffic: &ReqServe) -> Server {
+    let mut config = ServeConfig::new(traffic.tspec(), &ReqServe::ACTIONS);
+    config.pool = PoolConfig {
+        workers: 2,
+        ..PoolConfig::default()
+    };
+    Server::start(config).expect("server starts")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let traffic = ReqServe {
+        late_every: 17,
+        ..ReqServe::default()
+    }
+    .validated();
+    let server = start_server(&traffic);
+    let addr = server.local_addr().to_string();
+
+    let mut group = c.benchmark_group("e18_serve");
+    group.sample_size(10);
+    for &(streams, events) in &[(64u64, 64u32), (256, 64), (1024, 16)] {
+        let cfg = LoadgenConfig {
+            streams,
+            events_per_stream: events,
+            batch: 16,
+            conns: 4,
+            traffic,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("ingest_to_verdict", format!("{streams}x{events}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let report = loadgen::run(&addr, cfg).expect("loadgen runs");
+                    assert_eq!(report.events_monitored, report.events_sent);
+                    report
+                });
+            },
+        );
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -95,6 +95,8 @@ pub mod render;
 mod run;
 mod satisfaction;
 mod sequence;
+#[cfg(feature = "serde")]
+pub mod serde_util;
 mod special;
 mod time_ioa;
 mod ub;

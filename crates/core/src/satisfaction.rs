@@ -255,6 +255,116 @@ fn open_start_trigger(specs: &[CondSpec], plan: Option<&IntPlan>, st: &mut Engin
     }
 }
 
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Violations as flat JSON-style maps (feature `serde`):
+    //! `{"condition", "kind": "upper", "trigger_index", "deadline"}` or
+    //! `{"condition", "kind": "lower", "trigger_index", "event_index",
+    //! "earliest"}`, rationals in `tempo-math`'s `"num/den"` string
+    //! form. This is the payload `tempo-serve` streams inside
+    //! `StreamReport` egress frames.
+
+    use serde::de::{Error as DeError, Unexpected};
+    use serde::ser::Error as SerError;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer, ValueError};
+
+    use super::{Violation, ViolationKind};
+    use crate::serde_util::{FieldMap, MapBuilder};
+    use tempo_math::Rat;
+
+    impl Serialize for Violation {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let encode = || -> Result<_, ValueError> {
+                let mut m = MapBuilder::new();
+                m.put("condition", &self.condition)?;
+                match &self.kind {
+                    ViolationKind::UpperBound {
+                        trigger_index,
+                        deadline,
+                    } => {
+                        m.put("kind", "upper")?;
+                        m.put("trigger_index", trigger_index)?;
+                        m.put("deadline", deadline)?;
+                    }
+                    ViolationKind::LowerBound {
+                        trigger_index,
+                        event_index,
+                        earliest,
+                    } => {
+                        m.put("kind", "lower")?;
+                        m.put("trigger_index", trigger_index)?;
+                        m.put("event_index", event_index)?;
+                        m.put("earliest", earliest)?;
+                    }
+                }
+                Ok(m.finish())
+            };
+            serializer.serialize_value(encode().map_err(S::Error::custom)?)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Violation {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Violation, D::Error> {
+            let mut m =
+                FieldMap::<D::Error>::new(deserializer.deserialize_value()?, "a violation")?;
+            let condition: String = m.take("condition")?;
+            let tag: String = m.take("kind")?;
+            let trigger_index: usize = m.take("trigger_index")?;
+            let kind = match tag.as_str() {
+                "upper" => ViolationKind::UpperBound {
+                    trigger_index,
+                    deadline: m.take::<Rat>("deadline")?,
+                },
+                "lower" => ViolationKind::LowerBound {
+                    trigger_index,
+                    event_index: m.take("event_index")?,
+                    earliest: m.take::<Rat>("earliest")?,
+                },
+                other => {
+                    return Err(D::Error::invalid_value(
+                        Unexpected::Str(other),
+                        &"violation kind \"upper\" or \"lower\"",
+                    ))
+                }
+            };
+            Ok(Violation { condition, kind })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn violation_round_trips_both_kinds() {
+            let upper = Violation {
+                condition: "C".into(),
+                kind: ViolationKind::UpperBound {
+                    trigger_index: 2,
+                    deadline: Rat::new(7, 2),
+                },
+            };
+            let lower = Violation {
+                condition: "D".into(),
+                kind: ViolationKind::LowerBound {
+                    trigger_index: 0,
+                    event_index: 3,
+                    earliest: Rat::from(5),
+                },
+            };
+            for v in [upper, lower] {
+                let json = serde_json::to_string(&v).unwrap();
+                let back: Violation = serde_json::from_str(&json).unwrap();
+                assert_eq!(back, v);
+            }
+            assert!(serde_json::from_str::<Violation>(
+                "{\"condition\":\"C\",\"kind\":\"sideways\",\"trigger_index\":0}"
+            )
+            .is_err());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,103 @@
+//! Helpers for map-shaped serde encodings (feature `serde`).
+//!
+//! The workspace's serde stand-in funnels everything through a
+//! self-describing [`Value`] tree; these helpers keep the many manual
+//! `Serialize`/`Deserialize` impls for report/verdict types (here and in
+//! `tempo-monitor`) free of repeated map-plumbing. Encodings built this
+//! way render as ordinary JSON objects, which is what the `tempo-serve`
+//! egress protocol ships to clients.
+
+use std::marker::PhantomData;
+
+use serde::de::Error as DeError;
+use serde::{to_value, Deserialize, Serialize, Value, ValueDeserializer, ValueError};
+
+/// Accumulates `(key, value)` pairs for a [`Value::Map`] encoding.
+///
+/// Each [`put`](MapBuilder::put) serializes one field through the
+/// standard [`Serialize`] machinery, so nested types (rationals,
+/// vectors, other reports) reuse their own encodings.
+#[derive(Default)]
+pub struct MapBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+impl MapBuilder {
+    /// An empty map.
+    pub fn new() -> MapBuilder {
+        MapBuilder::default()
+    }
+
+    /// Appends one field.
+    pub fn put<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<(), ValueError> {
+        self.entries.push((key.to_owned(), to_value(value)?));
+        Ok(())
+    }
+
+    /// Finishes into the map value.
+    pub fn finish(self) -> Value {
+        Value::Map(self.entries)
+    }
+}
+
+/// A consumed [`Value::Map`] whose fields are extracted by name.
+///
+/// Unknown fields are ignored (forward compatibility for egress
+/// consumers); missing fields surface as a named error.
+pub struct FieldMap<E> {
+    entries: Vec<(String, Value)>,
+    what: &'static str,
+    marker: PhantomData<E>,
+}
+
+impl<E: DeError> FieldMap<E> {
+    /// Checks that `value` is a map; `what` labels error messages.
+    pub fn new(value: Value, what: &'static str) -> Result<FieldMap<E>, E> {
+        match value {
+            Value::Map(entries) => Ok(FieldMap {
+                entries,
+                what,
+                marker: PhantomData,
+            }),
+            _ => Err(E::custom(format!("expected {what} as a map"))),
+        }
+    }
+
+    /// Removes field `key` and deserializes it as `T`.
+    pub fn take<T>(&mut self, key: &str) -> Result<T, E>
+    where
+        T: for<'de> Deserialize<'de>,
+    {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(k, _)| k == key)
+            .ok_or_else(|| E::custom(format!("missing field `{key}` in {}", self.what)))?;
+        let (_, v) = self.entries.swap_remove(pos);
+        T::deserialize(ValueDeserializer::<E>::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_take_round_trip() {
+        let mut b = MapBuilder::new();
+        b.put("answer", &42u32).unwrap();
+        b.put("name", "deep thought").unwrap();
+        let v = b.finish();
+        let mut m = FieldMap::<ValueError>::new(v, "a test map").unwrap();
+        let name: String = m.take("name").unwrap();
+        assert_eq!(name, "deep thought");
+        let answer: u32 = m.take("answer").unwrap();
+        assert_eq!(answer, 42);
+        assert!(m.take::<u32>("answer").is_err());
+    }
+
+    #[test]
+    fn non_map_is_rejected() {
+        assert!(FieldMap::<ValueError>::new(Value::Int(3), "a test map").is_err());
+    }
+}

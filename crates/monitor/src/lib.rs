@@ -79,6 +79,8 @@ mod pool;
 mod predict;
 pub mod replay;
 pub mod ring;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod verdict;
 
 pub use event::Event;

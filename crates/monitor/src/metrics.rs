@@ -355,17 +355,29 @@ impl MonitorMetrics {
     /// Freezes the counters into an immutable snapshot, merging every
     /// worker shard with the base counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let streams = self
-            .streams
-            .lock()
-            .expect("metrics mutex poisoned")
-            .iter()
-            .map(|(id, lag)| StreamLagSnapshot {
-                stream: *id,
-                enqueued: lag.enqueued(),
-                lag: lag.lag(),
-            })
-            .collect();
+        let mut out = MetricsSnapshot::default();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// [`snapshot`](MonitorMetrics::snapshot) into a caller-provided
+    /// snapshot, reusing its `streams` buffer instead of allocating a
+    /// fresh one per call. A caller polling the counters on a timer —
+    /// `tempo-serve`'s metrics egress does, once per subscribed client
+    /// interval — holds one `MetricsSnapshot` and refreshes it here,
+    /// making the steady-state poll allocation-free.
+    pub fn snapshot_into(&self, out: &mut MetricsSnapshot) {
+        out.streams.clear();
+        {
+            let streams = self.streams.lock().expect("metrics mutex poisoned");
+            out.streams.reserve(streams.len());
+            out.streams
+                .extend(streams.iter().map(|(id, lag)| StreamLagSnapshot {
+                    stream: *id,
+                    enqueued: lag.enqueued(),
+                    lag: lag.lag(),
+                }));
+        }
         let mut events = self.events.load(Ordering::Relaxed);
         let mut opened = self.obligations_opened.load(Ordering::Relaxed);
         let mut discharged = self.obligations_discharged.load(Ordering::Relaxed);
@@ -396,24 +408,21 @@ impl MonitorMetrics {
                 (a, b) => a.or(b),
             };
         }
-        MetricsSnapshot {
-            events,
-            obligations_opened: opened,
-            obligations_discharged: discharged,
-            obligations_violated: violated,
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            dropped_events: self.dropped_events.load(Ordering::Relaxed),
-            failed_streams: self.failed_streams.load(Ordering::Relaxed),
-            warnings,
-            warning_slack_hist: hist,
-            forced,
-            forced_margin_hist: margin_hist,
-            min_slack,
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_events: self.batched_events.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            streams,
-        }
+        out.events = events;
+        out.obligations_opened = opened;
+        out.obligations_discharged = discharged;
+        out.obligations_violated = violated;
+        out.max_queue_depth = self.max_queue_depth.load(Ordering::Relaxed);
+        out.dropped_events = self.dropped_events.load(Ordering::Relaxed);
+        out.failed_streams = self.failed_streams.load(Ordering::Relaxed);
+        out.warnings = warnings;
+        out.warning_slack_hist = hist;
+        out.forced = forced;
+        out.forced_margin_hist = margin_hist;
+        out.min_slack = min_slack;
+        out.batches = self.batches.load(Ordering::Relaxed);
+        out.batched_events = self.batched_events.load(Ordering::Relaxed);
+        out.max_batch = self.max_batch.load(Ordering::Relaxed);
     }
 }
 
@@ -429,7 +438,10 @@ pub struct StreamLagSnapshot {
 }
 
 /// A frozen copy of every counter, render-able as an aligned table.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Default` is the all-zero snapshot — the starting buffer for
+/// [`MonitorMetrics::snapshot_into`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Events consumed by monitors.
     pub events: u64,
@@ -703,6 +715,29 @@ mod tests {
         assert_eq!(s.warning_slack_hist, [1, 0, 0, 0, 1]);
         // Minimum slack is the minimum across base and every shard.
         assert_eq!(s.min_slack, Some(Rat::from(3)));
+    }
+
+    #[test]
+    fn snapshot_into_refreshes_a_reused_buffer() {
+        let m = MonitorMetrics::new();
+        let shard = m.register_shard();
+        let lag = m.register_stream(3);
+        lag.record_enqueued_many(5);
+        shard.record_event();
+        let mut buf = MetricsSnapshot::default();
+        m.snapshot_into(&mut buf);
+        assert_eq!(buf.events, 1);
+        assert_eq!(buf.streams.len(), 1);
+        assert_eq!(buf.streams[0].lag, 5);
+        // Stale contents are fully overwritten on the next refresh, and
+        // the stream buffer does not grow duplicates.
+        shard.record_event();
+        lag.record_drained_many(5);
+        m.snapshot_into(&mut buf);
+        assert_eq!(buf.events, 2);
+        assert_eq!(buf.streams.len(), 1);
+        assert_eq!(buf.streams[0].lag, 0);
+        assert_eq!(buf, m.snapshot());
     }
 
     #[test]

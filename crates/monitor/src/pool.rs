@@ -172,8 +172,12 @@ impl PoolConfig {
 ///   returns it when the batch does not fit entirely (the fitting
 ///   prefix is still delivered). Once failed, *every* later send or
 ///   send_batch on the handle returns it immediately.
-/// * [`Block`](OverloadPolicy::Block) — never returned: the producer
-///   waits for room instead.
+/// * [`Block`](OverloadPolicy::Block) — returned only when the pool is
+///   shutting down underneath the handle
+///   ([`MonitorPool::begin_shutdown`] racing an in-flight send on a
+///   full queue): the producer would otherwise wait on a worker that
+///   will never drain again. Absent a shutdown, the producer waits for
+///   room and `send` never errors.
 /// * [`DropOldest`](OverloadPolicy::DropOldest) — never returned: the
 ///   oldest queued event is discarded to make room instead.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -238,12 +242,16 @@ struct WorkerShared<S, A> {
     /// Set after depositing a reload command; cleared by the worker's
     /// taking swap.
     reload_pending: AtomicBool,
-    /// Set once by [`MonitorPool::shutdown`].
+    /// Set once by [`MonitorPool::begin_shutdown`].
     shutdown: AtomicBool,
     /// Advertised (with a `SeqCst` fence) by the worker before parking.
     sleeping: AtomicBool,
     /// The worker's thread handle, set once at loop start.
     thread: OnceLock<Thread>,
+    /// Reports of streams this worker has finished, awaiting collection
+    /// by [`MonitorPool::drain_finished`] or the final
+    /// [`MonitorPool::shutdown`].
+    outbox: Mutex<Vec<StreamReport>>,
 }
 
 impl<S, A> Default for WorkerShared<S, A> {
@@ -256,6 +264,7 @@ impl<S, A> Default for WorkerShared<S, A> {
             shutdown: AtomicBool::new(false),
             sleeping: AtomicBool::new(false),
             thread: OnceLock::new(),
+            outbox: Mutex::new(Vec::new()),
         }
     }
 }
@@ -336,7 +345,7 @@ pub struct StreamReport {
 
 /// The pool's aggregate outcome: one report per stream plus a final
 /// metrics snapshot.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PoolReport {
     /// Per-stream outcomes, ordered by stream id.
     pub streams: Vec<StreamReport>,
@@ -437,8 +446,9 @@ impl<S, A> StreamHandle<S, A> {
     ///
     /// Under [`OverloadPolicy::FailStream`], returns [`StreamOverflow`]
     /// when the queue is full — and on every later send, the stream
-    /// having failed. The other policies never error (see
-    /// [`StreamOverflow`] for the full per-policy contract).
+    /// having failed. The other policies only error when the pool is
+    /// shutting down underneath the handle (see [`StreamOverflow`] for
+    /// the full per-policy contract).
     pub fn send(&mut self, action: A, time: Rat, state: S) -> Result<(), StreamOverflow> {
         if self.failed {
             return Err(StreamOverflow {
@@ -454,9 +464,16 @@ impl<S, A> StreamHandle<S, A> {
                         event = e;
                         // The worker may be parked with the ring full:
                         // wake it before parking ourselves, then let its
-                        // draining pop unpark us.
+                        // draining pop unpark us. A shutdown racing this
+                        // send means the worker will never drain again —
+                        // bail out instead of blocking forever.
                         self.worker.wake();
-                        self.tx.wait_space();
+                        if !self.tx.wait_space_or(&self.worker.shutdown) {
+                            self.failed = true;
+                            return Err(StreamOverflow {
+                                stream: self.stream,
+                            });
+                        }
                     }
                 }
             },
@@ -500,26 +517,44 @@ impl<S, A> StreamHandle<S, A> {
     ///
     /// Under [`OverloadPolicy::FailStream`], returns [`StreamOverflow`]
     /// when the batch did not fit entirely (the fitting prefix is still
-    /// delivered), and on every later send. The other policies never
-    /// error (see [`StreamOverflow`] for the full per-policy contract).
+    /// delivered), and on every later send. The other policies only
+    /// error when the pool is shutting down underneath the handle (see
+    /// [`StreamOverflow`] for the full per-policy contract).
     pub fn send_batch<I>(&mut self, events: I) -> Result<(), StreamOverflow>
     where
         I: IntoIterator<Item = (A, Rat, S)>,
+    {
+        let events: Vec<Event<S, A>> = events
+            .into_iter()
+            .map(|(action, time, state)| Event::new(action, time, state))
+            .collect();
+        self.send_batch_exact(events.into_iter())
+    }
+
+    /// [`send_batch`](StreamHandle::send_batch) without the intermediate
+    /// `Vec`: events are published into the ring *straight out of the
+    /// iterator*, so a caller that already knows the batch length — a
+    /// wire decoder walking a received frame, a slice iterator — pays no
+    /// allocation on the hot path. This is the entry point
+    /// `tempo-serve` feeds decoded `BATCH` frames through.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`send_batch`](StreamHandle::send_batch)'s contract.
+    pub fn send_batch_exact<I>(&mut self, events: I) -> Result<(), StreamOverflow>
+    where
+        I: ExactSizeIterator<Item = Event<S, A>>,
     {
         if self.failed {
             return Err(StreamOverflow {
                 stream: self.stream,
             });
         }
-        let events: Vec<Event<S, A>> = events
-            .into_iter()
-            .map(|(action, time, state)| Event::new(action, time, state))
-            .collect();
         let n = events.len() as u64;
         if n == 0 {
             return Ok(());
         }
-        let mut items = events.into_iter();
+        let mut items = events;
         let mut max_depth = 0usize;
         loop {
             let (depth, accepted) = self.tx.try_push_many(&mut items);
@@ -533,7 +568,16 @@ impl<S, A> StreamHandle<S, A> {
             match self.policy {
                 OverloadPolicy::Block => {
                     self.worker.wake();
-                    self.tx.wait_space();
+                    if !self.tx.wait_space_or(&self.worker.shutdown) {
+                        let accepted_total = n - items.len() as u64;
+                        self.lag.record_enqueued_many(accepted_total);
+                        self.record_depth(max_depth);
+                        self.metrics.record_batch(accepted_total);
+                        self.failed = true;
+                        return Err(StreamOverflow {
+                            stream: self.stream,
+                        });
+                    }
                 }
                 OverloadPolicy::DropOldest => self.shed_oldest(),
                 OverloadPolicy::FailStream => {
@@ -603,7 +647,7 @@ impl<S, A> Drop for StreamHandle<S, A> {
 /// ```
 pub struct MonitorPool<S, A> {
     shared: Vec<Arc<WorkerShared<S, A>>>,
-    workers: Vec<JoinHandle<Vec<StreamReport>>>,
+    workers: Vec<JoinHandle<()>>,
     metrics: Arc<MonitorMetrics>,
     policy: OverloadPolicy,
     queue_capacity: usize,
@@ -677,9 +721,20 @@ where
     /// the worker through the injector, and returns the producer half
     /// wrapped in a [`StreamHandle`].
     pub fn open_stream(&mut self, start: S) -> StreamHandle<S, A> {
+        let worker = (self.next_stream as usize) % self.shared.len();
+        self.open_stream_on(worker, start)
+    }
+
+    /// [`open_stream`](MonitorPool::open_stream) pinned to a *specific*
+    /// worker (`worker` taken modulo the worker count): the hook for
+    /// callers that own stream placement — `tempo-serve` routes streams
+    /// through a consistent-hash ring over the workers instead of the
+    /// pool's round robin, so placement survives worker drain/restore
+    /// with minimal movement.
+    pub fn open_stream_on(&mut self, worker: usize, start: S) -> StreamHandle<S, A> {
         let stream = self.next_stream;
         self.next_stream += 1;
-        let worker = Arc::clone(&self.shared[(stream as usize) % self.shared.len()]);
+        let worker = Arc::clone(&self.shared[worker % self.shared.len()]);
         let lag = self.metrics.register_stream(stream);
         let (tx, rx) = ring::ring(self.queue_capacity);
         let ctl = Arc::new(ConnCtl::default());
@@ -713,6 +768,43 @@ where
     /// The pool's shared counters (snapshot any time for live lag).
     pub fn metrics(&self) -> Arc<MonitorMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Number of worker threads (after
+    /// [`PoolConfig::validated`] normalization) — the shard space
+    /// [`open_stream_on`](MonitorPool::open_stream_on) indexes into.
+    pub fn workers(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Collects the reports of every stream finished since the last
+    /// drain, across all workers, sorted by stream id. Reports drained
+    /// here do **not** reappear in the final
+    /// [`shutdown`](MonitorPool::shutdown) report — this is the live
+    /// egress path: `tempo-serve` polls it to stream verdicts back to
+    /// clients while the pool keeps running.
+    pub fn drain_finished(&self) -> Vec<StreamReport> {
+        let mut out: Vec<StreamReport> = Vec::new();
+        for ws in &self.shared {
+            out.append(&mut ws.outbox.lock().expect("pool outbox mutex poisoned"));
+        }
+        out.sort_by_key(|r| r.stream);
+        out
+    }
+
+    /// Signals every worker to stop (after draining its rings) without
+    /// waiting for them. Idempotent: any number of calls, from any
+    /// thread holding the pool, collapse into one shutdown; in-flight
+    /// [`StreamHandle::send`]/[`send_batch`](StreamHandle::send_batch)
+    /// calls racing the signal either deliver normally or return
+    /// [`StreamOverflow`] — they never block forever on a worker that
+    /// will not drain again. [`shutdown`](MonitorPool::shutdown) calls
+    /// this itself.
+    pub fn begin_shutdown(&self) {
+        for ws in &self.shared {
+            ws.shutdown.store(true, Ordering::SeqCst);
+            ws.wake();
+        }
     }
 
     /// Hot-swaps every live stream (and all future streams) onto a new
@@ -788,15 +880,16 @@ where
 
     /// Stops the workers (after they drain their rings) and collects
     /// every stream's report. Streams never explicitly finished are
-    /// finalized here.
+    /// finalized here. Streams whose reports were already taken by
+    /// [`drain_finished`](MonitorPool::drain_finished) are not repeated.
     pub fn shutdown(self) -> PoolReport {
-        for ws in &self.shared {
-            ws.shutdown.store(true, Ordering::Release);
-            ws.wake();
+        self.begin_shutdown();
+        for worker in self.workers {
+            worker.join().expect("monitor worker panicked");
         }
         let mut streams: Vec<StreamReport> = Vec::new();
-        for worker in self.workers {
-            streams.extend(worker.join().expect("monitor worker panicked"));
+        for ws in &self.shared {
+            streams.append(&mut ws.outbox.lock().expect("pool outbox mutex poisoned"));
         }
         streams.sort_by_key(|r| r.stream);
         PoolReport {
@@ -837,7 +930,7 @@ fn worker_loop<S: Clone, A: Clone + Eq + Hash>(
     horizon: Option<Rat>,
     drain_batch: usize,
     backend: BackendChoice,
-) -> Vec<StreamReport> {
+) {
     shared
         .thread
         .set(thread::current())
@@ -846,19 +939,24 @@ fn worker_loop<S: Clone, A: Clone + Eq + Hash>(
     // in place by hot reload.
     let mut set = Arc::clone(set);
     let mut conns: Vec<Conn<S, A>> = Vec::new();
-    let mut reports: Vec<StreamReport> = Vec::new();
     let mut scratch: Vec<Event<S, A>> = Vec::with_capacity(drain_batch);
-    let file = |reports: &mut Vec<StreamReport>, conn: Conn<S, A>, failed: bool| {
+    // Filed reports go straight to the shared outbox, so a live pool
+    // can hand them out (`drain_finished`) without waiting for shutdown.
+    let file = |conn: Conn<S, A>, failed: bool| {
         let events = conn.mon.events_seen();
         let (violations, warnings, forced) = conn.mon.finish_full(mode);
-        reports.push(StreamReport {
-            stream: conn.stream,
-            events,
-            violations,
-            warnings,
-            forced,
-            failed,
-        });
+        shared
+            .outbox
+            .lock()
+            .expect("pool outbox mutex poisoned")
+            .push(StreamReport {
+                stream: conn.stream,
+                events,
+                violations,
+                warnings,
+                forced,
+                failed,
+            });
     };
     let adopt = |set: &Arc<CompiledConditionSet<S, A>>, conns: &mut Vec<Conn<S, A>>| -> bool {
         if !shared.dirty.swap(false, Ordering::Acquire) {
@@ -970,14 +1068,14 @@ fn worker_loop<S: Clone, A: Clone + Eq + Hash>(
             if (finished || shutting_down) && conn.rx.is_empty() {
                 let conn = conns.swap_remove(i);
                 let failed = finished && conn.ctl.failed.load(Ordering::Relaxed);
-                file(&mut reports, conn, failed);
+                file(conn, failed);
                 did_work = true;
                 continue; // the swapped-in conn now sits at `i`
             }
             i += 1;
         }
         if shutting_down && conns.is_empty() && !shared.dirty.load(Ordering::Acquire) {
-            return reports;
+            return;
         }
         if did_work {
             spins = 0;

@@ -225,7 +225,11 @@ impl<T> Producer<T> {
     /// batched-publish half of the transport. Values that do not fit
     /// stay in the iterator. Returns the occupied depth after the
     /// publish and the number of values accepted.
-    pub fn try_push_many(&mut self, items: &mut std::vec::IntoIter<T>) -> (usize, usize) {
+    ///
+    /// Generic over the iterator, so callers can publish straight out
+    /// of a decoder (e.g. `tempo-serve`'s wire frames) without
+    /// collecting into an intermediate `Vec` first.
+    pub fn try_push_many<I: Iterator<Item = T>>(&mut self, items: &mut I) -> (usize, usize) {
         let head = self.core.head.value.load(Ordering::Acquire);
         let tail = self.core.tail.value.load(Ordering::Relaxed);
         let room = self.capacity() - tail.wrapping_sub(head);
@@ -281,10 +285,32 @@ impl<T> Producer<T> {
     /// on each side of the flag/cursor exchange rules out lost wakeups
     /// (see the module docs).
     pub fn wait_space(&mut self) {
+        self.wait_space_inner(None);
+    }
+
+    /// [`wait_space`](Producer::wait_space), abandoned when `stop`
+    /// becomes `true`. Returns `true` when a slot is free, `false` when
+    /// the wait was called off with the ring still full — the escape
+    /// hatch a pool producer needs when its worker is shutting down and
+    /// will never drain again.
+    pub fn wait_space_or(&mut self, stop: &AtomicBool) -> bool {
+        self.wait_space_inner(Some(stop))
+    }
+
+    fn wait_space_inner(&mut self, stop: Option<&AtomicBool>) -> bool {
         let mut spins = 0u32;
         loop {
             if self.free() > 0 {
-                return;
+                return true;
+            }
+            if let Some(stop) = stop {
+                // `SeqCst`-fenced like the park protocol below: pairs
+                // with the store-then-wake in `MonitorPool::shutdown`,
+                // so either this load sees the stop flag or the stopper
+                // sees the waiting flag and unparks us into a re-check.
+                if stop.load(Ordering::SeqCst) {
+                    return false;
+                }
             }
             spins += 1;
             if spins < SPIN_LIMIT {
@@ -301,7 +327,7 @@ impl<T> Producer<T> {
             fence(Ordering::SeqCst);
             if self.free() > 0 {
                 self.core.producer_waiting.store(false, Ordering::Relaxed);
-                return;
+                return true;
             }
             thread::park_timeout(PARK_TIMEOUT);
             self.core.producer_waiting.store(false, Ordering::Relaxed);

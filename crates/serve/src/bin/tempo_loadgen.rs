@@ -1,0 +1,81 @@
+//! `tempo-loadgen` binary: drive a running `tempo-serve` with
+//! deterministic request/serve traffic and print throughput/latency.
+//!
+//! ```text
+//! tempo-loadgen --addr 127.0.0.1:7400 --streams 10000 \
+//!               [--events 20] [--batch 10] [--conns 4] [--late-every 0]
+//! ```
+
+use std::process::ExitCode;
+
+use tempo_serve::{loadgen, LoadgenConfig};
+use tempo_sim::loadgen::ReqServe;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tempo-loadgen --addr HOST:PORT [--streams N] [--events N] \
+         [--batch N] [--conns N] [--late-every N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut cfg = LoadgenConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(v) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(v),
+            "--streams" => match v.parse() {
+                Ok(n) => cfg.streams = n,
+                Err(_) => return usage(),
+            },
+            "--events" => match v.parse() {
+                Ok(n) => cfg.events_per_stream = n,
+                Err(_) => return usage(),
+            },
+            "--batch" => match v.parse() {
+                Ok(n) => cfg.batch = n,
+                Err(_) => return usage(),
+            },
+            "--conns" => match v.parse() {
+                Ok(n) => cfg.conns = n,
+                Err(_) => return usage(),
+            },
+            "--late-every" => match v.parse() {
+                Ok(n) => {
+                    cfg.traffic = ReqServe {
+                        late_every: n,
+                        ..cfg.traffic
+                    }
+                }
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+
+    match loadgen::run(&addr, &cfg) {
+        Ok(report) => {
+            println!("{}", report.render());
+            if report.events_monitored != report.events_sent {
+                eprintln!(
+                    "warning: {} events sent but {} monitored",
+                    report.events_sent, report.events_monitored
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tempo-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! A small blocking client for the wire protocol — the loadgen's
+//! transport and the loopback tests' harness.
+//!
+//! Ingest calls ([`open`](Client::open), [`send_batch`](Client::send_batch),
+//! [`finish_stream`](Client::finish_stream), …) buffer frames locally;
+//! [`flush`](Client::flush) pushes them down the socket in one write.
+//! [`recv`](Client::recv) flushes, then blocks for the next egress
+//! frame, decoding JSON payloads through the `serde` report encodings.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tempo_monitor::{MetricsSnapshot, StreamReport};
+
+use crate::server::ReloadSummary;
+use crate::wire::{
+    encode_batch, encode_finish, encode_metrics_sub, encode_open, encode_reload, BatchBuilder,
+    ErrorCode, Frame, RecvBuf, WireEvent,
+};
+
+/// A typed egress frame as the client surfaces it.
+#[derive(Clone, Debug)]
+pub enum ServerFrame {
+    /// A finished stream's report. `stream` is the *client's* id; the
+    /// report's own `stream` field is rewritten to match, so the pool's
+    /// internal ids never leak into client code.
+    Report {
+        /// Client-chosen stream id.
+        stream: u64,
+        /// The decoded report.
+        report: StreamReport,
+    },
+    /// A metrics snapshot (subscription response).
+    Metrics(Box<MetricsSnapshot>),
+    /// A reload was applied.
+    Reloaded(ReloadSummary),
+    /// An error response.
+    Error {
+        /// Stable error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    tcp: TcpStream,
+    recv: RecvBuf,
+    out: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl Client {
+    /// Connects (blocking, `TCP_NODELAY`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let tcp = TcpStream::connect(addr)?;
+        tcp.set_nodelay(true)?;
+        Ok(Client {
+            tcp,
+            recv: RecvBuf::new(64 << 20),
+            out: Vec::new(),
+            scratch: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// Sets (or clears) the blocking-read timeout used by
+    /// [`recv`](Client::recv).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.tcp.set_read_timeout(t)
+    }
+
+    /// Buffers an open frame.
+    pub fn open(&mut self, stream: u64, start: u32) {
+        encode_open(&mut self.out, stream, start);
+    }
+
+    /// Buffers a batch frame.
+    pub fn send_batch(&mut self, stream: u64, events: &[WireEvent]) {
+        encode_batch(&mut self.out, stream, events);
+    }
+
+    /// Starts an incrementally built batch frame (the allocation-free
+    /// path — no intermediate event slice).
+    pub fn batch(&mut self, stream: u64) -> BatchBuilder<'_> {
+        BatchBuilder::begin(&mut self.out, stream)
+    }
+
+    /// Buffers a finish frame.
+    pub fn finish_stream(&mut self, stream: u64) {
+        encode_finish(&mut self.out, stream);
+    }
+
+    /// Buffers a reload frame carrying `.tspec` source.
+    pub fn reload(&mut self, src: &str) {
+        encode_reload(&mut self.out, src);
+    }
+
+    /// Buffers a metrics subscription (`0` unsubscribes).
+    pub fn subscribe_metrics(&mut self, interval_ms: u32) {
+        encode_metrics_sub(&mut self.out, interval_ms);
+    }
+
+    /// Bytes currently buffered for the next flush.
+    pub fn buffered(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Writes every buffered frame to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        self.tcp.write_all(&self.out)?;
+        self.out.clear();
+        Ok(())
+    }
+
+    /// Flushes, then blocks until one egress frame arrives (or the read
+    /// timeout elapses, surfacing as `WouldBlock`/`TimedOut`).
+    pub fn recv(&mut self) -> io::Result<ServerFrame> {
+        self.flush()?;
+        loop {
+            match self.recv.next_frame() {
+                Ok(Some(frame)) => match decode_egress(&frame) {
+                    Some(sf) => return Ok(sf),
+                    None => {
+                        return Err(io::Error::new(
+                            ErrorKind::InvalidData,
+                            "ingest frame on the egress path",
+                        ))
+                    }
+                },
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(ErrorKind::InvalidData, e.to_string())),
+            }
+            let n = self.tcp.read(&mut self.scratch)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.recv.ingest(&self.scratch[..n]);
+        }
+    }
+}
+
+/// Decodes an egress frame into its typed form (`None` for ingest
+/// frames, which a server never sends).
+fn decode_egress(frame: &Frame<'_>) -> Option<ServerFrame> {
+    match frame {
+        Frame::Report { stream, json } => {
+            let mut report: StreamReport = match serde_json::from_str(json) {
+                Ok(r) => r,
+                Err(_) => return Some(bad_payload("report")),
+            };
+            report.stream = *stream;
+            Some(ServerFrame::Report {
+                stream: *stream,
+                report,
+            })
+        }
+        Frame::MetricsSnap { json } => match serde_json::from_str(json) {
+            Ok(m) => Some(ServerFrame::Metrics(Box::new(m))),
+            Err(_) => Some(bad_payload("metrics")),
+        },
+        Frame::Reloaded { json } => match serde_json::from_str(json) {
+            Ok(r) => Some(ServerFrame::Reloaded(r)),
+            Err(_) => Some(bad_payload("reload summary")),
+        },
+        Frame::Error { code, message } => Some(ServerFrame::Error {
+            code: *code,
+            message: (*message).to_string(),
+        }),
+        _ => None,
+    }
+}
+
+fn bad_payload(what: &str) -> ServerFrame {
+    ServerFrame::Error {
+        code: ErrorCode::Malformed,
+        message: format!("undecodable {what} payload"),
+    }
+}

@@ -1,0 +1,265 @@
+//! The load generator: drives a running server with
+//! [`tempo_sim::loadgen`] traffic over N connections and measures
+//! sustained ingest throughput and finish-to-verdict latency.
+//!
+//! Used three ways: as the `tempo-loadgen` binary (EXPERIMENTS.md
+//! §E18), inside `bench/e18_serve`, and by the loopback CI smoke test.
+//!
+//! Streams are spread round robin over the configured connections;
+//! each connection runs on its own thread with its own socket. A run
+//! has three phases — open every stream, stream event batches
+//! round-robin across the connection's streams (so all streams progress
+//! together, like real concurrent clients), then finish every stream
+//! and wait for its [`StreamReport`](tempo_monitor::StreamReport).
+//! The reported latency is
+//! finish-flush → report-receipt per stream: the tail of the
+//! socket → ring → monitor → egress pipeline, i.e. ingest-to-verdict
+//! for the stream's last event.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tempo_sim::loadgen::ReqServe;
+
+use crate::client::{Client, ServerFrame};
+use crate::wire::WireEvent;
+
+/// Loadgen parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent streams, spread over the connections.
+    pub streams: u64,
+    /// Events per stream (even: requests pair with serves).
+    pub events_per_stream: u32,
+    /// Events per batch frame.
+    pub batch: u32,
+    /// Client connections (one thread each).
+    pub conns: usize,
+    /// The traffic model ([`ReqServe::validated`] is applied).
+    pub traffic: ReqServe,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            streams: 1000,
+            events_per_stream: 20,
+            batch: 10,
+            conns: 4,
+            traffic: ReqServe::default(),
+        }
+    }
+}
+
+/// What a loadgen run measured.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Streams driven to completion (reports received).
+    pub streams: u64,
+    /// Events put on the wire.
+    pub events_sent: u64,
+    /// Events the reports confirm were consumed by monitors.
+    pub events_monitored: u64,
+    /// Wall-clock for the whole run (open → last report).
+    pub elapsed: Duration,
+    /// Violations reported across all streams.
+    pub violations: u64,
+    /// Streams reported as failed (overload policy).
+    pub failed: u64,
+    /// Finish-to-report latencies: p50.
+    pub latency_p50: Duration,
+    /// Finish-to-report latencies: p99.
+    pub latency_p99: Duration,
+    /// Finish-to-report latencies: worst.
+    pub latency_max: Duration,
+}
+
+impl LoadgenReport {
+    /// Sustained events per second over the whole run.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_sent as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean wire cost per event, in nanoseconds.
+    pub fn ns_per_event(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.events_sent.max(1) as f64
+    }
+
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} streams · {} events · {:.2}s · {:.0} ev/s · {:.0} ns/ev · p50 {:?} p99 {:?} max {:?} · {} violations · {} failed",
+            self.streams,
+            self.events_sent,
+            self.elapsed.as_secs_f64(),
+            self.events_per_sec(),
+            self.ns_per_event(),
+            self.latency_p50,
+            self.latency_p99,
+            self.latency_max,
+            self.violations,
+            self.failed,
+        )
+    }
+}
+
+/// Outcome of one connection worker.
+struct ConnOutcome {
+    events_sent: u64,
+    events_monitored: u64,
+    violations: u64,
+    failed: u64,
+    reports: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Runs the full load against `addr`. Returns after every stream's
+/// report arrived (or errors on the first transport failure).
+pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let traffic = cfg.traffic.validated();
+    let conns = cfg.conns.max(1).min(cfg.streams.max(1) as usize);
+    let started = Instant::now();
+    let sent_total = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<thread::JoinHandle<io::Result<ConnOutcome>>> = (0..conns)
+        .map(|c| {
+            let addr = addr.to_string();
+            let cfg = *cfg;
+            let sent_total = Arc::clone(&sent_total);
+            thread::spawn(move || {
+                conn_worker(&addr, &cfg, traffic, c as u64, conns as u64, &sent_total)
+            })
+        })
+        .collect();
+
+    let mut events_sent = 0u64;
+    let mut events_monitored = 0u64;
+    let mut violations = 0u64;
+    let mut failed = 0u64;
+    let mut streams = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        let out = w.join().expect("loadgen worker panicked")?;
+        events_sent += out.events_sent;
+        events_monitored += out.events_monitored;
+        violations += out.violations;
+        failed += out.failed;
+        streams += out.reports;
+        latencies.extend(out.latencies);
+    }
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let pick = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            let i = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[i]
+        }
+    };
+    Ok(LoadgenReport {
+        streams,
+        events_sent,
+        events_monitored,
+        elapsed,
+        violations,
+        failed,
+        latency_p50: pick(0.50),
+        latency_p99: pick(0.99),
+        latency_max: latencies.last().copied().unwrap_or(Duration::ZERO),
+    })
+}
+
+fn conn_worker(
+    addr: &str,
+    cfg: &LoadgenConfig,
+    traffic: ReqServe,
+    conn_index: u64,
+    conns: u64,
+    sent_total: &AtomicU64,
+) -> io::Result<ConnOutcome> {
+    let mut client = Client::connect(addr)?;
+    let my_streams: Vec<u64> = (0..cfg.streams)
+        .filter(|s| s % conns == conn_index)
+        .collect();
+
+    // Phase 1: open everything (flush in chunks to bound the buffer).
+    for (i, &s) in my_streams.iter().enumerate() {
+        client.open(s, 0);
+        if client.buffered() > 1 << 16 || i + 1 == my_streams.len() {
+            client.flush()?;
+        }
+    }
+
+    // Phase 2: round-robin batches so all streams progress together.
+    let events = u64::from(cfg.events_per_stream);
+    let batch = u64::from(cfg.batch.max(1));
+    let mut sent_here = 0u64;
+    let mut offset = 0u64;
+    while offset < events {
+        let hi = (offset + batch).min(events);
+        for &s in &my_streams {
+            let mut b = client.batch(s);
+            for i in offset..hi {
+                let ev = traffic.event(s, i);
+                b.push(WireEvent::at(ev.action, ev.state, ev.time_ms));
+            }
+            b.finish();
+            sent_here += hi - offset;
+            if client.buffered() > 1 << 18 {
+                client.flush()?;
+            }
+        }
+        client.flush()?;
+        offset = hi;
+    }
+    sent_total.fetch_add(sent_here, Ordering::Relaxed);
+
+    // Phase 3: finish (stamping flush time per chunk) and await reports.
+    let mut finish_at: std::collections::HashMap<u64, Instant> = Default::default();
+    for chunk in my_streams.chunks(512) {
+        for &s in chunk {
+            client.finish_stream(s);
+        }
+        client.flush()?;
+        let now = Instant::now();
+        for &s in chunk {
+            finish_at.insert(s, now);
+        }
+    }
+
+    let mut out = ConnOutcome {
+        events_sent: sent_here,
+        events_monitored: 0,
+        violations: 0,
+        failed: 0,
+        reports: 0,
+        latencies: Vec::with_capacity(my_streams.len()),
+    };
+    client.set_read_timeout(Some(Duration::from_secs(60)))?;
+    while out.reports < my_streams.len() as u64 {
+        match client.recv()? {
+            ServerFrame::Report { stream, report } => {
+                let now = Instant::now();
+                if let Some(t) = finish_at.remove(&stream) {
+                    out.latencies.push(now.duration_since(t));
+                }
+                out.reports += 1;
+                out.events_monitored += report.events as u64;
+                out.violations += report.violations.len() as u64;
+                out.failed += u64::from(report.failed);
+            }
+            ServerFrame::Error { code, message } => {
+                return Err(io::Error::other(format!(
+                    "server error {code:?}: {message}"
+                )));
+            }
+            ServerFrame::Metrics(_) | ServerFrame::Reloaded(_) => {}
+        }
+    }
+    Ok(out)
+}

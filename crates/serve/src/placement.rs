@@ -1,0 +1,159 @@
+//! Consistent-hash stream → worker placement.
+//!
+//! New streams are pinned to pool workers by hashing the stream key
+//! onto a ring of virtual nodes. Compared to the pool's default round
+//! robin, the ring keeps placement *stable under membership change*:
+//! draining one worker (for rebalancing, or because a shard is being
+//! retired) moves only the streams that hashed onto that worker's
+//! virtual nodes — every other stream keeps its worker, so their rings
+//! and monitor state stay where they are.
+//!
+//! Placement only steers *new* streams; live streams stay pinned to the
+//! worker that adopted them (the pool's SPSC rings are single-consumer
+//! by construction). That is exactly the consistent-hashing contract:
+//! membership change perturbs the minimal fraction of future keys.
+
+/// `splitmix64` — a fast, well-mixed 64-bit hash (public-domain
+/// constants), enough to spread sequential stream ids uniformly.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over worker indices.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(position, worker)` sorted by position.
+    vnodes: Vec<(u64, u32)>,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// An empty ring placing each worker at `replicas` virtual nodes.
+    pub fn new(replicas: usize) -> HashRing {
+        HashRing {
+            vnodes: Vec::new(),
+            replicas: replicas.max(1),
+        }
+    }
+
+    /// A ring pre-populated with workers `0..workers`.
+    pub fn with_workers(workers: usize, replicas: usize) -> HashRing {
+        let mut ring = HashRing::new(replicas);
+        for w in 0..workers {
+            ring.add_worker(w as u32);
+        }
+        ring
+    }
+
+    /// Adds a worker's virtual nodes. Adding a present worker is a
+    /// no-op.
+    pub fn add_worker(&mut self, worker: u32) {
+        if self.contains(worker) {
+            return;
+        }
+        for r in 0..self.replicas {
+            let pos = splitmix64((u64::from(worker) << 32) | r as u64);
+            self.vnodes.push((pos, worker));
+        }
+        self.vnodes.sort_unstable();
+    }
+
+    /// Removes a worker's virtual nodes (draining it from future
+    /// placement). Removing an absent worker is a no-op.
+    pub fn remove_worker(&mut self, worker: u32) {
+        self.vnodes.retain(|&(_, w)| w != worker);
+    }
+
+    /// Whether the worker is currently placed on the ring.
+    pub fn contains(&self, worker: u32) -> bool {
+        self.vnodes.iter().any(|&(_, w)| w == worker)
+    }
+
+    /// Number of distinct workers on the ring.
+    pub fn workers(&self) -> usize {
+        let mut ws: Vec<u32> = self.vnodes.iter().map(|&(_, w)| w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws.len()
+    }
+
+    /// Whether the ring is empty (no placement possible).
+    pub fn is_empty(&self) -> bool {
+        self.vnodes.is_empty()
+    }
+
+    /// The worker owning `key`: the first virtual node clockwise from
+    /// the key's hash. `None` on an empty ring.
+    pub fn worker_for(&self, key: u64) -> Option<u32> {
+        if self.vnodes.is_empty() {
+            return None;
+        }
+        let h = splitmix64(key);
+        let i = self.vnodes.partition_point(|&(pos, _)| pos < h);
+        let &(_, w) = self.vnodes.get(i).unwrap_or_else(|| &self.vnodes[0]); // wrap around
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_keys_roughly_evenly() {
+        let ring = HashRing::with_workers(8, 64);
+        let mut counts = [0usize; 8];
+        let n = 80_000u64;
+        for key in 0..n {
+            counts[ring.worker_for(key).unwrap() as usize] += 1;
+        }
+        let ideal = n as usize / 8;
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(
+                c > ideal / 2 && c < ideal * 2,
+                "worker {w} got {c} of {n} keys (ideal {ideal})"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_workers_keys() {
+        let mut ring = HashRing::with_workers(8, 64);
+        let before: Vec<u32> = (0..20_000).map(|k| ring.worker_for(k).unwrap()).collect();
+        ring.remove_worker(3);
+        let mut moved = 0usize;
+        for (k, &was) in before.iter().enumerate() {
+            let now = ring.worker_for(k as u64).unwrap();
+            assert_ne!(now, 3, "key {k} placed on a drained worker");
+            if was != 3 {
+                assert_eq!(now, was, "key {k} moved although its worker stayed");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "worker 3 owned no keys at all");
+    }
+
+    #[test]
+    fn restore_brings_back_the_original_placement() {
+        let mut ring = HashRing::with_workers(4, 32);
+        let before: Vec<u32> = (0..5_000).map(|k| ring.worker_for(k).unwrap()).collect();
+        ring.remove_worker(1);
+        ring.add_worker(1);
+        let after: Vec<u32> = (0..5_000).map(|k| ring.worker_for(k).unwrap()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn empty_ring_places_nothing() {
+        let mut ring = HashRing::new(16);
+        assert!(ring.is_empty());
+        assert_eq!(ring.worker_for(1), None);
+        ring.add_worker(0);
+        assert_eq!(ring.worker_for(1), Some(0));
+        assert_eq!(ring.workers(), 1);
+    }
+}

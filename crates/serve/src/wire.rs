@@ -1,0 +1,780 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is `u32 length (LE) · u8 tag · body`, where `length`
+//! counts the tag byte plus the body. All integers are little-endian.
+//! Ingest frames (client → server) map 1:1 onto pool operations —
+//! [`Frame::Batch`] *is* a [`StreamHandle::send_batch_exact`] call — and
+//! egress frames (server → client) carry the `serde`-encoded reports as
+//! JSON payloads, so nothing is hand-encoded twice.
+//!
+//! The batch body is a packed array of 24-byte event records
+//! (`u32 action · u32 state · i64 time numerator · u64 time
+//! denominator`), decoded **zero-copy**: [`EventBatch::events`] is an
+//! [`ExactSizeIterator`] reading events straight out of the receive
+//! buffer into the pool's `Event<u32, u32>` layout, so the ingest path
+//! performs no per-event allocation between the socket and the SPSC
+//! ring.
+//!
+//! [`StreamHandle::send_batch_exact`]:
+//! tempo_monitor::StreamHandle::send_batch_exact
+
+use std::fmt;
+
+use tempo_math::Rat;
+use tempo_monitor::Event;
+
+/// Frame tags (the `u8` after the length prefix). Ingest tags have the
+/// high bit clear, egress tags have it set.
+pub mod tag {
+    /// Client → server: open a stream (`u64 stream · u32 start state`).
+    pub const OPEN: u8 = 0x01;
+    /// Client → server: event batch (`u64 stream · u32 count · count ×
+    /// 24-byte events`).
+    pub const BATCH: u8 = 0x02;
+    /// Client → server: finish a stream (`u64 stream`).
+    pub const FINISH: u8 = 0x03;
+    /// Client → server: hot-swap the spec (UTF-8 `.tspec` source).
+    pub const RELOAD: u8 = 0x04;
+    /// Client → server: subscribe to metrics snapshots
+    /// (`u32 interval in ms`, `0` unsubscribes).
+    pub const METRICS: u8 = 0x05;
+    /// Server → client: a finished stream's report (`u64 client stream
+    /// id · JSON StreamReport`).
+    pub const REPORT: u8 = 0x81;
+    /// Server → client: a metrics snapshot (JSON MetricsSnapshot).
+    pub const METRICS_SNAP: u8 = 0x82;
+    /// Server → client: a reload was applied (JSON ReloadSummary).
+    pub const RELOADED: u8 = 0x83;
+    /// Server → client: an error (`u8 code · UTF-8 message`).
+    pub const ERROR: u8 = 0x84;
+}
+
+/// Bytes of one packed event record in a batch body.
+pub const EVENT_WIRE_BYTES: usize = 24;
+
+/// Bytes of a batch body header (`u64 stream · u32 count`).
+pub const BATCH_HEADER_BYTES: usize = 12;
+
+/// Stable error codes carried by [`tag::ERROR`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame body did not parse (short body, bad UTF-8, zero time
+    /// denominator, count mismatch).
+    Malformed = 1,
+    /// The frame tag is not one the server understands.
+    UnknownTag = 2,
+    /// The declared frame length exceeds the configured maximum.
+    Oversized = 3,
+    /// A batch or finish referenced a stream id never opened (or
+    /// already finished) on this connection.
+    UnknownStream = 4,
+    /// An open reused a stream id already live on this connection.
+    DuplicateStream = 5,
+    /// A reload's `.tspec` source failed to compile; the message
+    /// carries the diagnostics.
+    SpecError = 6,
+    /// The stream's queue refused the events (fail-stream policy, or a
+    /// blocked send cut off by shutdown). The stream is closed; its
+    /// report covers the delivered prefix.
+    Overload = 7,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown = 8,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownTag,
+            3 => ErrorCode::Oversized,
+            4 => ErrorCode::UnknownStream,
+            5 => ErrorCode::DuplicateStream,
+            6 => ErrorCode::SpecError,
+            7 => ErrorCode::Overload,
+            8 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A wire-level decode failure.
+///
+/// [`Fatal`](WireError::is_fatal) errors poison the byte stream (frame
+/// boundaries can no longer be trusted) and close the connection after
+/// the error response; non-fatal errors skip the offending frame and
+/// keep the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A tag outside the protocol. Non-fatal: the frame is delimited,
+    /// so it is skipped.
+    UnknownTag(u8),
+    /// A declared length above the maximum. Fatal: the decoder cannot
+    /// skip what it will not buffer.
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// Configured cap.
+        max: u32,
+    },
+    /// A body that does not parse under its tag. Non-fatal.
+    Malformed(&'static str),
+}
+
+impl WireError {
+    /// The stable code to answer with.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            WireError::UnknownTag(_) => ErrorCode::UnknownTag,
+            WireError::Oversized { .. } => ErrorCode::Oversized,
+            WireError::Malformed(_) => ErrorCode::Malformed,
+        }
+    }
+
+    /// Whether the connection's byte stream is unrecoverable.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, WireError::Oversized { .. })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnknownTag(t) => write!(f, "unknown frame tag 0x{t:02x}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A zero-copy view of a [`tag::BATCH`] body: the event records stay in
+/// the receive buffer until the iterator lifts them into the ring.
+#[derive(Clone, Copy, Debug)]
+pub struct EventBatch<'a> {
+    /// Client-chosen stream id.
+    pub stream: u64,
+    bytes: &'a [u8],
+}
+
+impl<'a> EventBatch<'a> {
+    /// Number of events in the batch.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / EVENT_WIRE_BYTES
+    }
+
+    /// Whether the batch carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Iterates the events, decoding each record on the fly. The
+    /// iterator is exact-size, so
+    /// [`send_batch_exact`](tempo_monitor::StreamHandle::send_batch_exact)
+    /// can reserve ring space without collecting.
+    pub fn events(&self) -> EventIter<'a> {
+        EventIter { bytes: self.bytes }
+    }
+}
+
+/// Iterator over a batch's packed event records. Denominators were
+/// validated non-zero at frame decode, so iteration is infallible.
+#[derive(Clone, Debug)]
+pub struct EventIter<'a> {
+    bytes: &'a [u8],
+}
+
+impl Iterator for EventIter<'_> {
+    type Item = Event<u32, u32>;
+
+    fn next(&mut self) -> Option<Event<u32, u32>> {
+        if self.bytes.len() < EVENT_WIRE_BYTES {
+            return None;
+        }
+        let (rec, rest) = self.bytes.split_at(EVENT_WIRE_BYTES);
+        self.bytes = rest;
+        let action = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let state = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let num = i64::from_le_bytes(rec[8..16].try_into().unwrap());
+        let den = u64::from_le_bytes(rec[16..24].try_into().unwrap());
+        Some(Event::new(
+            action,
+            Rat::new(num as i128, den as i128),
+            state,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bytes.len() / EVENT_WIRE_BYTES;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EventIter<'_> {}
+
+/// One decoded frame, borrowing string/batch payloads from the receive
+/// buffer.
+#[derive(Clone, Debug)]
+pub enum Frame<'a> {
+    /// Open a stream with a start state.
+    Open {
+        /// Client-chosen stream id (unique per connection).
+        stream: u64,
+        /// Start state handed to the stream's monitor.
+        start: u32,
+    },
+    /// An event batch.
+    Batch(EventBatch<'a>),
+    /// Finish a stream and request its report.
+    Finish {
+        /// Client-chosen stream id.
+        stream: u64,
+    },
+    /// Hot-swap the server's spec.
+    Reload {
+        /// `.tspec` source text.
+        src: &'a str,
+    },
+    /// (Un)subscribe to periodic metrics snapshots.
+    Metrics {
+        /// Snapshot interval in milliseconds; `0` unsubscribes.
+        interval_ms: u32,
+    },
+    /// Egress: a finished stream's report.
+    Report {
+        /// Client stream id (translated back from the pool id).
+        stream: u64,
+        /// JSON-encoded `StreamReport`.
+        json: &'a str,
+    },
+    /// Egress: a metrics snapshot.
+    MetricsSnap {
+        /// JSON-encoded `MetricsSnapshot`.
+        json: &'a str,
+    },
+    /// Egress: a reload was applied.
+    Reloaded {
+        /// JSON-encoded [`ReloadSummary`](crate::ReloadSummary).
+        json: &'a str,
+    },
+    /// Egress: an error response.
+    Error {
+        /// Stable error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: &'a str,
+    },
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[0..4].try_into().unwrap())
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[0..8].try_into().unwrap())
+}
+
+/// Parses one complete frame payload (tag + body, the length prefix
+/// already stripped).
+pub fn parse_frame(payload: &[u8]) -> Result<Frame<'_>, WireError> {
+    let (&t, body) = payload
+        .split_first()
+        .ok_or(WireError::Malformed("empty frame payload"))?;
+    match t {
+        tag::OPEN => {
+            if body.len() != 12 {
+                return Err(WireError::Malformed("open body must be 12 bytes"));
+            }
+            Ok(Frame::Open {
+                stream: le_u64(body),
+                start: le_u32(&body[8..]),
+            })
+        }
+        tag::BATCH => {
+            if body.len() < BATCH_HEADER_BYTES {
+                return Err(WireError::Malformed("batch body shorter than its header"));
+            }
+            let stream = le_u64(body);
+            let count = le_u32(&body[8..]) as usize;
+            let bytes = &body[BATCH_HEADER_BYTES..];
+            if bytes.len() != count * EVENT_WIRE_BYTES {
+                return Err(WireError::Malformed("batch length disagrees with count"));
+            }
+            // Validate denominators up front so EventIter is infallible
+            // on the hot path into the ring.
+            for rec in bytes.chunks_exact(EVENT_WIRE_BYTES) {
+                if le_u64(&rec[16..24]) == 0 {
+                    return Err(WireError::Malformed("event time denominator is zero"));
+                }
+            }
+            Ok(Frame::Batch(EventBatch { stream, bytes }))
+        }
+        tag::FINISH => {
+            if body.len() != 8 {
+                return Err(WireError::Malformed("finish body must be 8 bytes"));
+            }
+            Ok(Frame::Finish {
+                stream: le_u64(body),
+            })
+        }
+        tag::RELOAD => {
+            let src = std::str::from_utf8(body)
+                .map_err(|_| WireError::Malformed("reload source is not UTF-8"))?;
+            Ok(Frame::Reload { src })
+        }
+        tag::METRICS => {
+            if body.len() != 4 {
+                return Err(WireError::Malformed("metrics body must be 4 bytes"));
+            }
+            Ok(Frame::Metrics {
+                interval_ms: le_u32(body),
+            })
+        }
+        tag::REPORT => {
+            if body.len() < 8 {
+                return Err(WireError::Malformed("report body shorter than its header"));
+            }
+            let stream = le_u64(body);
+            let json = std::str::from_utf8(&body[8..])
+                .map_err(|_| WireError::Malformed("report payload is not UTF-8"))?;
+            Ok(Frame::Report { stream, json })
+        }
+        tag::METRICS_SNAP => {
+            let json = std::str::from_utf8(body)
+                .map_err(|_| WireError::Malformed("metrics payload is not UTF-8"))?;
+            Ok(Frame::MetricsSnap { json })
+        }
+        tag::RELOADED => {
+            let json = std::str::from_utf8(body)
+                .map_err(|_| WireError::Malformed("reload payload is not UTF-8"))?;
+            Ok(Frame::Reloaded { json })
+        }
+        tag::ERROR => {
+            let (&code, msg) = body
+                .split_first()
+                .ok_or(WireError::Malformed("error body missing its code"))?;
+            let code =
+                ErrorCode::from_u8(code).ok_or(WireError::Malformed("unknown error code"))?;
+            let message = std::str::from_utf8(msg)
+                .map_err(|_| WireError::Malformed("error message is not UTF-8"))?;
+            Ok(Frame::Error { code, message })
+        }
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+/// An accumulating receive buffer that yields complete frames.
+///
+/// Bytes arrive via [`ingest`](RecvBuf::ingest) (straight from a socket
+/// read); [`next_frame`](RecvBuf::next_frame) yields a borrowed
+/// [`Frame`] per complete frame without copying the payload. Consumed
+/// bytes are compacted away on the next ingest, so a long-lived
+/// connection reuses one allocation.
+#[derive(Debug)]
+pub struct RecvBuf {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame: u32,
+}
+
+impl RecvBuf {
+    /// An empty buffer enforcing `max_frame` as the largest acceptable
+    /// declared payload length.
+    pub fn new(max_frame: u32) -> RecvBuf {
+        RecvBuf {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends freshly received bytes.
+    pub fn ingest(&mut self, data: &[u8]) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes received but not yet consumed as a complete frame —
+    /// nonzero at EOF means the peer disconnected mid-frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Yields the next complete frame, or `None` when more bytes are
+    /// needed. On a non-fatal error the offending frame is consumed
+    /// (the stream stays aligned); on a fatal error the buffer is
+    /// unusable and the connection should close.
+    pub fn next_frame(&mut self) -> Result<Option<Frame<'_>>, WireError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = le_u32(&self.buf[self.start..]);
+        if len > self.max_frame {
+            return Err(WireError::Oversized {
+                len,
+                max: self.max_frame,
+            });
+        }
+        if len == 0 {
+            return Err(WireError::Malformed("zero-length frame"));
+        }
+        let total = 4 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let lo = self.start + 4;
+        let hi = self.start + total;
+        self.start = hi;
+        parse_frame(&self.buf[lo..hi]).map(Some)
+    }
+}
+
+fn begin_frame(out: &mut Vec<u8>, t: u8) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0, t]);
+    at
+}
+
+fn end_frame(out: &mut [u8], at: usize) {
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Encodes an [`tag::OPEN`] frame.
+pub fn encode_open(out: &mut Vec<u8>, stream: u64, start: u32) {
+    let at = begin_frame(out, tag::OPEN);
+    out.extend_from_slice(&stream.to_le_bytes());
+    out.extend_from_slice(&start.to_le_bytes());
+    end_frame(out, at);
+}
+
+/// Encodes a [`tag::FINISH`] frame.
+pub fn encode_finish(out: &mut Vec<u8>, stream: u64) {
+    let at = begin_frame(out, tag::FINISH);
+    out.extend_from_slice(&stream.to_le_bytes());
+    end_frame(out, at);
+}
+
+/// Encodes a [`tag::RELOAD`] frame.
+pub fn encode_reload(out: &mut Vec<u8>, src: &str) {
+    let at = begin_frame(out, tag::RELOAD);
+    out.extend_from_slice(src.as_bytes());
+    end_frame(out, at);
+}
+
+/// Encodes a [`tag::METRICS`] subscription frame.
+pub fn encode_metrics_sub(out: &mut Vec<u8>, interval_ms: u32) {
+    let at = begin_frame(out, tag::METRICS);
+    out.extend_from_slice(&interval_ms.to_le_bytes());
+    end_frame(out, at);
+}
+
+/// Encodes a [`tag::REPORT`] egress frame.
+pub fn encode_report(out: &mut Vec<u8>, stream: u64, json: &str) {
+    let at = begin_frame(out, tag::REPORT);
+    out.extend_from_slice(&stream.to_le_bytes());
+    out.extend_from_slice(json.as_bytes());
+    end_frame(out, at);
+}
+
+/// Encodes a [`tag::METRICS_SNAP`] egress frame.
+pub fn encode_metrics_snap(out: &mut Vec<u8>, json: &str) {
+    let at = begin_frame(out, tag::METRICS_SNAP);
+    out.extend_from_slice(json.as_bytes());
+    end_frame(out, at);
+}
+
+/// Encodes a [`tag::RELOADED`] egress frame.
+pub fn encode_reloaded(out: &mut Vec<u8>, json: &str) {
+    let at = begin_frame(out, tag::RELOADED);
+    out.extend_from_slice(json.as_bytes());
+    end_frame(out, at);
+}
+
+/// Encodes a [`tag::ERROR`] egress frame.
+pub fn encode_error(out: &mut Vec<u8>, code: ErrorCode, message: &str) {
+    let at = begin_frame(out, tag::ERROR);
+    out.push(code as u8);
+    out.extend_from_slice(message.as_bytes());
+    end_frame(out, at);
+}
+
+/// One event as the client encodes it: action/state ids plus the time
+/// as an explicit 64-bit rational.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Action id (an index into the server's action table).
+    pub action: u32,
+    /// Post-state id.
+    pub state: u32,
+    /// Time numerator.
+    pub num: i64,
+    /// Time denominator (must be nonzero).
+    pub den: u64,
+}
+
+impl WireEvent {
+    /// An event at integer time `t` (denominator 1).
+    pub fn at(action: u32, state: u32, t: i64) -> WireEvent {
+        WireEvent {
+            action,
+            state,
+            num: t,
+            den: 1,
+        }
+    }
+}
+
+/// Incrementally encodes one [`tag::BATCH`] frame into `out`.
+///
+/// The loadgen hot path uses this to build batches without an
+/// intermediate event vector: `begin`, then `push` per event, then
+/// `finish` (which back-patches the length prefix and event count).
+#[derive(Debug)]
+pub struct BatchBuilder<'a> {
+    out: &'a mut Vec<u8>,
+    at: usize,
+    count: u32,
+}
+
+impl<'a> BatchBuilder<'a> {
+    /// Starts a batch frame for `stream`.
+    pub fn begin(out: &'a mut Vec<u8>, stream: u64) -> BatchBuilder<'a> {
+        let at = begin_frame(out, tag::BATCH);
+        out.extend_from_slice(&stream.to_le_bytes());
+        out.extend_from_slice(&[0, 0, 0, 0]);
+        BatchBuilder { out, at, count: 0 }
+    }
+
+    /// Appends one event record.
+    pub fn push(&mut self, ev: WireEvent) {
+        self.out.extend_from_slice(&ev.action.to_le_bytes());
+        self.out.extend_from_slice(&ev.state.to_le_bytes());
+        self.out.extend_from_slice(&ev.num.to_le_bytes());
+        self.out.extend_from_slice(&ev.den.to_le_bytes());
+        self.count += 1;
+    }
+
+    /// Back-patches the length prefix and count.
+    pub fn finish(self) {
+        let count_at = self.at + 5 + 8;
+        self.out[count_at..count_at + 4].copy_from_slice(&self.count.to_le_bytes());
+        end_frame(self.out, self.at);
+    }
+}
+
+/// Encodes a whole [`tag::BATCH`] frame from a slice.
+pub fn encode_batch(out: &mut Vec<u8>, stream: u64, events: &[WireEvent]) {
+    let mut b = BatchBuilder::begin(out, stream);
+    for ev in events {
+        b.push(*ev);
+    }
+    b.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_ingest_frame() {
+        let mut out = Vec::new();
+        encode_open(&mut out, 7, 3);
+        encode_batch(
+            &mut out,
+            7,
+            &[WireEvent::at(0, 1, 10), WireEvent::at(1, 0, 12)],
+        );
+        encode_finish(&mut out, 7);
+        encode_reload(&mut out, "spec s;\nactions a;\n");
+        encode_metrics_sub(&mut out, 250);
+
+        let mut rb = RecvBuf::new(1 << 20);
+        rb.ingest(&out);
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Open {
+                stream: 7,
+                start: 3
+            }
+        ));
+        match rb.next_frame().unwrap().unwrap() {
+            Frame::Batch(b) => {
+                assert_eq!(b.stream, 7);
+                let evs: Vec<_> = b.events().collect();
+                assert_eq!(evs.len(), 2);
+                assert_eq!(evs[0].action, 0);
+                assert_eq!(evs[0].state, 1);
+                assert_eq!(evs[0].time, Rat::from(10));
+                assert_eq!(evs[1].time, Rat::from(12));
+            }
+            f => panic!("expected batch, got {f:?}"),
+        }
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Finish { stream: 7 }
+        ));
+        assert!(
+            matches!(rb.next_frame().unwrap().unwrap(), Frame::Reload { src } if src.starts_with("spec s;"))
+        );
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Metrics { interval_ms: 250 }
+        ));
+        assert!(rb.next_frame().unwrap().is_none());
+        assert_eq!(rb.pending(), 0);
+    }
+
+    #[test]
+    fn round_trips_every_egress_frame() {
+        let mut out = Vec::new();
+        encode_report(&mut out, 9, "{\"stream\":9}");
+        encode_metrics_snap(&mut out, "{}");
+        encode_reloaded(&mut out, "{\"revision\":2}");
+        encode_error(&mut out, ErrorCode::UnknownStream, "stream 4 not open");
+
+        let mut rb = RecvBuf::new(1 << 20);
+        rb.ingest(&out);
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Report {
+                stream: 9,
+                json: "{\"stream\":9}"
+            }
+        ));
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::MetricsSnap { json: "{}" }
+        ));
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Reloaded { .. }
+        ));
+        match rb.next_frame().unwrap().unwrap() {
+            Frame::Error { code, message } => {
+                assert_eq!(code, ErrorCode::UnknownStream);
+                assert_eq!(message, "stream 4 not open");
+            }
+            f => panic!("expected error, got {f:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut out = Vec::new();
+        encode_open(&mut out, 1, 0);
+        let mut rb = RecvBuf::new(1 << 20);
+        // Feed one byte at a time; only the final byte completes it.
+        for (i, b) in out.iter().enumerate() {
+            rb.ingest(&[*b]);
+            let got = rb.next_frame().unwrap();
+            if i + 1 < out.len() {
+                assert!(got.is_none(), "frame completed early at byte {i}");
+            } else {
+                assert!(matches!(
+                    got,
+                    Some(Frame::Open {
+                        stream: 1,
+                        start: 0
+                    })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_iterator_is_exact_size() {
+        let mut out = Vec::new();
+        let events: Vec<WireEvent> = (0..37).map(|i| WireEvent::at(0, 0, i)).collect();
+        encode_batch(&mut out, 3, &events);
+        let mut rb = RecvBuf::new(1 << 20);
+        rb.ingest(&out);
+        match rb.next_frame().unwrap().unwrap() {
+            Frame::Batch(b) => {
+                let it = b.events();
+                assert_eq!(it.len(), 37);
+                assert_eq!(it.count(), 37);
+            }
+            f => panic!("expected batch, got {f:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_fatal() {
+        let mut rb = RecvBuf::new(1024);
+        rb.ingest(&(4096u32).to_le_bytes());
+        rb.ingest(&[tag::OPEN]);
+        let err = rb.next_frame().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Oversized);
+        assert!(err.is_fatal());
+    }
+
+    #[test]
+    fn zero_denominator_is_malformed_not_a_panic() {
+        let mut out = Vec::new();
+        encode_batch(
+            &mut out,
+            1,
+            &[WireEvent {
+                action: 0,
+                state: 0,
+                num: 5,
+                den: 0,
+            }],
+        );
+        let mut rb = RecvBuf::new(1 << 20);
+        rb.ingest(&out);
+        let err = rb.next_frame().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Malformed);
+        assert!(!err.is_fatal());
+        // The malformed frame was consumed; the stream stays aligned.
+        encode_finish(&mut out, 1);
+        rb.ingest(&out[out.len() - 13..]);
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Finish { stream: 1 }
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_skips_one_frame() {
+        let mut rb = RecvBuf::new(1 << 20);
+        rb.ingest(&3u32.to_le_bytes());
+        rb.ingest(&[0x7f, 0xaa, 0xbb]);
+        let err = rb.next_frame().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::UnknownTag);
+        assert!(!err.is_fatal());
+        let mut out = Vec::new();
+        encode_finish(&mut out, 2);
+        rb.ingest(&out);
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Finish { stream: 2 }
+        ));
+    }
+
+    #[test]
+    fn count_mismatch_is_malformed() {
+        let mut out = Vec::new();
+        let at = out.len();
+        // Hand-build a batch claiming 2 events but carrying 1.
+        out.extend_from_slice(&[0, 0, 0, 0, tag::BATCH]);
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&[0u8; EVENT_WIRE_BYTES]);
+        let len = (out.len() - at - 4) as u32;
+        out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+        let mut rb = RecvBuf::new(1 << 20);
+        rb.ingest(&out);
+        let err = rb.next_frame().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Malformed);
+    }
+}

@@ -44,6 +44,7 @@
 
 mod audit;
 mod ensemble;
+pub mod loadgen;
 mod scheduler;
 mod stats;
 mod stream;

@@ -1,0 +1,192 @@
+//! E18 — loopback end-to-end checks behind the serve benchmark.
+//!
+//! The loadgen drives a real server over real sockets and every event
+//! is accounted for: reports confirm exactly the events sent, the
+//! violation count matches the traffic model's injected-late count
+//! computed independently, and a `.tspec` hot reload over a control
+//! frame switches bounds mid-connection with zero event drop.
+
+use tempo_monitor::{PoolConfig, StreamReport};
+use tempo_serve::{loadgen, Client, LoadgenConfig, ServeConfig, Server, ServerFrame};
+use tempo_sim::loadgen::ReqServe;
+
+fn start_server(spec: String, workers: usize) -> Server {
+    let mut config = ServeConfig::new(spec, &ReqServe::ACTIONS);
+    config.pool = PoolConfig {
+        workers,
+        ..PoolConfig::default()
+    };
+    Server::start(config).expect("server starts")
+}
+
+/// Multi-connection loadgen traffic arrives loss-free and the verdicts
+/// match the model's injected violations exactly.
+#[test]
+fn loadgen_round_trip_is_loss_free() {
+    let traffic = ReqServe {
+        late_every: 5,
+        ..ReqServe::default()
+    }
+    .validated();
+    let server = start_server(traffic.tspec(), 2);
+
+    let cfg = LoadgenConfig {
+        streams: 64,
+        events_per_stream: 40,
+        batch: 10,
+        conns: 4,
+        traffic,
+    };
+    let report = loadgen::run(&server.local_addr().to_string(), &cfg).expect("loadgen runs");
+
+    assert_eq!(report.streams, 64);
+    assert_eq!(report.events_sent, 64 * 40);
+    assert_eq!(
+        report.events_monitored, report.events_sent,
+        "zero event drop socket → ring → monitor"
+    );
+    assert_eq!(report.failed, 0);
+
+    let expected: u64 = (0..64).map(|s| traffic.expected_violations(s, 40)).sum();
+    assert!(expected > 0, "the model must inject violations");
+    assert_eq!(
+        report.violations, expected,
+        "every injected-late serve is flagged, nothing else"
+    );
+
+    let pool_report = server.shutdown();
+    assert!(
+        pool_report.streams.is_empty(),
+        "every report was already drained to its client"
+    );
+}
+
+/// A reload control frame swaps the deadline mid-connection: events
+/// sent before it are judged under the old bound, events after under
+/// the new one, and none are lost.
+///
+/// The phases use hand-picked serve delays so the expectation is exact:
+/// delay 3 satisfies both bounds, delay 8 violates only the original
+/// `[0, 5]`, delay 12 violates even the loosened `[0, 10]`. Frames on
+/// one connection are processed in order and
+/// [`MonitorPool::reload_spec`](tempo_monitor::MonitorPool::reload_spec)
+/// blocks until every worker swapped, so the phase boundary is sharp.
+#[test]
+fn reload_over_the_wire_swaps_bounds_without_dropping_events() {
+    let traffic = ReqServe::default().validated(); // deadline 5
+    assert_eq!(traffic.deadline_ms, 5);
+    let server = start_server(traffic.tspec(), 2);
+
+    const STREAMS: u64 = 16;
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for s in 0..STREAMS {
+        client.open(s, 0);
+    }
+
+    // Phase A under [0, 5]: request/serve pairs with delay 3 — clean.
+    for s in 0..STREAMS {
+        let mut b = client.batch(s);
+        b.push(tempo_serve::wire::WireEvent::at(0, 1, 0));
+        b.push(tempo_serve::wire::WireEvent::at(1, 0, 3));
+        b.finish();
+    }
+
+    // Hot reload to [0, 10] over the same connection.
+    client.reload(&traffic.tspec_with_deadline(10));
+    match client.recv().expect("reload ack") {
+        ServerFrame::Reloaded(summary) => {
+            assert_eq!(summary.spec, "reqserve");
+            assert_eq!(summary.revision, 2);
+            assert_eq!(summary.workers, 2);
+            assert_eq!(summary.dropped, 0, "same condition name: nothing dropped");
+        }
+        other => panic!("expected the reload summary, got {other:?}"),
+    }
+
+    // Phase B under [0, 10]: delay 8 — violates the OLD bound only, so
+    // a flag here would mean the reload did not take.
+    for s in 0..STREAMS {
+        let mut b = client.batch(s);
+        b.push(tempo_serve::wire::WireEvent::at(0, 1, 100));
+        b.push(tempo_serve::wire::WireEvent::at(1, 0, 108));
+        b.finish();
+    }
+
+    // Phase C: delay 12 — violates even the loosened bound, exactly
+    // once per stream, proving monitoring is still live post-swap.
+    for s in 0..STREAMS {
+        let mut b = client.batch(s);
+        b.push(tempo_serve::wire::WireEvent::at(0, 1, 200));
+        b.push(tempo_serve::wire::WireEvent::at(1, 0, 212));
+        b.finish();
+        client.finish_stream(s);
+    }
+
+    let mut reports: Vec<(u64, StreamReport)> = Vec::new();
+    while reports.len() < STREAMS as usize {
+        match client.recv().expect("report") {
+            ServerFrame::Report { stream, report } => reports.push((stream, report)),
+            ServerFrame::Error { code, message } => {
+                panic!("unexpected server error {code:?}: {message}")
+            }
+            _ => {}
+        }
+    }
+
+    for (stream, report) in &reports {
+        assert_eq!(
+            report.events, 6,
+            "stream {stream}: zero event drop across the reload"
+        );
+        assert_eq!(
+            report.violations.len(),
+            1,
+            "stream {stream}: only the phase-C serve may violate"
+        );
+        assert!(!report.failed);
+    }
+
+    server.shutdown();
+}
+
+/// Worker drain/restore reroutes future placements without touching
+/// live streams: traffic keeps flowing through both transitions.
+#[test]
+fn drain_and_restore_keep_serving() {
+    let traffic = ReqServe::default().validated();
+    let server = start_server(traffic.tspec(), 2);
+    let addr = server.local_addr().to_string();
+
+    let run = |streams: std::ops::Range<u64>| {
+        let mut client = Client::connect(&*addr).expect("connect");
+        for s in streams.clone() {
+            client.open(s, 0);
+            let mut b = client.batch(s);
+            b.push(tempo_serve::wire::WireEvent::at(0, 1, 0));
+            b.push(tempo_serve::wire::WireEvent::at(1, 0, 2));
+            b.finish();
+            client.finish_stream(s);
+        }
+        let mut seen = 0;
+        while seen < streams.clone().count() {
+            match client.recv().expect("report") {
+                ServerFrame::Report { report, .. } => {
+                    assert_eq!(report.events, 2);
+                    assert!(report.violations.is_empty());
+                    seen += 1;
+                }
+                other => panic!("unexpected egress {other:?}"),
+            }
+        }
+    };
+
+    run(0..8);
+    assert!(server.drain_worker(1), "draining one of two workers");
+    run(8..16);
+    assert!(!server.drain_worker(0), "the last worker cannot drain");
+    assert!(server.restore_worker(1));
+    run(16..24);
+
+    let report = server.shutdown();
+    assert!(report.streams.is_empty(), "all reports already delivered");
+}
