@@ -87,6 +87,11 @@ pub struct ServeConfig {
     pub max_frame: u32,
     /// Virtual nodes per worker on the placement ring.
     pub vnodes: usize,
+    /// Cap on a connection's queued egress bytes (outbox plus
+    /// unflushed socket writes). A client that provokes replies or
+    /// subscribes to metrics but never reads hits the cap and is
+    /// disconnected instead of growing server memory without bound.
+    pub max_conn_egress: usize,
 }
 
 impl ServeConfig {
@@ -106,6 +111,7 @@ impl ServeConfig {
             binder: Arc::new(binder),
             max_frame: 1 << 20,
             vnodes: 64,
+            max_conn_egress: 8 << 20,
         }
     }
 }
@@ -205,6 +211,11 @@ struct ConnShared {
     outbox: Mutex<Vec<u8>>,
     /// Metrics subscription interval in ms (`0` = none).
     metrics_every_ms: AtomicU32,
+    /// When the egress thread last sent this connection a metrics
+    /// snapshot. Lives here (not keyed by slab slot) so it dies with
+    /// the connection instead of leaking into whichever connection
+    /// reuses the slot. Only the egress thread touches it.
+    last_snap: Mutex<Option<Instant>>,
     /// Set when the I/O thread retired the connection.
     closed: AtomicBool,
 }
@@ -241,6 +252,7 @@ struct Shared {
     revision: AtomicU64,
     shutdown: AtomicBool,
     max_frame: u32,
+    max_conn_egress: usize,
 }
 
 /// Where a pool stream's report should be delivered. Holds the
@@ -322,6 +334,7 @@ impl Server {
             revision: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             max_frame: config.max_frame,
+            max_conn_egress: config.max_conn_egress.max(1),
         });
 
         let io_threads = config.io_threads.max(1);
@@ -433,6 +446,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, injectors: &[Arc<Mutex<V
                 let conn = Arc::new(ConnShared {
                     outbox: Mutex::new(Vec::new()),
                     metrics_every_ms: AtomicU32::new(0),
+                    last_snap: Mutex::new(None),
                     closed: AtomicBool::new(false),
                 });
                 let slot = shared
@@ -519,12 +533,24 @@ fn io_loop(shared: &Shared, injector: &Mutex<Vec<NewConn>>) {
     }
 }
 
+/// Socket reads per connection per [`service_conn`] pass. Bounding the
+/// read loop keeps one firehose client from pinning its I/O thread (and
+/// growing its `RecvBuf`) while the thread's other connections starve.
+const MAX_READS_PER_PASS: usize = 4;
+
 /// Services one connection: read → decode/dispatch → flush. Returns
 /// whether any progress was made.
 fn service_conn(shared: &Shared, conn: &mut ConnState, scratch: &mut [u8]) -> bool {
     let mut progressed = false;
 
+    let mut reads = 0usize;
     loop {
+        // Stop reading once a full frame's worth of bytes is pending:
+        // dispatch below is then guaranteed to make progress, and the
+        // unread rest waits in the kernel buffer (TCP backpressure).
+        if reads == MAX_READS_PER_PASS || conn.recv.pending() > shared.max_frame as usize + 4 {
+            break;
+        }
         match conn.tcp.read(scratch) {
             Ok(0) => {
                 // Mid-frame disconnects leave `recv.pending() > 0`;
@@ -535,6 +561,7 @@ fn service_conn(shared: &Shared, conn: &mut ConnState, scratch: &mut [u8]) -> bo
             Ok(n) => {
                 conn.recv.ingest(&scratch[..n]);
                 progressed = true;
+                reads += 1;
                 if n < scratch.len() {
                     break;
                 }
@@ -565,6 +592,13 @@ fn service_conn(shared: &Shared, conn: &mut ConnState, scratch: &mut [u8]) -> bo
             Ok(wrote) => progressed |= wrote,
             Err(_) => conn.dead = true,
         }
+    }
+    // Slow-consumer guard: a client that accumulates egress (error
+    // replies, reports, metrics) faster than it reads is disconnected
+    // rather than allowed to grow server memory without bound.
+    if !conn.dead && conn.write_pending.len() > shared.max_conn_egress {
+        conn.dead = true;
+        progressed = true;
     }
 
     progressed
@@ -755,7 +789,6 @@ fn write_some(tcp: &mut TcpStream, pending: &mut Vec<u8>) -> std::io::Result<boo
 
 fn egress_loop(shared: &Shared) {
     let mut snap = MetricsSnapshot::default();
-    let mut last_sent: HashMap<usize, Instant> = HashMap::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -781,28 +814,36 @@ fn egress_loop(shared: &Shared) {
                 }
                 if let Ok(json) = serde_json::to_string(&report) {
                     let mut outbox = route.conn.outbox.lock().expect("outbox poisoned");
-                    encode_report(&mut outbox, route.client_stream, &json);
+                    // A slow consumer's outbox is bounded: once over the
+                    // cap the connection is doomed anyway (its I/O
+                    // thread closes it on the next drain), so dropping
+                    // the report loses nothing observable.
+                    if outbox.len() <= shared.max_conn_egress {
+                        encode_report(&mut outbox, route.client_stream, &json);
+                    }
                 }
             }
         }
 
         // Metrics subscriptions: one merged snapshot per pass, shared
         // by every due subscriber (the reuse the satellite fix buys).
+        // Due-ness lives on the connection itself (`last_snap`), so a
+        // retired connection takes its timestamp with it.
         let now = Instant::now();
-        let due: Vec<(usize, Arc<ConnShared>)> = {
+        let due: Vec<Arc<ConnShared>> = {
             let slab = shared.conns.lock().expect("conn slab poisoned");
             slab.conns
                 .iter()
-                .enumerate()
-                .filter_map(|(slot, c)| c.clone().map(|c| (slot, c)))
-                .filter(|(slot, c)| {
+                .filter_map(Clone::clone)
+                .filter(|c| {
                     let every = c.metrics_every_ms.load(Ordering::SeqCst);
                     if every == 0 || c.closed.load(Ordering::SeqCst) {
                         return false;
                     }
-                    last_sent
-                        .get(slot)
-                        .map(|t| now.duration_since(*t) >= Duration::from_millis(every.into()))
+                    c.last_snap
+                        .lock()
+                        .expect("last_snap poisoned")
+                        .map(|t| now.duration_since(t) >= Duration::from_millis(every.into()))
                         .unwrap_or(true)
                 })
                 .collect()
@@ -811,10 +852,14 @@ fn egress_loop(shared: &Shared) {
             progressed = true;
             shared.metrics.snapshot_into(&mut snap);
             if let Ok(json) = serde_json::to_string(&snap) {
-                for (slot, conn) in due {
-                    let mut outbox = conn.outbox.lock().expect("outbox poisoned");
-                    encode_metrics_snap(&mut outbox, &json);
-                    last_sent.insert(slot, now);
+                for conn in due {
+                    {
+                        let mut outbox = conn.outbox.lock().expect("outbox poisoned");
+                        if outbox.len() <= shared.max_conn_egress {
+                            encode_metrics_snap(&mut outbox, &json);
+                        }
+                    }
+                    *conn.last_snap.lock().expect("last_snap poisoned") = Some(now);
                 }
             }
         }

@@ -424,6 +424,10 @@ impl RecvBuf {
             });
         }
         if len == 0 {
+            // Consume the prefix so the error is returned once and the
+            // stream stays aligned — otherwise the caller's retry loop
+            // would see the same four zero bytes forever.
+            self.start += 4;
             return Err(WireError::Malformed("zero-length frame"));
         }
         let total = 4 + len as usize;
@@ -758,6 +762,27 @@ mod tests {
         assert!(matches!(
             rb.next_frame().unwrap().unwrap(),
             Frame::Finish { stream: 2 }
+        ));
+    }
+
+    #[test]
+    fn zero_length_frame_is_consumed_not_repeated() {
+        let mut rb = RecvBuf::new(1 << 20);
+        rb.ingest(&0u32.to_le_bytes());
+        let err = rb.next_frame().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Malformed);
+        assert!(!err.is_fatal());
+        // The prefix was consumed: the next call wants more bytes
+        // instead of re-reporting the same error forever.
+        assert!(rb.next_frame().unwrap().is_none());
+        assert_eq!(rb.pending(), 0);
+        // And the stream stays aligned for the next well-formed frame.
+        let mut out = Vec::new();
+        encode_finish(&mut out, 6);
+        rb.ingest(&out);
+        assert!(matches!(
+            rb.next_frame().unwrap().unwrap(),
+            Frame::Finish { stream: 6 }
         ));
     }
 

@@ -217,6 +217,77 @@ fn zero_denominator_is_rejected_without_a_panic() {
 }
 
 #[test]
+fn zero_length_frame_is_rejected_once_and_the_connection_survives() {
+    let server = start_server();
+    let mut conn = Raw::connect(server.local_addr());
+
+    // Four zero bytes: a frame with length 0 (not even a tag). The
+    // prefix must be consumed — a decoder that leaves it pending
+    // re-reports the same error forever and wedges its I/O thread.
+    conn.send(&0u32.to_le_bytes());
+    conn.expect_error(ErrorCode::Malformed);
+
+    // Exactly one error, and the connection keeps working.
+    let mut out = Vec::new();
+    encode_open(&mut out, 11, 0);
+    encode_batch(
+        &mut out,
+        11,
+        &[WireEvent::at(0, 1, 0), WireEvent::at(1, 0, 2)],
+    );
+    encode_finish(&mut out, 11);
+    conn.send(&out);
+    match conn.recv_one() {
+        Some(Egress::Report(11, _)) => {}
+        other => panic!("expected stream 11's report, got {other:?}"),
+    }
+
+    // And the io threads are not wedged: a fresh session round-trips.
+    round_trip(server.local_addr(), 12);
+    server.shutdown();
+}
+
+#[test]
+fn slow_consumers_are_disconnected_at_the_egress_cap() {
+    let traffic = ReqServe::default().validated();
+    let mut config = ServeConfig::new(traffic.tspec(), &ReqServe::ACTIONS);
+    config.pool = PoolConfig {
+        workers: 2,
+        ..PoolConfig::default()
+    };
+    // Tiny cap so the test converges fast: every unknown-tag frame
+    // below provokes a ~35-byte error reply the client never reads.
+    config.max_conn_egress = 16 << 10;
+    let server = Server::start(config).expect("server starts");
+
+    let mut conn = Raw::connect(server.local_addr());
+    conn.tcp
+        .set_write_timeout(Some(Duration::from_secs(20)))
+        .expect("write timeout");
+    // Firehose junk without ever reading the replies. Once kernel
+    // buffers fill, the server's write_pending crosses the cap and the
+    // connection is closed; the client's writes then fail. 8 MiB of
+    // junk far exceeds cap + kernel buffering, so reaching the end of
+    // the loop without a write error means the cap is not enforced.
+    let junk = [1u8, 0, 0, 0, 0x7f].repeat(2048); // 10 KiB of bad frames
+    let mut disconnected = false;
+    for _ in 0..800 {
+        if conn.tcp.write_all(&junk).is_err() {
+            disconnected = true;
+            break;
+        }
+    }
+    assert!(
+        disconnected,
+        "server must disconnect a slow consumer instead of buffering forever"
+    );
+
+    // The io thread survived the kill: a fresh session round-trips.
+    round_trip(server.local_addr(), 13);
+    server.shutdown();
+}
+
+#[test]
 fn batch_count_mismatch_is_malformed() {
     let server = start_server();
     let mut conn = Raw::connect(server.local_addr());
