@@ -43,6 +43,7 @@ fn bench_serve(c: &mut Criterion) {
             events_per_stream: events,
             batch: 16,
             conns: 4,
+            binary: false,
             traffic,
         };
         group.bench_with_input(

@@ -1,0 +1,70 @@
+//! E19 — verdict egress cost: JSON v1 vs binary v2 (`REPORT2`).
+//!
+//! Same loopback harness as `e18_serve`, but violation-heavy traffic
+//! (`late_every: 17`, ≈5.5% of serves late) so the measured cost is
+//! dominated by report serialization, the path §E19 optimizes. Each
+//! row runs the identical load twice — legacy JSON egress and binary
+//! egress — so the pair isolates the encoding: any delta is
+//! `serde_json::to_string` vs `ReportBuilder`'s fixed-layout records
+//! plus the one-time `NAMES` interning.
+//!
+//! The headline 10k-stream sweep of EXPERIMENTS.md §E19 comes from
+//! `tempo-loadgen --binary` against `tempo-serve` (same code paths,
+//! one long run), recorded to `BENCH_e18.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_monitor::PoolConfig;
+use tempo_serve::{loadgen, LoadgenConfig, ServeConfig, Server};
+use tempo_sim::loadgen::ReqServe;
+
+fn start_server(traffic: &ReqServe) -> Server {
+    let mut config = ServeConfig::new(traffic.tspec(), &ReqServe::ACTIONS);
+    config.pool = PoolConfig {
+        workers: 2,
+        ..PoolConfig::default()
+    };
+    Server::start(config).expect("server starts")
+}
+
+fn bench_egress(c: &mut Criterion) {
+    let traffic = ReqServe {
+        late_every: 17,
+        ..ReqServe::default()
+    }
+    .validated();
+    let server = start_server(&traffic);
+    let addr = server.local_addr().to_string();
+
+    let mut group = c.benchmark_group("e19_egress");
+    group.sample_size(10);
+    for &(streams, events) in &[(256u64, 64u32), (1024, 16)] {
+        for binary in [false, true] {
+            let cfg = LoadgenConfig {
+                streams,
+                events_per_stream: events,
+                batch: 16,
+                conns: 4,
+                binary,
+                traffic,
+            };
+            let mode = if binary { "binary" } else { "json" };
+            group.bench_with_input(
+                BenchmarkId::new(mode, format!("{streams}x{events}")),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let report = loadgen::run(&addr, cfg).expect("loadgen runs");
+                        assert_eq!(report.events_monitored, report.events_sent);
+                        assert!(report.violations > 0, "the load must exercise egress");
+                        report
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_egress);
+criterion_main!(benches);

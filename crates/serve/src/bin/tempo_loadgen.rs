@@ -3,8 +3,15 @@
 //!
 //! ```text
 //! tempo-loadgen --addr 127.0.0.1:7400 --streams 10000 \
-//!               [--events 20] [--batch 10] [--conns 4] [--late-every 0]
+//!               [--events 20] [--batch 10] [--conns 4] [--late-every 0] \
+//!               [--binary] [--json BENCH_e18.json]
 //! ```
+//!
+//! `--binary` negotiates binary egress (`REPORT2`) instead of the
+//! default JSON verdicts. `--json PATH` appends the run as one row to
+//! a machine-readable JSON array at `PATH` (the perf-trajectory file
+//! EXPERIMENTS.md §E18/§E19 tables are generated from), in addition to
+//! the human-readable line on stdout.
 
 use std::process::ExitCode;
 
@@ -14,22 +21,77 @@ use tempo_sim::loadgen::ReqServe;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tempo-loadgen --addr HOST:PORT [--streams N] [--events N] \
-         [--batch N] [--conns N] [--late-every N]"
+         [--batch N] [--conns N] [--late-every N] [--binary] [--json PATH]"
     );
     ExitCode::FAILURE
 }
 
+/// One machine-readable trajectory row for the run.
+fn json_row(cfg: &LoadgenConfig, report: &loadgen::LoadgenReport) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    format!(
+        concat!(
+            "{{\"egress\": \"{}\", \"streams\": {}, \"events_per_stream\": {}, ",
+            "\"late_every\": {}, \"conns\": {}, \"events_sent\": {}, ",
+            "\"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, ",
+            "\"violations\": {}, \"failed\": {}, ",
+            "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}, ",
+            "\"loss_free\": {}}}"
+        ),
+        if cfg.binary { "binary" } else { "json" },
+        cfg.streams,
+        cfg.events_per_stream,
+        cfg.traffic.late_every,
+        cfg.conns,
+        report.events_sent,
+        report.events_per_sec(),
+        report.ns_per_event(),
+        report.violations,
+        report.failed,
+        ms(report.latency_p50),
+        ms(report.latency_p99),
+        ms(report.latency_max),
+        report.events_monitored == report.events_sent,
+    )
+}
+
+/// Appends `row` to the JSON array at `path` (created on first use).
+/// Text splice — strip the closing bracket, append the row — so rows
+/// from successive runs accumulate without a JSON parser in the loop.
+fn append_row(path: &str, row: &str) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let trimmed = existing.trim_end();
+    let body = trimmed.strip_suffix(']').map(str::trim_end);
+    let next = match body {
+        Some(inner) if inner.trim() != "[" && !inner.trim().is_empty() => {
+            format!("{inner},\n  {row}\n]\n")
+        }
+        _ => format!("[\n  {row}\n]\n"),
+    };
+    std::fs::write(path, next)
+}
+
 fn main() -> ExitCode {
     let mut addr: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut cfg = LoadgenConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        if flag == "--binary" {
+            cfg.binary = true;
+            continue;
+        }
         let Some(v) = args.next() else {
             return usage();
         };
         match flag.as_str() {
             "--addr" => addr = Some(v),
+            "--json" => json_path = Some(v),
             "--streams" => match v.parse() {
                 Ok(n) => cfg.streams = n,
                 Err(_) => return usage(),
@@ -70,6 +132,12 @@ fn main() -> ExitCode {
                     "warning: {} events sent but {} monitored",
                     report.events_sent, report.events_monitored
                 );
+            }
+            if let Some(path) = json_path {
+                if let Err(e) = append_row(&path, &json_row(&cfg, &report)) {
+                    eprintln!("tempo-loadgen: could not append to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }

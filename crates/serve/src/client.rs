@@ -5,18 +5,26 @@
 //! [`finish_stream`](Client::finish_stream), …) buffer frames locally;
 //! [`flush`](Client::flush) pushes them down the socket in one write.
 //! [`recv`](Client::recv) flushes, then blocks for the next egress
-//! frame, decoding JSON payloads through the `serde` report encodings.
+//! frame. Legacy connections decode JSON payloads through the `serde`
+//! report encodings; connections opened with
+//! [`open_binary`](Client::open_binary) additionally decode the v2
+//! `REPORT2`/`METRICS_SNAP2` frames, maintaining the connection's name
+//! table from `NAMES` frames as they arrive. Both transports surface
+//! the same [`ServerFrame`] values, so callers are egress-mode
+//! agnostic.
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tempo_monitor::{MetricsSnapshot, StreamReport};
 
 use crate::server::ReloadSummary;
 use crate::wire::{
-    encode_batch, encode_finish, encode_metrics_sub, encode_open, encode_reload, BatchBuilder,
-    ErrorCode, Frame, RecvBuf, WireEvent,
+    apply_names, cap, decode_metrics_snap2, decode_report2, encode_batch, encode_finish,
+    encode_metrics_sub, encode_open, encode_open_caps, encode_reload, BatchBuilder, ErrorCode,
+    Frame, RecvBuf, WireEvent,
 };
 
 /// A typed egress frame as the client surfaces it.
@@ -51,6 +59,8 @@ pub struct Client {
     recv: RecvBuf,
     out: Vec<u8>,
     scratch: Vec<u8>,
+    /// Interned names received via `NAMES` frames (binary egress).
+    names: Vec<Arc<str>>,
 }
 
 impl Client {
@@ -63,6 +73,7 @@ impl Client {
             recv: RecvBuf::new(64 << 20),
             out: Vec::new(),
             scratch: vec![0u8; 64 * 1024],
+            names: Vec::new(),
         })
     }
 
@@ -72,9 +83,21 @@ impl Client {
         self.tcp.set_read_timeout(t)
     }
 
-    /// Buffers an open frame.
+    /// Buffers an open frame (legacy 12-byte body, no capabilities).
     pub fn open(&mut self, stream: u64, start: u32) {
         encode_open(&mut self.out, stream, start);
+    }
+
+    /// Buffers an open frame requesting capability bits ([`cap`]).
+    pub fn open_with(&mut self, stream: u64, start: u32, caps: u32) {
+        encode_open_caps(&mut self.out, stream, start, caps);
+    }
+
+    /// Buffers an open frame requesting binary egress
+    /// ([`cap::BINARY_EGRESS`]); subsequent reports and metrics
+    /// snapshots on this connection arrive as v2 binary frames.
+    pub fn open_binary(&mut self, stream: u64, start: u32) {
+        self.open_with(stream, start, cap::BINARY_EGRESS);
     }
 
     /// Buffers a batch frame.
@@ -123,10 +146,14 @@ impl Client {
     pub fn recv(&mut self) -> io::Result<ServerFrame> {
         self.flush()?;
         loop {
-            match self.recv.next_frame() {
-                Ok(Some(frame)) => match decode_egress(&frame) {
-                    Some(sf) => return Ok(sf),
-                    None => {
+            // Split the borrow: the decoded frame borrows `recv`'s
+            // buffer while `names` is read (and grown by `NAMES`).
+            let Client { recv, names, .. } = self;
+            match recv.next_frame() {
+                Ok(Some(frame)) => match decode_egress(&frame, names) {
+                    Decoded::Frame(sf) => return Ok(sf),
+                    Decoded::Skip => continue,
+                    Decoded::NotEgress => {
                         return Err(io::Error::new(
                             ErrorKind::InvalidData,
                             "ingest frame on the egress path",
@@ -148,34 +175,59 @@ impl Client {
     }
 }
 
-/// Decodes an egress frame into its typed form (`None` for ingest
-/// frames, which a server never sends).
-fn decode_egress(frame: &Frame<'_>) -> Option<ServerFrame> {
+/// What one egress frame decoded to.
+enum Decoded {
+    /// A frame to surface to the caller.
+    Frame(ServerFrame),
+    /// Consumed internally (a `NAMES` table extension).
+    Skip,
+    /// An ingest frame, which a server never sends.
+    NotEgress,
+}
+
+/// Decodes an egress frame into its typed form, maintaining the
+/// connection's name table as `NAMES` frames stream past.
+fn decode_egress(frame: &Frame<'_>, names: &mut Vec<Arc<str>>) -> Decoded {
     match frame {
         Frame::Report { stream, json } => {
             let mut report: StreamReport = match serde_json::from_str(json) {
                 Ok(r) => r,
-                Err(_) => return Some(bad_payload("report")),
+                Err(_) => return Decoded::Frame(bad_payload("report")),
             };
             report.stream = *stream;
-            Some(ServerFrame::Report {
+            Decoded::Frame(ServerFrame::Report {
                 stream: *stream,
                 report,
             })
         }
         Frame::MetricsSnap { json } => match serde_json::from_str(json) {
-            Ok(m) => Some(ServerFrame::Metrics(Box::new(m))),
-            Err(_) => Some(bad_payload("metrics")),
+            Ok(m) => Decoded::Frame(ServerFrame::Metrics(Box::new(m))),
+            Err(_) => Decoded::Frame(bad_payload("metrics")),
+        },
+        Frame::Report2 { stream, body } => match decode_report2(*stream, body, names) {
+            Ok(report) => Decoded::Frame(ServerFrame::Report {
+                stream: *stream,
+                report,
+            }),
+            Err(_) => Decoded::Frame(bad_payload("report")),
+        },
+        Frame::MetricsSnap2 { body } => match decode_metrics_snap2(body) {
+            Ok(m) => Decoded::Frame(ServerFrame::Metrics(Box::new(m))),
+            Err(_) => Decoded::Frame(bad_payload("metrics")),
+        },
+        Frame::Names(nf) => match apply_names(names, nf) {
+            Ok(()) => Decoded::Skip,
+            Err(_) => Decoded::Frame(bad_payload("name table")),
         },
         Frame::Reloaded { json } => match serde_json::from_str(json) {
-            Ok(r) => Some(ServerFrame::Reloaded(r)),
-            Err(_) => Some(bad_payload("reload summary")),
+            Ok(r) => Decoded::Frame(ServerFrame::Reloaded(r)),
+            Err(_) => Decoded::Frame(bad_payload("reload summary")),
         },
-        Frame::Error { code, message } => Some(ServerFrame::Error {
+        Frame::Error { code, message } => Decoded::Frame(ServerFrame::Error {
             code: *code,
             message: (*message).to_string(),
         }),
-        _ => None,
+        _ => Decoded::NotEgress,
     }
 }
 

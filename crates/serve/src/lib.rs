@@ -6,7 +6,10 @@
 //! ([`wire`]), event batches decode zero-copy straight out of the
 //! socket buffer into the pool's SPSC rings, and finished streams'
 //! [`StreamReport`](tempo_monitor::StreamReport)s flow back as JSON
-//! egress frames. Stream→worker placement uses a consistent-hash ring
+//! egress frames — or, when the client requests
+//! [`wire::cap::BINARY_EGRESS`] on `OPEN`, as allocation-free binary
+//! `REPORT2` records with per-connection name interning.
+//! Stream→worker placement uses a consistent-hash ring
 //! ([`placement`]) so draining a worker moves only that worker's
 //! streams. A `RELOAD` control frame carries `.tspec` source and maps
 //! onto [`MonitorPool::reload_spec`](tempo_monitor::MonitorPool::reload_spec)

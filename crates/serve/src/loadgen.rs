@@ -38,6 +38,12 @@ pub struct LoadgenConfig {
     pub batch: u32,
     /// Client connections (one thread each).
     pub conns: usize,
+    /// Negotiate binary egress ([`cap::BINARY_EGRESS`]) per
+    /// connection, so verdicts arrive as `REPORT2` frames instead of
+    /// JSON.
+    ///
+    /// [`cap::BINARY_EGRESS`]: crate::wire::cap::BINARY_EGRESS
+    pub binary: bool,
     /// The traffic model ([`ReqServe::validated`] is applied).
     pub traffic: ReqServe,
 }
@@ -49,6 +55,7 @@ impl Default for LoadgenConfig {
             events_per_stream: 20,
             batch: 10,
             conns: 4,
+            binary: false,
             traffic: ReqServe::default(),
         }
     }
@@ -188,8 +195,14 @@ fn conn_worker(
         .collect();
 
     // Phase 1: open everything (flush in chunks to bound the buffer).
+    // Binary egress is negotiated once per connection, on its first
+    // open; later opens ride the already granted capability.
     for (i, &s) in my_streams.iter().enumerate() {
-        client.open(s, 0);
+        if cfg.binary && i == 0 {
+            client.open_binary(s, 0);
+        } else {
+            client.open(s, 0);
+        }
         if client.buffered() > 1 << 16 || i + 1 == my_streams.len() {
             client.flush()?;
         }

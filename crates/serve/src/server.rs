@@ -20,6 +20,12 @@
 //!   and serving metrics subscriptions from a single reused
 //!   [`MetricsSnapshot`] buffer
 //!   ([`snapshot_into`](tempo_monitor::MonitorMetrics::snapshot_into)).
+//!   Connections that negotiated [`cap::BINARY_EGRESS`] on `OPEN` get
+//!   fixed-layout `REPORT2`/`METRICS_SNAP2` frames (names interned
+//!   once per connection via `NAMES`) encoded into reused scratch;
+//!   everyone else keeps the v1 JSON frames. Either way a metrics
+//!   snapshot is encoded at most once per tick per mode and the frozen
+//!   bytes are shared across every due subscriber's outbox.
 //!
 //! # Placement
 //!
@@ -57,8 +63,8 @@ use tempo_spec::{Diagnostic, MapBinder, SpecRevision};
 
 use crate::placement::HashRing;
 use crate::wire::{
-    encode_error, encode_metrics_snap, encode_reloaded, encode_report, ErrorCode, EventBatch,
-    Frame, RecvBuf,
+    cap, encode_error, encode_metrics_snap, encode_metrics_snap2, encode_names, encode_reloaded,
+    encode_report, encode_report2, ErrorCode, EventBatch, Frame, RecvBuf,
 };
 
 /// Monitor state type served over the wire (a state id).
@@ -216,6 +222,13 @@ struct ConnShared {
     /// the connection instead of leaking into whichever connection
     /// reuses the slot. Only the egress thread touches it.
     last_snap: Mutex<Option<Instant>>,
+    /// Capability bits negotiated on `OPEN` ([`cap`]); each bit can be
+    /// granted at most once per connection.
+    caps: AtomicU32,
+    /// How many interned names this connection has been sent (a prefix
+    /// of the server's [`NameIntern`] table). Only the egress thread
+    /// advances it, and only after the `NAMES` delta actually shipped.
+    names_sent: AtomicU32,
     /// Set when the I/O thread retired the connection.
     closed: AtomicBool,
 }
@@ -241,6 +254,29 @@ struct ConnState {
     dead: bool,
 }
 
+/// Server-wide condition/action name interner backing the `NAMES`
+/// frame: ids are assigned in first-sight order and never reused, so
+/// every connection's name table is a prefix of this one and a `NAMES`
+/// delta is always a contiguous suffix.
+#[derive(Default)]
+struct NameIntern {
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+impl NameIntern {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let arc: Arc<str> = Arc::from(name);
+        self.ids.insert(Arc::clone(&arc), id);
+        self.names.push(arc);
+        id
+    }
+}
+
 /// State shared across all server threads.
 struct Shared {
     pool: Mutex<Option<WirePool>>,
@@ -248,6 +284,7 @@ struct Shared {
     routes: Mutex<HashMap<u64, Route>>,
     conns: Mutex<Slab>,
     placement: Mutex<HashRing>,
+    names: Mutex<NameIntern>,
     metrics: Arc<MonitorMetrics>,
     revision: AtomicU64,
     shutdown: AtomicBool,
@@ -330,6 +367,7 @@ impl Server {
             routes: Mutex::new(HashMap::new()),
             conns: Mutex::new(Slab::default()),
             placement: Mutex::new(HashRing::with_workers(workers, config.vnodes)),
+            names: Mutex::new(NameIntern::default()),
             metrics,
             revision: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
@@ -447,6 +485,8 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, injectors: &[Arc<Mutex<V
                     outbox: Mutex::new(Vec::new()),
                     metrics_every_ms: AtomicU32::new(0),
                     last_snap: Mutex::new(None),
+                    caps: AtomicU32::new(0),
+                    names_sent: AtomicU32::new(0),
                     closed: AtomicBool::new(false),
                 });
                 let slot = shared
@@ -647,7 +687,27 @@ fn handle_frame(
     reply: &mut Vec<u8>,
 ) {
     match frame {
-        Frame::Open { stream, start } => {
+        Frame::Open {
+            stream,
+            start,
+            caps,
+        } => {
+            // Capability bits are negotiable at most once per
+            // connection: a second OPEN re-requesting an already
+            // granted bit is rejected (the connection survives, the
+            // open does not take effect).
+            if caps != 0 {
+                let before = conn.caps.load(Ordering::SeqCst);
+                if before & caps != 0 {
+                    encode_error(
+                        reply,
+                        ErrorCode::Malformed,
+                        "binary egress capability already negotiated",
+                    );
+                    return;
+                }
+                conn.caps.store(before | caps, Ordering::SeqCst);
+            }
             if streams.contains_key(&stream) {
                 encode_error(
                     reply,
@@ -756,6 +816,9 @@ fn handle_frame(
         // violation by the client; answer like any unknown frame.
         Frame::Report { .. }
         | Frame::MetricsSnap { .. }
+        | Frame::Report2 { .. }
+        | Frame::MetricsSnap2 { .. }
+        | Frame::Names(_)
         | Frame::Reloaded { .. }
         | Frame::Error { .. } => {
             encode_error(
@@ -789,6 +852,13 @@ fn write_some(tcp: &mut TcpStream, pending: &mut Vec<u8>) -> std::io::Result<boo
 
 fn egress_loop(shared: &Shared) {
     let mut snap = MetricsSnapshot::default();
+    // Reused scratch buffers: steady-state egress encodes binary
+    // reports, `NAMES` deltas, and per-tick metrics frames without
+    // allocating.
+    let mut report_scratch: Vec<u8> = Vec::new();
+    let mut names_scratch: Vec<u8> = Vec::new();
+    let mut json_snap_frame: Vec<u8> = Vec::new();
+    let mut bin_snap_frame: Vec<u8> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -812,7 +882,40 @@ fn egress_loop(shared: &Shared) {
                 if route.conn.closed.load(Ordering::SeqCst) {
                     continue;
                 }
-                if let Ok(json) = serde_json::to_string(&report) {
+                if route.conn.caps.load(Ordering::SeqCst) & cap::BINARY_EGRESS != 0 {
+                    // Binary path: fixed-layout records into reused
+                    // scratch, plus the `NAMES` delta for any ids this
+                    // connection has not seen yet.
+                    report_scratch.clear();
+                    names_scratch.clear();
+                    let sent = route.conn.names_sent.load(Ordering::SeqCst) as usize;
+                    let total;
+                    {
+                        let mut intern = shared.names.lock().expect("names poisoned");
+                        encode_report2(&mut report_scratch, route.client_stream, &report, |s| {
+                            intern.intern(s)
+                        });
+                        total = intern.names.len();
+                        if total > sent {
+                            encode_names(
+                                &mut names_scratch,
+                                sent as u32,
+                                intern.names[sent..].iter().map(|n| &**n),
+                            );
+                        }
+                    }
+                    let mut outbox = route.conn.outbox.lock().expect("outbox poisoned");
+                    if outbox.len() <= shared.max_conn_egress {
+                        outbox.extend_from_slice(&names_scratch);
+                        outbox.extend_from_slice(&report_scratch);
+                        drop(outbox);
+                        // The watermark advances only when the bytes
+                        // actually shipped: a report skipped at the
+                        // outbox cap must not strand ids the client
+                        // has never seen.
+                        route.conn.names_sent.store(total as u32, Ordering::SeqCst);
+                    }
+                } else if let Ok(json) = serde_json::to_string(&report) {
                     let mut outbox = route.conn.outbox.lock().expect("outbox poisoned");
                     // A slow consumer's outbox is bounded: once over the
                     // cap the connection is doomed anyway (its I/O
@@ -825,10 +928,12 @@ fn egress_loop(shared: &Shared) {
             }
         }
 
-        // Metrics subscriptions: one merged snapshot per pass, shared
-        // by every due subscriber (the reuse the satellite fix buys).
-        // Due-ness lives on the connection itself (`last_snap`), so a
-        // retired connection takes its timestamp with it.
+        // Metrics subscriptions: one merged snapshot per pass, and at
+        // most one encoded frame per egress mode per tick — every due
+        // subscriber gets the same frozen bytes appended to its outbox
+        // instead of a private re-encoding. Due-ness lives on the
+        // connection itself (`last_snap`), so a retired connection
+        // takes its timestamp with it.
         let now = Instant::now();
         let due: Vec<Arc<ConnShared>> = {
             let slab = shared.conns.lock().expect("conn slab poisoned");
@@ -851,16 +956,33 @@ fn egress_loop(shared: &Shared) {
         if !due.is_empty() {
             progressed = true;
             shared.metrics.snapshot_into(&mut snap);
-            if let Ok(json) = serde_json::to_string(&snap) {
-                for conn in due {
-                    {
-                        let mut outbox = conn.outbox.lock().expect("outbox poisoned");
-                        if outbox.len() <= shared.max_conn_egress {
-                            encode_metrics_snap(&mut outbox, &json);
-                        }
+            json_snap_frame.clear();
+            bin_snap_frame.clear();
+            let mut json_encoded = false;
+            let mut bin_encoded = false;
+            for conn in due {
+                let frame: &[u8] = if conn.caps.load(Ordering::SeqCst) & cap::BINARY_EGRESS != 0 {
+                    if !bin_encoded {
+                        encode_metrics_snap2(&mut bin_snap_frame, &snap);
+                        bin_encoded = true;
                     }
-                    *conn.last_snap.lock().expect("last_snap poisoned") = Some(now);
+                    &bin_snap_frame
+                } else {
+                    if !json_encoded {
+                        if let Ok(json) = serde_json::to_string(&snap) {
+                            encode_metrics_snap(&mut json_snap_frame, &json);
+                        }
+                        json_encoded = true;
+                    }
+                    &json_snap_frame
+                };
+                if !frame.is_empty() {
+                    let mut outbox = conn.outbox.lock().expect("outbox poisoned");
+                    if outbox.len() <= shared.max_conn_egress {
+                        outbox.extend_from_slice(frame);
+                    }
                 }
+                *conn.last_snap.lock().expect("last_snap poisoned") = Some(now);
             }
         }
 

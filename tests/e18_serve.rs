@@ -20,9 +20,9 @@ fn start_server(spec: String, workers: usize) -> Server {
 }
 
 /// Multi-connection loadgen traffic arrives loss-free and the verdicts
-/// match the model's injected violations exactly.
-#[test]
-fn loadgen_round_trip_is_loss_free() {
+/// match the model's injected violations exactly — in either egress
+/// mode.
+fn loadgen_loss_free(binary: bool) {
     let traffic = ReqServe {
         late_every: 5,
         ..ReqServe::default()
@@ -35,6 +35,7 @@ fn loadgen_round_trip_is_loss_free() {
         events_per_stream: 40,
         batch: 10,
         conns: 4,
+        binary,
         traffic,
     };
     let report = loadgen::run(&server.local_addr().to_string(), &cfg).expect("loadgen runs");
@@ -59,6 +60,18 @@ fn loadgen_round_trip_is_loss_free() {
         pool_report.streams.is_empty(),
         "every report was already drained to its client"
     );
+}
+
+#[test]
+fn loadgen_round_trip_is_loss_free() {
+    loadgen_loss_free(false);
+}
+
+/// Same accounting over `REPORT2` binary egress: the violation count
+/// survives the name-interned fixed-layout encoding exactly.
+#[test]
+fn loadgen_round_trip_is_loss_free_binary() {
+    loadgen_loss_free(true);
 }
 
 /// A reload control frame swaps the deadline mid-connection: events

@@ -1,0 +1,249 @@
+//! Differential property tests pinning the two verdict egress
+//! encodings to each other: a random [`StreamReport`] or
+//! [`MetricsSnapshot`] pushed through the v2 binary path
+//! (`encode_report2` → wire → `NAMES` table → `decode_report2`) must
+//! decode pointwise equal to the same value pushed through the v1 JSON
+//! path (`serde_json::to_string` → `from_str`). The two transports may
+//! never disagree about a verdict.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tempo_core::{Violation, ViolationKind};
+use tempo_math::Rat;
+use tempo_monitor::{
+    Forced, MetricsSnapshot, StreamLagSnapshot, StreamReport, Warning, SLACK_BUCKETS,
+};
+use tempo_serve::wire::{
+    apply_names, decode_metrics_snap2, decode_report2, encode_metrics_snap2, encode_names,
+    encode_report2, Frame, RecvBuf,
+};
+
+/// A small shared name pool so interning sees both fresh names and
+/// repeats within one report.
+const NAMES: &[&str] = &["deadline", "window", "g1", "relay_bound", "Π-serve"];
+
+fn name() -> impl Strategy<Value = &'static str> {
+    (0..NAMES.len()).prop_map(|i| NAMES[i])
+}
+
+fn rat() -> impl Strategy<Value = Rat> {
+    (-1_000_000i64..1_000_000, 1i64..10_000).prop_map(|(n, d)| Rat::new(n as i128, d as i128))
+}
+
+fn violation() -> impl Strategy<Value = Violation> {
+    (
+        name(),
+        any::<bool>(),
+        0usize..1_000_000,
+        0usize..1_000_000,
+        rat(),
+    )
+        .prop_map(|(cond, upper, trigger, event, bound)| Violation {
+            condition: cond.to_string(),
+            kind: if upper {
+                ViolationKind::UpperBound {
+                    trigger_index: trigger,
+                    deadline: bound,
+                }
+            } else {
+                ViolationKind::LowerBound {
+                    trigger_index: trigger,
+                    event_index: event,
+                    earliest: bound,
+                }
+            },
+        })
+}
+
+fn warning() -> impl Strategy<Value = Warning> {
+    (
+        (name(), 0usize..64, 0usize..1_000_000),
+        (rat(), rat(), rat(), rat()),
+    )
+        .prop_map(
+            |((cond, ci, trigger), (deadline, at, slack, horizon))| Warning {
+                condition: Arc::from(cond),
+                condition_index: ci,
+                trigger_index: trigger,
+                deadline,
+                at,
+                slack,
+                horizon,
+            },
+        )
+}
+
+fn forced() -> impl Strategy<Value = Forced> {
+    (
+        (name(), 0usize..64, name(), 0usize..1_000_000),
+        (rat(), rat(), rat(), rat()),
+    )
+        .prop_map(
+            |((cond, ci, action, trigger), (earliest, at, margin, horizon))| Forced {
+                condition: Arc::from(cond),
+                condition_index: ci,
+                action: Arc::from(action),
+                trigger_index: trigger,
+                earliest,
+                at,
+                margin,
+                horizon,
+            },
+        )
+}
+
+fn stream_report() -> impl Strategy<Value = StreamReport> {
+    (
+        (0u64..u64::MAX),
+        0usize..1_000_000,
+        proptest::collection::vec(violation(), 0..8),
+        proptest::collection::vec(warning(), 0..6),
+        proptest::collection::vec(forced(), 0..6),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(stream, events, violations, warnings, forced, failed)| StreamReport {
+                stream,
+                events,
+                violations,
+                warnings,
+                forced,
+                failed,
+            },
+        )
+}
+
+fn hist() -> impl Strategy<Value = [u64; SLACK_BUCKETS]> {
+    proptest::collection::vec(0u64..1_000_000, SLACK_BUCKETS..=SLACK_BUCKETS).prop_map(|v| {
+        let mut h = [0u64; SLACK_BUCKETS];
+        h.copy_from_slice(&v);
+        h
+    })
+}
+
+fn lag() -> impl Strategy<Value = StreamLagSnapshot> {
+    ((0u64..u64::MAX), (0u64..u64::MAX), (0u64..u64::MAX)).prop_map(|(stream, enqueued, lag)| {
+        StreamLagSnapshot {
+            stream,
+            enqueued,
+            lag,
+        }
+    })
+}
+
+fn counters() -> impl Strategy<Value = [u64; 8]> {
+    proptest::collection::vec(0u64..u64::MAX, 8..=8).prop_map(|v| {
+        let mut c = [0u64; 8];
+        c.copy_from_slice(&v);
+        c
+    })
+}
+
+fn metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        counters(),
+        (hist(), 0u64..u64::MAX, hist()),
+        proptest::option::of(rat()),
+        ((0u64..u64::MAX), (0u64..u64::MAX), (0u64..u64::MAX)),
+        proptest::collection::vec(lag(), 0..8),
+    )
+        .prop_map(|(counts, hists, min_slack, b, streams)| {
+            let [events, obligations_opened, obligations_discharged, obligations_violated, max_queue_depth, dropped_events, failed_streams, warnings] =
+                counts;
+            let (warning_slack_hist, forced, forced_margin_hist) = hists;
+            let (batches, batched_events, max_batch) = b;
+            MetricsSnapshot {
+                events,
+                obligations_opened,
+                obligations_discharged,
+                obligations_violated,
+                max_queue_depth,
+                dropped_events,
+                failed_streams,
+                warnings,
+                warning_slack_hist,
+                forced,
+                forced_margin_hist,
+                min_slack,
+                batches,
+                batched_events,
+                max_batch,
+                streams,
+            }
+        })
+}
+
+/// Runs a report through the binary transport end to end: server-side
+/// interning + `NAMES` delta + `REPORT2` encode, then a client-side
+/// `RecvBuf` parse, table build, and record decode.
+fn binary_round_trip(report: &StreamReport, stream: u64) -> StreamReport {
+    // Server side: first-sight interning, exactly like `NameIntern`.
+    let mut interned: Vec<String> = Vec::new();
+    let mut frame = Vec::new();
+    {
+        let mut intern = |s: &str| {
+            if let Some(i) = interned.iter().position(|n| n == s) {
+                i as u32
+            } else {
+                interned.push(s.to_string());
+                (interned.len() - 1) as u32
+            }
+        };
+        encode_report2(&mut frame, stream, report, &mut intern);
+    }
+    let mut wire = Vec::new();
+    encode_names(&mut wire, 0, interned.iter().map(String::as_str));
+    wire.extend_from_slice(&frame);
+
+    // Client side.
+    let mut rb = RecvBuf::new(64 << 20);
+    rb.ingest(&wire);
+    let mut table: Vec<Arc<str>> = Vec::new();
+    loop {
+        match rb.next_frame().expect("well-formed frames") {
+            Some(Frame::Names(nf)) => apply_names(&mut table, &nf).expect("contiguous delta"),
+            Some(Frame::Report2 { stream, body }) => {
+                return decode_report2(stream, body, &table).expect("decodes")
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The binary report transport agrees pointwise with the JSON one.
+    #[test]
+    fn report_encodings_agree(report in stream_report(), wire_stream in (0u64..u64::MAX)) {
+        let via_binary = binary_round_trip(&report, wire_stream);
+
+        // The v1 path: JSON payload, stream id rewritten from the frame
+        // header by the client (mirrored here).
+        let json = serde_json::to_string(&report).expect("serializes");
+        let mut via_json: StreamReport = serde_json::from_str(&json).expect("parses");
+        via_json.stream = wire_stream;
+
+        prop_assert_eq!(via_binary, via_json);
+    }
+
+    /// The binary metrics transport agrees pointwise with the JSON one.
+    #[test]
+    fn metrics_encodings_agree(snap in metrics_snapshot()) {
+        let mut wire = Vec::new();
+        encode_metrics_snap2(&mut wire, &snap);
+        let mut rb = RecvBuf::new(64 << 20);
+        rb.ingest(&wire);
+        let via_binary = match rb.next_frame().expect("well-formed") {
+            Some(Frame::MetricsSnap2 { body }) => decode_metrics_snap2(body).expect("decodes"),
+            other => panic!("unexpected frame {other:?}"),
+        };
+
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let via_json: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+
+        prop_assert_eq!(&via_binary, &via_json);
+        prop_assert_eq!(&via_binary, &snap);
+    }
+}

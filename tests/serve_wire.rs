@@ -9,12 +9,13 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tempo_monitor::{PoolConfig, StreamReport};
 use tempo_serve::wire::{
-    encode_batch, encode_finish, encode_open, encode_reload, tag, ErrorCode, Frame, RecvBuf,
-    WireEvent,
+    apply_names, cap, decode_report2, encode_batch, encode_finish, encode_open, encode_open_caps,
+    encode_reload, tag, ErrorCode, Frame, RecvBuf, WireEvent,
 };
 use tempo_serve::{ServeConfig, Server};
 use tempo_sim::loadgen::ReqServe;
@@ -34,15 +35,19 @@ fn start_server() -> Server {
 #[derive(Debug)]
 enum Egress {
     Report(u64, String),
+    Report2(u64, StreamReport),
     Error(ErrorCode, String),
     Other,
 }
 
-/// A raw protocol connection: sends arbitrary bytes, decodes egress.
+/// A raw protocol connection: sends arbitrary bytes, decodes egress
+/// (both the v1 JSON and v2 binary report frames, maintaining the
+/// connection's `NAMES` table).
 struct Raw {
     tcp: TcpStream,
     recv: RecvBuf,
     scratch: Vec<u8>,
+    names: Vec<Arc<str>>,
 }
 
 impl Raw {
@@ -55,6 +60,7 @@ impl Raw {
             tcp,
             recv: RecvBuf::new(16 << 20),
             scratch: vec![0u8; 64 * 1024],
+            names: Vec::new(),
         }
     }
 
@@ -69,6 +75,15 @@ impl Raw {
             match self.recv.next_frame().expect("client-side decode") {
                 Some(Frame::Report { stream, json }) => {
                     return Some(Egress::Report(stream, json.to_string()))
+                }
+                Some(Frame::Report2 { stream, body }) => {
+                    let report =
+                        decode_report2(stream, body, &self.names).expect("report2 decodes");
+                    return Some(Egress::Report2(stream, report));
+                }
+                Some(Frame::Names(nf)) => {
+                    apply_names(&mut self.names, &nf).expect("contiguous names delta");
+                    continue;
                 }
                 Some(Frame::Error { code, message }) => {
                     return Some(Egress::Error(code, message.to_string()))
@@ -398,6 +413,150 @@ fn mid_frame_disconnects_do_not_wedge_the_server() {
         "only the abandoned stream's empty report may remain: {:?}",
         report.streams
     );
+}
+
+/// A truncated `REPORT2` (length prefix shorter than its record counts
+/// demand) is structurally malformed: a stable non-fatal error, and
+/// the connection survives.
+#[test]
+fn truncated_report2_is_malformed_and_the_connection_survives() {
+    let server = start_server();
+    let mut conn = Raw::connect(server.local_addr());
+
+    // Header claims 1 violation but the body ends after the counts.
+    let mut bad = Vec::new();
+    let body_len = 1 + 8 + 8 + 1 + 4 + 4 + 4; // tag + header, no records
+    bad.extend_from_slice(&(body_len as u32).to_le_bytes());
+    bad.push(tag::REPORT2);
+    bad.extend_from_slice(&1u64.to_le_bytes()); // stream
+    bad.extend_from_slice(&2u64.to_le_bytes()); // events
+    bad.push(0); // failed
+    bad.extend_from_slice(&1u32.to_le_bytes()); // violations: 1 (missing!)
+    bad.extend_from_slice(&0u32.to_le_bytes()); // warnings
+    bad.extend_from_slice(&0u32.to_le_bytes()); // forced
+    conn.send(&bad);
+    let msg = conn.expect_error(ErrorCode::Malformed);
+    assert!(msg.contains("record counts"), "got: {msg}");
+
+    // Non-fatal: the same connection still completes a session.
+    let mut out = Vec::new();
+    encode_open(&mut out, 21, 0);
+    encode_batch(
+        &mut out,
+        21,
+        &[WireEvent::at(0, 1, 0), WireEvent::at(1, 0, 2)],
+    );
+    encode_finish(&mut out, 21);
+    conn.send(&out);
+    match conn.recv_one() {
+        Some(Egress::Report(21, _)) => {}
+        other => panic!("expected stream 21's report, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A *well-formed* egress frame (v2 included) arriving on the ingest
+/// path is a protocol violation answered with `UnknownTag`, exactly
+/// like the v1 egress tags.
+#[test]
+fn well_formed_report2_on_ingest_is_an_unknown_tag() {
+    let server = start_server();
+    let mut conn = Raw::connect(server.local_addr());
+
+    // An empty-but-valid REPORT2 (zero records, counts consistent).
+    let mut frame = Vec::new();
+    let body_len = 1 + 8 + 8 + 1 + 4 + 4 + 4;
+    frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+    frame.push(tag::REPORT2);
+    frame.extend_from_slice(&1u64.to_le_bytes());
+    frame.extend_from_slice(&0u64.to_le_bytes());
+    frame.push(0);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    conn.send(&frame);
+    let msg = conn.expect_error(ErrorCode::UnknownTag);
+    assert!(msg.contains("egress frame"), "got: {msg}");
+
+    round_trip(server.local_addr(), 22);
+    server.shutdown();
+}
+
+/// A `NAMES` frame whose id range overflows `u32` is malformed — and,
+/// like every egress tag, it does not belong on the ingest path, so
+/// send it client→server only to pin the parse-level error code.
+#[test]
+fn names_id_out_of_range_is_malformed() {
+    let server = start_server();
+    let mut conn = Raw::connect(server.local_addr());
+
+    let mut bad = Vec::new();
+    let entry = 4 + 1; // u32 len + "a"
+    let body_len = 1 + 4 + 4 + entry;
+    bad.extend_from_slice(&(body_len as u32).to_le_bytes());
+    bad.push(tag::NAMES);
+    bad.extend_from_slice(&u32::MAX.to_le_bytes()); // first_id
+    bad.extend_from_slice(&1u32.to_le_bytes()); // count → id range overflows
+    bad.extend_from_slice(&1u32.to_le_bytes());
+    bad.push(b'a');
+    conn.send(&bad);
+    let msg = conn.expect_error(ErrorCode::Malformed);
+    assert!(msg.contains("id out of range"), "got: {msg}");
+
+    round_trip(server.local_addr(), 23);
+    server.shutdown();
+}
+
+/// The binary-egress capability is negotiable at most once per
+/// connection: a second OPEN re-requesting the bit gets a stable
+/// `Malformed` error and is rejected, while the connection — and the
+/// already negotiated binary egress — keeps working.
+#[test]
+fn capability_requested_twice_is_malformed_but_binary_egress_works() {
+    let server = start_server();
+    let mut conn = Raw::connect(server.local_addr());
+
+    // First open negotiates binary egress.
+    let mut out = Vec::new();
+    encode_open_caps(&mut out, 30, 0, cap::BINARY_EGRESS);
+    // Second open re-requests the bit: rejected.
+    encode_open_caps(&mut out, 31, 0, cap::BINARY_EGRESS);
+    conn.send(&out);
+    let msg = conn.expect_error(ErrorCode::Malformed);
+    assert!(msg.contains("already negotiated"), "got: {msg}");
+
+    // Stream 30 still runs — and its verdict arrives as REPORT2 with a
+    // violation whose condition name resolved through the NAMES table.
+    let traffic = ReqServe::default().validated();
+    let late = i64::from(traffic.deadline_ms) + 2;
+    let mut out = Vec::new();
+    encode_batch(
+        &mut out,
+        30,
+        &[WireEvent::at(0, 1, 0), WireEvent::at(1, 0, late)],
+    );
+    encode_finish(&mut out, 30);
+    conn.send(&out);
+    match conn.recv_one() {
+        Some(Egress::Report2(30, report)) => {
+            assert_eq!(report.events, 2);
+            assert_eq!(report.violations.len(), 1, "the late serve violates");
+            assert!(
+                !report.violations[0].condition.is_empty(),
+                "the name id resolved through the NAMES table"
+            );
+        }
+        other => panic!("expected stream 30's binary report, got {other:?}"),
+    }
+
+    // The rejected open took no effect: stream 31 is unknown.
+    let mut out = Vec::new();
+    encode_finish(&mut out, 31);
+    conn.send(&out);
+    conn.expect_error(ErrorCode::UnknownStream);
+
+    round_trip(server.local_addr(), 24);
+    server.shutdown();
 }
 
 #[test]
